@@ -1,0 +1,687 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 8) and runs a bechamel performance suite.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- table1 fig10 perf   -- selected targets
+
+   The fault-injection campaign behind Tables 1-4 defaults to a reduced
+   but representative grid (3x3 test cases, 5 instants); set
+   PROPANE_SCALE=full in the environment for the paper-scale campaign
+   (25 test cases, 10 instants, 52,000 runs, several minutes). *)
+
+let full_scale =
+  match Sys.getenv_opt "PROPANE_SCALE" with
+  | Some "full" -> true
+  | Some _ | None -> false
+
+let section title =
+  Printf.printf "\n================ %s ================\n\n" title
+
+(* ------------------------------------------------------------------ *)
+(* The measured campaign behind Tables 1-4 (run once, memoised).       *)
+
+let campaign () =
+  if full_scale then Arrestment.System.paper_campaign ()
+  else
+    Propane.Campaign.make ~name:"reduced-7.3"
+      ~targets:Arrestment.Model.injection_targets
+      ~testcases:
+        (Propane.Testcase.grid
+           [
+             Propane.Testcase.uniform_axis "mass" ~lo:8_000.0 ~hi:20_000.0
+               ~steps:3;
+             Propane.Testcase.uniform_axis "velocity" ~lo:40.0 ~hi:80.0
+               ~steps:3;
+           ])
+      ~times:(List.map Simkernel.Sim_time.of_ms [ 500; 1500; 2500; 3500; 4500 ])
+      ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+
+let measured_results : Propane.Results.t option ref = ref None
+
+let results () =
+  match !measured_results with
+  | Some r -> r
+  | None ->
+      let c = campaign () in
+      Format.printf "running campaign: %a@." Propane.Campaign.pp c;
+      let t0 = Sys.time () in
+      let r =
+        Propane.Runner.run_campaign ~seed:42L ~truncate_after_ms:128
+          (Arrestment.System.sut ())
+          c
+      in
+      Format.printf "campaign finished in %.1f s (cpu)@." (Sys.time () -. t0);
+      measured_results := Some r;
+      r
+
+let measured_analysis_ref : Propagation.Analysis.t option ref = ref None
+
+let measured_analysis () =
+  match !measured_analysis_ref with
+  | Some a -> a
+  | None ->
+      let matrices =
+        match
+          Propane.Estimator.estimate_all ~model:Arrestment.Model.system
+            (results ())
+        with
+        | Ok m -> m
+        | Error msg -> failwith msg
+      in
+      let a = Propagation.Analysis.run_exn Arrestment.Model.system matrices in
+      measured_analysis_ref := Some a;
+      a
+
+let paper_analysis =
+  lazy
+    (Propagation.Analysis.run_exn Arrestment.Model.system
+       (Arrestment.Model.paper_matrices ()))
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+
+let table1 () =
+  section "Table 1: error permeability of the 25 input/output pairs";
+  print_endline "(Value = measured by this reproduction's campaign;";
+  print_endline " Paper = the paper's values as reconstructed in Model)";
+  print_newline ();
+  Report.Table.print
+    (Report.Experiments.table1
+       ~reference:(Arrestment.Model.paper_matrices ())
+       (measured_analysis ()))
+
+let table2 () =
+  section "Table 2: relative permeability and error exposure per module";
+  print_endline "-- measured --";
+  Report.Table.print (Report.Experiments.table2 (measured_analysis ()));
+  print_newline ();
+  print_endline "-- from the paper's permeability values --";
+  Report.Table.print (Report.Experiments.table2 (Lazy.force paper_analysis))
+
+let table3 () =
+  section "Table 3: signal error exposures";
+  print_endline "-- measured --";
+  Report.Table.print (Report.Experiments.table3 (measured_analysis ()));
+  print_newline ();
+  print_endline "-- from the paper's permeability values --";
+  Report.Table.print (Report.Experiments.table3 (Lazy.force paper_analysis))
+
+let table4 () =
+  section "Table 4: propagation paths for system output TOC2";
+  print_endline "-- measured --";
+  Report.Table.print
+    (Report.Experiments.table4 (measured_analysis ()) Arrestment.Signals.toc2);
+  print_newline ();
+  print_endline "-- from the paper's permeability values --";
+  Report.Table.print
+    (Report.Experiments.table4 (Lazy.force paper_analysis)
+       Arrestment.Signals.toc2);
+  print_newline ();
+  let count analysis =
+    let tree =
+      List.assoc Arrestment.Signals.toc2
+        analysis.Propagation.Analysis.backtrack_trees
+    in
+    let all = Propagation.Path.of_backtrack_tree tree in
+    (List.length all, List.length (Propagation.Path.non_zero all))
+  in
+  let total_p, nz_p = count (Lazy.force paper_analysis) in
+  let total_m, nz_m = count (measured_analysis ()) in
+  Printf.printf
+    "path census: paper values %d paths / %d non-zero (paper reports 22/13); \
+     measured %d / %d\n"
+    total_p nz_p total_m nz_m
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let fig345 () =
+  section "Figs. 3-5: the five-module example system";
+  let graph = Propagation.Fig_example.graph in
+  Format.printf "permeability graph (Fig. 3):@.%a@.@." Propagation.Perm_graph.pp
+    graph;
+  let tree =
+    Propagation.Backtrack_tree.build graph Propagation.Fig_example.output
+  in
+  Format.printf "backtrack tree of %a (Fig. 4):@.%a@.@." Propagation.Signal.pp
+    Propagation.Fig_example.output Propagation.Backtrack_tree.pp tree;
+  List.iter
+    (fun input ->
+      Format.printf "trace tree of %a (Fig. 5):@.%a@.@." Propagation.Signal.pp
+        input Propagation.Trace_tree.pp
+        (Propagation.Trace_tree.build graph input))
+    Propagation.Fig_example.inputs
+
+let fig8 () =
+  section "Fig. 8: module and signal diagram of the target system";
+  Format.printf "%a@.@." Propagation.System_model.pp Arrestment.Model.system;
+  print_endline "DOT rendering:";
+  print_endline (Report.Dot.of_system_model Arrestment.Model.system)
+
+let fig9 () =
+  section "Fig. 9: permeability graph of the target system";
+  let analysis = Lazy.force paper_analysis in
+  Format.printf "%a@.@." Propagation.Perm_graph.pp
+    analysis.Propagation.Analysis.graph;
+  print_endline "DOT rendering:";
+  print_endline (Report.Dot.of_perm_graph analysis.Propagation.Analysis.graph)
+
+let fig10 () =
+  section "Fig. 10: backtrack tree of system output TOC2";
+  let analysis = Lazy.force paper_analysis in
+  let tree =
+    List.assoc Arrestment.Signals.toc2
+      analysis.Propagation.Analysis.backtrack_trees
+  in
+  Format.printf "%a@.@." Propagation.Backtrack_tree.pp tree;
+  Printf.printf "leaf count: %d (the paper's tree generates 22 paths)\n"
+    (Propagation.Backtrack_tree.leaf_count tree)
+
+let trace_fig name signal () =
+  section name;
+  let analysis = Lazy.force paper_analysis in
+  let tree = List.assoc signal analysis.Propagation.Analysis.trace_trees in
+  Format.printf "%a@.@." Propagation.Trace_tree.pp tree
+
+let fig11 = trace_fig "Fig. 11: trace tree of system input ADC" Arrestment.Signals.adc
+let fig12 = trace_fig "Fig. 12: trace tree of system input PACNT" Arrestment.Signals.pacnt
+
+(* ------------------------------------------------------------------ *)
+(* Section 8 observations                                              *)
+
+let observations () =
+  section "Section 8 observations (OB1-OB6)";
+  let analysis = measured_analysis () in
+  let placement = analysis.Propagation.Analysis.placement in
+  let module_row name =
+    List.find
+      (fun (r : Propagation.Ranking.module_row) ->
+        String.equal r.module_name name)
+      analysis.Propagation.Analysis.module_rows
+  in
+  let ob1 =
+    List.filteri
+      (fun idx _ -> idx < 2)
+      placement.Propagation.Placement.exposed_modules
+  in
+  Printf.printf "OB1. most exposed modules (Xnw): %s (paper: CALC and V_REG)\n"
+    (String.concat ", "
+       (List.map
+          (fun (r : Propagation.Ranking.module_row) ->
+            Printf.sprintf "%s (%.3f)" r.module_name r.non_weighted_exposure)
+          ob1));
+  let stopped_column =
+    Propagation.Perm_matrix.column_sum
+      (Propagation.Perm_graph.matrix analysis.Propagation.Analysis.graph
+         "DIST_S")
+      ~output:3
+  in
+  Printf.printf
+    "OB2. permeability into `stopped` (column sum): %.3f (paper: 0.000)\n"
+    stopped_column;
+  let pres_s = module_row "PRES_S" in
+  Printf.printf
+    "OB3. PRES_S permeability: %.3f (paper: 0.000) while \
+     P(InValue->OutValue) = %.3f (paper: 0.920)\n"
+    pres_s.relative_permeability
+    (Propagation.Perm_matrix.get
+       (Propagation.Perm_graph.matrix analysis.Propagation.Analysis.graph
+          "V_REG")
+       ~input:2 ~output:1);
+  Printf.printf "OB4. EDM signal ranking: %s\n"
+    (String.concat ", "
+       (List.filteri
+          (fun idx _ -> idx < 4)
+          (List.map
+             (fun (r : Propagation.Ranking.signal_row) ->
+               Printf.sprintf "%s (%.3f)" (Propagation.Signal.name r.signal)
+                 r.exposure)
+             placement.Propagation.Placement.edm_signals)));
+  Printf.printf "     excluded: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (s, reason) ->
+            Fmt.str "%a (%a)" Propagation.Signal.pp s
+              Propagation.Placement.pp_exclusion_reason reason)
+          placement.Propagation.Placement.excluded));
+  Printf.printf "OB5. cut signals (on every non-zero path to TOC2): %s\n"
+    (String.concat ", "
+       (List.map Propagation.Signal.name
+          placement.Propagation.Placement.cut_signals));
+  Printf.printf "OB6. barrier modules (read system inputs): %s\n"
+    (String.concat ", " placement.Propagation.Placement.barrier_modules);
+  print_newline ();
+  Format.printf "%a@." Edm.Selector.pp (Edm.Selector.propose placement)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (beyond the paper; see DESIGN.md section 8)               *)
+
+let ablation () =
+  section "Ablation: error model and attribution window";
+  let testcases =
+    Propane.Testcase.grid
+      [
+        Propane.Testcase.uniform_axis "mass" ~lo:8_000.0 ~hi:20_000.0 ~steps:2;
+        Propane.Testcase.uniform_axis "velocity" ~lo:40.0 ~hi:80.0 ~steps:2;
+      ]
+  in
+  let times = List.map Simkernel.Sim_time.of_ms [ 1_000; 3_000 ] in
+  let sut = Arrestment.System.sut () in
+  let run name errors =
+    let c =
+      Propane.Campaign.make ~name ~targets:Arrestment.Model.injection_targets
+        ~testcases ~times ~errors
+    in
+    Propane.Runner.run_campaign ~seed:42L ~truncate_after_ms:128 sut c
+  in
+  let summarise name results attribution =
+    match
+      Propane.Estimator.estimate_all ~attribution
+        ~model:Arrestment.Model.system results
+    with
+    | Error msg -> Printf.printf "%-28s estimation failed: %s\n" name msg
+    | Ok matrices ->
+        let total =
+          Propagation.String_map.fold
+            (fun _ m acc -> acc +. Propagation.Perm_matrix.non_weighted m)
+            matrices 0.0
+        in
+        let analysis =
+          Propagation.Analysis.run_exn Arrestment.Model.system matrices
+        in
+        let nz =
+          List.length
+            (List.assoc Arrestment.Signals.toc2
+               analysis.Propagation.Analysis.output_paths)
+        in
+        Printf.printf
+          "%-28s sum of all 25 permeabilities = %6.3f; non-zero TOC2 paths = \
+           %d\n"
+          name total nz
+  in
+  let direct = Propane.Estimator.default_attribution in
+  let bitflip_results =
+    run "ablation-bitflip"
+      (Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+  in
+  summarise "bit-flips, direct window" bitflip_results direct;
+  summarise "bit-flips, any divergence" bitflip_results
+    Propane.Estimator.Any_divergence;
+  summarise "stuck-at {0,max}, direct"
+    (run "ablation-stuckat"
+       [ Propane.Error_model.Stuck_at 0; Propane.Error_model.Stuck_at 0xFFFF ])
+    direct;
+  summarise "offsets {-256,+256}, direct"
+    (run "ablation-offset"
+       [ Propane.Error_model.Offset (-256); Propane.Error_model.Offset 256 ])
+    direct;
+  summarise "uniform replacement, direct"
+    (run "ablation-uniform"
+       (List.init 4 (fun _ -> Propane.Error_model.Replace_uniform)))
+    direct
+
+(* ------------------------------------------------------------------ *)
+(* Failure-severity classification                                     *)
+
+let severity () =
+  section "Failure-severity classification per injected signal";
+  let campaign =
+    Propane.Campaign.make ~name:"severity"
+      ~targets:Arrestment.Model.injection_targets
+      ~testcases:
+        [
+          Arrestment.System.testcase ~mass_kg:11_000.0 ~velocity_mps:55.0;
+          Arrestment.System.testcase ~mass_kg:18_000.0 ~velocity_mps:75.0;
+        ]
+      ~times:(List.map Simkernel.Sim_time.of_ms [ 1_000; 3_000 ])
+      ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+  in
+  let reports =
+    Propane.Severity.assess ~outputs:[ "TOC2" ]
+      ~mission_failed:Arrestment.System.mission_failed
+      (Arrestment.System.sut ())
+      campaign
+  in
+  List.iter
+    (fun r -> Format.printf "%a@." Propane.Severity.pp_report r)
+    reports;
+  print_newline ();
+  print_endline
+    "Reading: signals whose errors end in the mission-failure bin are\n\
+     the ones the OB4/OB5 placement guards; a large internal-only bin\n\
+     shows the latent errors the paper's exposure measures track.";
+  let total v =
+    List.fold_left (fun acc r -> acc + Propane.Severity.count r v) 0 reports
+  in
+  Printf.printf
+    "\ntotals: %d no effect, %d internal only, %d output deviation, %d \
+     mission failures\n"
+    (total Propane.Severity.No_effect)
+    (total Propane.Severity.Internal_only)
+    (total Propane.Severity.Output_deviation)
+    (total Propane.Severity.Mission_failure)
+
+(* ------------------------------------------------------------------ *)
+(* Uniform-propagation check (the paper's Section 2 rebuttal of [12]) *)
+
+let uniformity () =
+  section "Uniform propagation? (paper Section 2 vs. [12])";
+  let report =
+    Propane.Uniformity.analyse ~outputs:[ "TOC2" ] (results ())
+  in
+  Format.printf "%a@." Propane.Uniformity.pp_report report;
+  let f = Propane.Uniformity.uniform_fraction report in
+  Printf.printf
+    "\n\
+     [12] predicts a uniform fraction close to 1.00; the paper reports \
+     \"our findings do not corroborate this assertion\".  Measured: %.2f \
+     (%d of %d locations show mixed behaviour).\n"
+    f report.Propane.Uniformity.mixed report.Propane.Uniformity.locations
+
+(* ------------------------------------------------------------------ *)
+(* Propagation latency per pair                                        *)
+
+let latency () =
+  section "Propagation latency per input/output pair (direct errors)";
+  let stats =
+    Propane.Latency.all_stats ~model:Arrestment.Model.system (results ())
+  in
+  Report.Table.print
+    (Report.Table.make ~title:"Latency of direct error propagation"
+       ~columns:
+         [
+           ("Pair", Report.Table.Left);
+           ("n", Report.Table.Right);
+           ("min ms", Report.Table.Right);
+           ("median ms", Report.Table.Right);
+           ("mean ms", Report.Table.Right);
+           ("max ms", Report.Table.Right);
+         ]
+       (List.map
+          (fun (s : Propane.Latency.stats) ->
+            [
+              Fmt.str "%a" Propagation.Perm_graph.pp_pair s.pair;
+              string_of_int s.samples;
+              string_of_int s.min_ms;
+              string_of_int s.median_ms;
+              Printf.sprintf "%.1f" s.mean_ms;
+              string_of_int s.max_ms;
+            ])
+          stats))
+
+(* ------------------------------------------------------------------ *)
+(* Rank-stability study (Section 6's relative-order assumption)        *)
+
+let sensitivity () =
+  section "Rank stability under permeability perturbation (Section 6)";
+  let matrices = Arrestment.Model.paper_matrices () in
+  List.iter
+    (fun perturbation ->
+      let report =
+        Propagation.Sensitivity.study ~trials:64 ~seed:42 perturbation
+          Arrestment.Model.system matrices
+      in
+      Format.printf "%a@." Propagation.Sensitivity.pp_report report)
+    [
+      Propagation.Sensitivity.Relative_noise 0.05;
+      Propagation.Sensitivity.Relative_noise 0.20;
+      Propagation.Sensitivity.Relative_noise 0.50;
+      Propagation.Sensitivity.Absolute_noise 0.10;
+      Propagation.Sensitivity.Quantise 10;
+      Propagation.Sensitivity.Quantise 4;
+    ];
+  print_newline ();
+  print_endline
+    "High tau at moderate noise supports the paper's claim that the\n\
+     analysis only needs the relative order of the estimates."
+
+(* ------------------------------------------------------------------ *)
+(* Workload sensitivity (paper Section 6 / future work)                *)
+
+let workload () =
+  section "Workload sensitivity of the permeability estimates";
+  let sut = Arrestment.System.sut () in
+  let times = List.map Simkernel.Sim_time.of_ms [ 1_000; 3_000 ] in
+  let estimate name testcases =
+    let c =
+      Propane.Campaign.make ~name
+        ~targets:Arrestment.Model.injection_targets ~testcases ~times
+        ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+    in
+    let results =
+      Propane.Runner.run_campaign ~seed:42L ~truncate_after_ms:128 sut c
+    in
+    match
+      Propane.Estimator.estimate_all ~model:Arrestment.Model.system results
+    with
+    | Error msg -> failwith msg
+    | Ok matrices -> matrices
+  in
+  let light = estimate "wl-light" [ Arrestment.System.testcase ~mass_kg:8_000.0 ~velocity_mps:40.0 ] in
+  let heavy = estimate "wl-heavy" [ Arrestment.System.testcase ~mass_kg:20_000.0 ~velocity_mps:80.0 ] in
+  let order matrices =
+    let graph = Propagation.Perm_graph.build_exn Arrestment.Model.system matrices in
+    List.map
+      (fun (r : Propagation.Ranking.module_row) -> r.module_name)
+      (Propagation.Ranking.sort_module_rows
+         Propagation.Ranking.By_relative_permeability
+         (Propagation.Ranking.module_rows graph))
+  in
+  let sum matrices =
+    Propagation.String_map.fold
+      (fun _ m acc -> acc +. Propagation.Perm_matrix.non_weighted m)
+      matrices 0.0
+  in
+  Printf.printf "light workload (8 t, 40 m/s):  total permeability %.3f\n"
+    (sum light);
+  Printf.printf "heavy workload (20 t, 80 m/s): total permeability %.3f\n"
+    (sum heavy);
+  Printf.printf "module ranking, light: %s\n" (String.concat " > " (order light));
+  Printf.printf "module ranking, heavy: %s\n" (String.concat " > " (order heavy));
+  Printf.printf "rank correlation (Kendall tau): %.3f\n"
+    (Propagation.Sensitivity.kendall_tau (order light) (order heavy))
+
+(* ------------------------------------------------------------------ *)
+(* Adjusted path probabilities (Section 4.2's P' analysis)             *)
+
+let prob () =
+  section "Pr-adjusted propagation measures (Section 4.2's P')";
+  let analysis = Lazy.force paper_analysis in
+  let model = Propagation.Perm_graph.model analysis.Propagation.Analysis.graph in
+  let prob_model =
+    Propagation.Prob_model.uniform model ~probability:0.01
+  in
+  Format.printf "occurrence model: %a@.@." Propagation.Prob_model.pp prob_model;
+  print_endline "error-arrival bound per system output:";
+  List.iter
+    (fun (output, p) ->
+      Format.printf "  %a: %.5f@." Propagation.Signal.pp output p)
+    (Propagation.Prob_model.output_arrival prob_model analysis);
+  print_newline ();
+  print_endline "input criticality (output-corruption mass per error source):";
+  List.iter
+    (fun (input, p) ->
+      Format.printf "  %a: %.5f@." Propagation.Signal.pp input p)
+    (Propagation.Prob_model.input_criticality prob_model analysis);
+  print_newline ();
+  print_endline
+    "end-to-end arrival probability per system input (conditioned on an\n\
+     error occurring there): max-path <= Monte-Carlo <= noisy-or";
+  let graph = analysis.Propagation.Analysis.graph in
+  let lo =
+    Propagation.Compose.equivalent_matrix
+      ~combinator:Propagation.Compose.Max_path analysis
+  in
+  let hi = Propagation.Compose.equivalent_matrix analysis in
+  let mc = Propagation.Monte_carlo.arrival_matrix ~trials:20_000 ~seed:42 graph in
+  List.iteri
+    (fun idx input ->
+      let i = idx + 1 in
+      Format.printf "  %a -> TOC2: %.4f <= %.4f <= %.4f@."
+        Propagation.Signal.pp input
+        (Propagation.Perm_matrix.get lo ~input:i ~output:1)
+        (Propagation.Perm_matrix.get mc ~input:i ~output:1)
+        (Propagation.Perm_matrix.get hi ~input:i ~output:1))
+    (Propagation.System_model.system_inputs model)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel performance suite                                          *)
+
+let perf () =
+  section "Performance micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let paper = Lazy.force paper_analysis in
+  let graph = paper.Propagation.Analysis.graph in
+  let matrices = Arrestment.Model.paper_matrices () in
+  (* Force the campaign now so the first timed iteration does not pay
+     for running it. *)
+  let (_ : Propane.Results.t) = results () in
+  let sut = Arrestment.System.sut () in
+  let tc = Arrestment.System.testcase ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+  let golden = Propane.Runner.golden_run ~max_ms:2_000 sut tc in
+  let injection =
+    Propane.Injection.make ~target:"pulscnt"
+      ~at:(Simkernel.Sim_time.of_ms 500)
+      ~error:(Propane.Error_model.Bit_flip 9)
+  in
+  (* A wide synthetic layered system stressing tree construction. *)
+  let synth_graph =
+    let layers = 6 and width = 4 in
+    let signal l j = Propagation.Signal.make (Printf.sprintf "s%d_%d" l j) in
+    let modules =
+      List.concat_map
+        (fun l ->
+          List.init width (fun j ->
+              Propagation.Sw_module.make
+                ~name:(Printf.sprintf "M%d_%d" l j)
+                ~inputs:(List.init width (signal l))
+                ~outputs:[ signal (l + 1) j ]))
+        (List.init layers Fun.id)
+    in
+    let collector =
+      Propagation.Sw_module.make ~name:"SINK"
+        ~inputs:(List.init width (signal layers))
+        ~outputs:[ Propagation.Signal.make "sink_out" ]
+    in
+    let matrices =
+      Propagation.String_map.of_list
+        (List.map
+           (fun m ->
+             ( Propagation.Sw_module.name m,
+               Propagation.Perm_matrix.of_rows
+                 (Array.init
+                    (Propagation.Sw_module.input_count m)
+                    (fun i ->
+                      Array.init
+                        (Propagation.Sw_module.output_count m)
+                        (fun k -> Float.of_int ((i + k) mod 3) /. 4.0))) ))
+           (collector :: modules))
+    in
+    let model =
+      Propagation.System_model.make_exn
+        ~modules:(modules @ [ collector ])
+        ~system_inputs:(List.init width (signal 0))
+        ~system_outputs:[ Propagation.Signal.make "sink_out" ]
+    in
+    Propagation.Perm_graph.build_exn model matrices
+  in
+  let sink_out = Propagation.Signal.make "sink_out" in
+  let tests =
+    [
+      Test.make ~name:"table1:estimate_all(measured)"
+        (Staged.stage (fun () ->
+             Propane.Estimator.estimate_all ~model:Arrestment.Model.system
+               (results ())));
+      Test.make ~name:"table2:analysis+module-rows"
+        (Staged.stage (fun () ->
+             (Propagation.Analysis.run_exn Arrestment.Model.system matrices)
+               .Propagation.Analysis.module_rows));
+      Test.make ~name:"table3:signal-exposures"
+        (Staged.stage (fun () -> Propagation.Ranking.signal_rows graph));
+      Test.make ~name:"table4:paths(TOC2)"
+        (Staged.stage (fun () ->
+             Propagation.Ranking.path_rows
+               (Propagation.Backtrack_tree.build graph Arrestment.Signals.toc2)));
+      Test.make ~name:"fig10:backtrack-tree(TOC2)"
+        (Staged.stage (fun () ->
+             Propagation.Backtrack_tree.build graph Arrestment.Signals.toc2));
+      Test.make ~name:"fig12:trace-tree(PACNT)"
+        (Staged.stage (fun () ->
+             Propagation.Trace_tree.build graph Arrestment.Signals.pacnt));
+      Test.make ~name:"synthetic:backtrack-tree(6x4)"
+        (Staged.stage (fun () ->
+             Propagation.Backtrack_tree.build synth_graph sink_out));
+      Test.make ~name:"campaign:golden-run(2s)"
+        (Staged.stage (fun () ->
+             Propane.Runner.golden_run ~max_ms:2_000 sut tc));
+      Test.make ~name:"campaign:injection-run(truncated)"
+        (Staged.stage (fun () ->
+             Propane.Runner.run_experiment ~truncate_after_ms:128 sut ~golden
+               tc injection));
+      Test.make ~name:"grc:compare-2s-run"
+        (Staged.stage (fun () -> Propane.Golden.compare_runs ~golden ~run:golden ()));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) ~kde:(Some 1_000) ()
+    in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all ols instance raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-36s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-36s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let targets =
+  [
+    ("fig345", fig345);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("observations", observations);
+    ("ablation", ablation);
+    ("severity", severity);
+    ("uniformity", uniformity);
+    ("latency", latency);
+    ("sensitivity", sensitivity);
+    ("workload", workload);
+    ("prob", prob);
+    ("perf", perf);
+  ]
+
+let () =
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map fst targets
+    | names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown target %S; available: %s\n" name
+            (String.concat ", " (List.map fst targets));
+          exit 2)
+    requested

@@ -1,0 +1,359 @@
+(* propane — command-line front end for the PROPANE reproduction.
+
+   Sub-commands:
+     analyze    propagation analysis of the arrestment system using the
+                paper's (reconstructed) permeability values
+     campaign   run a fault-injection campaign and print the measured
+                tables
+     example    analyse the five-module example system of Figs. 2-5
+     golden     execute one golden run and summarise it
+     placement  print EDM/ERM placement proposals *)
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let log_term =
+  Term.(const setup_logs $ Logs_cli.level ())
+
+(* ------------------------------------------------------------------ *)
+
+let print_analysis_tables ?reference analysis =
+  Report.Table.print (Report.Experiments.table1 ?reference analysis);
+  print_newline ();
+  Report.Table.print (Report.Experiments.table2 analysis);
+  print_newline ();
+  Report.Table.print (Report.Experiments.table3 analysis);
+  print_newline ();
+  List.iter
+    (fun (output, _) ->
+      Report.Table.print (Report.Experiments.table4 analysis output);
+      print_newline ())
+    analysis.Propagation.Analysis.output_paths
+
+let dump_figures dir analysis =
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write "permeability_graph.dot"
+    (Report.Dot.of_perm_graph analysis.Propagation.Analysis.graph);
+  List.iter
+    (fun (output, tree) ->
+      write
+        (Printf.sprintf "backtrack_%s.dot" (Propagation.Signal.name output))
+        (Report.Dot.of_backtrack_tree tree))
+    analysis.Propagation.Analysis.backtrack_trees;
+  List.iter
+    (fun (input, tree) ->
+      write
+        (Printf.sprintf "trace_%s.dot" (Propagation.Signal.name input))
+        (Report.Dot.of_trace_tree tree))
+    analysis.Propagation.Analysis.trace_trees
+
+let dot_dir =
+  let doc = "Also write Graphviz .dot files for every graph and tree into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
+
+let analyze_cmd =
+  let run () dot =
+    let analysis =
+      Propagation.Analysis.run_exn Arrestment.Model.system
+        (Arrestment.Model.paper_matrices ())
+    in
+    print_analysis_tables analysis;
+    Option.iter (fun dir -> dump_figures dir analysis) dot
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Propagation analysis of the arrestment system from the paper's \
+          permeability values (Tables 1-4).")
+    Term.(const run $ log_term $ dot_dir)
+
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  let doc = "Campaign seed (campaigns are fully deterministic)." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cases_arg =
+  let doc = "Test cases per axis: $(docv) masses x $(docv) velocities (paper: 5)." in
+  Arg.(value & opt int 3 & info [ "cases" ] ~docv:"N" ~doc)
+
+let times_arg =
+  let doc = "Number of injection instants, evenly spread in 0.5-5.0 s (paper: 10)." in
+  Arg.(value & opt int 4 & info [ "times" ] ~docv:"N" ~doc)
+
+let full_arg =
+  let doc = "Run the paper-scale campaign (25 cases, 10 times, 52,000 runs)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let window_arg =
+  let doc = "Direct-attribution window in ms (see Estimator)." in
+  Arg.(value & opt int 64 & info [ "window" ] ~docv:"MS" ~doc)
+
+let progress_arg =
+  let doc = "Print progress every $(docv) runs (0 = silent)." in
+  Arg.(value & opt int 0 & info [ "progress" ] ~docv:"N" ~doc)
+
+let build_campaign ~cases ~times ~full () =
+  let testcases =
+    if full then Arrestment.System.paper_testcases
+    else
+      Propane.Testcase.grid
+        [
+          Propane.Testcase.uniform_axis "mass" ~lo:8_000.0 ~hi:20_000.0
+            ~steps:(max 2 cases);
+          Propane.Testcase.uniform_axis "velocity" ~lo:40.0 ~hi:80.0
+            ~steps:(max 2 cases);
+        ]
+  in
+  let times =
+    if full then Propane.Campaign.paper_times
+    else
+      List.init (max 1 times) (fun j ->
+          Simkernel.Sim_time.of_ms (500 + (j * 4500 / max 1 (times - 1))))
+  in
+  Propane.Campaign.make
+    ~name:(if full then "paper-7.3" else "reduced-7.3")
+    ~targets:Arrestment.Model.injection_targets ~testcases ~times
+    ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+
+let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress () =
+  let campaign = build_campaign ~cases ~times ~full () in
+  Format.printf "%a@." Propane.Campaign.pp campaign;
+  let sut = Arrestment.System.sut () in
+  let on_progress =
+    if progress > 0 then
+      Some
+        (fun (p : Propane.Runner.progress) ->
+          if p.completed mod progress = 0 || p.completed = p.total then
+            Printf.eprintf "\r%d/%d runs%!" p.completed p.total;
+          if p.completed = p.total then prerr_newline ())
+    else None
+  in
+  let results =
+    Propane.Runner.run_campaign ~seed ~truncate_after_ms:(window * 2)
+      ?on_progress sut campaign
+  in
+  let attribution = Propane.Estimator.Direct { window_ms = window } in
+  match
+    Propane.Estimator.estimate_all ~attribution ~model:Arrestment.Model.system
+      results
+  with
+  | Error msg -> failwith msg
+  | Ok matrices ->
+      (results, Propagation.Analysis.run_exn Arrestment.Model.system matrices)
+
+let save_arg =
+  let doc = "Save the raw campaign results to $(docv) (see Propane.Storage)." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let campaign_cmd =
+  let run () cases times full seed window progress save =
+    let results, analysis =
+      run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ()
+    in
+    Option.iter
+      (fun path ->
+        Propane.Storage.save_results path results;
+        Printf.printf "results saved to %s\n" path)
+      save;
+    print_analysis_tables ~reference:(Arrestment.Model.paper_matrices ())
+      analysis
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a SWIFI campaign on the arrestment system and print the \
+          measured Tables 1-4 (side by side with the paper's values).")
+    Term.(
+      const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
+      $ window_arg $ progress_arg $ save_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let load_arg =
+  let doc = "Results file produced by campaign --save." in
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "load" ] ~docv:"FILE" ~doc)
+
+let with_loaded_results load f =
+  match Propane.Storage.load_results load with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok results -> f results
+
+let estimate_cmd =
+  let run () load window =
+    with_loaded_results load (fun results ->
+        let attribution = Propane.Estimator.Direct { window_ms = window } in
+        match
+          Propane.Estimator.estimate_all ~attribution
+            ~model:Arrestment.Model.system results
+        with
+        | Error msg ->
+            prerr_endline msg;
+            exit 1
+        | Ok matrices ->
+            let analysis =
+              Propagation.Analysis.run_exn Arrestment.Model.system matrices
+            in
+            print_analysis_tables
+              ~reference:(Arrestment.Model.paper_matrices ())
+              analysis)
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Re-analyse previously saved campaign results (Tables 1-4).")
+    Term.(const run $ log_term $ load_arg $ window_arg)
+
+let latency_cmd =
+  let run () load window =
+    with_loaded_results load (fun results ->
+        let attribution = Propane.Estimator.Direct { window_ms = window } in
+        List.iter
+          (fun s -> Format.printf "%a@." Propane.Latency.pp_stats s)
+          (Propane.Latency.all_stats ~attribution
+             ~model:Arrestment.Model.system results))
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Propagation-latency statistics from saved campaign results.")
+    Term.(const run $ log_term $ load_arg $ window_arg)
+
+let uniformity_cmd =
+  let run () load =
+    with_loaded_results load (fun results ->
+        Format.printf "%a@." Propane.Uniformity.pp_report
+          (Propane.Uniformity.analyse ~outputs:[ "TOC2" ] results))
+  in
+  Cmd.v
+    (Cmd.info "uniformity"
+       ~doc:
+         "Uniform-propagation analysis (paper Section 2 vs. [12]) from saved \
+          campaign results.")
+    Term.(const run $ log_term $ load_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let example_cmd =
+  let run () dot =
+    let analysis = Propagation.Fig_example.analysis () in
+    print_analysis_tables analysis;
+    List.iter
+      (fun (input, _) ->
+        Report.Table.print (Report.Experiments.input_paths_table analysis input);
+        print_newline ())
+      analysis.Propagation.Analysis.input_paths;
+    Option.iter (fun dir -> dump_figures dir analysis) dot
+  in
+  Cmd.v
+    (Cmd.info "example"
+       ~doc:"Analyse the five-module example system of the paper's Figs. 2-5.")
+    Term.(const run $ log_term $ dot_dir)
+
+(* ------------------------------------------------------------------ *)
+
+let golden_cmd =
+  let mass =
+    Arg.(value & opt float 14_000.0 & info [ "mass" ] ~docv:"KG" ~doc:"Aircraft mass.")
+  in
+  let velocity =
+    Arg.(
+      value & opt float 60.0
+      & info [ "velocity" ] ~docv:"M/S" ~doc:"Engagement velocity.")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Dump all signal traces as CSV to stdout.")
+  in
+  let run () mass velocity csv =
+    let sut = Arrestment.System.sut () in
+    let tc = Arrestment.System.testcase ~mass_kg:mass ~velocity_mps:velocity in
+    let traces = Propane.Runner.golden_run sut tc in
+    let dur = Propane.Trace_set.duration_ms traces in
+    if csv then begin
+      let signals = Propane.Trace_set.signals traces in
+      print_endline ("ms," ^ String.concat "," signals);
+      for ms = 0 to dur - 1 do
+        print_string (string_of_int ms);
+        List.iter
+          (fun s ->
+            print_char ',';
+            print_string
+              (string_of_int (Propane.Trace.get (Propane.Trace_set.trace traces s) ms)))
+          signals;
+        print_newline ()
+      done
+    end
+    else begin
+      Printf.printf "arrestment of %.0f kg at %.0f m/s: %d ms\n" mass velocity
+        dur;
+      List.iter
+        (fun s ->
+          let trace = Propane.Trace_set.trace traces s in
+          Printf.printf "  %-12s final=%d\n" s
+            (Propane.Trace.get trace (dur - 1)))
+        (Propane.Trace_set.signals traces)
+    end
+  in
+  Cmd.v
+    (Cmd.info "golden" ~doc:"Execute one golden run of the arrestment system.")
+    Term.(const run $ log_term $ mass $ velocity $ csv)
+
+(* ------------------------------------------------------------------ *)
+
+let placement_cmd =
+  let budget =
+    Arg.(
+      value & opt int 3
+      & info [ "budget" ] ~docv:"N" ~doc:"Mechanisms of each kind to propose.")
+  in
+  let run () budget =
+    let analysis =
+      Propagation.Analysis.run_exn Arrestment.Model.system
+        (Arrestment.Model.paper_matrices ())
+    in
+    let plan =
+      Edm.Selector.propose ~edm_budget:budget ~erm_budget:budget
+        analysis.Propagation.Analysis.placement
+    in
+    Format.printf "%a@." Edm.Selector.pp plan
+  in
+  Cmd.v
+    (Cmd.info "placement"
+       ~doc:"EDM/ERM placement proposals for the arrestment system (OB1-OB6).")
+    Term.(const run $ log_term $ budget)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "propane" ~version:"1.0.0"
+       ~doc:
+         "Error-propagation analysis for modular software (reproduction of \
+          Hiller, Jhumka & Suri, DSN 2001).")
+    [
+      analyze_cmd;
+      campaign_cmd;
+      estimate_cmd;
+      latency_cmd;
+      uniformity_cmd;
+      example_cmd;
+      golden_cmd;
+      placement_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

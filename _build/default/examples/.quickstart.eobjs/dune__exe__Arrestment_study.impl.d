@@ -1,0 +1,1 @@
+examples/arrestment_study.ml: Arrestment Edm Format List Propagation Propane Report Simkernel Sys

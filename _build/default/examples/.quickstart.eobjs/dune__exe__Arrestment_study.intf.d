@@ -1,0 +1,1 @@
+examples/arrestment_study.mli:

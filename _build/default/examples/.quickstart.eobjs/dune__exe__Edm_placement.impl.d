@@ -1,0 +1,1 @@
+examples/edm_placement.ml: Arrestment Edm Format List Printf Propane Simkernel

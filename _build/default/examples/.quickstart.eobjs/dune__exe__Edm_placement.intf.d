@@ -1,0 +1,1 @@
+examples/edm_placement.mli:

@@ -1,0 +1,1 @@
+examples/five_module_system.ml: Analysis Backtrack_tree Dataflow Fig_example Format List Path Perm_graph Propagation Report Signal Trace_tree

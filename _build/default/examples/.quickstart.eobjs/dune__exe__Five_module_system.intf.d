@@ -1,0 +1,1 @@
+examples/five_module_system.mli:

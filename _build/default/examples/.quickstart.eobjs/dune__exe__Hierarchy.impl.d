@@ -1,0 +1,1 @@
+examples/hierarchy.ml: Analysis Arrestment Compose Format List Monte_carlo Perm_matrix Placement Prob_model Propagation Report Signal String_map Sw_module System_model

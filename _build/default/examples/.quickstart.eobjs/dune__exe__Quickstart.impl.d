@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Backtrack_tree Exposure Format List Path Perm_graph Perm_matrix Propagation Signal String_map Sw_module System_model

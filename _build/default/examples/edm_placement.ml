@@ -1,0 +1,122 @@
+(* The cost-effectiveness argument of the paper's OB3 and OB4, made
+   concrete:
+
+   - an executable-assertion EDM on InValue detects errors in its signal
+     very well, but InValue has (near) zero error exposure, so the
+     detector almost never sees a propagating error;
+   - mediocre detectors on the highly exposed SetValue and OutValue
+     signals catch far more of the errors that actually reach the
+     system output;
+   - an ERM (recovery wrapper) on the OB5 cut signals SetValue/OutValue
+     reduces system-output failures, while the same wrapper on InValue
+     changes almost nothing.
+
+   Run with: dune exec examples/edm_placement.exe *)
+
+let testcases =
+  Propane.Testcase.grid
+    [
+      Propane.Testcase.uniform_axis "mass" ~lo:8_000.0 ~hi:20_000.0 ~steps:2;
+      Propane.Testcase.uniform_axis "velocity" ~lo:40.0 ~hi:80.0 ~steps:2;
+    ]
+
+let times = List.map Simkernel.Sim_time.of_ms [ 1_000; 3_000 ]
+
+let campaign =
+  Propane.Campaign.make ~name:"edm-study"
+    ~targets:Arrestment.Model.injection_targets ~testcases ~times
+    ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+
+let full = Arrestment.Params.pressure_full_scale
+
+let detectors =
+  [
+    (* The [7]-style assertion on InValue: tight and accurate. *)
+    Edm.Detector.make ~name:"EDM-InValue" ~signal:"InValue"
+      [
+        Edm.Assertion.Range { lo = 0; hi = full };
+        Edm.Assertion.Max_rate { per_sample = 9_000 };
+      ];
+    (* Cruder checks at the high-exposure OB5 locations. *)
+    Edm.Detector.make ~name:"EDM-SetValue" ~signal:"SetValue"
+      [
+        Edm.Assertion.Range { lo = 0; hi = full };
+        Edm.Assertion.Max_rate { per_sample = 13_000 };
+      ];
+    Edm.Detector.make ~name:"EDM-OutValue" ~signal:"OutValue"
+      [
+        Edm.Assertion.Range { lo = 0; hi = full };
+        Edm.Assertion.Max_rate { per_sample = 32_000 };
+      ];
+    Edm.Detector.make ~name:"EDM-pulscnt" ~signal:"pulscnt"
+      [ Edm.Assertion.Non_decreasing; Edm.Assertion.Max_rate { per_sample = 3 } ];
+  ]
+
+let failure_rate ?guards () =
+  let sut = Arrestment.System.sut ?guards () in
+  let results = Propane.Runner.run_campaign ~seed:11L sut campaign in
+  let failures =
+    List.length
+      (List.filter
+         (fun (o : Propane.Results.outcome) ->
+           Propane.Results.divergence_of o "TOC2" <> None)
+         (Propane.Results.outcomes results))
+  in
+  (failures, Propane.Results.count results)
+
+let () =
+  Format.printf "%a@.@." Propane.Campaign.pp campaign;
+
+  print_endline "== EDM cost effectiveness (OB3) ==";
+  let reports =
+    Edm.Coverage.assess ~outputs:[ "TOC2" ] ~detectors
+      (Arrestment.System.sut ())
+      campaign
+  in
+  List.iter
+    (fun r ->
+      Format.printf "%a@.@." Edm.Coverage.pp_report r)
+    reports;
+
+  print_endline "== ERM placement (OB5 vs low-exposure location) ==";
+  let clamp_guard signal =
+    {
+      Arrestment.System.signal;
+      make_transform =
+        Edm.Recovery.make_guard
+          (Edm.Recovery.Clamp { lo = 0; hi = full });
+    }
+  in
+  let rate_guard signal per_sample =
+    {
+      Arrestment.System.signal;
+      make_transform =
+        Edm.Recovery.make_guard
+          (Edm.Recovery.Hold_last_if (Edm.Assertion.Max_rate { per_sample }));
+    }
+  in
+  let baseline, total = failure_rate () in
+  Printf.printf "no ERM:                      %3d/%d output failures\n"
+    baseline total;
+  let cut, _ =
+    failure_rate
+      ~guards:[ rate_guard "SetValue" 13_000; rate_guard "OutValue" 32_000 ]
+      ()
+  in
+  Printf.printf "ERM on SetValue+OutValue:    %3d/%d output failures\n" cut
+    total;
+  let ob4, _ =
+    failure_rate
+      ~guards:
+        [
+          rate_guard "pulscnt" 3;
+          rate_guard "SetValue" 13_000;
+          rate_guard "OutValue" 32_000;
+        ]
+      ()
+  in
+  Printf.printf "ERM per OB4 (+pulscnt):      %3d/%d output failures\n" ob4
+    total;
+  let weak, _ = failure_rate ~guards:[ clamp_guard "InValue" ] () in
+  Printf.printf "ERM on InValue (low X^S):    %3d/%d output failures\n" weak
+    total

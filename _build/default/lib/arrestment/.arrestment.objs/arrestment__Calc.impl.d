@@ -1,0 +1,1 @@
+lib/arrestment/calc.ml: Array Float Params Propagation Propane Signals

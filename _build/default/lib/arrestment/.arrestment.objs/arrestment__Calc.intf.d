@@ -1,0 +1,1 @@
+lib/arrestment/calc.mli: Propagation Propane

@@ -1,0 +1,1 @@
+lib/arrestment/clock_mod.ml: Propagation Propane Signals

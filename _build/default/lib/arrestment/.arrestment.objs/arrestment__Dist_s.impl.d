@@ -1,0 +1,1 @@
+lib/arrestment/dist_s.ml: Array Params Propagation Propane Signals

@@ -1,0 +1,1 @@
+lib/arrestment/dist_s.mli: Propagation Propane

@@ -1,0 +1,1 @@
+lib/arrestment/environment.ml: Params Physics Propagation Propane Signals

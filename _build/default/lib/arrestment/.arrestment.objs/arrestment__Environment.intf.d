@@ -1,0 +1,1 @@
+lib/arrestment/environment.mli: Physics Propane

@@ -1,0 +1,1 @@
+lib/arrestment/model.ml: Calc Clock_mod Dist_s List Pres_a Pres_s Propagation Signals String V_reg

@@ -1,0 +1,1 @@
+lib/arrestment/model.mli: Propagation

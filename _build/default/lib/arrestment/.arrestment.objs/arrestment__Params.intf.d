@@ -1,0 +1,1 @@
+lib/arrestment/params.mli:

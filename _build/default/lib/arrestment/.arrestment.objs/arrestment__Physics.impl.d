@@ -1,0 +1,1 @@
+lib/arrestment/physics.ml: Float Fmt Params

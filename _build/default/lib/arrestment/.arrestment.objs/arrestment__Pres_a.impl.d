@@ -1,0 +1,1 @@
+lib/arrestment/pres_a.ml: Params Propagation Propane Signals

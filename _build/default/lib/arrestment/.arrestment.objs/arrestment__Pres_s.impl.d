@@ -1,0 +1,1 @@
+lib/arrestment/pres_s.ml: Params Propagation Propane Signals

@@ -1,0 +1,1 @@
+lib/arrestment/pres_s.mli: Propagation Propane

@@ -1,0 +1,1 @@
+lib/arrestment/signals.ml: List Propagation

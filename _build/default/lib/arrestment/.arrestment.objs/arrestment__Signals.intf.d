@@ -1,0 +1,1 @@
+lib/arrestment/signals.mli: Propagation

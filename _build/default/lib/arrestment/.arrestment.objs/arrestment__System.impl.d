@@ -1,0 +1,1 @@
+lib/arrestment/system.ml: Calc Clock_mod Dist_s Environment List Model Params Pres_a Pres_s Printf Propagation Propane Signals Simkernel V_reg

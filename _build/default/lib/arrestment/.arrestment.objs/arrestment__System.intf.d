@@ -1,0 +1,1 @@
+lib/arrestment/system.mli: Propane

@@ -1,0 +1,1 @@
+lib/arrestment/v_reg.mli: Propagation Propane

@@ -1,0 +1,60 @@
+let descriptors =
+  [
+    Clock_mod.descriptor;
+    Dist_s.descriptor;
+    Pres_s.descriptor;
+    Calc.descriptor;
+    V_reg.descriptor;
+    Pres_a.descriptor;
+  ]
+
+let system =
+  Propagation.System_model.make_exn ~modules:descriptors
+    ~system_inputs:Signals.system_inputs
+    ~system_outputs:Signals.system_outputs
+
+let module_names = List.map Propagation.Sw_module.name descriptors
+
+let injection_targets =
+  let inputs =
+    List.concat_map Propagation.Sw_module.input_signals descriptors
+  in
+  List.sort_uniq String.compare (List.map Propagation.Signal.name inputs)
+
+(* Reconstruction of the paper's Table 1.  The OCR of our source is
+   partially illegible; these values reproduce every solidly legible
+   aggregate (see EXPERIMENTS.md): CLOCK row (0.500 / 1.000), V_REG
+   pairs 0.884 and 0.920, PRES_A 0.860, PRES_S 0.000, DIST_S non-
+   weighted permeability 0.715, CALC relative permeability 0.523 and
+   exposure 0.313 / 3.130, and the signal exposures X(SetValue) = 2.814,
+   X(slow_speed) = 0.223, X(OutValue) = 1.804, X(TOC2) = 0.860,
+   X(stopped) = X(mscnt) = 0.  They also yield exactly 22 propagation
+   paths for TOC2 of which 13 have non-zero weight (Table 4). *)
+let paper_permeabilities =
+  [
+    (* rows = inputs, columns = outputs, both in descriptor order *)
+    ("CLOCK", [| [| 0.000; 1.000 |] |]);
+    ( "DIST_S",
+      [|
+        [| 0.403; 0.044; 0.000 |];
+        [| 0.058; 0.125; 0.000 |];
+        [| 0.031; 0.054; 0.000 |];
+      |] );
+    ("PRES_S", [| [| 0.000 |] |]);
+    ( "CALC",
+      [|
+        [| 0.477; 0.457 |];
+        [| 0.336; 0.209 |];
+        [| 0.231; 0.666 |];
+        [| 0.371; 0.844 |];
+        [| 1.000; 0.638 |];
+      |] );
+    ("V_REG", [| [| 0.884 |]; [| 0.920 |] |]);
+    ("PRES_A", [| [| 0.860 |] |]);
+  ]
+
+let paper_matrices () =
+  List.fold_left
+    (fun acc (name, rows) ->
+      Propagation.String_map.add name (Propagation.Perm_matrix.of_rows rows) acc)
+    Propagation.String_map.empty paper_permeabilities

@@ -1,0 +1,18 @@
+module Store = Propane.Signal_store
+
+type t = { out_value : Store.handle; toc2 : Store.handle }
+
+let name = Propagation.Signal.name
+
+let create store =
+  {
+    out_value = Store.handle store (name Signals.out_value);
+    toc2 = Store.handle store (name Signals.toc2);
+  }
+
+let step t =
+  Store.write_handle t.toc2 (Store.read_handle t.out_value lsr Params.toc2_shift)
+
+let descriptor =
+  Propagation.Sw_module.make ~name:"PRES_A" ~inputs:[ Signals.out_value ]
+    ~outputs:[ Signals.toc2 ]

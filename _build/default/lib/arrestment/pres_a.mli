@@ -1,0 +1,15 @@
+(** PRES_A — pressure actuation: converts the regulator command into the
+    PWM duty cycle of the valve driver.  Period = 7 ms.
+
+    [TOC2 = OutValue >> toc2_shift] (a 12-bit output-compare register):
+    the low bits of the command are below the PWM resolution, so bit
+    flips there never reach the hardware — the reason the paper's
+    estimated [P(OutValue -> TOC2)] (0.860) is high but below 1. *)
+
+type t
+
+val create : Propane.Signal_store.t -> t
+val step : t -> unit
+
+val descriptor : Propagation.Sw_module.t
+(** inputs [OutValue]; outputs [TOC2]. *)

@@ -1,0 +1,43 @@
+let width = 16
+
+let pacnt = Propagation.Signal.make "PACNT"
+let tic1 = Propagation.Signal.make "TIC1"
+let tcnt = Propagation.Signal.make "TCNT"
+let adc = Propagation.Signal.make "ADC"
+let mscnt = Propagation.Signal.make ~kind:Propagation.Signal.Clock "mscnt"
+
+let ms_slot_nbr =
+  Propagation.Signal.make ~kind:Propagation.Signal.Clock "ms_slot_nbr"
+
+let pulscnt = Propagation.Signal.make "pulscnt"
+let slow_speed = Propagation.Signal.make "slow_speed"
+let stopped = Propagation.Signal.make "stopped"
+let i = Propagation.Signal.make "i"
+let set_value = Propagation.Signal.make "SetValue"
+let in_value = Propagation.Signal.make "InValue"
+let out_value = Propagation.Signal.make "OutValue"
+
+let toc2 =
+  Propagation.Signal.make ~kind:Propagation.Signal.Hardware_register "TOC2"
+
+let all =
+  [
+    pacnt;
+    tic1;
+    tcnt;
+    adc;
+    mscnt;
+    ms_slot_nbr;
+    pulscnt;
+    slow_speed;
+    stopped;
+    i;
+    set_value;
+    in_value;
+    out_value;
+    toc2;
+  ]
+
+let store_layout = List.map (fun s -> (Propagation.Signal.name s, width)) all
+let system_inputs = [ pacnt; tic1; tcnt; adc ]
+let system_outputs = [ toc2 ]

@@ -1,0 +1,1 @@
+lib/dataflow/builder.ml: Array Fmt List Printf Propagation Propane Result String

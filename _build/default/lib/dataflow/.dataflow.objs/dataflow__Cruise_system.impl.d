@@ -1,0 +1,1 @@
+lib/dataflow/cruise_system.ml: Array Builder Float List Propagation Propane Simkernel

@@ -1,0 +1,1 @@
+lib/dataflow/cruise_system.mli: Builder Propagation Propane Simkernel

@@ -1,0 +1,1 @@
+lib/dataflow/fig2_system.ml: Array Builder List Propagation Propane Simkernel

@@ -1,0 +1,1 @@
+lib/dataflow/fig2_system.mli: Builder Propagation Propane Simkernel

@@ -1,0 +1,274 @@
+type block = {
+  descriptor : Propagation.Sw_module.t;
+  period_ms : int;
+  offset_ms : int;
+  factory : unit -> int array -> int array;
+}
+
+let block ~name ?(period_ms = 1) ?(offset_ms = 0) ~inputs ~outputs factory =
+  if period_ms < 1 then invalid_arg "Builder.block: period must be >= 1";
+  if offset_ms < 0 then invalid_arg "Builder.block: offset must be >= 0";
+  {
+    descriptor = Propagation.Sw_module.make ~name ~inputs ~outputs;
+    period_ms;
+    offset_ms;
+    factory;
+  }
+
+type stimulus = {
+  signal : Propagation.Signal.t;
+  drive : unit -> int -> int;
+}
+
+let stimulus signal drive = { signal; drive }
+
+let ramp ?(slope = 1) signal =
+  { signal; drive = (fun () ms -> slope * ms) }
+
+let constant value signal = { signal; drive = (fun () _ -> value) }
+
+type plant = {
+  plant_name : string;
+  reads : Propagation.Signal.t list;
+  writes : Propagation.Signal.t list;
+  plant_factory : unit -> int array -> int array;
+}
+
+let plant ~name ~reads ~writes factory =
+  if String.length name = 0 then invalid_arg "Builder.plant: empty name";
+  if writes = [] then
+    invalid_arg (Printf.sprintf "Builder.plant: plant %S writes nothing" name);
+  { plant_name = name; reads; writes; plant_factory = factory }
+
+type t = {
+  name : string;
+  width : int;
+  duration_ms : int;
+  blocks : block list;
+  stimuli : stimulus list;
+  plants : plant list;
+  model : Propagation.System_model.t;
+}
+
+let ( let* ) = Result.bind
+
+let derive_model blocks stimuli plants =
+  let descriptors = List.map (fun b -> b.descriptor) blocks in
+  let produced =
+    List.fold_left
+      (fun acc d ->
+        List.fold_left
+          (fun acc s -> Propagation.Signal.Set.add s acc)
+          acc
+          (Propagation.Sw_module.output_signals d))
+      Propagation.Signal.Set.empty descriptors
+  in
+  let consumed =
+    List.fold_left
+      (fun acc d ->
+        List.fold_left
+          (fun acc s -> Propagation.Signal.Set.add s acc)
+          acc
+          (Propagation.Sw_module.input_signals d))
+      Propagation.Signal.Set.empty descriptors
+  in
+  let stimulus_signals = List.map (fun s -> s.signal) stimuli in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if Propagation.Signal.Set.mem s produced then
+          Error
+            (Fmt.str "stimulus %a drives an internally produced signal"
+               Propagation.Signal.pp s)
+        else if not (Propagation.Signal.Set.mem s consumed) then
+          Error
+            (Fmt.str "stimulus %a drives a signal no block reads"
+               Propagation.Signal.pp s)
+        else Ok ())
+      (Ok ()) stimulus_signals
+  in
+  let plant_writes = List.concat_map (fun p -> p.writes) plants in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if Propagation.Signal.Set.mem s produced then
+          Error
+            (Fmt.str "plant-written signal %a is also produced by a block"
+               Propagation.Signal.pp s)
+        else if not (Propagation.Signal.Set.mem s consumed) then
+          Error
+            (Fmt.str "plant-written signal %a is read by no block"
+               Propagation.Signal.pp s)
+        else Ok ())
+      (Ok ()) plant_writes
+  in
+  let plant_reads = List.concat_map (fun p -> p.reads) plants in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if Propagation.Signal.Set.mem s produced then Ok ()
+        else
+          Error
+            (Fmt.str "plant-read signal %a is produced by no block"
+               Propagation.Signal.pp s))
+      (Ok ()) plant_reads
+  in
+  let system_inputs = stimulus_signals @ plant_writes in
+  let* () =
+    let rec dup seen = function
+      | [] -> Ok ()
+      | s :: rest ->
+          if Propagation.Signal.Set.mem s seen then
+            Error
+              (Fmt.str "signal %a is driven more than once"
+                 Propagation.Signal.pp s)
+          else dup (Propagation.Signal.Set.add s seen) rest
+    in
+    dup Propagation.Signal.Set.empty system_inputs
+  in
+  let system_outputs =
+    Propagation.Signal.Set.elements
+      (Propagation.Signal.Set.union
+         (Propagation.Signal.Set.diff produced consumed)
+         (Propagation.Signal.Set.of_list plant_reads))
+  in
+  let* () =
+    if system_outputs = [] then
+      Error "the system has no outputs (every produced signal is consumed)"
+    else Ok ()
+  in
+  Result.map_error Propagation.System_model.error_to_string
+    (Propagation.System_model.make ~modules:descriptors ~system_inputs
+       ~system_outputs)
+
+let create ?(name = "dataflow") ?(width = 16) ?(duration_ms = 1_000)
+    ?(plants = []) ~blocks ~stimuli () =
+  let* () = if blocks = [] then Error "no blocks" else Ok () in
+  let* () =
+    if duration_ms < 1 then Error "duration must be >= 1 ms" else Ok ()
+  in
+  let* model = derive_model blocks stimuli plants in
+  Ok { name; width; duration_ms; blocks; stimuli; plants; model }
+
+let create_exn ?name ?width ?duration_ms ?plants ~blocks ~stimuli () =
+  match create ?name ?width ?duration_ms ?plants ~blocks ~stimuli () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Builder.create_exn: " ^ msg)
+
+let model t = t.model
+let duration_ms t = t.duration_ms
+
+let injection_targets t =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun b ->
+         List.map Propagation.Signal.name
+           (Propagation.Sw_module.input_signals b.descriptor))
+       t.blocks)
+
+let signal_layout t =
+  List.map
+    (fun s -> (Propagation.Signal.name s, t.width))
+    (Propagation.System_model.signals t.model)
+
+let instantiate t _testcase =
+  let store =
+    (* Plant-written signals are hardware registers: injections corrupt
+       the cell immediately and the next refresh clobbers them. *)
+    Propane.Signal_store.create
+      ~modes:
+        (List.concat_map
+           (fun p ->
+             List.map
+               (fun s ->
+                 (Propagation.Signal.name s, Propane.Signal_store.Immediate))
+               p.writes)
+           t.plants)
+      ~signals:(signal_layout t) ()
+  in
+  let drives =
+    List.map
+      (fun s -> (Propagation.Signal.name s.signal, s.drive ()))
+      t.stimuli
+  in
+  let plant_steps =
+    List.map
+      (fun p ->
+        let f = p.plant_factory () in
+        let reads = Array.of_list (List.map Propagation.Signal.name p.reads) in
+        let writes =
+          Array.of_list (List.map Propagation.Signal.name p.writes)
+        in
+        fun () ->
+          let values =
+            Array.map (fun s -> Propane.Signal_store.read store s) reads
+          in
+          let results = f values in
+          if Array.length results <> Array.length writes then
+            invalid_arg
+              (Printf.sprintf
+                 "Builder: plant %S produced %d outputs, expected %d"
+                 p.plant_name (Array.length results) (Array.length writes));
+          Array.iteri
+            (fun k v -> Propane.Signal_store.poke store writes.(k) v)
+            results)
+      t.plants
+  in
+  let steps =
+    List.map
+      (fun b ->
+        let f = b.factory () in
+        let inputs =
+          Array.of_list
+            (List.map Propagation.Signal.name
+               (Propagation.Sw_module.input_signals b.descriptor))
+        in
+        let outputs =
+          Array.of_list
+            (List.map Propagation.Signal.name
+               (Propagation.Sw_module.output_signals b.descriptor))
+        in
+        let name = Propagation.Sw_module.name b.descriptor in
+        fun ms ->
+          if ms >= b.offset_ms && (ms - b.offset_ms) mod b.period_ms = 0 then begin
+            let values =
+              Array.map (fun s -> Propane.Signal_store.read store s) inputs
+            in
+            let results = f values in
+            if Array.length results <> Array.length outputs then
+              invalid_arg
+                (Printf.sprintf
+                   "Builder: block %S produced %d outputs, expected %d" name
+                   (Array.length results) (Array.length outputs));
+            Array.iteri
+              (fun k v -> Propane.Signal_store.write store outputs.(k) v)
+              results
+          end)
+      t.blocks
+  in
+  let ms = ref 0 in
+  {
+    Propane.Sut.read = Propane.Signal_store.peek store;
+    write = Propane.Signal_store.poke store;
+    inject = Propane.Signal_store.inject store;
+    step =
+      (fun () ->
+        List.iter (fun plant_step -> plant_step ()) plant_steps;
+        List.iter
+          (fun (signal, drive) ->
+            Propane.Signal_store.write store signal (drive !ms))
+          drives;
+        List.iter (fun step -> step !ms) steps;
+        incr ms);
+    finished = (fun () -> !ms >= t.duration_ms);
+  }
+
+let sut t =
+  {
+    Propane.Sut.name = t.name;
+    signals = signal_layout t;
+    instantiate = instantiate t;
+  }

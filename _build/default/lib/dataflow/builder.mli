@@ -1,0 +1,114 @@
+(** Executable dataflow systems as PROPANE targets.
+
+    The paper's system model (Section 3) is a network of black boxes
+    exchanging signals.  This library turns such a description directly
+    into a runnable {!Propane.Sut.t}: give each block a transfer
+    function, a period and a phase, wire blocks by naming signals, and
+    the library derives the {!Propagation.System_model}, builds the
+    trap-instrumented signal store, schedules the blocks, and drives
+    system inputs from stimulus functions.
+
+    Use it to prototype propagation studies of systems that do not have
+    (or need) a physical environment — the executable twin of the
+    five-module example of Figs. 2-5 lives in {!Fig2_system} and is
+    built entirely from this module. *)
+
+type block
+
+val block :
+  name:string ->
+  ?period_ms:int ->
+  ?offset_ms:int ->
+  inputs:Propagation.Signal.t list ->
+  outputs:Propagation.Signal.t list ->
+  (unit -> int array -> int array) ->
+  block
+(** [block ~name ~inputs ~outputs factory] describes a software module.
+    The block executes every [period_ms] (default 1) starting at
+    [offset_ms] (default 0).  [factory] is invoked once per run and
+    must return a transfer function mapping the current input values
+    (in port order) to the output values (in port order) — keep any
+    block state inside the closure so runs stay independent.  A
+    transfer function returning the wrong number of outputs fails the
+    run with [Invalid_argument].
+
+    @raise Invalid_argument on an empty name, no inputs/outputs, or a
+    non-positive period. *)
+
+type stimulus = {
+  signal : Propagation.Signal.t;
+  drive : unit -> int -> int;
+      (** per-run factory; the resulting function maps the millisecond
+          index to the system-input value written at the {e start} of
+          that millisecond *)
+}
+
+val stimulus :
+  Propagation.Signal.t -> (unit -> int -> int) -> stimulus
+
+val ramp : ?slope:int -> Propagation.Signal.t -> stimulus
+(** [value(ms) = slope * ms], truncated to the signal width. *)
+
+val constant : int -> Propagation.Signal.t -> stimulus
+
+type plant
+(** A stateful environment model closing the loop: every millisecond,
+    {e before} the blocks execute, the plant reads the values its
+    [reads] signals held at the end of the previous millisecond (the
+    actuator commands) and produces fresh values for its [writes]
+    signals (the sensor readings).  The [writes] become system inputs
+    of the derived model; the [reads] must be produced by blocks and
+    are marked system outputs.
+
+    Reads go through the trap layer (a corrupted actuator command is
+    what the physical plant acts on) and writes are raw register
+    refreshes (clobbering injected sensor corruption, like the
+    arrestment system's A/D conversion). *)
+
+val plant :
+  name:string ->
+  reads:Propagation.Signal.t list ->
+  writes:Propagation.Signal.t list ->
+  (unit -> int array -> int array) ->
+  plant
+(** [plant ~name ~reads ~writes factory]: the per-run transfer function
+    maps the read values to the written values, keeping physics state
+    in its closure.  @raise Invalid_argument on an empty name or no
+    writes. *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?width:int ->
+  ?duration_ms:int ->
+  ?plants:plant list ->
+  blocks:block list ->
+  stimuli:stimulus list ->
+  unit ->
+  (t, string) result
+(** Assembles the system.  All signals share one [width] (default 16).
+    The derived model takes the stimulus and plant-written signals as
+    system inputs, and as system outputs every signal no block consumes
+    plus every plant-read signal.  Validation errors (unknown stimulus
+    signals, unwired inputs, duplicate producers, plant reads nobody
+    produces, ...) are reported as [Error].  [duration_ms] (default
+    1000) is the natural run length reported through
+    {!Propane.Sut.instance.finished}. *)
+
+val create_exn :
+  ?name:string ->
+  ?width:int ->
+  ?duration_ms:int ->
+  ?plants:plant list ->
+  blocks:block list ->
+  stimuli:stimulus list ->
+  unit ->
+  t
+
+val model : t -> Propagation.System_model.t
+val sut : t -> Propane.Sut.t
+val duration_ms : t -> int
+
+val injection_targets : t -> string list
+(** All distinct block-input signals, the natural campaign targets. *)

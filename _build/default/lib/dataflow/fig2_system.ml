@@ -1,0 +1,92 @@
+module Sig = Propagation.Signal
+
+let ext_a = Sig.make "ext_a"
+let ext_c = Sig.make "ext_c"
+let ext_e = Sig.make "ext_e"
+let a1 = Sig.make "a1"
+let a2 = Sig.make "a2"
+let b_fb = Sig.make "b_fb"
+let b2 = Sig.make "b2"
+let c1 = Sig.make "c1"
+let c2 = Sig.make "c2"
+let d1 = Sig.make "d1"
+let e_out = Sig.make "e_out"
+
+let mask16 = 0xFFFF
+let clamp v = max 0 (min mask16 v)
+
+(* Each block masks information differently so the measured
+   permeabilities spread over (0, 1): shifts hide low bits, saturation
+   hides high ones, sums mix everything. *)
+
+let block_a =
+  Builder.block ~name:"A" ~inputs:[ ext_a ] ~outputs:[ a1; a2 ] (fun () ->
+      fun inputs -> [| inputs.(0) lxor 0x5A5A; inputs.(0) lsr 6 |])
+
+let block_b =
+  Builder.block ~name:"B" ~period_ms:2
+    ~inputs:[ a1; b_fb; c1 ]
+    ~outputs:[ b_fb; b2 ]
+    (fun () ->
+      let acc = ref 0 in
+      fun inputs ->
+        (* The feedback value accumulates the inputs with decay. *)
+        acc := ((!acc / 2) + inputs.(0) + inputs.(2)) land mask16;
+        let fb = (!acc + inputs.(1)) land mask16 in
+        [| fb; (inputs.(0) + (fb lsr 4)) land mask16 |])
+
+let block_c =
+  Builder.block ~name:"C" ~period_ms:2 ~offset_ms:1
+    ~inputs:[ ext_c; a2 ]
+    ~outputs:[ c1; c2 ]
+    (fun () ->
+      fun inputs ->
+        [| clamp (inputs.(0) + inputs.(1)); inputs.(0) lsr 8 |])
+
+let block_d =
+  Builder.block ~name:"D" ~period_ms:4 ~inputs:[ c2 ] ~outputs:[ d1 ]
+    (fun () ->
+      let last = ref 0 in
+      fun inputs ->
+        (* Sticky maximum: only upward movement propagates. *)
+        last := max !last inputs.(0);
+        [| !last |])
+
+let block_e =
+  Builder.block ~name:"E" ~period_ms:2
+    ~inputs:[ b2; ext_e; d1 ]
+    ~outputs:[ e_out ]
+    (fun () ->
+      fun inputs ->
+        [| (inputs.(0) + (inputs.(1) lsr 10) + (inputs.(2) lsl 2)) land mask16 |])
+
+let system =
+  Builder.create_exn ~name:"fig2" ~duration_ms:600
+    ~blocks:[ block_a; block_b; block_c; block_d; block_e ]
+    ~stimuli:
+      [
+        Builder.ramp ~slope:13 ext_a;
+        Builder.ramp ~slope:5 ext_c;
+        Builder.constant 20_000 ext_e;
+      ]
+    ()
+
+let sut = Builder.sut system
+
+let default_times =
+  List.init 5 (fun j -> Simkernel.Sim_time.of_ms (100 * (j + 1)))
+
+let campaign ?(times = default_times) () =
+  Propane.Campaign.make ~name:"fig2"
+    ~targets:(Builder.injection_targets system)
+    ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+    ~times
+    ~errors:(Propane.Error_model.bit_flips ~width:16)
+
+let measure ?(seed = 42L) () =
+  let results = Propane.Runner.run_campaign ~seed sut (campaign ()) in
+  match
+    Propane.Estimator.estimate_all ~model:(Builder.model system) results
+  with
+  | Ok matrices -> matrices
+  | Error msg -> failwith ("Fig2_system.measure: " ^ msg)

@@ -1,0 +1,24 @@
+(** An executable twin of the five-module example system (Fig. 2).
+
+    The static {!Propagation.Fig_example} postulates permeability
+    values; this module implements the same topology as running code —
+    integer dataflow blocks with deliberately varied masking behaviour
+    (shifts, saturation, mixing) — so a real PROPANE campaign can
+    measure its permeabilities.  The wiring (and hence the derived
+    model) is identical to [Fig_example.system]. *)
+
+val system : Builder.t
+val sut : Propane.Sut.t
+
+val campaign : ?times:Simkernel.Sim_time.t list -> unit -> Propane.Campaign.t
+(** Bit-flips on every block-input signal under a single deterministic
+    stimulus test case; default times are 100 ms apart through the
+    run. *)
+
+val measure :
+  ?seed:int64 ->
+  unit ->
+  Propagation.Perm_matrix.t Propagation.String_map.t
+(** Runs the campaign and estimates all five matrices.
+    @raise Failure if estimation fails (cannot happen for the built-in
+    campaign). *)

@@ -1,0 +1,1 @@
+lib/edm/assertion.mli: Format

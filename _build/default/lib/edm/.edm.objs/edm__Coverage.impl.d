@@ -1,0 +1,1 @@
+lib/edm/coverage.ml: Detector Fmt List Propane Simkernel String

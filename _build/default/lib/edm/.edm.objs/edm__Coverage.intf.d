@@ -1,0 +1,1 @@
+lib/edm/coverage.mli: Detector Format Propane

@@ -1,0 +1,1 @@
+lib/edm/detector.ml: Assertion Fmt List Printf Propane String

@@ -1,0 +1,1 @@
+lib/edm/detector.mli: Assertion Format Propane

@@ -1,0 +1,1 @@
+lib/edm/recovery.ml: Assertion Fmt Option Printf

@@ -1,0 +1,1 @@
+lib/edm/recovery.mli: Assertion Format

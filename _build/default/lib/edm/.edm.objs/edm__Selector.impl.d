@@ -1,0 +1,1 @@
+lib/edm/selector.ml: Float Fmt List Printf Propagation String

@@ -1,0 +1,1 @@
+lib/edm/selector.mli: Format Propagation

@@ -1,0 +1,21 @@
+type t =
+  | Range of { lo : int; hi : int }
+  | Max_rate of { per_sample : int }
+  | Boolean
+  | Non_decreasing
+
+let check t ~prev v =
+  match t with
+  | Range { lo; hi } -> lo <= v && v <= hi
+  | Max_rate { per_sample } -> (
+      match prev with None -> true | Some p -> abs (v - p) <= per_sample)
+  | Boolean -> v = 0 || v = 1
+  | Non_decreasing -> ( match prev with None -> true | Some p -> v >= p)
+
+let describe = function
+  | Range { lo; hi } -> Printf.sprintf "range [%d, %d]" lo hi
+  | Max_rate { per_sample } -> Printf.sprintf "max rate %d/sample" per_sample
+  | Boolean -> "boolean"
+  | Non_decreasing -> "non-decreasing"
+
+let pp ppf t = Fmt.string ppf (describe t)

@@ -1,0 +1,24 @@
+(** Executable assertions over signal values.
+
+    The error-detection mechanisms the paper's placement analysis
+    targets are "simple assertions" on signals (Section 2's [22],
+    Section 8's OB3 referring to the executable-assertion EDMs of [7]).
+    An assertion inspects a new sample (and, for rate checks, the
+    previous one) and judges it plausible or not. *)
+
+type t =
+  | Range of { lo : int; hi : int }
+      (** value must lie in [[lo, hi]] (a physical-bounds check) *)
+  | Max_rate of { per_sample : int }
+      (** |new - prev| must not exceed the bound (a continuity check);
+          the first sample is always plausible *)
+  | Boolean  (** value must be exactly 0 or 1 *)
+  | Non_decreasing
+      (** the value must never shrink (e.g. an accumulated pulse
+          count); the first sample is always plausible *)
+
+val check : t -> prev:int option -> int -> bool
+(** [check a ~prev v] is [true] when [v] is plausible. *)
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Error-detection mechanisms (EDMs).
+
+    A detector monitors one signal with a conjunction of executable
+    assertions.  It can be evaluated offline against a recorded trace
+    (finding the first violation), which is how the cost-effectiveness
+    study of {!Coverage} works. *)
+
+type t = {
+  name : string;
+  signal : string;
+  assertions : Assertion.t list;
+}
+
+val make : name:string -> signal:string -> Assertion.t list -> t
+(** @raise Invalid_argument on empty name/signal or no assertions. *)
+
+type verdict = {
+  fired : bool;
+  first_ms : int option;  (** millisecond of the first violation *)
+}
+
+val evaluate : t -> Propane.Trace.t -> verdict
+(** Scans the trace sample by sample, feeding each assertion the
+    previous and current values.
+    @raise Invalid_argument if the trace belongs to another signal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t =
+  | Clamp of { lo : int; hi : int }
+  | Hold_last_if of Assertion.t
+  | Forward
+
+let make_guard t () =
+  match t with
+  | Forward -> fun v -> v
+  | Clamp { lo; hi } -> fun v -> max lo (min hi v)
+  | Hold_last_if assertion ->
+      let last = ref None in
+      fun v ->
+        if Assertion.check assertion ~prev:!last v then begin
+          last := Some v;
+          v
+        end
+        else Option.value ~default:0 !last
+
+let describe = function
+  | Clamp { lo; hi } -> Printf.sprintf "clamp to [%d, %d]" lo hi
+  | Hold_last_if a -> "hold-last unless " ^ Assertion.describe a
+  | Forward -> "forward (no recovery)"
+
+let pp ppf t = Fmt.string ppf (describe t)

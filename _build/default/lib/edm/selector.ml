@@ -1,0 +1,95 @@
+type proposal = { subject : string; score : float; rationale : string }
+
+type plan = {
+  edm_locations : proposal list;
+  erm_locations : proposal list;
+  notes : string list;
+}
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let propose ?(edm_budget = 3) ?(erm_budget = 3)
+    (placement : Propagation.Placement.t) =
+  let edm_locations =
+    take edm_budget
+      (List.map
+         (fun (row : Propagation.Ranking.signal_row) ->
+           {
+             subject = Propagation.Signal.name row.signal;
+             score = row.exposure;
+             rationale =
+               Printf.sprintf
+                 "signal error exposure %.3f: errors propagating through the \
+                  system very likely pass here"
+                 row.exposure;
+           })
+         placement.edm_signals)
+  in
+  let cut_proposals =
+    List.filter_map
+      (fun signal ->
+        let name = Propagation.Signal.name signal in
+        if
+          List.exists
+            (fun p -> String.equal p.subject name)
+            edm_locations
+        then
+          Some
+            {
+              subject = name;
+              score = Float.infinity;
+              rationale =
+                "on every non-zero propagation path to the system outputs: \
+                 recovery here shields the outputs (OB5)";
+            }
+        else None)
+      placement.cut_signals
+  in
+  let module_proposals =
+    List.map
+      (fun (row : Propagation.Ranking.module_row) ->
+        {
+          subject = row.module_name;
+          score = row.relative_permeability;
+          rationale =
+            Printf.sprintf
+              "relative permeability %.3f: incoming errors pass through to \
+               other modules"
+              row.relative_permeability;
+        })
+      placement.erm_modules
+  in
+  let barrier_proposals =
+    List.map
+      (fun name ->
+        {
+          subject = name;
+          score = 0.0;
+          rationale =
+            "reads system inputs: a recovery wrapper here is a barrier \
+             against external errors entering the system at all (OB6)";
+        })
+      placement.barrier_modules
+  in
+  let erm_locations =
+    take erm_budget (cut_proposals @ module_proposals) @ barrier_proposals
+  in
+  let notes =
+    List.map
+      (fun (signal, reason) ->
+        Fmt.str "%a excluded as an EDM location: %a" Propagation.Signal.pp
+          signal Propagation.Placement.pp_exclusion_reason reason)
+      placement.excluded
+  in
+  { edm_locations; erm_locations; notes }
+
+let pp_proposal ppf p = Fmt.pf ppf "%-12s %s" p.subject p.rationale
+
+let pp ppf plan =
+  Fmt.pf ppf "@[<v>EDM locations:@,%a@,ERM locations:@,%a@,notes:@,%a@]"
+    Fmt.(list ~sep:cut pp_proposal)
+    plan.edm_locations
+    Fmt.(list ~sep:cut pp_proposal)
+    plan.erm_locations
+    Fmt.(list ~sep:cut string)
+    plan.notes

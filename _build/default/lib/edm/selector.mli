@@ -1,0 +1,26 @@
+(** Turning placement analysis into concrete mechanism proposals.
+
+    {!Propagation.Placement} ranks signals and modules; this module
+    converts the rankings into budgeted, human-readable EDM/ERM
+    proposals with the paper's rationale attached (OB1, OB4-OB6). *)
+
+type proposal = {
+  subject : string;  (** signal or module name *)
+  score : float;  (** the measure that earned the slot *)
+  rationale : string;
+}
+
+type plan = {
+  edm_locations : proposal list;
+      (** signals for detectors, ordered by signal error exposure *)
+  erm_locations : proposal list;
+      (** modules for recovery wrappers, ordered by relative
+          permeability, plus cut-signal and barrier proposals *)
+  notes : string list;  (** exclusions and caveats (OB4-style) *)
+}
+
+val propose :
+  ?edm_budget:int -> ?erm_budget:int -> Propagation.Placement.t -> plan
+(** Budgets default to 3 of each kind. *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,1 @@
+lib/propagation/analysis.ml: Backtrack_tree Fmt List Perm_graph Placement Ranking Signal System_model Trace_tree

@@ -1,0 +1,1 @@
+lib/propagation/analysis.mli: Backtrack_tree Format Perm_graph Perm_matrix Placement Ranking Signal String_map System_model Trace_tree

@@ -1,0 +1,1 @@
+lib/propagation/backtrack_tree.ml: Fmt List Perm_graph Perm_matrix Signal Sw_module System_model

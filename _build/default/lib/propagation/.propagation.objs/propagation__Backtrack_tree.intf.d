@@ -1,0 +1,1 @@
+lib/propagation/backtrack_tree.mli: Format Perm_graph Signal

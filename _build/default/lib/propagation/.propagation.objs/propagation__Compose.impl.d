@@ -1,0 +1,1 @@
+lib/propagation/compose.ml: Analysis Array Float List Path Perm_graph Perm_matrix Signal Sw_module System_model

@@ -1,0 +1,1 @@
+lib/propagation/compose.mli: Analysis Perm_matrix Sw_module

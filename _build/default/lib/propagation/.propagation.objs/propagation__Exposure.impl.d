@@ -1,0 +1,1 @@
+lib/propagation/exposure.ml: Backtrack_tree List Perm_graph Perm_matrix Sw_module System_model

@@ -1,0 +1,1 @@
+lib/propagation/exposure.mli: Backtrack_tree Perm_graph Signal

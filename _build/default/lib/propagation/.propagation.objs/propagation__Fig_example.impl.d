@@ -1,0 +1,1 @@
+lib/propagation/fig_example.ml: Analysis Perm_graph Perm_matrix Signal String_map Sw_module System_model

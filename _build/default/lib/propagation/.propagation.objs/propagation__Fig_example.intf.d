@@ -1,0 +1,1 @@
+lib/propagation/fig_example.mli: Analysis Perm_graph Perm_matrix Signal String_map System_model

@@ -1,0 +1,1 @@
+lib/propagation/monte_carlo.ml: Array Fmt Hashtbl Int64 List Perm_graph Perm_matrix Queue Signal Sw_module System_model

@@ -1,0 +1,1 @@
+lib/propagation/monte_carlo.mli: Perm_graph Perm_matrix Signal

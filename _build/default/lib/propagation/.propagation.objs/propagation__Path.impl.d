@@ -1,0 +1,1 @@
+lib/propagation/path.ml: Backtrack_tree Float Fmt Int List Perm_graph Signal String Trace_tree

@@ -1,0 +1,1 @@
+lib/propagation/path.mli: Backtrack_tree Format Perm_graph Signal Trace_tree

@@ -1,0 +1,1 @@
+lib/propagation/perm_graph.ml: Fmt Int List Perm_matrix Printf Set Signal String String_map Sw_module System_model

@@ -1,0 +1,1 @@
+lib/propagation/perm_graph.mli: Format Perm_matrix Set Signal String_map System_model

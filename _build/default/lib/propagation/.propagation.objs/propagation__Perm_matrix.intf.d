@@ -1,0 +1,1 @@
+lib/propagation/perm_matrix.mli: Format

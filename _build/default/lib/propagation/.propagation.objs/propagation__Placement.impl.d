@@ -1,0 +1,1 @@
+lib/propagation/placement.ml: Backtrack_tree Fmt List Path Perm_graph Ranking Signal Sw_module System_model

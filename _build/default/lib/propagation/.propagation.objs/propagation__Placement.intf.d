@@ -1,0 +1,1 @@
+lib/propagation/placement.mli: Format Perm_graph Ranking Signal

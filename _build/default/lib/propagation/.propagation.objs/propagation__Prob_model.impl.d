@@ -1,0 +1,1 @@
+lib/propagation/prob_model.ml: Analysis Float Fmt List Option Path Printf Signal System_model

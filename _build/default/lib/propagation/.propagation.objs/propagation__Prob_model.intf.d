@@ -1,0 +1,1 @@
+lib/propagation/prob_model.mli: Analysis Format Path Signal System_model

@@ -1,0 +1,1 @@
+lib/propagation/ranking.ml: Exposure Float Fmt List Path Perm_graph Perm_matrix Signal String Sw_module System_model

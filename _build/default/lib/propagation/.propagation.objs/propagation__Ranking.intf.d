@@ -1,0 +1,1 @@
+lib/propagation/ranking.mli: Backtrack_tree Format Path Perm_graph Signal Trace_tree

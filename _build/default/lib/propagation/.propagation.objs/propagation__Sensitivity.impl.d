@@ -1,0 +1,1 @@
+lib/propagation/sensitivity.ml: Array Float Fmt Hashtbl Int64 List Perm_graph Perm_matrix Placement Ranking Signal String String_map

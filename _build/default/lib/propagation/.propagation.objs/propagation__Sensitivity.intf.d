@@ -1,0 +1,1 @@
+lib/propagation/sensitivity.mli: Format Perm_matrix String_map System_model

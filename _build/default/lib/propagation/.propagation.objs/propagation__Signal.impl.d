@@ -1,0 +1,1 @@
+lib/propagation/signal.ml: Fmt Hashtbl Map Set String

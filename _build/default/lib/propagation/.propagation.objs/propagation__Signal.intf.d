@@ -1,0 +1,1 @@
+lib/propagation/signal.mli: Format Map Set

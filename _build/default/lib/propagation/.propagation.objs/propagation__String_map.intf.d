@@ -1,0 +1,1 @@
+lib/propagation/string_map.mli: Map

@@ -1,0 +1,1 @@
+lib/propagation/sw_module.ml: Array Fmt List Printf Signal String

@@ -1,0 +1,1 @@
+lib/propagation/sw_module.mli: Format Signal

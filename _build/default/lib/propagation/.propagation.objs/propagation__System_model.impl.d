@@ -1,0 +1,1 @@
+lib/propagation/system_model.ml: Fmt List Map Option Printf Result Signal String Sw_module

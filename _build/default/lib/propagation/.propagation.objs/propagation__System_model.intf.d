@@ -1,0 +1,1 @@
+lib/propagation/system_model.mli: Format Signal Sw_module

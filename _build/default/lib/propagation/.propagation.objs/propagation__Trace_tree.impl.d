@@ -1,0 +1,1 @@
+lib/propagation/trace_tree.ml: Fmt Fun List Perm_graph Perm_matrix Signal Sw_module System_model

@@ -1,0 +1,1 @@
+lib/propagation/trace_tree.mli: Format Perm_graph Signal

@@ -1,0 +1,103 @@
+type leaf = System_input | Feedback
+
+type node = { signal : Signal.t; kind : kind; children : child list }
+
+and kind =
+  | Expanded of { producer : string; output : int }
+  | Leaf of leaf
+
+and child = { weight : float; pair : Perm_graph.pair; node : node }
+
+type t = { root : node }
+
+let build graph output =
+  let model = Perm_graph.model graph in
+  (* [ancestors] is the set of signals on the path from the root to the
+     node being expanded (inclusive): repeating a signal would start the
+     feedback recursion that step A3 forbids. *)
+  let rec expand signal ancestors =
+    match System_model.producer model signal with
+    | None ->
+        invalid_arg
+          (Fmt.str "Backtrack_tree.build: signal %a has no producer"
+             Signal.pp signal)
+    | Some (m, k) ->
+        let producer = Sw_module.name m in
+        let matrix = Perm_graph.matrix graph producer in
+        let child i =
+          let child_signal = Sw_module.input_signal m i in
+          let weight = Perm_matrix.get matrix ~input:i ~output:k in
+          let pair =
+            { Perm_graph.module_name = producer; input = i; output = k }
+          in
+          let node =
+            if System_model.is_system_input model child_signal then
+              { signal = child_signal; kind = Leaf System_input; children = [] }
+            else if Signal.Set.mem child_signal ancestors then
+              { signal = child_signal; kind = Leaf Feedback; children = [] }
+            else expand child_signal (Signal.Set.add child_signal ancestors)
+          in
+          { weight; pair; node }
+        in
+        {
+          signal;
+          kind = Expanded { producer; output = k };
+          children =
+            List.init (Sw_module.input_count m) (fun i0 -> child (i0 + 1));
+        }
+  in
+  { root = expand output (Signal.Set.singleton output) }
+
+let build_all graph =
+  let model = Perm_graph.model graph in
+  List.map (build graph) (System_model.system_outputs model)
+
+let rec fold_node f acc node =
+  List.fold_left (fun acc c -> fold_node f acc c.node) (f acc node) node.children
+
+let fold f acc t = fold_node f acc t.root
+
+let leaf_count t =
+  fold (fun acc n -> if n.children = [] then acc + 1 else acc) 0 t
+
+let node_count t = fold (fun acc _ -> acc + 1) 0 t
+
+let depth t =
+  let rec go node =
+    match node.children with
+    | [] -> 1
+    | children ->
+        1 + List.fold_left (fun d c -> max d (go c.node)) 0 children
+  in
+  go t.root
+
+let nodes_of_signal t signal =
+  List.rev
+    (fold
+       (fun acc n -> if Signal.equal n.signal signal then n :: acc else acc)
+       [] t)
+
+let pp ppf t =
+  let rec pp_node ppf node =
+    let pp_child ppf c =
+      let marker =
+        match c.node.kind with Leaf Feedback -> "==" | Leaf System_input | Expanded _ -> "--"
+      in
+      Fmt.pf ppf "@[<v 2>%s %a (%.3f) %a@]" marker Perm_graph.pp_pair c.pair
+        c.weight pp_node c.node
+    in
+    match node.children with
+    | [] ->
+        let tag =
+          match node.kind with
+          | Leaf System_input -> " [system input]"
+          | Leaf Feedback -> " [feedback]"
+          | Expanded _ -> ""
+        in
+        Fmt.pf ppf "%a%s" Signal.pp node.signal tag
+    | children ->
+        Fmt.pf ppf "%a@,%a" Signal.pp node.signal
+          Fmt.(list ~sep:cut pp_child)
+          children
+  in
+  Fmt.pf ppf "@[<v>%a@]" pp_node t.root

@@ -1,0 +1,66 @@
+(** Backtrack trees: output error tracing (Section 4.2, steps A1-A4).
+
+    A backtrack tree is rooted at a system output signal.  Expanding a
+    node carrying a signal produced as output [k] of module [M] creates
+    one child per input [i] of [M]; the child carries the signal bound to
+    input [i] and the arc to it is weighted {m P^M_(i,k)}.
+
+    Children become leaves when their signal is a system input, or when
+    the signal already occurs on the path from the root (a feedback: the
+    paper unrolls module-local feedback exactly once and never follows
+    the recursion, shown as the double line of Fig. 4 / Fig. 10).  The
+    same ancestor rule also terminates cross-module cycles, a
+    generalisation documented in DESIGN.md. *)
+
+type leaf =
+  | System_input  (** the signal enters the system from the environment *)
+  | Feedback
+      (** the signal already appears on the root path; the "special
+          relation to its parent node" of step A3 *)
+
+type node = {
+  signal : Signal.t;
+  kind : kind;
+  children : child list;  (** empty for leaves *)
+}
+
+and kind =
+  | Expanded of { producer : string; output : int }
+      (** internal node: the signal is output [output] of [producer] *)
+  | Leaf of leaf
+
+and child = { weight : float; pair : Perm_graph.pair; node : node }
+(** The arc from the parent: [pair] identifies the permeability value
+    {m P^M_(i,k)} and [weight] is its value. *)
+
+type t = { root : node }
+
+val build : Perm_graph.t -> Signal.t -> t
+(** [build graph output] builds the backtrack tree rooted at [output].
+
+    @raise Invalid_argument if [output] is not produced by any module
+    (the paper requires the root to be a system output; any internally
+    produced signal is accepted, which is useful for signal-level
+    analysis). *)
+
+val build_all : Perm_graph.t -> t list
+(** One tree per declared system output (step A4). *)
+
+val leaf_count : t -> int
+(** Number of root-to-leaf paths (22 for the paper's target system
+    output [TOC2]). *)
+
+val node_count : t -> int
+val depth : t -> int
+
+val nodes_of_signal : t -> Signal.t -> node list
+(** All nodes (root included, leaves included) carrying the given
+    signal; a signal may generate multiple nodes (see signal [B1] in
+    Fig. 4).  Feeds the signal-exposure measure of Eq. (6). *)
+
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering; feedback leaves are marked with ["=="] (the
+    paper's double line). *)

@@ -1,0 +1,44 @@
+type combinator = Noisy_or | Max_path
+
+let combine combinator weights =
+  match combinator with
+  | Noisy_or ->
+      1.0 -. List.fold_left (fun acc w -> acc *. (1.0 -. w)) 1.0 weights
+  | Max_path -> List.fold_left Float.max 0.0 weights
+
+let equivalent_matrix ?(combinator = Noisy_or) (analysis : Analysis.t) =
+  let model = Perm_graph.model analysis.Analysis.graph in
+  let inputs = System_model.system_inputs model in
+  let outputs = System_model.system_outputs model in
+  let paths_to_input output input =
+    let tree = List.assoc output analysis.Analysis.backtrack_trees in
+    List.filter_map
+      (fun path ->
+        match path.Path.terminal with
+        | Path.At_system_input when Signal.equal (Path.leaf_signal path) input
+          ->
+            Some (Path.weight path)
+        | Path.At_system_input | Path.At_system_output | Path.At_feedback
+        | Path.At_dead_end ->
+            None)
+      (Path.of_backtrack_tree tree)
+  in
+  Perm_matrix.of_rows
+    (Array.of_list
+       (List.map
+          (fun input ->
+            Array.of_list
+              (List.map
+                 (fun output ->
+                   combine combinator (paths_to_input output input))
+                 outputs))
+          inputs))
+
+let as_module ?combinator ~name (analysis : Analysis.t) =
+  let model = Perm_graph.model analysis.Analysis.graph in
+  let descriptor =
+    Sw_module.make ~name
+      ~inputs:(System_model.system_inputs model)
+      ~outputs:(System_model.system_outputs model)
+  in
+  (descriptor, equivalent_matrix ?combinator analysis)

@@ -1,0 +1,36 @@
+(** Hierarchical composition of analysed systems.
+
+    Section 3: "Of course, this system may be seen as a larger
+    component or module in an even larger system."  This module
+    collapses an analysed system into a single black-box
+    {!Sw_module} whose inputs are the system inputs and whose outputs
+    are the system outputs, with an {e equivalent} permeability matrix
+    derived from the propagation paths, so the result can be wired into
+    a coarser model and analysed again.
+
+    The equivalent permeability of a pair (system input [i], system
+    output [k]) combines the weights of all backtrack paths from [k]
+    to [i].  Two combinators are provided:
+
+    - {!Noisy_or}: {m 1 - prod (1 - w_p)} — treats the paths as
+      independent propagation opportunities.  An optimistic upper
+      estimate (paths overlap, so true dependence lowers it).
+    - {!Max_path}: the single heaviest path — a lower estimate.
+
+    Both are relative measures in the spirit of Eqs. (2)-(6); the
+    bracket [Max_path, Noisy_or] they form is often tight because one
+    dominant path carries most of the weight (cf. Table 4). *)
+
+type combinator = Noisy_or | Max_path
+
+val equivalent_matrix : ?combinator:combinator -> Analysis.t -> Perm_matrix.t
+(** Rows in system-input declaration order, columns in system-output
+    declaration order; [combinator] defaults to {!Noisy_or}. *)
+
+val as_module :
+  ?combinator:combinator ->
+  name:string ->
+  Analysis.t ->
+  Sw_module.t * Perm_matrix.t
+(** The collapsed black box: ready to drop into a larger
+    {!System_model} together with its equivalent matrix. *)

@@ -1,0 +1,48 @@
+let ext_a = Signal.make "ext_a"
+let ext_c = Signal.make "ext_c"
+let ext_e = Signal.make "ext_e"
+let a1 = Signal.make "a1"
+let a2 = Signal.make "a2"
+let b_fb = Signal.make "b_fb"
+let b2 = Signal.make "b2"
+let c1 = Signal.make "c1"
+let c2 = Signal.make "c2"
+let d1 = Signal.make "d1"
+let e_out = Signal.make "e_out"
+
+let module_a =
+  Sw_module.make ~name:"A" ~inputs:[ ext_a ] ~outputs:[ a1; a2 ]
+
+let module_b =
+  Sw_module.make ~name:"B" ~inputs:[ a1; b_fb; c1 ] ~outputs:[ b_fb; b2 ]
+
+let module_c =
+  Sw_module.make ~name:"C" ~inputs:[ ext_c; a2 ] ~outputs:[ c1; c2 ]
+
+let module_d = Sw_module.make ~name:"D" ~inputs:[ c2 ] ~outputs:[ d1 ]
+
+let module_e =
+  Sw_module.make ~name:"E" ~inputs:[ b2; ext_e; d1 ] ~outputs:[ e_out ]
+
+let system =
+  System_model.make_exn
+    ~modules:[ module_a; module_b; module_c; module_d; module_e ]
+    ~system_inputs:[ ext_a; ext_c; ext_e ]
+    ~system_outputs:[ e_out ]
+
+let matrices =
+  String_map.of_list
+    [
+      ("A", Perm_matrix.of_rows [| [| 0.8; 0.3 |] |]);
+      ( "B",
+        Perm_matrix.of_rows
+          [| [| 0.5; 0.7 |]; [| 0.9; 0.2 |]; [| 0.1; 0.4 |] |] );
+      ("C", Perm_matrix.of_rows [| [| 0.6; 0.2 |]; [| 0.3; 0.5 |] |]);
+      ("D", Perm_matrix.of_rows [| [| 0.75 |] |]);
+      ("E", Perm_matrix.of_rows [| [| 0.9 |]; [| 0.25 |]; [| 0.65 |] |]);
+    ]
+
+let graph = Perm_graph.build_exn system matrices
+let output = e_out
+let inputs = [ ext_a; ext_c; ext_e ]
+let analysis () = Analysis.run_exn system matrices

@@ -1,0 +1,26 @@
+(** The five-module example system of the paper's Figs. 2-5.
+
+    Modules A through E inter-linked by signals; external input enters
+    at A, C and E, the system output leaves E, and module B has a
+    module-local feedback loop (the paper's double-line case).  The
+    exact wiring of Fig. 2 is not fully recoverable from our source, so
+    this is a reconstruction with every feature the paper discusses:
+    multi-consumer signals, a self-loop, three system inputs and one
+    output.  Permeability values are fixed arbitrary constants so the
+    example analyses are reproducible.
+
+    Used by the quickstart example, the Fig. 3-5 benchmark target and
+    the test suite. *)
+
+val system : System_model.t
+val matrices : Perm_matrix.t String_map.t
+val graph : Perm_graph.t
+
+val output : Signal.t
+(** The system output signal (the paper's {m O^E_1}). *)
+
+val inputs : Signal.t list
+(** The three system inputs (at A, C and E). *)
+
+val analysis : unit -> Analysis.t
+(** Full pipeline over the example (rebuilt on each call). *)

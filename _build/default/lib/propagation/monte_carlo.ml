@@ -1,0 +1,74 @@
+(* Deterministic unit draw from (seed, trial, pair); SplitMix64
+   finaliser over the structural hash. *)
+let unit_draw ~seed ~trial (pair : Perm_graph.pair) =
+  let h =
+    Hashtbl.hash (seed, trial, pair.module_name, pair.input, pair.output)
+  in
+  let z = Int64.add (Int64.of_int h) 0x9E3779B97F4A7C15L in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+(* One trial: spread the corruption breadth-first; every signal is
+   corrupted at most once. *)
+let trial_reaches graph ~seed ~trial ~input ~output =
+  let model = Perm_graph.model graph in
+  let corrupted = ref (Signal.Set.singleton input) in
+  let queue = Queue.create () in
+  Queue.add input queue;
+  let reached = ref false in
+  while not (Queue.is_empty queue) do
+    let signal = Queue.pop queue in
+    if Signal.equal signal output then reached := true
+    else
+      List.iter
+        (fun (m, i) ->
+          let name = Sw_module.name m in
+          let matrix = Perm_graph.matrix graph name in
+          for k = 1 to Sw_module.output_count m do
+            let out_signal = Sw_module.output_signal m k in
+            if not (Signal.Set.mem out_signal !corrupted) then begin
+              let pair = { Perm_graph.module_name = name; input = i; output = k } in
+              let p = Perm_matrix.get matrix ~input:i ~output:k in
+              if p > 0.0 && unit_draw ~seed ~trial pair < p then begin
+                corrupted := Signal.Set.add out_signal !corrupted;
+                Queue.add out_signal queue
+              end
+            end
+          done)
+        (System_model.consumers model signal)
+  done;
+  !reached
+
+let arrival_probability ?(trials = 10_000) ~seed graph ~input ~output =
+  if trials < 1 then invalid_arg "Monte_carlo: trials must be >= 1";
+  let model = Perm_graph.model graph in
+  if not (System_model.is_system_input model input) then
+    invalid_arg
+      (Fmt.str "Monte_carlo: %a is not a system input" Signal.pp input);
+  if not (System_model.is_system_output model output) then
+    invalid_arg
+      (Fmt.str "Monte_carlo: %a is not a system output" Signal.pp output);
+  let hits = ref 0 in
+  for trial = 0 to trials - 1 do
+    if trial_reaches graph ~seed ~trial ~input ~output then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let arrival_matrix ?trials ~seed graph =
+  let model = Perm_graph.model graph in
+  Perm_matrix.of_rows
+    (Array.of_list
+       (List.map
+          (fun input ->
+            Array.of_list
+              (List.map
+                 (fun output ->
+                   arrival_probability ?trials ~seed graph ~input ~output)
+                 (System_model.system_outputs model)))
+          (System_model.system_inputs model)))

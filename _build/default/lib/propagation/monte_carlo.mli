@@ -1,0 +1,36 @@
+(** Monte-Carlo propagation on the permeability graph.
+
+    The tree-based path weights (Section 4.2) describe {e individual}
+    paths; combining them into "does the error reach the output at all"
+    requires handling overlapping paths.  This module estimates that
+    union probability directly: each trial seeds an error on one system
+    input and lets it spread through the graph, every input/output pair
+    transmitting independently with its permeability — the natural
+    probabilistic reading of Eq. (1).  A signal is corrupted at most
+    once per trial, mirroring the single-unrolling of feedback loops in
+    the trees.
+
+    The estimate is bracketed by the {!Compose} combinators
+    ({m max path <= MC <= noisy-or}, property-tested), usually close to
+    the noisy-or bound because real systems rarely have many disjoint
+    heavy paths.
+
+    Sampling is deterministic: draws are hash-mixed from the seed, the
+    trial index and the pair identity, so results reproduce exactly. *)
+
+val arrival_probability :
+  ?trials:int ->
+  seed:int ->
+  Perm_graph.t ->
+  input:Signal.t ->
+  output:Signal.t ->
+  float
+(** Estimated probability that an error on the system input reaches the
+    system output, over [trials] (default 10,000) trials.
+    @raise Invalid_argument if [input] is not a system input or
+    [output] not a system output of the graph's model. *)
+
+val arrival_matrix : ?trials:int -> seed:int -> Perm_graph.t -> Perm_matrix.t
+(** All input/output estimates: rows in system-input declaration order,
+    columns in system-output declaration order — directly comparable to
+    {!Compose.equivalent_matrix}. *)

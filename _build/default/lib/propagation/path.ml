@@ -1,0 +1,109 @@
+type step = { pair : Perm_graph.pair; weight : float; signal : Signal.t }
+
+type terminal =
+  | At_system_input
+  | At_system_output
+  | At_feedback
+  | At_dead_end
+
+type t = { source : Signal.t; steps : step list; terminal : terminal }
+
+let leaf_signal t =
+  match List.rev t.steps with [] -> t.source | last :: _ -> last.signal
+
+let weight t = List.fold_left (fun acc s -> acc *. s.weight) 1.0 t.steps
+
+let adjusted_weight ~input_error_probability t =
+  if
+    Float.is_nan input_error_probability
+    || input_error_probability < 0.0
+    || input_error_probability > 1.0
+  then invalid_arg "Path.adjusted_weight: probability not in [0,1]";
+  input_error_probability *. weight t
+
+let length t = List.length t.steps
+
+let of_backtrack_tree (tree : Backtrack_tree.t) =
+  let rec go rev_steps (node : Backtrack_tree.node) =
+    match node.children with
+    | [] ->
+        let terminal =
+          match node.kind with
+          | Backtrack_tree.Leaf Backtrack_tree.System_input -> At_system_input
+          | Backtrack_tree.Leaf Backtrack_tree.Feedback -> At_feedback
+          | Backtrack_tree.Expanded _ -> At_dead_end
+        in
+        [
+          {
+            source = tree.Backtrack_tree.root.signal;
+            steps = List.rev rev_steps;
+            terminal;
+          };
+        ]
+    | children ->
+        List.concat_map
+          (fun (c : Backtrack_tree.child) ->
+            let step =
+              { pair = c.pair; weight = c.weight; signal = c.node.signal }
+            in
+            go (step :: rev_steps) c.node)
+          children
+  in
+  go [] tree.Backtrack_tree.root
+
+let of_trace_tree (tree : Trace_tree.t) =
+  let rec go rev_steps (node : Trace_tree.node) =
+    match node.children with
+    | [] ->
+        let terminal =
+          match node.kind with
+          | Trace_tree.Leaf_of (Trace_tree.System_output, _, _) ->
+              At_system_output
+          | Trace_tree.Leaf_of (Trace_tree.Dead_end, _, _)
+          | Trace_tree.Root | Trace_tree.Produced _ ->
+              At_dead_end
+        in
+        [
+          {
+            source = tree.Trace_tree.root.signal;
+            steps = List.rev rev_steps;
+            terminal;
+          };
+        ]
+    | children ->
+        List.concat_map
+          (fun (c : Trace_tree.child) ->
+            let step =
+              { pair = c.pair; weight = c.weight; signal = c.node.signal }
+            in
+            go (step :: rev_steps) c.node)
+          children
+  in
+  go [] tree.Trace_tree.root
+
+let pp ppf t =
+  let pp_step ppf s = Fmt.pf ppf "%a" Signal.pp s.signal in
+  let pp_terminal ppf = function
+    | At_system_input -> Fmt.string ppf ""
+    | At_system_output -> Fmt.string ppf ""
+    | At_feedback -> Fmt.string ppf " [feedback]"
+    | At_dead_end -> Fmt.string ppf " [dead end]"
+  in
+  Fmt.pf ppf "@[<h>%a -> %a%a (w=%.6f)@]" Signal.pp t.source
+    Fmt.(list ~sep:(any " -> ") pp_step)
+    t.steps pp_terminal t.terminal (weight t)
+
+let to_string t = Fmt.str "%a" pp t
+
+let sort_by_weight paths =
+  let cmp a b =
+    match Float.compare (weight b) (weight a) with
+    | 0 -> (
+        match Int.compare (length a) (length b) with
+        | 0 -> String.compare (to_string a) (to_string b)
+        | c -> c)
+    | c -> c
+  in
+  List.stable_sort cmp paths
+
+let non_zero paths = List.filter (fun p -> weight p > 0.0) paths

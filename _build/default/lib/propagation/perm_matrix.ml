@@ -1,0 +1,84 @@
+type t = { rows : float array array }
+
+(* Invariant: [rows] is rectangular and non-empty, every entry is a
+   probability.  All construction goes through [check_value]. *)
+
+let check_value ~ctx v =
+  if Float.is_nan v || v < 0.0 || v > 1.0 then
+    invalid_arg (Printf.sprintf "Perm_matrix.%s: value %g not in [0,1]" ctx v)
+
+let create ~inputs ~outputs =
+  if inputs < 1 || outputs < 1 then
+    invalid_arg "Perm_matrix.create: dimensions must be >= 1";
+  { rows = Array.make_matrix inputs outputs 0.0 }
+
+let of_rows rows =
+  if Array.length rows = 0 then invalid_arg "Perm_matrix.of_rows: no rows";
+  let cols = Array.length rows.(0) in
+  if cols = 0 then invalid_arg "Perm_matrix.of_rows: no columns";
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then
+        invalid_arg "Perm_matrix.of_rows: ragged rows";
+      Array.iter (check_value ~ctx:"of_rows") r)
+    rows;
+  { rows = Array.map Array.copy rows }
+
+let input_count t = Array.length t.rows
+let output_count t = Array.length t.rows.(0)
+
+let check_ports t ~ctx ~input ~output =
+  if input < 1 || input > input_count t then
+    invalid_arg (Printf.sprintf "Perm_matrix.%s: input %d out of range" ctx input);
+  if output < 1 || output > output_count t then
+    invalid_arg
+      (Printf.sprintf "Perm_matrix.%s: output %d out of range" ctx output)
+
+let get t ~input ~output =
+  check_ports t ~ctx:"get" ~input ~output;
+  t.rows.(input - 1).(output - 1)
+
+let set t ~input ~output v =
+  check_ports t ~ctx:"set" ~input ~output;
+  check_value ~ctx:"set" v;
+  let rows = Array.map Array.copy t.rows in
+  rows.(input - 1).(output - 1) <- v;
+  { rows }
+
+let fold f t acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun i r ->
+      Array.iteri (fun k v -> acc := f ~input:(i + 1) ~output:(k + 1) v !acc) r)
+    t.rows;
+  !acc
+
+let non_weighted t = fold (fun ~input:_ ~output:_ v acc -> acc +. v) t 0.0
+
+let relative t =
+  non_weighted t /. float_of_int (input_count t * output_count t)
+
+let row t ~input =
+  check_ports t ~ctx:"row" ~input ~output:1;
+  Array.copy t.rows.(input - 1)
+
+let column t ~output =
+  check_ports t ~ctx:"column" ~input:1 ~output;
+  Array.map (fun r -> r.(output - 1)) t.rows
+
+let row_sum t ~input = Array.fold_left ( +. ) 0.0 (row t ~input)
+let column_sum t ~output = Array.fold_left ( +. ) 0.0 (column t ~output)
+
+let equal ?(eps = 1e-12) a b =
+  input_count a = input_count b
+  && output_count a = output_count b
+  && fold
+       (fun ~input ~output v ok ->
+         ok && Float.abs (v -. get b ~input ~output) <= eps)
+       a true
+
+let pp ppf t =
+  let pp_row ppf r =
+    Fmt.pf ppf "@[<h>%a@]" Fmt.(array ~sep:sp (fmt "%.3f")) r
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(array ~sep:cut pp_row) t.rows

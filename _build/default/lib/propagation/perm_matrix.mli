@@ -1,0 +1,52 @@
+(** Error-permeability matrices.
+
+    For a module with [m] inputs and [n] outputs, the permeability matrix
+    holds the [m * n] values {m P^M_(i,k) = Pr(error on output k | error
+    on input i)} of Eq. (1).  All entries are probabilities in [0, 1].
+
+    The two module-level measures of Section 4.1 are derived from the
+    matrix: {!relative} is Eq. (2) and {!non_weighted} is Eq. (3). *)
+
+type t
+
+val create : inputs:int -> outputs:int -> t
+(** All-zero matrix.  @raise Invalid_argument unless both dimensions are
+    at least 1. *)
+
+val of_rows : float array array -> t
+(** [of_rows rows] builds a matrix where [rows.(i-1).(k-1)] is
+    {m P_(i,k)}.  @raise Invalid_argument if the array is empty, ragged,
+    or contains a value outside [0, 1] (NaN included). *)
+
+val input_count : t -> int
+val output_count : t -> int
+
+val get : t -> input:int -> output:int -> float
+(** 1-based ports.  @raise Invalid_argument when out of range. *)
+
+val set : t -> input:int -> output:int -> float -> t
+(** Functional update.  @raise Invalid_argument if the value is outside
+    [0, 1] or the ports are out of range. *)
+
+val relative : t -> float
+(** Eq. (2): {m P^M = (1 / (m n)) * sum_i sum_k P_(i,k)}, in [0, 1]. *)
+
+val non_weighted : t -> float
+(** Eq. (3): {m Pbar^M = sum_i sum_k P_(i,k)}, in [0, m*n]. *)
+
+val row : t -> input:int -> float array
+(** Copy of the permeabilities from one input to every output. *)
+
+val column : t -> output:int -> float array
+(** Copy of the permeabilities from every input to one output. *)
+
+val row_sum : t -> input:int -> float
+val column_sum : t -> output:int -> float
+
+val fold : (input:int -> output:int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over all pairs in row-major order, ports 1-based. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Entry-wise comparison with tolerance [eps] (default [1e-12]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+type exclusion_reason =
+  | Hardware_register
+  | Unreachable_from_inputs
+  | Zero_exposure
+
+type t = {
+  edm_signals : Ranking.signal_row list;
+  erm_modules : Ranking.module_row list;
+  exposed_modules : Ranking.module_row list;
+  barrier_modules : string list;
+  cut_signals : Signal.t list;
+  excluded : (Signal.t * exclusion_reason) list;
+}
+
+let truncate top xs =
+  match top with
+  | None -> xs
+  | Some n -> List.filteri (fun i _ -> i < n) xs
+
+(* Signals occurring in every non-zero root-to-leaf path of every
+   system-output backtrack tree.  Cutting errors on such a signal (with a
+   perfect ERM) shields the outputs (OB5). *)
+let cut_signals graph =
+  let trees = Backtrack_tree.build_all graph in
+  let paths =
+    List.concat_map
+      (fun tree -> Path.non_zero (Path.of_backtrack_tree tree))
+      trees
+  in
+  match paths with
+  | [] -> []
+  | first :: rest ->
+      let model = Perm_graph.model graph in
+      let signals_of p =
+        List.fold_left
+          (fun acc (s : Path.step) ->
+            if System_model.is_system_input model s.signal then acc
+            else Signal.Set.add s.signal acc)
+          Signal.Set.empty p.Path.steps
+      in
+      let common =
+        List.fold_left
+          (fun acc p -> Signal.Set.inter acc (signals_of p))
+          (signals_of first) rest
+      in
+      Signal.Set.elements common
+
+let recommend ?top graph =
+  let model = Perm_graph.model graph in
+  let reachable = System_model.reachable_from_inputs model in
+  let classify (row : Ranking.signal_row) =
+    if Signal.kind row.signal = Signal.Hardware_register then
+      Error (row.signal, Hardware_register)
+    else if not (Signal.Set.mem row.signal reachable) then
+      Error (row.signal, Unreachable_from_inputs)
+    else if row.exposure <= 0.0 then Error (row.signal, Zero_exposure)
+    else Ok row
+  in
+  let candidates, excluded =
+    List.partition_map
+      (fun row ->
+        match classify row with
+        | Ok row -> Left row
+        | Error e -> Right e)
+      (Ranking.signal_rows graph)
+  in
+  let module_rows = Ranking.module_rows graph in
+  let erm_modules =
+    Ranking.sort_module_rows Ranking.By_relative_permeability module_rows
+  in
+  let exposed_modules =
+    Ranking.sort_module_rows Ranking.By_non_weighted_exposure module_rows
+  in
+  let barrier_modules =
+    List.filter_map
+      (fun m ->
+        let reads_input =
+          List.exists
+            (fun s -> System_model.is_system_input model s)
+            (Sw_module.input_signals m)
+        in
+        if reads_input then Some (Sw_module.name m) else None)
+      (System_model.modules model)
+  in
+  {
+    edm_signals = truncate top candidates;
+    erm_modules = truncate top erm_modules;
+    exposed_modules = truncate top exposed_modules;
+    barrier_modules;
+    cut_signals = cut_signals graph;
+    excluded;
+  }
+
+let pp_exclusion_reason ppf = function
+  | Hardware_register -> Fmt.string ppf "hardware register"
+  | Unreachable_from_inputs -> Fmt.string ppf "unreachable from system inputs"
+  | Zero_exposure -> Fmt.string ppf "zero exposure"
+
+let pp ppf t =
+  let pp_excluded ppf (s, r) =
+    Fmt.pf ppf "%a (%a)" Signal.pp s pp_exclusion_reason r
+  in
+  Fmt.pf ppf
+    "@[<v>EDM candidates:@,\
+     %a@,\
+     ERM candidates:@,\
+     %a@,\
+     most exposed modules:@,\
+     %a@,\
+     barrier modules: %a@,\
+     cut signals: %a@,\
+     excluded: %a@]"
+    Fmt.(list ~sep:cut Ranking.pp_signal_row)
+    t.edm_signals
+    Fmt.(list ~sep:cut Ranking.pp_module_row)
+    t.erm_modules
+    Fmt.(list ~sep:cut Ranking.pp_module_row)
+    t.exposed_modules
+    Fmt.(list ~sep:comma string)
+    t.barrier_modules
+    Fmt.(list ~sep:comma Signal.pp)
+    t.cut_signals
+    Fmt.(list ~sep:comma pp_excluded)
+    t.excluded

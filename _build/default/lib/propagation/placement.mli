@@ -1,0 +1,45 @@
+(** EDM/ERM location recommendations (Section 5 and observations
+    OB1-OB6 of Section 8).
+
+    The paper's rules of thumb, encoded:
+
+    - signals with high signal error exposure are cost-effective EDM
+      locations; modules with high error exposure likewise (OB1);
+    - modules with high permeability are cost-effective ERM locations
+      (they spread incoming errors onward, OB5);
+    - signals lying on {e every} non-zero propagation path to a system
+      output are cut points: recovering there shields the output (OB5);
+    - modules that read system inputs form barriers against external
+      errors (OB6) even when their own permeability is modest;
+    - hardware-register signals and signals unreachable from the system
+      inputs are poor locations (OB4: [TOC2], [mscnt]). *)
+
+type exclusion_reason =
+  | Hardware_register  (** errors here come from upstream anyway (OB4) *)
+  | Unreachable_from_inputs
+      (** no propagating error can arrive: independent signal (OB4) *)
+  | Zero_exposure  (** never carries propagated errors in the model *)
+
+type t = {
+  edm_signals : Ranking.signal_row list;
+      (** EDM candidates, best first (highest signal exposure) *)
+  erm_modules : Ranking.module_row list;
+      (** ERM candidates, best first (highest relative permeability) *)
+  exposed_modules : Ranking.module_row list;
+      (** modules ranked by non-weighted exposure (OB1 "system hubs") *)
+  barrier_modules : string list;
+      (** modules consuming at least one system input (OB6), in
+          declaration order *)
+  cut_signals : Signal.t list;
+      (** internal signals present in every non-zero backtrack path of
+          every system output (OB5), sorted by name *)
+  excluded : (Signal.t * exclusion_reason) list;
+      (** signals rejected as EDM locations, with the reason *)
+}
+
+val recommend : ?top:int -> Perm_graph.t -> t
+(** Runs the full recommendation pipeline.  [top] truncates the ranked
+    candidate lists (default: keep everything). *)
+
+val pp_exclusion_reason : Format.formatter -> exclusion_reason -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+type t = { model : System_model.t; probabilities : float Signal.Map.t }
+
+let check_probability p =
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Prob_model: probability %g not in [0,1]" p)
+
+let uniform model ~probability =
+  check_probability probability;
+  let probabilities =
+    List.fold_left
+      (fun acc s -> Signal.Map.add s probability acc)
+      Signal.Map.empty
+      (System_model.system_inputs model)
+  in
+  { model; probabilities }
+
+let of_list model bindings =
+  let rec go acc = function
+    | [] -> Ok { model; probabilities = acc }
+    | (s, p) :: rest ->
+        if not (System_model.is_system_input model s) then
+          Error (Fmt.str "%a is not a system input" Signal.pp s)
+        else if Signal.Map.mem s acc then
+          Error (Fmt.str "duplicate probability for %a" Signal.pp s)
+        else if Float.is_nan p || p < 0.0 || p > 1.0 then
+          Error (Fmt.str "probability %g for %a not in [0,1]" p Signal.pp s)
+        else go (Signal.Map.add s p acc) rest
+  in
+  go Signal.Map.empty bindings
+
+let probability t s =
+  Option.value ~default:0.0 (Signal.Map.find_opt s t.probabilities)
+
+type weighted_path = { path : Path.t; adjusted : float }
+
+let adjust_paths t paths =
+  let adjust path =
+    let pr =
+      match path.Path.terminal with
+      | Path.At_system_input -> probability t (Path.leaf_signal path)
+      | Path.At_system_output | Path.At_feedback | Path.At_dead_end -> 0.0
+    in
+    { path; adjusted = pr *. Path.weight path }
+  in
+  List.map adjust paths
+
+let sort_desc scored =
+  List.stable_sort
+    (fun (sa, a) (sb, b) ->
+      match Float.compare b a with 0 -> Signal.compare sa sb | c -> c)
+    scored
+
+let output_arrival t (analysis : Analysis.t) =
+  sort_desc
+    (List.map
+       (fun (output, tree) ->
+         let total =
+           List.fold_left
+             (fun acc wp -> acc +. wp.adjusted)
+             0.0
+             (adjust_paths t (Path.of_backtrack_tree tree))
+         in
+         (output, total))
+       analysis.Analysis.backtrack_trees)
+
+let input_criticality t (analysis : Analysis.t) =
+  sort_desc
+    (List.map
+       (fun (input, tree) ->
+         let pr = probability t input in
+         let total =
+           List.fold_left
+             (fun acc path ->
+               match path.Path.terminal with
+               | Path.At_system_output -> acc +. (pr *. Path.weight path)
+               | Path.At_system_input | Path.At_feedback | Path.At_dead_end ->
+                   acc)
+             0.0
+             (Path.of_trace_tree tree)
+         in
+         (input, total))
+       analysis.Analysis.trace_trees)
+
+let pp ppf t =
+  let pp_binding ppf (s, p) = Fmt.pf ppf "Pr(%a)=%.3f" Signal.pp s p in
+  Fmt.pf ppf "@[<h>%a@]"
+    Fmt.(list ~sep:comma pp_binding)
+    (Signal.Map.bindings t.probabilities)

@@ -1,0 +1,51 @@
+(** Input error-occurrence models and adjusted propagation measures.
+
+    Section 4.2: "If the probability of an error appearing on
+    {m I^A_1} is {m Pr(A_1)}, then P can be adjusted with this factor,
+    giving us {m P' = Pr(A_1) * P^A_(1,1) * P^B_(2,2) * P^E_(1,1)}".
+    The permeability framework deliberately works without an occurrence
+    model (Section 4: "the results are useful even with minimal
+    knowledge of the distribution of the occurring errors"); when one
+    {e is} available, this module folds it in. *)
+
+type t
+(** A map from system-input signals to per-run error-occurrence
+    probabilities. *)
+
+val uniform : System_model.t -> probability:float -> t
+(** Every system input gets the same occurrence probability.
+    @raise Invalid_argument if the probability is outside [0, 1]. *)
+
+val of_list : System_model.t -> (Signal.t * float) list -> (t, string) result
+(** Explicit probabilities.  Fails on signals that are not system
+    inputs of the model, on duplicates, and on values outside [0, 1];
+    inputs not listed get probability [0]. *)
+
+val probability : t -> Signal.t -> float
+(** [0.] for unknown signals. *)
+
+type weighted_path = {
+  path : Path.t;
+  adjusted : float;  (** {m P' = Pr(leaf input) * path weight} *)
+}
+
+val adjust_paths : t -> Path.t list -> weighted_path list
+(** Adjusts every backtrack path that terminates at a system input;
+    paths ending elsewhere (feedback leaves) get the occurrence
+    probability [0].  Order is preserved. *)
+
+val output_arrival : t -> Analysis.t -> (Signal.t * float) list
+(** For each system output, an upper bound on the probability that an
+    input-born error arrives there: the sum of the adjusted weights of
+    all its backtrack paths (a union bound — path events overlap, so
+    this is a relative measure, like the paper's exposures).  Sorted
+    descending. *)
+
+val input_criticality : t -> Analysis.t -> (Signal.t * float) list
+(** For each system input, the sum of adjusted weights of all paths
+    from that input to any system output (computed on the trace trees):
+    how much output-corruption "mass" an error source contributes.
+    Sorted descending.  This quantifies OB4's reasoning for guarding
+    [pulscnt]-like signals close to the inputs. *)
+
+val pp : Format.formatter -> t -> unit

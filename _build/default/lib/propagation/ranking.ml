@@ -1,0 +1,83 @@
+type module_row = {
+  module_name : string;
+  relative_permeability : float;
+  non_weighted_permeability : float;
+  exposure : float;
+  non_weighted_exposure : float;
+}
+
+type signal_row = { signal : Signal.t; exposure : float }
+type path_row = { rank : int; path : Path.t; weight : float }
+
+type module_key =
+  | By_relative_permeability
+  | By_non_weighted_permeability
+  | By_exposure
+  | By_non_weighted_exposure
+
+let module_rows graph =
+  let model = Perm_graph.model graph in
+  List.map
+    (fun m ->
+      let name = Sw_module.name m in
+      let matrix = Perm_graph.matrix graph name in
+      {
+        module_name = name;
+        relative_permeability = Perm_matrix.relative matrix;
+        non_weighted_permeability = Perm_matrix.non_weighted matrix;
+        exposure = Exposure.module_exposure graph name;
+        non_weighted_exposure = Exposure.module_exposure_nw graph name;
+      })
+    (System_model.modules model)
+
+let key_value key row =
+  match key with
+  | By_relative_permeability -> row.relative_permeability
+  | By_non_weighted_permeability -> row.non_weighted_permeability
+  | By_exposure -> row.exposure
+  | By_non_weighted_exposure -> row.non_weighted_exposure
+
+let sort_module_rows key rows =
+  let cmp a b =
+    match Float.compare (key_value key b) (key_value key a) with
+    | 0 -> String.compare a.module_name b.module_name
+    | c -> c
+  in
+  List.stable_sort cmp rows
+
+let signal_rows graph =
+  let model = Perm_graph.model graph in
+  let rows =
+    List.map
+      (fun signal -> { signal; exposure = Exposure.signal_exposure graph signal })
+      (System_model.internal_signals model)
+  in
+  let cmp a b =
+    match Float.compare b.exposure a.exposure with
+    | 0 -> Signal.compare a.signal b.signal
+    | c -> c
+  in
+  List.stable_sort cmp rows
+
+let rank_paths ?(include_zero = false) paths =
+  let paths = if include_zero then paths else Path.non_zero paths in
+  List.mapi
+    (fun idx path -> { rank = idx + 1; path; weight = Path.weight path })
+    (Path.sort_by_weight paths)
+
+let path_rows ?include_zero tree =
+  rank_paths ?include_zero (Path.of_backtrack_tree tree)
+
+let trace_path_rows ?include_zero tree =
+  rank_paths ?include_zero (Path.of_trace_tree tree)
+
+let pp_module_row ppf r =
+  Fmt.pf ppf "@[<h>%-10s P=%.3f Pnw=%.3f X=%.3f Xnw=%.3f@]" r.module_name
+    r.relative_permeability r.non_weighted_permeability r.exposure
+    r.non_weighted_exposure
+
+let pp_signal_row ppf r =
+  Fmt.pf ppf "@[<h>%-14s X=%.3f@]" (Signal.name r.signal) r.exposure
+
+let pp_path_row ppf r =
+  Fmt.pf ppf "@[<h>%2d. %a@]" r.rank Path.pp r.path

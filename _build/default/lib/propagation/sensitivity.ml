@@ -1,0 +1,139 @@
+type perturbation =
+  | Relative_noise of float
+  | Absolute_noise of float
+  | Quantise of int
+
+(* Deterministic per-pair uniform draw in [0, 1): a 64-bit mix of the
+   seed and the pair identity (SplitMix64 finaliser). *)
+let unit_draw ~seed ~module_name ~input ~output =
+  let h = Hashtbl.hash (seed, module_name, input, output) in
+  let z = Int64.of_int h in
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let clamp01 v = Float.max 0.0 (Float.min 1.0 v)
+
+let perturb_value perturbation draw v =
+  match perturbation with
+  | Relative_noise eps -> clamp01 (v *. (1.0 -. eps +. (2.0 *. eps *. draw)))
+  | Absolute_noise eps -> clamp01 (v +. (eps *. ((2.0 *. draw) -. 1.0)))
+  | Quantise levels ->
+      if levels < 1 then invalid_arg "Sensitivity: Quantise needs >= 1 level"
+      else
+        let n = float_of_int levels in
+        clamp01 (Float.round (v *. n) /. n)
+
+let perturb_matrices ~seed perturbation matrices =
+  String_map.mapi
+    (fun module_name matrix ->
+      Perm_matrix.fold
+        (fun ~input ~output v acc ->
+          let draw = unit_draw ~seed ~module_name ~input ~output in
+          Perm_matrix.set acc ~input ~output
+            (perturb_value perturbation draw v))
+        matrix matrix)
+    matrices
+
+let kendall_tau order_a order_b =
+  let n = List.length order_a in
+  if n < 2 then invalid_arg "Sensitivity.kendall_tau: need >= 2 items";
+  if
+    not
+      (List.equal String.equal
+         (List.sort String.compare order_a)
+         (List.sort String.compare order_b))
+  then invalid_arg "Sensitivity.kendall_tau: orders cover different items";
+  let rank order =
+    List.mapi (fun idx name -> (name, idx)) order
+    |> List.to_seq |> Hashtbl.of_seq
+  in
+  let rb = rank order_b in
+  let positions = List.map (fun name -> Hashtbl.find rb name) order_a in
+  let arr = Array.of_list positions in
+  let concordant = ref 0 and discordant = ref 0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      if arr.(i) < arr.(j) then incr concordant else incr discordant
+    done
+  done;
+  float_of_int (!concordant - !discordant)
+  /. (float_of_int (n * (n - 1)) /. 2.0)
+
+type report = {
+  perturbation : perturbation;
+  trials : int;
+  module_tau_by_permeability : float;
+  module_tau_by_exposure : float;
+  signal_tau : float;
+  top_edm_stable : float;
+}
+
+let module_order key graph =
+  List.map
+    (fun (r : Ranking.module_row) -> r.module_name)
+    (Ranking.sort_module_rows key (Ranking.module_rows graph))
+
+let signal_order graph =
+  List.map
+    (fun (r : Ranking.signal_row) -> Signal.name r.signal)
+    (Ranking.signal_rows graph)
+
+let top_edm graph =
+  match (Placement.recommend graph).Placement.edm_signals with
+  | [] -> None
+  | top :: _ -> Some (Signal.name top.Ranking.signal)
+
+let study ?(trials = 32) ~seed perturbation model matrices =
+  if trials < 1 then invalid_arg "Sensitivity.study: trials must be >= 1";
+  let reference = Perm_graph.build_exn model matrices in
+  let ref_perm = module_order Ranking.By_relative_permeability reference in
+  let ref_expo = module_order Ranking.By_non_weighted_exposure reference in
+  let ref_signals = signal_order reference in
+  let ref_top = top_edm reference in
+  let totals = ref (0.0, 0.0, 0.0) and stable = ref 0 in
+  for trial = 0 to trials - 1 do
+    let perturbed =
+      perturb_matrices ~seed:(seed + trial) perturbation matrices
+    in
+    let graph = Perm_graph.build_exn model perturbed in
+    let tp, te, ts = !totals in
+    totals :=
+      ( tp
+        +. kendall_tau ref_perm
+             (module_order Ranking.By_relative_permeability graph),
+        te
+        +. kendall_tau ref_expo
+             (module_order Ranking.By_non_weighted_exposure graph),
+        ts +. kendall_tau ref_signals (signal_order graph) );
+    if top_edm graph = ref_top then incr stable
+  done;
+  let tp, te, ts = !totals in
+  let n = float_of_int trials in
+  {
+    perturbation;
+    trials;
+    module_tau_by_permeability = tp /. n;
+    module_tau_by_exposure = te /. n;
+    signal_tau = ts /. n;
+    top_edm_stable = float_of_int !stable /. n;
+  }
+
+let pp_perturbation ppf = function
+  | Relative_noise eps -> Fmt.pf ppf "relative noise +-%.0f%%" (eps *. 100.0)
+  | Absolute_noise eps -> Fmt.pf ppf "absolute noise +-%.2f" eps
+  | Quantise n -> Fmt.pf ppf "quantised to %d levels" n
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<h>%a (%d trials): module tau (P^M) %.3f, module tau (Xnw) %.3f, \
+     signal tau %.3f, top EDM stable %.0f%%@]"
+    pp_perturbation r.perturbation r.trials r.module_tau_by_permeability
+    r.module_tau_by_exposure r.signal_tau
+    (r.top_edm_stable *. 100.0)

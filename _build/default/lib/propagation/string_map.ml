@@ -1,0 +1,7 @@
+(** Maps keyed by module names (plain strings), shared across the
+    propagation library. *)
+
+include Map.Make (String)
+
+let of_list bindings =
+  List.fold_left (fun acc (k, v) -> add k v acc) empty bindings

@@ -1,0 +1,8 @@
+(** Maps keyed by module names (plain strings), shared across the
+    propagation library — notably the "module name -> permeability
+    matrix" assignment consumed by {!Perm_graph.build}. *)
+
+include Map.S with type key = string
+
+val of_list : (string * 'a) list -> 'a t
+(** Later bindings win on duplicate keys. *)

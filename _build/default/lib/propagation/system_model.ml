@@ -1,0 +1,186 @@
+module String_map = Map.Make (String)
+
+type t = {
+  modules : Sw_module.t list;
+  system_inputs : Signal.t list;
+  system_outputs : Signal.t list;
+  producers : (Sw_module.t * int) Signal.Map.t;
+  consumers : (Sw_module.t * int) list Signal.Map.t;
+}
+
+type error =
+  | Duplicate_module of string
+  | Multiple_producers of Signal.t
+  | System_input_produced of Signal.t
+  | Unproduced_input of string * Signal.t
+  | Unproduced_system_output of Signal.t
+  | Unknown_system_output of Signal.t
+  | No_modules
+
+let pp_error ppf = function
+  | Duplicate_module name -> Fmt.pf ppf "duplicate module name %S" name
+  | Multiple_producers s ->
+      Fmt.pf ppf "signal %a is produced by more than one module output"
+        Signal.pp s
+  | System_input_produced s ->
+      Fmt.pf ppf "system input %a is also produced by a module" Signal.pp s
+  | Unproduced_input (m, s) ->
+      Fmt.pf ppf
+        "input %a of module %s has no producer and is not a system input"
+        Signal.pp s m
+  | Unproduced_system_output s ->
+      Fmt.pf ppf "system output %a is not produced by any module" Signal.pp s
+  | Unknown_system_output s ->
+      Fmt.pf ppf "system output %a is not bound to any module output"
+        Signal.pp s
+  | No_modules -> Fmt.string ppf "a system needs at least one module"
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+let ( let* ) = Result.bind
+
+let check_module_names modules =
+  let rec go seen = function
+    | [] -> Ok ()
+    | m :: rest ->
+        let name = Sw_module.name m in
+        if String_map.mem name seen then Error (Duplicate_module name)
+        else go (String_map.add name () seen) rest
+  in
+  go String_map.empty modules
+
+let build_producers modules =
+  List.fold_left
+    (fun acc m ->
+      let* acc = acc in
+      let outputs = Sw_module.output_signals m in
+      List.fold_left
+        (fun acc (k, s) ->
+          let* acc = acc in
+          if Signal.Map.mem s acc then Error (Multiple_producers s)
+          else Ok (Signal.Map.add s (m, k) acc))
+        (Ok acc)
+        (List.mapi (fun idx s -> (idx + 1, s)) outputs))
+    (Ok Signal.Map.empty) modules
+
+let build_consumers modules =
+  List.fold_left
+    (fun acc m ->
+      List.fold_left
+        (fun acc (i, s) ->
+          let prev = Option.value ~default:[] (Signal.Map.find_opt s acc) in
+          Signal.Map.add s (prev @ [ (m, i) ]) acc)
+        acc
+        (List.mapi (fun idx s -> (idx + 1, s)) (Sw_module.input_signals m)))
+    Signal.Map.empty modules
+
+let make ~modules ~system_inputs ~system_outputs =
+  let* () = if modules = [] then Error No_modules else Ok () in
+  let* () = check_module_names modules in
+  let* producers = build_producers modules in
+  let consumers = build_consumers modules in
+  let input_set = Signal.Set.of_list system_inputs in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if Signal.Map.mem s producers then Error (System_input_produced s)
+        else Ok ())
+      (Ok ()) system_inputs
+  in
+  let* () =
+    List.fold_left
+      (fun acc m ->
+        let* () = acc in
+        List.fold_left
+          (fun acc s ->
+            let* () = acc in
+            if Signal.Map.mem s producers || Signal.Set.mem s input_set then
+              Ok ()
+            else Error (Unproduced_input (Sw_module.name m, s)))
+          (Ok ())
+          (Sw_module.input_signals m))
+      (Ok ()) modules
+  in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if Signal.Map.mem s producers then Ok ()
+        else if Signal.Set.mem s input_set then
+          Error (Unproduced_system_output s)
+        else Error (Unknown_system_output s))
+      (Ok ()) system_outputs
+  in
+  Ok { modules; system_inputs; system_outputs; producers; consumers }
+
+let make_exn ~modules ~system_inputs ~system_outputs =
+  match make ~modules ~system_inputs ~system_outputs with
+  | Ok t -> t
+  | Error e -> invalid_arg ("System_model.make_exn: " ^ error_to_string e)
+
+let modules t = t.modules
+let system_inputs t = t.system_inputs
+let system_outputs t = t.system_outputs
+
+let find_module t name =
+  List.find_opt (fun m -> String.equal (Sw_module.name m) name) t.modules
+
+let find_module_exn t name =
+  match find_module t name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "System_model: unknown module %S" name)
+
+let producer t s = Signal.Map.find_opt s t.producers
+let consumers t s = Option.value ~default:[] (Signal.Map.find_opt s t.consumers)
+let is_system_input t s = List.exists (Signal.equal s) t.system_inputs
+let is_system_output t s = List.exists (Signal.equal s) t.system_outputs
+
+let signals t =
+  let add = List.fold_left (fun set s -> Signal.Set.add s set) in
+  let set =
+    List.fold_left
+      (fun set m ->
+        add (add set (Sw_module.input_signals m)) (Sw_module.output_signals m))
+      Signal.Set.empty t.modules
+  in
+  Signal.Set.elements (add set t.system_inputs)
+
+let internal_signals t =
+  List.filter (fun s -> not (is_system_input t s)) (signals t)
+
+let pair_count t =
+  List.fold_left (fun acc m -> acc + Sw_module.pair_count m) 0 t.modules
+
+let reachable_from_inputs t =
+  (* Fixpoint: a module touched through any input lights all of its
+     outputs; iterate until the reachable set is stable. *)
+  let step reached =
+    List.fold_left
+      (fun acc m ->
+        let touched =
+          List.exists (fun s -> Signal.Set.mem s acc)
+            (Sw_module.input_signals m)
+        in
+        if touched then
+          List.fold_left
+            (fun acc s -> Signal.Set.add s acc)
+            acc
+            (Sw_module.output_signals m)
+        else acc)
+      reached t.modules
+  in
+  let rec fix reached =
+    let next = step reached in
+    if Signal.Set.equal next reached then reached else fix next
+  in
+  fix (Signal.Set.of_list t.system_inputs)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>system inputs: %a@,system outputs: %a@,%a@]"
+    Fmt.(list ~sep:comma Signal.pp)
+    t.system_inputs
+    Fmt.(list ~sep:comma Signal.pp)
+    t.system_outputs
+    Fmt.(list ~sep:cut Sw_module.pp)
+    t.modules

@@ -1,0 +1,84 @@
+(** Static structure of a modular software system.
+
+    A system is a set of {!Sw_module} descriptors inter-linked via
+    signals (Section 3).  Every signal has at most one producer: either a
+    module output port, or the environment (a {e system input}).  Signals
+    consumed by the environment are {e system outputs}.
+
+    The model is validated on construction; all analysis code can then
+    rely on the wiring invariants. *)
+
+type t
+
+type error =
+  | Duplicate_module of string
+  | Multiple_producers of Signal.t
+  | System_input_produced of Signal.t
+      (** a system input is also produced by a module output *)
+  | Unproduced_input of string * Signal.t
+      (** module input bound to a signal with no producer that is not a
+          system input *)
+  | Unproduced_system_output of Signal.t
+  | Unknown_system_output of Signal.t
+      (** declared system output not bound to any module output *)
+  | No_modules
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val make :
+  modules:Sw_module.t list ->
+  system_inputs:Signal.t list ->
+  system_outputs:Signal.t list ->
+  (t, error) result
+(** Validates and builds a system model.  The checks are:
+
+    - at least one module, no duplicate module names;
+    - every signal is produced by at most one module output port;
+    - a system input has no internal producer;
+    - every consumed signal is either a system input or internally
+      produced;
+    - every system output is produced by some module output. *)
+
+val make_exn :
+  modules:Sw_module.t list ->
+  system_inputs:Signal.t list ->
+  system_outputs:Signal.t list ->
+  t
+(** Like {!make}.  @raise Invalid_argument on a validation error. *)
+
+val modules : t -> Sw_module.t list
+val system_inputs : t -> Signal.t list
+val system_outputs : t -> Signal.t list
+
+val find_module : t -> string -> Sw_module.t option
+val find_module_exn : t -> string -> Sw_module.t
+
+val producer : t -> Signal.t -> (Sw_module.t * int) option
+(** The module output port producing a signal ([None] for system inputs
+    and unknown signals).  The port is 1-based. *)
+
+val consumers : t -> Signal.t -> (Sw_module.t * int) list
+(** All module input ports consuming a signal, in declaration order. *)
+
+val is_system_input : t -> Signal.t -> bool
+val is_system_output : t -> Signal.t -> bool
+
+val signals : t -> Signal.t list
+(** All distinct signals mentioned by the system, sorted by name. *)
+
+val internal_signals : t -> Signal.t list
+(** Signals produced by a module (i.e. everything except system
+    inputs), sorted by name. *)
+
+val pair_count : t -> int
+(** Total number of input/output pairs, i.e. of permeability values the
+    analysis needs (25 for the paper's target system). *)
+
+val reachable_from_inputs : t -> Signal.Set.t
+(** Signals reachable from any system input by following modules from
+    any input port to every output port.  Used by {!Placement} to spot
+    "independent" signals (paper OB4: errors cannot reach [mscnt] from
+    the system inputs, so it is a poor EDM location). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/propane/campaign.ml: Error_model Fmt Injection List Simkernel String Testcase

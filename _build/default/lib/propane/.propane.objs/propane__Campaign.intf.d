@@ -1,0 +1,1 @@
+lib/propane/campaign.mli: Error_model Format Injection Simkernel Testcase

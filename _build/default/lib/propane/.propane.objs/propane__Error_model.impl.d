@@ -1,0 +1,1 @@
+lib/propane/error_model.ml: Fmt Int List Printf Simkernel

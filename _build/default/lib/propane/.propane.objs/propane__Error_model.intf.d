@@ -1,0 +1,1 @@
+lib/propane/error_model.mli: Format Simkernel

@@ -1,0 +1,1 @@
+lib/propane/estimator.ml: Fmt Fun Injection List Printf Propagation Results Simkernel String

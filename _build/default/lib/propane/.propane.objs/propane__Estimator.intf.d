@@ -1,0 +1,1 @@
+lib/propane/estimator.mli: Format Propagation Results

@@ -1,0 +1,1 @@
+lib/propane/golden.ml: Fmt List String Trace Trace_set

@@ -1,0 +1,1 @@
+lib/propane/golden.mli: Format Trace_set

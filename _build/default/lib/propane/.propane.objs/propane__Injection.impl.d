@@ -1,0 +1,1 @@
+lib/propane/injection.ml: Error_model Fmt Printf Simkernel String

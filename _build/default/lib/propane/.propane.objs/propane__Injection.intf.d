@@ -1,0 +1,1 @@
+lib/propane/injection.mli: Error_model Format Simkernel

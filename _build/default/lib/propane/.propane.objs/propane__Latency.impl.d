@@ -1,0 +1,1 @@
+lib/propane/latency.ml: Estimator Fmt Fun Injection Int List Propagation Results Simkernel

@@ -1,0 +1,1 @@
+lib/propane/latency.mli: Estimator Format Propagation Results

@@ -1,0 +1,1 @@
+lib/propane/results.ml: Fmt Golden Injection List Map Option String

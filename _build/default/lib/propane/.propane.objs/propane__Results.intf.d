@@ -1,0 +1,1 @@
+lib/propane/results.mli: Format Golden Injection

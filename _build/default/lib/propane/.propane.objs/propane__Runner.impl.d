@@ -1,0 +1,1 @@
+lib/propane/runner.ml: Array Atomic Campaign Domain Error_model Golden Injection Int64 List Logs Printf Results Simkernel Sut Testcase Trace_set

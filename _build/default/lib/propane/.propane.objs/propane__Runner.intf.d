@@ -1,0 +1,1 @@
+lib/propane/runner.mli: Campaign Injection Results Simkernel Sut Testcase Trace_set

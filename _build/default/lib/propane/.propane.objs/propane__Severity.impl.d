@@ -1,0 +1,1 @@
+lib/propane/severity.ml: Campaign Fmt Golden Hashtbl Injection List Runner Simkernel String Sut Testcase Trace_set

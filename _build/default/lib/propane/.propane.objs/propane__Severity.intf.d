@@ -1,0 +1,1 @@
+lib/propane/severity.mli: Campaign Format Sut Trace_set

@@ -1,0 +1,1 @@
+lib/propane/signal_store.ml: Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/propane/storage.ml: Array Error_model Fun Golden In_channel Injection List Option Printf Propagation Result Results Simkernel String

@@ -1,0 +1,1 @@
+lib/propane/storage.mli: Error_model Propagation Results

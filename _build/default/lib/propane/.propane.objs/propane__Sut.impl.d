@@ -1,0 +1,1 @@
+lib/propane/sut.ml: List Printf Testcase

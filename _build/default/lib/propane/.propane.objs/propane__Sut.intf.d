@@ -1,0 +1,1 @@
+lib/propane/sut.mli: Testcase

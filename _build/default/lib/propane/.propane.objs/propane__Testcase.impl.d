@@ -1,0 +1,1 @@
+lib/propane/testcase.ml: Fmt List Printf String

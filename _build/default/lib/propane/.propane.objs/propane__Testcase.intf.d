@@ -1,0 +1,1 @@
+lib/propane/testcase.mli: Format

@@ -1,0 +1,1 @@
+lib/propane/trace.ml: Array Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/propane/trace.mli: Format

@@ -1,0 +1,1 @@
+lib/propane/trace_set.ml: Array Fmt List Map Printf String Trace

@@ -1,0 +1,1 @@
+lib/propane/trace_set.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/propane/uniformity.ml: Array Fmt Hashtbl Injection Int List Results Simkernel String

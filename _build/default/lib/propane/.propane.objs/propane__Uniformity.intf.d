@@ -1,0 +1,1 @@
+lib/propane/uniformity.mli: Format Results

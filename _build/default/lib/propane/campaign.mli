@@ -1,0 +1,49 @@
+(** Campaign plans.
+
+    A campaign is the cartesian product {e targets x test cases x
+    injection times x error instances}, each element being one
+    injection run compared against the golden run of its test case.
+    The paper's plan (Section 7.3) is, per target signal: 16 bit
+    positions x 10 time instants (0.5 s to 5.0 s in half-second steps)
+    x 25 test cases = 4,000 injections. *)
+
+type t = private {
+  name : string;
+  targets : string list;  (** signals to inject into *)
+  testcases : Testcase.t list;
+  times : Simkernel.Sim_time.t list;
+  errors : Error_model.t list;
+}
+
+val make :
+  name:string ->
+  targets:string list ->
+  testcases:Testcase.t list ->
+  times:Simkernel.Sim_time.t list ->
+  errors:Error_model.t list ->
+  t
+(** @raise Invalid_argument if any dimension is empty or [targets]
+    contains duplicates. *)
+
+val paper_times : Simkernel.Sim_time.t list
+(** The 10 instants of Section 7.3: 0.5 s, 1.0 s, ..., 5.0 s. *)
+
+val paper_plan :
+  ?name:string ->
+  targets:string list ->
+  testcases:Testcase.t list ->
+  width:int ->
+  unit ->
+  t
+(** Bit-flips in every bit position at {!paper_times}. *)
+
+val size : t -> int
+(** Total number of injection runs. *)
+
+val runs_per_target : t -> int
+
+val experiments : t -> (Testcase.t * Injection.t) list
+(** The full expansion in deterministic order: targets, then test
+    cases, then times, then errors. *)
+
+val pp : Format.formatter -> t -> unit

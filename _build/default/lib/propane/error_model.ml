@@ -1,0 +1,41 @@
+type t =
+  | Bit_flip of int
+  | Stuck_at of int
+  | Offset of int
+  | Replace_uniform
+
+let apply t ~width ~rng v =
+  if width < 1 || width > 30 then
+    invalid_arg "Error_model.apply: width must be in [1, 30]";
+  let mask = (1 lsl width) - 1 in
+  let v = v land mask in
+  match t with
+  | Bit_flip b ->
+      if b < 0 || b >= width then
+        invalid_arg
+          (Printf.sprintf "Error_model.apply: bit %d outside [0,%d)" b width)
+      else v lxor (1 lsl b)
+  | Stuck_at c -> c land mask
+  | Offset d -> (v + d) land mask
+  | Replace_uniform -> Simkernel.Rng.int rng (mask + 1)
+
+let bit_flips ~width =
+  if width < 1 || width > 30 then
+    invalid_arg "Error_model.bit_flips: width must be in [1, 30]";
+  List.init width (fun b -> Bit_flip b)
+
+let equal a b =
+  match (a, b) with
+  | Bit_flip x, Bit_flip y -> Int.equal x y
+  | Stuck_at x, Stuck_at y -> Int.equal x y
+  | Offset x, Offset y -> Int.equal x y
+  | Replace_uniform, Replace_uniform -> true
+  | (Bit_flip _ | Stuck_at _ | Offset _ | Replace_uniform), _ -> false
+
+let describe = function
+  | Bit_flip b -> Printf.sprintf "bit-flip@%d" b
+  | Stuck_at c -> Printf.sprintf "stuck-at %d" c
+  | Offset d -> Printf.sprintf "offset %+d" d
+  | Replace_uniform -> "replace-uniform"
+
+let pp ppf t = Fmt.string ppf (describe t)

@@ -1,0 +1,27 @@
+(** SWIFI error models.
+
+    The paper's campaign injects single bit-flips (Section 7.3); the
+    other models are the standard SWIFI repertoire, implemented because
+    Section 6 flags error-model sensitivity ("the type of injected
+    errors can also effect the estimates") and the benchmark suite runs
+    an error-model ablation. *)
+
+type t =
+  | Bit_flip of int  (** toggle bit [b] (0 = LSB) of the current value *)
+  | Stuck_at of int  (** replace the value with a constant *)
+  | Offset of int  (** add a (possibly negative) delta, wrapping *)
+  | Replace_uniform  (** replace with a uniform random value *)
+
+val apply : t -> width:int -> rng:Simkernel.Rng.t -> int -> int
+(** [apply e ~width ~rng v] is the corrupted value; the result is always
+    truncated to [width] bits.  Only [Replace_uniform] consumes
+    randomness.  @raise Invalid_argument if a [Bit_flip] position is
+    outside [0, width) or [width] is outside [1, 30]. *)
+
+val bit_flips : width:int -> t list
+(** One [Bit_flip] per bit position, LSB first — the paper's "bit-flips
+    in each bit position" of a 16-bit signal. *)
+
+val equal : t -> t -> bool
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type attribution =
+  | Direct of { window_ms : int }
+  | Any_divergence
+
+let default_attribution = Direct { window_ms = 64 }
+
+type estimate = {
+  pair : Propagation.Perm_graph.pair;
+  injections : int;
+  errors : int;
+  value : float;
+  interval : float * float;
+}
+
+let wilson_interval ~errors ~trials =
+  if errors < 0 || trials < 0 || errors > trials then
+    invalid_arg "Estimator.wilson_interval: need 0 <= errors <= trials";
+  if trials = 0 then (0.0, 1.0)
+  else
+    let z = 1.959963984540054 (* 97.5th percentile of N(0,1) *) in
+    let n = float_of_int trials in
+    let p = float_of_int errors /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = p +. (z2 /. (2.0 *. n)) in
+    let spread = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+    ((centre -. spread) /. denom, (centre +. spread) /. denom)
+
+let counts attribution (outcome : Results.outcome) output_name =
+  match Results.divergence_of outcome output_name with
+  | None -> false
+  | Some diverged_at -> (
+      let injected_at =
+        Simkernel.Sim_time.to_ms outcome.injection.Injection.at
+      in
+      match attribution with
+      | Any_divergence -> diverged_at >= injected_at
+      | Direct { window_ms } ->
+          diverged_at >= injected_at && diverged_at <= injected_at + window_ms)
+
+let estimate_pairs ?(attribution = default_attribution) ~model ~results
+    module_name =
+  let m = Propagation.System_model.find_module_exn model module_name in
+  let pair_estimate i k =
+    let input_signal = Propagation.Sw_module.input_signal m i in
+    let output_signal = Propagation.Sw_module.output_signal m k in
+    let input_name = Propagation.Signal.name input_signal in
+    let output_name = Propagation.Signal.name output_signal in
+    let outcomes = Results.by_target results input_name in
+    let injections = List.length outcomes in
+    let errors =
+      List.length (List.filter (fun o -> counts attribution o output_name) outcomes)
+    in
+    {
+      pair = { Propagation.Perm_graph.module_name; input = i; output = k };
+      injections;
+      errors;
+      value =
+        (if injections = 0 then 0.0
+         else float_of_int errors /. float_of_int injections);
+      interval = wilson_interval ~errors ~trials:injections;
+    }
+  in
+  List.concat_map
+    (fun i0 ->
+      List.init (Propagation.Sw_module.output_count m) (fun k0 ->
+          pair_estimate (i0 + 1) (k0 + 1)))
+    (List.init (Propagation.Sw_module.input_count m) Fun.id)
+
+let estimate_matrix ?attribution ~model ~results module_name =
+  let m = Propagation.System_model.find_module_exn model module_name in
+  let estimates = estimate_pairs ?attribution ~model ~results module_name in
+  List.fold_left
+    (fun matrix e ->
+      Propagation.Perm_matrix.set matrix
+        ~input:e.pair.Propagation.Perm_graph.input
+        ~output:e.pair.Propagation.Perm_graph.output e.value)
+    (Propagation.Perm_matrix.create
+       ~inputs:(Propagation.Sw_module.input_count m)
+       ~outputs:(Propagation.Sw_module.output_count m))
+    estimates
+
+let estimate_all ?attribution ~model results =
+  let missing =
+    List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun s ->
+            let name = Propagation.Signal.name s in
+            if Results.injections_into results name = 0 then Some name
+            else None)
+          (Propagation.Sw_module.input_signals m))
+      (Propagation.System_model.modules model)
+  in
+  match List.sort_uniq String.compare missing with
+  | [] ->
+      Ok
+        (List.fold_left
+           (fun acc m ->
+             let module_name = Propagation.Sw_module.name m in
+             Propagation.String_map.add module_name
+               (estimate_matrix ?attribution ~model ~results module_name)
+               acc)
+           Propagation.String_map.empty
+           (Propagation.System_model.modules model))
+  | missing ->
+      Error
+        (Printf.sprintf "campaign never injected into: %s"
+           (String.concat ", " missing))
+
+let pp_estimate ppf e =
+  let lo, hi = e.interval in
+  Fmt.pf ppf "@[<h>%a = %.3f (%d/%d, 95%% CI [%.3f, %.3f])@]"
+    Propagation.Perm_graph.pp_pair e.pair e.value e.errors e.injections lo hi

@@ -1,0 +1,71 @@
+(** Experimental estimation of error permeability (Section 6).
+
+    "Suppose, for module M, we inject [n_inj] distinct errors in input
+    [i], and at output [k] observe [n_err] differences compared to the
+    GR's, then we can directly estimate the error permeability
+    [P_{i,k}] to be [n_err / n_inj]."
+
+    {b Attribution.}  Section 7.3: "We only took into account the
+    direct errors on the outputs.  We did not count errors originating
+    from errors that propagated via one of the other outputs and then
+    came back ...".  In a closed control loop {e every} effective
+    injection eventually perturbs the physics, shifts the end of the
+    arrestment and thereby re-diverges every signal — without the rule,
+    all permeabilities saturate towards 1.  We implement it as a direct
+    window: a divergence of output [k] counts only when it appears
+    within [window_ms] of the injection instant.  Direct data flow
+    through a module takes at most one activation period plus its
+    filter horizons (here < 40 ms), while the loop back through valve,
+    airframe and sensors takes hundreds; the default 64 ms window
+    separates the two regimes cleanly.  {!Any_divergence} counts
+    everything (used by the ablation bench). *)
+
+type attribution =
+  | Direct of { window_ms : int }
+  | Any_divergence
+
+val default_attribution : attribution
+(** [Direct {window_ms = 64}]. *)
+
+type estimate = {
+  pair : Propagation.Perm_graph.pair;
+  injections : int;  (** [n_inj] *)
+  errors : int;  (** [n_err] after attribution *)
+  value : float;  (** [n_err / n_inj] *)
+  interval : float * float;
+      (** 95% Wilson score interval (extension beyond the paper) *)
+}
+
+val wilson_interval : errors:int -> trials:int -> float * float
+(** 95% Wilson score interval for a binomial proportion; [(0., 1.)]
+    when [trials = 0].  @raise Invalid_argument if [errors] is outside
+    [0, trials]. *)
+
+val estimate_pairs :
+  ?attribution:attribution ->
+  model:Propagation.System_model.t ->
+  results:Results.t ->
+  string ->
+  estimate list
+(** All [m * n] estimates of one module, in row-major pair order.
+    Pairs whose input signal was never injected get [injections = 0]
+    and [value = 0.].  @raise Invalid_argument for an unknown module. *)
+
+val estimate_matrix :
+  ?attribution:attribution ->
+  model:Propagation.System_model.t ->
+  results:Results.t ->
+  string ->
+  Propagation.Perm_matrix.t
+(** The estimates packed as a permeability matrix. *)
+
+val estimate_all :
+  ?attribution:attribution ->
+  model:Propagation.System_model.t ->
+  Results.t ->
+  (Propagation.Perm_matrix.t Propagation.String_map.t, string) result
+(** Matrices for every module of the model.  [Error] lists the module
+    input signals the campaign never injected into (an incomplete
+    campaign would silently bias every downstream measure to zero). *)
+
+val pp_estimate : Format.formatter -> estimate -> unit

@@ -1,0 +1,64 @@
+(** Golden Run Comparison (GRC, Section 6).
+
+    "A Golden Run is a trace of the system executing without any
+    injections being made ... All traces obtained from the injection
+    runs are compared to the GR, and any difference indicates that an
+    error has occurred."  Comparison stops at the first difference
+    (Section 7.3), which is valid because the platform runs real
+    software in simulated time — identical runs are bit-identical. *)
+
+type divergence = {
+  signal : string;
+  first_ms : int;  (** millisecond of the first differing sample *)
+}
+
+val compare_runs :
+  ?until_ms:int -> golden:Trace_set.t -> run:Trace_set.t -> unit -> divergence list
+(** First divergence per signal, omitting signals that never diverge.
+    Signals are compared in the golden run's order.  [until_ms] bounds
+    the comparison window (used for deliberately truncated injection
+    runs); differences at or beyond it — including the run simply being
+    shorter — are ignored.
+    @raise Invalid_argument if the runs trace different signal sets. *)
+
+val diverged :
+  ?until_ms:int -> golden:Trace_set.t -> run:Trace_set.t -> string -> int option
+(** First divergence of one signal. *)
+
+(** {1 Tolerance-based comparison}
+
+    Section 7.3 notes that exact first-difference comparison is only
+    valid because the whole platform runs in simulated time; "for
+    continuous signals ... fluctuations between similar runs in a real
+    environment may be normal".  For campaigns against real targets a
+    comparison must ignore such fluctuations.  A {!tolerance} declares,
+    per signal, how far and for how long a sample may stray before it
+    counts as a divergence. *)
+
+type tolerance = {
+  epsilon : int;
+      (** absolute sample difference that is still considered equal *)
+  hold_ms : int;
+      (** the difference must exceed [epsilon] for this many
+          {e consecutive} milliseconds before it is reported (0 =
+          immediately) *)
+}
+
+val exact : tolerance
+(** [{epsilon = 0; hold_ms = 0}] — the simulated-time semantics. *)
+
+val compare_runs_tolerant :
+  ?until_ms:int ->
+  tolerance_for:(string -> tolerance) ->
+  golden:Trace_set.t ->
+  run:Trace_set.t ->
+  unit ->
+  divergence list
+(** Like {!compare_runs}, but a signal only diverges at the first
+    millisecond starting a window of [hold_ms + 1] consecutive samples
+    that each differ by more than [epsilon].  A length mismatch inside
+    the window still counts as an immediate divergence.  With
+    [tolerance_for = fun _ -> exact] this coincides with
+    {!compare_runs} (property-tested). *)
+
+val pp_divergence : Format.formatter -> divergence -> unit

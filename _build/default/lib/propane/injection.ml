@@ -1,0 +1,17 @@
+type t = {
+  target : string;
+  at : Simkernel.Sim_time.t;
+  error : Error_model.t;
+}
+
+let make ~target ~at ~error =
+  if String.length target = 0 then invalid_arg "Injection.make: empty target";
+  { target; at; error }
+
+let describe t =
+  Printf.sprintf "%s into %s at %d ms"
+    (Error_model.describe t.error)
+    t.target
+    (Simkernel.Sim_time.to_ms t.at)
+
+let pp ppf t = Fmt.string ppf (describe t)

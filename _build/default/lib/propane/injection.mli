@@ -1,0 +1,20 @@
+(** Single-injection descriptors.
+
+    The paper's campaigns inject exactly one error, in one signal, at
+    one time instant per run ("For each injection run only one error was
+    injected at one time, i.e., no multiple errors were injected",
+    Section 7.3). *)
+
+type t = {
+  target : string;  (** signal to corrupt *)
+  at : Simkernel.Sim_time.t;
+      (** the error is applied at the start of this millisecond, before
+          any module executes in it *)
+  error : Error_model.t;
+}
+
+val make : target:string -> at:Simkernel.Sim_time.t -> error:Error_model.t -> t
+(** @raise Invalid_argument on an empty target name. *)
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type outcome = {
+  testcase : string;
+  injection : Injection.t;
+  divergences : Golden.divergence list;
+}
+
+module String_map = Map.Make (String)
+
+type t = {
+  sut : string;
+  campaign : string;
+  mutable rev_outcomes : outcome list;
+  mutable count : int;
+  mutable per_target : int String_map.t;
+}
+
+let create ~sut ~campaign =
+  { sut; campaign; rev_outcomes = []; count = 0; per_target = String_map.empty }
+
+let sut t = t.sut
+let campaign t = t.campaign
+
+let add t outcome =
+  t.rev_outcomes <- outcome :: t.rev_outcomes;
+  t.count <- t.count + 1;
+  let target = outcome.injection.Injection.target in
+  let prev = Option.value ~default:0 (String_map.find_opt target t.per_target) in
+  t.per_target <- String_map.add target (prev + 1) t.per_target
+
+let count t = t.count
+let outcomes t = List.rev t.rev_outcomes
+
+let by_target t target =
+  List.filter
+    (fun o -> String.equal o.injection.Injection.target target)
+    (outcomes t)
+
+let injections_into t target =
+  Option.value ~default:0 (String_map.find_opt target t.per_target)
+
+let divergence_of outcome signal =
+  List.find_map
+    (fun (d : Golden.divergence) ->
+      if String.equal d.signal signal then Some d.first_ms else None)
+    outcome.divergences
+
+let merge a b =
+  if not (String.equal a.sut b.sut && String.equal a.campaign b.campaign) then
+    invalid_arg "Results.merge: different SUT or campaign";
+  let merged = create ~sut:a.sut ~campaign:a.campaign in
+  List.iter (add merged) (outcomes a);
+  List.iter (add merged) (outcomes b);
+  merged
+
+let pp_summary ppf t =
+  let with_div =
+    List.length (List.filter (fun o -> o.divergences <> []) (outcomes t))
+  in
+  Fmt.pf ppf "%s/%s: %d runs, %d with divergences" t.sut t.campaign t.count
+    with_div

@@ -1,0 +1,43 @@
+(** Raw campaign outcomes.
+
+    One {!outcome} per injection run: which injection was performed
+    under which test case, and the first divergence (against the test
+    case's golden run) of every signal that diverged at all.  The
+    estimator consumes this database; keeping first-divergence times
+    rather than whole traces keeps paper-scale campaigns (52,000 runs)
+    small in memory. *)
+
+type outcome = {
+  testcase : string;  (** test case id *)
+  injection : Injection.t;
+  divergences : Golden.divergence list;
+      (** signals whose trace diverged from the golden run, with the
+          millisecond of first divergence; signals that never diverged
+          are absent *)
+}
+
+type t
+
+val create : sut:string -> campaign:string -> t
+val sut : t -> string
+val campaign : t -> string
+
+val add : t -> outcome -> unit
+val count : t -> int
+val outcomes : t -> outcome list
+(** In insertion (i.e. deterministic campaign) order. *)
+
+val by_target : t -> string -> outcome list
+(** Outcomes whose injection targeted the given signal. *)
+
+val injections_into : t -> string -> int
+(** [List.length (by_target t s)], computed without building the list. *)
+
+val divergence_of : outcome -> string -> int option
+(** First divergence of a signal within one outcome. *)
+
+val merge : t -> t -> t
+(** Concatenates two result sets from the same SUT and campaign (for
+    sharded runs).  @raise Invalid_argument on mismatched names. *)
+
+val pp_summary : Format.formatter -> t -> unit

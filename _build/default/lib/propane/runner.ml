@@ -1,0 +1,151 @@
+let src = Logs.Src.create "propane.runner" ~doc:"PROPANE campaign runner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let default_max_ms = 20_000
+
+let sample_into traces (instance : Sut.instance) =
+  Trace_set.sample traces instance.Sut.read
+
+let golden_run ?(max_ms = default_max_ms) (sut : Sut.t) testcase =
+  let instance = sut.Sut.instantiate testcase in
+  let traces = Trace_set.create ~signals:(Sut.signal_names sut) () in
+  let rec go ms =
+    if ms >= max_ms || instance.Sut.finished () then traces
+    else begin
+      instance.Sut.step ();
+      sample_into traces instance;
+      go (ms + 1)
+    end
+  in
+  go 0
+
+let injection_run ?rng ?truncate_after_ms (sut : Sut.t) ~duration_ms testcase
+    injection =
+  let target = injection.Injection.target in
+  if not (Sut.has_signal sut target) then
+    invalid_arg
+      (Printf.sprintf "Runner.injection_run: %S has no signal %S" sut.Sut.name
+         target);
+  let rng =
+    match rng with Some r -> r | None -> Simkernel.Rng.create 0x5EEDL
+  in
+  let width = Sut.signal_width sut target in
+  let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
+  let duration_ms =
+    match truncate_after_ms with
+    | None -> duration_ms
+    | Some extra -> min duration_ms (inject_at + extra + 1)
+  in
+  let instance = sut.Sut.instantiate testcase in
+  let traces = Trace_set.create ~signals:(Sut.signal_names sut) () in
+  for ms = 0 to duration_ms - 1 do
+    if ms = inject_at then
+      instance.Sut.inject target (fun v ->
+          Error_model.apply injection.Injection.error ~width ~rng v);
+    instance.Sut.step ();
+    sample_into traces instance
+  done;
+  traces
+
+let run_experiment ?rng ?truncate_after_ms sut ~golden testcase injection =
+  let run =
+    injection_run ?rng ?truncate_after_ms sut
+      ~duration_ms:(Trace_set.duration_ms golden)
+      testcase injection
+  in
+  let until_ms =
+    (* A truncated run only vouches for the window it covers. *)
+    match truncate_after_ms with
+    | None -> None
+    | Some _ -> Some (Trace_set.duration_ms run)
+  in
+  {
+    Results.testcase = Testcase.id testcase;
+    injection;
+    divergences = Golden.compare_runs ?until_ms ~golden ~run ();
+  }
+
+type progress = { completed : int; total : int }
+
+(* The per-run generator is derived from the seed and the experiment's
+   position alone, so run order (and hence parallel scheduling) cannot
+   change any outcome. *)
+let rng_for seed index =
+  Simkernel.Rng.create
+    (Int64.add seed (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L))
+
+let golden_runs ~max_ms sut campaign =
+  List.map
+    (fun tc ->
+      Log.debug (fun m -> m "golden run for %s" (Testcase.id tc));
+      (Testcase.id tc, golden_run ~max_ms sut tc))
+    campaign.Campaign.testcases
+
+let run_campaign ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
+    ?on_progress (sut : Sut.t) campaign =
+  let goldens = golden_runs ~max_ms sut campaign in
+  let golden_for tc = List.assoc (Testcase.id tc) goldens in
+  let results =
+    Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name
+  in
+  let experiments = Campaign.experiments campaign in
+  let total = List.length experiments in
+  Log.info (fun m ->
+      m "campaign %s on %s: %d runs" campaign.Campaign.name sut.Sut.name total);
+  List.iteri
+    (fun idx (testcase, injection) ->
+      let outcome =
+        run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
+          ~golden:(golden_for testcase) testcase injection
+      in
+      Results.add results outcome;
+      match on_progress with
+      | Some f -> f { completed = idx + 1; total }
+      | None -> ())
+    experiments;
+  results
+
+let run_campaign_parallel ?(max_ms = default_max_ms) ?(seed = 42L)
+    ?truncate_after_ms ?domains (sut : Sut.t) campaign =
+  let domains =
+    match domains with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Runner.run_campaign_parallel: domains must be >= 1"
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let goldens = golden_runs ~max_ms sut campaign in
+  let golden_for tc = List.assoc (Testcase.id tc) goldens in
+  let experiments = Array.of_list (Campaign.experiments campaign) in
+  let total = Array.length experiments in
+  Log.info (fun m ->
+      m "campaign %s on %s: %d runs across %d domains" campaign.Campaign.name
+        sut.Sut.name total domains);
+  let outcomes = Array.make total None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let idx = Atomic.fetch_and_add next 1 in
+      if idx < total then begin
+        let testcase, injection = experiments.(idx) in
+        outcomes.(idx) <-
+          Some
+            (run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
+               ~golden:(golden_for testcase) testcase injection);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  let results =
+    Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name
+  in
+  Array.iter
+    (function
+      | Some outcome -> Results.add results outcome
+      | None -> assert false)
+    outcomes;
+  results

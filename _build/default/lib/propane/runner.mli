@@ -1,0 +1,79 @@
+(** Campaign execution: golden runs, injection runs, golden-run
+    comparison (Sections 6 and 7.3).
+
+    The runner steps a {!Sut.instance} millisecond by millisecond,
+    sampling every observable signal after each step.  A golden run
+    executes until the SUT reports completion (or [max_ms] as a safety
+    net); each injection run executes for {e exactly} the duration of
+    its test case's golden run, so traces compare sample by sample. *)
+
+val default_max_ms : int
+(** 20,000 simulated ms. *)
+
+val golden_run : ?max_ms:int -> Sut.t -> Testcase.t -> Trace_set.t
+(** Runs without injections and returns the reference traces. *)
+
+val injection_run :
+  ?rng:Simkernel.Rng.t ->
+  ?truncate_after_ms:int ->
+  Sut.t ->
+  duration_ms:int ->
+  Testcase.t ->
+  Injection.t ->
+  Trace_set.t
+(** Runs for [duration_ms] with the single injection applied at its
+    instant (registered as a one-shot trap corruption at the start of
+    that millisecond).  [rng] feeds non-deterministic error models and
+    defaults to a fixed seed.  An injection time beyond the duration
+    leaves the run golden.
+
+    [truncate_after_ms] stops the run that many milliseconds after the
+    injection instant — a large speed-up for permeability estimation,
+    which only inspects a direct window after the injection (see
+    {!Estimator.attribution}); pick a truncation comfortably larger
+    than the attribution window.  @raise Invalid_argument if the target
+    signal is unknown to the SUT. *)
+
+val run_experiment :
+  ?rng:Simkernel.Rng.t ->
+  ?truncate_after_ms:int ->
+  Sut.t ->
+  golden:Trace_set.t ->
+  Testcase.t ->
+  Injection.t ->
+  Results.outcome
+(** One injection run plus golden-run comparison.  With
+    [truncate_after_ms] the comparison window is bounded by the
+    truncated run's duration. *)
+
+type progress = { completed : int; total : int }
+
+val run_campaign :
+  ?max_ms:int ->
+  ?seed:int64 ->
+  ?truncate_after_ms:int ->
+  ?on_progress:(progress -> unit) ->
+  Sut.t ->
+  Campaign.t ->
+  Results.t
+(** Full campaign: one golden run per test case (computed once and
+    shared), then every experiment of {!Campaign.experiments} in order.
+    Deterministic for a fixed [seed] (default [42L]): each run's
+    generator is derived from the seed and the experiment index, never
+    from execution order.  [on_progress] is called after each completed
+    run. *)
+
+val run_campaign_parallel :
+  ?max_ms:int ->
+  ?seed:int64 ->
+  ?truncate_after_ms:int ->
+  ?domains:int ->
+  Sut.t ->
+  Campaign.t ->
+  Results.t
+(** Same results as {!run_campaign} — outcome for outcome, in the same
+    order — computed on [domains] cores (default: the recommended
+    domain count minus one, at least 1).  Golden runs execute up front
+    in the calling domain and are shared read-only; every injection run
+    gets a fresh SUT instance, so the SUT's [instantiate] must not rely
+    on global mutable state.  @raise Invalid_argument if [domains < 1]. *)

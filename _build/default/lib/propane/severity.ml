@@ -1,0 +1,103 @@
+type verdict = No_effect | Internal_only | Output_deviation | Mission_failure
+
+let verdicts = [ No_effect; Internal_only; Output_deviation; Mission_failure ]
+
+let verdict_name = function
+  | No_effect -> "no effect"
+  | Internal_only -> "internal only"
+  | Output_deviation -> "output deviation"
+  | Mission_failure -> "mission failure"
+
+type report = {
+  target : string;
+  runs : int;
+  no_effect : int;
+  internal_only : int;
+  output_deviation : int;
+  mission_failure : int;
+}
+
+let count r = function
+  | No_effect -> r.no_effect
+  | Internal_only -> r.internal_only
+  | Output_deviation -> r.output_deviation
+  | Mission_failure -> r.mission_failure
+
+let classify ~outputs ~mission_failed ~golden ~run divergences =
+  if divergences = [] then No_effect
+  else
+    let output_diverged =
+      List.exists
+        (fun (d : Golden.divergence) ->
+          List.exists (String.equal d.signal) outputs)
+        divergences
+    in
+    if not output_diverged then Internal_only
+    else if mission_failed ~golden ~run then Mission_failure
+    else Output_deviation
+
+let assess ?(max_ms = Runner.default_max_ms) ?(seed = 42L) ~outputs
+    ~mission_failed (sut : Sut.t) campaign =
+  let master = Simkernel.Rng.create seed in
+  let goldens =
+    List.map
+      (fun tc -> (Testcase.id tc, Runner.golden_run ~max_ms sut tc))
+      campaign.Campaign.testcases
+  in
+  let table : (string, report ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (testcase, injection) ->
+      let rng = Simkernel.Rng.split master in
+      let golden = List.assoc (Testcase.id testcase) goldens in
+      let run =
+        Runner.injection_run ~rng sut
+          ~duration_ms:(Trace_set.duration_ms golden)
+          testcase injection
+      in
+      let divergences = Golden.compare_runs ~golden ~run () in
+      let verdict =
+        classify ~outputs ~mission_failed ~golden ~run divergences
+      in
+      let target = injection.Injection.target in
+      let cell =
+        match Hashtbl.find_opt table target with
+        | Some cell -> cell
+        | None ->
+            let cell =
+              ref
+                {
+                  target;
+                  runs = 0;
+                  no_effect = 0;
+                  internal_only = 0;
+                  output_deviation = 0;
+                  mission_failure = 0;
+                }
+            in
+            Hashtbl.add table target cell;
+            order := target :: !order;
+            cell
+      in
+      let r = !cell in
+      cell :=
+        {
+          r with
+          runs = r.runs + 1;
+          no_effect = (r.no_effect + if verdict = No_effect then 1 else 0);
+          internal_only =
+            (r.internal_only + if verdict = Internal_only then 1 else 0);
+          output_deviation =
+            (r.output_deviation + if verdict = Output_deviation then 1 else 0);
+          mission_failure =
+            (r.mission_failure + if verdict = Mission_failure then 1 else 0);
+        })
+    (Campaign.experiments campaign);
+  List.rev_map (fun target -> !(Hashtbl.find table target)) !order
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<h>%-12s %4d runs: %4d no effect, %4d internal, %4d deviation, %4d \
+     mission failures@]"
+    r.target r.runs r.no_effect r.internal_only r.output_deviation
+    r.mission_failure

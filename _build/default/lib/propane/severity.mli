@@ -1,0 +1,50 @@
+(** Failure-mode classification of injection runs.
+
+    Permeability says how likely an error {e moves}; severity says what
+    it ultimately {e does}.  Classic SWIFI studies bin every injection
+    run into outcome classes; crossing those bins with the per-signal
+    exposure rankings substantiates the placement argument (an EDM site
+    is valuable when the errors passing it tend to end in the severe
+    bins).
+
+    Classification rules, applied in order:
+    - no signal diverged from the golden run: {!No_effect} (the error
+      was overwritten or masked);
+    - no {e system output} diverged: {!Internal_only} (a latent error:
+      internal state differs but the environment never saw it);
+    - an output diverged but the target-specific mission judge accepts
+      the run: {!Output_deviation} (degraded but successful service);
+    - the mission judge rejects it: {!Mission_failure}. *)
+
+type verdict = No_effect | Internal_only | Output_deviation | Mission_failure
+
+val verdicts : verdict list
+(** In severity order, least severe first. *)
+
+val verdict_name : verdict -> string
+
+type report = {
+  target : string;  (** injected signal *)
+  runs : int;
+  no_effect : int;
+  internal_only : int;
+  output_deviation : int;
+  mission_failure : int;
+}
+
+val count : report -> verdict -> int
+
+val assess :
+  ?max_ms:int ->
+  ?seed:int64 ->
+  outputs:string list ->
+  mission_failed:(golden:Trace_set.t -> run:Trace_set.t -> bool) ->
+  Sut.t ->
+  Campaign.t ->
+  report list
+(** Runs the campaign with full-length injection runs and classifies
+    every run; one report per target signal, in campaign order.
+    [mission_failed] judges the end-to-end service from the traces
+    (e.g. "the aircraft was not arrested within the runway"). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,223 @@
+let results_magic = "propane-results 1"
+let matrices_magic = "propane-matrices 1"
+
+let error_to_string = function
+  | Error_model.Bit_flip b -> Printf.sprintf "bitflip:%d" b
+  | Error_model.Stuck_at v -> Printf.sprintf "stuck:%d" v
+  | Error_model.Offset d -> Printf.sprintf "offset:%d" d
+  | Error_model.Replace_uniform -> "uniform"
+
+let error_of_string s =
+  match String.split_on_char ':' s with
+  | [ "uniform" ] -> Ok Error_model.Replace_uniform
+  | [ "bitflip"; b ] -> (
+      match int_of_string_opt b with
+      | Some b -> Ok (Error_model.Bit_flip b)
+      | None -> Error (Printf.sprintf "bad bit position %S" b))
+  | [ "stuck"; v ] -> (
+      match int_of_string_opt v with
+      | Some v -> Ok (Error_model.Stuck_at v)
+      | None -> Error (Printf.sprintf "bad stuck-at value %S" v))
+  | [ "offset"; d ] -> (
+      match int_of_string_opt d with
+      | Some d -> Ok (Error_model.Offset d)
+      | None -> Error (Printf.sprintf "bad offset %S" d))
+  | _ -> Error (Printf.sprintf "unknown error model %S" s)
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let check_field name value =
+  if String.contains value '\t' || String.contains value '\n' then
+    invalid_arg
+      (Printf.sprintf "Storage: %s %S contains a separator character" name
+         value)
+
+let save_results path results =
+  with_out path (fun oc ->
+      let line fmt = Printf.fprintf oc (fmt ^^ "\n") in
+      line "%s" results_magic;
+      check_field "sut" (Results.sut results);
+      check_field "campaign" (Results.campaign results);
+      line "sut\t%s" (Results.sut results);
+      line "campaign\t%s" (Results.campaign results);
+      List.iter
+        (fun (o : Results.outcome) ->
+          check_field "testcase" o.testcase;
+          check_field "target" o.injection.Injection.target;
+          line "outcome\t%s\t%s\t%d\t%s" o.testcase
+            o.injection.Injection.target
+            (Simkernel.Sim_time.to_ms o.injection.Injection.at)
+            (error_to_string o.injection.Injection.error);
+          List.iter
+            (fun (d : Golden.divergence) ->
+              check_field "signal" d.signal;
+              line "div\t%s\t%d" d.signal d.first_ms)
+            o.divergences)
+        (Results.outcomes results))
+
+type parse_state = {
+  mutable sut : string option;
+  mutable campaign : string option;
+  mutable results : Results.t option;
+  (* current outcome under construction, divergences reversed *)
+  mutable current : (string * Injection.t * Golden.divergence list) option;
+}
+
+let load_results path =
+  let ( let* ) = Result.bind in
+  let fail lineno msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+  with_in path (fun ic ->
+      let state = { sut = None; campaign = None; results = None; current = None } in
+      let flush_current () =
+        match (state.results, state.current) with
+        | Some results, Some (testcase, injection, rev_divs) ->
+            Results.add results
+              {
+                Results.testcase;
+                injection;
+                divergences = List.rev rev_divs;
+              };
+            state.current <- None
+        | _, None -> ()
+        | None, Some _ -> assert false
+      in
+      let ensure_header lineno =
+        match (state.sut, state.campaign) with
+        | Some sut, Some campaign ->
+            (match state.results with
+            | None -> state.results <- Some (Results.create ~sut ~campaign)
+            | Some _ -> ());
+            Ok ()
+        | _ -> fail lineno "outcome before sut/campaign header"
+      in
+      let parse_line lineno line =
+        match String.split_on_char '\t' line with
+        | [ "sut"; name ] ->
+            state.sut <- Some name;
+            Ok ()
+        | [ "campaign"; name ] ->
+            state.campaign <- Some name;
+            Ok ()
+        | [ "outcome"; testcase; target; at_ms; error ] -> (
+            let* () = ensure_header lineno in
+            flush_current ();
+            match (int_of_string_opt at_ms, error_of_string error) with
+            | Some at_ms, Ok error when at_ms >= 0 ->
+                state.current <-
+                  Some
+                    ( testcase,
+                      Injection.make ~target
+                        ~at:(Simkernel.Sim_time.of_ms at_ms)
+                        ~error,
+                      [] );
+                Ok ()
+            | None, _ -> fail lineno (Printf.sprintf "bad time %S" at_ms)
+            | Some t, _ when t < 0 ->
+                fail lineno (Printf.sprintf "negative time %S" at_ms)
+            | _, Error msg -> fail lineno msg
+            | _, Ok _ -> fail lineno "bad outcome line")
+        | [ "div"; signal; first_ms ] -> (
+            match (state.current, int_of_string_opt first_ms) with
+            | Some (tc, inj, divs), Some first_ms ->
+                state.current <-
+                  Some (tc, inj, { Golden.signal; first_ms } :: divs);
+                Ok ()
+            | None, _ -> fail lineno "divergence before any outcome"
+            | _, None -> fail lineno (Printf.sprintf "bad time %S" first_ms))
+        | [ "" ] -> Ok ()
+        | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line)
+      in
+      let* () =
+        match In_channel.input_line ic with
+        | Some magic when String.equal magic results_magic -> Ok ()
+        | Some magic -> fail 1 (Printf.sprintf "bad magic %S" magic)
+        | None -> fail 1 "empty file"
+      in
+      let rec loop lineno =
+        match In_channel.input_line ic with
+        | None ->
+            let* () = ensure_header lineno in
+            flush_current ();
+            Ok (Option.get state.results)
+        | Some line ->
+            let* () = parse_line lineno line in
+            loop (lineno + 1)
+      in
+      loop 2)
+
+let save_matrices path matrices =
+  with_out path (fun oc ->
+      let line fmt = Printf.fprintf oc (fmt ^^ "\n") in
+      line "%s" matrices_magic;
+      Propagation.String_map.iter
+        (fun name matrix ->
+          check_field "module" name;
+          line "module\t%s\t%d\t%d" name
+            (Propagation.Perm_matrix.input_count matrix)
+            (Propagation.Perm_matrix.output_count matrix);
+          for i = 1 to Propagation.Perm_matrix.input_count matrix do
+            let row = Propagation.Perm_matrix.row matrix ~input:i in
+            line "row\t%s"
+              (String.concat "\t"
+                 (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+          done)
+        matrices)
+
+let load_matrices path =
+  let ( let* ) = Result.bind in
+  let fail lineno msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+  with_in path (fun ic ->
+      let* () =
+        match In_channel.input_line ic with
+        | Some magic when String.equal magic matrices_magic -> Ok ()
+        | Some magic -> fail 1 (Printf.sprintf "bad magic %S" magic)
+        | None -> fail 1 "empty file"
+      in
+      (* [pending]: module currently being read, with rows still
+         expected. *)
+      let rec loop lineno acc pending =
+        match In_channel.input_line ic with
+        | None -> (
+            match pending with
+            | None -> Ok acc
+            | Some (name, _, _, _) ->
+                fail lineno (Printf.sprintf "missing rows for module %S" name))
+        | Some line -> (
+            match (String.split_on_char '\t' line, pending) with
+            | "module" :: name :: m :: n :: [], None -> (
+                match (int_of_string_opt m, int_of_string_opt n) with
+                | Some m, Some n when m > 0 && n > 0 ->
+                    loop (lineno + 1) acc (Some (name, m, n, []))
+                | _ -> fail lineno "bad module dimensions")
+            | "row" :: cells, Some (name, m, n, rows) -> (
+                let values =
+                  List.filter_map float_of_string_opt cells
+                in
+                if List.length values <> n || List.length cells <> n then
+                  fail lineno
+                    (Printf.sprintf "expected %d values for module %S" n name)
+                else
+                  let rows = Array.of_list values :: rows in
+                  if List.length rows = m then
+                    match
+                      Propagation.Perm_matrix.of_rows
+                        (Array.of_list (List.rev rows))
+                    with
+                    | matrix ->
+                        loop (lineno + 1)
+                          (Propagation.String_map.add name matrix acc)
+                          None
+                    | exception Invalid_argument msg -> fail lineno msg
+                  else loop (lineno + 1) acc (Some (name, m, n, rows)))
+            | [ "" ], _ -> loop (lineno + 1) acc pending
+            | "module" :: _, Some (name, _, _, _) ->
+                fail lineno (Printf.sprintf "missing rows for module %S" name)
+            | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line))
+      in
+      loop 2 Propagation.String_map.empty None)

@@ -1,0 +1,39 @@
+(** Persistent storage for campaign results and permeability matrices.
+
+    Campaigns are expensive (the paper's full plan is 52,000 runs), so
+    the tool separates running them from analysing them.  The format is
+    a versioned, line-based, tab-separated text format — diff-able,
+    greppable, stable across platforms.
+
+    Results file:
+    {v
+    propane-results 1
+    sut <tab> NAME
+    campaign <tab> NAME
+    outcome <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
+    div <tab> SIGNAL <tab> FIRST_MS        (0..n per outcome)
+    v}
+
+    Matrices file:
+    {v
+    propane-matrices 1
+    module <tab> NAME <tab> INPUTS <tab> OUTPUTS
+    row <tab> V1 <tab> ... <tab> Vn        (INPUTS rows per module)
+    v} *)
+
+val error_to_string : Error_model.t -> string
+(** e.g. ["bitflip:3"], ["stuck:17"], ["offset:-2"], ["uniform"]. *)
+
+val error_of_string : string -> (Error_model.t, string) result
+
+val save_results : string -> Results.t -> unit
+(** @raise Sys_error on I/O failure. *)
+
+val load_results : string -> (Results.t, string) result
+(** Fails with a line-numbered message on malformed input. *)
+
+val save_matrices :
+  string -> Propagation.Perm_matrix.t Propagation.String_map.t -> unit
+
+val load_matrices :
+  string -> (Propagation.Perm_matrix.t Propagation.String_map.t, string) result

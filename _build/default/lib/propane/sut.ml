@@ -1,0 +1,24 @@
+type instance = {
+  read : string -> int;
+  write : string -> int -> unit;
+  inject : string -> (int -> int) -> unit;
+  step : unit -> unit;
+  finished : unit -> bool;
+}
+
+type t = {
+  name : string;
+  signals : (string * int) list;
+  instantiate : Testcase.t -> instance;
+}
+
+let signal_names t = List.map fst t.signals
+
+let signal_width t s =
+  match List.assoc_opt s t.signals with
+  | Some w -> w
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sut.signal_width: %S has no signal %S" t.name s)
+
+let has_signal t s = List.mem_assoc s t.signals

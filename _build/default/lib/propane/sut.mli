@@ -1,0 +1,41 @@
+(** The system-under-test interface.
+
+    PROPANE instruments a target with "high-level software traps" for
+    logging and injection (Section 7.3).  In this reproduction a target
+    plugs into the tool by implementing this record: the runner creates
+    one fresh instance per run, steps it millisecond by millisecond,
+    reads every observable signal after each step, and writes corrupted
+    values into signals to inject errors.
+
+    Writing into a signal corrupts the stored value exactly like
+    PROPANE's trap-based injection: consumers see the corrupted value
+    until the producer next overwrites it. *)
+
+type instance = {
+  read : string -> int;
+      (** raw current value of a signal (tracing; never fires traps);
+          must accept every name in the SUT's signal list *)
+  write : string -> int -> unit;
+      (** overwrite a signal's stored value directly (test setup) *)
+  inject : string -> (int -> int) -> unit;
+      (** register a one-shot corruption applied at the signal's trap
+          point, i.e. the next time the software reads it (see
+          {!Signal_store.inject}); this is what campaigns use *)
+  step : unit -> unit;  (** advance the system by one millisecond *)
+  finished : unit -> bool;
+      (** natural end of the run (e.g. aircraft stopped) *)
+}
+
+type t = {
+  name : string;
+  signals : (string * int) list;
+      (** observable/injectable signals with their bit widths *)
+  instantiate : Testcase.t -> instance;
+      (** fresh, deterministic instance for a workload *)
+}
+
+val signal_names : t -> string list
+val signal_width : t -> string -> int
+(** @raise Invalid_argument for an unknown signal. *)
+
+val has_signal : t -> string -> bool

@@ -1,0 +1,57 @@
+type t = { signal : string; mutable data : int array; mutable len : int }
+
+let create ?(capacity = 1024) ~signal () =
+  let capacity = max capacity 16 in
+  { signal; data = Array.make capacity 0; len = 0 }
+
+let signal t = t.signal
+let length t = t.len
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let get t j =
+  if j < 0 || j >= t.len then
+    invalid_arg (Printf.sprintf "Trace.get: index %d outside [0,%d)" j t.len)
+  else t.data.(j)
+
+let first_difference ?(from_ms = 0) ?(until_ms = max_int) a b =
+  if not (String.equal a.signal b.signal) then
+    invalid_arg
+      (Printf.sprintf "Trace.first_difference: comparing %S with %S" a.signal
+         b.signal);
+  let common = min a.len b.len in
+  let stop = min common until_ms in
+  let rec go j =
+    if j >= stop then
+      if a.len <> b.len && common >= from_ms && common < until_ms then
+        Some common
+      else None
+    else if a.data.(j) <> b.data.(j) then Some j
+    else go (j + 1)
+  in
+  go (max from_ms 0)
+
+let to_list t = List.init t.len (fun j -> t.data.(j))
+
+let of_list ~signal samples =
+  let t = create ~capacity:(List.length samples) ~signal () in
+  List.iter (push t) samples;
+  t
+
+let equal a b =
+  String.equal a.signal b.signal
+  && a.len = b.len
+  && first_difference a b = None
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%s[%d]: %a%s@]" t.signal t.len
+    Fmt.(list ~sep:sp int)
+    (List.filteri (fun i _ -> i < 16) (to_list t))
+    (if t.len > 16 then " ..." else "")

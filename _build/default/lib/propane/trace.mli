@@ -1,0 +1,37 @@
+(** Per-signal execution traces.
+
+    PROPANE "is capable of creating traces of individual variables ...
+    during the execution.  Each trace of a variable from an injection
+    experiment is compared to the corresponding trace in the Golden Run"
+    (Section 6).  A trace holds one sample per simulated millisecond,
+    sample [j] being the signal value at the end of millisecond [j]. *)
+
+type t
+
+val create : ?capacity:int -> signal:string -> unit -> t
+val signal : t -> string
+val length : t -> int
+(** Number of samples, i.e. the traced duration in ms. *)
+
+val push : t -> int -> unit
+(** Appends the sample for the next millisecond. *)
+
+val get : t -> int -> int
+(** [get t j] is the sample of millisecond [j].
+    @raise Invalid_argument when out of range. *)
+
+val first_difference : ?from_ms:int -> ?until_ms:int -> t -> t -> int option
+(** [first_difference ~from_ms ~until_ms a b] is the earliest
+    millisecond in [[from_ms, until_ms)] where the traces disagree,
+    [None] if they agree there.  [until_ms] defaults to unbounded.  A
+    length mismatch inside the window counts as a difference at the end
+    of the shorter trace (a run that stopped early {e is} a
+    divergence); samples at or beyond [until_ms] are never inspected,
+    so a deliberately truncated run compares clean against a longer
+    golden run.  @raise Invalid_argument if the signals differ —
+    comparing traces of different variables is a bug. *)
+
+val to_list : t -> int list
+val of_list : signal:string -> int list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

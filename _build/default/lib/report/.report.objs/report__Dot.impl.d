@@ -1,0 +1,1 @@
+lib/report/dot.ml: Buffer List Printf Propagation String

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Fmt Fun List Printf Propagation Propane String Table

@@ -1,0 +1,14 @@
+(** CSV export of tables and traces (for external plotting). *)
+
+val escape : string -> string
+(** RFC-4180 quoting: fields containing commas, quotes or newlines are
+    quoted, with inner quotes doubled. *)
+
+val of_table : Table.t -> string
+(** Header row plus data rows; the title (if any) is dropped. *)
+
+val of_trace_set : Propane.Trace_set.t -> string
+(** One row per millisecond: [ms,sig1,sig2,...]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents].  @raise Sys_error on I/O failure. *)

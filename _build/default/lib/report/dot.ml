@@ -1,0 +1,147 @@
+let buf_printf = Printf.bprintf
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let of_system_model model =
+  let b = Buffer.create 1024 in
+  buf_printf b "digraph system {\n  rankdir=LR;\n";
+  List.iter
+    (fun m ->
+      buf_printf b "  \"%s\" [shape=box];\n"
+        (escape (Propagation.Sw_module.name m)))
+    (Propagation.System_model.modules model);
+  buf_printf b "  \"ENV_IN\" [shape=plaintext, label=\"environment\"];\n";
+  buf_printf b "  \"ENV_OUT\" [shape=plaintext, label=\"environment\"];\n";
+  let edge src dst label =
+    buf_printf b "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape src)
+      (escape dst) (escape label)
+  in
+  List.iter
+    (fun signal ->
+      let signal_name = Propagation.Signal.name signal in
+      let src, out_port =
+        match Propagation.System_model.producer model signal with
+        | Some (m, k) ->
+            (Propagation.Sw_module.name m, Printf.sprintf " (out %d)" k)
+        | None -> ("ENV_IN", "")
+      in
+      let consumers = Propagation.System_model.consumers model signal in
+      List.iter
+        (fun (m, i) ->
+          edge src
+            (Propagation.Sw_module.name m)
+            (Printf.sprintf "%s%s (in %d)" signal_name out_port i))
+        consumers;
+      if Propagation.System_model.is_system_output model signal then
+        edge src "ENV_OUT" (signal_name ^ out_port))
+    (Propagation.System_model.signals model);
+  buf_printf b "}\n";
+  Buffer.contents b
+
+let of_perm_graph ?(include_zero = false) graph =
+  let b = Buffer.create 1024 in
+  buf_printf b "digraph permeability {\n  rankdir=LR;\n";
+  let model = Propagation.Perm_graph.model graph in
+  List.iter
+    (fun m ->
+      buf_printf b "  \"%s\" [shape=box];\n"
+        (escape (Propagation.Sw_module.name m)))
+    (Propagation.System_model.modules model);
+  buf_printf b "  \"ENV_IN\" [shape=plaintext, label=\"environment\"];\n";
+  buf_printf b "  \"ENV_OUT\" [shape=plaintext, label=\"environment\"];\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (m, i) ->
+          buf_printf b
+            "  \"ENV_IN\" -> \"%s\" [label=\"%s (in %d)\", style=dashed];\n"
+            (escape (Propagation.Sw_module.name m))
+            (escape (Propagation.Signal.name s))
+            i)
+        (Propagation.System_model.consumers model s))
+    (Propagation.System_model.system_inputs model);
+  List.iter
+    (fun (arc : Propagation.Perm_graph.arc) ->
+      if include_zero || arc.weight > 0.0 then begin
+        let dst =
+          match arc.destination with
+          | Propagation.Perm_graph.To_module (m, _) -> m
+          | Propagation.Perm_graph.To_environment -> "ENV_OUT"
+        in
+        buf_printf b
+          "  \"%s\" -> \"%s\" [label=\"P^%s_{%d,%d}=%.3f (%s)\"];\n"
+          (escape arc.pair.module_name)
+          (escape dst)
+          (escape arc.pair.module_name)
+          arc.pair.input arc.pair.output arc.weight
+          (escape (Propagation.Signal.name arc.signal))
+      end)
+    (Propagation.Perm_graph.arcs graph);
+  buf_printf b "}\n";
+  Buffer.contents b
+
+let node_id prefix counter =
+  incr counter;
+  Printf.sprintf "%s%d" prefix !counter
+
+let of_backtrack_tree (tree : Propagation.Backtrack_tree.t) =
+  let b = Buffer.create 1024 in
+  let counter = ref 0 in
+  buf_printf b "digraph backtrack {\n";
+  let rec emit (node : Propagation.Backtrack_tree.node) =
+    let id = node_id "n" counter in
+    let shape =
+      match node.kind with
+      | Propagation.Backtrack_tree.Leaf _ -> "ellipse"
+      | Propagation.Backtrack_tree.Expanded _ -> "box"
+    in
+    buf_printf b "  %s [label=\"%s\", shape=%s];\n" id
+      (escape (Propagation.Signal.name node.signal))
+      shape;
+    List.iter
+      (fun (c : Propagation.Backtrack_tree.child) ->
+        let child_id = emit c.node in
+        let style =
+          match c.node.kind with
+          | Propagation.Backtrack_tree.Leaf Propagation.Backtrack_tree.Feedback
+            ->
+              ", color=\"black:black\""
+          | Propagation.Backtrack_tree.Leaf
+              Propagation.Backtrack_tree.System_input
+          | Propagation.Backtrack_tree.Expanded _ ->
+              ""
+        in
+        buf_printf b "  %s -> %s [label=\"%.3f\"%s];\n" id child_id c.weight
+          style)
+      node.children;
+    id
+  in
+  ignore (emit tree.Propagation.Backtrack_tree.root);
+  buf_printf b "}\n";
+  Buffer.contents b
+
+let of_trace_tree (tree : Propagation.Trace_tree.t) =
+  let b = Buffer.create 1024 in
+  let counter = ref 0 in
+  buf_printf b "digraph trace {\n";
+  let rec emit (node : Propagation.Trace_tree.node) =
+    let id = node_id "n" counter in
+    let shape =
+      match node.kind with
+      | Propagation.Trace_tree.Leaf_of _ -> "ellipse"
+      | Propagation.Trace_tree.Root | Propagation.Trace_tree.Produced _ ->
+          "box"
+    in
+    buf_printf b "  %s [label=\"%s\", shape=%s];\n" id
+      (escape (Propagation.Signal.name node.signal))
+      shape;
+    List.iter
+      (fun (c : Propagation.Trace_tree.child) ->
+        let child_id = emit c.node in
+        buf_printf b "  %s -> %s [label=\"%.3f\"];\n" id child_id c.weight)
+      node.children;
+    id
+  in
+  ignore (emit tree.Propagation.Trace_tree.root);
+  buf_printf b "}\n";
+  Buffer.contents b

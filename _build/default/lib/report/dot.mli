@@ -1,0 +1,19 @@
+(** Graphviz DOT rendering of the analysis artifacts (paper Figs. 3-5
+    and 9-12 as machine-readable graphs). *)
+
+val of_system_model : Propagation.System_model.t -> string
+(** Module/signal wiring diagram (the paper's Fig. 8): one box per
+    module, one labelled edge per signal from its producer to each
+    consumer, with environment source/sink nodes for system inputs and
+    outputs.  Port numbers are printed on the edge labels. *)
+
+val of_perm_graph : ?include_zero:bool -> Propagation.Perm_graph.t -> string
+(** Permeability graph: one node per module plus environment
+    source/sink nodes; one labelled edge per arc.  Zero-weight arcs are
+    omitted by default, as the paper permits. *)
+
+val of_backtrack_tree : Propagation.Backtrack_tree.t -> string
+(** Backtrack tree; feedback leaves are drawn with a double edge
+    (paper's double-line notation). *)
+
+val of_trace_tree : Propagation.Trace_tree.t -> string

@@ -1,0 +1,37 @@
+(** Regeneration of the paper's result tables from an analysis.
+
+    Each function produces the rows of the corresponding table of
+    Section 8, given a completed {!Propagation.Analysis.t}.  The bench
+    harness prints two instances of each: one from the paper's (partly
+    reconstructed) Table 1 values and one from the permeabilities
+    measured by this reproduction's fault-injection campaign. *)
+
+val table1 :
+  ?reference:Propagation.Perm_matrix.t Propagation.String_map.t ->
+  Propagation.Analysis.t ->
+  Table.t
+(** Table 1 — one row per input/output pair of every module: the pair
+    in the paper's {m P^M_(i,k)} notation, the signal names, and the
+    estimated permeability.  [reference] adds a side-by-side column
+    (e.g. the paper's values). *)
+
+val table2 : Propagation.Analysis.t -> Table.t
+(** Table 2 — per module: relative and non-weighted permeability
+    (Eqs. 2-3), error exposure and non-weighted exposure (Eqs. 4-5). *)
+
+val table3 : Propagation.Analysis.t -> Table.t
+(** Table 3 — signal error exposures (Eq. 6), highest first. *)
+
+val table4 : Propagation.Analysis.t -> Propagation.Signal.t -> Table.t
+(** Table 4 — the non-zero propagation paths of the backtrack tree of
+    the given system output, ordered by weight.
+    @raise Invalid_argument if the output has no tree in the analysis. *)
+
+val input_paths_table :
+  Propagation.Analysis.t -> Propagation.Signal.t -> Table.t
+(** Companion to Table 4 for a trace tree: the non-zero propagation
+    paths from a system input (used for OB4's [pulscnt] argument). *)
+
+val estimates_table : Propane.Estimator.estimate list -> Table.t
+(** Raw estimation detail: n_err / n_inj and the 95% confidence
+    interval of every pair (an extension beyond the paper). *)

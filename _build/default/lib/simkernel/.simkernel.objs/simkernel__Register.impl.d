@@ -1,0 +1,1 @@
+lib/simkernel/register.ml: Fmt Printf String

@@ -1,0 +1,1 @@
+lib/simkernel/rng.ml: Float Int64 List

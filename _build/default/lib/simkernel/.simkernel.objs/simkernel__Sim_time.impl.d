@@ -1,0 +1,1 @@
+lib/simkernel/sim_time.ml: Float Fmt Int

@@ -1,0 +1,1 @@
+lib/simkernel/slot_scheduler.mli:

@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  width : int;
+  mask : int;
+  init : int;
+  mutable value : int;
+}
+
+let create ?(width = 16) ?(init = 0) name =
+  if String.length name = 0 then invalid_arg "Register.create: empty name";
+  if width < 1 || width > 30 then
+    invalid_arg "Register.create: width must be in [1, 30]";
+  let mask = (1 lsl width) - 1 in
+  { name; width; mask; init = init land mask; value = init land mask }
+
+let name t = t.name
+let width t = t.width
+let max_value t = t.mask
+let read t = t.value
+let write t v = t.value <- v land t.mask
+let increment ?(by = 1) t = write t (t.value + by)
+
+let flip_bit t b =
+  if b < 0 || b >= t.width then
+    invalid_arg
+      (Printf.sprintf "Register.flip_bit: bit %d outside [0,%d)" b t.width);
+  t.value <- t.value lxor (1 lsl b)
+
+let reset t = t.value <- t.init
+let pp ppf t = Fmt.pf ppf "%s=%d (%d bits)" t.name t.value t.width

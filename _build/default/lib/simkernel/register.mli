@@ -1,0 +1,38 @@
+(** Simulated hardware registers.
+
+    The paper's port of the arrestment software replaced the target's
+    hardware with "glue software ... to simulate registers for
+    A/D-conversion, timers, counter registers etc." (Section 7.1).  A
+    register is a fixed-width unsigned cell with wraparound semantics:
+    writes are truncated to the width, increments wrap, and single bits
+    can be flipped (the unit the SWIFI error model operates on — all
+    signals of the target system are 16 bits wide, Section 7.3). *)
+
+type t
+
+val create : ?width:int -> ?init:int -> string -> t
+(** [create name] makes a register of [width] bits (default 16, allowed
+    1-30) holding [init] (default 0, truncated to the width).
+    @raise Invalid_argument on an empty name or width out of range. *)
+
+val name : t -> string
+val width : t -> int
+val max_value : t -> int
+(** [2^width - 1]. *)
+
+val read : t -> int
+val write : t -> int -> unit
+(** Truncates to the register width (hardware-like wraparound for
+    negative and overflowing values). *)
+
+val increment : ?by:int -> t -> unit
+(** Wrapping increment, default step 1. *)
+
+val flip_bit : t -> int -> unit
+(** [flip_bit r b] toggles bit [b] (0 = least significant).
+    @raise Invalid_argument if [b] is outside [0, width). *)
+
+val reset : t -> unit
+(** Back to the initial value. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+(* SplitMix64 (Steele, Lea & Flood 2014): tiny, fast and with
+   well-understood output quality; the de-facto standard for seeding and
+   splitting deterministic simulation streams. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 random bits so the conversion to OCaml's 63-bit int stays
+     non-negative. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  if Float.is_nan bound || bound <= 0.0 then
+    invalid_arg "Rng.float: bound must be positive";
+  let r = Int64.shift_right_logical (int64 t) 11 in
+  (* 53 uniformly random mantissa bits in [0, 1). *)
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

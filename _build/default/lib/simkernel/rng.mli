@@ -1,0 +1,33 @@
+(** Deterministic, splittable pseudo-random numbers.
+
+    Fault-injection campaigns must be exactly reproducible: the same
+    seed must yield the same injection plan, the same workload and hence
+    the same permeability estimates bit-for-bit.  This is a SplitMix64
+    generator; {!split} derives an independent stream, so concurrent or
+    reordered experiment phases cannot perturb each other's draws. *)
+
+type t
+
+val create : int64 -> t
+(** A generator seeded with the given value (any value is fine). *)
+
+val split : t -> t
+(** A new generator statistically independent of [t]; both advance
+    independently afterwards. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [[0, bound)].
+    @raise Invalid_argument unless [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [[0, bound)].
+    @raise Invalid_argument unless [bound > 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform draw from a non-empty list.
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,32 @@
+(** Simulated time.
+
+    The paper's experiments run real control software in simulated time
+    on a desktop ("the intrusion of the traps is non-existent in our
+    setup as it runs in simulated time", Section 7.3).  All timestamps in
+    this reproduction are simulated milliseconds since the start of a
+    run; there is no wall-clock anywhere in the experiment path. *)
+
+type t
+(** A millisecond timestamp, >= 0. *)
+
+val zero : t
+val of_ms : int -> t
+(** @raise Invalid_argument on a negative value. *)
+
+val to_ms : t -> int
+val add_ms : t -> int -> t
+val diff_ms : t -> t -> int
+(** [diff_ms later earlier] in milliseconds (may be negative). *)
+
+val of_seconds : float -> t
+(** Rounded to the nearest millisecond.
+    @raise Invalid_argument on a negative value. *)
+
+val to_seconds : t -> float
+val succ : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit

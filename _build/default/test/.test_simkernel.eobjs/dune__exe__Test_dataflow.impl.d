@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Dataflow Float Int List Printf Propagation Propane QCheck2 QCheck_alcotest Simkernel

@@ -1,0 +1,1 @@
+test/test_edm.ml: Alcotest Arrestment Edm List Propagation Propane Simkernel String

@@ -1,0 +1,1 @@
+test/test_propane.ml: Alcotest Array Arrestment Filename Fmt Fun List Propagation Propane QCheck2 QCheck_alcotest Simkernel String Sys

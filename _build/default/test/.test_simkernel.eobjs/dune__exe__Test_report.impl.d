@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Arrestment Filename Fun In_channel List Propagation Propane Report String Sys

@@ -1,0 +1,1 @@
+test/test_simkernel.ml: Alcotest Int64 List QCheck2 QCheck_alcotest Register Rng Sim_time Simkernel Slot_scheduler

@@ -1,0 +1,4 @@
+  $ ../../bin/propane_cli.exe analyze | sed -n '/Table 2/,/PRES_A/p'
+  $ ../../bin/propane_cli.exe placement --budget 2 | head -6
+  $ ../../bin/propane_cli.exe golden --mass 14000 --velocity 60 | head -3
+  $ ../../examples/quickstart.exe | tail -1

@@ -1,0 +1,34 @@
+The static analysis reproduces the paper's Table 2 aggregates exactly:
+
+  $ ../../bin/propane_cli.exe analyze | sed -n '/Table 2/,/PRES_A/p'
+  Table 2. Relative permeability and error exposure
+  Module |   P^M | Pnw^M |   X^M | Xnw^M
+  -------+-------+-------+-------+------
+  CLOCK  | 0.500 | 1.000 | 0.500 | 1.000
+  DIST_S | 0.079 | 0.715 | 0.000 | 0.000
+  PRES_S | 0.000 | 0.000 | 0.000 | 0.000
+  CALC   | 0.523 | 5.229 | 0.313 | 3.130
+  V_REG  | 0.902 | 1.804 | 1.407 | 2.814
+  PRES_A | 0.860 | 0.860 | 1.804 | 1.804
+
+Placement recommendations carry the paper's OB4-OB6 structure:
+
+  $ ../../bin/propane_cli.exe placement --budget 2 | head -6
+  EDM locations:
+  SetValue     signal error exposure 2.814: errors propagating through the system very likely pass here
+  i            signal error exposure 2.415: errors propagating through the system very likely pass here
+  ERM locations:
+  SetValue     on every non-zero propagation path to the system outputs: recovery here shields the outputs (OB5)
+  V_REG        relative permeability 0.902: incoming errors pass through to other modules
+
+A golden run arrests the aircraft:
+
+  $ ../../bin/propane_cli.exe golden --mass 14000 --velocity 60 | head -3
+  arrestment of 14000 kg at 60 m/s: 10656 ms
+    PACNT        final=2920
+    TIC1         final=4760
+
+The quickstart example runs end to end:
+
+  $ ../../examples/quickstart.exe | tail -1
+  path: command_reg -> clean_value -> raw_reading (w=0.315000)

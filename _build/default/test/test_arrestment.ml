@@ -1,0 +1,730 @@
+(* Tests for the arrestment target system: physics, environment glue,
+   the six control modules, the static model and full golden runs. *)
+
+open Arrestment
+
+let close = Alcotest.(check (float 1e-9))
+
+let check_raises_invalid name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+
+let store () =
+  Propane.Signal_store.create ~signals:Signals.store_layout ()
+
+let name = Propagation.Signal.name
+
+(* ------------------------------------------------------------------ *)
+
+let physics_tests =
+  [
+    Alcotest.test_case "full pressure stops every envelope corner" `Quick
+      (fun () ->
+        List.iter
+          (fun (mass_kg, velocity_mps) ->
+            let p = Physics.create ~mass_kg ~velocity_mps in
+            let steps = ref 0 in
+            while (not (Physics.at_rest p)) && !steps < 60_000 do
+              Physics.step_ms p ~commanded_pressure:Params.pressure_full_scale;
+              incr steps
+            done;
+            Alcotest.(check bool) "at rest" true (Physics.at_rest p);
+            Alcotest.(check bool)
+              "within runway" true
+              (Physics.position_m p < Params.runway_length_m))
+          [ (8_000.0, 40.0); (8_000.0, 80.0); (20_000.0, 40.0); (20_000.0, 80.0) ]);
+    Alcotest.test_case "velocity never increases" `Quick (fun () ->
+        let p = Physics.create ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        let prev = ref (Physics.velocity_mps p) in
+        for _ = 1 to 5_000 do
+          Physics.step_ms p ~commanded_pressure:10_000;
+          Alcotest.(check bool) "monotone" true (Physics.velocity_mps p <= !prev);
+          prev := Physics.velocity_mps p
+        done);
+    Alcotest.test_case "position is monotone" `Quick (fun () ->
+        let p = Physics.create ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        let prev = ref 0.0 in
+        for _ = 1 to 5_000 do
+          Physics.step_ms p ~commanded_pressure:0;
+          Alcotest.(check bool) "monotone" true (Physics.position_m p >= !prev);
+          prev := Physics.position_m p
+        done);
+    Alcotest.test_case "valve follows the command with lag" `Quick (fun () ->
+        let p = Physics.create ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        Physics.step_ms p ~commanded_pressure:60_000;
+        let after_1ms = Physics.applied_pressure p in
+        Alcotest.(check bool) "lagging" true (after_1ms < 60_000 && after_1ms > 0);
+        for _ = 1 to 1_000 do
+          Physics.step_ms p ~commanded_pressure:60_000
+        done;
+        Alcotest.(check bool)
+          "converged" true
+          (Physics.applied_pressure p > 59_000));
+    Alcotest.test_case "pulses follow position" `Quick (fun () ->
+        let p = Physics.create ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        for _ = 1 to 1_000 do
+          Physics.step_ms p ~commanded_pressure:0
+        done;
+        Alcotest.(check int)
+          "pulses = floor(x * ppm)"
+          (int_of_float (Float.floor (Physics.position_m p *. Params.pulses_per_metre)))
+          (Physics.total_pulses p));
+    Alcotest.test_case "no braking overruns the runway" `Quick (fun () ->
+        let p = Physics.create ~mass_kg:20_000.0 ~velocity_mps:80.0 in
+        let steps = ref 0 in
+        while (not (Physics.overrun p)) && !steps < 60_000 do
+          Physics.step_ms p ~commanded_pressure:0;
+          incr steps
+        done;
+        Alcotest.(check bool) "overrun" true (Physics.overrun p));
+    check_raises_invalid "non-positive mass rejected" (fun () ->
+        Physics.create ~mass_kg:0.0 ~velocity_mps:60.0);
+    check_raises_invalid "non-positive velocity rejected" (fun () ->
+        Physics.create ~mass_kg:10.0 ~velocity_mps:0.0);
+    Alcotest.test_case "commanded pressure is clamped" `Quick (fun () ->
+        let p = Physics.create ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        Physics.step_ms p ~commanded_pressure:999_999;
+        Alcotest.(check bool)
+          "within scale" true
+          (Physics.applied_pressure p <= Params.pressure_full_scale));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let environment_tests =
+  [
+    Alcotest.test_case "TCNT advances every millisecond" `Quick (fun () ->
+        let st = store () in
+        let env = Environment.create st ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        Environment.pre_step env;
+        Environment.pre_step env;
+        Alcotest.(check int)
+          "ticks" (2 * Params.tcnt_ticks_per_ms)
+          (Propane.Signal_store.peek st (name Signals.tcnt)));
+    Alcotest.test_case "PACNT accumulates drum pulses" `Quick (fun () ->
+        let st = store () in
+        let env = Environment.create st ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        for _ = 1 to 100 do
+          Environment.pre_step env;
+          Propane.Signal_store.poke st (name Signals.toc2) 0;
+          Environment.post_step env
+        done;
+        (* 100 ms at ~60 m/s is ~6 m, i.e. ~60 pulses. *)
+        let pacnt = Propane.Signal_store.peek st (name Signals.pacnt) in
+        Alcotest.(check bool)
+          "plausible" true
+          (pacnt > 40 && pacnt < 80));
+    Alcotest.test_case "TIC1 latches after a pulse" `Quick (fun () ->
+        let st = store () in
+        let env = Environment.create st ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        for _ = 1 to 50 do
+          Environment.pre_step env;
+          Environment.post_step env
+        done;
+        let tic1 = Propane.Signal_store.peek st (name Signals.tic1) in
+        let tcnt = Propane.Signal_store.peek st (name Signals.tcnt) in
+        Alcotest.(check bool) "latched" true (tic1 > 0);
+        (* At 60 m/s pulses are < 2 ms apart: the gap stays small. *)
+        Alcotest.(check bool)
+          "recent" true
+          ((tcnt - tic1) land 0xFFFF < 10 * Params.tcnt_ticks_per_ms));
+    Alcotest.test_case "conversion overwrites the ADC register" `Quick
+      (fun () ->
+        let st = store () in
+        let env = Environment.create st ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        Propane.Signal_store.poke st (name Signals.adc) 12_345;
+        Environment.convert_adc env;
+        Alcotest.(check int)
+          "fresh conversion" 0
+          (Propane.Signal_store.peek st (name Signals.adc)));
+    Alcotest.test_case "finished after sustained rest" `Quick (fun () ->
+        let st = store () in
+        let env = Environment.create st ~mass_kg:8_000.0 ~velocity_mps:40.0 in
+        let steps = ref 0 in
+        while (not (Environment.finished env)) && !steps < 60_000 do
+          Environment.pre_step env;
+          Propane.Signal_store.poke st (name Signals.toc2) 3_000;
+          Environment.post_step env;
+          incr steps
+        done;
+        Alcotest.(check bool) "finished" true (Environment.finished env);
+        Alcotest.(check int) "elapsed" !steps (Environment.elapsed_ms env));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let module_tests =
+  [
+    Alcotest.test_case "CLOCK: slot number cycles mod 7" `Quick (fun () ->
+        let st = store () in
+        let clock = Clock_mod.create st in
+        let seen = ref [] in
+        for _ = 1 to 14 do
+          Clock_mod.step clock;
+          seen :=
+            Propane.Signal_store.peek st (name Signals.ms_slot_nbr) :: !seen
+        done;
+        Alcotest.(check (list int))
+          "cycle"
+          [ 0; 6; 5; 4; 3; 2; 1; 0; 6; 5; 4; 3; 2; 1 ]
+          !seen);
+    Alcotest.test_case "CLOCK: mscnt counts activations" `Quick (fun () ->
+        let st = store () in
+        let clock = Clock_mod.create st in
+        for _ = 1 to 5 do
+          Clock_mod.step clock
+        done;
+        Alcotest.(check int)
+          "mscnt" 5
+          (Propane.Signal_store.peek st (name Signals.mscnt)));
+    Alcotest.test_case "CLOCK: mscnt independent of slot corruption" `Quick
+      (fun () ->
+        let st = store () in
+        let clock = Clock_mod.create st in
+        Clock_mod.step clock;
+        Propane.Signal_store.poke st (name Signals.ms_slot_nbr) 5_000;
+        Clock_mod.step clock;
+        Alcotest.(check int)
+          "mscnt" 2
+          (Propane.Signal_store.peek st (name Signals.mscnt)));
+    Alcotest.test_case "DIST_S: accepts plausible pulses" `Quick (fun () ->
+        let st = store () in
+        let dist = Dist_s.create st in
+        (* Simulate 2 pulses with a fresh capture. *)
+        Propane.Signal_store.poke st (name Signals.tcnt) 1_000;
+        Propane.Signal_store.poke st (name Signals.tic1) 950;
+        Propane.Signal_store.poke st (name Signals.pacnt) 2;
+        Dist_s.step dist;
+        Alcotest.(check int)
+          "pulscnt" 2
+          (Propane.Signal_store.peek st (name Signals.pulscnt)));
+    Alcotest.test_case "DIST_S: rejects pulses with a stale capture gap"
+      `Quick (fun () ->
+        let st = store () in
+        let dist = Dist_s.create st in
+        Propane.Signal_store.poke st (name Signals.tcnt) 10_000;
+        Propane.Signal_store.poke st (name Signals.tic1) 0;
+        Propane.Signal_store.poke st (name Signals.pacnt) 2;
+        Dist_s.step dist;
+        Alcotest.(check int)
+          "pulscnt" 0
+          (Propane.Signal_store.peek st (name Signals.pulscnt)));
+    Alcotest.test_case "DIST_S: clamps implausible bursts" `Quick (fun () ->
+        let st = store () in
+        let dist = Dist_s.create st in
+        Propane.Signal_store.poke st (name Signals.tcnt) 1_000;
+        Propane.Signal_store.poke st (name Signals.tic1) 950;
+        Propane.Signal_store.poke st (name Signals.pacnt) 500;
+        Dist_s.step dist;
+        Alcotest.(check int)
+          "clamped" 3
+          (Propane.Signal_store.peek st (name Signals.pulscnt)));
+    Alcotest.test_case "DIST_S: slow_speed from a long pulse gap" `Quick
+      (fun () ->
+        let st = store () in
+        let dist = Dist_s.create st in
+        (* One pulse, then a gap beyond the slow threshold. *)
+        Propane.Signal_store.poke st (name Signals.tcnt) 100;
+        Propane.Signal_store.poke st (name Signals.tic1) 90;
+        Propane.Signal_store.poke st (name Signals.pacnt) 1;
+        Dist_s.step dist;
+        Alcotest.(check int)
+          "fast" 0
+          (Propane.Signal_store.peek st (name Signals.slow_speed));
+        Propane.Signal_store.poke st (name Signals.tcnt)
+          (100 + Params.slow_speed_gap_ticks + 10);
+        Dist_s.step dist;
+        Alcotest.(check int)
+          "slow" 1
+          (Propane.Signal_store.peek st (name Signals.slow_speed)));
+    Alcotest.test_case "DIST_S: stopped needs a long pulse-free streak" `Quick
+      (fun () ->
+        let st = store () in
+        let dist = Dist_s.create st in
+        Propane.Signal_store.poke st (name Signals.tcnt) 100;
+        Propane.Signal_store.poke st (name Signals.tic1) 90;
+        Propane.Signal_store.poke st (name Signals.pacnt) 1;
+        Dist_s.step dist;
+        for _ = 1 to Params.stopped_debounce_ms - 1 do
+          Dist_s.step dist
+        done;
+        Alcotest.(check int)
+          "not yet" 0
+          (Propane.Signal_store.peek st (name Signals.stopped));
+        Dist_s.step dist;
+        Alcotest.(check int)
+          "stopped" 1
+          (Propane.Signal_store.peek st (name Signals.stopped)));
+    Alcotest.test_case "DIST_S: stopped stays clear before any pulse" `Quick
+      (fun () ->
+        let st = store () in
+        let dist = Dist_s.create st in
+        for _ = 1 to Params.stopped_debounce_ms + 50 do
+          Dist_s.step dist
+        done;
+        Alcotest.(check int)
+          "clear" 0
+          (Propane.Signal_store.peek st (name Signals.stopped)));
+    Alcotest.test_case "PRES_S: conversion result reaches InValue" `Quick
+      (fun () ->
+        let st = store () in
+        let pres =
+          Pres_s.create st ~start_conversion:(fun () ->
+              Propane.Signal_store.poke st (name Signals.adc) 4_321)
+        in
+        Pres_s.step pres;
+        Alcotest.(check int)
+          "copied" 4_321
+          (Propane.Signal_store.peek st (name Signals.in_value)));
+    Alcotest.test_case "PRES_S: one-sample spikes are rejected" `Quick
+      (fun () ->
+        let st = store () in
+        let value = ref 1_000 in
+        let pres =
+          Pres_s.create st ~start_conversion:(fun () ->
+              Propane.Signal_store.poke st (name Signals.adc) !value)
+        in
+        Pres_s.step pres;
+        value := 1_000 + Params.pres_spike_limit + 500;
+        Pres_s.step pres;
+        Alcotest.(check int)
+          "held" 1_000
+          (Propane.Signal_store.peek st (name Signals.in_value));
+        (* The second out-of-band sample is accepted as a step change. *)
+        Pres_s.step pres;
+        Alcotest.(check int)
+          "accepted" !value
+          (Propane.Signal_store.peek st (name Signals.in_value)));
+    Alcotest.test_case "CALC: advances at a checkpoint and sets pressure"
+      `Quick (fun () ->
+        let st = store () in
+        let calc = Calc.create st in
+        Propane.Signal_store.poke st (name Signals.mscnt) 100;
+        Propane.Signal_store.poke st (name Signals.pulscnt)
+          Params.checkpoint_pulses.(0);
+        Calc.step calc;
+        Alcotest.(check int)
+          "i advanced" 1
+          (Propane.Signal_store.peek st (name Signals.i));
+        Alcotest.(check bool)
+          "pressure set" true
+          (Propane.Signal_store.peek st (name Signals.set_value) > 0));
+    Alcotest.test_case "CALC: before the checkpoint, the initial set point"
+      `Quick (fun () ->
+        let st = store () in
+        let calc = Calc.create st in
+        Propane.Signal_store.poke st (name Signals.mscnt) 1;
+        Propane.Signal_store.poke st (name Signals.pulscnt) 10;
+        Calc.step calc;
+        Alcotest.(check int)
+          "i" 0
+          (Propane.Signal_store.peek st (name Signals.i));
+        Alcotest.(check int)
+          "initial" Params.initial_set_value
+          (Propane.Signal_store.peek st (name Signals.set_value)));
+    Alcotest.test_case "CALC: slow speed drops the set point and ends \
+                        checkpointing" `Quick (fun () ->
+        let st = store () in
+        let calc = Calc.create st in
+        Propane.Signal_store.poke st (name Signals.slow_speed) 1;
+        Calc.step calc;
+        Alcotest.(check int)
+          "slow pressure" Params.slow_speed_set_value
+          (Propane.Signal_store.peek st (name Signals.set_value));
+        Alcotest.(check int)
+          "index fast-forwarded"
+          (Array.length Params.checkpoint_pulses)
+          (Propane.Signal_store.peek st (name Signals.i)));
+    Alcotest.test_case "CALC: stopped latches the finished state" `Quick
+      (fun () ->
+        let st = store () in
+        let calc = Calc.create st in
+        Propane.Signal_store.poke st (name Signals.stopped) 1;
+        Calc.step calc;
+        Propane.Signal_store.poke st (name Signals.stopped) 0;
+        Calc.step calc;
+        Alcotest.(check int)
+          "pressure stays zero" 0
+          (Propane.Signal_store.peek st (name Signals.set_value)));
+    Alcotest.test_case "CALC: corrupted index is written back raw" `Quick
+      (fun () ->
+        let st = store () in
+        let calc = Calc.create st in
+        Propane.Signal_store.poke st (name Signals.i) 5_000;
+        Propane.Signal_store.poke st (name Signals.pulscnt) 1;
+        Calc.step calc;
+        Alcotest.(check int)
+          "raw" 5_000
+          (Propane.Signal_store.peek st (name Signals.i)));
+    Alcotest.test_case "V_REG: converges on the set point" `Quick (fun () ->
+        let st = store () in
+        let vreg = V_reg.create st in
+        Propane.Signal_store.poke st (name Signals.set_value) 10_000;
+        for _ = 1 to 50 do
+          (* Pretend the plant follows perfectly. *)
+          Propane.Signal_store.poke st (name Signals.in_value)
+            (Propane.Signal_store.peek st (name Signals.out_value));
+          V_reg.step vreg
+        done;
+        let out = Propane.Signal_store.peek st (name Signals.out_value) in
+        Alcotest.(check bool)
+          "near set point" true
+          (abs (out - 10_000) < 1_000));
+    Alcotest.test_case "V_REG: output clamped to the pressure range" `Quick
+      (fun () ->
+        let st = store () in
+        let vreg = V_reg.create st in
+        Propane.Signal_store.poke st (name Signals.set_value) 60_000;
+        Propane.Signal_store.poke st (name Signals.in_value) 0;
+        for _ = 1 to 100 do
+          V_reg.step vreg
+        done;
+        Alcotest.(check bool)
+          "clamped" true
+          (Propane.Signal_store.peek st (name Signals.out_value)
+          <= Params.pressure_full_scale));
+    Alcotest.test_case "PRES_A: scales the command into the PWM register"
+      `Quick (fun () ->
+        let st = store () in
+        Propane.Signal_store.poke st (name Signals.out_value) 48_000;
+        Pres_a.step (Pres_a.create st);
+        Alcotest.(check int)
+          "TOC2" (48_000 lsr Params.toc2_shift)
+          (Propane.Signal_store.peek st (name Signals.toc2)));
+    Alcotest.test_case "PRES_A: PWM resolution hides low bits" `Quick
+      (fun () ->
+        let st = store () in
+        let pres_a = Pres_a.create st in
+        Propane.Signal_store.poke st (name Signals.out_value) 48_000;
+        Pres_a.step pres_a;
+        let before = Propane.Signal_store.peek st (name Signals.toc2) in
+        Propane.Signal_store.poke st (name Signals.out_value) 48_007;
+        Pres_a.step pres_a;
+        Alcotest.(check int)
+          "unchanged" before
+          (Propane.Signal_store.peek st (name Signals.toc2)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let model_tests =
+  [
+    Alcotest.test_case "25 input/output pairs" `Quick (fun () ->
+        Alcotest.(check int)
+          "pairs" 25
+          (Propagation.System_model.pair_count Model.system));
+    Alcotest.test_case "13 injection targets" `Quick (fun () ->
+        Alcotest.(check int) "targets" 13 (List.length Model.injection_targets);
+        Alcotest.(check bool)
+          "TOC2 is not a target" false
+          (List.mem "TOC2" Model.injection_targets));
+    Alcotest.test_case "six modules in paper order" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "names"
+          [ "CLOCK"; "DIST_S"; "PRES_S"; "CALC"; "V_REG"; "PRES_A" ]
+          Model.module_names);
+    Alcotest.test_case "paper numbering: PACNT is input 1 of DIST_S" `Quick
+      (fun () ->
+        let dist = Propagation.System_model.find_module_exn Model.system "DIST_S" in
+        Alcotest.(check (option int))
+          "port" (Some 1)
+          (Propagation.Sw_module.input_index dist Signals.pacnt));
+    Alcotest.test_case "paper numbering: SetValue is output 2 of CALC" `Quick
+      (fun () ->
+        let calc = Propagation.System_model.find_module_exn Model.system "CALC" in
+        Alcotest.(check (option int))
+          "port" (Some 2)
+          (Propagation.Sw_module.output_index calc Signals.set_value));
+    Alcotest.test_case "CALC and CLOCK have the paper's feedback loops" `Quick
+      (fun () ->
+        let feedback name' =
+          Propagation.Sw_module.feedback_signals
+            (Propagation.System_model.find_module_exn Model.system name')
+        in
+        Alcotest.(check (list string))
+          "CALC" [ "i" ]
+          (List.map Propagation.Signal.name (feedback "CALC"));
+        Alcotest.(check (list string))
+          "CLOCK" [ "ms_slot_nbr" ]
+          (List.map Propagation.Signal.name (feedback "CLOCK")));
+    Alcotest.test_case "paper matrices reproduce Table 2 aggregates" `Quick
+      (fun () ->
+        let matrices = Model.paper_matrices () in
+        let m name' = Propagation.String_map.find name' matrices in
+        close "CLOCK P" 0.500 (Propagation.Perm_matrix.relative (m "CLOCK"));
+        close "CLOCK Pnw" 1.000 (Propagation.Perm_matrix.non_weighted (m "CLOCK"));
+        close "DIST_S Pnw" 0.715
+          (Propagation.Perm_matrix.non_weighted (m "DIST_S"));
+        close "PRES_S Pnw" 0.000
+          (Propagation.Perm_matrix.non_weighted (m "PRES_S"));
+        Alcotest.(check (float 5e-4))
+          "CALC P" 0.523
+          (Propagation.Perm_matrix.relative (m "CALC"));
+        close "V_REG P" 0.902 (Propagation.Perm_matrix.relative (m "V_REG"));
+        close "PRES_A P" 0.860 (Propagation.Perm_matrix.relative (m "PRES_A")));
+    Alcotest.test_case "paper matrices reproduce Table 2 exposures" `Quick
+      (fun () ->
+        let graph =
+          Propagation.Perm_graph.build_exn Model.system (Model.paper_matrices ())
+        in
+        Alcotest.(check (float 5e-4))
+          "CALC Xnw" 3.130
+          (Propagation.Exposure.module_exposure_nw graph "CALC");
+        Alcotest.(check (float 5e-4))
+          "CALC X" 0.313
+          (Propagation.Exposure.module_exposure graph "CALC");
+        Alcotest.(check (float 2e-3))
+          "V_REG Xnw" 2.815
+          (Propagation.Exposure.module_exposure_nw graph "V_REG");
+        Alcotest.(check (float 5e-4))
+          "PRES_A Xnw" 1.804
+          (Propagation.Exposure.module_exposure_nw graph "PRES_A");
+        close "CLOCK X" 0.500
+          (Propagation.Exposure.module_exposure graph "CLOCK"));
+    Alcotest.test_case "paper matrices reproduce Table 3 exposures" `Quick
+      (fun () ->
+        let graph =
+          Propagation.Perm_graph.build_exn Model.system (Model.paper_matrices ())
+        in
+        let x sg = Propagation.Exposure.signal_exposure graph sg in
+        close "SetValue" 2.814 (x Signals.set_value);
+        close "OutValue" 1.804 (x Signals.out_value);
+        close "TOC2" 0.860 (x Signals.toc2);
+        close "slow_speed" 0.223 (x Signals.slow_speed);
+        close "stopped" 0.000 (x Signals.stopped);
+        close "mscnt" 0.000 (x Signals.mscnt);
+        close "InValue" 0.000 (x Signals.in_value));
+    Alcotest.test_case "backtrack tree of TOC2 has the paper's 22 paths"
+      `Quick (fun () ->
+        let graph =
+          Propagation.Perm_graph.build_exn Model.system (Model.paper_matrices ())
+        in
+        let tree = Propagation.Backtrack_tree.build graph Signals.toc2 in
+        Alcotest.(check int)
+          "total" 22
+          (Propagation.Backtrack_tree.leaf_count tree);
+        Alcotest.(check int)
+          "non-zero (Table 4)" 13
+          (List.length
+             (Propagation.Path.non_zero
+                (Propagation.Path.of_backtrack_tree tree))));
+    Alcotest.test_case "trace tree of ADC is the Fig. 11 chain" `Quick
+      (fun () ->
+        let graph =
+          Propagation.Perm_graph.build_exn Model.system (Model.paper_matrices ())
+        in
+        let tree = Propagation.Trace_tree.build graph Signals.adc in
+        Alcotest.(check int) "one path" 1 (Propagation.Trace_tree.leaf_count tree);
+        Alcotest.(check int) "depth" 4 (Propagation.Trace_tree.depth tree));
+    Alcotest.test_case "trace tree of PACNT never nests i under i (Fig. 12)"
+      `Quick (fun () ->
+        let graph =
+          Propagation.Perm_graph.build_exn Model.system (Model.paper_matrices ())
+        in
+        let tree = Propagation.Trace_tree.build graph Signals.pacnt in
+        Propagation.Trace_tree.fold
+          (fun () (n : Propagation.Trace_tree.node) ->
+            if Propagation.Signal.equal n.signal Signals.i then
+              List.iter
+                (fun (c : Propagation.Trace_tree.child) ->
+                  Alcotest.(check bool)
+                    "no i under i" false
+                    (Propagation.Signal.equal c.node.signal Signals.i))
+                n.children)
+          () tree);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let golden_run_tests =
+  let sut = System.sut () in
+  [
+    Alcotest.test_case "arrestments complete across the envelope" `Slow
+      (fun () ->
+        List.iter
+          (fun (mass_kg, velocity_mps) ->
+            let tc = System.testcase ~mass_kg ~velocity_mps in
+            let traces = Propane.Runner.golden_run sut tc in
+            let dur = Propane.Trace_set.duration_ms traces in
+            let final s =
+              Propane.Trace.get (Propane.Trace_set.trace traces s) (dur - 1)
+            in
+            Alcotest.(check bool)
+              "long enough for the injection window" true (dur > 5_100);
+            Alcotest.(check int) "stopped" 1 (final "stopped");
+            Alcotest.(check int) "set value zeroed" 0 (final "SetValue");
+            Alcotest.(check bool)
+              "within runway" true
+              (float_of_int (final "pulscnt") /. Params.pulses_per_metre
+              < Params.runway_length_m))
+          [
+            (8_000.0, 40.0);
+            (8_000.0, 80.0);
+            (14_000.0, 60.0);
+            (20_000.0, 40.0);
+            (20_000.0, 80.0);
+          ]);
+    Alcotest.test_case "golden runs are deterministic" `Slow (fun () ->
+        let tc = System.testcase ~mass_kg:12_000.0 ~velocity_mps:55.0 in
+        let a = Propane.Runner.golden_run sut tc in
+        let b = Propane.Runner.golden_run sut tc in
+        Alcotest.(check int)
+          "no divergences" 0
+          (List.length (Propane.Golden.compare_runs ~golden:a ~run:b ())));
+    Alcotest.test_case "pulscnt is plausible against physics" `Slow (fun () ->
+        let tc = System.testcase ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        let traces = Propane.Runner.golden_run sut tc in
+        let dur = Propane.Trace_set.duration_ms traces in
+        let final =
+          Propane.Trace.get (Propane.Trace_set.trace traces "pulscnt") (dur - 1)
+        in
+        Alcotest.(check bool)
+          "within runway pulses" true
+          (final > 500
+          && float_of_int final
+             < Params.runway_length_m *. Params.pulses_per_metre));
+    Alcotest.test_case "checkpoint index reaches the final phase" `Slow
+      (fun () ->
+        let tc = System.testcase ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        let traces = Propane.Runner.golden_run sut tc in
+        let dur = Propane.Trace_set.duration_ms traces in
+        Alcotest.(check int)
+          "i" 6
+          (Propane.Trace.get (Propane.Trace_set.trace traces "i") (dur - 1)));
+    Alcotest.test_case "slow_speed precedes stopped" `Slow (fun () ->
+        let tc = System.testcase ~mass_kg:14_000.0 ~velocity_mps:60.0 in
+        let traces = Propane.Runner.golden_run sut tc in
+        let first_one s =
+          let trace = Propane.Trace_set.trace traces s in
+          let n = Propane.Trace.length trace in
+          let rec go j =
+            if j >= n then None
+            else if Propane.Trace.get trace j = 1 then Some j
+            else go (j + 1)
+          in
+          go 0
+        in
+        match (first_one "slow_speed", first_one "stopped") with
+        | Some slow, Some stopped ->
+            Alcotest.(check bool) "order" true (slow < stopped)
+        | _ -> Alcotest.fail "both flags must fire in a golden run");
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let campaign_tests =
+  [
+    Alcotest.test_case "mini campaign reproduces the paper's structure" `Slow
+      (fun () ->
+        let campaign =
+          Propane.Campaign.make ~name:"structure"
+            ~targets:Model.injection_targets
+            ~testcases:[ System.testcase ~mass_kg:14_000.0 ~velocity_mps:60.0 ]
+            ~times:[ Simkernel.Sim_time.of_ms 1_500 ]
+            ~errors:(Propane.Error_model.bit_flips ~width:Signals.width)
+        in
+        let results =
+          Propane.Runner.run_campaign ~seed:5L ~truncate_after_ms:128
+            (System.sut ()) campaign
+        in
+        match Propane.Estimator.estimate_all ~model:Model.system results with
+        | Error msg -> Alcotest.fail msg
+        | Ok matrices ->
+            let m name' = Propagation.String_map.find name' matrices in
+            let get name' i k =
+              Propagation.Perm_matrix.get (m name') ~input:i ~output:k
+            in
+            (* CLOCK row [0; 1] — exactly the paper's Table 1/2. *)
+            close "slot->mscnt" 0.0 (get "CLOCK" 1 1);
+            close "slot->slot" 1.0 (get "CLOCK" 1 2);
+            (* PRES_S is non-permeable (OB3). *)
+            close "ADC->InValue" 0.0 (get "PRES_S" 1 1);
+            (* The stopped column is all zero (OB2). *)
+            close "PACNT->stopped" 0.0 (get "DIST_S" 1 3);
+            close "TIC1->stopped" 0.0 (get "DIST_S" 2 3);
+            close "TCNT->stopped" 0.0 (get "DIST_S" 3 3);
+            (* i -> i is the sentinel 1.000 of Table 1. *)
+            close "i->i" 1.0 (get "CALC" 5 1);
+            (* The high-permeability hot path SetValue -> OutValue -> TOC2. *)
+            Alcotest.(check bool)
+              "SetValue->OutValue high" true
+              (get "V_REG" 1 1 > 0.8);
+            Alcotest.(check bool)
+              "OutValue->TOC2 high" true
+              (get "PRES_A" 1 1 > 0.5));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties of golden runs over the whole workload envelope. *)
+
+let envelope_gen =
+  QCheck2.Gen.(pair (float_range 8_000.0 20_000.0) (float_range 40.0 80.0))
+
+let trace_values traces signal =
+  Propane.Trace.to_list (Propane.Trace_set.trace traces signal)
+
+let monotone values =
+  match values with
+  | [] -> true
+  | _ :: tail -> List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length tail) values) tail
+
+let envelope_tests =
+  let sut = System.sut () in
+  let golden (mass_kg, velocity_mps) =
+    Propane.Runner.golden_run sut (System.testcase ~mass_kg ~velocity_mps)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"every arrestment in the envelope completes in bounds" ~count:12
+         envelope_gen (fun case ->
+           let traces = golden case in
+           let dur = Propane.Trace_set.duration_ms traces in
+           let final s =
+             Propane.Trace.get (Propane.Trace_set.trace traces s) (dur - 1)
+           in
+           dur > 5_100
+           && dur < Propane.Runner.default_max_ms
+           && final "stopped" = 1
+           && float_of_int (final "pulscnt") /. Params.pulses_per_metre
+              < Params.runway_length_m));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"pulscnt and i never decrease in a golden run"
+         ~count:8 envelope_gen (fun case ->
+           let traces = golden case in
+           monotone (trace_values traces "pulscnt")
+           && monotone (trace_values traces "i")));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"stopped latches: once raised it stays raised"
+         ~count:8 envelope_gen (fun case ->
+           let traces = golden case in
+           monotone (trace_values traces "stopped")));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"TOC2 never exceeds the scaled valve range"
+         ~count:8 envelope_gen (fun case ->
+           let traces = golden case in
+           List.for_all
+             (fun v -> v <= Params.pressure_full_scale lsr Params.toc2_shift)
+             (trace_values traces "TOC2")));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"the slot number trace cycles through 0..6"
+         ~count:5 envelope_gen (fun case ->
+           let traces = golden case in
+           List.for_all
+             (fun v -> 0 <= v && v < 7)
+             (trace_values traces "ms_slot_nbr")));
+  ]
+
+let () =
+  Alcotest.run "arrestment"
+    [
+      ("physics", physics_tests);
+      ("environment", environment_tests);
+      ("modules", module_tests);
+      ("model", model_tests);
+      ("golden_runs", golden_run_tests);
+      ("campaign", campaign_tests);
+      ("envelope", envelope_tests);
+    ]

@@ -1,0 +1,1123 @@
+(* Tests for the PROPANE fault-injection substrate.
+
+   The campaign/estimator tests use a tiny synthetic system under test
+   with analytically known permeability: module SCALE computes
+   y = x >> 4 every millisecond, so exactly the 4 low bits of x are
+   invisible and the true permeability of the (x, y) pair under the
+   16-bit-flip model is 12/16 = 0.75. *)
+
+module Sim = Simkernel
+
+let check_raises_invalid name f =
+  Alcotest.test_case name `Quick (fun () ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+
+let close = Alcotest.(check (float 1e-9))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.equal (String.sub haystack i nn) needle then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let error_model_tests =
+  let rng () = Sim.Rng.create 1L in
+  [
+    Alcotest.test_case "bit flip toggles one bit" `Quick (fun () ->
+        Alcotest.(check int)
+          "flipped" 0b1001
+          (Propane.Error_model.apply (Propane.Error_model.Bit_flip 3)
+             ~width:16 ~rng:(rng ()) 0b0001));
+    Alcotest.test_case "bit flip is an involution" `Quick (fun () ->
+        let flip v =
+          Propane.Error_model.apply (Propane.Error_model.Bit_flip 7) ~width:16
+            ~rng:(rng ()) v
+        in
+        Alcotest.(check int) "id" 12345 (flip (flip 12345)));
+    Alcotest.test_case "stuck-at replaces and truncates" `Quick (fun () ->
+        Alcotest.(check int)
+          "value" 0xFF
+          (Propane.Error_model.apply
+             (Propane.Error_model.Stuck_at 0x1FF)
+             ~width:8 ~rng:(rng ()) 3));
+    Alcotest.test_case "offset wraps at width" `Quick (fun () ->
+        Alcotest.(check int)
+          "value" 1
+          (Propane.Error_model.apply (Propane.Error_model.Offset 2) ~width:16
+             ~rng:(rng ()) 0xFFFF));
+    Alcotest.test_case "negative offset wraps" `Quick (fun () ->
+        Alcotest.(check int)
+          "value" 0xFFFF
+          (Propane.Error_model.apply
+             (Propane.Error_model.Offset (-1))
+             ~width:16 ~rng:(rng ()) 0));
+    Alcotest.test_case "uniform replacement stays in range" `Quick (fun () ->
+        let rng = rng () in
+        for _ = 1 to 100 do
+          let v =
+            Propane.Error_model.apply Propane.Error_model.Replace_uniform
+              ~width:8 ~rng 0
+          in
+          Alcotest.(check bool) "range" true (0 <= v && v <= 255)
+        done);
+    Alcotest.test_case "bit_flips covers every position once" `Quick (fun () ->
+        let flips = Propane.Error_model.bit_flips ~width:16 in
+        Alcotest.(check int) "count" 16 (List.length flips);
+        List.iteri
+          (fun idx e ->
+            Alcotest.(check bool)
+              "position" true
+              (Propane.Error_model.equal e (Propane.Error_model.Bit_flip idx)))
+          flips);
+    check_raises_invalid "flip outside width rejected" (fun () ->
+        Propane.Error_model.apply (Propane.Error_model.Bit_flip 16) ~width:16
+          ~rng:(rng ()) 0);
+    check_raises_invalid "bad width rejected" (fun () ->
+        Propane.Error_model.apply (Propane.Error_model.Stuck_at 0) ~width:0
+          ~rng:(rng ()) 0);
+    Alcotest.test_case "describe is informative" `Quick (fun () ->
+        Alcotest.(check string)
+          "bit flip" "bit-flip@5"
+          (Propane.Error_model.describe (Propane.Error_model.Bit_flip 5)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let trace_tests =
+  let t values = Propane.Trace.of_list ~signal:"x" values in
+  [
+    Alcotest.test_case "push/get/length" `Quick (fun () ->
+        let tr = Propane.Trace.create ~signal:"x" () in
+        Propane.Trace.push tr 1;
+        Propane.Trace.push tr 2;
+        Alcotest.(check int) "len" 2 (Propane.Trace.length tr);
+        Alcotest.(check int) "get" 2 (Propane.Trace.get tr 1));
+    Alcotest.test_case "growth beyond initial capacity" `Quick (fun () ->
+        let tr = Propane.Trace.create ~capacity:4 ~signal:"x" () in
+        for j = 0 to 999 do
+          Propane.Trace.push tr j
+        done;
+        Alcotest.(check int) "len" 1000 (Propane.Trace.length tr);
+        Alcotest.(check int) "last" 999 (Propane.Trace.get tr 999));
+    check_raises_invalid "get out of range" (fun () ->
+        Propane.Trace.get (t [ 1 ]) 1);
+    Alcotest.test_case "first_difference finds earliest" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "diff" (Some 2)
+          (Propane.Trace.first_difference (t [ 1; 2; 3; 4 ]) (t [ 1; 2; 9; 4 ])));
+    Alcotest.test_case "identical traces never differ" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "none" None
+          (Propane.Trace.first_difference (t [ 1; 2; 3 ]) (t [ 1; 2; 3 ])));
+    Alcotest.test_case "from_ms skips early differences" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "late only" (Some 3)
+          (Propane.Trace.first_difference ~from_ms:2 (t [ 0; 1; 2; 3 ])
+             (t [ 9; 1; 2; 9 ])));
+    Alcotest.test_case "length mismatch is a divergence" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "at end of shorter" (Some 2)
+          (Propane.Trace.first_difference (t [ 1; 2; 3 ]) (t [ 1; 2 ])));
+    Alcotest.test_case "until_ms bounds the comparison" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "ignored" None
+          (Propane.Trace.first_difference ~until_ms:2 (t [ 1; 2; 3 ])
+             (t [ 1; 2; 9 ])));
+    Alcotest.test_case "until_ms ignores a shorter run" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "ignored" None
+          (Propane.Trace.first_difference ~until_ms:2 (t [ 1; 2; 3; 4 ])
+             (t [ 1; 2 ])));
+    check_raises_invalid "different signals rejected" (fun () ->
+        Propane.Trace.first_difference
+          (Propane.Trace.of_list ~signal:"x" [ 1 ])
+          (Propane.Trace.of_list ~signal:"y" [ 1 ]));
+    Alcotest.test_case "of_list/to_list roundtrip" `Quick (fun () ->
+        Alcotest.(check (list int))
+          "roundtrip" [ 5; 6; 7 ]
+          (Propane.Trace.to_list (t [ 5; 6; 7 ])));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"equal traces have no first difference"
+         ~count:200
+         QCheck2.Gen.(small_list (int_range 0 1000))
+         (fun values ->
+           Propane.Trace.first_difference (t values) (t values) = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let trace_set_tests =
+  [
+    Alcotest.test_case "synchronized sampling" `Quick (fun () ->
+        let set = Propane.Trace_set.create ~signals:[ "a"; "b" ] () in
+        Propane.Trace_set.sample set (function "a" -> 1 | _ -> 2);
+        Propane.Trace_set.sample set (function "a" -> 3 | _ -> 4);
+        Alcotest.(check int) "duration" 2 (Propane.Trace_set.duration_ms set);
+        Alcotest.(check (list int))
+          "a" [ 1; 3 ]
+          (Propane.Trace.to_list (Propane.Trace_set.trace set "a"));
+        Alcotest.(check (list int))
+          "b" [ 2; 4 ]
+          (Propane.Trace.to_list (Propane.Trace_set.trace set "b")));
+    check_raises_invalid "duplicate signals rejected" (fun () ->
+        Propane.Trace_set.create ~signals:[ "a"; "a" ] ());
+    check_raises_invalid "empty signal list rejected" (fun () ->
+        Propane.Trace_set.create ~signals:[] ());
+    Alcotest.test_case "find_trace distinguishes unknown" `Quick (fun () ->
+        let set = Propane.Trace_set.create ~signals:[ "a" ] () in
+        Alcotest.(check bool)
+          "known" true
+          (Propane.Trace_set.find_trace set "a" <> None);
+        Alcotest.(check bool)
+          "unknown" true
+          (Propane.Trace_set.find_trace set "zz" = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let golden_tests =
+  let run_of values_per_signal =
+    let set =
+      Propane.Trace_set.create ~signals:(List.map fst values_per_signal) ()
+    in
+    let n = List.length (snd (List.hd values_per_signal)) in
+    for j = 0 to n - 1 do
+      Propane.Trace_set.sample set (fun s ->
+          List.nth (List.assoc s values_per_signal) j)
+    done;
+    set
+  in
+  [
+    Alcotest.test_case "reports first divergence per signal" `Quick (fun () ->
+        let golden = run_of [ ("a", [ 1; 1; 1 ]); ("b", [ 2; 2; 2 ]) ] in
+        let run = run_of [ ("a", [ 1; 9; 1 ]); ("b", [ 2; 2; 2 ]) ] in
+        match Propane.Golden.compare_runs ~golden ~run () with
+        | [ { Propane.Golden.signal = "a"; first_ms = 1 } ] -> ()
+        | other ->
+            Alcotest.failf "unexpected: %a"
+              Fmt.(list Propane.Golden.pp_divergence)
+              other);
+    Alcotest.test_case "identical runs have no divergences" `Quick (fun () ->
+        let golden = run_of [ ("a", [ 1; 2; 3 ]) ] in
+        let run = run_of [ ("a", [ 1; 2; 3 ]) ] in
+        Alcotest.(check int)
+          "none" 0
+          (List.length (Propane.Golden.compare_runs ~golden ~run ())));
+    Alcotest.test_case "until_ms forgives a truncated run" `Quick (fun () ->
+        let golden = run_of [ ("a", [ 1; 2; 3; 4 ]) ] in
+        let run = run_of [ ("a", [ 1; 2 ]) ] in
+        Alcotest.(check int)
+          "none" 0
+          (List.length (Propane.Golden.compare_runs ~until_ms:2 ~golden ~run ())));
+    check_raises_invalid "different signal sets rejected" (fun () ->
+        let golden = run_of [ ("a", [ 1 ]) ] in
+        let run = run_of [ ("b", [ 1 ]) ] in
+        Propane.Golden.compare_runs ~golden ~run ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let tolerant_tests =
+  let run_of values =
+    let set = Propane.Trace_set.create ~signals:[ "a" ] () in
+    List.iter (fun v -> Propane.Trace_set.sample set (fun _ -> v)) values;
+    set
+  in
+  let tol epsilon hold_ms _signal = { Propane.Golden.epsilon; hold_ms } in
+  [
+    Alcotest.test_case "differences within epsilon are ignored" `Quick
+      (fun () ->
+        let golden = run_of [ 10; 20; 30 ] and run = run_of [ 12; 18; 31 ] in
+        Alcotest.(check int)
+          "none" 0
+          (List.length
+             (Propane.Golden.compare_runs_tolerant ~tolerance_for:(tol 2 0)
+                ~golden ~run ())));
+    Alcotest.test_case "differences beyond epsilon are reported" `Quick
+      (fun () ->
+        let golden = run_of [ 10; 20; 30 ] and run = run_of [ 10; 25; 30 ] in
+        match
+          Propane.Golden.compare_runs_tolerant ~tolerance_for:(tol 2 0)
+            ~golden ~run ()
+        with
+        | [ { Propane.Golden.signal = "a"; first_ms = 1 } ] -> ()
+        | _ -> Alcotest.fail "expected one divergence at 1");
+    Alcotest.test_case "hold requires a sustained excursion" `Quick (fun () ->
+        let golden = run_of [ 0; 0; 0; 0; 0; 0 ] in
+        let spike = run_of [ 0; 9; 0; 0; 0; 0 ] in
+        let sustained = run_of [ 0; 9; 9; 9; 0; 0 ] in
+        let tolerance = tol 1 2 in
+        Alcotest.(check int)
+          "spike ignored" 0
+          (List.length
+             (Propane.Golden.compare_runs_tolerant ~tolerance_for:tolerance
+                ~golden ~run:spike ()));
+        match
+          Propane.Golden.compare_runs_tolerant ~tolerance_for:tolerance
+            ~golden ~run:sustained ()
+        with
+        | [ { Propane.Golden.first_ms = 1; _ } ] -> ()
+        | _ -> Alcotest.fail "expected divergence at the excursion start");
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"exact tolerance coincides with first-difference GRC"
+         ~count:200
+         QCheck2.Gen.(
+           pair
+             (list_size (int_range 1 20) (int_range 0 50))
+             (list_size (int_range 1 20) (int_range 0 50)))
+         (fun (xs, ys) ->
+           let n = min (List.length xs) (List.length ys) in
+           let take l = List.filteri (fun i _ -> i < n) l in
+           let golden = run_of (take xs) and run = run_of (take ys) in
+           Propane.Golden.compare_runs_tolerant
+             ~tolerance_for:(fun _ -> Propane.Golden.exact)
+             ~golden ~run ()
+           = Propane.Golden.compare_runs ~golden ~run ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let testcase_tests =
+  [
+    Alcotest.test_case "params are retrievable" `Quick (fun () ->
+        let tc = Propane.Testcase.make ~id:"t" ~params:[ ("mass", 10.0) ] in
+        Alcotest.(check (option (float 0.0)))
+          "present" (Some 10.0)
+          (Propane.Testcase.param tc "mass");
+        Alcotest.(check (option (float 0.0)))
+          "absent" None
+          (Propane.Testcase.param tc "velocity"));
+    check_raises_invalid "param_exn on missing" (fun () ->
+        Propane.Testcase.param_exn (Propane.Testcase.make ~id:"t" ~params:[]) "x");
+    check_raises_invalid "duplicate params rejected" (fun () ->
+        Propane.Testcase.make ~id:"t" ~params:[ ("m", 1.0); ("m", 2.0) ]);
+    Alcotest.test_case "grid is the cartesian product" `Quick (fun () ->
+        let cases =
+          Propane.Testcase.grid
+            [ ("a", [ 1.0; 2.0 ]); ("b", [ 3.0; 4.0; 5.0 ]) ]
+        in
+        Alcotest.(check int) "count" 6 (List.length cases);
+        let ids = List.map Propane.Testcase.id cases in
+        Alcotest.(check int)
+          "distinct ids" 6
+          (List.length (List.sort_uniq String.compare ids)));
+    Alcotest.test_case "uniform_axis endpoints and spacing" `Quick (fun () ->
+        let _, values =
+          Propane.Testcase.uniform_axis "m" ~lo:8_000.0 ~hi:20_000.0 ~steps:5
+        in
+        Alcotest.(check int) "count" 5 (List.length values);
+        close "lo" 8_000.0 (List.hd values);
+        close "hi" 20_000.0 (List.nth values 4);
+        close "mid" 14_000.0 (List.nth values 2));
+    check_raises_invalid "axis needs lo < hi" (fun () ->
+        Propane.Testcase.uniform_axis "m" ~lo:2.0 ~hi:1.0 ~steps:3);
+    Alcotest.test_case "the paper's workload is 25 cases" `Quick (fun () ->
+        Alcotest.(check int)
+          "count" 25
+          (List.length Arrestment.System.paper_testcases));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let campaign_tests =
+  [
+    Alcotest.test_case "paper plan is 4,000 runs per signal" `Quick (fun () ->
+        let plan =
+          Propane.Campaign.paper_plan ~targets:[ "x" ]
+            ~testcases:Arrestment.System.paper_testcases ~width:16 ()
+        in
+        Alcotest.(check int)
+          "per target" 4_000
+          (Propane.Campaign.runs_per_target plan);
+        Alcotest.(check int) "size" 4_000 (Propane.Campaign.size plan));
+    Alcotest.test_case "full arrestment campaign is 52,000 runs" `Quick
+      (fun () ->
+        Alcotest.(check int)
+          "size" 52_000
+          (Propane.Campaign.size (Arrestment.System.paper_campaign ())));
+    Alcotest.test_case "paper times are 0.5s..5.0s" `Quick (fun () ->
+        let times = List.map Sim.Sim_time.to_ms Propane.Campaign.paper_times in
+        Alcotest.(check int) "count" 10 (List.length times);
+        Alcotest.(check int) "first" 500 (List.hd times);
+        Alcotest.(check int) "last" 5_000 (List.nth times 9));
+    Alcotest.test_case "experiments expand deterministically" `Quick (fun () ->
+        let plan =
+          Propane.Campaign.make ~name:"t" ~targets:[ "x"; "y" ]
+            ~testcases:[ Propane.Testcase.make ~id:"a" ~params:[] ]
+            ~times:[ Sim.Sim_time.of_ms 1 ]
+            ~errors:[ Propane.Error_model.Bit_flip 0 ]
+        in
+        let exps = Propane.Campaign.experiments plan in
+        Alcotest.(check int) "count" 2 (List.length exps);
+        Alcotest.(check (list string))
+          "targets in order" [ "x"; "y" ]
+          (List.map (fun (_, inj) -> inj.Propane.Injection.target) exps));
+    check_raises_invalid "duplicate targets rejected" (fun () ->
+        Propane.Campaign.make ~name:"t" ~targets:[ "x"; "x" ]
+          ~testcases:[ Propane.Testcase.make ~id:"a" ~params:[] ]
+          ~times:[ Sim.Sim_time.of_ms 1 ]
+          ~errors:[ Propane.Error_model.Bit_flip 0 ]);
+    check_raises_invalid "empty dimensions rejected" (fun () ->
+        Propane.Campaign.make ~name:"t" ~targets:[] ~testcases:[] ~times:[]
+          ~errors:[]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let store_layout = [ ("x", 16); ("y", 16); ("hw", 16) ]
+
+let signal_store_tests =
+  let make () =
+    Propane.Signal_store.create
+      ~modes:[ ("hw", Propane.Signal_store.Immediate) ]
+      ~signals:store_layout ()
+  in
+  [
+    Alcotest.test_case "write truncates to width" `Quick (fun () ->
+        let store = Propane.Signal_store.create ~signals:[ ("n", 8) ] () in
+        Propane.Signal_store.write store "n" 0x1FF;
+        Alcotest.(check int) "value" 0xFF (Propane.Signal_store.read store "n"));
+    Alcotest.test_case "at-read trap fires on first read only" `Quick
+      (fun () ->
+        let store = make () in
+        Propane.Signal_store.write store "x" 5;
+        Propane.Signal_store.inject store "x" (fun v -> v + 1);
+        Alcotest.(check bool)
+          "pending" true
+          (Propane.Signal_store.pending_injection store "x");
+        Alcotest.(check int)
+          "peek unaffected" 5
+          (Propane.Signal_store.peek store "x");
+        Alcotest.(check int) "corrupted" 6 (Propane.Signal_store.read store "x");
+        Alcotest.(check int) "persists" 6 (Propane.Signal_store.read store "x");
+        Alcotest.(check bool)
+          "consumed" false
+          (Propane.Signal_store.pending_injection store "x"));
+    Alcotest.test_case "at-read trap survives producer writes" `Quick
+      (fun () ->
+        let store = make () in
+        Propane.Signal_store.inject store "x" (fun v -> v lxor 0x8000);
+        Propane.Signal_store.write store "x" 100;
+        Alcotest.(check int)
+          "corrupts fresh value" (100 lxor 0x8000)
+          (Propane.Signal_store.read store "x"));
+    Alcotest.test_case "immediate mode corrupts the cell now" `Quick (fun () ->
+        let store = make () in
+        Propane.Signal_store.write store "hw" 3;
+        Propane.Signal_store.inject store "hw" (fun v -> v + 4);
+        Alcotest.(check int) "peek" 7 (Propane.Signal_store.peek store "hw"));
+    Alcotest.test_case "immediate corruption is clobbered by a write" `Quick
+      (fun () ->
+        let store = make () in
+        Propane.Signal_store.inject store "hw" (fun v -> v + 4);
+        Propane.Signal_store.write store "hw" 100;
+        Alcotest.(check int) "fresh" 100 (Propane.Signal_store.read store "hw"));
+    Alcotest.test_case "immediate corruption survives read-modify-write" `Quick
+      (fun () ->
+        let store = make () in
+        Propane.Signal_store.write store "hw" 10;
+        Propane.Signal_store.inject store "hw" (fun v -> v + 1000);
+        Propane.Signal_store.write store "hw"
+          (Propane.Signal_store.peek store "hw" + 1);
+        Alcotest.(check int)
+          "carried" 1011
+          (Propane.Signal_store.read store "hw"));
+    Alcotest.test_case "write guards transform produced values" `Quick
+      (fun () ->
+        let store = make () in
+        Propane.Signal_store.add_write_guard store "y" (fun v -> min v 10);
+        Propane.Signal_store.write store "y" 100;
+        Alcotest.(check int) "clamped" 10 (Propane.Signal_store.read store "y"));
+    Alcotest.test_case "guards also see trap-corrupted values" `Quick
+      (fun () ->
+        let store = make () in
+        Propane.Signal_store.add_write_guard store "x" (fun v -> min v 10);
+        Propane.Signal_store.write store "x" 5;
+        Propane.Signal_store.inject store "x" (fun _ -> 5000);
+        Alcotest.(check int) "repaired" 10 (Propane.Signal_store.read store "x"));
+    Alcotest.test_case "guards do not apply to poke" `Quick (fun () ->
+        let store = make () in
+        Propane.Signal_store.add_write_guard store "y" (fun v -> min v 10);
+        Propane.Signal_store.poke store "y" 100;
+        Alcotest.(check int) "raw" 100 (Propane.Signal_store.peek store "y"));
+    Alcotest.test_case "clear_injections drops pendings" `Quick (fun () ->
+        let store = make () in
+        Propane.Signal_store.inject store "x" (fun v -> v + 1);
+        Propane.Signal_store.clear_injections store;
+        Alcotest.(check int) "clean" 0 (Propane.Signal_store.read store "x"));
+    check_raises_invalid "unknown signal rejected" (fun () ->
+        Propane.Signal_store.read (make ()) "zz");
+    check_raises_invalid "mode for unknown signal rejected" (fun () ->
+        Propane.Signal_store.create
+          ~modes:[ ("zz", Propane.Signal_store.Immediate) ]
+          ~signals:store_layout ());
+    Alcotest.test_case "mode lookup" `Quick (fun () ->
+        let store = make () in
+        Alcotest.(check bool)
+          "hw immediate" true
+          (Propane.Signal_store.mode store "hw" = Propane.Signal_store.Immediate);
+        Alcotest.(check bool)
+          "x at-read" true
+          (Propane.Signal_store.mode store "x" = Propane.Signal_store.At_read));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic SUT: y = x >> 4, x driven externally as a ramp.           *)
+
+let scaler_sut () =
+  let instantiate _tc =
+    let store =
+      Propane.Signal_store.create ~signals:[ ("x", 16); ("y", 16) ] ()
+    in
+    let t = ref 0 in
+    {
+      Propane.Sut.read = Propane.Signal_store.peek store;
+      write = Propane.Signal_store.poke store;
+      inject = Propane.Signal_store.inject store;
+      step =
+        (fun () ->
+          incr t;
+          Propane.Signal_store.write store "x" (!t * 16);
+          Propane.Signal_store.write store "y"
+            (Propane.Signal_store.read store "x" lsr 4));
+      finished = (fun () -> !t >= 100);
+    }
+  in
+  {
+    Propane.Sut.name = "scaler";
+    signals = [ ("x", 16); ("y", 16) ];
+    instantiate;
+  }
+
+let scale_model =
+  Propagation.System_model.make_exn
+    ~modules:
+      [
+        Propagation.Sw_module.make ~name:"SCALE"
+          ~inputs:[ Propagation.Signal.make "x" ]
+          ~outputs:[ Propagation.Signal.make "y" ];
+      ]
+    ~system_inputs:[ Propagation.Signal.make "x" ]
+    ~system_outputs:[ Propagation.Signal.make "y" ]
+
+let scaler_campaign =
+  Propane.Campaign.make ~name:"scaler" ~targets:[ "x" ]
+    ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+    ~times:(List.map Sim.Sim_time.of_ms [ 10; 20; 30; 40; 50 ])
+    ~errors:(Propane.Error_model.bit_flips ~width:16)
+
+let runner_tests =
+  [
+    Alcotest.test_case "golden run stops at finished" `Quick (fun () ->
+        let traces =
+          Propane.Runner.golden_run (scaler_sut ())
+            (Propane.Testcase.make ~id:"t" ~params:[])
+        in
+        Alcotest.(check int)
+          "duration" 100
+          (Propane.Trace_set.duration_ms traces));
+    Alcotest.test_case "golden run honours max_ms" `Quick (fun () ->
+        let traces =
+          Propane.Runner.golden_run ~max_ms:10 (scaler_sut ())
+            (Propane.Testcase.make ~id:"t" ~params:[])
+        in
+        Alcotest.(check int)
+          "duration" 10
+          (Propane.Trace_set.duration_ms traces));
+    Alcotest.test_case "injection corrupts the target trace" `Quick (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 15)
+        in
+        let outcome = Propane.Runner.run_experiment sut ~golden tc injection in
+        Alcotest.(check (option int))
+          "x diverges at 10" (Some 10)
+          (Propane.Results.divergence_of outcome "x");
+        Alcotest.(check (option int))
+          "y diverges at 10" (Some 10)
+          (Propane.Results.divergence_of outcome "y"));
+    Alcotest.test_case "low-bit flips never reach y" `Quick (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 2)
+        in
+        let outcome = Propane.Runner.run_experiment sut ~golden tc injection in
+        Alcotest.(check bool)
+          "x diverges" true
+          (Propane.Results.divergence_of outcome "x" <> None);
+        Alcotest.(check (option int))
+          "y clean" None
+          (Propane.Results.divergence_of outcome "y"));
+    Alcotest.test_case "injection beyond duration leaves the run golden" `Quick
+      (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 5_000)
+            ~error:(Propane.Error_model.Bit_flip 15)
+        in
+        let outcome = Propane.Runner.run_experiment sut ~golden tc injection in
+        Alcotest.(check int)
+          "no divergences" 0
+          (List.length outcome.Propane.Results.divergences));
+    Alcotest.test_case "truncation shortens the run but keeps the window"
+      `Quick (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 15)
+        in
+        let outcome =
+          Propane.Runner.run_experiment ~truncate_after_ms:5 sut ~golden tc
+            injection
+        in
+        Alcotest.(check (option int))
+          "still seen" (Some 10)
+          (Propane.Results.divergence_of outcome "y"));
+    check_raises_invalid "unknown target rejected" (fun () ->
+        Propane.Runner.injection_run (scaler_sut ()) ~duration_ms:10
+          (Propane.Testcase.make ~id:"t" ~params:[])
+          (Propane.Injection.make ~target:"zz" ~at:Sim.Sim_time.zero
+             ~error:(Propane.Error_model.Bit_flip 0)));
+    Alcotest.test_case "campaigns are deterministic for a seed" `Quick
+      (fun () ->
+        let run () =
+          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let a = run () and b = run () in
+        Alcotest.(check int)
+          "count" (Propane.Results.count a)
+          (Propane.Results.count b);
+        List.iter2
+          (fun (x : Propane.Results.outcome) (y : Propane.Results.outcome) ->
+            Alcotest.(check int)
+              "divergence lists" 0
+              (compare x.divergences y.divergences))
+          (Propane.Results.outcomes a)
+          (Propane.Results.outcomes b));
+    Alcotest.test_case "parallel campaign equals the sequential one" `Quick
+      (fun () ->
+        (* Includes a randomised error model so the per-index rng
+           derivation is genuinely exercised. *)
+        let campaign =
+          Propane.Campaign.make ~name:"par" ~targets:[ "x" ]
+            ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+            ~times:[ Sim.Sim_time.of_ms 10; Sim.Sim_time.of_ms 40 ]
+            ~errors:
+              (Propane.Error_model.bit_flips ~width:16
+              @ [ Propane.Error_model.Replace_uniform ])
+        in
+        let seq =
+          Propane.Runner.run_campaign ~seed:9L (scaler_sut ()) campaign
+        in
+        let par =
+          Propane.Runner.run_campaign_parallel ~seed:9L ~domains:3
+            (scaler_sut ()) campaign
+        in
+        Alcotest.(check int)
+          "count" (Propane.Results.count seq)
+          (Propane.Results.count par);
+        List.iter2
+          (fun (a : Propane.Results.outcome) (b : Propane.Results.outcome) ->
+            Alcotest.(check string)
+              "target" a.injection.Propane.Injection.target
+              b.injection.Propane.Injection.target;
+            Alcotest.(check bool)
+              "divergences" true
+              (a.divergences = b.divergences))
+          (Propane.Results.outcomes seq)
+          (Propane.Results.outcomes par));
+    check_raises_invalid "parallel rejects zero domains" (fun () ->
+        Propane.Runner.run_campaign_parallel ~domains:0 (scaler_sut ())
+          scaler_campaign);
+    Alcotest.test_case "progress callback counts every run" `Quick (fun () ->
+        let seen = ref 0 in
+        let _ =
+          Propane.Runner.run_campaign
+            ~on_progress:(fun p ->
+              incr seen;
+              Alcotest.(check int)
+                "total"
+                (Propane.Campaign.size scaler_campaign)
+                p.Propane.Runner.total)
+            (scaler_sut ()) scaler_campaign
+        in
+        Alcotest.(check int)
+          "count"
+          (Propane.Campaign.size scaler_campaign)
+          !seen);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let estimator_tests =
+  [
+    Alcotest.test_case "wilson interval brackets the proportion" `Quick
+      (fun () ->
+        let lo, hi = Propane.Estimator.wilson_interval ~errors:50 ~trials:100 in
+        Alcotest.(check bool) "lo" true (lo < 0.5 && 0.4 < lo);
+        Alcotest.(check bool) "hi" true (0.5 < hi && hi < 0.6));
+    Alcotest.test_case "wilson with no trials is vacuous" `Quick (fun () ->
+        Alcotest.(check (pair (float 0.0) (float 0.0)))
+          "interval" (0.0, 1.0)
+          (Propane.Estimator.wilson_interval ~errors:0 ~trials:0));
+    Alcotest.test_case "wilson stays in [0,1] at the extremes" `Quick
+      (fun () ->
+        let lo, hi = Propane.Estimator.wilson_interval ~errors:10 ~trials:10 in
+        Alcotest.(check bool) "bounds" true (0.0 <= lo && hi <= 1.0);
+        Alcotest.(check (float 1e-9)) "hi is 1" 1.0 hi);
+    check_raises_invalid "wilson rejects errors > trials" (fun () ->
+        Propane.Estimator.wilson_interval ~errors:2 ~trials:1);
+    Alcotest.test_case "scaler permeability is exactly 12/16" `Quick (fun () ->
+        let results =
+          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let matrix =
+          Propane.Estimator.estimate_matrix ~model:scale_model ~results "SCALE"
+        in
+        close "P" 0.75 (Propagation.Perm_matrix.get matrix ~input:1 ~output:1));
+    Alcotest.test_case "estimates carry campaign detail" `Quick (fun () ->
+        let results =
+          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        match
+          Propane.Estimator.estimate_pairs ~model:scale_model ~results "SCALE"
+        with
+        | [ e ] ->
+            Alcotest.(check int) "n_inj" 80 e.Propane.Estimator.injections;
+            Alcotest.(check int) "n_err" 60 e.Propane.Estimator.errors
+        | other ->
+            Alcotest.failf "expected 1 estimate, got %d" (List.length other));
+    Alcotest.test_case "estimate_all flags missing targets" `Quick (fun () ->
+        let empty = Propane.Results.create ~sut:"scaler" ~campaign:"none" in
+        match Propane.Estimator.estimate_all ~model:scale_model empty with
+        | Error msg ->
+            Alcotest.(check bool)
+              "mentions x" true
+              (contains_substring msg "x")
+        | Ok _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "attribution window discounts late divergences" `Quick
+      (fun () ->
+        (* Synthetic outcome: y diverges 500 ms after the injection. *)
+        let results = Propane.Results.create ~sut:"scaler" ~campaign:"c" in
+        Propane.Results.add results
+          {
+            Propane.Results.testcase = "t";
+            injection =
+              Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 100)
+                ~error:(Propane.Error_model.Bit_flip 0);
+            divergences = [ { Propane.Golden.signal = "y"; first_ms = 600 } ];
+          };
+        let direct =
+          Propane.Estimator.estimate_matrix
+            ~attribution:(Propane.Estimator.Direct { window_ms = 64 })
+            ~model:scale_model ~results "SCALE"
+        in
+        let any =
+          Propane.Estimator.estimate_matrix
+            ~attribution:Propane.Estimator.Any_divergence ~model:scale_model
+            ~results "SCALE"
+        in
+        close "direct discounts" 0.0
+          (Propagation.Perm_matrix.get direct ~input:1 ~output:1);
+        close "any counts" 1.0
+          (Propagation.Perm_matrix.get any ~input:1 ~output:1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let results_tests =
+  [
+    Alcotest.test_case "add/count/by_target" `Quick (fun () ->
+        let r = Propane.Results.create ~sut:"s" ~campaign:"c" in
+        let outcome target =
+          {
+            Propane.Results.testcase = "t";
+            injection =
+              Propane.Injection.make ~target ~at:Sim.Sim_time.zero
+                ~error:(Propane.Error_model.Bit_flip 0);
+            divergences = [];
+          }
+        in
+        Propane.Results.add r (outcome "x");
+        Propane.Results.add r (outcome "y");
+        Propane.Results.add r (outcome "x");
+        Alcotest.(check int) "count" 3 (Propane.Results.count r);
+        Alcotest.(check int) "x" 2 (Propane.Results.injections_into r "x");
+        Alcotest.(check int)
+          "y" 1
+          (List.length (Propane.Results.by_target r "y"));
+        Alcotest.(check int) "z" 0 (Propane.Results.injections_into r "z"));
+    Alcotest.test_case "merge concatenates" `Quick (fun () ->
+        let mk () = Propane.Results.create ~sut:"s" ~campaign:"c" in
+        let a = mk () and b = mk () in
+        let outcome =
+          {
+            Propane.Results.testcase = "t";
+            injection =
+              Propane.Injection.make ~target:"x" ~at:Sim.Sim_time.zero
+                ~error:(Propane.Error_model.Bit_flip 0);
+            divergences = [];
+          }
+        in
+        Propane.Results.add a outcome;
+        Propane.Results.add b outcome;
+        Alcotest.(check int)
+          "merged" 2
+          (Propane.Results.count (Propane.Results.merge a b)));
+    check_raises_invalid "merge rejects different campaigns" (fun () ->
+        Propane.Results.merge
+          (Propane.Results.create ~sut:"s" ~campaign:"c1")
+          (Propane.Results.create ~sut:"s" ~campaign:"c2"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let synthetic_results divergence_specs =
+  (* One outcome per spec: (target, testcase, at_ms, [(signal, at)]). *)
+  let results = Propane.Results.create ~sut:"synth" ~campaign:"synth" in
+  List.iter
+    (fun (target, testcase, at_ms, divergences) ->
+      Propane.Results.add results
+        {
+          Propane.Results.testcase;
+          injection =
+            Propane.Injection.make ~target ~at:(Sim.Sim_time.of_ms at_ms)
+              ~error:(Propane.Error_model.Bit_flip 0);
+          divergences =
+            List.map
+              (fun (signal, first_ms) -> { Propane.Golden.signal; first_ms })
+              divergences;
+        })
+    divergence_specs;
+  results
+
+let latency_tests =
+  [
+    Alcotest.test_case "statistics over counted errors" `Quick (fun () ->
+        let results =
+          synthetic_results
+            [
+              ("x", "t", 100, [ ("y", 102) ]);
+              ("x", "t", 100, [ ("y", 110) ]);
+              ("x", "t", 100, [ ("y", 104) ]);
+              ("x", "t", 100, []);
+            ]
+        in
+        match
+          Propane.Latency.pair_stats ~model:scale_model ~results "SCALE"
+        with
+        | [ Some s ] ->
+            Alcotest.(check int) "samples" 3 s.Propane.Latency.samples;
+            Alcotest.(check int) "min" 2 s.Propane.Latency.min_ms;
+            Alcotest.(check int) "max" 10 s.Propane.Latency.max_ms;
+            Alcotest.(check int) "median" 4 s.Propane.Latency.median_ms;
+            Alcotest.(check (float 1e-9)) "mean" (16.0 /. 3.0)
+              s.Propane.Latency.mean_ms
+        | _ -> Alcotest.fail "expected one defined stat");
+    Alcotest.test_case "window drops late divergences" `Quick (fun () ->
+        let results =
+          synthetic_results [ ("x", "t", 100, [ ("y", 400) ]) ]
+        in
+        match
+          Propane.Latency.pair_stats
+            ~attribution:(Propane.Estimator.Direct { window_ms = 64 })
+            ~model:scale_model ~results "SCALE"
+        with
+        | [ None ] -> ()
+        | _ -> Alcotest.fail "expected no stats");
+    Alcotest.test_case "any-divergence keeps late ones" `Quick (fun () ->
+        let results =
+          synthetic_results [ ("x", "t", 100, [ ("y", 400) ]) ]
+        in
+        match
+          Propane.Latency.pair_stats
+            ~attribution:Propane.Estimator.Any_divergence ~model:scale_model
+            ~results "SCALE"
+        with
+        | [ Some s ] -> Alcotest.(check int) "latency" 300 s.Propane.Latency.max_ms
+        | _ -> Alcotest.fail "expected stats");
+    Alcotest.test_case "all_stats flattens defined pairs" `Quick (fun () ->
+        let results = synthetic_results [ ("x", "t", 1, [ ("y", 2) ]) ] in
+        Alcotest.(check int)
+          "one" 1
+          (List.length (Propane.Latency.all_stats ~model:scale_model results)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let uniformity_tests =
+  [
+    Alcotest.test_case "locations group by target, case and time" `Quick
+      (fun () ->
+        let results =
+          synthetic_results
+            [
+              ("x", "a", 10, [ ("y", 11) ]);
+              ("x", "a", 10, []);
+              ("x", "a", 20, [ ("y", 21) ]);
+              ("x", "b", 10, []);
+            ]
+        in
+        let locs = Propane.Uniformity.locations ~outputs:[ "y" ] results in
+        Alcotest.(check int) "groups" 3 (List.length locs));
+    Alcotest.test_case "report classifies all/none/mixed" `Quick (fun () ->
+        let results =
+          synthetic_results
+            [
+              (* location 1: all propagate *)
+              ("x", "a", 10, [ ("y", 11) ]);
+              ("x", "a", 10, [ ("y", 12) ]);
+              (* location 2: none propagate *)
+              ("x", "a", 20, []);
+              ("x", "a", 20, []);
+              (* location 3: mixed *)
+              ("x", "b", 10, [ ("y", 11) ]);
+              ("x", "b", 10, []);
+            ]
+        in
+        let report = Propane.Uniformity.analyse ~outputs:[ "y" ] results in
+        Alcotest.(check int) "locations" 3 report.Propane.Uniformity.locations;
+        Alcotest.(check int) "all" 1 report.Propane.Uniformity.uniform_all;
+        Alcotest.(check int) "none" 1 report.Propane.Uniformity.uniform_none;
+        Alcotest.(check int) "mixed" 1 report.Propane.Uniformity.mixed;
+        Alcotest.(check (float 1e-9))
+          "fraction" (2.0 /. 3.0)
+          (Propane.Uniformity.uniform_fraction report));
+    Alcotest.test_case "histogram bins sum to the location count" `Quick
+      (fun () ->
+        let results =
+          synthetic_results
+            [
+              ("x", "a", 10, [ ("y", 11) ]);
+              ("x", "a", 10, []);
+              ("x", "b", 10, []);
+            ]
+        in
+        let report = Propane.Uniformity.analyse ~outputs:[ "y" ] results in
+        Alcotest.(check int)
+          "sum"
+          report.Propane.Uniformity.locations
+          (Array.fold_left ( + ) 0 report.Propane.Uniformity.histogram));
+    Alcotest.test_case "non-output divergences do not count" `Quick (fun () ->
+        let results =
+          synthetic_results [ ("x", "a", 10, [ ("internal", 11) ]) ]
+        in
+        let report = Propane.Uniformity.analyse ~outputs:[ "y" ] results in
+        Alcotest.(check int) "none" 1 report.Propane.Uniformity.uniform_none);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let storage_tests =
+  let temp suffix = Filename.temp_file "propane_test" suffix in
+  [
+    Alcotest.test_case "error model round-trips" `Quick (fun () ->
+        List.iter
+          (fun e ->
+            match
+              Propane.Storage.error_of_string (Propane.Storage.error_to_string e)
+            with
+            | Ok e' ->
+                Alcotest.(check bool) "equal" true (Propane.Error_model.equal e e')
+            | Error msg -> Alcotest.fail msg)
+          [
+            Propane.Error_model.Bit_flip 7;
+            Propane.Error_model.Stuck_at 65_535;
+            Propane.Error_model.Offset (-12);
+            Propane.Error_model.Replace_uniform;
+          ]);
+    Alcotest.test_case "error parser rejects junk" `Quick (fun () ->
+        List.iter
+          (fun junk ->
+            match Propane.Storage.error_of_string junk with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" junk)
+          [ "bitflip"; "bitflip:x"; "nonsense"; "stuck:" ]);
+    Alcotest.test_case "results round-trip through a file" `Quick (fun () ->
+        let original =
+          synthetic_results
+            [
+              ("x", "m=8000/v=40", 500, [ ("y", 501); ("z", 600) ]);
+              ("w", "m=8000/v=40", 1_000, []);
+            ]
+        in
+        let path = temp ".results" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Propane.Storage.save_results path original;
+            match Propane.Storage.load_results path with
+            | Error msg -> Alcotest.fail msg
+            | Ok loaded ->
+                Alcotest.(check string)
+                  "sut" (Propane.Results.sut original)
+                  (Propane.Results.sut loaded);
+                Alcotest.(check int)
+                  "count" (Propane.Results.count original)
+                  (Propane.Results.count loaded);
+                List.iter2
+                  (fun (a : Propane.Results.outcome)
+                       (b : Propane.Results.outcome) ->
+                    Alcotest.(check string) "testcase" a.testcase b.testcase;
+                    Alcotest.(check string)
+                      "target" a.injection.Propane.Injection.target
+                      b.injection.Propane.Injection.target;
+                    Alcotest.(check bool)
+                      "divergences" true
+                      (a.divergences = b.divergences))
+                  (Propane.Results.outcomes original)
+                  (Propane.Results.outcomes loaded)));
+    Alcotest.test_case "matrices round-trip through a file" `Quick (fun () ->
+        let path = temp ".matrices" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let original = Arrestment.Model.paper_matrices () in
+            Propane.Storage.save_matrices path original;
+            match Propane.Storage.load_matrices path with
+            | Error msg -> Alcotest.fail msg
+            | Ok loaded ->
+                Propagation.String_map.iter
+                  (fun name m ->
+                    Alcotest.(check bool)
+                      name true
+                      (Propagation.Perm_matrix.equal m
+                         (Propagation.String_map.find name loaded)))
+                  original));
+    Alcotest.test_case "loading garbage fails with a located message" `Quick
+      (fun () ->
+        let path = temp ".bad" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "not a propane file\n";
+            close_out oc;
+            (match Propane.Storage.load_results path with
+            | Error msg ->
+                Alcotest.(check bool) "mentions line" true
+                  (contains_substring msg ":1:")
+            | Ok _ -> Alcotest.fail "accepted garbage");
+            match Propane.Storage.load_matrices path with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "accepted garbage"));
+    Alcotest.test_case "campaign results survive storage end to end" `Quick
+      (fun () ->
+        let results =
+          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let path = temp ".results" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Propane.Storage.save_results path results;
+            match Propane.Storage.load_results path with
+            | Error msg -> Alcotest.fail msg
+            | Ok loaded ->
+                let matrix =
+                  Propane.Estimator.estimate_matrix ~model:scale_model
+                    ~results:loaded "SCALE"
+                in
+                Alcotest.(check (float 1e-9))
+                  "estimate preserved" 0.75
+                  (Propagation.Perm_matrix.get matrix ~input:1 ~output:1)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Severity on the scaler SUT: y = x >> 4; mission "fails" when the
+   final y is off by more than 1000. *)
+
+let severity_tests =
+  let mission_failed ~golden ~run =
+    let final traces =
+      Propane.Trace.get
+        (Propane.Trace_set.trace traces "y")
+        (Propane.Trace_set.duration_ms traces - 1)
+    in
+    abs (final golden - final run) > 1_000
+  in
+  [
+    Alcotest.test_case "verdict bins partition the runs" `Quick (fun () ->
+        let reports =
+          Propane.Severity.assess ~outputs:[ "y" ] ~mission_failed
+            (scaler_sut ()) scaler_campaign
+        in
+        match reports with
+        | [ r ] ->
+            Alcotest.(check string) "target" "x" r.Propane.Severity.target;
+            Alcotest.(check int) "runs" 80 r.Propane.Severity.runs;
+            Alcotest.(check int)
+              "partition" 80
+              (List.fold_left
+                 (fun acc v -> acc + Propane.Severity.count r v)
+                 0 Propane.Severity.verdicts)
+        | _ -> Alcotest.fail "expected one report");
+    Alcotest.test_case "masked flips land in no-effect" `Quick (fun () ->
+        (* x is rewritten by the stimulus every ms but the trap fires
+           at y's read, so the 4 low bits are the only masked ones. *)
+        let reports =
+          Propane.Severity.assess ~outputs:[ "y" ] ~mission_failed
+            (scaler_sut ()) scaler_campaign
+        in
+        match reports with
+        | [ r ] ->
+            (* 4 of 16 bits never reach y: x diverges but y does not,
+               so they are internal-only, never no-effect (the injected
+               trace itself diverges). *)
+            Alcotest.(check int) "no effect" 0 r.Propane.Severity.no_effect;
+            Alcotest.(check int)
+              "internal only" 20 r.Propane.Severity.internal_only
+        | _ -> Alcotest.fail "expected one report");
+    Alcotest.test_case "high-bit flips fail the mission" `Quick (fun () ->
+        let reports =
+          Propane.Severity.assess ~outputs:[ "y" ] ~mission_failed
+            (scaler_sut ()) scaler_campaign
+        in
+        match reports with
+        | [ r ] ->
+            (* flips of x bits 14-15 shift y by >= 1024 permanently?  y
+               follows x afresh each ms, so only the injected sample is
+               wrong: the final y is clean and nothing fails the
+               mission. *)
+            Alcotest.(check int)
+              "mission failures" 0 r.Propane.Severity.mission_failure
+        | _ -> Alcotest.fail "expected one report");
+  ]
+
+let () =
+  Alcotest.run "propane"
+    [
+      ("error_model", error_model_tests);
+      ("trace", trace_tests);
+      ("trace_set", trace_set_tests);
+      ("golden", golden_tests);
+      ("testcase", testcase_tests);
+      ("campaign", campaign_tests);
+      ("signal_store", signal_store_tests);
+      ("runner", runner_tests);
+      ("estimator", estimator_tests);
+      ("results", results_tests);
+      ("latency", latency_tests);
+      ("uniformity", uniformity_tests);
+      ("storage", storage_tests);
+      ("golden_tolerant", tolerant_tests);
+      ("severity", severity_tests);
+    ]
