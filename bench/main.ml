@@ -14,6 +14,13 @@ let full_scale =
   | Some "full" -> true
   | Some _ | None -> false
 
+(* PROPANE_JOBS=n runs the measured campaign on n worker domains;
+   results are identical either way (see Propane.Runner.run). *)
+let jobs =
+  match Option.map int_of_string_opt (Sys.getenv_opt "PROPANE_JOBS") with
+  | Some (Some n) when n >= 1 -> n
+  | Some _ | None -> 1
+
 let section title =
   Printf.printf "\n================ %s ================\n\n" title
 
@@ -46,7 +53,7 @@ let results () =
       Format.printf "running campaign: %a@." Propane.Campaign.pp c;
       let t0 = Sys.time () in
       let r =
-        Propane.Runner.run_campaign ~seed:42L ~truncate_after_ms:128
+        Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs
           (Arrestment.System.sut ())
           c
       in
@@ -272,7 +279,7 @@ let ablation () =
       Propane.Campaign.make ~name ~targets:Arrestment.Model.injection_targets
         ~testcases ~times ~errors
     in
-    Propane.Runner.run_campaign ~seed:42L ~truncate_after_ms:128 sut c
+    Propane.Runner.run ~seed:42L ~truncate_after_ms:128 sut c
   in
   let summarise name results attribution =
     match
@@ -449,7 +456,7 @@ let workload () =
         ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
     in
     let results =
-      Propane.Runner.run_campaign ~seed:42L ~truncate_after_ms:128 sut c
+      Propane.Runner.run ~seed:42L ~truncate_after_ms:128 sut c
     in
     match
       Propane.Estimator.estimate_all ~model:Arrestment.Model.system results

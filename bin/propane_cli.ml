@@ -103,6 +103,33 @@ let progress_arg =
   let doc = "Print progress every $(docv) runs (0 = silent)." in
   Arg.(value & opt int 0 & info [ "progress" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc = "Worker domains for the campaign (1 = run serially)." in
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let journal_arg =
+  let doc =
+    "Stream every outcome to an append-only journal at $(docv) as it \
+     completes, so an interrupted campaign can be resumed (see \
+     Propane.Journal)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Replay the --journal file and continue the campaign, skipping runs it \
+     already records.  Results are identical to an uninterrupted campaign \
+     with the same seed."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let telemetry_arg =
+  let doc =
+    "Write a machine-readable JSON campaign summary (throughput, ETA, \
+     per-domain utilisation) to $(docv); '-' writes to stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
 let build_campaign ~cases ~times ~full () =
   let testcases =
     if full then Arrestment.System.paper_testcases
@@ -126,23 +153,45 @@ let build_campaign ~cases ~times ~full () =
     ~targets:Arrestment.Model.injection_targets ~testcases ~times
     ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
 
-let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress () =
+let write_telemetry path telemetry =
+  let json =
+    Propane.Telemetry.to_json (Propane.Telemetry.snapshot telemetry)
+  in
+  if String.equal path "-" then print_endline json
+  else begin
+    let oc = open_out path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "telemetry written to %s\n" path
+  end
+
+let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
+    ~journal ~resume ~telemetry () =
+  if resume && journal = None then begin
+    prerr_endline "propane campaign: --resume requires --journal";
+    exit 1
+  end;
   let campaign = build_campaign ~cases ~times ~full () in
   Format.printf "%a@." Propane.Campaign.pp campaign;
   let sut = Arrestment.System.sut () in
-  let on_progress =
-    if progress > 0 then
-      Some
-        (fun (p : Propane.Runner.progress) ->
-          if p.completed mod progress = 0 || p.completed = p.total then
-            Printf.eprintf "\r%d/%d runs%!" p.completed p.total;
-          if p.completed = p.total then prerr_newline ())
-    else None
+  let tele = Propane.Telemetry.create () in
+  let on_event ev =
+    Propane.Telemetry.observe tele ev;
+    match ev with
+    | Propane.Runner.Run_done { completed; total; _ }
+      when progress > 0 && (completed mod progress = 0 || completed = total)
+      ->
+        Format.eprintf "\r%a%!" Propane.Telemetry.pp_live
+          (Propane.Telemetry.snapshot tele);
+        if completed = total then prerr_newline ()
+    | _ -> ()
   in
   let results =
-    Propane.Runner.run_campaign ~seed ~truncate_after_ms:(window * 2)
-      ?on_progress sut campaign
+    Propane.Runner.run ~seed ~truncate_after_ms:(window * 2) ~jobs ?journal
+      ~resume ~on_event sut campaign
   in
+  Option.iter (fun path -> write_telemetry path tele) telemetry;
   let attribution = Propane.Estimator.Direct { window_ms = window } in
   match
     Propane.Estimator.estimate_all ~attribution ~model:Arrestment.Model.system
@@ -157,14 +206,19 @@ let save_arg =
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
 
 let campaign_cmd =
-  let run () cases times full seed window progress save =
+  let run () cases times full seed window progress jobs journal resume
+      telemetry save =
     let results, analysis =
-      run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ()
+      run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
+        ~journal ~resume ~telemetry ()
     in
     Option.iter
       (fun path ->
-        Propane.Storage.save_results path results;
-        Printf.printf "results saved to %s\n" path)
+        match Propane.Storage.save_results path results with
+        | Ok () -> Printf.printf "results saved to %s\n" path
+        | Error msg ->
+            prerr_endline msg;
+            exit 1)
       save;
     print_analysis_tables ~reference:(Arrestment.Model.paper_matrices ())
       analysis
@@ -173,10 +227,16 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Run a SWIFI campaign on the arrestment system and print the \
-          measured Tables 1-4 (side by side with the paper's values).")
+          measured Tables 1-4 (side by side with the paper's values).  \
+          $(b,--jobs) parallelises over worker domains, $(b,--journal) \
+          streams outcomes to disk as they complete, $(b,--resume) continues \
+          an interrupted campaign from its journal, and $(b,--telemetry) \
+          emits a JSON throughput summary; all combinations produce results \
+          identical to a serial uninterrupted run with the same seed.")
     Term.(
       const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
-      $ window_arg $ progress_arg $ save_arg)
+      $ window_arg $ progress_arg $ jobs_arg $ journal_arg $ resume_arg
+      $ telemetry_arg $ save_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -54,7 +54,7 @@ let detectors =
 
 let failure_rate ?guards () =
   let sut = Arrestment.System.sut ?guards () in
-  let results = Propane.Runner.run_campaign ~seed:11L sut campaign in
+  let results = Propane.Runner.run ~seed:11L sut campaign in
   let failures =
     List.length
       (List.filter

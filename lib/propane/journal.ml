@@ -1,0 +1,198 @@
+let magic = "propane-journal 1"
+
+let check_field name value =
+  if String.contains value '\t' || String.contains value '\n' then
+    Error
+      (Printf.sprintf "Journal: %s %S contains a separator character" name
+         value)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+
+type writer = { oc : out_channel; sync : bool }
+
+let commit w =
+  flush w.oc;
+  if w.sync then Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let create ?(sync = false) ~path ~sut ~campaign ~seed ~total () =
+  let ( let* ) = Result.bind in
+  let* () = check_field "sut" sut in
+  let* () = check_field "campaign" campaign in
+  if total < 0 then Error "Journal: negative total"
+  else begin
+    let oc = open_out path in
+    Printf.fprintf oc "%s\nsut\t%s\ncampaign\t%s\nseed\t%Ld\ntotal\t%d\n" magic
+      sut campaign seed total;
+    let w = { oc; sync } in
+    commit w;
+    Ok w
+  end
+
+let append_to ?(sync = false) path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> In_channel.input_all ic)
+  in
+  match String.index_opt contents '\n' with
+  | Some i when String.equal (String.sub contents 0 i) magic ->
+      (* Drop an uncommitted trailing fragment (a killed writer's
+         half-record) before appending, or the next record would merge
+         with it. *)
+      let committed = 1 + String.rindex contents '\n' in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd committed;
+      let _ = Unix.lseek fd committed Unix.SEEK_SET in
+      Ok { oc = Unix.out_channel_of_descr fd; sync }
+  | Some i -> Error (Printf.sprintf "%s:1: bad magic %S" path (String.sub contents 0 i))
+  | None -> Error (Printf.sprintf "%s:1: empty file" path)
+
+let append w ~index (o : Results.outcome) =
+  let ( let* ) = Result.bind in
+  if index < 0 then Error "Journal.append: negative index"
+  else
+    let* () = check_field "testcase" o.testcase in
+    let* () = check_field "target" o.injection.Injection.target in
+    let* () =
+      List.fold_left
+        (fun acc (d : Golden.divergence) ->
+          let* () = acc in
+          check_field "signal" d.signal)
+        (Ok ()) o.divergences
+    in
+    Printf.fprintf w.oc "run\t%d\t%s\t%s\t%d\t%s\t%d" index o.testcase
+      o.injection.Injection.target
+      (Simkernel.Sim_time.to_ms o.injection.Injection.at)
+      (Storage.error_to_string o.injection.Injection.error)
+      (List.length o.divergences);
+    List.iter
+      (fun (d : Golden.divergence) ->
+        Printf.fprintf w.oc "\t%s\t%d" d.signal d.first_ms)
+      o.divergences;
+    output_char w.oc '\n';
+    commit w;
+    Ok ()
+
+let close w = close_out w.oc
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  sut : string;
+  campaign : string;
+  seed : int64;
+  total : int;
+  entries : (int * Results.outcome) list;
+}
+
+(* Only newline-terminated lines are committed records: a writer killed
+   mid-append leaves a trailing fragment, which is dropped here. *)
+let committed_lines path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> In_channel.input_all ic)
+  in
+  match String.rindex_opt contents '\n' with
+  | None -> []
+  | Some last -> String.split_on_char '\n' (String.sub contents 0 last)
+
+let parse_run lineno fields =
+  let fail msg = Error (Printf.sprintf "%d: %s" lineno msg) in
+  match fields with
+  | index :: testcase :: target :: at_ms :: error :: ndiv :: rest -> (
+      match
+        ( int_of_string_opt index,
+          int_of_string_opt at_ms,
+          Storage.error_of_string error,
+          int_of_string_opt ndiv )
+      with
+      | _ when String.equal target "" -> fail "empty target"
+      | Some index, Some at_ms, Ok error, Some ndiv
+        when index >= 0 && at_ms >= 0 && ndiv >= 0 ->
+          if List.length rest <> 2 * ndiv then
+            fail (Printf.sprintf "expected %d divergence fields" (2 * ndiv))
+          else
+            let rec divs acc = function
+              | [] -> Ok (List.rev acc)
+              | signal :: first_ms :: rest -> (
+                  match int_of_string_opt first_ms with
+                  | Some first_ms ->
+                      divs ({ Golden.signal; first_ms } :: acc) rest
+                  | None ->
+                      fail (Printf.sprintf "bad divergence time %S" first_ms))
+              | [ _ ] -> fail "odd divergence fields"
+            in
+            Result.map
+              (fun divergences ->
+                ( index,
+                  {
+                    Results.testcase;
+                    injection =
+                      Injection.make ~target
+                        ~at:(Simkernel.Sim_time.of_ms at_ms)
+                        ~error;
+                    divergences;
+                  } ))
+              (divs [] rest)
+      | None, _, _, _ -> fail (Printf.sprintf "bad index %S" index)
+      | _, None, _, _ -> fail (Printf.sprintf "bad time %S" at_ms)
+      | _, _, Error msg, _ -> fail msg
+      | _ -> fail "bad run record")
+  | _ -> fail "short run record"
+
+let load path =
+  let ( let* ) = Result.bind in
+  let fail lineno msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+  let located = Result.map_error (Printf.sprintf "%s:%s" path) in
+  match committed_lines path with
+  | [] -> fail 1 "empty file"
+  | m :: _ when not (String.equal m magic) ->
+      fail 1 (Printf.sprintf "bad magic %S" m)
+  | _ :: body ->
+      let header = Hashtbl.create 4 in
+      let rec loop lineno rev_entries = function
+        | [] -> Ok (List.rev rev_entries)
+        | "" :: rest -> loop (lineno + 1) rev_entries rest
+        | line :: rest -> (
+            match String.split_on_char '\t' line with
+            | [ (("sut" | "campaign" | "seed" | "total") as key); value ] ->
+                Hashtbl.replace header key value;
+                loop (lineno + 1) rev_entries rest
+            | "run" :: fields ->
+                let* entry = located (parse_run lineno fields) in
+                loop (lineno + 1) (entry :: rev_entries) rest
+            | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line))
+      in
+      let* entries = loop 2 [] body in
+      let field key =
+        match Hashtbl.find_opt header key with
+        | Some v -> Ok v
+        | None -> fail 1 (Printf.sprintf "missing %s header" key)
+      in
+      let* sut = field "sut" in
+      let* campaign = field "campaign" in
+      let* seed = field "seed" in
+      let* total = field "total" in
+      let* seed =
+        match Int64.of_string_opt seed with
+        | Some s -> Ok s
+        | None -> fail 1 (Printf.sprintf "bad seed %S" seed)
+      in
+      let* total =
+        match int_of_string_opt total with
+        | Some t when t >= 0 -> Ok t
+        | _ -> fail 1 (Printf.sprintf "bad total %S" total)
+      in
+      Ok { sut; campaign; seed; total; entries }
+
+let completed t =
+  let table = Hashtbl.create (List.length t.entries) in
+  List.iter
+    (fun (index, outcome) ->
+      if not (Hashtbl.mem table index) then Hashtbl.add table index outcome)
+    t.entries;
+  table

@@ -1,0 +1,75 @@
+(** Append-only campaign journal.
+
+    Paper-scale campaigns are 52,000 injection runs (Section 7.3); a
+    crash at run 51,999 must not lose the 51,998 before it.  A journal
+    streams every outcome to disk the moment it completes, one record
+    per line, so an interrupted campaign can be resumed from exactly
+    where it stopped (see {!Runner.run}).
+
+    The format follows the {!Storage} convention — versioned magic,
+    line-based, tab-separated:
+    {v
+    propane-journal 1
+    sut <tab> NAME
+    campaign <tab> NAME
+    seed <tab> SEED
+    total <tab> RUNS
+    run <tab> INDEX <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
+        <tab> NDIV { <tab> SIGNAL <tab> FIRST_MS } * NDIV
+    v}
+
+    A record is committed by its trailing newline: {!load} silently
+    drops an unterminated final line, which is exactly the state a
+    killed writer leaves behind.  Records carry the experiment index of
+    {!Campaign.experiments}, so out-of-order appends (parallel runs)
+    and duplicates are harmless. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  ?sync:bool ->
+  path:string ->
+  sut:string ->
+  campaign:string ->
+  seed:int64 ->
+  total:int ->
+  unit ->
+  (writer, string) result
+(** Truncates [path] and writes the header.  With [sync] (default
+    [false]) every {!append} is additionally [fsync]ed, making each
+    record durable against power loss, not just process death.  Fails
+    if a name contains a separator character.
+    @raise Sys_error on I/O failure. *)
+
+val append_to : ?sync:bool -> string -> (writer, string) result
+(** Opens an existing journal for appending (the resume path).  The
+    header is checked but not rewritten.
+    @raise Sys_error on I/O failure. *)
+
+val append : writer -> index:int -> Results.outcome -> (unit, string) result
+(** Writes one committed (flushed, newline-terminated) record.  Fails
+    if a field contains a separator character or [index] is negative. *)
+
+val close : writer -> unit
+
+(** {1 Reading} *)
+
+type t = {
+  sut : string;
+  campaign : string;
+  seed : int64;
+  total : int;  (** size of the campaign the journal belongs to *)
+  entries : (int * Results.outcome) list;
+      (** committed records in journal order; indices refer to
+          {!Campaign.experiments} *)
+}
+
+val load : string -> (t, string) result
+(** Replays a journal, tolerating a truncated final record.  Fails
+    with a line-numbered message on any other malformation.
+    @raise Sys_error on I/O failure. *)
+
+val completed : t -> (int, Results.outcome) Hashtbl.t
+(** The entries as an index-keyed table, first occurrence winning. *)

@@ -68,6 +68,12 @@ let run_experiment ?rng ?truncate_after_ms sut ~golden testcase injection =
 
 type progress = { completed : int; total : int }
 
+type event =
+  | Started of { total : int; skipped : int; jobs : int }
+  | Goldens_done of { testcases : int }
+  | Run_done of { index : int; worker : int; completed : int; total : int }
+  | Finished of { completed : int; total : int }
+
 (* The per-run generator is derived from the seed and the experiment's
    position alone, so run order (and hence parallel scheduling) cannot
    change any outcome. *)
@@ -75,77 +81,212 @@ let rng_for seed index =
   Simkernel.Rng.create
     (Int64.add seed (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L))
 
-let golden_runs ~max_ms sut campaign =
-  List.map
-    (fun tc ->
-      Log.debug (fun m -> m "golden run for %s" (Testcase.id tc));
-      (Testcase.id tc, golden_run ~max_ms sut tc))
-    campaign.Campaign.testcases
+module String_map = Map.Make (String)
 
-let run_campaign ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
-    ?on_progress (sut : Sut.t) campaign =
-  let goldens = golden_runs ~max_ms sut campaign in
-  let golden_for tc = List.assoc (Testcase.id tc) goldens in
-  let results =
-    Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name
+(* Golden runs for exactly the test cases the remaining experiments
+   need — a resumed campaign does not re-execute goldens whose
+   injection runs are all journalled. *)
+let goldens_for ~max_ms sut experiments remaining =
+  List.fold_left
+    (fun acc idx ->
+      let tc, _ = experiments.(idx) in
+      let id = Testcase.id tc in
+      if String_map.mem id acc then acc
+      else begin
+        Log.debug (fun m -> m "golden run for %s" id);
+        String_map.add id (golden_run ~max_ms sut tc) acc
+      end)
+    String_map.empty remaining
+
+(* Replay a journal into [outcomes]; returns how many indices it
+   filled.  Mismatched metadata means the journal belongs to a
+   different campaign — refusing loudly beats silently corrupting a
+   resume. *)
+let replay_journal path ~outcomes ~(sut : Sut.t) ~campaign ~seed ~total =
+  match Journal.load path with
+  | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg)
+  | Ok j ->
+      if not (String.equal j.Journal.sut sut.Sut.name) then
+        invalid_arg
+          (Printf.sprintf "Runner.run: journal %s is for SUT %S, not %S" path
+             j.Journal.sut sut.Sut.name);
+      if not (String.equal j.Journal.campaign campaign.Campaign.name) then
+        invalid_arg
+          (Printf.sprintf "Runner.run: journal %s is for campaign %S, not %S"
+             path j.Journal.campaign campaign.Campaign.name);
+      if not (Int64.equal j.Journal.seed seed) then
+        invalid_arg
+          (Printf.sprintf
+             "Runner.run: journal %s was recorded with seed %Ld, not %Ld" path
+             j.Journal.seed seed);
+      if j.Journal.total <> total then
+        invalid_arg
+          (Printf.sprintf
+             "Runner.run: journal %s expects %d runs, campaign has %d" path
+             j.Journal.total total);
+      let table = Journal.completed j in
+      Hashtbl.iter
+        (fun index outcome ->
+          if index >= total then
+            invalid_arg
+              (Printf.sprintf "Runner.run: journal %s: index %d out of range"
+                 path index);
+          outcomes.(index) <- Some outcome)
+        table;
+      Hashtbl.length table
+
+let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
+
+(* Every remaining experiment, distributed over [jobs] worker domains
+   by an atomic cursor.  Workers hand finished outcomes to the
+   coordinating domain over a queue; journal appends and [on_event]
+   callbacks happen only there, so callers never need thread-safe
+   callbacks and the journal has a single writer. *)
+let run_parallel ~jobs ~seed ?truncate_after_ms ~experiments ~remaining
+    ~golden_for ~outcomes ~record sut =
+  let remaining = Array.of_list remaining in
+  let n = Array.length remaining in
+  let next = Atomic.make 0 in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  let queue = Queue.create () in
+  let post msg =
+    Mutex.lock mutex;
+    Queue.push msg queue;
+    Condition.signal cond;
+    Mutex.unlock mutex
   in
-  let experiments = Campaign.experiments campaign in
-  let total = List.length experiments in
-  Log.info (fun m ->
-      m "campaign %s on %s: %d runs" campaign.Campaign.name sut.Sut.name total);
-  List.iteri
-    (fun idx (testcase, injection) ->
-      let outcome =
-        run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
-          ~golden:(golden_for testcase) testcase injection
-      in
-      Results.add results outcome;
-      match on_progress with
-      | Some f -> f { completed = idx + 1; total }
-      | None -> ())
-    experiments;
-  results
+  let worker wid () =
+    let rec loop () =
+      let slot = Atomic.fetch_and_add next 1 in
+      if slot < n then begin
+        let idx = remaining.(slot) in
+        let testcase, injection = experiments.(idx) in
+        let outcome =
+          run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
+            ~golden:(golden_for testcase) testcase injection
+        in
+        post (Ok (idx, wid, outcome));
+        loop ()
+      end
+    in
+    match loop () with () -> post (Error None) | exception e -> post (Error (Some e))
+  in
+  let domains = List.init jobs (fun wid -> Domain.spawn (worker wid)) in
+  let live = ref jobs and failure = ref None in
+  while !live > 0 do
+    Mutex.lock mutex;
+    while Queue.is_empty queue do
+      Condition.wait cond mutex
+    done;
+    let batch = Queue.fold (fun acc m -> m :: acc) [] queue in
+    Queue.clear queue;
+    Mutex.unlock mutex;
+    List.iter
+      (function
+        | Ok (idx, wid, outcome) ->
+            outcomes.(idx) <- Some outcome;
+            record ~index:idx ~worker:wid outcome
+        | Error None -> decr live
+        | Error (Some e) ->
+            if !failure = None then failure := Some e;
+            decr live)
+      (List.rev batch)
+  done;
+  List.iter Domain.join domains;
+  match !failure with Some e -> raise e | None -> ()
 
-let run_campaign_parallel ?(max_ms = default_max_ms) ?(seed = 42L)
-    ?truncate_after_ms ?domains (sut : Sut.t) campaign =
-  let domains =
+let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms ?(jobs = 1)
+    ?journal ?(resume = false) ?on_event (sut : Sut.t) campaign =
+  if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
+  if resume && journal = None then
+    invalid_arg "Runner.run: resume requires a journal";
+  let experiments = Array.of_list (Campaign.experiments campaign) in
+  let total = Array.length experiments in
+  let outcomes = Array.make total None in
+  let skipped =
+    match journal with
+    | Some path when resume && Sys.file_exists path ->
+        replay_journal path ~outcomes ~sut ~campaign ~seed ~total
+    | _ -> 0
+  in
+  let writer =
+    match journal with
+    | None -> None
+    | Some path ->
+        Some
+          (or_invalid
+             (if skipped > 0 then Journal.append_to path
+              else
+                Journal.create ~path ~sut:sut.Sut.name
+                  ~campaign:campaign.Campaign.name ~seed ~total ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close writer)
+    (fun () ->
+      let remaining =
+        List.filter
+          (fun idx -> outcomes.(idx) = None)
+          (List.init total Fun.id)
+      in
+      Log.info (fun m ->
+          m "campaign %s on %s: %d runs (%d journalled) across %d domain%s"
+            campaign.Campaign.name sut.Sut.name total skipped jobs
+            (if jobs = 1 then "" else "s"));
+      let emit ev = match on_event with Some f -> f ev | None -> () in
+      emit (Started { total; skipped; jobs });
+      let goldens = goldens_for ~max_ms sut experiments remaining in
+      emit (Goldens_done { testcases = String_map.cardinal goldens });
+      let golden_for tc = String_map.find (Testcase.id tc) goldens in
+      let completed = ref skipped in
+      let record ~index ~worker outcome =
+        Option.iter
+          (fun w -> or_invalid (Journal.append w ~index outcome))
+          writer;
+        incr completed;
+        emit (Run_done { index; worker; completed = !completed; total })
+      in
+      if jobs = 1 then
+        List.iter
+          (fun idx ->
+            let testcase, injection = experiments.(idx) in
+            let outcome =
+              run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
+                ~golden:(golden_for testcase) testcase injection
+            in
+            outcomes.(idx) <- Some outcome;
+            record ~index:idx ~worker:0 outcome)
+          remaining
+      else
+        run_parallel ~jobs ~seed ?truncate_after_ms ~experiments ~remaining
+          ~golden_for ~outcomes ~record sut;
+      emit (Finished { completed = !completed; total });
+      let results =
+        Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name
+      in
+      Array.iter
+        (function
+          | Some outcome -> Results.add results outcome
+          | None -> assert false)
+        outcomes;
+      results)
+
+let run_campaign ?max_ms ?seed ?truncate_after_ms ?on_progress sut campaign =
+  let on_event =
+    Option.map
+      (fun f -> function
+        | Run_done { completed; total; _ } -> f { completed; total }
+        | Started _ | Goldens_done _ | Finished _ -> ())
+      on_progress
+  in
+  run ?max_ms ?seed ?truncate_after_ms ?on_event sut campaign
+
+let run_campaign_parallel ?max_ms ?seed ?truncate_after_ms ?domains sut
+    campaign =
+  let jobs =
     match domains with
     | Some n when n >= 1 -> n
     | Some _ -> invalid_arg "Runner.run_campaign_parallel: domains must be >= 1"
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
-  let goldens = golden_runs ~max_ms sut campaign in
-  let golden_for tc = List.assoc (Testcase.id tc) goldens in
-  let experiments = Array.of_list (Campaign.experiments campaign) in
-  let total = Array.length experiments in
-  Log.info (fun m ->
-      m "campaign %s on %s: %d runs across %d domains" campaign.Campaign.name
-        sut.Sut.name total domains);
-  let outcomes = Array.make total None in
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let idx = Atomic.fetch_and_add next 1 in
-      if idx < total then begin
-        let testcase, injection = experiments.(idx) in
-        outcomes.(idx) <-
-          Some
-            (run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
-               ~golden:(golden_for testcase) testcase injection);
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  List.iter Domain.join spawned;
-  let results =
-    Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name
-  in
-  Array.iter
-    (function
-      | Some outcome -> Results.add results outcome
-      | None -> assert false)
-    outcomes;
-  results
+  run ?max_ms ?seed ?truncate_after_ms ~jobs sut campaign

@@ -46,6 +46,71 @@ val run_experiment :
     [truncate_after_ms] the comparison window is bounded by the
     truncated run's duration. *)
 
+(** {1 Campaign engine}
+
+    {!run} executes a whole campaign — serially or across worker
+    domains — streaming outcomes to an optional {!Journal} and
+    reporting progress through typed {!event}s.  Campaigns are
+    deterministic for a fixed [seed]: each run's random generator is
+    derived from the seed and the experiment index alone, never from
+    execution order, so [~jobs:n] produces outcome-for-outcome the
+    same {!Results.t} as [~jobs:1], and an interrupted campaign
+    resumed from its journal matches an uninterrupted one exactly. *)
+
+type event =
+  | Started of { total : int; skipped : int; jobs : int }
+      (** emitted first; [skipped] counts runs replayed from the
+          journal on resume *)
+  | Goldens_done of { testcases : int }
+      (** golden runs are in place (only the test cases still needed
+          by remaining experiments are executed) *)
+  | Run_done of { index : int; worker : int; completed : int; total : int }
+      (** one injection run finished; [index] is its position in
+          {!Campaign.experiments}, [worker] the domain that ran it
+          (0-based), [completed] includes skipped runs *)
+  | Finished of { completed : int; total : int }  (** emitted last *)
+
+val run :
+  ?max_ms:int ->
+  ?seed:int64 ->
+  ?truncate_after_ms:int ->
+  ?jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?on_event:(event -> unit) ->
+  Sut.t ->
+  Campaign.t ->
+  Results.t
+(** Runs every experiment of {!Campaign.experiments} and returns the
+    outcomes in campaign order.
+
+    [jobs] (default 1) is the number of worker domains.  With
+    [jobs = 1] everything happens in the calling domain; otherwise
+    [jobs] domains execute injection runs while the calling domain
+    coordinates.  Golden runs execute up front in the calling domain
+    and are shared read-only; every injection run gets a fresh SUT
+    instance, so the SUT's [instantiate] must not rely on global
+    mutable state.
+
+    [journal] streams every outcome to an append-only {!Journal} at
+    that path as it completes, so a crash loses at most the runs in
+    flight.  With [resume] (requires [journal]) a pre-existing journal
+    is replayed first: completed experiment indices are skipped and
+    the campaign continues where it stopped.  The journal must match
+    the campaign's SUT, name, seed and size.
+
+    [on_event] observes the life of the campaign (see {!event});
+    events are always emitted from the calling domain, in order, so
+    the callback needs no synchronisation.  Feed them to
+    {!Telemetry.observe} for throughput and ETA.
+
+    @raise Invalid_argument if [jobs < 1], if [resume] is set without
+    [journal], or if a journal fails to load or belongs to a different
+    campaign.
+    @raise Sys_error on journal I/O failure. *)
+
+(** {1 Deprecated entry points} *)
+
 type progress = { completed : int; total : int }
 
 val run_campaign :
@@ -56,12 +121,8 @@ val run_campaign :
   Sut.t ->
   Campaign.t ->
   Results.t
-(** Full campaign: one golden run per test case (computed once and
-    shared), then every experiment of {!Campaign.experiments} in order.
-    Deterministic for a fixed [seed] (default [42L]): each run's
-    generator is derived from the seed and the experiment index, never
-    from execution order.  [on_progress] is called after each completed
-    run. *)
+[@@ocaml.deprecated "use Runner.run instead"]
+(** [run] with [~jobs:1]; [on_progress] sees every {!Run_done}. *)
 
 val run_campaign_parallel :
   ?max_ms:int ->
@@ -71,9 +132,6 @@ val run_campaign_parallel :
   Sut.t ->
   Campaign.t ->
   Results.t
-(** Same results as {!run_campaign} — outcome for outcome, in the same
-    order — computed on [domains] cores (default: the recommended
-    domain count minus one, at least 1).  Golden runs execute up front
-    in the calling domain and are shared read-only; every injection run
-    gets a fresh SUT instance, so the SUT's [instantiate] must not rely
-    on global mutable state.  @raise Invalid_argument if [domains < 1]. *)
+[@@ocaml.deprecated "use Runner.run with ~jobs instead"]
+(** [run] with [~jobs:domains] (default: the recommended domain count
+    minus one, at least 1).  @raise Invalid_argument if [domains < 1]. *)

@@ -34,32 +34,55 @@ let with_in path f =
 
 let check_field name value =
   if String.contains value '\t' || String.contains value '\n' then
-    invalid_arg
+    Error
       (Printf.sprintf "Storage: %s %S contains a separator character" name
          value)
+  else Ok ()
+
+let check_fields checks =
+  List.fold_left
+    (fun acc (name, value) -> Result.bind acc (fun () -> check_field name value))
+    (Ok ()) checks
 
 let save_results path results =
+  let ( let* ) = Result.bind in
+  (* Validate every field before opening the file, so a bad name never
+     leaves a half-written file behind. *)
+  let* () =
+    check_fields
+      [
+        ("sut", Results.sut results); ("campaign", Results.campaign results);
+      ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc (o : Results.outcome) ->
+        let* () = acc in
+        check_fields
+          (("testcase", o.testcase)
+          :: ("target", o.injection.Injection.target)
+          :: List.map
+               (fun (d : Golden.divergence) -> ("signal", d.signal))
+               o.divergences))
+      (Ok ()) (Results.outcomes results)
+  in
   with_out path (fun oc ->
       let line fmt = Printf.fprintf oc (fmt ^^ "\n") in
       line "%s" results_magic;
-      check_field "sut" (Results.sut results);
-      check_field "campaign" (Results.campaign results);
       line "sut\t%s" (Results.sut results);
       line "campaign\t%s" (Results.campaign results);
       List.iter
         (fun (o : Results.outcome) ->
-          check_field "testcase" o.testcase;
-          check_field "target" o.injection.Injection.target;
           line "outcome\t%s\t%s\t%d\t%s" o.testcase
             o.injection.Injection.target
             (Simkernel.Sim_time.to_ms o.injection.Injection.at)
             (error_to_string o.injection.Injection.error);
           List.iter
             (fun (d : Golden.divergence) ->
-              check_field "signal" d.signal;
               line "div\t%s\t%d" d.signal d.first_ms)
             o.divergences)
-        (Results.outcomes results))
+        (Results.outcomes results);
+      Ok ())
 
 type parse_state = {
   mutable sut : string option;
@@ -152,12 +175,17 @@ let load_results path =
       loop 2)
 
 let save_matrices path matrices =
+  let ( let* ) = Result.bind in
+  let* () =
+    Propagation.String_map.fold
+      (fun name _ acc -> Result.bind acc (fun () -> check_field "module" name))
+      matrices (Ok ())
+  in
   with_out path (fun oc ->
       let line fmt = Printf.fprintf oc (fmt ^^ "\n") in
       line "%s" matrices_magic;
       Propagation.String_map.iter
         (fun name matrix ->
-          check_field "module" name;
           line "module\t%s\t%d\t%d" name
             (Propagation.Perm_matrix.input_count matrix)
             (Propagation.Perm_matrix.output_count matrix);
@@ -167,7 +195,8 @@ let save_matrices path matrices =
               (String.concat "\t"
                  (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
           done)
-        matrices)
+        matrices;
+      Ok ())
 
 let load_matrices path =
   let ( let* ) = Result.bind in

@@ -19,21 +19,27 @@
     propane-matrices 1
     module <tab> NAME <tab> INPUTS <tab> OUTPUTS
     row <tab> V1 <tab> ... <tab> Vn        (INPUTS rows per module)
-    v} *)
+    v}
+
+    The append-only campaign journal ({!Journal}) follows the same
+    versioned-magic convention. *)
 
 val error_to_string : Error_model.t -> string
 (** e.g. ["bitflip:3"], ["stuck:17"], ["offset:-2"], ["uniform"]. *)
 
 val error_of_string : string -> (Error_model.t, string) result
 
-val save_results : string -> Results.t -> unit
-(** @raise Sys_error on I/O failure. *)
+val save_results : string -> Results.t -> (unit, string) result
+(** Fails — before anything is written — if a name contains a
+    separator character.  @raise Sys_error on I/O failure. *)
 
 val load_results : string -> (Results.t, string) result
 (** Fails with a line-numbered message on malformed input. *)
 
 val save_matrices :
-  string -> Propagation.Perm_matrix.t Propagation.String_map.t -> unit
+  string ->
+  Propagation.Perm_matrix.t Propagation.String_map.t ->
+  (unit, string) result
 
 val load_matrices :
   string -> (Propagation.Perm_matrix.t Propagation.String_map.t, string) result

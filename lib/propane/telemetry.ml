@@ -1,0 +1,97 @@
+type t = {
+  now : unit -> float;
+  mutable total : int;
+  mutable skipped : int;
+  mutable jobs : int;
+  mutable completed : int;
+  mutable started : float option;
+  mutable finished : float option;
+  mutable per_worker : int array;
+}
+
+let create ?(now = Unix.gettimeofday) () =
+  {
+    now;
+    total = 0;
+    skipped = 0;
+    jobs = 0;
+    completed = 0;
+    started = None;
+    finished = None;
+    per_worker = [||];
+  }
+
+let observe t = function
+  | Runner.Started { total; skipped; jobs } ->
+      t.total <- total;
+      t.skipped <- skipped;
+      t.jobs <- jobs;
+      t.completed <- skipped;
+      t.per_worker <- Array.make jobs 0;
+      t.started <- Some (t.now ());
+      t.finished <- None
+  | Runner.Goldens_done _ ->
+      (* Rate and ETA describe the injection-run phase. *)
+      t.started <- Some (t.now ())
+  | Runner.Run_done { worker; completed; _ } ->
+      t.completed <- completed;
+      if worker >= 0 && worker < Array.length t.per_worker then
+        t.per_worker.(worker) <- t.per_worker.(worker) + 1
+  | Runner.Finished _ -> t.finished <- Some (t.now ())
+
+type snapshot = {
+  total : int;
+  completed : int;
+  skipped : int;
+  jobs : int;
+  elapsed_s : float;
+  runs_per_sec : float;
+  eta_s : float option;
+  per_worker : int array;
+}
+
+let snapshot t =
+  let elapsed_s =
+    match (t.started, t.finished) with
+    | Some t0, Some t1 -> t1 -. t0
+    | Some t0, None -> t.now () -. t0
+    | None, _ -> 0.0
+  in
+  let fresh = t.completed - t.skipped in
+  let runs_per_sec =
+    if elapsed_s > 0.0 && fresh > 0 then float_of_int fresh /. elapsed_s
+    else 0.0
+  in
+  let eta_s =
+    if t.completed >= t.total && t.total > 0 then Some 0.0
+    else if runs_per_sec > 0.0 then
+      Some (float_of_int (t.total - t.completed) /. runs_per_sec)
+    else None
+  in
+  {
+    total = t.total;
+    completed = t.completed;
+    skipped = t.skipped;
+    jobs = t.jobs;
+    elapsed_s;
+    runs_per_sec;
+    eta_s;
+    per_worker = Array.copy t.per_worker;
+  }
+
+let to_json s =
+  Printf.sprintf
+    {|{"total":%d,"completed":%d,"skipped":%d,"jobs":%d,"elapsed_s":%.3f,"runs_per_sec":%.1f,"eta_s":%s,"per_worker":[%s]}|}
+    s.total s.completed s.skipped s.jobs s.elapsed_s s.runs_per_sec
+    (match s.eta_s with
+    | None -> "null"
+    | Some eta -> Printf.sprintf "%.1f" eta)
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int s.per_worker)))
+
+let pp_live ppf s =
+  Fmt.pf ppf "%d/%d runs  %.0f runs/s%a" s.completed s.total s.runs_per_sec
+    (fun ppf -> function
+      | Some eta when s.completed < s.total -> Fmt.pf ppf "  eta %.1fs" eta
+      | Some _ | None -> ())
+    s.eta_s

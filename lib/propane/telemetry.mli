@@ -1,0 +1,46 @@
+(** Live campaign telemetry.
+
+    Feed {!Runner.event}s to {!observe} and read {!snapshot} at any
+    point — after every event for a live display, or once at the end
+    for a summary.  Throughput is measured over the injection-run
+    phase only (the clock restarts at {!Runner.Goldens_done}), so the
+    ETA is not skewed by golden-run time, and journalled runs skipped
+    on resume never inflate the rate.
+
+    All of it runs in the coordinating domain ({!Runner.run} emits
+    events there), so no synchronisation is needed. *)
+
+type t
+
+val create : ?now:(unit -> float) -> unit -> t
+(** [now] supplies wall-clock seconds and defaults to
+    [Unix.gettimeofday]; inject a fake clock for tests. *)
+
+val observe : t -> Runner.event -> unit
+
+type snapshot = {
+  total : int;  (** campaign size *)
+  completed : int;  (** runs done, including skipped ones *)
+  skipped : int;  (** runs replayed from a journal on resume *)
+  jobs : int;  (** worker domains *)
+  elapsed_s : float;
+      (** seconds since {!Runner.Goldens_done}, frozen at
+          {!Runner.Finished} *)
+  runs_per_sec : float;  (** fresh (non-skipped) runs per second *)
+  eta_s : float option;
+      (** estimated seconds to completion; [Some 0.] once complete,
+          [None] while the rate is still unknown *)
+  per_worker : int array;  (** fresh runs completed per worker domain *)
+}
+
+val snapshot : t -> snapshot
+
+val to_json : snapshot -> string
+(** One-line machine-readable summary, e.g.
+    [{"total":832,"completed":832,"skipped":100,"jobs":4,
+      "elapsed_s":1.824,"runs_per_sec":401.3,"eta_s":0.0,
+      "per_worker":[183,186,181,182]}]. *)
+
+val pp_live : Format.formatter -> snapshot -> unit
+(** Compact single-line progress display (no trailing newline), e.g.
+    [512/832 runs  401 runs/s  eta 0.8s]. *)

@@ -599,7 +599,7 @@ let runner_tests =
     Alcotest.test_case "campaigns are deterministic for a seed" `Quick
       (fun () ->
         let run () =
-          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let a = run () and b = run () in
         Alcotest.(check int)
@@ -624,13 +624,8 @@ let runner_tests =
               (Propane.Error_model.bit_flips ~width:16
               @ [ Propane.Error_model.Replace_uniform ])
         in
-        let seq =
-          Propane.Runner.run_campaign ~seed:9L (scaler_sut ()) campaign
-        in
-        let par =
-          Propane.Runner.run_campaign_parallel ~seed:9L ~domains:3
-            (scaler_sut ()) campaign
-        in
+        let seq = Propane.Runner.run ~seed:9L ~jobs:1 (scaler_sut ()) campaign in
+        let par = Propane.Runner.run ~seed:9L ~jobs:3 (scaler_sut ()) campaign in
         Alcotest.(check int)
           "count" (Propane.Results.count seq)
           (Propane.Results.count par);
@@ -644,25 +639,59 @@ let runner_tests =
               (a.divergences = b.divergences))
           (Propane.Results.outcomes seq)
           (Propane.Results.outcomes par));
-    check_raises_invalid "parallel rejects zero domains" (fun () ->
-        Propane.Runner.run_campaign_parallel ~domains:0 (scaler_sut ())
-          scaler_campaign);
-    Alcotest.test_case "progress callback counts every run" `Quick (fun () ->
-        let seen = ref 0 in
+    check_raises_invalid "run rejects zero jobs" (fun () ->
+        Propane.Runner.run ~jobs:0 (scaler_sut ()) scaler_campaign);
+    check_raises_invalid "resume without a journal is rejected" (fun () ->
+        Propane.Runner.run ~resume:true (scaler_sut ()) scaler_campaign);
+    Alcotest.test_case "events bracket every run" `Quick (fun () ->
+        let size = Propane.Campaign.size scaler_campaign in
+        let runs = ref 0 and started = ref 0 and finished = ref 0 in
+        let goldens = ref 0 in
         let _ =
-          Propane.Runner.run_campaign
-            ~on_progress:(fun p ->
-              incr seen;
-              Alcotest.(check int)
-                "total"
-                (Propane.Campaign.size scaler_campaign)
-                p.Propane.Runner.total)
+          Propane.Runner.run
+            ~on_event:(fun ev ->
+              match ev with
+              | Propane.Runner.Started { total; skipped; jobs } ->
+                  incr started;
+                  Alcotest.(check int) "total" size total;
+                  Alcotest.(check int) "skipped" 0 skipped;
+                  Alcotest.(check int) "jobs" 1 jobs
+              | Propane.Runner.Goldens_done { testcases } ->
+                  incr goldens;
+                  Alcotest.(check int) "goldens" 1 testcases
+              | Propane.Runner.Run_done { completed; total; worker; _ } ->
+                  incr runs;
+                  Alcotest.(check int) "completed" !runs completed;
+                  Alcotest.(check int) "run total" size total;
+                  Alcotest.(check int) "worker" 0 worker
+              | Propane.Runner.Finished { completed; total } ->
+                  incr finished;
+                  Alcotest.(check int) "finished completed" size completed;
+                  Alcotest.(check int) "finished total" size total)
             (scaler_sut ()) scaler_campaign
         in
-        Alcotest.(check int)
-          "count"
-          (Propane.Campaign.size scaler_campaign)
-          !seen);
+        Alcotest.(check int) "runs" size !runs;
+        Alcotest.(check int) "started once" 1 !started;
+        Alcotest.(check int) "goldens once" 1 !goldens;
+        Alcotest.(check int) "finished once" 1 !finished);
+    Alcotest.test_case "parallel runs emit events from the coordinator" `Quick
+      (fun () ->
+        let size = Propane.Campaign.size scaler_campaign in
+        let runs = ref 0 in
+        let _ =
+          Propane.Runner.run ~jobs:3
+            ~on_event:(function
+              | Propane.Runner.Run_done { completed; worker; _ } ->
+                  incr runs;
+                  (* Events arrive in completion order but counts are
+                     monotone because they are emitted serially. *)
+                  Alcotest.(check int) "completed" !runs completed;
+                  Alcotest.(check bool) "worker id" true
+                    (0 <= worker && worker < 3)
+              | _ -> ())
+            (scaler_sut ()) scaler_campaign
+        in
+        Alcotest.(check int) "runs" size !runs);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -687,7 +716,7 @@ let estimator_tests =
         Propane.Estimator.wilson_interval ~errors:2 ~trials:1);
     Alcotest.test_case "scaler permeability is exactly 12/16" `Quick (fun () ->
         let results =
-          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let matrix =
           Propane.Estimator.estimate_matrix ~model:scale_model ~results "SCALE"
@@ -695,7 +724,7 @@ let estimator_tests =
         close "P" 0.75 (Propagation.Perm_matrix.get matrix ~input:1 ~output:1));
     Alcotest.test_case "estimates carry campaign detail" `Quick (fun () ->
         let results =
-          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
         in
         match
           Propane.Estimator.estimate_pairs ~model:scale_model ~results "SCALE"
@@ -928,6 +957,7 @@ let uniformity_tests =
 
 let storage_tests =
   let temp suffix = Filename.temp_file "propane_test" suffix in
+  let save_ok = function Ok () -> () | Error msg -> Alcotest.fail msg in
   [
     Alcotest.test_case "error model round-trips" `Quick (fun () ->
         List.iter
@@ -963,7 +993,7 @@ let storage_tests =
         Fun.protect
           ~finally:(fun () -> Sys.remove path)
           (fun () ->
-            Propane.Storage.save_results path original;
+            save_ok (Propane.Storage.save_results path original);
             match Propane.Storage.load_results path with
             | Error msg -> Alcotest.fail msg
             | Ok loaded ->
@@ -991,7 +1021,7 @@ let storage_tests =
           ~finally:(fun () -> Sys.remove path)
           (fun () ->
             let original = Arrestment.Model.paper_matrices () in
-            Propane.Storage.save_matrices path original;
+            save_ok (Propane.Storage.save_matrices path original);
             match Propane.Storage.load_matrices path with
             | Error msg -> Alcotest.fail msg
             | Ok loaded ->
@@ -1022,13 +1052,13 @@ let storage_tests =
     Alcotest.test_case "campaign results survive storage end to end" `Quick
       (fun () ->
         let results =
-          Propane.Runner.run_campaign ~seed:7L (scaler_sut ()) scaler_campaign
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let path = temp ".results" in
         Fun.protect
           ~finally:(fun () -> Sys.remove path)
           (fun () ->
-            Propane.Storage.save_results path results;
+            save_ok (Propane.Storage.save_results path results);
             match Propane.Storage.load_results path with
             | Error msg -> Alcotest.fail msg
             | Ok loaded ->
@@ -1039,6 +1069,338 @@ let storage_tests =
                 Alcotest.(check (float 1e-9))
                   "estimate preserved" 0.75
                   (Propagation.Perm_matrix.get matrix ~input:1 ~output:1)));
+    Alcotest.test_case "save refuses separator characters, gracefully" `Quick
+      (fun () ->
+        let results = Propane.Results.create ~sut:"tab\there" ~campaign:"c" in
+        let path = temp ".results" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            match Propane.Storage.save_results path results with
+            | Error msg ->
+                Alcotest.(check bool)
+                  "mentions separator" true
+                  (contains_substring msg "separator")
+            | Ok () -> Alcotest.fail "accepted a tab in the SUT name"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Journal + resume: the checkpointed campaign engine.                  *)
+
+let journal_tests =
+  let temp () = Filename.temp_file "propane_journal" ".journal" in
+  let with_temp f =
+    let path = temp () in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  let outcome ?(divs = []) testcase target at_ms =
+    {
+      Propane.Results.testcase;
+      injection =
+        Propane.Injection.make ~target ~at:(Sim.Sim_time.of_ms at_ms)
+          ~error:(Propane.Error_model.Bit_flip 3);
+      divergences =
+        List.map
+          (fun (signal, first_ms) -> { Propane.Golden.signal; first_ms })
+          divs;
+    }
+  in
+  let ok = function
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "unexpected journal error: %s" msg
+  in
+  let check_same_results msg a b =
+    Alcotest.(check int)
+      (msg ^ ": count") (Propane.Results.count a) (Propane.Results.count b);
+    List.iter2
+      (fun (x : Propane.Results.outcome) (y : Propane.Results.outcome) ->
+        Alcotest.(check bool) (msg ^ ": outcome") true (compare x y = 0))
+      (Propane.Results.outcomes a)
+      (Propane.Results.outcomes b)
+  in
+  let append_fragment path fragment =
+    let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+    output_string oc fragment;
+    close_out oc
+  in
+  [
+    Alcotest.test_case "outcomes round-trip through a journal" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:5L
+                   ~total:3 ())
+            in
+            ok
+              (Propane.Journal.append w ~index:0
+                 (outcome ~divs:[ ("y", 12); ("z", 40) ] "t1" "x" 10));
+            ok (Propane.Journal.append w ~index:2 (outcome "t2" "x" 20));
+            Propane.Journal.close w;
+            let j = ok (Propane.Journal.load path) in
+            Alcotest.(check string) "sut" "s" j.Propane.Journal.sut;
+            Alcotest.(check string) "campaign" "c" j.Propane.Journal.campaign;
+            Alcotest.(check int64) "seed" 5L j.Propane.Journal.seed;
+            Alcotest.(check int) "total" 3 j.Propane.Journal.total;
+            match j.Propane.Journal.entries with
+            | [ (0, o0); (2, o2) ] ->
+                Alcotest.(check bool)
+                  "first" true
+                  (compare o0 (outcome ~divs:[ ("y", 12); ("z", 40) ] "t1" "x" 10)
+                  = 0);
+                Alcotest.(check bool) "second" true (compare o2 (outcome "t2" "x" 20) = 0)
+            | entries ->
+                Alcotest.failf "expected entries 0 and 2, got %d"
+                  (List.length entries)));
+    Alcotest.test_case "an uncommitted trailing record is dropped" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:5L
+                   ~total:3 ())
+            in
+            ok (Propane.Journal.append w ~index:1 (outcome "t" "x" 10));
+            Propane.Journal.close w;
+            append_fragment path "run\t2\ttrunc";
+            let j = ok (Propane.Journal.load path) in
+            Alcotest.(check int)
+              "committed records only" 1
+              (List.length j.Propane.Journal.entries)));
+    Alcotest.test_case "a malformed committed line is an error" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:5L
+                   ~total:3 ())
+            in
+            Propane.Journal.close w;
+            append_fragment path "run\tnonsense\n";
+            match Propane.Journal.load path with
+            | Error msg ->
+                Alcotest.(check bool)
+                  "line-numbered" true
+                  (contains_substring msg ":6:")
+            | Ok _ -> Alcotest.fail "accepted a malformed record"));
+    Alcotest.test_case "bad magic is rejected" `Quick (fun () ->
+        with_temp (fun path ->
+            let oc = open_out path in
+            output_string oc "not a journal\n";
+            close_out oc;
+            match Propane.Journal.load path with
+            | Error msg ->
+                Alcotest.(check bool)
+                  "mentions magic" true
+                  (contains_substring msg "bad magic")
+            | Ok _ -> Alcotest.fail "accepted garbage"));
+    Alcotest.test_case "separator characters are refused" `Quick (fun () ->
+        with_temp (fun path ->
+            (match
+               Propane.Journal.create ~path ~sut:"tab\there" ~campaign:"c"
+                 ~seed:1L ~total:1 ()
+             with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "accepted a tab in the SUT name");
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:1L
+                   ~total:1 ())
+            in
+            (match Propane.Journal.append w ~index:0 (outcome "bad\ttc" "x" 1) with
+            | Error _ -> ()
+            | Ok () -> Alcotest.fail "accepted a tab in the testcase");
+            Propane.Journal.close w));
+    Alcotest.test_case "a killed campaign resumes to identical results"
+      `Quick (fun () ->
+        with_temp (fun path ->
+            let baseline =
+              Propane.Runner.run ~seed:3L (scaler_sut ()) scaler_campaign
+            in
+            (* "Kill" the campaign by raising out of the event callback
+               after 10 completed runs; the journal keeps the 10. *)
+            (try
+               ignore
+                 (Propane.Runner.run ~seed:3L ~journal:path
+                    ~on_event:(fun ev ->
+                      match ev with
+                      | Propane.Runner.Run_done { completed; _ }
+                        when completed = 10 ->
+                          raise Exit
+                      | _ -> ())
+                    (scaler_sut ()) scaler_campaign)
+             with Exit -> ());
+            let j = ok (Propane.Journal.load path) in
+            Alcotest.(check int)
+              "journalled runs" 10
+              (List.length j.Propane.Journal.entries);
+            let skipped = ref (-1) in
+            let resumed =
+              Propane.Runner.run ~seed:3L ~journal:path ~resume:true
+                ~on_event:(fun ev ->
+                  match ev with
+                  | Propane.Runner.Started { skipped = s; _ } -> skipped := s
+                  | _ -> ())
+                (scaler_sut ()) scaler_campaign
+            in
+            Alcotest.(check int) "skipped" 10 !skipped;
+            check_same_results "resumed" baseline resumed;
+            let j = ok (Propane.Journal.load path) in
+            Alcotest.(check int)
+              "journal complete" (Propane.Campaign.size scaler_campaign)
+              (List.length j.Propane.Journal.entries)));
+    Alcotest.test_case "resuming a complete journal runs nothing" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            let baseline =
+              Propane.Runner.run ~seed:3L ~journal:path (scaler_sut ())
+                scaler_campaign
+            in
+            let fresh_runs = ref 0 and goldens = ref (-1) in
+            let resumed =
+              Propane.Runner.run ~seed:3L ~journal:path ~resume:true
+                ~on_event:(fun ev ->
+                  match ev with
+                  | Propane.Runner.Run_done _ -> incr fresh_runs
+                  | Propane.Runner.Goldens_done { testcases } ->
+                      goldens := testcases
+                  | _ -> ())
+                (scaler_sut ()) scaler_campaign
+            in
+            Alcotest.(check int) "no fresh runs" 0 !fresh_runs;
+            Alcotest.(check int) "no goldens" 0 !goldens;
+            check_same_results "replayed" baseline resumed));
+    Alcotest.test_case "parallel runs journal every outcome" `Quick (fun () ->
+        with_temp (fun path ->
+            let serial =
+              Propane.Runner.run ~seed:3L (scaler_sut ()) scaler_campaign
+            in
+            let parallel =
+              Propane.Runner.run ~seed:3L ~jobs:2 ~journal:path (scaler_sut ())
+                scaler_campaign
+            in
+            check_same_results "parallel" serial parallel;
+            let j = ok (Propane.Journal.load path) in
+            Alcotest.(check int)
+              "all journalled" (Propane.Campaign.size scaler_campaign)
+              (List.length j.Propane.Journal.entries)));
+    Alcotest.test_case "resume rejects a journal with another seed" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            ignore
+              (Propane.Runner.run ~seed:3L ~journal:path (scaler_sut ())
+                 scaler_campaign);
+            match
+              Propane.Runner.run ~seed:4L ~journal:path ~resume:true
+                (scaler_sut ()) scaler_campaign
+            with
+            | exception Invalid_argument msg ->
+                Alcotest.(check bool)
+                  "mentions seed" true
+                  (contains_substring msg "seed")
+            | _ -> Alcotest.fail "accepted a mismatched seed"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let telemetry_tests =
+  let feed clock events =
+    let t = Propane.Telemetry.create ~now:(fun () -> !clock) () in
+    List.iter
+      (fun (at, ev) ->
+        clock := at;
+        Propane.Telemetry.observe t ev)
+      events;
+    t
+  in
+  [
+    Alcotest.test_case "throughput covers the injection phase only" `Quick
+      (fun () ->
+        let clock = ref 0.0 in
+        let t =
+          feed clock
+            [
+              (0.0, Propane.Runner.Started { total = 20; skipped = 10; jobs = 2 });
+              (5.0, Propane.Runner.Goldens_done { testcases = 1 });
+              ( 6.0,
+                Propane.Runner.Run_done
+                  { index = 10; worker = 0; completed = 11; total = 20 } );
+              ( 7.0,
+                Propane.Runner.Run_done
+                  { index = 11; worker = 1; completed = 12; total = 20 } );
+            ]
+        in
+        clock := 7.0;
+        let s = Propane.Telemetry.snapshot t in
+        Alcotest.(check int) "completed" 12 s.Propane.Telemetry.completed;
+        Alcotest.(check int) "skipped" 10 s.Propane.Telemetry.skipped;
+        (* 2 fresh runs in the 2 s since Goldens_done: golden time and
+           journal-replayed runs do not skew the rate. *)
+        Alcotest.(check (float 1e-9)) "rate" 1.0 s.Propane.Telemetry.runs_per_sec;
+        (match s.Propane.Telemetry.eta_s with
+        | Some eta -> Alcotest.(check (float 1e-9)) "eta" 8.0 eta
+        | None -> Alcotest.fail "expected an ETA");
+        Alcotest.(check (array int)) "per-worker" [| 1; 1 |]
+          s.Propane.Telemetry.per_worker);
+    Alcotest.test_case "eta unknown before the first run" `Quick (fun () ->
+        let clock = ref 0.0 in
+        let t =
+          feed clock
+            [
+              (0.0, Propane.Runner.Started { total = 5; skipped = 0; jobs = 1 });
+              (1.0, Propane.Runner.Goldens_done { testcases = 1 });
+            ]
+        in
+        let s = Propane.Telemetry.snapshot t in
+        Alcotest.(check bool)
+          "no eta" true
+          (s.Propane.Telemetry.eta_s = None));
+    Alcotest.test_case "elapsed freezes at Finished" `Quick (fun () ->
+        let clock = ref 0.0 in
+        let t =
+          feed clock
+            [
+              (0.0, Propane.Runner.Started { total = 1; skipped = 0; jobs = 1 });
+              (1.0, Propane.Runner.Goldens_done { testcases = 1 });
+              ( 3.0,
+                Propane.Runner.Run_done
+                  { index = 0; worker = 0; completed = 1; total = 1 } );
+              (3.0, Propane.Runner.Finished { completed = 1; total = 1 });
+            ]
+        in
+        clock := 100.0;
+        let s = Propane.Telemetry.snapshot t in
+        Alcotest.(check (float 1e-9)) "elapsed" 2.0 s.Propane.Telemetry.elapsed_s;
+        match s.Propane.Telemetry.eta_s with
+        | Some eta -> Alcotest.(check (float 1e-9)) "eta done" 0.0 eta
+        | None -> Alcotest.fail "expected eta 0");
+    Alcotest.test_case "json summary carries every field" `Quick (fun () ->
+        let clock = ref 0.0 in
+        let t =
+          feed clock
+            [
+              (0.0, Propane.Runner.Started { total = 2; skipped = 1; jobs = 2 });
+              (0.0, Propane.Runner.Goldens_done { testcases = 1 });
+              ( 2.0,
+                Propane.Runner.Run_done
+                  { index = 1; worker = 1; completed = 2; total = 2 } );
+              (2.0, Propane.Runner.Finished { completed = 2; total = 2 });
+            ]
+        in
+        let json = Propane.Telemetry.to_json (Propane.Telemetry.snapshot t) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (contains_substring json needle))
+          [
+            {|"total":2|};
+            {|"completed":2|};
+            {|"skipped":1|};
+            {|"jobs":2|};
+            {|"elapsed_s":2.000|};
+            {|"runs_per_sec":0.5|};
+            {|"eta_s":0.0|};
+            {|"per_worker":[0,1]|};
+          ]);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1118,6 +1480,8 @@ let () =
       ("latency", latency_tests);
       ("uniformity", uniformity_tests);
       ("storage", storage_tests);
+      ("journal", journal_tests);
+      ("telemetry", telemetry_tests);
       ("golden_tolerant", tolerant_tests);
       ("severity", severity_tests);
     ]
