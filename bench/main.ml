@@ -21,6 +21,13 @@ let jobs =
   | Some (Some n) when n >= 1 -> n
   | Some _ | None -> 1
 
+(* PROPANE_PERF_SMOKE=1 shrinks the perf target (short bechamel quota,
+   small throughput campaign) so CI can smoke-test it in seconds. *)
+let perf_smoke =
+  match Sys.getenv_opt "PROPANE_PERF_SMOKE" with
+  | Some ("1" | "true") -> true
+  | Some _ | None -> false
+
 let section title =
   Printf.printf "\n================ %s ================\n\n" title
 
@@ -546,6 +553,7 @@ let perf () =
   let sut = Arrestment.System.sut () in
   let tc = Arrestment.System.testcase ~mass_kg:14_000.0 ~velocity_mps:60.0 in
   let golden = Propane.Runner.golden_run ~max_ms:2_000 sut tc in
+  let frozen = Propane.Golden.freeze golden in
   let injection =
     Propane.Injection.make ~target:"pulscnt"
       ~at:(Simkernel.Sim_time.of_ms 500)
@@ -623,8 +631,19 @@ let perf () =
              Propane.Runner.golden_run ~max_ms:2_000 sut tc));
       Test.make ~name:"campaign:injection-run(truncated)"
         (Staged.stage (fun () ->
-             Propane.Runner.run_experiment ~truncate_after_ms:128 sut ~golden
-               tc injection));
+             Propane.Runner.run_experiment ~truncate_after_ms:128 sut
+               ~golden:frozen tc injection));
+      Test.make ~name:"campaign:run-experiment(streaming)"
+        (Staged.stage (fun () ->
+             Propane.Runner.run_experiment sut ~golden:frozen tc injection));
+      Test.make ~name:"campaign:run-experiment(keep-traces)"
+        (Staged.stage (fun () ->
+             let recorder, _traces =
+               Propane.Observer.recorder
+                 ~signals:(Propane.Sut.signal_names sut)
+             in
+             Propane.Runner.run_experiment ~observers:[ recorder ] sut
+               ~golden:frozen tc injection));
       Test.make ~name:"grc:compare-2s-run"
         (Staged.stage (fun () -> Propane.Golden.compare_runs ~golden ~run:golden ()));
     ]
@@ -632,7 +651,9 @@ let perf () =
   let benchmark test =
     let instance = Toolkit.Instance.monotonic_clock in
     let cfg =
-      Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) ~kde:(Some 1_000) ()
+      Benchmark.cfg ~limit:2_000
+        ~quota:(Time.second (if perf_smoke then 0.05 else 0.5))
+        ~kde:(Some 1_000) ()
     in
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true
@@ -650,7 +671,40 @@ let perf () =
           | Some [ est ] -> Printf.printf "%-36s %12.1f ns/run\n" name est
           | Some _ | None -> Printf.printf "%-36s (no estimate)\n" name)
         results)
-    tests
+    tests;
+  (* Whole-campaign throughput: the streaming observer pipeline versus
+     the legacy record-everything data path (--keep-traces).  Outcomes
+     are identical either way — only the cost differs. *)
+  let throughput_campaign =
+    let targets = Arrestment.Model.injection_targets in
+    let targets =
+      if perf_smoke then List.filteri (fun i _ -> i < 4) targets else targets
+    in
+    let times = if perf_smoke then [ 500 ] else [ 500; 1500; 2500 ] in
+    Propane.Campaign.make ~name:"throughput" ~targets ~testcases:[ tc ]
+      ~times:(List.map Simkernel.Sim_time.of_ms times)
+      ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+  in
+  let time_campaign ~keep_traces =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs ~keep_traces
+        sut throughput_campaign
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let streaming, t_stream = time_campaign ~keep_traces:false in
+  let kept, t_keep = time_campaign ~keep_traces:true in
+  if Propane.Results.outcomes streaming <> Propane.Results.outcomes kept then
+    failwith "perf: streaming and keep-traces outcomes differ";
+  let runs = List.length (Propane.Campaign.experiments throughput_campaign) in
+  Printf.printf "campaign-throughput (%d runs, jobs=%d):\n" runs jobs;
+  Printf.printf "  streaming      %10.1f runs/s  (%.2f s)\n"
+    (float_of_int runs /. t_stream)
+    t_stream;
+  Printf.printf "  --keep-traces  %10.1f runs/s  (%.2f s, %.2fx slower)\n"
+    (float_of_int runs /. t_keep)
+    t_keep (t_keep /. t_stream)
 
 (* ------------------------------------------------------------------ *)
 

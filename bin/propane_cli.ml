@@ -123,6 +123,16 @@ let resume_arg =
   in
   Arg.(value & flag & info [ "resume" ] ~doc)
 
+let keep_traces_arg =
+  let doc =
+    "Record full per-run traces instead of streaming each run through the \
+     observer pipeline (see Propane.Observer).  Results are identical; \
+     streaming is faster and uses constant per-run memory, this flag \
+     restores the legacy record-everything data path for debugging or \
+     cost comparison."
+  in
+  Arg.(value & flag & info [ "keep-traces" ] ~doc)
+
 let telemetry_arg =
   let doc =
     "Write a machine-readable JSON campaign summary (throughput, ETA, \
@@ -167,7 +177,7 @@ let write_telemetry path telemetry =
   end
 
 let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-    ~journal ~resume ~telemetry () =
+    ~journal ~resume ~telemetry ~keep_traces () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
     exit 1
@@ -189,7 +199,7 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
   in
   let results =
     Propane.Runner.run ~seed ~truncate_after_ms:(window * 2) ~jobs ?journal
-      ~resume ~on_event sut campaign
+      ~resume ~on_event ~keep_traces sut campaign
   in
   Option.iter (fun path -> write_telemetry path tele) telemetry;
   let attribution = Propane.Estimator.Direct { window_ms = window } in
@@ -207,10 +217,10 @@ let save_arg =
 
 let campaign_cmd =
   let run () cases times full seed window progress jobs journal resume
-      telemetry save =
+      telemetry keep_traces save =
     let results, analysis =
       run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-        ~journal ~resume ~telemetry ()
+        ~journal ~resume ~telemetry ~keep_traces ()
     in
     Option.iter
       (fun path ->
@@ -236,7 +246,7 @@ let campaign_cmd =
     Term.(
       const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
       $ window_arg $ progress_arg $ jobs_arg $ journal_arg $ resume_arg
-      $ telemetry_arg $ save_arg)
+      $ telemetry_arg $ keep_traces_arg $ save_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -63,6 +63,10 @@ let instantiate guards tc =
       Pres_a.step pres_a);
   Simkernel.Slot_scheduler.set_background scheduler ~name:"CALC" (fun () ->
       Calc.step calc);
+  let peek_handles =
+    Array.of_list
+      (List.map (fun (name, _) -> Store.handle store name) Signals.store_layout)
+  in
   {
     Propane.Sut.read = Store.peek store;
     write = Store.poke store;
@@ -73,6 +77,10 @@ let instantiate guards tc =
         Simkernel.Slot_scheduler.tick scheduler;
         Environment.post_step env);
     finished = (fun () -> Environment.finished env);
+    snapshot =
+      Some
+        (fun buf ->
+          Array.iteri (fun i h -> buf.(i) <- Store.peek_handle h) peek_handles);
   }
 
 let sut ?(guards = []) () =

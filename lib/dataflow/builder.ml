@@ -250,6 +250,12 @@ let instantiate t _testcase =
       t.blocks
   in
   let ms = ref 0 in
+  let peek_handles =
+    Array.of_list
+      (List.map
+         (fun (name, _) -> Propane.Signal_store.handle store name)
+         (signal_layout t))
+  in
   {
     Propane.Sut.read = Propane.Signal_store.peek store;
     write = Propane.Signal_store.poke store;
@@ -264,6 +270,12 @@ let instantiate t _testcase =
         List.iter (fun step -> step !ms) steps;
         incr ms);
     finished = (fun () -> !ms >= t.duration_ms);
+    snapshot =
+      Some
+        (fun buf ->
+          Array.iteri
+            (fun i h -> buf.(i) <- Propane.Signal_store.peek_handle h)
+            peek_handles);
   }
 
 let sut t =

@@ -27,7 +27,12 @@ type tolerance = { epsilon : int; hold_ms : int }
 
 let exact = { epsilon = 0; hold_ms = 0 }
 
-let first_tolerant_difference ~until_ms tolerance golden run =
+let first_tolerant_difference ?(from_ms = 0) ?(until_ms = max_int) tolerance
+    golden run =
+  if not (String.equal (Trace.signal golden) (Trace.signal run)) then
+    invalid_arg
+      (Printf.sprintf "Golden.first_tolerant_difference: comparing %S with %S"
+         (Trace.signal golden) (Trace.signal run));
   let common = min (Trace.length golden) (Trace.length run) in
   let stop = min common until_ms in
   (* [streak] counts consecutive out-of-band samples ending just before
@@ -36,7 +41,7 @@ let first_tolerant_difference ~until_ms tolerance golden run =
     if j >= stop then
       if
         Trace.length golden <> Trace.length run
-        && common < until_ms
+        && common >= from_ms && common < until_ms
       then Some common
       else None
     else if abs (Trace.get golden j - Trace.get run j) > tolerance.epsilon
@@ -46,20 +51,49 @@ let first_tolerant_difference ~until_ms tolerance golden run =
       else go (j + 1) streak
     else go (j + 1) 0
   in
-  go 0 0
+  go (max from_ms 0) 0
 
-let compare_runs_tolerant ?(until_ms = max_int) ~tolerance_for ~golden ~run ()
-    =
+let compare_runs_tolerant ?from_ms ?until_ms ~tolerance_for ~golden ~run () =
   check_signal_sets ~golden ~run;
   List.filter_map
     (fun signal ->
       match
-        first_tolerant_difference ~until_ms (tolerance_for signal)
+        first_tolerant_difference ?from_ms ?until_ms (tolerance_for signal)
           (Trace_set.trace golden signal)
           (Trace_set.trace run signal)
       with
       | None -> None
       | Some first_ms -> Some { signal; first_ms })
     (Trace_set.signals golden)
+
+(** {1 Frozen goldens} *)
+
+type frozen = {
+  frozen_signals : string array;  (* creation order of the trace set *)
+  frozen_duration : int;
+  samples : int array;  (* signal-major: [samples.(s * duration + ms)] *)
+}
+
+let freeze set =
+  let order = Trace_set.signals set in
+  let signals = Array.of_list order in
+  let duration = Trace_set.duration_ms set in
+  let samples = Array.make (max 1 (Array.length signals * duration)) 0 in
+  Array.iteri
+    (fun s name ->
+      Trace.blit_into (Trace_set.trace set name) samples ~pos:(s * duration))
+    signals;
+  { frozen_signals = signals; frozen_duration = duration; samples }
+
+let frozen_signals f = Array.to_list f.frozen_signals
+let frozen_signal_count f = Array.length f.frozen_signals
+let frozen_duration_ms f = f.frozen_duration
+
+let frozen_value f ~signal ~ms =
+  if signal < 0 || signal >= Array.length f.frozen_signals then
+    invalid_arg (Printf.sprintf "Golden.frozen_value: signal %d" signal)
+  else if ms < 0 || ms >= f.frozen_duration then
+    invalid_arg (Printf.sprintf "Golden.frozen_value: ms %d" ms)
+  else f.samples.((signal * f.frozen_duration) + ms)
 
 let pp_divergence ppf d = Fmt.pf ppf "%s@%dms" d.signal d.first_ms

@@ -47,7 +47,18 @@ type tolerance = {
 val exact : tolerance
 (** [{epsilon = 0; hold_ms = 0}] — the simulated-time semantics. *)
 
+val first_tolerant_difference :
+  ?from_ms:int -> ?until_ms:int -> tolerance -> Trace.t -> Trace.t -> int option
+(** Tolerance-based analogue of {!Trace.first_difference}, with the
+    same [[from_ms, until_ms)] window and the same length-mismatch tail
+    rule: a length mismatch inside the window counts as an immediate
+    divergence at the end of the shorter trace.  The first argument is
+    the golden trace.  With {!exact} this coincides with
+    {!Trace.first_difference} (property-tested).
+    @raise Invalid_argument if the traces cover different signals. *)
+
 val compare_runs_tolerant :
+  ?from_ms:int ->
   ?until_ms:int ->
   tolerance_for:(string -> tolerance) ->
   golden:Trace_set.t ->
@@ -60,5 +71,32 @@ val compare_runs_tolerant :
     the window still counts as an immediate divergence.  With
     [tolerance_for = fun _ -> exact] this coincides with
     {!compare_runs} (property-tested). *)
+
+(** {1 Frozen goldens}
+
+    After recording, a golden run is {e frozen} into a compact
+    immutable flat-array form.  Frozen goldens are never mutated, so
+    they are safe to share read-only across worker domains, and the
+    streaming divergence observers ({!Observer}) compare each incoming
+    sample against them in O(1). *)
+
+type frozen = private {
+  frozen_signals : string array;  (** signal names in trace-set order *)
+  frozen_duration : int;  (** recorded duration in ms *)
+  samples : int array;
+      (** signal-major samples: value of signal [s] at millisecond [ms]
+          is [samples.(s * frozen_duration + ms)].  Read-only. *)
+}
+
+val freeze : Trace_set.t -> frozen
+(** Copies a recorded golden run into its frozen form. *)
+
+val frozen_signals : frozen -> string list
+val frozen_signal_count : frozen -> int
+val frozen_duration_ms : frozen -> int
+
+val frozen_value : frozen -> signal:int -> ms:int -> int
+(** Sample of the [signal]-th signal (trace-set order) at millisecond
+    [ms].  @raise Invalid_argument when out of range. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit

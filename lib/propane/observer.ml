@@ -1,0 +1,140 @@
+type t = {
+  on_injection : ms:int -> unit;
+  on_sample : ms:int -> int array -> unit;
+  finish : run_ms:int -> unit;
+  saturated : unit -> bool;
+}
+
+let make ?(on_injection = fun ~ms:_ -> ()) ?(on_sample = fun ~ms:_ _ -> ())
+    ?(finish = fun ~run_ms:_ -> ()) ?(saturated = fun () -> false) () =
+  { on_injection; on_sample; finish; saturated }
+
+let combine = function
+  | [] -> make ()
+  | [ o ] -> o
+  | observers ->
+      {
+        on_injection =
+          (fun ~ms -> List.iter (fun o -> o.on_injection ~ms) observers);
+        on_sample =
+          (fun ~ms values ->
+            List.iter (fun o -> o.on_sample ~ms values) observers);
+        finish = (fun ~run_ms -> List.iter (fun o -> o.finish ~run_ms) observers);
+        saturated =
+          (fun () -> List.for_all (fun o -> o.saturated ()) observers);
+      }
+
+(* Streaming equivalent of [Trace.first_difference] per signal: [first.(s)]
+   is the divergence millisecond of signal [s], or -1 while it agrees with
+   the frozen golden.  The observer saturates once every signal has
+   diverged, letting the runner stop the run early — the remaining samples
+   cannot change any first-divergence timestamp. *)
+let divergence ?(from_ms = 0) ?(until_ms = max_int) (golden : Golden.frozen) =
+  let n = Golden.frozen_signal_count golden in
+  let golden_ms = golden.Golden.frozen_duration in
+  let samples = golden.Golden.samples in
+  let first = Array.make n (-1) in
+  let remaining = ref n in
+  let on_sample ~ms values =
+    if !remaining > 0 && ms >= from_ms && ms < until_ms && ms < golden_ms then
+      for s = 0 to n - 1 do
+        if first.(s) < 0 && values.(s) <> samples.((s * golden_ms) + ms) then begin
+          first.(s) <- ms;
+          decr remaining
+        end
+      done
+  in
+  let finish ~run_ms =
+    (* Length-mismatch tail rule of [Trace.first_difference]: a run that
+       stopped at a different length diverges at the end of the shorter
+       trace, when that point lies inside the comparison window. *)
+    if run_ms <> golden_ms then begin
+      let common = min run_ms golden_ms in
+      if common >= from_ms && common < until_ms then
+        for s = 0 to n - 1 do
+          if first.(s) < 0 then begin
+            first.(s) <- common;
+            decr remaining
+          end
+        done
+    end
+  in
+  let saturated () = !remaining = 0 in
+  let divergences () =
+    let acc = ref [] in
+    for s = n - 1 downto 0 do
+      if first.(s) >= 0 then
+        acc :=
+          { Golden.signal = golden.Golden.frozen_signals.(s);
+            first_ms = first.(s);
+          }
+          :: !acc
+    done;
+    !acc
+  in
+  (make ~on_sample ~finish ~saturated (), divergences)
+
+(* Streaming equivalent of [Golden.first_tolerant_difference]: a signal
+   diverges at the first millisecond starting [hold_ms + 1] consecutive
+   out-of-band samples. *)
+let tolerant_divergence ?(from_ms = 0) ?(until_ms = max_int) ~tolerance_for
+    (golden : Golden.frozen) =
+  let n = Golden.frozen_signal_count golden in
+  let golden_ms = golden.Golden.frozen_duration in
+  let samples = golden.Golden.samples in
+  let tolerances =
+    Array.map tolerance_for golden.Golden.frozen_signals
+  in
+  let first = Array.make n (-1) in
+  let streak = Array.make n 0 in
+  let remaining = ref n in
+  let on_sample ~ms values =
+    if !remaining > 0 && ms >= from_ms && ms < until_ms && ms < golden_ms then
+      for s = 0 to n - 1 do
+        if first.(s) < 0 then begin
+          let tol = tolerances.(s) in
+          if abs (values.(s) - samples.((s * golden_ms) + ms)) > tol.Golden.epsilon
+          then begin
+            streak.(s) <- streak.(s) + 1;
+            if streak.(s) > tol.Golden.hold_ms then begin
+              first.(s) <- ms - tol.Golden.hold_ms;
+              decr remaining
+            end
+          end
+          else streak.(s) <- 0
+        end
+      done
+  in
+  let finish ~run_ms =
+    if run_ms <> golden_ms then begin
+      let common = min run_ms golden_ms in
+      if common >= from_ms && common < until_ms then
+        for s = 0 to n - 1 do
+          if first.(s) < 0 then begin
+            first.(s) <- common;
+            decr remaining
+          end
+        done
+    end
+  in
+  let saturated () = !remaining = 0 in
+  let divergences () =
+    let acc = ref [] in
+    for s = n - 1 downto 0 do
+      if first.(s) >= 0 then
+        acc :=
+          { Golden.signal = golden.Golden.frozen_signals.(s);
+            first_ms = first.(s);
+          }
+          :: !acc
+    done;
+    !acc
+  in
+  (make ~on_sample ~finish ~saturated (), divergences)
+
+let recorder ~signals =
+  let set = Trace_set.create ~signals () in
+  let on_sample ~ms:_ values = Trace_set.sample_array set values in
+  (* A recorder is never saturated: combining it with a divergence
+     observer disables early exit, so the traces stay complete. *)
+  (make ~on_sample (), fun () -> set)

@@ -1,0 +1,75 @@
+(** Streaming run observers.
+
+    The runner drives an observer once per simulated millisecond
+    instead of materializing a full {!Trace_set} per run and comparing
+    it post-hoc (Section 6's Golden Run Comparison).  Each millisecond
+    the runner fills one [int array] with the current value of every
+    traced signal (trace-set order) and calls {!t.on_sample}; the
+    injection instant is announced via {!t.on_injection}; {!t.finish}
+    closes the run.  An observer that has learned everything it can
+    reports [saturated () = true], and the runner may then stop the run
+    early — for the {!divergence} observer that happens once every
+    monitored signal has diverged, at which point no later sample can
+    change a first-divergence timestamp.
+
+    The sample array passed to [on_sample] is reused by the runner
+    between milliseconds: observers must copy values they keep. *)
+
+type t = {
+  on_injection : ms:int -> unit;
+      (** Called at the fault-injection instant, before the SUT steps
+          through that millisecond. *)
+  on_sample : ms:int -> int array -> unit;
+      (** Called once per simulated millisecond with the value of every
+          traced signal, after the SUT stepped through [ms]. *)
+  finish : run_ms:int -> unit;
+      (** Called once when the run ends (normally, early-exited, or
+          SUT-finished) with the number of sampled milliseconds. *)
+  saturated : unit -> bool;
+      (** [true] once no future sample can change this observer's
+          result; the runner may then early-exit the run. *)
+}
+
+val make :
+  ?on_injection:(ms:int -> unit) ->
+  ?on_sample:(ms:int -> int array -> unit) ->
+  ?finish:(run_ms:int -> unit) ->
+  ?saturated:(unit -> bool) ->
+  unit ->
+  t
+(** Observer from optional callbacks.  Defaults: do nothing, never
+    saturated. *)
+
+val combine : t list -> t
+(** Fans each callback out to every observer, in list order.  The
+    combination is saturated only when {e all} observers are (an empty
+    list is never saturated), so adding a {!recorder} — which never
+    saturates — disables early exit. *)
+
+val divergence :
+  ?from_ms:int ->
+  ?until_ms:int ->
+  Golden.frozen ->
+  t * (unit -> Golden.divergence list)
+(** [divergence golden] is a streaming observer detecting, per signal,
+    the first millisecond in [[from_ms, until_ms)] where the run
+    disagrees with the frozen golden, plus a thunk returning the
+    divergences found so far (golden signal order).  Semantics —
+    including the length-mismatch tail rule applied at [finish] — match
+    {!Golden.compare_runs} over recorded traces exactly
+    (property-tested).  Saturates once every signal has diverged. *)
+
+val tolerant_divergence :
+  ?from_ms:int ->
+  ?until_ms:int ->
+  tolerance_for:(string -> Golden.tolerance) ->
+  Golden.frozen ->
+  t * (unit -> Golden.divergence list)
+(** Tolerance-based variant matching {!Golden.compare_runs_tolerant}:
+    a signal diverges at the first millisecond starting [hold_ms + 1]
+    consecutive samples out of the [epsilon] band. *)
+
+val recorder : signals:string list -> t * (unit -> Trace_set.t)
+(** Records every sample into a {!Trace_set} (for consumers that still
+    need raw traces).  Never saturates, so combining it with a
+    divergence observer keeps the run complete. *)

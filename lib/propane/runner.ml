@@ -4,24 +4,36 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let default_max_ms = 20_000
 
-let sample_into traces (instance : Sut.instance) =
-  Trace_set.sample traces instance.Sut.read
+(* One flat read of every traced signal (signal-list order) into a
+   reusable buffer.  SUTs exposing a bulk [snapshot] skip the per-name
+   lookup of [read]. *)
+let sampler_of (sut : Sut.t) (instance : Sut.instance) =
+  match instance.Sut.snapshot with
+  | Some snap -> snap
+  | None ->
+      let names = Array.of_list (Sut.signal_names sut) in
+      fun buf -> Array.iteri (fun i n -> buf.(i) <- instance.Sut.read n) names
 
 let golden_run ?(max_ms = default_max_ms) (sut : Sut.t) testcase =
   let instance = sut.Sut.instantiate testcase in
   let traces = Trace_set.create ~signals:(Sut.signal_names sut) () in
+  let sampler = sampler_of sut instance in
+  let buf = Array.make (List.length sut.Sut.signals) 0 in
   let rec go ms =
     if ms >= max_ms || instance.Sut.finished () then traces
     else begin
       instance.Sut.step ();
-      sample_into traces instance;
+      sampler buf;
+      Trace_set.sample_array traces buf;
       go (ms + 1)
     end
   in
   go 0
 
-let injection_run ?rng ?truncate_after_ms (sut : Sut.t) ~duration_ms testcase
-    injection =
+exception Early_exit
+
+let observed_run ?rng (sut : Sut.t) ~duration_ms testcase injection
+    (observer : Observer.t) =
   let target = injection.Injection.target in
   if not (Sut.has_signal sut target) then
     invalid_arg
@@ -32,38 +44,66 @@ let injection_run ?rng ?truncate_after_ms (sut : Sut.t) ~duration_ms testcase
   in
   let width = Sut.signal_width sut target in
   let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
-  let duration_ms =
-    match truncate_after_ms with
-    | None -> duration_ms
-    | Some extra -> min duration_ms (inject_at + extra + 1)
-  in
   let instance = sut.Sut.instantiate testcase in
-  let traces = Trace_set.create ~signals:(Sut.signal_names sut) () in
-  for ms = 0 to duration_ms - 1 do
-    if ms = inject_at then
-      instance.Sut.inject target (fun v ->
-          Error_model.apply injection.Injection.error ~width ~rng v);
-    instance.Sut.step ();
-    sample_into traces instance
-  done;
-  traces
+  let sampler = sampler_of sut instance in
+  let buf = Array.make (List.length sut.Sut.signals) 0 in
+  let run_ms = ref duration_ms in
+  (try
+     for ms = 0 to duration_ms - 1 do
+       if ms = inject_at then begin
+         instance.Sut.inject target (fun v ->
+             Error_model.apply injection.Injection.error ~width ~rng v);
+         observer.Observer.on_injection ~ms
+       end;
+       instance.Sut.step ();
+       sampler buf;
+       observer.Observer.on_sample ~ms buf;
+       (* Saturation is only consulted once the injection happened: a
+          deterministic SUT cannot diverge before it, and stopping
+          earlier would skip the injection itself. *)
+       if ms >= inject_at && observer.Observer.saturated () then begin
+         run_ms := ms + 1;
+         raise Early_exit
+       end
+     done
+   with Early_exit -> ());
+  observer.Observer.finish ~run_ms:!run_ms;
+  !run_ms
 
-let run_experiment ?rng ?truncate_after_ms sut ~golden testcase injection =
-  let run =
-    injection_run ?rng ?truncate_after_ms sut
-      ~duration_ms:(Trace_set.duration_ms golden)
-      testcase injection
+let truncated_duration ?truncate_after_ms ~inject_at duration_ms =
+  match truncate_after_ms with
+  | None -> duration_ms
+  | Some extra -> min duration_ms (inject_at + extra + 1)
+
+let injection_run ?rng ?truncate_after_ms (sut : Sut.t) ~duration_ms testcase
+    injection =
+  let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
+  let duration_ms =
+    truncated_duration ?truncate_after_ms ~inject_at duration_ms
+  in
+  let recorder, traces = Observer.recorder ~signals:(Sut.signal_names sut) in
+  ignore (observed_run ?rng sut ~duration_ms testcase injection recorder);
+  traces ()
+
+let run_experiment ?rng ?truncate_after_ms ?(observers = []) sut ~golden
+    testcase injection =
+  let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
+  let duration_ms =
+    truncated_duration ?truncate_after_ms ~inject_at
+      (Golden.frozen_duration_ms golden)
   in
   let until_ms =
     (* A truncated run only vouches for the window it covers. *)
-    match truncate_after_ms with
-    | None -> None
-    | Some _ -> Some (Trace_set.duration_ms run)
+    match truncate_after_ms with None -> None | Some _ -> Some duration_ms
   in
+  let div, divergences = Observer.divergence ?until_ms golden in
+  ignore
+    (observed_run ?rng sut ~duration_ms testcase injection
+       (Observer.combine (div :: observers)));
   {
     Results.testcase = Testcase.id testcase;
     injection;
-    divergences = Golden.compare_runs ?until_ms ~golden ~run ();
+    divergences = divergences ();
   }
 
 type progress = { completed : int; total : int }
@@ -83,9 +123,12 @@ let rng_for seed index =
 
 module String_map = Map.Make (String)
 
-(* Golden runs for exactly the test cases the remaining experiments
-   need — a resumed campaign does not re-execute goldens whose
-   injection runs are all journalled. *)
+(* Frozen golden runs for exactly the test cases the remaining
+   experiments need — a resumed campaign does not re-execute goldens
+   whose injection runs are all journalled.  The recording trace sets
+   are dropped immediately after freezing, so a campaign holds one
+   compact immutable array per test case, shared read-only across
+   worker domains. *)
 let goldens_for ~max_ms sut experiments remaining =
   List.fold_left
     (fun acc idx ->
@@ -94,7 +137,7 @@ let goldens_for ~max_ms sut experiments remaining =
       if String_map.mem id acc then acc
       else begin
         Log.debug (fun m -> m "golden run for %s" id);
-        String_map.add id (golden_run ~max_ms sut tc) acc
+        String_map.add id (Golden.freeze (golden_run ~max_ms sut tc)) acc
       end)
     String_map.empty remaining
 
@@ -137,12 +180,33 @@ let replay_journal path ~outcomes ~(sut : Sut.t) ~campaign ~seed ~total =
 
 let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
 
+(* One injection run of the campaign: streaming by default; with
+   [keep] an opt-in recorder rides along, which also disables early
+   exit (a recorder never saturates), reproducing the legacy
+   record-everything data path. *)
+let run_one ~seed ?truncate_after_ms ~keep ~golden_for (sut : Sut.t)
+    experiments idx =
+  let testcase, injection = experiments.(idx) in
+  let rng = rng_for seed idx in
+  let golden = golden_for testcase in
+  if keep then begin
+    let recorder, traces = Observer.recorder ~signals:(Sut.signal_names sut) in
+    let outcome =
+      run_experiment ~rng ?truncate_after_ms ~observers:[ recorder ] sut
+        ~golden testcase injection
+    in
+    (outcome, Some (traces ()))
+  end
+  else
+    ( run_experiment ~rng ?truncate_after_ms sut ~golden testcase injection,
+      None )
+
 (* Every remaining experiment, distributed over [jobs] worker domains
    by an atomic cursor.  Workers hand finished outcomes to the
-   coordinating domain over a queue; journal appends and [on_event]
-   callbacks happen only there, so callers never need thread-safe
-   callbacks and the journal has a single writer. *)
-let run_parallel ~jobs ~seed ?truncate_after_ms ~experiments ~remaining
+   coordinating domain over a queue; journal appends and [on_event] /
+   [on_run_traces] callbacks happen only there, so callers never need
+   thread-safe callbacks and the journal has a single writer. *)
+let run_parallel ~jobs ~seed ?truncate_after_ms ~keep ~experiments ~remaining
     ~golden_for ~outcomes ~record sut =
   let remaining = Array.of_list remaining in
   let n = Array.length remaining in
@@ -161,12 +225,11 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ~experiments ~remaining
       let slot = Atomic.fetch_and_add next 1 in
       if slot < n then begin
         let idx = remaining.(slot) in
-        let testcase, injection = experiments.(idx) in
-        let outcome =
-          run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
-            ~golden:(golden_for testcase) testcase injection
+        let outcome, traces =
+          run_one ~seed ?truncate_after_ms ~keep ~golden_for sut experiments
+            idx
         in
-        post (Ok (idx, wid, outcome));
+        post (Ok (idx, wid, outcome, traces));
         loop ()
       end
     in
@@ -184,9 +247,9 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ~experiments ~remaining
     Mutex.unlock mutex;
     List.iter
       (function
-        | Ok (idx, wid, outcome) ->
+        | Ok (idx, wid, outcome, traces) ->
             outcomes.(idx) <- Some outcome;
-            record ~index:idx ~worker:wid outcome
+            record ~index:idx ~worker:wid outcome traces
         | Error None -> decr live
         | Error (Some e) ->
             if !failure = None then failure := Some e;
@@ -197,10 +260,12 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ~experiments ~remaining
   match !failure with Some e -> raise e | None -> ()
 
 let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms ?(jobs = 1)
-    ?journal ?(resume = false) ?on_event (sut : Sut.t) campaign =
+    ?journal ?(resume = false) ?on_event ?(keep_traces = false) ?on_run_traces
+    (sut : Sut.t) campaign =
   if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
   if resume && journal = None then
     invalid_arg "Runner.run: resume requires a journal";
+  let keep = keep_traces || on_run_traces <> None in
   let experiments = Array.of_list (Campaign.experiments campaign) in
   let total = Array.length experiments in
   let outcomes = Array.make total None in
@@ -239,27 +304,29 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms ?(jobs = 1)
       emit (Goldens_done { testcases = String_map.cardinal goldens });
       let golden_for tc = String_map.find (Testcase.id tc) goldens in
       let completed = ref skipped in
-      let record ~index ~worker outcome =
+      let record ~index ~worker outcome traces =
         Option.iter
           (fun w -> or_invalid (Journal.append w ~index outcome))
           writer;
+        (match (on_run_traces, traces) with
+        | Some f, Some set -> f ~index set
+        | _ -> ());
         incr completed;
         emit (Run_done { index; worker; completed = !completed; total })
       in
       if jobs = 1 then
         List.iter
           (fun idx ->
-            let testcase, injection = experiments.(idx) in
-            let outcome =
-              run_experiment ~rng:(rng_for seed idx) ?truncate_after_ms sut
-                ~golden:(golden_for testcase) testcase injection
+            let outcome, traces =
+              run_one ~seed ?truncate_after_ms ~keep ~golden_for sut
+                experiments idx
             in
             outcomes.(idx) <- Some outcome;
-            record ~index:idx ~worker:0 outcome)
+            record ~index:idx ~worker:0 outcome traces)
           remaining
       else
-        run_parallel ~jobs ~seed ?truncate_after_ms ~experiments ~remaining
-          ~golden_for ~outcomes ~record sut;
+        run_parallel ~jobs ~seed ?truncate_after_ms ~keep ~experiments
+          ~remaining ~golden_for ~outcomes ~record sut;
       emit (Finished { completed = !completed; total });
       let results =
         Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name

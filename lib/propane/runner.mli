@@ -1,17 +1,44 @@
 (** Campaign execution: golden runs, injection runs, golden-run
     comparison (Sections 6 and 7.3).
 
-    The runner steps a {!Sut.instance} millisecond by millisecond,
-    sampling every observable signal after each step.  A golden run
+    The runner steps a {!Sut.instance} millisecond by millisecond and,
+    after each step, reads every observable signal once into a flat
+    sample that it hands to a streaming {!Observer}.  A golden run
     executes until the SUT reports completion (or [max_ms] as a safety
-    net); each injection run executes for {e exactly} the duration of
-    its test case's golden run, so traces compare sample by sample. *)
+    net) and is then {e frozen} ({!Golden.freeze}) into a compact
+    immutable form; each injection run executes for {e exactly} the
+    duration of its test case's golden run — or less, when every
+    monitored signal has already diverged and the divergence observer
+    saturates — so divergence timestamps compare sample by sample
+    without any per-run trace materialization. *)
 
 val default_max_ms : int
 (** 20,000 simulated ms. *)
 
 val golden_run : ?max_ms:int -> Sut.t -> Testcase.t -> Trace_set.t
 (** Runs without injections and returns the reference traces. *)
+
+val observed_run :
+  ?rng:Simkernel.Rng.t ->
+  Sut.t ->
+  duration_ms:int ->
+  Testcase.t ->
+  Injection.t ->
+  Observer.t ->
+  int
+(** One injection run driven through an observer: the injection is
+    registered as a one-shot trap corruption at the start of its
+    millisecond (announced via {!Observer.t.on_injection}), every
+    millisecond's signal values are pushed through
+    {!Observer.t.on_sample}, and the run stops early once the observer
+    reports saturation at or after the injection instant (a
+    deterministic SUT cannot diverge before it).  Returns the number of
+    simulated milliseconds actually run, which is also passed to
+    {!Observer.t.finish}.  [rng] feeds non-deterministic error models
+    and defaults to a fixed seed.  An injection time beyond the
+    duration leaves the run golden.
+    @raise Invalid_argument if the target signal is unknown to the
+    SUT. *)
 
 val injection_run :
   ?rng:Simkernel.Rng.t ->
@@ -21,11 +48,9 @@ val injection_run :
   Testcase.t ->
   Injection.t ->
   Trace_set.t
-(** Runs for [duration_ms] with the single injection applied at its
-    instant (registered as a one-shot trap corruption at the start of
-    that millisecond).  [rng] feeds non-deterministic error models and
-    defaults to a fixed seed.  An injection time beyond the duration
-    leaves the run golden.
+(** {!observed_run} with a {!Observer.recorder}: runs for [duration_ms]
+    and returns the full traces (no early exit — a recorder never
+    saturates).
 
     [truncate_after_ms] stops the run that many milliseconds after the
     injection instant — a large speed-up for permeability estimation,
@@ -37,14 +62,22 @@ val injection_run :
 val run_experiment :
   ?rng:Simkernel.Rng.t ->
   ?truncate_after_ms:int ->
+  ?observers:Observer.t list ->
   Sut.t ->
-  golden:Trace_set.t ->
+  golden:Golden.frozen ->
   Testcase.t ->
   Injection.t ->
   Results.outcome
-(** One injection run plus golden-run comparison.  With
-    [truncate_after_ms] the comparison window is bounded by the
-    truncated run's duration. *)
+(** One injection run with streaming golden-run comparison against the
+    frozen golden: divergences are detected per sample in O(1), and the
+    run early-exits once every signal has diverged.  The outcome is
+    exactly what post-hoc {!Golden.compare_runs} over recorded traces
+    would report (property-tested).  With [truncate_after_ms] the
+    comparison window is bounded by the truncated run's duration.
+    [observers] ride along on the same run (e.g. a latency observer or
+    an opt-in {!Observer.recorder}); early exit then additionally waits
+    for {e their} saturation, so adding a recorder restores the full
+    fixed-duration run. *)
 
 (** {1 Campaign engine}
 
@@ -78,6 +111,8 @@ val run :
   ?journal:string ->
   ?resume:bool ->
   ?on_event:(event -> unit) ->
+  ?keep_traces:bool ->
+  ?on_run_traces:(index:int -> Trace_set.t -> unit) ->
   Sut.t ->
   Campaign.t ->
   Results.t
@@ -88,9 +123,18 @@ val run :
     [jobs = 1] everything happens in the calling domain; otherwise
     [jobs] domains execute injection runs while the calling domain
     coordinates.  Golden runs execute up front in the calling domain
-    and are shared read-only; every injection run gets a fresh SUT
-    instance, so the SUT's [instantiate] must not rely on global
-    mutable state.
+    and are frozen ({!Golden.freeze}) before being shared read-only
+    across domains; every injection run gets a fresh SUT instance, so
+    the SUT's [instantiate] must not rely on global mutable state.
+
+    By default runs are streamed: no per-run trace is materialized and
+    a run stops as soon as every signal has diverged.  [keep_traces]
+    (default false) attaches a {!Observer.recorder} to every injection
+    run, restoring the legacy record-everything data path (full-length
+    runs, per-run trace allocation) — outcomes are identical either
+    way, this only changes cost.  [on_run_traces] receives each run's
+    recorded traces (implies [keep_traces]); like [on_event] it is
+    always called from the calling domain, in completion order.
 
     [journal] streams every outcome to an append-only {!Journal} at
     that path as it completes, so a crash loses at most the runs in

@@ -36,12 +36,27 @@ let classify ~outputs ~mission_failed ~golden ~run divergences =
     else if mission_failed ~golden ~run then Mission_failure
     else Output_deviation
 
+(* Streaming severity observer: divergences are detected on the fly
+   against the frozen golden while a recorder keeps the raw traces the
+   mission judge needs.  The recorder never saturates, so severity runs
+   stay full-length — classification inspects final state. *)
+let observer ~outputs ~mission_failed ~golden ~frozen =
+  let div, divergences = Observer.divergence frozen in
+  let recorder, traces = Observer.recorder ~signals:(Golden.frozen_signals frozen) in
+  let verdict () =
+    classify ~outputs ~mission_failed ~golden ~run:(traces ())
+      (divergences ())
+  in
+  (Observer.combine [ div; recorder ], verdict)
+
 let assess ?(max_ms = Runner.default_max_ms) ?(seed = 42L) ~outputs
     ~mission_failed (sut : Sut.t) campaign =
   let master = Simkernel.Rng.create seed in
   let goldens =
     List.map
-      (fun tc -> (Testcase.id tc, Runner.golden_run ~max_ms sut tc))
+      (fun tc ->
+        let golden = Runner.golden_run ~max_ms sut tc in
+        (Testcase.id tc, (golden, Golden.freeze golden)))
       campaign.Campaign.testcases
   in
   let table : (string, report ref) Hashtbl.t = Hashtbl.create 16 in
@@ -49,16 +64,13 @@ let assess ?(max_ms = Runner.default_max_ms) ?(seed = 42L) ~outputs
   List.iter
     (fun (testcase, injection) ->
       let rng = Simkernel.Rng.split master in
-      let golden = List.assoc (Testcase.id testcase) goldens in
-      let run =
-        Runner.injection_run ~rng sut
-          ~duration_ms:(Trace_set.duration_ms golden)
-          testcase injection
-      in
-      let divergences = Golden.compare_runs ~golden ~run () in
-      let verdict =
-        classify ~outputs ~mission_failed ~golden ~run divergences
-      in
+      let golden, frozen = List.assoc (Testcase.id testcase) goldens in
+      let obs, verdict = observer ~outputs ~mission_failed ~golden ~frozen in
+      ignore
+        (Runner.observed_run ~rng sut
+           ~duration_ms:(Trace_set.duration_ms golden)
+           testcase injection obs);
+      let verdict = verdict () in
       let target = injection.Injection.target in
       let cell =
         match Hashtbl.find_opt table target with

@@ -34,6 +34,20 @@ type report = {
 
 val count : report -> verdict -> int
 
+val observer :
+  outputs:string list ->
+  mission_failed:(golden:Trace_set.t -> run:Trace_set.t -> bool) ->
+  golden:Trace_set.t ->
+  frozen:Golden.frozen ->
+  Observer.t * (unit -> verdict)
+(** Streaming severity observer for one injection run: detects
+    divergences on the fly against [frozen] while recording the raw
+    traces the mission judge needs, and returns a thunk producing the
+    verdict once the run finished.  Pass the same golden both raw and
+    frozen so per-run refreezing is avoided.  The embedded recorder
+    never saturates, so driving this observer keeps the run full-length
+    — severity classification must see the run's end. *)
+
 val assess :
   ?max_ms:int ->
   ?seed:int64 ->

@@ -4,6 +4,7 @@ type instance = {
   inject : string -> (int -> int) -> unit;
   step : unit -> unit;
   finished : unit -> bool;
+  snapshot : (int array -> unit) option;
 }
 
 type t = {

@@ -24,6 +24,13 @@ type instance = {
   step : unit -> unit;  (** advance the system by one millisecond *)
   finished : unit -> bool;
       (** natural end of the run (e.g. aircraft stopped) *)
+  snapshot : (int array -> unit) option;
+      (** optional bulk peek: [snap buf] fills [buf.(i)] with the raw
+          current value of the [i]-th signal in the SUT's signal-list
+          order, with {!instance.read}'s never-fires-traps semantics.
+          The runner's streaming observer loop uses it when present to
+          avoid one name lookup per signal per millisecond; [None]
+          falls back to per-name [read]. *)
 }
 
 type t = {

@@ -40,6 +40,13 @@ let first_difference ?(from_ms = 0) ?(until_ms = max_int) a b =
 
 let to_list t = List.init t.len (fun j -> t.data.(j))
 
+let blit_into t dst ~pos =
+  if pos < 0 || pos + t.len > Array.length dst then
+    invalid_arg
+      (Printf.sprintf "Trace.blit_into: %d samples do not fit at %d in %d"
+         t.len pos (Array.length dst));
+  Array.blit t.data 0 dst pos t.len
+
 let of_list ~signal samples =
   let t = create ~capacity:(List.length samples) ~signal () in
   List.iter (push t) samples;
@@ -51,7 +58,11 @@ let equal a b =
   && first_difference a b = None
 
 let pp ppf t =
-  Fmt.pf ppf "@[<h>%s[%d]: %a%s@]" t.signal t.len
-    Fmt.(list ~sep:sp int)
-    (List.filteri (fun i _ -> i < 16) (to_list t))
-    (if t.len > 16 then " ..." else "")
+  (* Print straight from [data]; no intermediate list allocation. *)
+  let shown = min t.len 16 in
+  Fmt.pf ppf "@[<h>%s[%d]: " t.signal t.len;
+  for j = 0 to shown - 1 do
+    if j > 0 then Fmt.sp ppf ();
+    Fmt.int ppf t.data.(j)
+  done;
+  Fmt.pf ppf "%s@]" (if t.len > 16 then " ..." else "")

@@ -33,5 +33,10 @@ val first_difference : ?from_ms:int -> ?until_ms:int -> t -> t -> int option
 
 val to_list : t -> int list
 val of_list : signal:string -> int list -> t
+
+val blit_into : t -> int array -> pos:int -> unit
+(** [blit_into t dst ~pos] copies all [length t] samples into [dst]
+    starting at [pos].  @raise Invalid_argument if they do not fit. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

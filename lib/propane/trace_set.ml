@@ -31,6 +31,15 @@ let sample t read =
   Array.iter (fun tr -> Trace.push tr (read (Trace.signal tr))) t.ordered_traces;
   t.duration <- t.duration + 1
 
+let sample_array t values =
+  if Array.length values <> Array.length t.ordered_traces then
+    invalid_arg
+      (Printf.sprintf "Trace_set.sample_array: %d values for %d signals"
+         (Array.length values)
+         (Array.length t.ordered_traces));
+  Array.iteri (fun i tr -> Trace.push tr values.(i)) t.ordered_traces;
+  t.duration <- t.duration + 1
+
 let duration_ms t = t.duration
 let trace t s = String_map.find s t.traces
 let find_trace t s = String_map.find_opt s t.traces

@@ -347,7 +347,8 @@ let random_system_tests =
            let tc = Propane.Testcase.make ~id:"t" ~params:[] in
            let golden = Propane.Runner.golden_run sut tc in
            let outcome =
-             Propane.Runner.run_experiment sut ~golden tc
+             Propane.Runner.run_experiment sut
+               ~golden:(Propane.Golden.freeze golden) tc
                (Propane.Injection.make
                   ~target:(List.hd (B.injection_targets system))
                   ~at:(Simkernel.Sim_time.of_ms 20)
@@ -403,7 +404,8 @@ let cruise_tests =
         let tc = Propane.Testcase.make ~id:"t" ~params:[] in
         let golden = Propane.Runner.golden_run sut tc in
         let outcome =
-          Propane.Runner.run_experiment sut ~golden tc
+          Propane.Runner.run_experiment sut
+            ~golden:(Propane.Golden.freeze golden) tc
             (Propane.Injection.make ~target:"throttle"
                ~at:(Simkernel.Sim_time.of_ms 500)
                ~error:(Propane.Error_model.Bit_flip 11))

@@ -159,6 +159,7 @@ let scaler_sut () =
           Propane.Signal_store.write store "y"
             (Propane.Signal_store.read store "x" lsr 4));
       finished = (fun () -> !t >= 100);
+      snapshot = None;
     }
   in
   {

@@ -149,6 +149,24 @@ let trace_tests =
          QCheck2.Gen.(small_list (int_range 0 1000))
          (fun values ->
            Propane.Trace.first_difference (t values) (t values) = None));
+    Alcotest.test_case "pp shows a short trace in full" `Quick (fun () ->
+        Alcotest.(check string)
+          "short" "x[3]: 1 2 3"
+          (Fmt.str "%a" Propane.Trace.pp (t [ 1; 2; 3 ])));
+    Alcotest.test_case "pp elides past 16 samples" `Quick (fun () ->
+        Alcotest.(check string)
+          "elided" "x[20]: 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 ..."
+          (Fmt.str "%a" Propane.Trace.pp (t (List.init 20 Fun.id))));
+    Alcotest.test_case "pp of an empty trace" `Quick (fun () ->
+        Alcotest.(check string)
+          "empty" "x[0]: "
+          (Fmt.str "%a" Propane.Trace.pp (t [])));
+    Alcotest.test_case "blit_into copies at the offset" `Quick (fun () ->
+        let dst = Array.make 5 9 in
+        Propane.Trace.blit_into (t [ 1; 2; 3 ]) dst ~pos:1;
+        Alcotest.(check (array int)) "copied" [| 9; 1; 2; 3; 9 |] dst);
+    check_raises_invalid "blit_into rejects an overflow" (fun () ->
+        Propane.Trace.blit_into (t [ 1; 2; 3 ]) (Array.make 3 0) ~pos:1);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -178,6 +196,20 @@ let trace_set_tests =
         Alcotest.(check bool)
           "unknown" true
           (Propane.Trace_set.find_trace set "zz" = None));
+    Alcotest.test_case "sample_array appends in signal order" `Quick (fun () ->
+        let set = Propane.Trace_set.create ~signals:[ "a"; "b" ] () in
+        Propane.Trace_set.sample_array set [| 1; 2 |];
+        Propane.Trace_set.sample_array set [| 3; 4 |];
+        Alcotest.(check int) "duration" 2 (Propane.Trace_set.duration_ms set);
+        Alcotest.(check (list int))
+          "a" [ 1; 3 ]
+          (Propane.Trace.to_list (Propane.Trace_set.trace set "a"));
+        Alcotest.(check (list int))
+          "b" [ 2; 4 ]
+          (Propane.Trace.to_list (Propane.Trace_set.trace set "b")));
+    check_raises_invalid "sample_array rejects a length mismatch" (fun () ->
+        let set = Propane.Trace_set.create ~signals:[ "a"; "b" ] () in
+        Propane.Trace_set.sample_array set [| 1 |]);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -220,6 +252,30 @@ let golden_tests =
         let golden = run_of [ ("a", [ 1 ]) ] in
         let run = run_of [ ("b", [ 1 ]) ] in
         Propane.Golden.compare_runs ~golden ~run ());
+    Alcotest.test_case "freeze preserves every sample" `Quick (fun () ->
+        let set = run_of [ ("a", [ 1; 2; 3 ]); ("b", [ 4; 5; 6 ]) ] in
+        let f = Propane.Golden.freeze set in
+        Alcotest.(check (list string))
+          "signals" [ "a"; "b" ]
+          (Propane.Golden.frozen_signals f);
+        Alcotest.(check int) "count" 2 (Propane.Golden.frozen_signal_count f);
+        Alcotest.(check int) "duration" 3 (Propane.Golden.frozen_duration_ms f);
+        List.iteri
+          (fun s name ->
+            let tr = Propane.Trace_set.trace set name in
+            for ms = 0 to 2 do
+              Alcotest.(check int)
+                (Printf.sprintf "%s@%d" name ms)
+                (Propane.Trace.get tr ms)
+                (Propane.Golden.frozen_value f ~signal:s ~ms)
+            done)
+          [ "a"; "b" ]);
+    check_raises_invalid "frozen_value rejects an out-of-range ms" (fun () ->
+        let f = Propane.Golden.freeze (run_of [ ("a", [ 1; 2 ]) ]) in
+        Propane.Golden.frozen_value f ~signal:0 ~ms:2);
+    check_raises_invalid "frozen_value rejects an unknown signal" (fun () ->
+        let f = Propane.Golden.freeze (run_of [ ("a", [ 1; 2 ]) ]) in
+        Propane.Golden.frozen_value f ~signal:1 ~ms:0);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -281,6 +337,152 @@ let tolerant_tests =
              ~tolerance_for:(fun _ -> Propane.Golden.exact)
              ~golden ~run ()
            = Propane.Golden.compare_runs ~golden ~run ()));
+    (* The unified signature: same [from_ms]/[until_ms] window and the
+       same length-mismatch tail rule as [Trace.first_difference]. *)
+    Alcotest.test_case "tail mismatch before from_ms is ignored" `Quick
+      (fun () ->
+        let t values = Propane.Trace.of_list ~signal:"a" values in
+        Alcotest.(check (option int))
+          "ignored" None
+          (Propane.Golden.first_tolerant_difference ~from_ms:3
+             Propane.Golden.exact
+             (t [ 1; 2; 3; 4 ])
+             (t [ 1; 2 ]));
+        Alcotest.(check (option int))
+          "inside the window" (Some 2)
+          (Propane.Golden.first_tolerant_difference ~from_ms:2
+             Propane.Golden.exact
+             (t [ 1; 2; 3; 4 ])
+             (t [ 1; 2 ])));
+    check_raises_invalid "tolerant comparison rejects different signals"
+      (fun () ->
+        Propane.Golden.first_tolerant_difference Propane.Golden.exact
+          (Propane.Trace.of_list ~signal:"x" [ 1 ])
+          (Propane.Trace.of_list ~signal:"y" [ 1 ]));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"exact tolerant difference matches first_difference on any \
+                window"
+         ~count:300
+         QCheck2.Gen.(
+           let samples = list_size (int_range 0 12) (int_range 0 2) in
+           pair (pair samples samples) (pair (int_range 0 14) (int_range 0 14)))
+         (fun ((xs, ys), (from_ms, until_ms)) ->
+           let t values = Propane.Trace.of_list ~signal:"a" values in
+           Propane.Golden.first_tolerant_difference ~from_ms ~until_ms
+             Propane.Golden.exact (t xs) (t ys)
+           = Propane.Trace.first_difference ~from_ms ~until_ms (t xs) (t ys)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let observer_tests =
+  (* Two-signal runs: [set_of a b] pairs sample lists of equal length. *)
+  let set_of a b =
+    let set = Propane.Trace_set.create ~signals:[ "a"; "b" ] () in
+    List.iter2 (fun x y -> Propane.Trace_set.sample_array set [| x; y |]) a b;
+    set
+  in
+  let drive (obs : Propane.Observer.t) a b =
+    List.iteri
+      (fun ms (x, y) -> obs.Propane.Observer.on_sample ~ms [| x; y |])
+      (List.combine a b);
+    obs.Propane.Observer.finish ~run_ms:(List.length a)
+  in
+  (* Golden and run of independent lengths, low-entropy samples so
+     divergences, agreements and length mismatches all occur. *)
+  let runs_gen =
+    QCheck2.Gen.(
+      let samples n = list_size (return n) (int_range 0 2) in
+      int_range 1 20 >>= fun gl ->
+      int_range 1 20 >>= fun rl ->
+      samples gl >>= fun ga ->
+      samples gl >>= fun gb ->
+      samples rl >>= fun ra ->
+      samples rl >>= fun rb ->
+      option (int_range 0 22) >>= fun until_ms ->
+      return (ga, gb, ra, rb, until_ms))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"streaming divergence observer agrees with compare_runs"
+         ~count:500 runs_gen
+         (fun (ga, gb, ra, rb, until_ms) ->
+           let golden = set_of ga gb and run = set_of ra rb in
+           let post = Propane.Golden.compare_runs ?until_ms ~golden ~run () in
+           let obs, divergences =
+             Propane.Observer.divergence ?until_ms
+               (Propane.Golden.freeze golden)
+           in
+           drive obs ra rb;
+           divergences () = post));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"streaming tolerant observer agrees with compare_runs_tolerant"
+         ~count:500
+         QCheck2.Gen.(
+           pair runs_gen (pair (int_range 0 2) (int_range 0 3)))
+         (fun ((ga, gb, ra, rb, until_ms), (epsilon, hold_ms)) ->
+           let golden = set_of ga gb and run = set_of ra rb in
+           let tolerance_for _ = { Propane.Golden.epsilon; hold_ms } in
+           let post =
+             Propane.Golden.compare_runs_tolerant ?until_ms ~tolerance_for
+               ~golden ~run ()
+           in
+           let obs, divergences =
+             Propane.Observer.tolerant_divergence ?until_ms ~tolerance_for
+               (Propane.Golden.freeze golden)
+           in
+           drive obs ra rb;
+           divergences () = post));
+    Alcotest.test_case "divergence observer saturates when all diverge" `Quick
+      (fun () ->
+        let golden = Propane.Golden.freeze (set_of [ 1; 1; 1 ] [ 2; 2; 2 ]) in
+        let obs, divergences = Propane.Observer.divergence golden in
+        Alcotest.(check bool) "fresh" false (obs.Propane.Observer.saturated ());
+        obs.Propane.Observer.on_sample ~ms:0 [| 1; 2 |];
+        Alcotest.(check bool)
+          "clean sample" false
+          (obs.Propane.Observer.saturated ());
+        obs.Propane.Observer.on_sample ~ms:1 [| 9; 9 |];
+        Alcotest.(check bool)
+          "all diverged" true
+          (obs.Propane.Observer.saturated ());
+        obs.Propane.Observer.finish ~run_ms:2;
+        Alcotest.(check bool)
+          "both reported" true
+          (divergences ()
+          = [
+              { Propane.Golden.signal = "a"; first_ms = 1 };
+              { Propane.Golden.signal = "b"; first_ms = 1 };
+            ]));
+    Alcotest.test_case "recorder keeps the raw run" `Quick (fun () ->
+        let obs, traces = Propane.Observer.recorder ~signals:[ "a"; "b" ] in
+        drive obs [ 1; 2 ] [ 3; 4 ];
+        let set = traces () in
+        Alcotest.(check int) "duration" 2 (Propane.Trace_set.duration_ms set);
+        Alcotest.(check (list int))
+          "a" [ 1; 2 ]
+          (Propane.Trace.to_list (Propane.Trace_set.trace set "a")));
+    Alcotest.test_case "a combined recorder disables saturation" `Quick
+      (fun () ->
+        let golden = Propane.Golden.freeze (set_of [ 1 ] [ 2 ]) in
+        let div, _ = Propane.Observer.divergence golden in
+        let recorder, _ = Propane.Observer.recorder ~signals:[ "a"; "b" ] in
+        let both = Propane.Observer.combine [ div; recorder ] in
+        both.Propane.Observer.on_sample ~ms:0 [| 9; 9 |];
+        Alcotest.(check bool)
+          "alone" true
+          (div.Propane.Observer.saturated ());
+        Alcotest.(check bool)
+          "combined" false
+          (both.Propane.Observer.saturated ()));
+    Alcotest.test_case "an empty combination never saturates" `Quick (fun () ->
+        let obs = Propane.Observer.combine [] in
+        Alcotest.(check bool)
+          "never" false
+          (obs.Propane.Observer.saturated ()));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -489,6 +691,7 @@ let scaler_sut () =
           Propane.Signal_store.write store "y"
             (Propane.Signal_store.read store "x" lsr 4));
       finished = (fun () -> !t >= 100);
+      snapshot = None;
     }
   in
   {
@@ -540,7 +743,10 @@ let runner_tests =
           Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
             ~error:(Propane.Error_model.Bit_flip 15)
         in
-        let outcome = Propane.Runner.run_experiment sut ~golden tc injection in
+        let outcome =
+          Propane.Runner.run_experiment sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
+        in
         Alcotest.(check (option int))
           "x diverges at 10" (Some 10)
           (Propane.Results.divergence_of outcome "x");
@@ -555,7 +761,10 @@ let runner_tests =
           Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
             ~error:(Propane.Error_model.Bit_flip 2)
         in
-        let outcome = Propane.Runner.run_experiment sut ~golden tc injection in
+        let outcome =
+          Propane.Runner.run_experiment sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
+        in
         Alcotest.(check bool)
           "x diverges" true
           (Propane.Results.divergence_of outcome "x" <> None);
@@ -571,7 +780,10 @@ let runner_tests =
           Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 5_000)
             ~error:(Propane.Error_model.Bit_flip 15)
         in
-        let outcome = Propane.Runner.run_experiment sut ~golden tc injection in
+        let outcome =
+          Propane.Runner.run_experiment sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
+        in
         Alcotest.(check int)
           "no divergences" 0
           (List.length outcome.Propane.Results.divergences));
@@ -585,8 +797,8 @@ let runner_tests =
             ~error:(Propane.Error_model.Bit_flip 15)
         in
         let outcome =
-          Propane.Runner.run_experiment ~truncate_after_ms:5 sut ~golden tc
-            injection
+          Propane.Runner.run_experiment ~truncate_after_ms:5 sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
         in
         Alcotest.(check (option int))
           "still seen" (Some 10)
@@ -674,6 +886,96 @@ let runner_tests =
         Alcotest.(check int) "started once" 1 !started;
         Alcotest.(check int) "goldens once" 1 !goldens;
         Alcotest.(check int) "finished once" 1 !finished);
+    Alcotest.test_case "early exit stops once every signal diverged" `Quick
+      (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Golden.freeze (Propane.Runner.golden_run sut tc) in
+        let injection =
+          (* Bit 15 propagates to y, so both signals diverge at ms 10
+             and the run can stop right after. *)
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 15)
+        in
+        let obs, divergences = Propane.Observer.divergence golden in
+        let run_ms =
+          Propane.Runner.observed_run sut ~duration_ms:100 tc injection obs
+        in
+        Alcotest.(check int) "stopped early" 11 run_ms;
+        Alcotest.(check int) "both diverged" 2 (List.length (divergences ())));
+    Alcotest.test_case "a rider recorder keeps the run full-length" `Quick
+      (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Golden.freeze (Propane.Runner.golden_run sut tc) in
+        let injection =
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 15)
+        in
+        let recorder, traces =
+          Propane.Observer.recorder ~signals:(Propane.Sut.signal_names sut)
+        in
+        let outcome =
+          Propane.Runner.run_experiment ~observers:[ recorder ] sut ~golden tc
+            injection
+        in
+        Alcotest.(check int)
+          "full duration" 100
+          (Propane.Trace_set.duration_ms (traces ()));
+        Alcotest.(check (option int))
+          "outcome unchanged" (Some 10)
+          (Propane.Results.divergence_of outcome "y"));
+    Alcotest.test_case "streaming, keep-traces and jobs:4 agree exactly" `Quick
+      (fun () ->
+        let outcomes r = Propane.Results.outcomes r in
+        let streaming =
+          Propane.Runner.run ~seed:5L (scaler_sut ()) scaler_campaign
+        in
+        let kept =
+          Propane.Runner.run ~seed:5L ~keep_traces:true (scaler_sut ())
+            scaler_campaign
+        in
+        let par =
+          Propane.Runner.run ~seed:5L ~jobs:4 (scaler_sut ()) scaler_campaign
+        in
+        Alcotest.(check bool)
+          "keep-traces identical" true
+          (outcomes streaming = outcomes kept);
+        Alcotest.(check bool)
+          "jobs:4 identical" true
+          (outcomes streaming = outcomes par));
+    Alcotest.test_case "streaming and keep-traces journals are byte-identical"
+      `Quick (fun () ->
+        let journal_of ~keep_traces =
+          let path = Filename.temp_file "propane_stream" ".journal" in
+          let _ =
+            Propane.Runner.run ~seed:11L ~journal:path ~keep_traces
+              (scaler_sut ()) scaler_campaign
+          in
+          let contents =
+            In_channel.with_open_bin path In_channel.input_all
+          in
+          Sys.remove path;
+          contents
+        in
+        Alcotest.(check bool)
+          "same bytes" true
+          (String.equal (journal_of ~keep_traces:false)
+             (journal_of ~keep_traces:true)));
+    Alcotest.test_case "on_run_traces sees every run in full" `Quick (fun () ->
+        let seen = ref 0 in
+        let _ =
+          Propane.Runner.run ~seed:7L
+            ~on_run_traces:(fun ~index:_ set ->
+              incr seen;
+              Alcotest.(check int)
+                "full duration" 100
+                (Propane.Trace_set.duration_ms set))
+            (scaler_sut ()) scaler_campaign
+        in
+        Alcotest.(check int)
+          "all runs" (Propane.Campaign.size scaler_campaign)
+          !seen);
     Alcotest.test_case "parallel runs emit events from the coordinator" `Quick
       (fun () ->
         let size = Propane.Campaign.size scaler_campaign in
@@ -888,6 +1190,40 @@ let latency_tests =
         Alcotest.(check int)
           "one" 1
           (List.length (Propane.Latency.all_stats ~model:scale_model results)));
+    Alcotest.test_case "streaming observer measures per-signal latency" `Quick
+      (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let frozen =
+          Propane.Golden.freeze (Propane.Runner.golden_run sut tc)
+        in
+        let obs, latencies = Propane.Latency.observer frozen in
+        let _ =
+          Propane.Runner.observed_run sut ~duration_ms:100 tc
+            (Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+               ~error:(Propane.Error_model.Bit_flip 2))
+            obs
+        in
+        (* Bit 2 never reaches y, so only x contributes — at zero
+           latency, the injection instant itself. *)
+        Alcotest.(check (list (pair string int)))
+          "x only" [ ("x", 0) ]
+          (latencies ()));
+    Alcotest.test_case "streaming observer without an injection is empty"
+      `Quick (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let frozen =
+          Propane.Golden.freeze (Propane.Runner.golden_run sut tc)
+        in
+        let obs, latencies = Propane.Latency.observer frozen in
+        let _ =
+          Propane.Runner.observed_run sut ~duration_ms:100 tc
+            (Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 5_000)
+               ~error:(Propane.Error_model.Bit_flip 15))
+            obs
+        in
+        Alcotest.(check (list (pair string int))) "none" [] (latencies ()));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1471,6 +1807,7 @@ let () =
       ("trace", trace_tests);
       ("trace_set", trace_set_tests);
       ("golden", golden_tests);
+      ("observer", observer_tests);
       ("testcase", testcase_tests);
       ("campaign", campaign_tests);
       ("signal_store", signal_store_tests);
