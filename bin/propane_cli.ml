@@ -133,6 +133,49 @@ let keep_traces_arg =
   in
   Arg.(value & flag & info [ "keep-traces" ] ~doc)
 
+let run_timeout_arg =
+  let doc =
+    "Wall-clock watchdog per injection run, in milliseconds: a run over \
+     budget is recorded as a hung outcome instead of stalling the campaign \
+     (0 = no watchdog)."
+  in
+  Arg.(value & opt int 0 & info [ "run-timeout-ms" ] ~docv:"MS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Re-execute a crashed or hung run up to $(docv) times, each attempt on \
+     a fresh deterministic RNG stream, before its failure stands."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let fail_fast_arg =
+  let doc =
+    "Abort the campaign on the first run still crashed or hung after its \
+     retry budget (the failed outcome is journalled before aborting).  \
+     Without this flag failures are recorded as outcomes and the campaign \
+     continues."
+  in
+  Arg.(value & flag & info [ "fail-fast" ] ~doc)
+
+let chaos_crash_arg =
+  let doc =
+    "Chaos harness: make every injected run raise $(docv) simulated \
+     milliseconds after its injection (exercises the failure handling; see \
+     Propane.Fault)."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-crash-after" ] ~docv:"MS" ~doc)
+
+let chaos_hang_arg =
+  let doc =
+    "Chaos harness: make every injected run hang (burn wall-clock on each \
+     step) from $(docv) simulated milliseconds after its injection on."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "chaos-hang-after" ] ~docv:"MS" ~doc)
+
 let telemetry_arg =
   let doc =
     "Write a machine-readable JSON campaign summary (throughput, ETA, \
@@ -177,14 +220,21 @@ let write_telemetry path telemetry =
   end
 
 let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-    ~journal ~resume ~telemetry ~keep_traces () =
+    ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
+    ~fail_fast ~chaos_crash ~chaos_hang () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
     exit 1
   end;
   let campaign = build_campaign ~cases ~times ~full () in
   Format.printf "%a@." Propane.Campaign.pp campaign;
-  let sut = Arrestment.System.sut () in
+  let fault =
+    match (chaos_crash, chaos_hang) with
+    | None, None -> None
+    | crash_after_ms, hang_after_ms ->
+        Some (Propane.Fault.spec ?crash_after_ms ?hang_after_ms ())
+  in
+  let sut = Arrestment.System.sut ?fault () in
   let tele = Propane.Telemetry.create () in
   let on_event ev =
     Propane.Telemetry.observe tele ev;
@@ -197,11 +247,25 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
         if completed = total then prerr_newline ()
     | _ -> ()
   in
+  let run_timeout_ms =
+    if run_timeout_ms <= 0 then None else Some run_timeout_ms
+  in
   let results =
-    Propane.Runner.run ~seed ~truncate_after_ms:(window * 2) ~jobs ?journal
-      ~resume ~on_event ~keep_traces sut campaign
+    try
+      Propane.Runner.run ~seed ~truncate_after_ms:(window * 2) ?run_timeout_ms
+        ~retries ~fail_fast ~jobs ?journal ~resume ~on_event ~keep_traces sut
+        campaign
+    with Propane.Runner.Failed_run { index; outcome } ->
+      Option.iter (fun path -> write_telemetry path tele) telemetry;
+      Format.eprintf "propane campaign: run %d %a; aborting (--fail-fast)@."
+        index Propane.Results.pp_status outcome.Propane.Results.status;
+      exit 1
   in
   Option.iter (fun path -> write_telemetry path tele) telemetry;
+  if Propane.Results.failed_count results > 0 then
+    Printf.printf "failed runs: %d crashed, %d hung\n"
+      (Propane.Results.crashed_count results)
+      (Propane.Results.hung_count results);
   let attribution = Propane.Estimator.Direct { window_ms = window } in
   match
     Propane.Estimator.estimate_all ~attribution ~model:Arrestment.Model.system
@@ -217,10 +281,12 @@ let save_arg =
 
 let campaign_cmd =
   let run () cases times full seed window progress jobs journal resume
-      telemetry keep_traces save =
+      telemetry keep_traces run_timeout_ms retries fail_fast chaos_crash
+      chaos_hang save =
     let results, analysis =
       run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-        ~journal ~resume ~telemetry ~keep_traces ()
+        ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
+        ~fail_fast ~chaos_crash ~chaos_hang ()
     in
     Option.iter
       (fun path ->
@@ -242,11 +308,15 @@ let campaign_cmd =
           streams outcomes to disk as they complete, $(b,--resume) continues \
           an interrupted campaign from its journal, and $(b,--telemetry) \
           emits a JSON throughput summary; all combinations produce results \
-          identical to a serial uninterrupted run with the same seed.")
+          identical to a serial uninterrupted run with the same seed.  A \
+          crashing or hanging SUT does not abort the campaign: failures \
+          become recorded outcomes ($(b,--run-timeout-ms), $(b,--retries)) \
+          unless $(b,--fail-fast) restores abort semantics.")
     Term.(
       const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
       $ window_arg $ progress_arg $ jobs_arg $ journal_arg $ resume_arg
-      $ telemetry_arg $ keep_traces_arg $ save_arg)
+      $ telemetry_arg $ keep_traces_arg $ run_timeout_arg $ retries_arg
+      $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg $ save_arg)
 
 (* ------------------------------------------------------------------ *)
 

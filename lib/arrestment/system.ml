@@ -83,12 +83,15 @@ let instantiate guards tc =
           Array.iteri (fun i h -> buf.(i) <- Store.peek_handle h) peek_handles);
   }
 
-let sut ?(guards = []) () =
-  {
-    Propane.Sut.name = "arrestment";
-    signals = Signals.store_layout;
-    instantiate = instantiate guards;
-  }
+let sut ?(guards = []) ?fault () =
+  let sut =
+    {
+      Propane.Sut.name = "arrestment";
+      signals = Signals.store_layout;
+      instantiate = instantiate guards;
+    }
+  in
+  match fault with None -> sut | Some spec -> Propane.Fault.apply spec sut
 
 let mission_failed ~golden ~run =
   let final traces signal =

@@ -31,9 +31,12 @@ val paper_testcases : Propane.Testcase.t list
 (** The paper's 25-case workload: 5 masses uniformly in 8,000-20,000 kg
     x 5 velocities uniformly in 40-80 m/s (Section 7.3). *)
 
-val sut : ?guards:guard list -> unit -> Propane.Sut.t
+val sut : ?guards:guard list -> ?fault:Propane.Fault.spec -> unit -> Propane.Sut.t
 (** Fresh SUT description.  [guards] are installed on every instance
     (and therefore present in golden and injection runs alike).
+    [fault] wraps the SUT in a {!Propane.Fault} chaos harness, making
+    injected runs crash or hang on schedule — the vehicle for
+    exercising the runner's failure handling against the real system.
     Test cases must provide ["mass"] (kg) and ["velocity"] (m/s). *)
 
 val mission_failed :

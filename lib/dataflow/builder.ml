@@ -278,9 +278,12 @@ let instantiate t _testcase =
             peek_handles);
   }
 
-let sut t =
-  {
-    Propane.Sut.name = t.name;
-    signals = signal_layout t;
-    instantiate = instantiate t;
-  }
+let sut ?fault t =
+  let sut =
+    {
+      Propane.Sut.name = t.name;
+      signals = signal_layout t;
+      instantiate = instantiate t;
+    }
+  in
+  match fault with None -> sut | Some spec -> Propane.Fault.apply spec sut

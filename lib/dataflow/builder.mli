@@ -107,7 +107,10 @@ val create_exn :
   t
 
 val model : t -> Propagation.System_model.t
-val sut : t -> Propane.Sut.t
+val sut : ?fault:Propane.Fault.spec -> t -> Propane.Sut.t
+(** [fault] wraps the SUT in a {!Propane.Fault} chaos harness (crash /
+    hang after injection); omitted, the SUT is returned as built. *)
+
 val duration_ms : t -> int
 
 val injection_targets : t -> string list

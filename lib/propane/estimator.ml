@@ -24,7 +24,12 @@ let wilson_interval ~errors ~trials =
     let denom = 1.0 +. (z2 /. n) in
     let centre = p +. (z2 /. (2.0 *. n)) in
     let spread = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
-    ((centre -. spread) /. denom, (centre +. spread) /. denom)
+    (* The closed form is within [0, 1] in exact arithmetic, but at the
+       boundaries (errors = 0 or errors = trials) floating-point
+       rounding can push an endpoint a few ulps outside; clamp so the
+       interval is always a probability range. *)
+    ( Float.max 0.0 ((centre -. spread) /. denom),
+      Float.min 1.0 ((centre +. spread) /. denom) )
 
 let counts attribution (outcome : Results.outcome) output_name =
   match Results.divergence_of outcome output_name with
@@ -38,8 +43,8 @@ let counts attribution (outcome : Results.outcome) output_name =
       | Direct { window_ms } ->
           diverged_at >= injected_at && diverged_at <= injected_at + window_ms)
 
-let estimate_pairs ?(attribution = default_attribution) ~model ~results
-    module_name =
+let estimate_pairs ?(attribution = default_attribution) ?(on_failure = `Count)
+    ~model ~results module_name =
   let m = Propagation.System_model.find_module_exn model module_name in
   let pair_estimate i k =
     let input_signal = Propagation.Sw_module.input_signal m i in
@@ -47,9 +52,24 @@ let estimate_pairs ?(attribution = default_attribution) ~model ~results
     let input_name = Propagation.Signal.name input_signal in
     let output_name = Propagation.Signal.name output_signal in
     let outcomes = Results.by_target results input_name in
-    let injections = List.length outcomes in
+    (* A crashed or hung run never produced the output at all — under
+       the paper's failure-class reading that is an error on every
+       output of the module ([`Count]), not a divergence to be found
+       inside the attribution window.  [`Exclude] drops such runs from
+       numerator and denominator instead. *)
+    let failed, clean =
+      List.partition
+        (fun (o : Results.outcome) -> Results.is_failed o.status)
+        outcomes
+    in
+    let counted_failed =
+      match on_failure with `Count -> List.length failed | `Exclude -> 0
+    in
+    let injections = List.length clean + counted_failed in
     let errors =
-      List.length (List.filter (fun o -> counts attribution o output_name) outcomes)
+      counted_failed
+      + List.length
+          (List.filter (fun o -> counts attribution o output_name) clean)
     in
     {
       pair = { Propagation.Perm_graph.module_name; input = i; output = k };
@@ -67,9 +87,11 @@ let estimate_pairs ?(attribution = default_attribution) ~model ~results
           pair_estimate (i0 + 1) (k0 + 1)))
     (List.init (Propagation.Sw_module.input_count m) Fun.id)
 
-let estimate_matrix ?attribution ~model ~results module_name =
+let estimate_matrix ?attribution ?on_failure ~model ~results module_name =
   let m = Propagation.System_model.find_module_exn model module_name in
-  let estimates = estimate_pairs ?attribution ~model ~results module_name in
+  let estimates =
+    estimate_pairs ?attribution ?on_failure ~model ~results module_name
+  in
   List.fold_left
     (fun matrix e ->
       Propagation.Perm_matrix.set matrix
@@ -80,7 +102,7 @@ let estimate_matrix ?attribution ~model ~results module_name =
        ~outputs:(Propagation.Sw_module.output_count m))
     estimates
 
-let estimate_all ?attribution ~model results =
+let estimate_all ?attribution ?on_failure ~model results =
   let missing =
     List.concat_map
       (fun m ->
@@ -99,7 +121,8 @@ let estimate_all ?attribution ~model results =
            (fun acc m ->
              let module_name = Propagation.Sw_module.name m in
              Propagation.String_map.add module_name
-               (estimate_matrix ?attribution ~model ~results module_name)
+               (estimate_matrix ?attribution ?on_failure ~model ~results
+                  module_name)
                acc)
            Propagation.String_map.empty
            (Propagation.System_model.modules model))

@@ -37,22 +37,34 @@ type estimate = {
 }
 
 val wilson_interval : errors:int -> trials:int -> float * float
-(** 95% Wilson score interval for a binomial proportion; [(0., 1.)]
-    when [trials = 0].  @raise Invalid_argument if [errors] is outside
-    [0, trials]. *)
+(** 95% Wilson score interval for a binomial proportion, clamped to
+    [[0, 1]] (the closed form can drift a few ulps outside at the
+    boundaries); [(0., 1.)] when [trials = 0].
+    @raise Invalid_argument if [errors] is outside [0, trials]. *)
 
 val estimate_pairs :
   ?attribution:attribution ->
+  ?on_failure:[ `Count | `Exclude ] ->
   model:Propagation.System_model.t ->
   results:Results.t ->
   string ->
   estimate list
 (** All [m * n] estimates of one module, in row-major pair order.
     Pairs whose input signal was never injected get [injections = 0]
-    and [value = 0.].  @raise Invalid_argument for an unknown module. *)
+    and [value = 0.].
+
+    [on_failure] decides how {!Results.Crashed} / {!Results.Hung} runs
+    enter the estimate.  [`Count] (default): a failed run never
+    produced the output at all, which under the paper's failure-class
+    reading is an error on {e every} output pair of its input — it
+    adds one to both [injections] and [errors] regardless of the
+    attribution window.  [`Exclude]: failed runs are dropped from
+    numerator and denominator, estimating permeability over clean runs
+    only.  @raise Invalid_argument for an unknown module. *)
 
 val estimate_matrix :
   ?attribution:attribution ->
+  ?on_failure:[ `Count | `Exclude ] ->
   model:Propagation.System_model.t ->
   results:Results.t ->
   string ->
@@ -61,6 +73,7 @@ val estimate_matrix :
 
 val estimate_all :
   ?attribution:attribution ->
+  ?on_failure:[ `Count | `Exclude ] ->
   model:Propagation.System_model.t ->
   Results.t ->
   (Propagation.Perm_matrix.t Propagation.String_map.t, string) result

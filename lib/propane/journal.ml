@@ -1,7 +1,13 @@
 let magic = "propane-journal 1"
 
+(* A CR is rejected alongside tab and newline: a CR in a testcase or
+   target id would survive into the record and corrupt round-tripping
+   of CRLF-touched journals. *)
 let check_field name value =
-  if String.contains value '\t' || String.contains value '\n' then
+  if
+    String.contains value '\t' || String.contains value '\n'
+    || String.contains value '\r'
+  then
     Error
       (Printf.sprintf "Journal: %s %S contains a separator character" name
          value)
@@ -55,6 +61,7 @@ let append w ~index (o : Results.outcome) =
   else
     let* () = check_field "testcase" o.testcase in
     let* () = check_field "target" o.injection.Injection.target in
+    let* () = check_field "status" (Storage.status_to_string o.status) in
     let* () =
       List.fold_left
         (fun acc (d : Golden.divergence) ->
@@ -62,11 +69,22 @@ let append w ~index (o : Results.outcome) =
           check_field "signal" d.signal)
         (Ok ()) o.divergences
     in
-    Printf.fprintf w.oc "run\t%d\t%s\t%s\t%d\t%s\t%d" index o.testcase
-      o.injection.Injection.target
-      (Simkernel.Sim_time.to_ms o.injection.Injection.at)
-      (Storage.error_to_string o.injection.Injection.error)
-      (List.length o.divergences);
+    (* Completed runs keep the v1 [run] record byte for byte; a failed
+       run writes the v2 [run2] record, which carries its status. *)
+    (match o.status with
+    | Results.Completed ->
+        Printf.fprintf w.oc "run\t%d\t%s\t%s\t%d\t%s\t%d" index o.testcase
+          o.injection.Injection.target
+          (Simkernel.Sim_time.to_ms o.injection.Injection.at)
+          (Storage.error_to_string o.injection.Injection.error)
+          (List.length o.divergences)
+    | status ->
+        Printf.fprintf w.oc "run2\t%d\t%s\t%s\t%d\t%s\t%s\t%d" index o.testcase
+          o.injection.Injection.target
+          (Simkernel.Sim_time.to_ms o.injection.Injection.at)
+          (Storage.error_to_string o.injection.Injection.error)
+          (Storage.status_to_string status)
+          (List.length o.divergences));
     List.iter
       (fun (d : Golden.divergence) ->
         Printf.fprintf w.oc "\t%s\t%d" d.signal d.first_ms)
@@ -100,8 +118,22 @@ let committed_lines path =
   | None -> []
   | Some last -> String.split_on_char '\n' (String.sub contents 0 last)
 
-let parse_run lineno fields =
+let parse_run ?(versioned = false) lineno fields =
+  let ( let* ) = Result.bind in
   let fail msg = Error (Printf.sprintf "%d: %s" lineno msg) in
+  (* [run2] records carry a STATUS field between ERROR and NDIV; v1
+     [run] records have none and default to [Completed]. *)
+  let* status, fields =
+    if not versioned then Ok (Results.Completed, fields)
+    else
+      match fields with
+      | index :: testcase :: target :: at_ms :: error :: status :: rest -> (
+          match Storage.status_of_string status with
+          | Ok status ->
+              Ok (status, index :: testcase :: target :: at_ms :: error :: rest)
+          | Error msg -> fail msg)
+      | _ -> fail "short run2 record"
+  in
   match fields with
   | index :: testcase :: target :: at_ms :: error :: ndiv :: rest -> (
       match
@@ -136,6 +168,7 @@ let parse_run lineno fields =
                         ~at:(Simkernel.Sim_time.of_ms at_ms)
                         ~error;
                     divergences;
+                    status;
                   } ))
               (divs [] rest)
       | None, _, _, _ -> fail (Printf.sprintf "bad index %S" index)
@@ -165,6 +198,9 @@ let load path =
             | "run" :: fields ->
                 let* entry = located (parse_run lineno fields) in
                 loop (lineno + 1) (entry :: rev_entries) rest
+            | "run2" :: fields ->
+                let* entry = located (parse_run ~versioned:true lineno fields) in
+                loop (lineno + 1) (entry :: rev_entries) rest
             | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line))
       in
       let* entries = loop 2 [] body in
@@ -189,10 +225,12 @@ let load path =
       in
       Ok { sut; campaign; seed; total; entries }
 
+(* Last-wins: a crashed worker's record can be superseded by a retry
+   appended later in the same journal, and the retry is the outcome the
+   resumed campaign must trust. *)
 let completed t =
   let table = Hashtbl.create (List.length t.entries) in
   List.iter
-    (fun (index, outcome) ->
-      if not (Hashtbl.mem table index) then Hashtbl.add table index outcome)
+    (fun (index, outcome) -> Hashtbl.replace table index outcome)
     t.entries;
   table

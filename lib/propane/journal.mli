@@ -16,7 +16,16 @@
     total <tab> RUNS
     run <tab> INDEX <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
         <tab> NDIV { <tab> SIGNAL <tab> FIRST_MS } * NDIV
+    run2 <tab> INDEX <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
+        <tab> STATUS <tab> NDIV { <tab> SIGNAL <tab> FIRST_MS } * NDIV
     v}
+
+    A run that completed normally is written as a v1 [run] record, so
+    journals of failure-free campaigns are byte-identical to the
+    original format; a {!Results.Crashed} or {!Results.Hung} run is
+    written as [run2] with its status (serialised as in {!Storage})
+    between ERROR and NDIV.  v1 journals load with every status
+    defaulting to {!Results.Completed}.
 
     A record is committed by its trailing newline: {!load} silently
     drops an unterminated final line, which is exactly the state a
@@ -72,4 +81,5 @@ val load : string -> (t, string) result
     @raise Sys_error on I/O failure. *)
 
 val completed : t -> (int, Results.outcome) Hashtbl.t
-(** The entries as an index-keyed table, first occurrence winning. *)
+(** The entries as an index-keyed table, last occurrence winning — a
+    re-executed run's record supersedes the failed attempt it retried. *)

@@ -48,6 +48,10 @@ let pair_stats ?(attribution = Estimator.default_attribution) ~model ~results
     let latencies =
       List.filter_map
         (fun (o : Results.outcome) ->
+          (* A crashed run's tail-rule divergences mark the crash, not
+             a propagation; failed runs carry no latency signal. *)
+          if Results.is_failed o.status then None
+          else
           match Results.divergence_of o output_name with
           | None -> None
           | Some at ->

@@ -30,10 +30,14 @@ let golden_run ?(max_ms = default_max_ms) (sut : Sut.t) testcase =
   in
   go 0
 
-exception Early_exit
+(* Crash reasons travel through tab-separated journals and result
+   files; separators inside an exception message must not break a
+   record in two. *)
+let sanitize_reason s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
 
-let observed_run ?rng (sut : Sut.t) ~duration_ms testcase injection
-    (observer : Observer.t) =
+let observed_run ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms testcase
+    injection (observer : Observer.t) =
   let target = injection.Injection.target in
   if not (Sut.has_signal sut target) then
     invalid_arg
@@ -42,33 +46,75 @@ let observed_run ?rng (sut : Sut.t) ~duration_ms testcase injection
   let rng =
     match rng with Some r -> r | None -> Simkernel.Rng.create 0x5EEDL
   in
+  let deadline =
+    match run_timeout_ms with
+    | None -> None
+    | Some budget_ms ->
+        if budget_ms < 1 then
+          invalid_arg "Runner.observed_run: run_timeout_ms must be >= 1";
+        Some
+          (budget_ms, Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.))
+  in
   let width = Sut.signal_width sut target in
   let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
-  let instance = sut.Sut.instantiate testcase in
-  let sampler = sampler_of sut instance in
-  let buf = Array.make (List.length sut.Sut.signals) 0 in
   let run_ms = ref duration_ms in
-  (try
-     for ms = 0 to duration_ms - 1 do
-       if ms = inject_at then begin
-         instance.Sut.inject target (fun v ->
-             Error_model.apply injection.Injection.error ~width ~rng v);
-         observer.Observer.on_injection ~ms
-       end;
-       instance.Sut.step ();
-       sampler buf;
-       observer.Observer.on_sample ~ms buf;
-       (* Saturation is only consulted once the injection happened: a
-          deterministic SUT cannot diverge before it, and stopping
-          earlier would skip the injection itself. *)
-       if ms >= inject_at && observer.Observer.saturated () then begin
-         run_ms := ms + 1;
-         raise Early_exit
-       end
-     done
-   with Early_exit -> ());
+  let status = ref Results.Completed in
+  let crash ~ms exn =
+    run_ms := ms;
+    status :=
+      Results.Crashed
+        { at_ms = ms; reason = sanitize_reason (Printexc.to_string exn) }
+  in
+  (match sut.Sut.instantiate testcase with
+  | exception e -> crash ~ms:0 e
+  | instance ->
+      let sampler = sampler_of sut instance in
+      let buf = Array.make (List.length sut.Sut.signals) 0 in
+      (* Each millisecond: watchdog, finish check, injection, step,
+         sample.  Any exception out of the SUT is this run's crash, not
+         the campaign's. *)
+      let rec go ms =
+        if ms >= duration_ms then ()
+        else
+          match deadline with
+          | Some (budget_ms, d) when Unix.gettimeofday () > d ->
+              run_ms := ms;
+              status := Results.Hung { budget_ms }
+          | _ -> (
+              match
+                if instance.Sut.finished () then `Finished
+                else begin
+                  if ms = inject_at then begin
+                    instance.Sut.inject target (fun v ->
+                        Error_model.apply injection.Injection.error ~width ~rng
+                          v);
+                    observer.Observer.on_injection ~ms
+                  end;
+                  instance.Sut.step ();
+                  sampler buf;
+                  `Stepped
+                end
+              with
+              | exception e -> crash ~ms e
+              | `Finished ->
+                  (* The SUT reached its end state before the golden
+                     duration (an injected run may finish early); the
+                     observer's length-mismatch rule sees the true
+                     length. *)
+                  run_ms := ms
+              | `Stepped ->
+                  observer.Observer.on_sample ~ms buf;
+                  (* Saturation is only consulted once the injection
+                     happened: a deterministic SUT cannot diverge
+                     before it, and stopping earlier would skip the
+                     injection itself. *)
+                  if ms >= inject_at && observer.Observer.saturated () then
+                    run_ms := ms + 1
+                  else go (ms + 1))
+      in
+      go 0);
   observer.Observer.finish ~run_ms:!run_ms;
-  !run_ms
+  (!run_ms, !status)
 
 let truncated_duration ?truncate_after_ms ~inject_at duration_ms =
   match truncate_after_ms with
@@ -85,8 +131,8 @@ let injection_run ?rng ?truncate_after_ms (sut : Sut.t) ~duration_ms testcase
   ignore (observed_run ?rng sut ~duration_ms testcase injection recorder);
   traces ()
 
-let run_experiment ?rng ?truncate_after_ms ?(observers = []) sut ~golden
-    testcase injection =
+let run_experiment ?rng ?truncate_after_ms ?run_timeout_ms ?(observers = [])
+    sut ~golden testcase injection =
   let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
   let duration_ms =
     truncated_duration ?truncate_after_ms ~inject_at
@@ -97,29 +143,48 @@ let run_experiment ?rng ?truncate_after_ms ?(observers = []) sut ~golden
     match truncate_after_ms with None -> None | Some _ -> Some duration_ms
   in
   let div, divergences = Observer.divergence ?until_ms golden in
-  ignore
-    (observed_run ?rng sut ~duration_ms testcase injection
-       (Observer.combine (div :: observers)));
-  {
-    Results.testcase = Testcase.id testcase;
-    injection;
-    divergences = divergences ();
-  }
+  let _run_ms, status =
+    observed_run ?rng ?run_timeout_ms sut ~duration_ms testcase injection
+      (Observer.combine (div :: observers))
+  in
+  let divergences =
+    (* How far a hung run got before the watchdog fired is wall-clock
+       dependent; partial divergences are dropped so outcomes (and
+       resumed journals) stay deterministic.  A crash happens at a
+       simulated instant, so its divergences are kept. *)
+    match status with Results.Hung _ -> [] | _ -> divergences ()
+  in
+  { Results.testcase = Testcase.id testcase; injection; divergences; status }
 
 type progress = { completed : int; total : int }
 
 type event =
   | Started of { total : int; skipped : int; jobs : int }
   | Goldens_done of { testcases : int }
-  | Run_done of { index : int; worker : int; completed : int; total : int }
+  | Run_done of {
+      index : int;
+      worker : int;
+      completed : int;
+      total : int;
+      status : Results.status;
+      retries : int;
+    }
   | Finished of { completed : int; total : int }
+
+exception Failed_run of { index : int; outcome : Results.outcome }
 
 (* The per-run generator is derived from the seed and the experiment's
    position alone, so run order (and hence parallel scheduling) cannot
-   change any outcome. *)
-let rng_for seed index =
+   change any outcome.  [attempt] (default 0, the original derivation)
+   shifts to a fresh stream per re-execution of a failed run, so a
+   retry is not condemned to replay the exact corruption that crashed
+   the previous attempt. *)
+let rng_for ?(attempt = 0) seed index =
   Simkernel.Rng.create
-    (Int64.add seed (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L))
+    (Int64.add
+       (Int64.add seed
+          (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L))
+       (Int64.mul (Int64.of_int attempt) 0xD1B54A32D192ED03L))
 
 module String_map = Map.Make (String)
 
@@ -183,31 +248,50 @@ let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
 (* One injection run of the campaign: streaming by default; with
    [keep] an opt-in recorder rides along, which also disables early
    exit (a recorder never saturates), reproducing the legacy
-   record-everything data path. *)
-let run_one ~seed ?truncate_after_ms ~keep ~golden_for (sut : Sut.t)
-    experiments idx =
+   record-everything data path.  A crashed or hung attempt is re-run up
+   to [retries] times on a fresh RNG stream before its failure stands;
+   the returned int is the number of re-executions actually taken. *)
+let run_one ~seed ?truncate_after_ms ?run_timeout_ms ?(retries = 0) ~keep
+    ~golden_for (sut : Sut.t) experiments idx =
   let testcase, injection = experiments.(idx) in
-  let rng = rng_for seed idx in
   let golden = golden_for testcase in
-  if keep then begin
-    let recorder, traces = Observer.recorder ~signals:(Sut.signal_names sut) in
-    let outcome =
-      run_experiment ~rng ?truncate_after_ms ~observers:[ recorder ] sut
-        ~golden testcase injection
-    in
-    (outcome, Some (traces ()))
-  end
-  else
-    ( run_experiment ~rng ?truncate_after_ms sut ~golden testcase injection,
-      None )
+  let attempt_one attempt =
+    let rng = rng_for ~attempt seed idx in
+    if keep then begin
+      let recorder, traces =
+        Observer.recorder ~signals:(Sut.signal_names sut)
+      in
+      let outcome =
+        run_experiment ~rng ?truncate_after_ms ?run_timeout_ms
+          ~observers:[ recorder ] sut ~golden testcase injection
+      in
+      (outcome, Some (traces ()))
+    end
+    else
+      ( run_experiment ~rng ?truncate_after_ms ?run_timeout_ms sut ~golden
+          testcase injection,
+        None )
+  in
+  let rec go attempt =
+    let outcome, traces = attempt_one attempt in
+    if Results.is_failed outcome.Results.status && attempt < retries then begin
+      Log.debug (fun m ->
+          m "run %d attempt %d %a; retrying" idx attempt Results.pp_status
+            outcome.Results.status);
+      go (attempt + 1)
+    end
+    else (outcome, traces, attempt)
+  in
+  go 0
 
 (* Every remaining experiment, distributed over [jobs] worker domains
    by an atomic cursor.  Workers hand finished outcomes to the
    coordinating domain over a queue; journal appends and [on_event] /
    [on_run_traces] callbacks happen only there, so callers never need
    thread-safe callbacks and the journal has a single writer. *)
-let run_parallel ~jobs ~seed ?truncate_after_ms ~keep ~experiments ~remaining
-    ~golden_for ~outcomes ~record sut =
+let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
+    ~fail_fast ~keep ~experiments ~remaining ~golden_for ~outcomes ~record sut
+    =
   let remaining = Array.of_list remaining in
   let n = Array.length remaining in
   let next = Atomic.make 0 in
@@ -225,12 +309,14 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ~keep ~experiments ~remaining
       let slot = Atomic.fetch_and_add next 1 in
       if slot < n then begin
         let idx = remaining.(slot) in
-        let outcome, traces =
-          run_one ~seed ?truncate_after_ms ~keep ~golden_for sut experiments
-            idx
+        let outcome, traces, retried =
+          run_one ~seed ?truncate_after_ms ?run_timeout_ms ?retries ~keep
+            ~golden_for sut experiments idx
         in
-        post (Ok (idx, wid, outcome, traces));
-        loop ()
+        post (Ok (idx, wid, outcome, traces, retried));
+        if fail_fast && Results.is_failed outcome.Results.status then
+          raise (Failed_run { index = idx; outcome })
+        else loop ()
       end
     in
     match loop () with () -> post (Error None) | exception e -> post (Error (Some e))
@@ -247,11 +333,15 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ~keep ~experiments ~remaining
     Mutex.unlock mutex;
     List.iter
       (function
-        | Ok (idx, wid, outcome, traces) ->
+        | Ok (idx, wid, outcome, traces, retried) ->
             outcomes.(idx) <- Some outcome;
-            record ~index:idx ~worker:wid outcome traces
+            record ~index:idx ~worker:wid ~retries:retried outcome traces
         | Error None -> decr live
         | Error (Some e) ->
+            (* Poison the cursor so the surviving workers stop taking
+               new slots; they still finish (and journal) the runs
+               already in flight before draining out. *)
+            Atomic.set next n;
             if !failure = None then failure := Some e;
             decr live)
       (List.rev batch)
@@ -259,10 +349,15 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ~keep ~experiments ~remaining
   List.iter Domain.join domains;
   match !failure with Some e -> raise e | None -> ()
 
-let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms ?(jobs = 1)
-    ?journal ?(resume = false) ?on_event ?(keep_traces = false) ?on_run_traces
+let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
+    ?run_timeout_ms ?(retries = 0) ?(fail_fast = false) ?(jobs = 1) ?journal
+    ?(resume = false) ?on_event ?(keep_traces = false) ?on_run_traces
     (sut : Sut.t) campaign =
   if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
+  if retries < 0 then invalid_arg "Runner.run: retries must be >= 0";
+  (match run_timeout_ms with
+  | Some t when t < 1 -> invalid_arg "Runner.run: run_timeout_ms must be >= 1"
+  | _ -> ());
   if resume && journal = None then
     invalid_arg "Runner.run: resume requires a journal";
   let keep = keep_traces || on_run_traces <> None in
@@ -304,7 +399,7 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms ?(jobs = 1)
       emit (Goldens_done { testcases = String_map.cardinal goldens });
       let golden_for tc = String_map.find (Testcase.id tc) goldens in
       let completed = ref skipped in
-      let record ~index ~worker outcome traces =
+      let record ~index ~worker ~retries outcome traces =
         Option.iter
           (fun w -> or_invalid (Journal.append w ~index outcome))
           writer;
@@ -312,21 +407,33 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms ?(jobs = 1)
         | Some f, Some set -> f ~index set
         | _ -> ());
         incr completed;
-        emit (Run_done { index; worker; completed = !completed; total })
+        emit
+          (Run_done
+             {
+               index;
+               worker;
+               completed = !completed;
+               total;
+               status = outcome.Results.status;
+               retries;
+             })
       in
       if jobs = 1 then
         List.iter
           (fun idx ->
-            let outcome, traces =
-              run_one ~seed ?truncate_after_ms ~keep ~golden_for sut
-                experiments idx
+            let outcome, traces, retried =
+              run_one ~seed ?truncate_after_ms ?run_timeout_ms ~retries ~keep
+                ~golden_for sut experiments idx
             in
             outcomes.(idx) <- Some outcome;
-            record ~index:idx ~worker:0 outcome traces)
+            record ~index:idx ~worker:0 ~retries:retried outcome traces;
+            if fail_fast && Results.is_failed outcome.Results.status then
+              raise (Failed_run { index = idx; outcome }))
           remaining
       else
-        run_parallel ~jobs ~seed ?truncate_after_ms ~keep ~experiments
-          ~remaining ~golden_for ~outcomes ~record sut;
+        run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ~retries
+          ~fail_fast ~keep ~experiments ~remaining ~golden_for ~outcomes
+          ~record sut;
       emit (Finished { completed = !completed; total });
       let results =
         Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name

@@ -20,25 +20,41 @@ val golden_run : ?max_ms:int -> Sut.t -> Testcase.t -> Trace_set.t
 
 val observed_run :
   ?rng:Simkernel.Rng.t ->
+  ?run_timeout_ms:int ->
   Sut.t ->
   duration_ms:int ->
   Testcase.t ->
   Injection.t ->
   Observer.t ->
-  int
+  int * Results.status
 (** One injection run driven through an observer: the injection is
     registered as a one-shot trap corruption at the start of its
     millisecond (announced via {!Observer.t.on_injection}), every
     millisecond's signal values are pushed through
     {!Observer.t.on_sample}, and the run stops early once the observer
     reports saturation at or after the injection instant (a
-    deterministic SUT cannot diverge before it).  Returns the number of
-    simulated milliseconds actually run, which is also passed to
-    {!Observer.t.finish}.  [rng] feeds non-deterministic error models
-    and defaults to a fixed seed.  An injection time beyond the
-    duration leaves the run golden.
-    @raise Invalid_argument if the target signal is unknown to the
-    SUT. *)
+    deterministic SUT cannot diverge before it).  The run also stops
+    the millisecond the SUT first reports [finished] — an injected run
+    may reach its end state before (or after) the golden duration, and
+    the observer's length-mismatch rule needs the true length.
+
+    The run is fault-tolerant: an exception escaping the SUT
+    (instantiation, injection, stepping or sampling) becomes
+    [Crashed { at_ms; reason }] — [at_ms] the simulated millisecond it
+    escaped, [reason] the exception rendered with separators
+    sanitised — instead of propagating.  [run_timeout_ms] arms a
+    wall-clock watchdog, checked between simulated milliseconds; a run
+    over budget stops with [Hung { budget_ms }].  Without it (the
+    default) a run may take unbounded wall time.
+
+    Returns the number of simulated milliseconds actually run — which
+    is also passed to {!Observer.t.finish}, so on a crash every signal
+    yet to diverge is marked diverged at the crash instant — together
+    with the run's {!Results.status}.  [rng] feeds non-deterministic
+    error models and defaults to a fixed seed.  An injection time
+    beyond the duration leaves the run golden.
+    @raise Invalid_argument if the target signal is unknown to the SUT
+    or [run_timeout_ms < 1]. *)
 
 val injection_run :
   ?rng:Simkernel.Rng.t ->
@@ -62,6 +78,7 @@ val injection_run :
 val run_experiment :
   ?rng:Simkernel.Rng.t ->
   ?truncate_after_ms:int ->
+  ?run_timeout_ms:int ->
   ?observers:Observer.t list ->
   Sut.t ->
   golden:Golden.frozen ->
@@ -77,7 +94,14 @@ val run_experiment :
     [observers] ride along on the same run (e.g. a latency observer or
     an opt-in {!Observer.recorder}); early exit then additionally waits
     for {e their} saturation, so adding a recorder restores the full
-    fixed-duration run. *)
+    fixed-duration run.
+
+    The outcome carries the run's {!Results.status} (see
+    {!observed_run} for crash and [run_timeout_ms] watchdog
+    semantics).  A [Crashed] outcome keeps its divergences — every
+    signal diverges by the crash instant at the latest; a [Hung]
+    outcome's divergences are discarded (how far the run got is
+    wall-clock dependent, and outcomes must stay deterministic). *)
 
 (** {1 Campaign engine}
 
@@ -97,16 +121,33 @@ type event =
   | Goldens_done of { testcases : int }
       (** golden runs are in place (only the test cases still needed
           by remaining experiments are executed) *)
-  | Run_done of { index : int; worker : int; completed : int; total : int }
+  | Run_done of {
+      index : int;
+      worker : int;
+      completed : int;
+      total : int;
+      status : Results.status;
+      retries : int;
+    }
       (** one injection run finished; [index] is its position in
           {!Campaign.experiments}, [worker] the domain that ran it
-          (0-based), [completed] includes skipped runs *)
+          (0-based), [completed] includes skipped runs, [status] how
+          the run ended and [retries] how many re-executions it took
+          (0 = first attempt stood) *)
   | Finished of { completed : int; total : int }  (** emitted last *)
+
+exception Failed_run of { index : int; outcome : Results.outcome }
+(** Raised by {!run} under [fail_fast] when a run is still crashed or
+    hung after its retry budget.  The failed outcome has already been
+    journalled and reported via [Run_done] when this escapes. *)
 
 val run :
   ?max_ms:int ->
   ?seed:int64 ->
   ?truncate_after_ms:int ->
+  ?run_timeout_ms:int ->
+  ?retries:int ->
+  ?fail_fast:bool ->
   ?jobs:int ->
   ?journal:string ->
   ?resume:bool ->
@@ -148,9 +189,29 @@ val run :
     the callback needs no synchronisation.  Feed them to
     {!Telemetry.observe} for throughput and ETA.
 
-    @raise Invalid_argument if [jobs < 1], if [resume] is set without
-    [journal], or if a journal fails to load or belongs to a different
-    campaign.
+    {b Failure handling.}  A run whose SUT raises or (with
+    [run_timeout_ms]) exceeds its wall-clock budget does {e not} abort
+    the campaign: it yields a {!Results.Crashed} / {!Results.Hung}
+    outcome (see {!observed_run}), journalled and counted like any
+    other.  [retries] (default 0) re-executes such a run up to that
+    many times — each attempt on a fresh RNG stream derived from the
+    seed, index and attempt number, so retried campaigns stay
+    order-independent — and keeps the last attempt's outcome.
+    [fail_fast] (default [false]) restores abort semantics: once a
+    run's retry budget is exhausted, {!Failed_run} is raised after the
+    failed outcome has been journalled; with [jobs > 1] the remaining
+    workers stop taking new runs, finish (and journal) the runs
+    already in flight, and the campaign raises after they drain.  The
+    same prompt-abort path serves any exception escaping a worker.
+    Note that [Hung] is inherently wall-clock dependent: which runs
+    hang (and therefore what a retry re-executes) can differ between
+    invocations on a loaded machine, while [Crashed] outcomes are
+    fully deterministic.
+
+    @raise Invalid_argument if [jobs < 1], [retries < 0],
+    [run_timeout_ms < 1], if [resume] is set without [journal], or if
+    a journal fails to load or belongs to a different campaign.
+    @raise Failed_run under [fail_fast] as described above.
     @raise Sys_error on journal I/O failure. *)
 
 (** {1 Deprecated entry points} *)

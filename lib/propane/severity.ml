@@ -49,8 +49,9 @@ let observer ~outputs ~mission_failed ~golden ~frozen =
   in
   (Observer.combine [ div; recorder ], verdict)
 
-let assess ?(max_ms = Runner.default_max_ms) ?(seed = 42L) ~outputs
-    ~mission_failed (sut : Sut.t) campaign =
+let assess ?(max_ms = Runner.default_max_ms) ?(seed = 42L) ?run_timeout_ms
+    ?(on_failure = `Mission_failure) ~outputs ~mission_failed (sut : Sut.t)
+    campaign =
   let master = Simkernel.Rng.create seed in
   let goldens =
     List.map
@@ -66,11 +67,22 @@ let assess ?(max_ms = Runner.default_max_ms) ?(seed = 42L) ~outputs
       let rng = Simkernel.Rng.split master in
       let golden, frozen = List.assoc (Testcase.id testcase) goldens in
       let obs, verdict = observer ~outputs ~mission_failed ~golden ~frozen in
-      ignore
-        (Runner.observed_run ~rng sut
-           ~duration_ms:(Trace_set.duration_ms golden)
-           testcase injection obs);
-      let verdict = verdict () in
+      let _run_ms, status =
+        Runner.observed_run ~rng ?run_timeout_ms sut
+          ~duration_ms:(Trace_set.duration_ms golden)
+          testcase injection obs
+      in
+      (* A crashed or hung target never delivered its mission: that is
+         the paper's worst failure class, not a judgement call for the
+         mission predicate (whose traces are partial anyway). *)
+      match (status, on_failure) with
+      | (Results.Crashed _ | Results.Hung _), `Exclude -> ()
+      | _ ->
+      let verdict =
+        match status with
+        | Results.Completed -> verdict ()
+        | Results.Crashed _ | Results.Hung _ -> Mission_failure
+      in
       let target = injection.Injection.target in
       let cell =
         match Hashtbl.find_opt table target with

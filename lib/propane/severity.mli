@@ -14,7 +14,12 @@
       internal state differs but the environment never saw it);
     - an output diverged but the target-specific mission judge accepts
       the run: {!Output_deviation} (degraded but successful service);
-    - the mission judge rejects it: {!Mission_failure}. *)
+    - the mission judge rejects it: {!Mission_failure}.
+
+    A run whose target {e crashed} or {e hung} (see {!Results.status})
+    never delivered its service at all; by default it is classed
+    {!Mission_failure} without consulting the mission judge, whose
+    traces would be partial. *)
 
 type verdict = No_effect | Internal_only | Output_deviation | Mission_failure
 
@@ -51,6 +56,8 @@ val observer :
 val assess :
   ?max_ms:int ->
   ?seed:int64 ->
+  ?run_timeout_ms:int ->
+  ?on_failure:[ `Mission_failure | `Exclude ] ->
   outputs:string list ->
   mission_failed:(golden:Trace_set.t -> run:Trace_set.t -> bool) ->
   Sut.t ->
@@ -59,6 +66,11 @@ val assess :
 (** Runs the campaign with full-length injection runs and classifies
     every run; one report per target signal, in campaign order.
     [mission_failed] judges the end-to-end service from the traces
-    (e.g. "the aircraft was not arrested within the runway"). *)
+    (e.g. "the aircraft was not arrested within the runway").
+
+    Crashing SUTs do not abort the assessment: a crashed — or, with
+    [run_timeout_ms], hung — run is classed per [on_failure]:
+    [`Mission_failure] (default) bins it as {!Mission_failure};
+    [`Exclude] drops it from the report entirely. *)
 
 val pp_report : Format.formatter -> report -> unit

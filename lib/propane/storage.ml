@@ -7,6 +7,29 @@ let error_to_string = function
   | Error_model.Offset d -> Printf.sprintf "offset:%d" d
   | Error_model.Replace_uniform -> "uniform"
 
+(* Status serialisation shared with the journal.  The crash reason is
+   free text (sanitised of separators by the runner); it may contain
+   ':', so it is always the final, rest-of-string field. *)
+let status_to_string = function
+  | Results.Completed -> "completed"
+  | Results.Crashed { at_ms; reason } ->
+      Printf.sprintf "crashed:%d:%s" at_ms reason
+  | Results.Hung { budget_ms } -> Printf.sprintf "hung:%d" budget_ms
+
+let status_of_string s =
+  match String.split_on_char ':' s with
+  | [ "completed" ] -> Ok Results.Completed
+  | "crashed" :: at_ms :: rest -> (
+      match int_of_string_opt at_ms with
+      | Some at_ms when at_ms >= 0 ->
+          Ok (Results.Crashed { at_ms; reason = String.concat ":" rest })
+      | _ -> Error (Printf.sprintf "bad crash time %S" at_ms))
+  | [ "hung"; budget_ms ] -> (
+      match int_of_string_opt budget_ms with
+      | Some budget_ms when budget_ms >= 0 -> Ok (Results.Hung { budget_ms })
+      | _ -> Error (Printf.sprintf "bad hang budget %S" budget_ms))
+  | _ -> Error (Printf.sprintf "unknown run status %S" s)
+
 let error_of_string s =
   match String.split_on_char ':' s with
   | [ "uniform" ] -> Ok Error_model.Replace_uniform
@@ -32,8 +55,13 @@ let with_in path f =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
 
+(* A CR is rejected alongside the separators: it would survive into the
+   record and corrupt round-tripping of CRLF-touched files. *)
 let check_field name value =
-  if String.contains value '\t' || String.contains value '\n' then
+  if
+    String.contains value '\t' || String.contains value '\n'
+    || String.contains value '\r'
+  then
     Error
       (Printf.sprintf "Storage: %s %S contains a separator character" name
          value)
@@ -61,6 +89,7 @@ let save_results path results =
         check_fields
           (("testcase", o.testcase)
           :: ("target", o.injection.Injection.target)
+          :: ("status", status_to_string o.status)
           :: List.map
                (fun (d : Golden.divergence) -> ("signal", d.signal))
                o.divergences))
@@ -77,6 +106,11 @@ let save_results path results =
             o.injection.Injection.target
             (Simkernel.Sim_time.to_ms o.injection.Injection.at)
             (error_to_string o.injection.Injection.error);
+          (* Clean runs keep the v1 format byte for byte; only failed
+             runs grow a status line. *)
+          (match o.status with
+          | Results.Completed -> ()
+          | status -> line "status\t%s" (status_to_string status));
           List.iter
             (fun (d : Golden.divergence) ->
               line "div\t%s\t%d" d.signal d.first_ms)
@@ -89,7 +123,8 @@ type parse_state = {
   mutable campaign : string option;
   mutable results : Results.t option;
   (* current outcome under construction, divergences reversed *)
-  mutable current : (string * Injection.t * Golden.divergence list) option;
+  mutable current :
+    (string * Injection.t * Results.status * Golden.divergence list) option;
 }
 
 let load_results path =
@@ -99,12 +134,13 @@ let load_results path =
       let state = { sut = None; campaign = None; results = None; current = None } in
       let flush_current () =
         match (state.results, state.current) with
-        | Some results, Some (testcase, injection, rev_divs) ->
+        | Some results, Some (testcase, injection, status, rev_divs) ->
             Results.add results
               {
                 Results.testcase;
                 injection;
                 divergences = List.rev rev_divs;
+                status;
               };
             state.current <- None
         | _, None -> ()
@@ -138,6 +174,7 @@ let load_results path =
                       Injection.make ~target
                         ~at:(Simkernel.Sim_time.of_ms at_ms)
                         ~error,
+                      Results.Completed,
                       [] );
                 Ok ()
             | None, _ -> fail lineno (Printf.sprintf "bad time %S" at_ms)
@@ -147,12 +184,21 @@ let load_results path =
             | _, Ok _ -> fail lineno "bad outcome line")
         | [ "div"; signal; first_ms ] -> (
             match (state.current, int_of_string_opt first_ms) with
-            | Some (tc, inj, divs), Some first_ms ->
+            | Some (tc, inj, status, divs), Some first_ms ->
                 state.current <-
-                  Some (tc, inj, { Golden.signal; first_ms } :: divs);
+                  Some (tc, inj, status, { Golden.signal; first_ms } :: divs);
                 Ok ()
             | None, _ -> fail lineno "divergence before any outcome"
             | _, None -> fail lineno (Printf.sprintf "bad time %S" first_ms))
+        | "status" :: rest -> (
+            (* The status value itself may contain ':' but never '\t';
+               rejoin in case a crash reason ever grows tabs upstream. *)
+            match (state.current, status_of_string (String.concat "\t" rest)) with
+            | Some (tc, inj, _, divs), Ok status ->
+                state.current <- Some (tc, inj, status, divs);
+                Ok ()
+            | None, _ -> fail lineno "status before any outcome"
+            | _, Error msg -> fail lineno msg)
         | [ "" ] -> Ok ()
         | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line)
       in

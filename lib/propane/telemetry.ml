@@ -4,6 +4,9 @@ type t = {
   mutable skipped : int;
   mutable jobs : int;
   mutable completed : int;
+  mutable crashed : int;
+  mutable hung : int;
+  mutable retried : int;
   mutable started : float option;
   mutable finished : float option;
   mutable per_worker : int array;
@@ -16,6 +19,9 @@ let create ?(now = Unix.gettimeofday) () =
     skipped = 0;
     jobs = 0;
     completed = 0;
+    crashed = 0;
+    hung = 0;
+    retried = 0;
     started = None;
     finished = None;
     per_worker = [||];
@@ -27,14 +33,22 @@ let observe t = function
       t.skipped <- skipped;
       t.jobs <- jobs;
       t.completed <- skipped;
+      t.crashed <- 0;
+      t.hung <- 0;
+      t.retried <- 0;
       t.per_worker <- Array.make jobs 0;
       t.started <- Some (t.now ());
       t.finished <- None
   | Runner.Goldens_done _ ->
       (* Rate and ETA describe the injection-run phase. *)
       t.started <- Some (t.now ())
-  | Runner.Run_done { worker; completed; _ } ->
+  | Runner.Run_done { worker; completed; status; retries; _ } ->
       t.completed <- completed;
+      (match status with
+      | Results.Completed -> ()
+      | Results.Crashed _ -> t.crashed <- t.crashed + 1
+      | Results.Hung _ -> t.hung <- t.hung + 1);
+      t.retried <- t.retried + retries;
       if worker >= 0 && worker < Array.length t.per_worker then
         t.per_worker.(worker) <- t.per_worker.(worker) + 1
   | Runner.Finished _ -> t.finished <- Some (t.now ())
@@ -48,6 +62,9 @@ type snapshot = {
   runs_per_sec : float;
   eta_s : float option;
   per_worker : int array;
+  crashed : int;
+  hung : int;
+  retried : int;
 }
 
 let snapshot t =
@@ -77,21 +94,31 @@ let snapshot t =
     runs_per_sec;
     eta_s;
     per_worker = Array.copy t.per_worker;
+    crashed = t.crashed;
+    hung = t.hung;
+    retried = t.retried;
   }
 
+(* New fields go after the original ones: downstream log scrapers match
+   on the stable prefix. *)
 let to_json s =
   Printf.sprintf
-    {|{"total":%d,"completed":%d,"skipped":%d,"jobs":%d,"elapsed_s":%.3f,"runs_per_sec":%.1f,"eta_s":%s,"per_worker":[%s]}|}
+    {|{"total":%d,"completed":%d,"skipped":%d,"jobs":%d,"elapsed_s":%.3f,"runs_per_sec":%.1f,"eta_s":%s,"per_worker":[%s],"crashed":%d,"hung":%d,"retried":%d}|}
     s.total s.completed s.skipped s.jobs s.elapsed_s s.runs_per_sec
     (match s.eta_s with
     | None -> "null"
     | Some eta -> Printf.sprintf "%.1f" eta)
     (String.concat ","
        (Array.to_list (Array.map string_of_int s.per_worker)))
+    s.crashed s.hung s.retried
 
 let pp_live ppf s =
-  Fmt.pf ppf "%d/%d runs  %.0f runs/s%a" s.completed s.total s.runs_per_sec
+  Fmt.pf ppf "%d/%d runs  %.0f runs/s%a%a" s.completed s.total s.runs_per_sec
     (fun ppf -> function
       | Some eta when s.completed < s.total -> Fmt.pf ppf "  eta %.1fs" eta
       | Some _ | None -> ())
     s.eta_s
+    (fun ppf () ->
+      if s.crashed + s.hung > 0 then
+        Fmt.pf ppf "  (%d crashed, %d hung)" s.crashed s.hung)
+    ()

@@ -31,6 +31,11 @@ type snapshot = {
       (** estimated seconds to completion; [Some 0.] once complete,
           [None] while the rate is still unknown *)
   per_worker : int array;  (** fresh runs completed per worker domain *)
+  crashed : int;  (** runs that ended {!Results.Crashed} *)
+  hung : int;  (** runs cut off by the {!Runner.run} watchdog *)
+  retried : int;
+      (** total re-executions across all runs (a run retried twice
+          adds two) *)
 }
 
 val snapshot : t -> snapshot
@@ -39,7 +44,9 @@ val to_json : snapshot -> string
 (** One-line machine-readable summary, e.g.
     [{"total":832,"completed":832,"skipped":100,"jobs":4,
       "elapsed_s":1.824,"runs_per_sec":401.3,"eta_s":0.0,
-      "per_worker":[183,186,181,182]}]. *)
+      "per_worker":[183,186,181,182],"crashed":0,"hung":0,
+      "retried":0}].  The original fields keep their order; newer
+    fields are appended, so prefix-matching scrapers keep working. *)
 
 val pp_live : Format.formatter -> snapshot -> unit
 (** Compact single-line progress display (no trailing newline), e.g.

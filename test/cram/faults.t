@@ -1,0 +1,50 @@
+A crashing target does not abort the campaign: every failure becomes a
+recorded outcome.  --chaos-crash-after 0 makes the SUT raise on each
+injection's own step, so all 832 runs crash at their injection instant;
+the journal records them as run2 records and the telemetry counts them.
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --chaos-crash-after 0 --journal crash.journal --save crash.results --telemetry - > crash.out
+  $ grep -o '"crashed":832,"hung":0,"retried":0' crash.out
+  "crashed":832,"hung":0,"retried":0
+  $ grep '^failed runs' crash.out
+  failed runs: 832 crashed, 0 hung
+  $ grep -c '^run2' crash.journal
+  832
+
+Retries re-execute failed runs on fresh RNG streams.  These crashes are
+deterministic, so every run exhausts its budget of 2:
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --chaos-crash-after 0 --retries 2 --telemetry - > retry.out
+  $ grep -o '"crashed":832,"hung":0,"retried":1664' retry.out
+  "crashed":832,"hung":0,"retried":1664
+
+A killed crashing campaign resumes to byte-identical results: keep 100
+committed records plus a torn tail, then continue.
+
+  $ head -n 105 crash.journal > part.journal
+  $ printf 'run2\t500\tm' >> part.journal
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --chaos-crash-after 0 --journal part.journal --resume --save resumed.results > /dev/null
+  $ grep -c '^run' part.journal
+  832
+  $ cmp crash.results resumed.results
+
+A hanging target is cut off by the wall-clock watchdog.  Each injected
+run burns 25ms of wall clock per step from the injection on, so a 20ms
+budget hangs all 832 runs, across 4 worker domains:
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --chaos-hang-after 0 --run-timeout-ms 20 --jobs 4 --telemetry - > hang.out
+  $ grep -o '"crashed":0,"hung":832' hang.out
+  "crashed":0,"hung":832
+  $ grep '^failed runs' hang.out
+  failed runs: 0 crashed, 832 hung
+
+--fail-fast restores abort semantics; the failed outcome is journalled
+before the campaign dies:
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --chaos-crash-after 0 --fail-fast --journal ff.journal > /dev/null
+  propane campaign: run 0 crashed@500ms (simulated crash 0 ms after injection); aborting (--fail-fast)
+  [1]
+  $ grep -c '^run2' ff.journal
+  1
+
+End of fault-injection CLI checks.

@@ -898,10 +898,13 @@ let runner_tests =
             ~error:(Propane.Error_model.Bit_flip 15)
         in
         let obs, divergences = Propane.Observer.divergence golden in
-        let run_ms =
+        let run_ms, status =
           Propane.Runner.observed_run sut ~duration_ms:100 tc injection obs
         in
         Alcotest.(check int) "stopped early" 11 run_ms;
+        Alcotest.(check bool)
+          "completed" true
+          (status = Propane.Results.Completed);
         Alcotest.(check int) "both diverged" 2 (List.length (divergences ())));
     Alcotest.test_case "a rider recorder keeps the run full-length" `Quick
       (fun () ->
@@ -994,6 +997,73 @@ let runner_tests =
             (scaler_sut ()) scaler_campaign
         in
         Alcotest.(check int) "runs" size !runs);
+    Alcotest.test_case "an injected run that finishes early has its true length"
+      `Quick (fun () ->
+        (* A self-halting SUT: s ramps by one per ms and the run is over
+           once s reaches 60; k never changes.  Flipping bit 6 of s at
+           ms 10 pushes it past the threshold, so the injected run ends
+           ~50 ms before the golden one — the observer must be told the
+           true length for the length-mismatch rule to fire on k. *)
+        let halting =
+          let instantiate _tc =
+            let store =
+              Propane.Signal_store.create
+                ~signals:[ ("s", 16); ("k", 1) ]
+                ()
+            in
+            {
+              Propane.Sut.read = Propane.Signal_store.peek store;
+              write = Propane.Signal_store.poke store;
+              inject = Propane.Signal_store.inject store;
+              step =
+                (fun () ->
+                  Propane.Signal_store.write store "s"
+                    (Propane.Signal_store.read store "s" + 1));
+              finished = (fun () -> Propane.Signal_store.peek store "s" >= 60);
+              snapshot = None;
+            }
+          in
+          {
+            Propane.Sut.name = "halting";
+            signals = [ ("s", 16); ("k", 1) ];
+            instantiate;
+          }
+        in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run halting tc in
+        Alcotest.(check int)
+          "golden length" 60
+          (Propane.Trace_set.duration_ms golden);
+        let obs, divergences =
+          Propane.Observer.divergence (Propane.Golden.freeze golden)
+        in
+        let injection =
+          Propane.Injection.make ~target:"s" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 6)
+        in
+        let run_ms, status =
+          Propane.Runner.observed_run halting ~duration_ms:60 tc injection obs
+        in
+        Alcotest.(check bool)
+          "completed" true
+          (status = Propane.Results.Completed);
+        Alcotest.(check int) "true length" 11 run_ms;
+        Alcotest.(check bool)
+          "s diverged at the injection" true
+          (List.exists
+             (fun (d : Propane.Golden.divergence) ->
+               String.equal d.signal "s" && d.first_ms = 10)
+             (divergences ()));
+        Alcotest.(check bool)
+          "k diverged at the early end" true
+          (List.exists
+             (fun (d : Propane.Golden.divergence) ->
+               String.equal d.signal "k" && d.first_ms = 11)
+             (divergences ())));
+    check_raises_invalid "watchdog budget must be positive" (fun () ->
+        Propane.Runner.run ~run_timeout_ms:0 (scaler_sut ()) scaler_campaign);
+    check_raises_invalid "negative retries rejected" (fun () ->
+        Propane.Runner.run ~retries:(-1) (scaler_sut ()) scaler_campaign);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1055,6 +1125,7 @@ let estimator_tests =
               Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 100)
                 ~error:(Propane.Error_model.Bit_flip 0);
             divergences = [ { Propane.Golden.signal = "y"; first_ms = 600 } ];
+            status = Propane.Results.Completed;
           };
         let direct =
           Propane.Estimator.estimate_matrix
@@ -1070,6 +1141,50 @@ let estimator_tests =
           (Propagation.Perm_matrix.get direct ~input:1 ~output:1);
         close "any counts" 1.0
           (Propagation.Perm_matrix.get any ~input:1 ~output:1));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"wilson interval is a probability bracket"
+         ~count:500
+         QCheck2.Gen.(pair (int_range 1 2000) (int_range 0 2000))
+         (fun (trials, errors) ->
+           let errors = min errors trials in
+           let lo, hi = Propane.Estimator.wilson_interval ~errors ~trials in
+           let value = float_of_int errors /. float_of_int trials in
+           0.0 <= lo
+           && lo <= value +. 1e-9
+           && value <= hi +. 1e-9
+           && hi <= 1.0));
+    Alcotest.test_case "failed runs count as errors unless excluded" `Quick
+      (fun () ->
+        let results = Propane.Results.create ~sut:"scaler" ~campaign:"c" in
+        let add status divergences =
+          Propane.Results.add results
+            {
+              Propane.Results.testcase = "t";
+              injection =
+                Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+                  ~error:(Propane.Error_model.Bit_flip 0);
+              divergences;
+              status;
+            }
+        in
+        add Propane.Results.Completed
+          [ { Propane.Golden.signal = "y"; first_ms = 10 } ];
+        add (Propane.Results.Crashed { at_ms = 12; reason = "boom" }) [];
+        add (Propane.Results.Hung { budget_ms = 50 }) [];
+        let estimate ?on_failure () =
+          match
+            Propane.Estimator.estimate_pairs ?on_failure ~model:scale_model
+              ~results "SCALE"
+          with
+          | [ e ] ->
+              (e.Propane.Estimator.injections, e.Propane.Estimator.errors)
+          | other ->
+              Alcotest.failf "expected 1 estimate, got %d" (List.length other)
+        in
+        Alcotest.(check (pair int int)) "counted as errors" (3, 3) (estimate ());
+        Alcotest.(check (pair int int))
+          "excluded entirely" (1, 1)
+          (estimate ~on_failure:`Exclude ()));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1085,6 +1200,7 @@ let results_tests =
               Propane.Injection.make ~target ~at:Sim.Sim_time.zero
                 ~error:(Propane.Error_model.Bit_flip 0);
             divergences = [];
+            status = Propane.Results.Completed;
           }
         in
         Propane.Results.add r (outcome "x");
@@ -1106,6 +1222,7 @@ let results_tests =
               Propane.Injection.make ~target:"x" ~at:Sim.Sim_time.zero
                 ~error:(Propane.Error_model.Bit_flip 0);
             divergences = [];
+            status = Propane.Results.Completed;
           }
         in
         Propane.Results.add a outcome;
@@ -1136,6 +1253,7 @@ let synthetic_results divergence_specs =
             List.map
               (fun (signal, first_ms) -> { Propane.Golden.signal; first_ms })
               divergences;
+          status = Propane.Results.Completed;
         })
     divergence_specs;
   results
@@ -1418,6 +1536,81 @@ let storage_tests =
                   "mentions separator" true
                   (contains_substring msg "separator")
             | Ok () -> Alcotest.fail "accepted a tab in the SUT name"));
+    Alcotest.test_case "failed statuses round-trip through a results file"
+      `Quick (fun () ->
+        let results = Propane.Results.create ~sut:"s" ~campaign:"c" in
+        let add status divs =
+          Propane.Results.add results
+            {
+              Propane.Results.testcase = "t";
+              injection =
+                Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 5)
+                  ~error:(Propane.Error_model.Bit_flip 1);
+              divergences =
+                List.map
+                  (fun (signal, first_ms) ->
+                    { Propane.Golden.signal; first_ms })
+                  divs;
+              status;
+            }
+        in
+        add Propane.Results.Completed [ ("y", 6) ];
+        add
+          (Propane.Results.Crashed
+             { at_ms = 7; reason = "Failure(\"boom: nested\")" })
+          [ ("y", 7) ];
+        add (Propane.Results.Hung { budget_ms = 100 }) [];
+        let path = temp ".results" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            save_ok (Propane.Storage.save_results path results);
+            match Propane.Storage.load_results path with
+            | Error msg -> Alcotest.fail msg
+            | Ok loaded ->
+                Alcotest.(check int)
+                  "crashed" 1
+                  (Propane.Results.crashed_count loaded);
+                Alcotest.(check int)
+                  "hung" 1 (Propane.Results.hung_count loaded);
+                List.iter2
+                  (fun (a : Propane.Results.outcome)
+                       (b : Propane.Results.outcome) ->
+                    Alcotest.(check bool) "status" true (a.status = b.status);
+                    Alcotest.(check bool)
+                      "divergences" true
+                      (a.divergences = b.divergences))
+                  (Propane.Results.outcomes results)
+                  (Propane.Results.outcomes loaded)));
+    Alcotest.test_case "status parser rejects junk" `Quick (fun () ->
+        List.iter
+          (fun junk ->
+            match Propane.Storage.status_of_string junk with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" junk)
+          [
+            "";
+            "done";
+            "crashed";
+            "crashed:x:r";
+            "crashed:-1:r";
+            "hung";
+            "hung:x";
+            "hung:-1";
+            "completed:extra";
+          ]);
+    Alcotest.test_case "a carriage return is a separator too" `Quick (fun () ->
+        let results = Propane.Results.create ~sut:"cr\rname" ~campaign:"c" in
+        let path = temp ".results" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            match Propane.Storage.save_results path results with
+            | Error msg ->
+                Alcotest.(check bool)
+                  "mentions separator" true
+                  (contains_substring msg "separator")
+            | Ok () -> Alcotest.fail "accepted a CR in the SUT name"));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1429,7 +1622,8 @@ let journal_tests =
     let path = temp () in
     Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
   in
-  let outcome ?(divs = []) testcase target at_ms =
+  let outcome ?(divs = []) ?(status = Propane.Results.Completed) testcase
+      target at_ms =
     {
       Propane.Results.testcase;
       injection =
@@ -1439,6 +1633,7 @@ let journal_tests =
         List.map
           (fun (signal, first_ms) -> { Propane.Golden.signal; first_ms })
           divs;
+      status;
     }
   in
   let ok = function
@@ -1635,6 +1830,113 @@ let journal_tests =
                   "mentions seed" true
                   (contains_substring msg "seed")
             | _ -> Alcotest.fail "accepted a mismatched seed"));
+    Alcotest.test_case "failed outcomes round-trip, colons in reasons intact"
+      `Quick (fun () ->
+        with_temp (fun path ->
+            let crashed =
+              outcome ~divs:[ ("y", 12) ]
+                ~status:
+                  (Propane.Results.Crashed
+                     { at_ms = 12; reason = "Failure(\"boom: nested: deep\")" })
+                "t1" "x" 10
+            in
+            let hung =
+              outcome
+                ~status:(Propane.Results.Hung { budget_ms = 250 })
+                "t2" "x" 20
+            in
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:1L
+                   ~total:2 ())
+            in
+            ok (Propane.Journal.append w ~index:0 crashed);
+            ok (Propane.Journal.append w ~index:1 hung);
+            Propane.Journal.close w;
+            let j = ok (Propane.Journal.load path) in
+            match j.Propane.Journal.entries with
+            | [ (0, o0); (1, o1) ] ->
+                Alcotest.(check bool)
+                  "crash intact" true
+                  (compare o0 crashed = 0);
+                Alcotest.(check bool) "hang intact" true (compare o1 hung = 0)
+            | e ->
+                Alcotest.failf "expected 2 entries, got %d" (List.length e)));
+    Alcotest.test_case "v1 run records load with status Completed" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:1L
+                   ~total:1 ())
+            in
+            Propane.Journal.close w;
+            append_fragment path "run\t0\tt1\tx\t10\tbitflip:3\t1\ty\t12\n";
+            let j = ok (Propane.Journal.load path) in
+            match j.Propane.Journal.entries with
+            | [ (0, o) ] ->
+                Alcotest.(check bool)
+                  "completed" true
+                  (o.Propane.Results.status = Propane.Results.Completed);
+                Alcotest.(check (option int))
+                  "divergence kept" (Some 12)
+                  (Propane.Results.divergence_of o "y")
+            | _ -> Alcotest.fail "expected one v1 entry"));
+    Alcotest.test_case "a retried index supersedes the earlier record" `Quick
+      (fun () ->
+        with_temp (fun path ->
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:1L
+                   ~total:1 ())
+            in
+            ok
+              (Propane.Journal.append w ~index:0
+                 (outcome
+                    ~status:
+                      (Propane.Results.Crashed { at_ms = 12; reason = "boom" })
+                    "t" "x" 10));
+            ok
+              (Propane.Journal.append w ~index:0
+                 (outcome ~divs:[ ("y", 11) ] "t" "x" 10));
+            Propane.Journal.close w;
+            let j = ok (Propane.Journal.load path) in
+            Alcotest.(check int)
+              "both records kept" 2
+              (List.length j.Propane.Journal.entries);
+            let table = Propane.Journal.completed j in
+            Alcotest.(check int) "one completed index" 1 (Hashtbl.length table);
+            match Hashtbl.find_opt table 0 with
+            | Some o ->
+                Alcotest.(check bool)
+                  "the retry wins" true
+                  (o.Propane.Results.status = Propane.Results.Completed);
+                Alcotest.(check (option int))
+                  "retry divergences win" (Some 11)
+                  (Propane.Results.divergence_of o "y")
+            | None -> Alcotest.fail "index 0 missing"));
+    Alcotest.test_case "a carriage return is refused" `Quick (fun () ->
+        with_temp (fun path ->
+            (match
+               Propane.Journal.create ~path ~sut:"cr\rhere" ~campaign:"c"
+                 ~seed:1L ~total:1 ()
+             with
+            | Error msg ->
+                Alcotest.(check bool)
+                  "mentions separator" true
+                  (contains_substring msg "separator")
+            | Ok _ -> Alcotest.fail "accepted a CR in the SUT name");
+            let w =
+              ok
+                (Propane.Journal.create ~path ~sut:"s" ~campaign:"c" ~seed:1L
+                   ~total:1 ())
+            in
+            (match
+               Propane.Journal.append w ~index:0 (outcome "bad\rtc" "x" 1)
+             with
+            | Error _ -> ()
+            | Ok () -> Alcotest.fail "accepted a CR in the testcase");
+            Propane.Journal.close w));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1660,10 +1962,24 @@ let telemetry_tests =
               (5.0, Propane.Runner.Goldens_done { testcases = 1 });
               ( 6.0,
                 Propane.Runner.Run_done
-                  { index = 10; worker = 0; completed = 11; total = 20 } );
+                  {
+                    index = 10;
+                    worker = 0;
+                    completed = 11;
+                    total = 20;
+                    status = Propane.Results.Completed;
+                    retries = 0;
+                  } );
               ( 7.0,
                 Propane.Runner.Run_done
-                  { index = 11; worker = 1; completed = 12; total = 20 } );
+                  {
+                    index = 11;
+                    worker = 1;
+                    completed = 12;
+                    total = 20;
+                    status = Propane.Results.Completed;
+                    retries = 0;
+                  } );
             ]
         in
         clock := 7.0;
@@ -1700,7 +2016,14 @@ let telemetry_tests =
               (1.0, Propane.Runner.Goldens_done { testcases = 1 });
               ( 3.0,
                 Propane.Runner.Run_done
-                  { index = 0; worker = 0; completed = 1; total = 1 } );
+                  {
+                    index = 0;
+                    worker = 0;
+                    completed = 1;
+                    total = 1;
+                    status = Propane.Results.Completed;
+                    retries = 0;
+                  } );
               (3.0, Propane.Runner.Finished { completed = 1; total = 1 });
             ]
         in
@@ -1719,7 +2042,14 @@ let telemetry_tests =
               (0.0, Propane.Runner.Goldens_done { testcases = 1 });
               ( 2.0,
                 Propane.Runner.Run_done
-                  { index = 1; worker = 1; completed = 2; total = 2 } );
+                  {
+                    index = 1;
+                    worker = 1;
+                    completed = 2;
+                    total = 2;
+                    status = Propane.Results.Crashed { at_ms = 7; reason = "boom" };
+                    retries = 1;
+                  } );
               (2.0, Propane.Runner.Finished { completed = 2; total = 2 });
             ]
         in
@@ -1736,6 +2066,9 @@ let telemetry_tests =
             {|"runs_per_sec":0.5|};
             {|"eta_s":0.0|};
             {|"per_worker":[0,1]|};
+            {|"crashed":1|};
+            {|"hung":0|};
+            {|"retried":1|};
           ]);
   ]
 
@@ -1798,6 +2131,290 @@ let severity_tests =
             Alcotest.(check int)
               "mission failures" 0 r.Propane.Severity.mission_failure
         | _ -> Alcotest.fail "expected one report");
+    Alcotest.test_case "crashing runs land in mission failure" `Quick (fun () ->
+        let sut = Propane.Fault.wrap ~crash_after_ms:0 (scaler_sut ()) in
+        let reports =
+          Propane.Severity.assess ~outputs:[ "y" ] ~mission_failed sut
+            scaler_campaign
+        in
+        match reports with
+        | [ r ] ->
+            Alcotest.(check int) "runs" 80 r.Propane.Severity.runs;
+            Alcotest.(check int)
+              "all mission failures" 80 r.Propane.Severity.mission_failure
+        | _ -> Alcotest.fail "expected one report");
+    Alcotest.test_case "excluded failures drop out of the report" `Quick
+      (fun () ->
+        let sut = Propane.Fault.wrap ~crash_after_ms:0 (scaler_sut ()) in
+        let reports =
+          Propane.Severity.assess ~on_failure:`Exclude ~outputs:[ "y" ]
+            ~mission_failed sut scaler_campaign
+        in
+        Alcotest.(check int) "no rows" 0 (List.length reports));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: crashing and hanging SUTs as first-class outcomes. *)
+
+let fault_tests =
+  let crashing ?only_testcase ?(after = 0) () =
+    Propane.Fault.wrap ?only_testcase ~crash_after_ms:after (scaler_sut ())
+  in
+  let tiny_campaign ~bit =
+    Propane.Campaign.make ~name:"tiny" ~targets:[ "x" ]
+      ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+      ~times:[ Sim.Sim_time.of_ms 10 ]
+      ~errors:[ Propane.Error_model.Bit_flip bit ]
+  in
+  let check_same_results msg a b =
+    Alcotest.(check int)
+      (msg ^ ": count") (Propane.Results.count a) (Propane.Results.count b);
+    List.iter2
+      (fun (x : Propane.Results.outcome) (y : Propane.Results.outcome) ->
+        Alcotest.(check bool) (msg ^ ": outcome") true (compare x y = 0))
+      (Propane.Results.outcomes a)
+      (Propane.Results.outcomes b)
+  in
+  [
+    Alcotest.test_case "a crashing SUT yields Crashed outcomes, not an abort"
+      `Quick (fun () ->
+        let results =
+          Propane.Runner.run ~seed:3L (crashing ()) scaler_campaign
+        in
+        let size = Propane.Campaign.size scaler_campaign in
+        Alcotest.(check int)
+          "campaign completed" size (Propane.Results.count results);
+        Alcotest.(check int)
+          "all crashed" size
+          (Propane.Results.crashed_count results);
+        List.iter
+          (fun (o : Propane.Results.outcome) ->
+            let inject_at =
+              Sim.Sim_time.to_ms o.injection.Propane.Injection.at
+            in
+            match o.status with
+            | Propane.Results.Crashed { at_ms; reason } ->
+                Alcotest.(check int) "at the injection" inject_at at_ms;
+                Alcotest.(check bool)
+                  "reason rendered" true
+                  (contains_substring reason "simulated crash");
+                (* Nothing was sampled before the crash, so the tail
+                   rule marks both signals diverged at the crash
+                   instant. *)
+                Alcotest.(check (option int))
+                  "x diverged" (Some inject_at)
+                  (Propane.Results.divergence_of o "x");
+                Alcotest.(check (option int))
+                  "y diverged" (Some inject_at)
+                  (Propane.Results.divergence_of o "y")
+            | s ->
+                Alcotest.failf "expected Crashed, got %s"
+                  (Fmt.str "%a" Propane.Results.pp_status s))
+          (Propane.Results.outcomes results));
+    Alcotest.test_case "a late crash keeps the divergences it saw" `Quick
+      (fun () ->
+        let sut = crashing ~after:5 () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          (* A low bit: x diverges at the injection but y never follows,
+             so y's divergence can only come from the crash cutting the
+             run short. *)
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 2)
+        in
+        let outcome =
+          Propane.Runner.run_experiment sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
+        in
+        (match outcome.Propane.Results.status with
+        | Propane.Results.Crashed { at_ms; _ } ->
+            Alcotest.(check int) "five ms after the injection" 15 at_ms
+        | s ->
+            Alcotest.failf "expected Crashed, got %s"
+              (Fmt.str "%a" Propane.Results.pp_status s));
+        Alcotest.(check (option int))
+          "x diverged at the injection" (Some 10)
+          (Propane.Results.divergence_of outcome "x");
+        Alcotest.(check (option int))
+          "y diverged at the crash" (Some 15)
+          (Propane.Results.divergence_of outcome "y"));
+    Alcotest.test_case "a hanging run is cut off and carries no divergences"
+      `Quick (fun () ->
+        let sut =
+          Propane.Fault.wrap ~hang_after_ms:0 ~hang_step_wall_ms:40
+            (scaler_sut ())
+        in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          (* A low bit again: without saturation only the watchdog can
+             end the run. *)
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:(Propane.Error_model.Bit_flip 2)
+        in
+        let outcome =
+          Propane.Runner.run_experiment ~run_timeout_ms:60 sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
+        in
+        (match outcome.Propane.Results.status with
+        | Propane.Results.Hung { budget_ms } ->
+            Alcotest.(check int) "budget" 60 budget_ms
+        | s ->
+            Alcotest.failf "expected Hung, got %s"
+              (Fmt.str "%a" Propane.Results.pp_status s));
+        Alcotest.(check int)
+          "divergences discarded" 0
+          (List.length outcome.Propane.Results.divergences));
+    Alcotest.test_case "a hung campaign run is counted, not fatal" `Quick
+      (fun () ->
+        let sut =
+          Propane.Fault.wrap ~hang_after_ms:0 ~hang_step_wall_ms:40
+            (scaler_sut ())
+        in
+        let hung_events = ref 0 in
+        let results =
+          Propane.Runner.run ~seed:3L ~run_timeout_ms:60
+            ~on_event:(function
+              | Propane.Runner.Run_done { status = Propane.Results.Hung _; _ }
+                ->
+                  incr hung_events
+              | _ -> ())
+            sut (tiny_campaign ~bit:2)
+        in
+        Alcotest.(check int)
+          "hung count" 1
+          (Propane.Results.hung_count results);
+        Alcotest.(check int) "hung event" 1 !hung_events);
+    Alcotest.test_case "a transient crash is healed by a retry" `Quick
+      (fun () ->
+        let base = scaler_sut () in
+        let injected_instances = ref 0 in
+        let flaky =
+          {
+            base with
+            Propane.Sut.instantiate =
+              (fun tc ->
+                let inner = base.Propane.Sut.instantiate tc in
+                let armed = ref false in
+                let inject name f =
+                  if not !armed then begin
+                    armed := true;
+                    incr injected_instances
+                  end;
+                  inner.Propane.Sut.inject name f
+                in
+                let step () =
+                  (* Only the first injected instance misbehaves: the
+                     retry (a fresh instance) runs clean. *)
+                  if !armed && !injected_instances = 1 then
+                    failwith "transient fault"
+                  else inner.Propane.Sut.step ()
+                in
+                { inner with Propane.Sut.step; inject });
+          }
+        in
+        let seen = ref [] in
+        let results =
+          Propane.Runner.run ~seed:3L ~retries:3
+            ~on_event:(function
+              | Propane.Runner.Run_done { status; retries; _ } ->
+                  seen := (status, retries) :: !seen
+              | _ -> ())
+            flaky (tiny_campaign ~bit:15)
+        in
+        Alcotest.(check int)
+          "no failures kept" 0
+          (Propane.Results.failed_count results);
+        match !seen with
+        | [ (Propane.Results.Completed, 1) ] -> ()
+        | _ -> Alcotest.fail "expected one completed run after one retry");
+    Alcotest.test_case "deterministic crashes exhaust the retry budget" `Quick
+      (fun () ->
+        let total_retries = ref 0 and failed_runs = ref 0 in
+        let results =
+          Propane.Runner.run ~seed:3L ~retries:2
+            ~on_event:(function
+              | Propane.Runner.Run_done { status; retries; _ } ->
+                  total_retries := !total_retries + retries;
+                  if Propane.Results.is_failed status then incr failed_runs
+              | _ -> ())
+            (crashing ()) scaler_campaign
+        in
+        let size = Propane.Campaign.size scaler_campaign in
+        Alcotest.(check int)
+          "every run retried twice" (2 * size) !total_retries;
+        Alcotest.(check int) "every run still failed" size !failed_runs;
+        Alcotest.(check int)
+          "crashed in results" size
+          (Propane.Results.crashed_count results));
+    Alcotest.test_case "the chaos wrapper can target one testcase" `Quick
+      (fun () ->
+        let sut = crashing ~only_testcase:"other" () in
+        let results = Propane.Runner.run ~seed:3L sut scaler_campaign in
+        Alcotest.(check int)
+          "nothing crashed" 0
+          (Propane.Results.failed_count results));
+    Alcotest.test_case "fail-fast aborts after journalling the failed run"
+      `Quick (fun () ->
+        let path = Filename.temp_file "propane_fault" ".journal" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            (match
+               Propane.Runner.run ~seed:3L ~journal:path ~fail_fast:true
+                 (crashing ()) scaler_campaign
+             with
+            | exception Propane.Runner.Failed_run { index; outcome } ->
+                Alcotest.(check int) "first experiment" 0 index;
+                Alcotest.(check bool)
+                  "failed status" true
+                  (Propane.Results.is_failed outcome.Propane.Results.status)
+            | _ -> Alcotest.fail "expected Failed_run");
+            match Propane.Journal.load path with
+            | Error msg -> Alcotest.failf "journal: %s" msg
+            | Ok j -> (
+                match j.Propane.Journal.entries with
+                | [ (0, o) ] ->
+                    Alcotest.(check bool)
+                      "journalled as failed" true
+                      (Propane.Results.is_failed o.Propane.Results.status)
+                | e ->
+                    Alcotest.failf "expected one journalled run, got %d"
+                      (List.length e))));
+    Alcotest.test_case
+      "parallel fail-fast stops promptly and resumes identically" `Quick
+      (fun () ->
+        let path = Filename.temp_file "propane_fault" ".journal" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let baseline =
+              Propane.Runner.run ~seed:3L (crashing ()) scaler_campaign
+            in
+            (match
+               Propane.Runner.run ~seed:3L ~jobs:4 ~journal:path
+                 ~fail_fast:true (crashing ()) scaler_campaign
+             with
+            | exception Propane.Runner.Failed_run _ -> ()
+            | _ -> Alcotest.fail "expected Failed_run");
+            let j =
+              match Propane.Journal.load path with
+              | Ok j -> j
+              | Error msg -> Alcotest.failf "journal: %s" msg
+            in
+            let journalled = List.length j.Propane.Journal.entries in
+            (* The poisoned cursor stops workers from taking new runs:
+               at most the runs already in flight (one per worker) get
+               journalled. *)
+            Alcotest.(check bool)
+              "aborted promptly" true
+              (journalled >= 1 && journalled <= 4);
+            let resumed =
+              Propane.Runner.run ~seed:3L ~journal:path ~resume:true
+                (crashing ()) scaler_campaign
+            in
+            check_same_results "resumed" baseline resumed));
   ]
 
 let () =
@@ -1821,4 +2438,5 @@ let () =
       ("telemetry", telemetry_tests);
       ("golden_tolerant", tolerant_tests);
       ("severity", severity_tests);
+      ("fault", fault_tests);
     ]
