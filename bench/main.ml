@@ -32,6 +32,36 @@ let section title =
   Printf.printf "\n================ %s ================\n\n" title
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable campaign throughput.  Targets that time whole
+   campaigns record a row per execution mode; the accumulated rows are
+   written to BENCH_campaign.json when the bench exits, so CI can track
+   runs/sec across serial, domain and worker-process execution. *)
+
+let bench_rows : (string * int * int * float) list ref = ref []
+
+let record_mode ~mode ~jobs ~runs ~seconds =
+  bench_rows := !bench_rows @ [ (mode, jobs, runs, seconds) ]
+
+let write_bench_json () =
+  if !bench_rows <> [] then begin
+    let row (mode, jobs, runs, seconds) =
+      Printf.sprintf
+        {|    {"mode":"%s","jobs":%d,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
+        mode jobs runs seconds
+        (if seconds > 0.0 then float_of_int runs /. seconds else 0.0)
+    in
+    let oc = open_out "BENCH_campaign.json" in
+    (* Cores bound what any parallel mode can show: on a 1-core host
+       serial wins by construction. *)
+    Printf.fprintf oc
+      "{\n  \"campaign\": \"throughput\",\n  \"cores\": %d,\n  \"modes\": [\n%s\n  ]\n}\n"
+      (Domain.recommended_domain_count ())
+      (String.concat ",\n" (List.map row !bench_rows));
+    close_out oc;
+    print_endline "wrote BENCH_campaign.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The measured campaign behind Tables 1-4 (run once, memoised).       *)
 
 let campaign () =
@@ -49,6 +79,24 @@ let campaign () =
            ])
       ~times:(List.map Simkernel.Sim_time.of_ms [ 500; 1500; 2500; 3500; 4500 ])
       ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+
+(* The small campaign used for whole-campaign throughput timing, shared
+   by the perf and cluster targets — and rebuilt identically inside
+   bench worker children, which is why it must be a deterministic
+   function of the environment only. *)
+let throughput_tc =
+  lazy (Arrestment.System.testcase ~mass_kg:14_000.0 ~velocity_mps:60.0)
+
+let throughput_campaign () =
+  let targets = Arrestment.Model.injection_targets in
+  let targets =
+    if perf_smoke then List.filteri (fun i _ -> i < 4) targets else targets
+  in
+  let times = if perf_smoke then [ 500 ] else [ 500; 1500; 2500 ] in
+  Propane.Campaign.make ~name:"throughput" ~targets
+    ~testcases:[ Lazy.force throughput_tc ]
+    ~times:(List.map Simkernel.Sim_time.of_ms times)
+    ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
 
 let measured_results : Propane.Results.t option ref = ref None
 
@@ -675,16 +723,7 @@ let perf () =
   (* Whole-campaign throughput: the streaming observer pipeline versus
      the legacy record-everything data path (--keep-traces).  Outcomes
      are identical either way — only the cost differs. *)
-  let throughput_campaign =
-    let targets = Arrestment.Model.injection_targets in
-    let targets =
-      if perf_smoke then List.filteri (fun i _ -> i < 4) targets else targets
-    in
-    let times = if perf_smoke then [ 500 ] else [ 500; 1500; 2500 ] in
-    Propane.Campaign.make ~name:"throughput" ~targets ~testcases:[ tc ]
-      ~times:(List.map Simkernel.Sim_time.of_ms times)
-      ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
-  in
+  let throughput_campaign = throughput_campaign () in
   let time_campaign ~keep_traces =
     let t0 = Unix.gettimeofday () in
     let r =
@@ -698,6 +737,8 @@ let perf () =
   if Propane.Results.outcomes streaming <> Propane.Results.outcomes kept then
     failwith "perf: streaming and keep-traces outcomes differ";
   let runs = List.length (Propane.Campaign.experiments throughput_campaign) in
+  record_mode ~mode:"streaming" ~jobs ~runs ~seconds:t_stream;
+  record_mode ~mode:"keep-traces" ~jobs ~runs ~seconds:t_keep;
   Printf.printf "campaign-throughput (%d runs, jobs=%d):\n" runs jobs;
   Printf.printf "  streaming      %10.1f runs/s  (%.2f s)\n"
     (float_of_int runs /. t_stream)
@@ -705,6 +746,108 @@ let perf () =
   Printf.printf "  --keep-traces  %10.1f runs/s  (%.2f s, %.2fx slower)\n"
     (float_of_int runs /. t_keep)
     t_keep (t_keep /. t_stream)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed campaign throughput                                     *)
+
+(* Spawned copies of this binary re-enter main with [--worker-child];
+   see the dispatch at the bottom. *)
+let worker_child_flag = "--worker-child"
+
+let cluster () =
+  section "Distributed campaign throughput (coordinator + workers)";
+  let c = throughput_campaign () in
+  let sut = Arrestment.System.sut () in
+  let runs = Propane.Campaign.size c in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial =
+    time (fun () ->
+        Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs:1 sut c)
+  in
+  record_mode ~mode:"serial" ~jobs:1 ~runs ~seconds:t_serial;
+  Printf.printf "  serial         %10.1f runs/s  (%.2f s)\n"
+    (float_of_int runs /. t_serial)
+    t_serial;
+  let domains = max 2 jobs in
+  let domain_results, t_domains =
+    time (fun () ->
+        Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs:domains sut
+          c)
+  in
+  record_mode
+    ~mode:(Printf.sprintf "domains-%d" domains)
+    ~jobs:domains ~runs ~seconds:t_domains;
+  Printf.printf "  domains-%-2d     %10.1f runs/s  (%.2f s)\n" domains
+    (float_of_int runs /. t_domains)
+    t_domains;
+  if Propane.Results.outcomes serial <> Propane.Results.outcomes domain_results
+  then failwith "cluster: domain outcomes differ from serial";
+  let workers = 2 in
+  let addr =
+    Cluster.Address.Unix_sock
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "propane-bench-%d.sock" (Unix.getpid ())))
+  in
+  let listen = Cluster.Address.listen addr in
+  let pool =
+    Cluster.Local.spawn
+      ~command:
+        [| Sys.executable_name; worker_child_flag;
+           Cluster.Address.to_string addr |]
+      ~n:workers ()
+  in
+  let cluster_results, t_cluster =
+    Fun.protect
+      ~finally:(fun () ->
+        Cluster.Local.shutdown pool;
+        (try Unix.close listen with Unix.Unix_error _ -> ());
+        Cluster.Address.unlink addr)
+      (fun () ->
+        time (fun () ->
+            Cluster.Coordinator.serve
+              ~on_tick:(fun () -> Cluster.Local.tend pool)
+              ~jobs:workers ~listen ~sut:sut.Propane.Sut.name
+              ~campaign:c.Propane.Campaign.name ~seed:42L
+              ~total:(Propane.Campaign.size c) ()))
+  in
+  record_mode
+    ~mode:(Printf.sprintf "workers-%d" workers)
+    ~jobs:workers ~runs ~seconds:t_cluster;
+  Printf.printf "  workers-%-2d     %10.1f runs/s  (%.2f s)\n" workers
+    (float_of_int runs /. t_cluster)
+    t_cluster;
+  if
+    Propane.Results.outcomes serial
+    <> Propane.Results.outcomes cluster_results
+  then failwith "cluster: worker-process outcomes differ from serial"
+
+let worker_child addr_string =
+  let fail msg =
+    prerr_endline ("bench worker: " ^ msg);
+    exit 1
+  in
+  match Cluster.Address.of_string addr_string with
+  | Error msg -> fail msg
+  | Ok connect -> (
+      let c = throughput_campaign () in
+      let make (w : Cluster.Protocol.welcome) =
+        if w.Cluster.Protocol.total <> Propane.Campaign.size c then
+          Error "worker child rebuilt a campaign of the wrong size"
+        else
+          Ok
+            (Propane.Runner.executor ~truncate_after_ms:128
+               ~seed:w.Cluster.Protocol.seed
+               (Arrestment.System.sut ())
+               c)
+      in
+      match Cluster.Worker.run ~connect ~make () with
+      | Ok _ -> exit 0
+      | Error msg -> fail msg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -729,20 +872,22 @@ let targets =
     ("workload", workload);
     ("prob", prob);
     ("perf", perf);
+    ("cluster", cluster);
   ]
 
 let () =
-  let requested =
-    match List.tl (Array.to_list Sys.argv) with
-    | [] -> List.map fst targets
-    | names -> names
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name targets with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown target %S; available: %s\n" name
-            (String.concat ", " (List.map fst targets));
-          exit 2)
-    requested
+  match List.tl (Array.to_list Sys.argv) with
+  | [ flag; addr ] when String.equal flag worker_child_flag ->
+      worker_child addr
+  | args ->
+      let requested = match args with [] -> List.map fst targets | l -> l in
+      List.iter
+        (fun name ->
+          match List.assoc_opt name targets with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown target %S; available: %s\n" name
+                (String.concat ", " (List.map fst targets));
+              exit 2)
+        requested;
+      write_bench_json ()

@@ -79,6 +79,29 @@ let analyze_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Validated integer converters: nonsense like --jobs 0 or --retries -1
+   must die at the command line with a usage error, not surface later as
+   an Invalid_argument from the engine. *)
+let int_at_least lo what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= lo -> Ok n
+    | Some n ->
+        Error
+          (`Msg (Printf.sprintf "%s must be at least %d, got %d" what lo n))
+    | None ->
+        Error (`Msg (Printf.sprintf "%s must be an integer, got %S" what s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let address_conv =
+  let parse s =
+    match Cluster.Address.of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"ADDR" (parse, Cluster.Address.pp)
+
 let seed_arg =
   let doc = "Campaign seed (campaigns are fully deterministic)." in
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -105,7 +128,38 @@ let progress_arg =
 
 let jobs_arg =
   let doc = "Worker domains for the campaign (1 = run serially)." in
-  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt (int_at_least 1 "--jobs") 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc =
+    "Spawn $(docv) local $(b,propane worker) processes and distribute the \
+     campaign over them (0 = no worker processes).  Results and journal are \
+     byte-identical to a serial run with the same seed."
+  in
+  Arg.(
+    value
+    & opt (int_at_least 0 "--workers") 0
+    & info [ "workers" ] ~docv:"N" ~doc)
+
+let listen_arg =
+  let doc =
+    "Accept $(b,propane worker) connections on $(docv) (unix:PATH or \
+     tcp:HOST:PORT) instead of a private socket, so workers on other \
+     machines can join the campaign.  Combines with $(b,--workers)."
+  in
+  Arg.(
+    value & opt (some address_conv) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let chaos_kill_arg =
+  let doc =
+    "Chaos harness: spawned workers exit (code 42) after sending $(docv) \
+     results, forcing the coordinator down its reassignment and respawn \
+     paths."
+  in
+  Arg.(
+    value
+    & opt (some (int_at_least 1 "--chaos-worker-kill-after")) None
+    & info [ "chaos-worker-kill-after" ] ~docv:"N" ~doc)
 
 let journal_arg =
   let doc =
@@ -139,14 +193,20 @@ let run_timeout_arg =
      budget is recorded as a hung outcome instead of stalling the campaign \
      (0 = no watchdog)."
   in
-  Arg.(value & opt int 0 & info [ "run-timeout-ms" ] ~docv:"MS" ~doc)
+  Arg.(
+    value
+    & opt (int_at_least 0 "--run-timeout-ms") 0
+    & info [ "run-timeout-ms" ] ~docv:"MS" ~doc)
 
 let retries_arg =
   let doc =
     "Re-execute a crashed or hung run up to $(docv) times, each attempt on \
      a fresh deterministic RNG stream, before its failure stands."
   in
-  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (int_at_least 0 "--retries") 0
+    & info [ "retries" ] ~docv:"N" ~doc)
 
 let fail_fast_arg =
   let doc =
@@ -206,6 +266,87 @@ let build_campaign ~cases ~times ~full () =
     ~targets:Arrestment.Model.injection_targets ~testcases ~times
     ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
 
+(* The coordinator's Welcome carries this opaque recipe so a bare
+   [propane worker --connect ADDR] can rebuild the exact campaign and
+   SUT the coordinator is running — the cluster library itself stays
+   SUT-agnostic. *)
+module Recipe = struct
+  type t = {
+    cases : int;
+    times : int;
+    full : bool;
+    window : int;
+    run_timeout_ms : int;
+    retries : int;
+    chaos_crash : int option;
+    chaos_hang : int option;
+  }
+
+  let magic = "propane-recipe1"
+
+  let encode r =
+    let opt = function None -> "" | Some n -> string_of_int n in
+    Printf.sprintf
+      "%s;cases=%d;times=%d;full=%b;window=%d;run_timeout_ms=%d;retries=%d;chaos_crash=%s;chaos_hang=%s"
+      magic r.cases r.times r.full r.window r.run_timeout_ms r.retries
+      (opt r.chaos_crash) (opt r.chaos_hang)
+
+  let decode s =
+    match String.split_on_char ';' s with
+    | v :: fields when String.equal v magic -> (
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun f ->
+            match String.index_opt f '=' with
+            | Some i ->
+                Hashtbl.replace tbl (String.sub f 0 i)
+                  (String.sub f (i + 1) (String.length f - i - 1))
+            | None -> ())
+          fields;
+        let get parse k =
+          match Hashtbl.find_opt tbl k with
+          | None -> failwith (Printf.sprintf "missing field %s" k)
+          | Some v -> (
+              match parse v with
+              | Some x -> x
+              | None -> failwith (Printf.sprintf "bad field %s=%s" k v))
+        in
+        let opt v = if String.equal v "" then Some None
+          else Option.map Option.some (int_of_string_opt v)
+        in
+        try
+          Ok
+            {
+              cases = get int_of_string_opt "cases";
+              times = get int_of_string_opt "times";
+              full = get bool_of_string_opt "full";
+              window = get int_of_string_opt "window";
+              run_timeout_ms = get int_of_string_opt "run_timeout_ms";
+              retries = get int_of_string_opt "retries";
+              chaos_crash = get opt "chaos_crash";
+              chaos_hang = get opt "chaos_hang";
+            }
+        with Failure msg -> Error ("bad campaign recipe: " ^ msg))
+    | v :: _ ->
+        Error
+          (Printf.sprintf
+             "campaign recipe %S is not %S; coordinator and worker binaries \
+              disagree"
+             v magic)
+    | [] -> Error "empty campaign recipe"
+
+  let sut_of r =
+    let fault =
+      match (r.chaos_crash, r.chaos_hang) with
+      | None, None -> None
+      | crash_after_ms, hang_after_ms ->
+          Some (Propane.Fault.spec ?crash_after_ms ?hang_after_ms ())
+    in
+    Arrestment.System.sut ?fault ()
+
+  let campaign_of r = build_campaign ~cases:r.cases ~times:r.times ~full:r.full ()
+end
+
 let write_telemetry path telemetry =
   let json =
     Propane.Telemetry.to_json (Propane.Telemetry.snapshot telemetry)
@@ -219,22 +360,96 @@ let write_telemetry path telemetry =
     Printf.printf "telemetry written to %s\n" path
   end
 
+(* Distributed mode: bind the listener, spawn the local pool (each
+   worker is this same binary re-invoked as [propane worker]), and let
+   the coordinator schedule everything.  The listener is bound before
+   any worker starts, so workers never race it. *)
+let run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
+    ~journal ~resume ~workers ~listen ~chaos_kill () =
+  let addr =
+    match listen with
+    | Some a -> a
+    | None ->
+        Cluster.Address.Unix_sock
+          (Filename.concat
+             (Filename.get_temp_dir_name ())
+             (Printf.sprintf "propane-%d.sock" (Unix.getpid ())))
+  in
+  let fd = Cluster.Address.listen addr in
+  let total = Propane.Campaign.size campaign in
+  let pool =
+    if workers = 0 then None
+    else begin
+      let command =
+        Array.of_list
+          ([ Sys.executable_name; "worker"; "--connect";
+             Cluster.Address.to_string addr ]
+          @ match chaos_kill with
+            | None -> []
+            | Some n -> [ "--die-after"; string_of_int n ])
+      in
+      (* Deliberately suicidal workers need enough respawns to drain
+         the whole campaign, not the default crash allowance. *)
+      let respawn_budget =
+        Option.map (fun n -> (total / max 1 n) + workers + 4) chaos_kill
+      in
+      Some (Cluster.Local.spawn ?respawn_budget ~command ~n:workers ())
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Cluster.Local.shutdown pool;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Cluster.Address.unlink addr)
+    (fun () ->
+      Cluster.Coordinator.serve ~fail_fast ~on_event
+        ~on_tick:(fun () -> Option.iter Cluster.Local.tend pool)
+        ?journal ~resume
+        ~config:(Recipe.encode recipe)
+        ~jobs:(max workers 1) ~listen:fd ~sut:sut.Propane.Sut.name
+        ~campaign:campaign.Propane.Campaign.name ~seed ~total ())
+
 let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
     ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
-    ~fail_fast ~chaos_crash ~chaos_hang () =
+    ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
     exit 1
   end;
-  let campaign = build_campaign ~cases ~times ~full () in
-  Format.printf "%a@." Propane.Campaign.pp campaign;
-  let fault =
-    match (chaos_crash, chaos_hang) with
-    | None, None -> None
-    | crash_after_ms, hang_after_ms ->
-        Some (Propane.Fault.spec ?crash_after_ms ?hang_after_ms ())
+  let cluster = workers > 0 || listen <> None in
+  if cluster && keep_traces then begin
+    prerr_endline
+      "propane campaign: --keep-traces is unavailable with --workers/--listen \
+       (traces stay inside the worker processes)";
+    exit 1
+  end;
+  if cluster && jobs <> 1 then begin
+    prerr_endline
+      "propane campaign: --jobs parallelises in-process domains; it cannot \
+       combine with --workers/--listen";
+    exit 1
+  end;
+  if (not cluster) && chaos_kill <> None then begin
+    prerr_endline
+      "propane campaign: --chaos-worker-kill-after needs worker processes \
+       (--workers)";
+    exit 1
+  end;
+  let recipe =
+    {
+      Recipe.cases;
+      times;
+      full;
+      window;
+      run_timeout_ms;
+      retries;
+      chaos_crash;
+      chaos_hang;
+    }
   in
-  let sut = Arrestment.System.sut ?fault () in
+  let campaign = Recipe.campaign_of recipe in
+  Format.printf "%a@." Propane.Campaign.pp campaign;
+  let sut = Recipe.sut_of recipe in
   let tele = Propane.Telemetry.create () in
   let on_event ev =
     Propane.Telemetry.observe tele ev;
@@ -252,9 +467,13 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
   in
   let results =
     try
-      Propane.Runner.run ~seed ~truncate_after_ms:(window * 2) ?run_timeout_ms
-        ~retries ~fail_fast ~jobs ?journal ~resume ~on_event ~keep_traces sut
-        campaign
+      if cluster then
+        run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
+          ~journal ~resume ~workers ~listen ~chaos_kill ()
+      else
+        Propane.Runner.run ~seed ~truncate_after_ms:(window * 2)
+          ?run_timeout_ms ~retries ~fail_fast ~jobs ?journal ~resume ~on_event
+          ~keep_traces sut campaign
     with Propane.Runner.Failed_run { index; outcome } ->
       Option.iter (fun path -> write_telemetry path tele) telemetry;
       Format.eprintf "propane campaign: run %d %a; aborting (--fail-fast)@."
@@ -282,11 +501,11 @@ let save_arg =
 let campaign_cmd =
   let run () cases times full seed window progress jobs journal resume
       telemetry keep_traces run_timeout_ms retries fail_fast chaos_crash
-      chaos_hang save =
+      chaos_hang workers listen chaos_kill save =
     let results, analysis =
       run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
         ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
-        ~fail_fast ~chaos_crash ~chaos_hang ()
+        ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill ()
     in
     Option.iter
       (fun path ->
@@ -311,12 +530,89 @@ let campaign_cmd =
           identical to a serial uninterrupted run with the same seed.  A \
           crashing or hanging SUT does not abort the campaign: failures \
           become recorded outcomes ($(b,--run-timeout-ms), $(b,--retries)) \
-          unless $(b,--fail-fast) restores abort semantics.")
+          unless $(b,--fail-fast) restores abort semantics.  \
+          $(b,--workers) distributes the campaign over local worker \
+          processes, and $(b,--listen) additionally accepts $(b,propane \
+          worker) connections from other machines.")
     Term.(
       const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
       $ window_arg $ progress_arg $ jobs_arg $ journal_arg $ resume_arg
       $ telemetry_arg $ keep_traces_arg $ run_timeout_arg $ retries_arg
-      $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg $ save_arg)
+      $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg $ workers_arg
+      $ listen_arg $ chaos_kill_arg $ save_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let worker_cmd =
+  let connect_arg =
+    let doc =
+      "Coordinator address (unix:PATH or tcp:HOST:PORT), as given to \
+       $(b,propane campaign --listen)."
+    in
+    Arg.(
+      required
+      & opt (some address_conv) None
+      & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let die_after_arg =
+    let doc =
+      "Chaos harness: exit with code 42 after sending $(docv) results \
+       (exercises the coordinator's dead-worker reassignment)."
+    in
+    Arg.(
+      value
+      & opt (some (int_at_least 1 "--die-after")) None
+      & info [ "die-after" ] ~docv:"N" ~doc)
+  in
+  let run () connect die_after =
+    let on_result =
+      Option.map (fun n ~completed -> if completed >= n then exit 42) die_after
+    in
+    let make (w : Cluster.Protocol.welcome) =
+      match Recipe.decode w.Cluster.Protocol.config with
+      | Error _ as e -> e
+      | Ok recipe ->
+          let campaign = Recipe.campaign_of recipe in
+          let sut = Recipe.sut_of recipe in
+          if not (String.equal campaign.Propane.Campaign.name w.campaign) then
+            Error
+              (Printf.sprintf
+                 "coordinator runs campaign %S, its recipe builds %S"
+                 w.campaign campaign.Propane.Campaign.name)
+          else if not (String.equal sut.Propane.Sut.name w.sut) then
+            Error
+              (Printf.sprintf "coordinator runs SUT %S, its recipe builds %S"
+                 w.sut sut.Propane.Sut.name)
+          else if Propane.Campaign.size campaign <> w.total then
+            Error
+              (Printf.sprintf
+                 "coordinator expects %d runs, the recipe builds %d" w.total
+                 (Propane.Campaign.size campaign))
+          else
+            let run_timeout_ms =
+              if recipe.Recipe.run_timeout_ms <= 0 then None
+              else Some recipe.Recipe.run_timeout_ms
+            in
+            Ok
+              (Propane.Runner.executor
+                 ~truncate_after_ms:(recipe.Recipe.window * 2) ?run_timeout_ms
+                 ~retries:recipe.Recipe.retries ~seed:w.seed sut campaign)
+    in
+    match Cluster.Worker.run ?on_result ~connect ~make () with
+    | Ok n -> Logs.info (fun m -> m "campaign complete; executed %d runs" n)
+    | Error msg ->
+        prerr_endline ("propane worker: " ^ msg);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve a campaign coordinator: connect to a $(b,propane campaign \
+          --listen) process, pull batches of runs, execute them, and stream \
+          the outcomes back.  The coordinator's welcome tells the worker \
+          which campaign to build; results are deterministic per run, so any \
+          number of workers on any machines produce the same campaign.")
+    Term.(const run $ log_term $ connect_arg $ die_after_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -488,6 +784,7 @@ let main =
     [
       analyze_cmd;
       campaign_cmd;
+      worker_cmd;
       estimate_cmd;
       latency_cmd;
       uniformity_cmd;

@@ -1,0 +1,356 @@
+let src = Logs.Src.create "cluster.coordinator" ~doc:"campaign coordinator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  mutable ready : bool;  (* handshake done *)
+  mutable wants_work : bool;  (* blocked in Request_batch *)
+  mutable outstanding : int list;  (* handed out, not yet resulted *)
+  mutable deadline : float;  (* armed only while outstanding <> [] *)
+}
+
+let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
+
+(* Journal replay for resume: identical validation to Runner.run, same
+   error text, so operators can move between local and cluster modes
+   without relearning failure messages. *)
+let replay path ~outcomes ~sut ~campaign ~seed ~total =
+  match Propane.Journal.load path with
+  | Error msg -> invalid_arg (Printf.sprintf "Coordinator.serve: %s" msg)
+  | Ok j -> (
+      match Propane.Journal.validate j ~path ~sut ~campaign ~seed ~total with
+      | Error msg -> invalid_arg (Printf.sprintf "Coordinator.serve: %s" msg)
+      | Ok () ->
+          let table = Propane.Journal.completed j in
+          Hashtbl.iter
+            (fun index outcome -> outcomes.(index) <- Some outcome)
+            table;
+          Hashtbl.length table)
+
+let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
+    ?on_event ?on_tick ?journal ?(resume = false) ?(config = "") ?(jobs = 0)
+    ~listen ~sut ~campaign ~seed ~total () =
+  if batch_max < 1 then
+    invalid_arg "Coordinator.serve: batch_max must be >= 1";
+  if heartbeat_timeout_s <= 0.0 then
+    invalid_arg "Coordinator.serve: heartbeat_timeout_s must be positive";
+  if total < 0 then invalid_arg "Coordinator.serve: negative total";
+  if resume && journal = None then
+    invalid_arg "Coordinator.serve: resume requires a journal";
+  (* A write can race the peer's death; it must fail with EPIPE (and
+     kill that connection), not deliver a fatal SIGPIPE. *)
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> (* no signals on this platform *) ());
+  let emit ev = match on_event with Some f -> f ev | None -> () in
+  let tick () = match on_tick with Some f -> f () | None -> () in
+  let outcomes = Array.make total None in
+  let skipped =
+    match journal with
+    | Some path when resume && Sys.file_exists path ->
+        replay path ~outcomes ~sut ~campaign ~seed ~total
+    | _ -> 0
+  in
+  let writer =
+    match journal with
+    | None -> None
+    | Some path ->
+        Some
+          (or_invalid
+             (if skipped > 0 then Propane.Journal.append_to path
+              else Propane.Journal.create ~path ~sut ~campaign ~seed ~total ()))
+  in
+  (* In-order journal merge: [from_journal] marks indices already on
+     disk from the resumed journal (never re-appended); [next_to_write]
+     chases the first gap, so records hit the journal in strict index
+     order whatever order workers complete them in. *)
+  let from_journal = Array.map Option.is_some outcomes in
+  let next_to_write = ref 0 in
+  let flush_journal () =
+    match writer with
+    | None -> next_to_write := total
+    | Some w ->
+        while
+          !next_to_write < total && outcomes.(!next_to_write) <> None
+        do
+          (if not from_journal.(!next_to_write) then
+             match outcomes.(!next_to_write) with
+             | Some outcome ->
+                 or_invalid
+                   (Propane.Journal.append w ~index:!next_to_write outcome)
+             | None -> assert false);
+          incr next_to_write
+        done
+  in
+  let completed = ref skipped in
+  let queue =
+    ref
+      (List.filter
+         (fun idx -> outcomes.(idx) = None)
+         (List.init total Fun.id))
+  in
+  let queue_len = ref (List.length !queue) in
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  let failed : (int * Propane.Results.outcome) option ref = ref None in
+  Log.info (fun m ->
+      m "campaign %s on %s: %d runs (%d journalled), serving workers"
+        campaign sut total skipped);
+  emit (Propane.Runner.Started { total; skipped; jobs });
+  emit (Propane.Runner.Goldens_done { testcases = 0 });
+  flush_journal ();
+  let send c msg = Frame.write c.fd (Protocol.encode_to_worker msg) in
+  let kill ~reason c =
+    Hashtbl.remove conns c.id;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    (match c.outstanding with
+    | [] -> Log.info (fun m -> m "worker %d left (%s)" c.id reason)
+    | lost ->
+        Log.warn (fun m ->
+            m "worker %d died (%s); reassigning %d outstanding runs" c.id
+              reason (List.length lost));
+        (* Back to the head of the queue: the journal's reorder buffer
+           is stalled on exactly these indices. *)
+        queue := List.sort compare lost @ !queue;
+        queue_len := !queue_len + List.length lost);
+    c.outstanding <- []
+  in
+  let live_workers () =
+    Hashtbl.fold (fun _ c n -> if c.ready then n + 1 else n) conns 0
+  in
+  let batch_size () =
+    max 1 (min batch_max (!queue_len / max 1 (2 * live_workers ())))
+  in
+  let take n =
+    let rec go n acc q =
+      if n = 0 then (List.rev acc, q)
+      else match q with [] -> (List.rev acc, []) | x :: q -> go (n - 1) (x :: acc) q
+    in
+    let batch, rest = go n [] !queue in
+    queue := rest;
+    queue_len := !queue_len - List.length batch;
+    batch
+  in
+  let give_work c =
+    match take (batch_size ()) with
+    | [] -> c.wants_work <- true
+    | batch ->
+        c.wants_work <- false;
+        c.outstanding <- batch;
+        c.deadline <- Unix.gettimeofday () +. heartbeat_timeout_s;
+        send c (Protocol.Batch batch)
+  in
+  let distribute () =
+    if !queue_len > 0 then
+      Hashtbl.iter
+        (fun _ c ->
+          if c.ready && c.wants_work && !queue_len > 0 then
+            match give_work c with
+            | () -> ()
+            | exception Unix.Unix_error (err, _, _) ->
+                kill ~reason:(Unix.error_message err) c)
+        (Hashtbl.copy conns)
+  in
+  let handle c msg =
+    c.deadline <- Unix.gettimeofday () +. heartbeat_timeout_s;
+    match msg with
+    | Protocol.Hello { version; host; pid } ->
+        if version <> Protocol.version then begin
+          (try
+             send c
+               (Protocol.Reject
+                  (Printf.sprintf "protocol version %d, coordinator speaks %d"
+                     version Protocol.version))
+           with Unix.Unix_error _ -> ());
+          kill ~reason:"version mismatch" c
+        end
+        else begin
+          c.ready <- true;
+          send c (Protocol.Welcome { sut; campaign; seed; total; config });
+          Log.info (fun m -> m "worker %d is %s/%d" c.id host pid);
+          emit (Propane.Runner.Worker_attached { worker = c.id; host; pid })
+        end
+    | Protocol.Heartbeat -> ()
+    | Protocol.Request_batch -> give_work c
+    | Protocol.Result { index; retries; outcome } ->
+        if index < 0 || index >= total then
+          kill ~reason:(Printf.sprintf "result index %d out of range" index) c
+        else begin
+          c.outstanding <- List.filter (fun i -> i <> index) c.outstanding;
+          match outcomes.(index) with
+          | Some _ ->
+              (* A reassigned run finished twice; outcomes are
+                 index-deterministic, so both copies are identical and
+                 the first stands. *)
+              Log.debug (fun m ->
+                  m "duplicate result for run %d from worker %d" index c.id)
+          | None ->
+              outcomes.(index) <- Some outcome;
+              incr completed;
+              flush_journal ();
+              emit
+                (Propane.Runner.Run_done
+                   {
+                     index;
+                     worker = c.id;
+                     completed = !completed;
+                     total;
+                     status = outcome.Propane.Results.status;
+                     retries;
+                   });
+              if
+                fail_fast
+                && Propane.Results.is_failed outcome.Propane.Results.status
+                && !failed = None
+              then begin
+                failed := Some (index, outcome);
+                (* The reorder buffer may be stalled before [index], but
+                   the abort must leave the failure on disk; journals
+                   tolerate out-of-order records, and [from_journal]
+                   keeps the cursor from appending it twice. *)
+                if index >= !next_to_write then begin
+                  Option.iter
+                    (fun w ->
+                      or_invalid (Propane.Journal.append w ~index outcome))
+                    writer;
+                  from_journal.(index) <- true
+                end
+              end
+        end
+  in
+  let drain c =
+    let rec frames () =
+      match Frame.next c.dec with
+      | Error msg -> kill ~reason:msg c
+      | Ok None -> ()
+      | Ok (Some payload) -> (
+          match Protocol.decode_to_coordinator payload with
+          | Error msg -> kill ~reason:msg c
+          | Ok msg -> (
+              match handle c msg with
+              | () -> if Hashtbl.mem conns c.id then frames ()
+              | exception Unix.Unix_error (err, _, _) ->
+                  kill ~reason:(Unix.error_message err) c))
+    in
+    frames ()
+  in
+  let buf = Bytes.create 65536 in
+  let read_from c =
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 ->
+        if c.outstanding = [] && Frame.buffered c.dec = 0 then
+          kill ~reason:"disconnected" c
+        else kill ~reason:"connection lost" c
+    | n ->
+        Frame.feed c.dec (Bytes.sub_string buf 0 n);
+        drain c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+        kill ~reason:(Unix.error_message err) c
+  in
+  let accept_pending () =
+    let rec go () =
+      match Unix.accept ~cloexec:true listen with
+      | fd, _ ->
+          Unix.clear_nonblock fd;
+          (match Unix.getsockname fd with
+          | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+          | Unix.ADDR_UNIX _ | (exception Unix.Unix_error _) -> ());
+          let c =
+            {
+              id = !next_id;
+              fd;
+              dec = Frame.decoder ();
+              ready = false;
+              wants_work = false;
+              outstanding = [];
+              deadline = Unix.gettimeofday () +. heartbeat_timeout_s;
+            }
+          in
+          incr next_id;
+          Hashtbl.add conns c.id c;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  let check_deadlines () =
+    let now = Unix.gettimeofday () in
+    Hashtbl.iter
+      (fun _ c ->
+        if c.outstanding <> [] && now > c.deadline then
+          kill
+            ~reason:
+              (Printf.sprintf "no heartbeat for %.1f s" heartbeat_timeout_s)
+            c)
+      (Hashtbl.copy conns)
+  in
+  let broadcast msg =
+    Hashtbl.iter
+      (fun _ c ->
+        if c.ready then try send c msg with Unix.Unix_error _ -> ())
+      conns
+  in
+  let close_all () =
+    Hashtbl.iter
+      (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      conns;
+    Hashtbl.reset conns
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_all ();
+      Option.iter Propane.Journal.close writer)
+    (fun () ->
+      while !completed < total && !failed = None do
+        let fds =
+          listen :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) conns []
+        in
+        let timeout =
+          Hashtbl.fold
+            (fun _ c acc ->
+              if c.outstanding = [] then acc
+              else Float.min acc (c.deadline -. Unix.gettimeofday ()))
+            conns 0.25
+          |> Float.max 0.01
+        in
+        (match Unix.select fds [] [] timeout with
+        | readable, _, _ ->
+            if List.mem listen readable then accept_pending ();
+            List.iter
+              (fun fd ->
+                if fd != listen then
+                  match
+                    Hashtbl.fold
+                      (fun _ c acc -> if c.fd == fd then Some c else acc)
+                      conns None
+                  with
+                  | Some c -> read_from c
+                  | None -> ())
+              readable
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        check_deadlines ();
+        distribute ();
+        tick ()
+      done;
+      broadcast Protocol.Done;
+      (match !failed with
+      | Some (index, outcome) ->
+          Log.err (fun m ->
+              m "run %d failed and fail_fast is set; aborting" index);
+          raise (Propane.Runner.Failed_run { index; outcome })
+      | None -> ());
+      emit (Propane.Runner.Finished { completed = !completed; total });
+      let results = Propane.Results.create ~sut ~campaign in
+      Array.iter
+        (function
+          | Some outcome -> Propane.Results.add results outcome
+          | None -> assert false)
+        outcomes;
+      results)

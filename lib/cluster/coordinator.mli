@@ -1,0 +1,81 @@
+(** The coordinator side of a distributed campaign.
+
+    {!serve} owns everything the paper's brute-force estimation needs
+    to survive scaling out to many processes: it hands out batches of
+    experiment indices to whichever workers attach, watches per-worker
+    heartbeat deadlines, reassigns a dead worker's outstanding runs to
+    the survivors, and merges the results into a journal and
+    {!Propane.Results.t} that are {e byte-identical} to what a serial
+    {!Propane.Runner.run} over the same [(seed, campaign)] produces.
+
+    {b Determinism argument.}  A run's outcome depends only on the
+    campaign seed and its experiment index ({!Propane.Runner.executor}),
+    so it does not matter which worker executes it, how batches are
+    sized, or how many times a run is re-executed after reassignment —
+    duplicated results are identical and the first one wins.  The
+    journal is written in strict index order from a reorder buffer
+    (completed runs beyond the first gap wait in memory), which makes
+    the cluster journal byte-identical to the serial one rather than
+    merely equivalent, at the price that a coordinator crash re-runs
+    the buffered out-of-order tail on resume.
+
+    {b Robustness rules.}  A worker is declared dead when its
+    connection drops or when it holds outstanding runs and has not
+    sent any message for [heartbeat_timeout_s] (workers heartbeat
+    before every run, so the budget must only exceed the slowest
+    single run, golden included).  Its outstanding indices return to
+    the head of the queue — ahead of unstarted work, because the
+    journal's reorder buffer is waiting on them — and the dead
+    connection is excluded from further scheduling, mirroring the
+    retry semantics of the local engine.  Batch sizes adapt:
+    [queue / (2 * workers)] capped at [batch_max] and floored at 1, so
+    the campaign tail degenerates to single-run batches and a straggler
+    can strand at most one run. *)
+
+val serve :
+  ?batch_max:int ->
+  ?heartbeat_timeout_s:float ->
+  ?fail_fast:bool ->
+  ?on_event:(Propane.Runner.event -> unit) ->
+  ?on_tick:(unit -> unit) ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?config:string ->
+  ?jobs:int ->
+  listen:Unix.file_descr ->
+  sut:string ->
+  campaign:string ->
+  seed:int64 ->
+  total:int ->
+  unit ->
+  Propane.Results.t
+(** Runs the campaign to completion over whatever workers connect to
+    [listen] (an already-listening socket from {!Address.listen} —
+    callers bind before spawning workers, so no worker can race the
+    listener) and returns the outcomes in campaign order.  The caller
+    closes/unlinks the listener's address after {!serve} returns.
+
+    [jobs] (default 0) is the number of workers expected to attach —
+    only used for the [Started] event, sizing telemetry; more or fewer
+    may actually serve.  [config] is handed verbatim to every worker in
+    its {!Protocol.welcome}.  [journal], [resume] and [on_event] behave
+    as in {!Propane.Runner.run}; [Goldens_done] is emitted immediately
+    with [testcases = 0] (workers run goldens lazily in their own
+    processes) and {!Propane.Runner.Worker_attached} fires per worker.
+
+    [fail_fast] aborts like the local engine: the first failed outcome
+    is journalled and reported, then {!Propane.Runner.Failed_run}
+    raises (retries happen worker-side, so an arriving failure has
+    already exhausted its budget).
+
+    [on_tick] runs on every scheduler iteration (at least every 250 ms)
+    — the hook a local worker pool uses to reap and respawn dead
+    processes (see {!Local.tend}); raising from it aborts the campaign.
+
+    [SIGPIPE] is set to ignored for the process: a write racing a
+    worker's death must fail with [EPIPE] (killing that connection
+    only), not kill the coordinator.
+
+    @raise Invalid_argument on bad parameters or a journal that does
+    not match the campaign, {!Propane.Runner.Failed_run} under
+    [fail_fast], [Sys_error] on journal I/O failure. *)

@@ -1,0 +1,92 @@
+let max_payload = 16 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: %d-byte payload exceeds %d" n max_payload);
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* ------------------------------------------------------------------ *)
+
+type decoder = {
+  mutable pending : string;  (* received, not yet decoded *)
+  mutable poisoned : string option;
+}
+
+let decoder () = { pending = ""; poisoned = None }
+
+let feed d chunk =
+  if String.length chunk > 0 && d.poisoned = None then
+    d.pending <- d.pending ^ chunk
+
+let buffered d = String.length d.pending
+
+let next d =
+  match d.poisoned with
+  | Some msg -> Error msg
+  | None ->
+      if String.length d.pending < 4 then Ok None
+      else
+        let len = Int32.to_int (String.get_int32_be d.pending 0) in
+        if len < 0 || len > max_payload then begin
+          let msg =
+            Printf.sprintf "Frame: violating length prefix %d (max %d)" len
+              max_payload
+          in
+          d.poisoned <- Some msg;
+          Error msg
+        end
+        else if String.length d.pending < 4 + len then Ok None
+        else begin
+          let payload = String.sub d.pending 4 len in
+          d.pending <-
+            String.sub d.pending (4 + len)
+              (String.length d.pending - 4 - len);
+          Ok (Some payload)
+        end
+
+(* ------------------------------------------------------------------ *)
+
+let rec wait_writable fd =
+  match Unix.select [] [ fd ] [] (-1.0) with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_writable fd
+
+let write fd payload =
+  let frame = Bytes.of_string (encode payload) in
+  let total = Bytes.length frame in
+  let rec go off =
+    if off < total then
+      match Unix.write fd frame off (total - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          wait_writable fd;
+          go off
+  in
+  go 0
+
+type reader = { fd : Unix.file_descr; dec : decoder; buf : bytes }
+
+let reader fd = { fd; dec = decoder (); buf = Bytes.create 65536 }
+
+let rec read r =
+  match next r.dec with
+  | Error _ as e -> e
+  | Ok (Some payload) -> Ok (Some payload)
+  | Ok None -> (
+      match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+      | 0 ->
+          if buffered r.dec = 0 then Ok None
+          else
+            Error
+              (Printf.sprintf "Frame: EOF inside a frame (%d bytes pending)"
+                 (buffered r.dec))
+      | n ->
+          feed r.dec (Bytes.sub_string r.buf 0 n);
+          read r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read r)

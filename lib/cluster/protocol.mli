@@ -1,0 +1,70 @@
+(** The versioned cluster wire protocol.
+
+    One {!Frame} payload carries one message.  Messages are encoded in
+    a compact binary form — tag byte, big-endian fixed-width integers,
+    length-prefixed strings — so every field round-trips byte for
+    byte, including crash reasons containing colons, tabs or newlines
+    that the line-based on-disk formats must sanitise away
+    (property-tested; see [test_cluster.ml]).
+
+    The conversation is strictly pull-based:
+    {v
+    worker                         coordinator
+      Hello {version; host; pid} ->
+                                <- Welcome {sut; campaign; seed; total; config}
+      Request_batch             ->
+                                <- Batch [i0; i1; ...]
+      Result {index; outcome}   ->      (one per run, in batch order)
+      ...
+      Request_batch             ->
+                                <- Batch [...] | Done
+    v}
+    [Heartbeat] may be sent at any time to prove liveness; every
+    message counts as one.  The coordinator answers a [Request_batch]
+    that arrives while other workers still hold outstanding runs with
+    silence (the worker blocks reading) until either new work appears
+    — a dead worker's batch being reassigned — or the campaign
+    completes with [Done].  [Ping] asks a blocked worker to prove
+    liveness with a [Heartbeat].
+
+    A worker whose [Hello] carries the wrong protocol version receives
+    [Reject] and must exit. *)
+
+val version : int
+(** Current protocol version (1).  Bump on any change to the message
+    encodings below. *)
+
+type welcome = {
+  sut : string;  (** SUT name, for worker-side validation *)
+  campaign : string;  (** campaign name, idem *)
+  seed : int64;  (** campaign seed — workers derive per-run RNG from it *)
+  total : int;  (** campaign size; indices are [0 .. total-1] *)
+  config : string;
+      (** opaque application recipe: the CLI encodes the campaign
+          construction parameters here so worker processes rebuild the
+          exact same campaign without their own flags *)
+}
+
+type to_coordinator =
+  | Hello of { version : int; host : string; pid : int }
+  | Request_batch
+  | Result of { index : int; retries : int; outcome : Propane.Results.outcome }
+  | Heartbeat
+
+type to_worker =
+  | Welcome of welcome
+  | Batch of int list  (** experiment indices to execute, in order *)
+  | Ping
+  | Done
+  | Reject of string
+
+val encode_to_coordinator : to_coordinator -> string
+val decode_to_coordinator : string -> (to_coordinator, string) result
+val encode_to_worker : to_worker -> string
+val decode_to_worker : string -> (to_worker, string) result
+(** Decoders never raise: any byte string either decodes or yields a
+    descriptive [Error]. *)
+
+val pp_to_coordinator : Format.formatter -> to_coordinator -> unit
+val pp_to_worker : Format.formatter -> to_worker -> unit
+(** Compact debug rendering (no payload dumps). *)

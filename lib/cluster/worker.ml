@@ -1,0 +1,88 @@
+let src = Logs.Src.create "cluster.worker" ~doc:"campaign worker process"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let run ?host ?pid ?on_result ~connect ~make () =
+  (* A dying coordinator must surface as EPIPE on our next send, not as
+     a fatal SIGPIPE. *)
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  let host = match host with Some h -> h | None -> Unix.gethostname () in
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
+  match Address.connect connect with
+  | Error msg -> Error msg
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let reader = Frame.reader fd in
+          let send msg = Frame.write fd (Protocol.encode_to_coordinator msg) in
+          let recv () =
+            match Frame.read reader with
+            | Error msg -> Error msg
+            | Ok None -> Error "coordinator closed the connection"
+            | Ok (Some payload) -> Protocol.decode_to_worker payload
+          in
+          let ( let* ) = Result.bind in
+          try
+            send (Protocol.Hello { version = Protocol.version; host; pid });
+            let* welcome =
+              match recv () with
+              | Ok (Protocol.Welcome w) -> Ok w
+              | Ok (Protocol.Reject reason) ->
+                  Error (Printf.sprintf "coordinator rejected us: %s" reason)
+              | Ok msg ->
+                  Error
+                    (Fmt.str "expected a welcome, got %a" Protocol.pp_to_worker
+                       msg)
+              | Error msg -> Error msg
+            in
+            let* execute = make welcome in
+            Log.info (fun m ->
+                m "serving %s/%s (%d runs) as %s/%d" welcome.Protocol.sut
+                  welcome.Protocol.campaign welcome.Protocol.total host pid);
+            let completed = ref 0 in
+            let request_batch () =
+              match send Protocol.Request_batch with
+              | () -> recv ()
+              | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> (
+                  (* The coordinator may have completed the campaign and
+                     closed our socket while this request was in flight;
+                     the [Done] it broadcast first is still readable. *)
+                  match recv () with
+                  | Ok Protocol.Done -> Ok Protocol.Done
+                  | Ok _ | Error _ ->
+                      Error "connection to coordinator lost: EPIPE (write)")
+            in
+            let rec batches () =
+              let* msg = request_batch () in
+              match msg with
+              | Protocol.Done -> Ok !completed
+              | Protocol.Ping ->
+                  send Protocol.Heartbeat;
+                  batches ()
+              | Protocol.Batch indices ->
+                  List.iter
+                    (fun index ->
+                      (* The heartbeat covers the (possibly lazy golden
+                         plus injection) run about to start. *)
+                      send Protocol.Heartbeat;
+                      let outcome, retries = execute index in
+                      send (Protocol.Result { index; retries; outcome });
+                      incr completed;
+                      match on_result with
+                      | Some f -> f ~completed:!completed
+                      | None -> ())
+                    indices;
+                  batches ()
+              | Protocol.Welcome _ | Protocol.Reject _ ->
+                  Error
+                    (Fmt.str "unexpected mid-campaign message %a"
+                       Protocol.pp_to_worker msg)
+            in
+            batches ()
+          with Unix.Unix_error (err, fn, _) ->
+            Error
+              (Printf.sprintf "connection to coordinator lost: %s (%s)"
+                 (Unix.error_message err) fn))

@@ -1,0 +1,37 @@
+(** The worker side of a distributed campaign.
+
+    A worker connects to a coordinator, introduces itself, and then
+    pulls batches of experiment indices until the coordinator says the
+    campaign is complete.  Every run streams back as its own
+    {!Protocol.Result} message, so the coordinator's journal loses at
+    most the runs in flight when a worker dies — the same guarantee
+    the local engine gives per domain.
+
+    The worker never decides {e what} to run: the coordinator's
+    {!Protocol.welcome} names the SUT, campaign, seed and size, plus an
+    opaque [config] recipe, and the [make] callback turns that into an
+    executor — typically {!Propane.Runner.executor} over a campaign
+    rebuilt from the recipe.  Returning [Error] from [make] (an
+    unknown SUT, a mismatched size) aborts before any run executes. *)
+
+val run :
+  ?host:string ->
+  ?pid:int ->
+  ?on_result:(completed:int -> unit) ->
+  connect:Address.t ->
+  make:(Protocol.welcome -> (int -> Propane.Results.outcome * int, string) result) ->
+  unit ->
+  (int, string) result
+(** Serves one campaign; returns the number of runs this worker
+    executed once the coordinator sends [Done], or an error if the
+    connection, handshake or [make] failed.  [host] (default
+    [Unix.gethostname]) and [pid] (default [Unix.getpid]) label this
+    worker in the coordinator's telemetry.
+
+    [on_result] is called after each run's result has been sent — a
+    test harness hook ({!Propane.Fault}-style): raising from it
+    abandons the connection mid-campaign exactly like a crashed worker
+    process would, which is how the reassignment path is exercised
+    in-process.  The socket is closed however [run] exits, and
+    [SIGPIPE] is set to ignored so a dying coordinator surfaces as a
+    connection error rather than killing the worker. *)

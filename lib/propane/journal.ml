@@ -225,6 +225,39 @@ let load path =
       in
       Ok { sut; campaign; seed; total; entries }
 
+let validate t ~path ~sut ~campaign ~seed ~total =
+  let ( let* ) = Result.bind in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () =
+    check
+      (String.equal t.sut sut)
+      (Printf.sprintf "journal %s is for SUT %S, not %S" path t.sut sut)
+  in
+  let* () =
+    check
+      (String.equal t.campaign campaign)
+      (Printf.sprintf "journal %s is for campaign %S, not %S" path t.campaign
+         campaign)
+  in
+  let* () =
+    check
+      (Int64.equal t.seed seed)
+      (Printf.sprintf "journal %s was recorded with seed %Ld, not %Ld" path
+         t.seed seed)
+  in
+  let* () =
+    check (t.total = total)
+      (Printf.sprintf "journal %s expects %d runs, campaign has %d" path
+         t.total total)
+  in
+  List.fold_left
+    (fun acc (index, _) ->
+      let* () = acc in
+      check
+        (index < total)
+        (Printf.sprintf "journal %s: index %d out of range" path index))
+    (Ok ()) t.entries
+
 (* Last-wins: a crashed worker's record can be superseded by a retry
    appended later in the same journal, and the retry is the outcome the
    resumed campaign must trust. *)

@@ -80,6 +80,21 @@ val load : string -> (t, string) result
     with a line-numbered message on any other malformation.
     @raise Sys_error on I/O failure. *)
 
+val validate :
+  t ->
+  path:string ->
+  sut:string ->
+  campaign:string ->
+  seed:int64 ->
+  total:int ->
+  (unit, string) result
+(** Checks that a loaded journal belongs to the given campaign —
+    matching SUT, campaign name, seed, size, and every entry index in
+    range.  Mismatched metadata means the journal records a different
+    campaign; refusing loudly beats silently corrupting a resume.  Both
+    the local {!Runner.run} resume path and the cluster coordinator use
+    this before trusting a journal's entries. *)
+
 val completed : t -> (int, Results.outcome) Hashtbl.t
 (** The entries as an index-keyed table, last occurrence winning — a
     re-executed run's record supersedes the failed attempt it retried. *)

@@ -161,6 +161,7 @@ type progress = { completed : int; total : int }
 type event =
   | Started of { total : int; skipped : int; jobs : int }
   | Goldens_done of { testcases : int }
+  | Worker_attached of { worker : int; host : string; pid : int }
   | Run_done of {
       index : int;
       worker : int;
@@ -213,35 +214,18 @@ let goldens_for ~max_ms sut experiments remaining =
 let replay_journal path ~outcomes ~(sut : Sut.t) ~campaign ~seed ~total =
   match Journal.load path with
   | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg)
-  | Ok j ->
-      if not (String.equal j.Journal.sut sut.Sut.name) then
-        invalid_arg
-          (Printf.sprintf "Runner.run: journal %s is for SUT %S, not %S" path
-             j.Journal.sut sut.Sut.name);
-      if not (String.equal j.Journal.campaign campaign.Campaign.name) then
-        invalid_arg
-          (Printf.sprintf "Runner.run: journal %s is for campaign %S, not %S"
-             path j.Journal.campaign campaign.Campaign.name);
-      if not (Int64.equal j.Journal.seed seed) then
-        invalid_arg
-          (Printf.sprintf
-             "Runner.run: journal %s was recorded with seed %Ld, not %Ld" path
-             j.Journal.seed seed);
-      if j.Journal.total <> total then
-        invalid_arg
-          (Printf.sprintf
-             "Runner.run: journal %s expects %d runs, campaign has %d" path
-             j.Journal.total total);
-      let table = Journal.completed j in
-      Hashtbl.iter
-        (fun index outcome ->
-          if index >= total then
-            invalid_arg
-              (Printf.sprintf "Runner.run: journal %s: index %d out of range"
-                 path index);
-          outcomes.(index) <- Some outcome)
-        table;
-      Hashtbl.length table
+  | Ok j -> (
+      match
+        Journal.validate j ~path ~sut:sut.Sut.name
+          ~campaign:campaign.Campaign.name ~seed ~total
+      with
+      | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg)
+      | Ok () ->
+          let table = Journal.completed j in
+          Hashtbl.iter
+            (fun index outcome -> outcomes.(index) <- Some outcome)
+            table;
+          Hashtbl.length table)
 
 let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
 
@@ -283,6 +267,44 @@ let run_one ~seed ?truncate_after_ms ?run_timeout_ms ?(retries = 0) ~keep
     else (outcome, traces, attempt)
   in
   go 0
+
+(* The single-run entry point a cluster worker process drives: the
+   campaign is expanded once, golden runs execute lazily the first time
+   a test case is needed (a worker that is never handed a test case's
+   runs never pays for its golden) and stay memoised for every later
+   run.  Outcome determinism is index-based exactly as in {!run}, so
+   any partition of indices over any number of processes reproduces the
+   serial campaign outcome for outcome. *)
+let executor ?(max_ms = default_max_ms) ?truncate_after_ms ?run_timeout_ms
+    ?(retries = 0) ~seed (sut : Sut.t) campaign =
+  if retries < 0 then invalid_arg "Runner.executor: retries must be >= 0";
+  (match run_timeout_ms with
+  | Some t when t < 1 ->
+      invalid_arg "Runner.executor: run_timeout_ms must be >= 1"
+  | _ -> ());
+  let experiments = Array.of_list (Campaign.experiments campaign) in
+  let total = Array.length experiments in
+  let goldens : (string, Golden.frozen) Hashtbl.t = Hashtbl.create 8 in
+  let golden_for tc =
+    let id = Testcase.id tc in
+    match Hashtbl.find_opt goldens id with
+    | Some frozen -> frozen
+    | None ->
+        Log.debug (fun m -> m "golden run for %s" id);
+        let frozen = Golden.freeze (golden_run ~max_ms sut tc) in
+        Hashtbl.add goldens id frozen;
+        frozen
+  in
+  fun index ->
+    if index < 0 || index >= total then
+      invalid_arg
+        (Printf.sprintf "Runner.executor: index %d outside campaign of %d"
+           index total);
+    let outcome, _traces, retried =
+      run_one ~seed ?truncate_after_ms ?run_timeout_ms ~retries ~keep:false
+        ~golden_for sut experiments index
+    in
+    (outcome, retried)
 
 (* Every remaining experiment, distributed over [jobs] worker domains
    by an atomic cursor.  Workers hand finished outcomes to the
@@ -450,7 +472,7 @@ let run_campaign ?max_ms ?seed ?truncate_after_ms ?on_progress sut campaign =
     Option.map
       (fun f -> function
         | Run_done { completed; total; _ } -> f { completed; total }
-        | Started _ | Goldens_done _ | Finished _ -> ())
+        | Started _ | Goldens_done _ | Worker_attached _ | Finished _ -> ())
       on_progress
   in
   run ?max_ms ?seed ?truncate_after_ms ?on_event sut campaign

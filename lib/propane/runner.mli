@@ -120,7 +120,14 @@ type event =
           journal on resume *)
   | Goldens_done of { testcases : int }
       (** golden runs are in place (only the test cases still needed
-          by remaining experiments are executed) *)
+          by remaining experiments are executed); a cluster
+          coordinator emits it with [testcases = 0] — its workers run
+          their goldens lazily in their own processes *)
+  | Worker_attached of { worker : int; host : string; pid : int }
+      (** a remote worker process joined the campaign (cluster runs
+          only; {!run}'s in-process domains attach silently).  [worker]
+          is the id later seen in [Run_done], [host]/[pid] identify the
+          process for telemetry *)
   | Run_done of {
       index : int;
       worker : int;
@@ -213,6 +220,31 @@ val run :
     a journal fails to load or belongs to a different campaign.
     @raise Failed_run under [fail_fast] as described above.
     @raise Sys_error on journal I/O failure. *)
+
+val executor :
+  ?max_ms:int ->
+  ?truncate_after_ms:int ->
+  ?run_timeout_ms:int ->
+  ?retries:int ->
+  seed:int64 ->
+  Sut.t ->
+  Campaign.t ->
+  int ->
+  Results.outcome * int
+(** The single-run entry point a cluster worker process drives (see
+    {!Cluster}): [executor ~seed sut campaign] prepares the campaign
+    once and returns a function mapping an experiment index of
+    {!Campaign.experiments} to its outcome and the number of retries
+    taken — exactly the outcome {!run} with the same parameters
+    produces at that index, whatever process or machine executes it,
+    because each run's RNG stream is derived from [seed] and the index
+    alone.  Partial application matters: golden runs execute lazily the
+    first time an index needs their test case and stay memoised across
+    calls.
+
+    [retries], [run_timeout_ms] and [truncate_after_ms] behave as in
+    {!run}.  @raise Invalid_argument on a bad parameter or an index
+    outside the campaign. *)
 
 (** {1 Deprecated entry points} *)
 

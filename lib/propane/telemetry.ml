@@ -1,5 +1,6 @@
 type t = {
   now : unit -> float;
+  mutable last_now : float;
   mutable total : int;
   mutable skipped : int;
   mutable jobs : int;
@@ -10,11 +11,13 @@ type t = {
   mutable started : float option;
   mutable finished : float option;
   mutable per_worker : int array;
+  mutable worker_labels : string array;
 }
 
 let create ?(now = Unix.gettimeofday) () =
   {
     now;
+    last_now = neg_infinity;
     total = 0;
     skipped = 0;
     jobs = 0;
@@ -25,7 +28,31 @@ let create ?(now = Unix.gettimeofday) () =
     started = None;
     finished = None;
     per_worker = [||];
+    worker_labels = [||];
   }
+
+(* Wall clocks step backwards under NTP slews and VM migrations; a
+   telemetry clock that does would report negative elapsed times and
+   nonsense rates.  Clamp to monotonically non-decreasing. *)
+let clock t =
+  let v = t.now () in
+  if v > t.last_now then t.last_now <- v;
+  t.last_now
+
+let domain_label i = Printf.sprintf "domain-%d" i
+
+(* Cluster campaigns attach workers as they connect, possibly more than
+   the [jobs] announced at [Started]; grow the rows to fit. *)
+let ensure_worker t worker =
+  let n = Array.length t.per_worker in
+  if worker >= n then begin
+    let grown = Array.make (worker + 1) 0 in
+    Array.blit t.per_worker 0 grown 0 n;
+    t.per_worker <- grown;
+    let labels = Array.init (worker + 1) domain_label in
+    Array.blit t.worker_labels 0 labels 0 n;
+    t.worker_labels <- labels
+  end
 
 let observe t = function
   | Runner.Started { total; skipped; jobs } ->
@@ -37,11 +64,17 @@ let observe t = function
       t.hung <- 0;
       t.retried <- 0;
       t.per_worker <- Array.make jobs 0;
-      t.started <- Some (t.now ());
+      t.worker_labels <- Array.init jobs domain_label;
+      t.started <- Some (clock t);
       t.finished <- None
   | Runner.Goldens_done _ ->
       (* Rate and ETA describe the injection-run phase. *)
-      t.started <- Some (t.now ())
+      t.started <- Some (clock t)
+  | Runner.Worker_attached { worker; host; pid } ->
+      if worker >= 0 then begin
+        ensure_worker t worker;
+        t.worker_labels.(worker) <- Printf.sprintf "%s/%d" host pid
+      end
   | Runner.Run_done { worker; completed; status; retries; _ } ->
       t.completed <- completed;
       (match status with
@@ -51,7 +84,7 @@ let observe t = function
       t.retried <- t.retried + retries;
       if worker >= 0 && worker < Array.length t.per_worker then
         t.per_worker.(worker) <- t.per_worker.(worker) + 1
-  | Runner.Finished _ -> t.finished <- Some (t.now ())
+  | Runner.Finished _ -> t.finished <- Some (clock t)
 
 type snapshot = {
   total : int;
@@ -65,13 +98,16 @@ type snapshot = {
   crashed : int;
   hung : int;
   retried : int;
+  worker_labels : string array;
 }
 
 let snapshot t =
   let elapsed_s =
+    (* [clock] never steps backwards, so this is non-negative; the
+       [max] guards a [now] injected for tests that jumps around. *)
     match (t.started, t.finished) with
-    | Some t0, Some t1 -> t1 -. t0
-    | Some t0, None -> t.now () -. t0
+    | Some t0, Some t1 -> Float.max 0.0 (t1 -. t0)
+    | Some t0, None -> Float.max 0.0 (clock t -. t0)
     | None, _ -> 0.0
   in
   let fresh = t.completed - t.skipped in
@@ -82,7 +118,7 @@ let snapshot t =
   let eta_s =
     if t.completed >= t.total && t.total > 0 then Some 0.0
     else if runs_per_sec > 0.0 then
-      Some (float_of_int (t.total - t.completed) /. runs_per_sec)
+      Some (Float.max 0.0 (float_of_int (t.total - t.completed) /. runs_per_sec))
     else None
   in
   {
@@ -97,13 +133,29 @@ let snapshot t =
     crashed = t.crashed;
     hung = t.hung;
     retried = t.retried;
+    worker_labels = Array.copy t.worker_labels;
   }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 (* New fields go after the original ones: downstream log scrapers match
    on the stable prefix. *)
 let to_json s =
   Printf.sprintf
-    {|{"total":%d,"completed":%d,"skipped":%d,"jobs":%d,"elapsed_s":%.3f,"runs_per_sec":%.1f,"eta_s":%s,"per_worker":[%s],"crashed":%d,"hung":%d,"retried":%d}|}
+    {|{"total":%d,"completed":%d,"skipped":%d,"jobs":%d,"elapsed_s":%.3f,"runs_per_sec":%.1f,"eta_s":%s,"per_worker":[%s],"crashed":%d,"hung":%d,"retried":%d,"workers":[%s]}|}
     s.total s.completed s.skipped s.jobs s.elapsed_s s.runs_per_sec
     (match s.eta_s with
     | None -> "null"
@@ -111,6 +163,11 @@ let to_json s =
     (String.concat ","
        (Array.to_list (Array.map string_of_int s.per_worker)))
     s.crashed s.hung s.retried
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun l -> Printf.sprintf "\"%s\"" (json_escape l))
+             s.worker_labels)))
 
 let pp_live ppf s =
   Fmt.pf ppf "%d/%d runs  %.0f runs/s%a%a" s.completed s.total s.runs_per_sec

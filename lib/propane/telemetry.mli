@@ -7,14 +7,18 @@
     ETA is not skewed by golden-run time, and journalled runs skipped
     on resume never inflate the rate.
 
-    All of it runs in the coordinating domain ({!Runner.run} emits
-    events there), so no synchronisation is needed. *)
+    All of it runs in the coordinating domain ({!Runner.run} and the
+    cluster coordinator emit events there), so no synchronisation is
+    needed. *)
 
 type t
 
 val create : ?now:(unit -> float) -> unit -> t
 (** [now] supplies wall-clock seconds and defaults to
-    [Unix.gettimeofday]; inject a fake clock for tests. *)
+    [Unix.gettimeofday]; inject a fake clock for tests.  The clock is
+    clamped to be monotonically non-decreasing: a wall clock stepped
+    backwards (NTP slew, VM migration) can never produce a negative
+    elapsed time, rate, or ETA. *)
 
 val observe : t -> Runner.event -> unit
 
@@ -36,6 +40,12 @@ type snapshot = {
   retried : int;
       (** total re-executions across all runs (a run retried twice
           adds two) *)
+  worker_labels : string array;
+      (** one label per {!per_worker} row.  In-process domains are
+          labelled [domain-N]; cluster workers announce themselves via
+          {!Runner.Worker_attached} and are labelled [HOST/PID], so a
+          snapshot of a distributed campaign says which process (and
+          machine) did how much of the work *)
 }
 
 val snapshot : t -> snapshot
@@ -45,7 +55,8 @@ val to_json : snapshot -> string
     [{"total":832,"completed":832,"skipped":100,"jobs":4,
       "elapsed_s":1.824,"runs_per_sec":401.3,"eta_s":0.0,
       "per_worker":[183,186,181,182],"crashed":0,"hung":0,
-      "retried":0}].  The original fields keep their order; newer
+      "retried":0,"workers":["domain-0","domain-1","domain-2",
+      "domain-3"]}].  The original fields keep their order; newer
     fields are appended, so prefix-matching scrapers keep working. *)
 
 val pp_live : Format.formatter -> snapshot -> unit

@@ -1,0 +1,74 @@
+Distributed campaigns: a coordinator hands batches of runs to worker
+processes and merges their outcomes.  Whatever the process topology,
+journal and results must be byte-identical to a serial run with the
+same seed.
+
+The serial reference (--cases 2 --times 1 is 832 runs):
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --save serial.results --journal serial.journal > serial.out
+  $ grep -c '^run' serial.journal
+  832
+
+Two local worker processes:
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --workers 2 --save workers.results --journal workers.journal > workers.out
+  $ cmp serial.journal workers.journal
+  $ cmp serial.results workers.results
+
+Workers that keep crashing (each exits after 150 results) change
+nothing: the coordinator reassigns their outstanding runs and respawns
+replacements.  -q silences the respawn warnings, whose count depends
+on timing:
+
+  $ ../../bin/propane_cli.exe campaign -q --cases 2 --times 1 --workers 2 --chaos-worker-kill-after 150 --save chaos.results --journal chaos.journal > chaos.out
+  $ cmp serial.journal chaos.journal
+  $ cmp serial.results chaos.results
+
+The cluster telemetry accounts for every run and labels worker slots
+(host/pid labels vary, so only the stable prefix is checked):
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --workers 2 --telemetry - | grep -o '"total":832,"completed":832,"skipped":0,"jobs":2'
+  "total":832,"completed":832,"skipped":0,"jobs":2
+
+Nonsense is rejected at the command line (exit 124), not deep in the
+engine:
+
+  $ ../../bin/propane_cli.exe campaign --jobs 0
+  propane: option '--jobs': --jobs must be at least 1, got 0
+  Usage: propane campaign [OPTION]…
+  Try 'propane campaign --help' or 'propane --help' for more information.
+  [124]
+  $ ../../bin/propane_cli.exe campaign --retries=-1
+  propane: option '--retries': --retries must be at least 0, got -1
+  Usage: propane campaign [OPTION]…
+  Try 'propane campaign --help' or 'propane --help' for more information.
+  [124]
+  $ ../../bin/propane_cli.exe campaign --workers=-1
+  propane: option '--workers': --workers must be at least 0, got -1
+  Usage: propane campaign [OPTION]…
+  Try 'propane campaign --help' or 'propane --help' for more information.
+  [124]
+  $ ../../bin/propane_cli.exe campaign --listen bogus
+  propane: option '--listen': invalid address "bogus" (expected unix:PATH or
+           tcp:HOST:PORT)
+  Usage: propane campaign [OPTION]…
+  Try 'propane campaign --help' or 'propane --help' for more information.
+  [124]
+
+Modes that cannot combine are refused before any run executes:
+
+  $ ../../bin/propane_cli.exe campaign --keep-traces --workers 1
+  propane campaign: --keep-traces is unavailable with --workers/--listen (traces stay inside the worker processes)
+  [1]
+  $ ../../bin/propane_cli.exe campaign --jobs 2 --workers 1
+  propane campaign: --jobs parallelises in-process domains; it cannot combine with --workers/--listen
+  [1]
+  $ ../../bin/propane_cli.exe campaign --chaos-worker-kill-after 5
+  propane campaign: --chaos-worker-kill-after needs worker processes (--workers)
+  [1]
+
+A worker with nobody to talk to gives up with a clear error:
+
+  $ ../../bin/propane_cli.exe worker --connect unix:./no-such.sock
+  propane worker: cannot connect to unix:./no-such.sock: No such file or directory
+  [1]

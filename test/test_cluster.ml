@@ -1,0 +1,465 @@
+(* Tests for the distributed campaign subsystem (lib/cluster): framing,
+   protocol codec round-trips, addresses, and in-process integration of
+   coordinator + workers over a Unix socket — including the guarantees
+   the docs promise: journals byte-identical to serial runs, dead-worker
+   reassignment, and heartbeat expiry. *)
+
+module Sim = Simkernel
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+(* Any byte can appear in a reason or a signal name on the wire — the
+   binary protocol must not care about newlines, tabs or colons that
+   the line-based journal format forbids. *)
+let gen_nasty_string =
+  QCheck2.Gen.(
+    oneof
+      [
+        pure "a:b\nc\td\r\x00e";
+        string_size ~gen:char (int_range 0 20);
+      ])
+
+let gen_small_nat = QCheck2.Gen.int_range 0 100_000
+
+let gen_error =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun b -> Propane.Error_model.Bit_flip b) (int_range 0 31);
+        map (fun v -> Propane.Error_model.Stuck_at v) (int_range 0 65535);
+        map (fun d -> Propane.Error_model.Offset d) (int_range (-1000) 1000);
+      ])
+
+let gen_status =
+  QCheck2.Gen.(
+    oneof
+      [
+        pure Propane.Results.Completed;
+        map2
+          (fun at_ms reason -> Propane.Results.Crashed { at_ms; reason })
+          gen_small_nat gen_nasty_string;
+        map
+          (fun budget_ms -> Propane.Results.Hung { budget_ms })
+          gen_small_nat;
+      ])
+
+let gen_outcome =
+  QCheck2.Gen.(
+    let* testcase = gen_nasty_string in
+    let* target =
+      map2 (fun c s -> String.make 1 c ^ s) char gen_nasty_string
+    in
+    let* at_ms = gen_small_nat in
+    let* error = gen_error in
+    let* status = gen_status in
+    let* divergences =
+      small_list
+        (map2
+           (fun signal first_ms -> { Propane.Golden.signal; first_ms })
+           gen_nasty_string gen_small_nat)
+    in
+    pure
+      {
+        Propane.Results.testcase;
+        injection =
+          Propane.Injection.make ~target ~at:(Sim.Sim_time.of_ms at_ms)
+            ~error;
+        divergences;
+        status;
+      })
+
+let gen_to_coordinator =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun host pid ->
+            Cluster.Protocol.Hello
+              { version = Cluster.Protocol.version; host; pid })
+          gen_nasty_string gen_small_nat;
+        pure Cluster.Protocol.Request_batch;
+        pure Cluster.Protocol.Heartbeat;
+        map3
+          (fun index retries outcome ->
+            Cluster.Protocol.Result { index; retries; outcome })
+          gen_small_nat (int_range 0 10) gen_outcome;
+      ])
+
+let gen_to_worker =
+  QCheck2.Gen.(
+    oneof
+      [
+        map3
+          (fun sut campaign (seed, total, config) ->
+            Cluster.Protocol.Welcome { sut; campaign; seed; total; config })
+          gen_nasty_string gen_nasty_string
+          (triple
+             (map Int64.of_int int)
+             gen_small_nat gen_nasty_string);
+        map
+          (fun l -> Cluster.Protocol.Batch l)
+          (small_list gen_small_nat);
+        pure Cluster.Protocol.Ping;
+        pure Cluster.Protocol.Done;
+        map (fun r -> Cluster.Protocol.Reject r) gen_nasty_string;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Frame                                                               *)
+
+let drain_frames dec =
+  let rec go acc =
+    match Cluster.Frame.next dec with
+    | Ok (Some p) -> go (p :: acc)
+    | Ok None -> List.rev acc
+    | Error msg -> Alcotest.failf "decoder error: %s" msg
+  in
+  go []
+
+let frame_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300
+         ~name:"frames survive arbitrary chunking"
+         QCheck2.Gen.(
+           pair
+             (small_list (string_size ~gen:char (int_range 0 64)))
+             (small_list (int_range 1 7)))
+         (fun (payloads, chunks) ->
+           let stream =
+             String.concat "" (List.map Cluster.Frame.encode payloads)
+           in
+           let dec = Cluster.Frame.decoder () in
+           let out = ref [] in
+           let pos = ref 0 in
+           let sizes = if chunks = [] then [ 1 ] else chunks in
+           let i = ref 0 in
+           while !pos < String.length stream do
+             let n =
+               min
+                 (List.nth sizes (!i mod List.length sizes))
+                 (String.length stream - !pos)
+             in
+             i := !i + 1;
+             Cluster.Frame.feed dec (String.sub stream !pos n);
+             pos := !pos + n;
+             out := !out @ drain_frames dec
+           done;
+           !out = payloads && Cluster.Frame.buffered dec = 0));
+    Alcotest.test_case "oversized length prefix poisons the decoder"
+      `Quick (fun () ->
+        let b = Bytes.create 4 in
+        Bytes.set_int32_be b 0 0x7FFFFFFFl;
+        let dec = Cluster.Frame.decoder () in
+        Cluster.Frame.feed dec (Bytes.to_string b);
+        (match Cluster.Frame.next dec with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "absurd frame length accepted");
+        Cluster.Frame.feed dec (Cluster.Frame.encode "x");
+        match Cluster.Frame.next dec with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "poisoned decoder recovered");
+    Alcotest.test_case "empty payload round-trips" `Quick (fun () ->
+        let dec = Cluster.Frame.decoder () in
+        Cluster.Frame.feed dec (Cluster.Frame.encode "");
+        Alcotest.(check (list string)) "one empty frame" [ "" ]
+          (drain_frames dec));
+    Alcotest.test_case "mid-frame silence is not an error" `Quick (fun () ->
+        let dec = Cluster.Frame.decoder () in
+        let frame = Cluster.Frame.encode "hello" in
+        Cluster.Frame.feed dec (String.sub frame 0 6);
+        (match Cluster.Frame.next dec with
+        | Ok None -> ()
+        | Ok (Some _) -> Alcotest.fail "incomplete frame returned"
+        | Error msg -> Alcotest.failf "decoder error: %s" msg);
+        Alcotest.(check int) "buffered" 6 (Cluster.Frame.buffered dec));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+
+let protocol_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500
+         ~name:"to_coordinator messages round-trip" gen_to_coordinator
+         (fun msg ->
+           Cluster.Protocol.decode_to_coordinator
+             (Cluster.Protocol.encode_to_coordinator msg)
+           = Ok msg));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500 ~name:"to_worker messages round-trip"
+         gen_to_worker (fun msg ->
+           Cluster.Protocol.decode_to_worker
+             (Cluster.Protocol.encode_to_worker msg)
+           = Ok msg));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:1000 ~name:"decoding garbage never raises"
+         QCheck2.Gen.(string_size ~gen:char (int_range 0 64))
+         (fun s ->
+           (match Cluster.Protocol.decode_to_coordinator s with
+           | Ok _ | Error _ -> true)
+           &&
+           match Cluster.Protocol.decode_to_worker s with
+           | Ok _ | Error _ -> true));
+    Alcotest.test_case "trailing bytes are rejected" `Quick (fun () ->
+        let s =
+          Cluster.Protocol.encode_to_coordinator Cluster.Protocol.Heartbeat
+          ^ "junk"
+        in
+        match Cluster.Protocol.decode_to_coordinator s with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "trailing bytes accepted");
+    Alcotest.test_case "truncated message is an error, not an exception"
+      `Quick (fun () ->
+        let s =
+          Cluster.Protocol.encode_to_worker
+            (Cluster.Protocol.Reject "some reason")
+        in
+        for n = 0 to String.length s - 1 do
+          match Cluster.Protocol.decode_to_worker (String.sub s 0 n) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "truncation at %d accepted" n
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Address                                                             *)
+
+let address_tests =
+  let roundtrip s =
+    match Cluster.Address.of_string s with
+    | Ok a -> Cluster.Address.to_string a
+    | Error msg -> Alcotest.failf "%s did not parse: %s" s msg
+  in
+  [
+    Alcotest.test_case "unix and tcp addresses parse" `Quick (fun () ->
+        Alcotest.(check string)
+          "unix" "unix:/tmp/x.sock"
+          (roundtrip "unix:/tmp/x.sock");
+        Alcotest.(check string)
+          "tcp" "tcp:10.0.0.1:9000"
+          (roundtrip "tcp:10.0.0.1:9000");
+        Alcotest.(check string)
+          "tcp default host" "tcp:127.0.0.1:80" (roundtrip "tcp::80"));
+    Alcotest.test_case "malformed addresses are rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Cluster.Address.of_string s with
+            | Error _ -> ()
+            | Ok a ->
+                Alcotest.failf "%S parsed as %s" s
+                  (Cluster.Address.to_string a))
+          [ "bogus"; "unix:"; "tcp:host"; "tcp:host:0"; "tcp:host:notaport";
+            "tcp:host:70000"; "" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Integration: coordinator + in-process workers over a Unix socket    *)
+
+(* Same synthetic SUT as the runner tests: y = x >> 4 on a 100 ms ramp,
+   80 experiments (1 test case x 5 instants x 16 bit-flips). *)
+let scaler_sut () =
+  let instantiate _tc =
+    let store =
+      Propane.Signal_store.create ~signals:[ ("x", 16); ("y", 16) ] ()
+    in
+    let t = ref 0 in
+    {
+      Propane.Sut.read = Propane.Signal_store.peek store;
+      write = Propane.Signal_store.poke store;
+      inject = Propane.Signal_store.inject store;
+      step =
+        (fun () ->
+          incr t;
+          Propane.Signal_store.write store "x" (!t * 16);
+          Propane.Signal_store.write store "y"
+            (Propane.Signal_store.read store "x" lsr 4));
+      finished = (fun () -> !t >= 100);
+      snapshot = None;
+    }
+  in
+  {
+    Propane.Sut.name = "scaler";
+    signals = [ ("x", 16); ("y", 16) ];
+    instantiate;
+  }
+
+let scaler_campaign =
+  Propane.Campaign.make ~name:"scaler" ~targets:[ "x" ]
+    ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+    ~times:(List.map Sim.Sim_time.of_ms [ 10; 20; 30; 40; 50 ])
+    ~errors:(Propane.Error_model.bit_flips ~width:16)
+
+let seed = 20010701L
+
+let tmp_path suffix =
+  let path = Filename.temp_file "propane-cluster" suffix in
+  Unix.unlink path;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let serial_reference ~journal =
+  Propane.Runner.run ~seed ~jobs:1 ~journal (scaler_sut ()) scaler_campaign
+
+(* Workers run in their own domains; [Coordinator.serve] blocks the
+   test's domain.  [worker_hooks] gives each spawned worker its own
+   [on_result] so one can be told to die while the others drain the
+   campaign. *)
+let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
+    ?(worker_hooks = [ None; None ]) ?(extra_clients = fun _ -> []) () =
+  let addr = Cluster.Address.Unix_sock (tmp_path ".sock") in
+  let listen = Cluster.Address.listen addr in
+  let make (w : Cluster.Protocol.welcome) =
+    if Propane.Campaign.size scaler_campaign <> w.total then
+      Error "campaign size mismatch"
+    else
+      Ok
+        (Propane.Runner.executor ~seed:w.Cluster.Protocol.seed (scaler_sut ())
+           scaler_campaign)
+  in
+  let workers =
+    List.map
+      (fun on_result ->
+        Domain.spawn (fun () ->
+            match Cluster.Worker.run ?on_result ~connect:addr ~make () with
+            | r -> r
+            | exception _ -> Error "worker died"))
+      worker_hooks
+  in
+  let clients = extra_clients addr in
+  let results =
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close listen with Unix.Unix_error _ -> ());
+        Cluster.Address.unlink addr)
+      (fun () ->
+        Cluster.Coordinator.serve ~heartbeat_timeout_s ?journal ~resume
+          ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler" ~seed
+          ~total:(Propane.Campaign.size scaler_campaign)
+          ())
+  in
+  List.iter (fun d -> ignore (Domain.join d)) workers;
+  List.iter (fun d -> ignore (Domain.join d)) clients;
+  results
+
+let check_results_match what serial cluster =
+  Alcotest.(check int)
+    (what ^ ": count")
+    (Propane.Results.count serial)
+    (Propane.Results.count cluster);
+  Alcotest.(check bool)
+    (what ^ ": outcomes identical")
+    true
+    (Propane.Results.outcomes serial = Propane.Results.outcomes cluster)
+
+let integration_tests =
+  [
+    Alcotest.test_case "2-worker journal is byte-identical to serial"
+      `Slow (fun () ->
+        let serial_path = tmp_path ".journal" in
+        let cluster_path = tmp_path ".journal" in
+        let serial = serial_reference ~journal:serial_path in
+        let cluster = cluster_run ~journal:cluster_path () in
+        check_results_match "results" serial cluster;
+        Alcotest.(check string)
+          "journal bytes" (read_file serial_path) (read_file cluster_path);
+        Sys.remove serial_path;
+        Sys.remove cluster_path);
+    Alcotest.test_case "dead worker's runs are reassigned" `Slow (fun () ->
+        let serial_path = tmp_path ".journal" in
+        let cluster_path = tmp_path ".journal" in
+        let serial = serial_reference ~journal:serial_path in
+        (* First worker abandons the connection after 3 results, exactly
+           like a crashed process; the second drains the campaign. *)
+        let die_after n = Some (fun ~completed -> if completed >= n then raise Exit) in
+        let cluster =
+          cluster_run ~journal:cluster_path
+            ~worker_hooks:[ die_after 3; None ]
+            ()
+        in
+        check_results_match "results" serial cluster;
+        Alcotest.(check string)
+          "journal bytes" (read_file serial_path) (read_file cluster_path);
+        Sys.remove serial_path;
+        Sys.remove cluster_path);
+    Alcotest.test_case "silent worker hits its heartbeat deadline" `Slow
+      (fun () ->
+        let serial = serial_reference ~journal:(tmp_path ".journal") in
+        (* A hand-rolled client that takes a batch and then goes quiet:
+           the coordinator must reclaim its runs and finish via the real
+           worker instead of waiting forever. *)
+        let stalling addr =
+          [
+            Domain.spawn (fun () ->
+                match Cluster.Address.connect addr with
+                | Error _ -> Error "connect failed"
+                | Ok fd ->
+                    let reader = Cluster.Frame.reader fd in
+                    let send m =
+                      Cluster.Frame.write fd
+                        (Cluster.Protocol.encode_to_coordinator m)
+                    in
+                    send
+                      (Cluster.Protocol.Hello
+                         {
+                           version = Cluster.Protocol.version;
+                           host = "stall";
+                           pid = 1;
+                         });
+                    ignore (Cluster.Frame.read reader);
+                    send Cluster.Protocol.Request_batch;
+                    ignore (Cluster.Frame.read reader);
+                    Unix.sleepf 2.0;
+                    (try Unix.close fd with Unix.Unix_error _ -> ());
+                    Ok 0);
+          ]
+        in
+        let cluster =
+          cluster_run ~heartbeat_timeout_s:0.3 ~worker_hooks:[ None ]
+            ~extra_clients:stalling ()
+        in
+        check_results_match "results" serial cluster);
+    Alcotest.test_case "cluster resume skips journalled runs" `Slow
+      (fun () ->
+        let serial_path = tmp_path ".journal" in
+        let cluster_path = tmp_path ".journal" in
+        let serial = serial_reference ~journal:serial_path in
+        (* Seed the cluster journal with a truncated copy of the serial
+           one (header + first 10 records), as an interrupted campaign
+           would leave behind. *)
+        let full = read_file serial_path in
+        let lines = String.split_on_char '\n' full in
+        let keep = 15 (* 5 header lines + 10 records *) in
+        let truncated =
+          String.concat "\n"
+            (List.filteri (fun i _ -> i < keep) lines)
+          ^ "\n"
+        in
+        let oc = open_out_bin cluster_path in
+        output_string oc truncated;
+        close_out oc;
+        let cluster = cluster_run ~journal:cluster_path ~resume:true () in
+        check_results_match "results" serial cluster;
+        Alcotest.(check string)
+          "journal bytes" (read_file serial_path) (read_file cluster_path);
+        Sys.remove serial_path;
+        Sys.remove cluster_path);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ("frame", frame_tests);
+      ("protocol", protocol_tests);
+      ("address", address_tests);
+      ("integration", integration_tests);
+    ]

@@ -871,6 +871,8 @@ let runner_tests =
               | Propane.Runner.Goldens_done { testcases } ->
                   incr goldens;
                   Alcotest.(check int) "goldens" 1 testcases
+              | Propane.Runner.Worker_attached _ ->
+                  Alcotest.fail "local runs attach no remote workers"
               | Propane.Runner.Run_done { completed; total; worker; _ } ->
                   incr runs;
                   Alcotest.(check int) "completed" !runs completed;
@@ -2070,6 +2072,77 @@ let telemetry_tests =
             {|"hung":0|};
             {|"retried":1|};
           ]);
+    Alcotest.test_case "a clock stepping backwards cannot corrupt telemetry"
+      `Quick (fun () ->
+        let clock = ref 10.0 in
+        let t =
+          feed clock
+            [
+              (10.0, Propane.Runner.Started { total = 4; skipped = 0; jobs = 1 });
+              (11.0, Propane.Runner.Goldens_done { testcases = 1 });
+              (* NTP slew: the wall clock jumps back mid-campaign. *)
+              ( 2.0,
+                Propane.Runner.Run_done
+                  {
+                    index = 0;
+                    worker = 0;
+                    completed = 1;
+                    total = 4;
+                    status = Propane.Results.Completed;
+                    retries = 0;
+                  } );
+            ]
+        in
+        clock := 3.0;
+        let s = Propane.Telemetry.snapshot t in
+        Alcotest.(check bool)
+          "elapsed non-negative" true
+          (s.Propane.Telemetry.elapsed_s >= 0.0);
+        (match s.Propane.Telemetry.eta_s with
+        | Some eta ->
+            Alcotest.(check bool) "eta non-negative" true (eta >= 0.0)
+        | None -> ());
+        (* Clock recovers: elapsed resumes from the clamped value. *)
+        clock := 12.5;
+        let s = Propane.Telemetry.snapshot t in
+        Alcotest.(check (float 1e-9))
+          "elapsed after recovery" 1.5 s.Propane.Telemetry.elapsed_s);
+    Alcotest.test_case "workers are labelled by host and pid" `Quick
+      (fun () ->
+        let clock = ref 0.0 in
+        let t =
+          feed clock
+            [
+              (0.0, Propane.Runner.Started { total = 4; skipped = 0; jobs = 1 });
+              (0.0, Propane.Runner.Goldens_done { testcases = 0 });
+              ( 0.0,
+                Propane.Runner.Worker_attached
+                  { worker = 1; host = "node\"7"; pid = 4242 } );
+              ( 1.0,
+                Propane.Runner.Run_done
+                  {
+                    index = 0;
+                    worker = 1;
+                    completed = 1;
+                    total = 4;
+                    status = Propane.Results.Completed;
+                    retries = 0;
+                  } );
+            ]
+        in
+        let s = Propane.Telemetry.snapshot t in
+        Alcotest.(check (array string))
+          "labels: local default, then attached host/pid"
+          [| "domain-0"; "node\"7/4242" |]
+          s.Propane.Telemetry.worker_labels;
+        Alcotest.(check (array int))
+          "per-worker grew with the attachment" [| 0; 1 |]
+          s.Propane.Telemetry.per_worker;
+        let json = Propane.Telemetry.to_json s in
+        Alcotest.(check bool)
+          "labels in json, escaped" true
+          (contains_substring json
+             {|"workers":["domain-0","node\"7/4242"]|}));
   ]
 
 (* ------------------------------------------------------------------ *)
