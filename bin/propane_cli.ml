@@ -20,18 +20,38 @@ let log_term =
 
 (* ------------------------------------------------------------------ *)
 
-let print_analysis_tables ?reference analysis =
-  Report.Table.print (Report.Experiments.table1 ?reference analysis);
+(* Inconsistent or mis-dimensioned matrices are a usage problem, not a
+   crash: report them like cmdliner reports a bad flag (clean one-line
+   message, exit 124) instead of letting Analysis.run_exn escape as an
+   Invalid_argument backtrace. *)
+let analysis_or_die model matrices =
+  match Propagation.Analysis.run model matrices with
+  | Ok analysis -> analysis
+  | Error msg ->
+      prerr_endline ("propane: inconsistent permeability matrices: " ^ msg);
+      exit 124
+
+let print_analysis_tables ?reference ?(ci = false) analysis =
+  Report.Table.print (Report.Experiments.table1 ?reference ~ci analysis);
   print_newline ();
-  Report.Table.print (Report.Experiments.table2 analysis);
+  Report.Table.print (Report.Experiments.table2 ~ci analysis);
   print_newline ();
-  Report.Table.print (Report.Experiments.table3 analysis);
+  Report.Table.print (Report.Experiments.table3 ~ci analysis);
   print_newline ();
   List.iter
     (fun (output, _) ->
-      Report.Table.print (Report.Experiments.table4 analysis output);
+      Report.Table.print (Report.Experiments.table4 ~ci analysis output);
       print_newline ())
     analysis.Propagation.Analysis.output_paths
+
+let ci_arg =
+  let doc =
+    "Add uncertainty columns to every table: per-pair n_err/n_inj counts and \
+     95% confidence intervals (Table 1), interval bounds and rank \
+     resolvedness (Tables 2-4).  Postulated values show zero-width \
+     intervals."
+  in
+  Arg.(value & flag & info [ "ci" ] ~doc)
 
 let dump_figures dir analysis =
   let write name contents =
@@ -62,20 +82,21 @@ let dot_dir =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
 
 let analyze_cmd =
-  let run () dot =
+  let run () dot ci =
     let analysis =
-      Propagation.Analysis.run_exn Arrestment.Model.system
+      analysis_or_die Arrestment.Model.system
         (Arrestment.Model.paper_matrices ())
     in
-    print_analysis_tables analysis;
+    print_analysis_tables ~ci analysis;
     Option.iter (fun dir -> dump_figures dir analysis) dot
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Propagation analysis of the arrestment system from the paper's \
-          permeability values (Tables 1-4).")
-    Term.(const run $ log_term $ dot_dir)
+          permeability values (Tables 1-4).  $(b,--ci) adds confidence \
+          intervals and rank resolvedness to every table.")
+    Term.(const run $ log_term $ dot_dir $ ci_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -236,6 +257,46 @@ let chaos_hang_arg =
   Arg.(
     value & opt (some int) None & info [ "chaos-hang-after" ] ~docv:"MS" ~doc)
 
+let stop_when_conv =
+  let parse s =
+    let usage =
+      Printf.sprintf
+        "--stop-when must be rankings-stable:N (N >= 1) or ci-width:W (0 < W \
+         <= 1), got %S"
+        s
+    in
+    match String.index_opt s ':' with
+    | None -> Error (`Msg usage)
+    | Some i -> (
+        let kind = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        match kind with
+        | "rankings-stable" -> (
+            match int_of_string_opt v with
+            | Some n when n >= 1 -> Ok (`Rankings_stable n)
+            | Some _ | None -> Error (`Msg usage))
+        | "ci-width" -> (
+            match float_of_string_opt v with
+            | Some w when w > 0.0 && w <= 1.0 -> Ok (`Ci_width w)
+            | Some _ | None -> Error (`Msg usage))
+        | _ -> Error (`Msg usage))
+  in
+  Arg.conv ~docv:"RULE" (parse, Propane.Live.pp_rule)
+
+let stop_when_arg =
+  let doc =
+    "Stop the campaign early once the live analysis satisfies $(docv): \
+     $(b,rankings-stable:N) after the module ranking has not changed for N \
+     consecutive runs, $(b,ci-width:W) once every 95% interval over the \
+     campaign's target pairs is at most W wide.  Runs never executed are \
+     absent from results and journal, so an early-stopped campaign remains \
+     resumable."
+  in
+  Arg.(
+    value
+    & opt (some stop_when_conv) None
+    & info [ "stop-when" ] ~docv:"RULE" ~doc)
+
 let telemetry_arg =
   let doc =
     "Write a machine-readable JSON campaign summary (throughput, ETA, \
@@ -365,7 +426,7 @@ let write_telemetry path telemetry =
    the coordinator schedule everything.  The listener is bound before
    any worker starts, so workers never race it. *)
 let run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
-    ~journal ~resume ~workers ~listen ~chaos_kill () =
+    ~journal ~resume ~workers ~listen ~chaos_kill ~live ~stop_when () =
   let addr =
     match listen with
     | Some a -> a
@@ -404,14 +465,15 @@ let run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
     (fun () ->
       Cluster.Coordinator.serve ~fail_fast ~on_event
         ~on_tick:(fun () -> Option.iter Cluster.Local.tend pool)
-        ?journal ~resume
+        ?journal ~resume ?live ?stop_when
         ~config:(Recipe.encode recipe)
         ~jobs:(max workers 1) ~listen:fd ~sut:sut.Propane.Sut.name
         ~campaign:campaign.Propane.Campaign.name ~seed ~total ())
 
 let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
     ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
-    ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill () =
+    ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill
+    ~stop_when () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
     exit 1
@@ -450,6 +512,18 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
   let campaign = Recipe.campaign_of recipe in
   Format.printf "%a@." Propane.Campaign.pp campaign;
   let sut = Recipe.sut_of recipe in
+  (* The live analysis mirrors the post-campaign estimation exactly
+     (same attribution window, same failure accounting), so the stop
+     rule judges the same numbers the final tables print. *)
+  let live =
+    Option.map
+      (fun _ ->
+        Propane.Live.create
+          ~attribution:(Propane.Estimator.Direct { window_ms = window })
+          ~model:Arrestment.Model.system
+          ~targets:campaign.Propane.Campaign.targets ())
+      stop_when
+  in
   let tele = Propane.Telemetry.create () in
   let on_event ev =
     Propane.Telemetry.observe tele ev;
@@ -469,11 +543,11 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
     try
       if cluster then
         run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
-          ~journal ~resume ~workers ~listen ~chaos_kill ()
+          ~journal ~resume ~workers ~listen ~chaos_kill ~live ~stop_when ()
       else
         Propane.Runner.run ~seed ~truncate_after_ms:(window * 2)
           ?run_timeout_ms ~retries ~fail_fast ~jobs ?journal ~resume ~on_event
-          ~keep_traces sut campaign
+          ~keep_traces ?live ?stop_when sut campaign
     with Propane.Runner.Failed_run { index; outcome } ->
       Option.iter (fun path -> write_telemetry path tele) telemetry;
       Format.eprintf "propane campaign: run %d %a; aborting (--fail-fast)@."
@@ -485,14 +559,36 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
     Printf.printf "failed runs: %d crashed, %d hung\n"
       (Propane.Results.crashed_count results)
       (Propane.Results.hung_count results);
-  let attribution = Propane.Estimator.Direct { window_ms = window } in
-  match
-    Propane.Estimator.estimate_all ~attribution ~model:Arrestment.Model.system
-      results
-  with
-  | Error msg -> failwith msg
-  | Ok matrices ->
-      (results, Propagation.Analysis.run_exn Arrestment.Model.system matrices)
+  (match stop_when with
+  | Some rule when Propane.Results.count results < Propane.Campaign.size campaign
+    ->
+      Format.printf "stopped early: %d of %d runs (--stop-when %a)@."
+        (Propane.Results.count results)
+        (Propane.Campaign.size campaign)
+        Propane.Live.pp_rule rule
+  | _ -> ());
+  match live with
+  | Some l -> (
+      (* The live analysis has already folded in every outcome — and,
+         unlike batch estimation, it tolerates a partial campaign that
+         never reached some targets (their cells simply keep zero-trial
+         intervals). *)
+      match Propane.Live.snapshot l with
+      | Ok analysis -> (results, analysis)
+      | Error msg ->
+          prerr_endline
+            ("propane: inconsistent permeability matrices: " ^ msg);
+          exit 124)
+  | None -> (
+      let attribution = Propane.Estimator.Direct { window_ms = window } in
+      match
+        Propane.Estimator.estimate_all ~attribution
+          ~model:Arrestment.Model.system results
+      with
+      | Error msg ->
+          prerr_endline ("propane campaign: " ^ msg);
+          exit 124
+      | Ok matrices -> (results, analysis_or_die Arrestment.Model.system matrices))
 
 let save_arg =
   let doc = "Save the raw campaign results to $(docv) (see Propane.Storage)." in
@@ -501,11 +597,12 @@ let save_arg =
 let campaign_cmd =
   let run () cases times full seed window progress jobs journal resume
       telemetry keep_traces run_timeout_ms retries fail_fast chaos_crash
-      chaos_hang workers listen chaos_kill save =
+      chaos_hang workers listen chaos_kill stop_when ci save =
     let results, analysis =
       run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
         ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
-        ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill ()
+        ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill
+        ~stop_when ()
     in
     Option.iter
       (fun path ->
@@ -515,7 +612,7 @@ let campaign_cmd =
             prerr_endline msg;
             exit 1)
       save;
-    print_analysis_tables ~reference:(Arrestment.Model.paper_matrices ())
+    print_analysis_tables ~reference:(Arrestment.Model.paper_matrices ()) ~ci
       analysis
   in
   Cmd.v
@@ -533,13 +630,16 @@ let campaign_cmd =
           unless $(b,--fail-fast) restores abort semantics.  \
           $(b,--workers) distributes the campaign over local worker \
           processes, and $(b,--listen) additionally accepts $(b,propane \
-          worker) connections from other machines.")
+          worker) connections from other machines.  $(b,--stop-when) \
+          attaches a live analysis and stops the campaign as soon as its \
+          rankings are stable or precise enough; $(b,--ci) prints the \
+          resulting uncertainty columns.")
     Term.(
       const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
       $ window_arg $ progress_arg $ jobs_arg $ journal_arg $ resume_arg
       $ telemetry_arg $ keep_traces_arg $ run_timeout_arg $ retries_arg
       $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg $ workers_arg
-      $ listen_arg $ chaos_kill_arg $ save_arg)
+      $ listen_arg $ chaos_kill_arg $ stop_when_arg $ ci_arg $ save_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -631,7 +731,7 @@ let with_loaded_results load f =
   | Ok results -> f results
 
 let estimate_cmd =
-  let run () load window =
+  let run () load window ci =
     with_loaded_results load (fun results ->
         let attribution = Propane.Estimator.Direct { window_ms = window } in
         match
@@ -642,17 +742,15 @@ let estimate_cmd =
             prerr_endline msg;
             exit 1
         | Ok matrices ->
-            let analysis =
-              Propagation.Analysis.run_exn Arrestment.Model.system matrices
-            in
+            let analysis = analysis_or_die Arrestment.Model.system matrices in
             print_analysis_tables
               ~reference:(Arrestment.Model.paper_matrices ())
-              analysis)
+              ~ci analysis)
   in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Re-analyse previously saved campaign results (Tables 1-4).")
-    Term.(const run $ log_term $ load_arg $ window_arg)
+    Term.(const run $ log_term $ load_arg $ window_arg $ ci_arg)
 
 let latency_cmd =
   let run () load window =
@@ -684,12 +782,13 @@ let uniformity_cmd =
 (* ------------------------------------------------------------------ *)
 
 let example_cmd =
-  let run () dot =
+  let run () dot ci =
     let analysis = Propagation.Fig_example.analysis () in
-    print_analysis_tables analysis;
+    print_analysis_tables ~ci analysis;
     List.iter
       (fun (input, _) ->
-        Report.Table.print (Report.Experiments.input_paths_table analysis input);
+        Report.Table.print
+          (Report.Experiments.input_paths_table ~ci analysis input);
         print_newline ())
       analysis.Propagation.Analysis.input_paths;
     Option.iter (fun dir -> dump_figures dir analysis) dot
@@ -697,7 +796,7 @@ let example_cmd =
   Cmd.v
     (Cmd.info "example"
        ~doc:"Analyse the five-module example system of the paper's Figs. 2-5.")
-    Term.(const run $ log_term $ dot_dir)
+    Term.(const run $ log_term $ dot_dir $ ci_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -759,7 +858,7 @@ let placement_cmd =
   in
   let run () budget =
     let analysis =
-      Propagation.Analysis.run_exn Arrestment.Model.system
+      analysis_or_die Arrestment.Model.system
         (Arrestment.Model.paper_matrices ())
     in
     let plan =

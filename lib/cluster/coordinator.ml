@@ -32,7 +32,7 @@ let replay path ~outcomes ~sut ~campaign ~seed ~total =
 
 let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
     ?on_event ?on_tick ?journal ?(resume = false) ?(config = "") ?(jobs = 0)
-    ~listen ~sut ~campaign ~seed ~total () =
+    ?live ?stop_when ~listen ~sut ~campaign ~seed ~total () =
   if batch_max < 1 then
     invalid_arg "Coordinator.serve: batch_max must be >= 1";
   if heartbeat_timeout_s <= 0.0 then
@@ -40,6 +40,8 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
   if total < 0 then invalid_arg "Coordinator.serve: negative total";
   if resume && journal = None then
     invalid_arg "Coordinator.serve: resume requires a journal";
+  if stop_when <> None && live = None then
+    invalid_arg "Coordinator.serve: stop_when requires a live analysis";
   (* A write can race the peer's death; it must fail with EPIPE (and
      kill that connection), not deliver a fatal SIGPIPE. *)
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
@@ -100,6 +102,31 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
       m "campaign %s on %s: %d runs (%d journalled), serving workers"
         campaign sut total skipped);
   emit (Propane.Runner.Started { total; skipped; jobs });
+  (* Replayed outcomes prime the live analysis in index order, as in
+     Runner.run, so a resumed adaptive campaign starts from the same
+     evidence an uninterrupted one has at this point. *)
+  (match live with
+  | Some l when skipped > 0 ->
+      Array.iter
+        (function
+          | Some o -> ignore (Propane.Live.observe l o)
+          | None -> ())
+        outcomes;
+      emit (Propane.Runner.Analysis_tick (Propane.Live.digest l))
+  | _ -> ());
+  let stopping = ref false in
+  let check_stop () =
+    match (live, stop_when) with
+    | Some l, Some rule ->
+        if (not !stopping) && Propane.Live.satisfied l rule then begin
+          Log.info (fun m ->
+              m "stop rule %a satisfied after %d runs; draining workers"
+                Propane.Live.pp_rule rule !completed);
+          stopping := true
+        end
+    | _ -> ()
+  in
+  check_stop ();
   emit (Propane.Runner.Goldens_done { testcases = 0 });
   flush_journal ();
   let send c msg = Frame.write c.fd (Protocol.encode_to_worker msg) in
@@ -135,16 +162,20 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
     batch
   in
   let give_work c =
-    match take (batch_size ()) with
-    | [] -> c.wants_work <- true
-    | batch ->
-        c.wants_work <- false;
-        c.outstanding <- batch;
-        c.deadline <- Unix.gettimeofday () +. heartbeat_timeout_s;
-        send c (Protocol.Batch batch)
+    (* A draining coordinator hands out nothing more; the worker stays
+       parked in Request_batch until Done. *)
+    if !stopping then c.wants_work <- true
+    else
+      match take (batch_size ()) with
+      | [] -> c.wants_work <- true
+      | batch ->
+          c.wants_work <- false;
+          c.outstanding <- batch;
+          c.deadline <- Unix.gettimeofday () +. heartbeat_timeout_s;
+          send c (Protocol.Batch batch)
   in
   let distribute () =
-    if !queue_len > 0 then
+    if !queue_len > 0 && not !stopping then
       Hashtbl.iter
         (fun _ c ->
           if c.ready && c.wants_work && !queue_len > 0 then
@@ -201,6 +232,12 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
                      status = outcome.Propane.Results.status;
                      retries;
                    });
+              (match live with
+              | Some l ->
+                  emit
+                    (Propane.Runner.Analysis_tick (Propane.Live.observe l outcome));
+                  check_stop ()
+              | None -> ());
               if
                 fail_fast
                 && Propane.Results.is_failed outcome.Propane.Results.status
@@ -308,7 +345,14 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
       close_all ();
       Option.iter Propane.Journal.close writer)
     (fun () ->
-      while !completed < total && !failed = None do
+      let outstanding_total () =
+        Hashtbl.fold (fun _ c n -> n + List.length c.outstanding) conns 0
+      in
+      while
+        !failed = None
+        && (if !stopping then outstanding_total () > 0
+            else !completed < total)
+      do
         let fds =
           listen :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) conns []
         in
@@ -346,11 +390,30 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
               m "run %d failed and fail_fast is set; aborting" index);
           raise (Propane.Runner.Failed_run { index; outcome })
       | None -> ());
+      (* The in-order journal cursor stalls at the first never-run
+         index of an adaptively stopped campaign; append the completed
+         outcomes beyond it out of order (journals tolerate that, see
+         the fail-fast path above) so nothing finished is lost. *)
+      if !stopping then
+        Array.iteri
+          (fun index o ->
+            match o with
+            | Some outcome
+              when index >= !next_to_write && not from_journal.(index) ->
+                Option.iter
+                  (fun w ->
+                    or_invalid (Propane.Journal.append w ~index outcome))
+                  writer;
+                from_journal.(index) <- true
+            | _ -> ())
+          outcomes;
       emit (Propane.Runner.Finished { completed = !completed; total });
       let results = Propane.Results.create ~sut ~campaign in
       Array.iter
         (function
           | Some outcome -> Propane.Results.add results outcome
-          | None -> assert false)
+          | None ->
+              (* Only an adaptive stop may leave runs unexecuted. *)
+              assert (stop_when <> None))
         outcomes;
       results)

@@ -42,6 +42,8 @@ val serve :
   ?resume:bool ->
   ?config:string ->
   ?jobs:int ->
+  ?live:Propane.Live.t ->
+  ?stop_when:Propane.Live.rule ->
   listen:Unix.file_descr ->
   sut:string ->
   campaign:string ->
@@ -71,6 +73,14 @@ val serve :
     [on_tick] runs on every scheduler iteration (at least every 250 ms)
     — the hook a local worker pool uses to reap and respawn dead
     processes (see {!Local.tend}); raising from it aborts the campaign.
+
+    [live] / [stop_when] attach live analysis and adaptive stopping as
+    in {!Propane.Runner.run}: results feed the analysis as they arrive
+    (arrival order, not index order — every order is valid evidence
+    and per-run outcomes stay index-deterministic), and once the rule
+    is satisfied no further batch is handed out; outstanding batches
+    drain, their results are journalled (out of order past the first
+    never-run index), and the campaign returns early.
 
     [SIGPIPE] is set to ignored for the process: a write racing a
     worker's death must fail with [EPIPE] (killing that connection

@@ -6,7 +6,12 @@ and kind =
   | Expanded of { producer : string; output : int }
   | Leaf of leaf
 
-and child = { weight : float; pair : Perm_graph.pair; node : node }
+and child = {
+  weight : float;
+  estimate : Estimate.t;
+  pair : Perm_graph.pair;
+  node : node;
+}
 
 type t = { root : node }
 
@@ -26,7 +31,8 @@ let build graph output =
         let matrix = Perm_graph.matrix graph producer in
         let child i =
           let child_signal = Sw_module.input_signal m i in
-          let weight = Perm_matrix.get matrix ~input:i ~output:k in
+          let estimate = Perm_matrix.estimate matrix ~input:i ~output:k in
+          let weight = Estimate.value estimate in
           let pair =
             { Perm_graph.module_name = producer; input = i; output = k }
           in
@@ -37,7 +43,7 @@ let build graph output =
               { signal = child_signal; kind = Leaf Feedback; children = [] }
             else expand child_signal (Signal.Set.add child_signal ancestors)
           in
-          { weight; pair; node }
+          { weight; estimate; pair; node }
         in
         {
           signal;

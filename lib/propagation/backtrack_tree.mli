@@ -29,9 +29,15 @@ and kind =
       (** internal node: the signal is output [output] of [producer] *)
   | Leaf of leaf
 
-and child = { weight : float; pair : Perm_graph.pair; node : node }
+and child = {
+  weight : float;
+  estimate : Estimate.t;
+  pair : Perm_graph.pair;
+  node : node;
+}
 (** The arc from the parent: [pair] identifies the permeability value
-    {m P^M_(i,k)} and [weight] is its value. *)
+    {m P^M_(i,k)}, [weight] is its point value and [estimate] the full
+    estimate behind it. *)
 
 type t = { root : node }
 

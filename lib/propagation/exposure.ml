@@ -16,12 +16,33 @@ let module_exposure t name =
       List.fold_left (fun acc (a : Perm_graph.arc) -> acc +. a.weight) 0.0 arcs
       /. float_of_int (Sw_module.pair_count m)
 
+let module_exposure_nw_estimate t name =
+  Estimate.sum (List.map (fun (a : Perm_graph.arc) -> a.estimate) (incoming t name))
+
+let module_exposure_estimate t name =
+  match incoming t name with
+  | [] -> Estimate.zero
+  | arcs ->
+      let m = System_model.find_module_exn (Perm_graph.model t) name in
+      Estimate.scale
+        (1.0 /. float_of_int (Sw_module.pair_count m))
+        (Estimate.sum (List.map (fun (a : Perm_graph.arc) -> a.estimate) arcs))
+
 let signal_exposure t signal =
   let model = Perm_graph.model t in
   match System_model.producer model signal with
   | None -> 0.0
   | Some (m, k) ->
       Perm_matrix.column_sum (Perm_graph.matrix t (Sw_module.name m)) ~output:k
+
+let signal_exposure_estimate t signal =
+  let model = Perm_graph.model t in
+  match System_model.producer model signal with
+  | None -> Estimate.zero
+  | Some (m, k) ->
+      Perm_matrix.column_sum_estimate
+        (Perm_graph.matrix t (Sw_module.name m))
+        ~output:k
 
 let signal_exposure_via_trees trees signal =
   let child_pairs (node : Backtrack_tree.node) =

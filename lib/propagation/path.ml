@@ -1,4 +1,9 @@
-type step = { pair : Perm_graph.pair; weight : float; signal : Signal.t }
+type step = {
+  pair : Perm_graph.pair;
+  weight : float;
+  estimate : Estimate.t;
+  signal : Signal.t;
+}
 
 type terminal =
   | At_system_input
@@ -12,6 +17,9 @@ let leaf_signal t =
   match List.rev t.steps with [] -> t.source | last :: _ -> last.signal
 
 let weight t = List.fold_left (fun acc s -> acc *. s.weight) 1.0 t.steps
+
+let weight_estimate t = Estimate.prod (List.map (fun s -> s.estimate) t.steps)
+let weight_interval t = Estimate.interval (weight_estimate t)
 
 let adjusted_weight ~input_error_probability t =
   if
@@ -44,7 +52,12 @@ let of_backtrack_tree (tree : Backtrack_tree.t) =
         List.concat_map
           (fun (c : Backtrack_tree.child) ->
             let step =
-              { pair = c.pair; weight = c.weight; signal = c.node.signal }
+              {
+                pair = c.pair;
+                weight = c.weight;
+                estimate = c.estimate;
+                signal = c.node.signal;
+              }
             in
             go (step :: rev_steps) c.node)
           children
@@ -74,7 +87,12 @@ let of_trace_tree (tree : Trace_tree.t) =
         List.concat_map
           (fun (c : Trace_tree.child) ->
             let step =
-              { pair = c.pair; weight = c.weight; signal = c.node.signal }
+              {
+                pair = c.pair;
+                weight = c.weight;
+                estimate = c.estimate;
+                signal = c.node.signal;
+              }
             in
             go (step :: rev_steps) c.node)
           children

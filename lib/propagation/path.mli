@@ -10,9 +10,14 @@
     {!adjusted_weight} returns {m P' = Pr(I) * prod P} (the paper's
     adjusted measure). *)
 
-type step = { pair : Perm_graph.pair; weight : float; signal : Signal.t }
-(** One arc of the path: the permeability value traversed and the signal
-    of the node the arc leads to. *)
+type step = {
+  pair : Perm_graph.pair;
+  weight : float;
+  estimate : Estimate.t;
+  signal : Signal.t;
+}
+(** One arc of the path: the permeability value traversed (with the full
+    estimate behind it) and the signal of the node the arc leads to. *)
 
 type terminal =
   | At_system_input
@@ -31,6 +36,13 @@ val leaf_signal : t -> Signal.t
 
 val weight : t -> float
 (** Product of the step weights; [1.0] for an empty path. *)
+
+val weight_estimate : t -> Estimate.t
+(** Product of the step estimates: the weight with interval bounds
+    (product of lower bounds, product of upper bounds). *)
+
+val weight_interval : t -> float * float
+(** [Estimate.interval (weight_estimate t)]. *)
 
 val adjusted_weight : input_error_probability:float -> t -> float
 (** {m P' = Pr * prod P}.  @raise Invalid_argument unless the

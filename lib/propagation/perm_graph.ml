@@ -7,6 +7,7 @@ type destination =
 type arc = {
   pair : pair;
   weight : float;
+  estimate : Estimate.t;
   signal : Signal.t;
   destination : destination;
 }
@@ -37,7 +38,8 @@ let module_arcs model matrix m =
   let name = Sw_module.name m in
   let arcs_for_pair i k =
     let signal = Sw_module.output_signal m k in
-    let weight = Perm_matrix.get matrix ~input:i ~output:k in
+    let estimate = Perm_matrix.estimate matrix ~input:i ~output:k in
+    let weight = Estimate.value estimate in
     let pair = { module_name = name; input = i; output = k } in
     let to_consumers =
       List.map
@@ -45,13 +47,15 @@ let module_arcs model matrix m =
           {
             pair;
             weight;
+            estimate;
             signal;
             destination = To_module (Sw_module.name consumer, port);
           })
         (System_model.consumers model signal)
     in
     if System_model.is_system_output model signal then
-      { pair; weight; signal; destination = To_environment } :: to_consumers
+      { pair; weight; estimate; signal; destination = To_environment }
+      :: to_consumers
     else to_consumers
   in
   List.concat
@@ -106,13 +110,15 @@ let build_exn model matrices =
 let model t = t.model
 let matrix t name = String_map.find name t.matrices
 
-let permeability t pair =
+let permeability_estimate t pair =
   match String_map.find_opt pair.module_name t.matrices with
   | None ->
       invalid_arg
         (Printf.sprintf "Perm_graph.permeability: unknown module %S"
            pair.module_name)
-  | Some m -> Perm_matrix.get m ~input:pair.input ~output:pair.output
+  | Some m -> Perm_matrix.estimate m ~input:pair.input ~output:pair.output
+
+let permeability t pair = Estimate.value (permeability_estimate t pair)
 
 let arcs t = t.arcs
 

@@ -24,6 +24,7 @@ type destination =
 type arc = {
   pair : pair;
   weight : float;  (** the permeability value of the pair *)
+  estimate : Estimate.t;  (** the full estimate behind [weight] *)
   signal : Signal.t;  (** signal bound to output [k] of the source *)
   destination : destination;
 }
@@ -46,6 +47,10 @@ val matrix : t -> string -> Perm_matrix.t
 
 val permeability : t -> pair -> float
 (** Weight of a pair.  @raise Invalid_argument on unknown module/ports. *)
+
+val permeability_estimate : t -> pair -> Estimate.t
+(** The full estimate behind a pair's weight.
+    @raise Invalid_argument on unknown module/ports. *)
 
 val arcs : t -> arc list
 val incoming_arcs : t -> string -> arc list

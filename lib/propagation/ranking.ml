@@ -4,31 +4,33 @@ type module_row = {
   non_weighted_permeability : float;
   exposure : float;
   non_weighted_exposure : float;
+  relative_permeability_est : Estimate.t;
+  non_weighted_permeability_est : Estimate.t;
+  exposure_est : Estimate.t;
+  non_weighted_exposure_est : Estimate.t;
+  resolved : bool;
 }
 
-type signal_row = { signal : Signal.t; exposure : float }
-type path_row = { rank : int; path : Path.t; weight : float }
+type signal_row = {
+  signal : Signal.t;
+  exposure : float;
+  exposure_est : Estimate.t;
+  resolved : bool;
+}
+
+type path_row = {
+  rank : int;
+  path : Path.t;
+  weight : float;
+  interval : float * float;
+  resolved : bool;
+}
 
 type module_key =
   | By_relative_permeability
   | By_non_weighted_permeability
   | By_exposure
   | By_non_weighted_exposure
-
-let module_rows graph =
-  let model = Perm_graph.model graph in
-  List.map
-    (fun m ->
-      let name = Sw_module.name m in
-      let matrix = Perm_graph.matrix graph name in
-      {
-        module_name = name;
-        relative_permeability = Perm_matrix.relative matrix;
-        non_weighted_permeability = Perm_matrix.non_weighted matrix;
-        exposure = Exposure.module_exposure graph name;
-        non_weighted_exposure = Exposure.module_exposure_nw graph name;
-      })
-    (System_model.modules model)
 
 let key_value key row =
   match key with
@@ -37,7 +39,33 @@ let key_value key row =
   | By_exposure -> row.exposure
   | By_non_weighted_exposure -> row.non_weighted_exposure
 
-let sort_module_rows key rows =
+let key_estimate key row =
+  match key with
+  | By_relative_permeability -> row.relative_permeability_est
+  | By_non_weighted_permeability -> row.non_weighted_permeability_est
+  | By_exposure -> row.exposure_est
+  | By_non_weighted_exposure -> row.non_weighted_exposure_est
+
+(* A row is resolved when its confidence interval for the sort key does
+   not overlap the next row's: the rank order of the two rows cannot be
+   inverted by estimation noise at the interval's confidence level.  The
+   last row has nothing below it and is trivially resolved.  [rows] must
+   already be in descending key order. *)
+let resolve_sorted key rows =
+  let rec go : module_row list -> module_row list = function
+    | [] -> []
+    | [ last ] -> [ { last with resolved = true } ]
+    | a :: (b :: _ as rest) ->
+        {
+          a with
+          resolved =
+            Estimate.separated (key_estimate key a) (key_estimate key b);
+        }
+        :: go rest
+  in
+  go rows
+
+let sort_by_key key rows =
   let cmp a b =
     match Float.compare (key_value key b) (key_value key a) with
     | 0 -> String.compare a.module_name b.module_name
@@ -45,11 +73,53 @@ let sort_module_rows key rows =
   in
   List.stable_sort cmp rows
 
+let sort_module_rows key rows = resolve_sorted key (sort_by_key key rows)
+
+let module_rows graph =
+  let model = Perm_graph.model graph in
+  let rows =
+    List.map
+      (fun m ->
+        let name = Sw_module.name m in
+        let matrix = Perm_graph.matrix graph name in
+        {
+          module_name = name;
+          relative_permeability = Perm_matrix.relative matrix;
+          non_weighted_permeability = Perm_matrix.non_weighted matrix;
+          exposure = Exposure.module_exposure graph name;
+          non_weighted_exposure = Exposure.module_exposure_nw graph name;
+          relative_permeability_est = Perm_matrix.relative_estimate matrix;
+          non_weighted_permeability_est = Perm_matrix.non_weighted_estimate matrix;
+          exposure_est = Exposure.module_exposure_estimate graph name;
+          non_weighted_exposure_est = Exposure.module_exposure_nw_estimate graph name;
+          resolved = true;
+        })
+      (System_model.modules model)
+  in
+  (* Rows are returned in declaration order (Table 2), so resolvedness
+     is judged against the primary ranking of that table: relative
+     permeability. *)
+  let resolved_by_name =
+    List.map
+      (fun r -> (r.module_name, r.resolved))
+      (sort_module_rows By_relative_permeability rows)
+  in
+  List.map
+    (fun (r : module_row) ->
+      { r with resolved = List.assoc r.module_name resolved_by_name })
+    rows
+
 let signal_rows graph =
   let model = Perm_graph.model graph in
   let rows =
     List.map
-      (fun signal -> { signal; exposure = Exposure.signal_exposure graph signal })
+      (fun signal ->
+        {
+          signal;
+          exposure = Exposure.signal_exposure graph signal;
+          exposure_est = Exposure.signal_exposure_estimate graph signal;
+          resolved = true;
+        })
       (System_model.internal_signals model)
   in
   let cmp a b =
@@ -57,13 +127,44 @@ let signal_rows graph =
     | 0 -> Signal.compare a.signal b.signal
     | c -> c
   in
-  List.stable_sort cmp rows
+  let sorted = List.stable_sort cmp rows in
+  let rec resolve = function
+    | [] -> []
+    | [ last ] -> [ { last with resolved = true } ]
+    | a :: (b : signal_row) :: rest ->
+        { a with resolved = Estimate.separated a.exposure_est b.exposure_est }
+        :: resolve (b :: rest)
+  in
+  resolve sorted
 
 let rank_paths ?(include_zero = false) paths =
   let paths = if include_zero then paths else Path.non_zero paths in
-  List.mapi
-    (fun idx path -> { rank = idx + 1; path; weight = Path.weight path })
-    (Path.sort_by_weight paths)
+  let ranked =
+    List.mapi
+      (fun idx path ->
+        {
+          rank = idx + 1;
+          path;
+          weight = Path.weight path;
+          interval = Path.weight_interval path;
+          resolved = true;
+        })
+      (Path.sort_by_weight paths)
+  in
+  let rec resolve = function
+    | [] -> []
+    | [ last ] -> [ { last with resolved = true } ]
+    | a :: (b : path_row) :: rest ->
+        {
+          a with
+          resolved =
+            Estimate.separated
+              (Path.weight_estimate a.path)
+              (Path.weight_estimate b.path);
+        }
+        :: resolve (b :: rest)
+  in
+  resolve ranked
 
 let path_rows ?include_zero tree =
   rank_paths ?include_zero (Path.of_backtrack_tree tree)

@@ -3,7 +3,14 @@
     The functions here compute the rows behind the paper's Tables 2-4:
     per-module permeability/exposure (Table 2), per-signal exposure
     (Table 3) and weighted propagation paths (Table 4).  All sorts are
-    total (ties broken by name) so repeated runs print identically. *)
+    total (ties broken by name) so repeated runs print identically.
+
+    Every row also carries the {!Estimate.t} behind each measure and a
+    [resolved] flag: a row is resolved when its confidence interval for
+    the ordering measure does not overlap the next row's, i.e. the rank
+    order of the two adjacent rows cannot be inverted by estimation
+    noise at the 95% level.  Rows built from postulated (exact) matrices
+    have zero-width intervals and are always resolved. *)
 
 type module_row = {
   module_name : string;
@@ -11,17 +18,27 @@ type module_row = {
   non_weighted_permeability : float;  (** {m Pbar^M}, Eq. (3) *)
   exposure : float;  (** {m X^M}, Eq. (4) *)
   non_weighted_exposure : float;  (** {m Xbar^M}, Eq. (5) *)
+  relative_permeability_est : Estimate.t;
+  non_weighted_permeability_est : Estimate.t;
+  exposure_est : Estimate.t;
+  non_weighted_exposure_est : Estimate.t;
+  resolved : bool;
+      (** rank vs. the next row is outside overlapping CIs (see above) *)
 }
 
 type signal_row = {
   signal : Signal.t;
   exposure : float;  (** {m X^S}, Eq. (6) *)
+  exposure_est : Estimate.t;
+  resolved : bool;
 }
 
 type path_row = {
   rank : int;  (** 1-based position after sorting by weight *)
   path : Path.t;
   weight : float;
+  interval : float * float;  (** interval product bounds of the weight *)
+  resolved : bool;
 }
 
 type module_key =
@@ -31,10 +48,13 @@ type module_key =
   | By_non_weighted_exposure
 
 val module_rows : Perm_graph.t -> module_row list
-(** One row per module, in system declaration order. *)
+(** One row per module, in system declaration order.  [resolved] is
+    judged against the neighbours in the {!By_relative_permeability}
+    ranking (the primary ordering of Table 2). *)
 
 val sort_module_rows : module_key -> module_row list -> module_row list
-(** Descending by the chosen measure; ties broken by module name. *)
+(** Descending by the chosen measure; ties broken by module name.
+    [resolved] is recomputed for the chosen key. *)
 
 val signal_rows : Perm_graph.t -> signal_row list
 (** One row per internal signal (system inputs have exposure 0 and are

@@ -7,7 +7,12 @@ and kind =
   | Produced of { producer : string; output : int }
   | Leaf_of of leaf * string * int
 
-and child = { weight : float; pair : Perm_graph.pair; node : node }
+and child = {
+  weight : float;
+  estimate : Estimate.t;
+  pair : Perm_graph.pair;
+  node : node;
+}
 
 type t = { root : node }
 
@@ -29,7 +34,8 @@ let build graph input =
             let child_signal = Sw_module.output_signal m k in
             if Signal.Set.mem child_signal ancestors then None
             else
-              let weight = Perm_matrix.get matrix ~input:i ~output:k in
+              let estimate = Perm_matrix.estimate matrix ~input:i ~output:k in
+              let weight = Estimate.value estimate in
               let pair =
                 { Perm_graph.module_name = name; input = i; output = k }
               in
@@ -56,7 +62,7 @@ let build graph input =
                         children;
                       }
               in
-              Some { weight; pair; node })
+              Some { weight; estimate; pair; node })
           (List.init (Sw_module.output_count m) Fun.id))
       (System_model.consumers model signal)
   in

@@ -30,7 +30,12 @@ and kind =
   | Leaf_of of leaf * string * int
       (** leaf signal together with the module/output that produced it *)
 
-and child = { weight : float; pair : Perm_graph.pair; node : node }
+and child = {
+  weight : float;
+  estimate : Estimate.t;
+  pair : Perm_graph.pair;
+  node : node;
+}
 
 type t = { root : node }
 

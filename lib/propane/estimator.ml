@@ -13,23 +13,10 @@ type estimate = {
 }
 
 let wilson_interval ~errors ~trials =
-  if errors < 0 || trials < 0 || errors > trials then
-    invalid_arg "Estimator.wilson_interval: need 0 <= errors <= trials";
-  if trials = 0 then (0.0, 1.0)
-  else
-    let z = 1.959963984540054 (* 97.5th percentile of N(0,1) *) in
-    let n = float_of_int trials in
-    let p = float_of_int errors /. n in
-    let z2 = z *. z in
-    let denom = 1.0 +. (z2 /. n) in
-    let centre = p +. (z2 /. (2.0 *. n)) in
-    let spread = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
-    (* The closed form is within [0, 1] in exact arithmetic, but at the
-       boundaries (errors = 0 or errors = trials) floating-point
-       rounding can push an endpoint a few ulps outside; clamp so the
-       interval is always a probability range. *)
-    ( Float.max 0.0 ((centre -. spread) /. denom),
-      Float.min 1.0 ((centre +. spread) /. denom) )
+  (* The closed form lives with the estimate type since the analysis
+     layer carries intervals itself now; re-exported here because the
+     counts enter through this module. *)
+  Propagation.Estimate.wilson_interval ~errors ~trials
 
 let counts attribution (outcome : Results.outcome) output_name =
   match Results.divergence_of outcome output_name with
@@ -94,9 +81,10 @@ let estimate_matrix ?attribution ?on_failure ~model ~results module_name =
   in
   List.fold_left
     (fun matrix e ->
-      Propagation.Perm_matrix.set matrix
+      Propagation.Perm_matrix.set_estimate matrix
         ~input:e.pair.Propagation.Perm_graph.input
-        ~output:e.pair.Propagation.Perm_graph.output e.value)
+        ~output:e.pair.Propagation.Perm_graph.output
+        (Propagation.Estimate.of_counts ~errors:e.errors ~trials:e.injections))
     (Propagation.Perm_matrix.create
        ~inputs:(Propagation.Sw_module.input_count m)
        ~outputs:(Propagation.Sw_module.output_count m))
@@ -135,3 +123,138 @@ let pp_estimate ppf e =
   let lo, hi = e.interval in
   Fmt.pf ppf "@[<h>%a = %.3f (%d/%d, 95%% CI [%.3f, %.3f])@]"
     Propagation.Perm_graph.pp_pair e.pair e.value e.errors e.injections lo hi
+
+module Stream = struct
+  module SS = Set.Make (String)
+
+  type cell = { mutable n_err : int; mutable n_inj : int }
+
+  type module_state = {
+    name : string;
+    output_names : string array;
+    cells : cell array array;  (* inputs (i-1) x outputs (k-1) *)
+    mutable cached : Propagation.Perm_matrix.t option;
+  }
+
+  type t = {
+    attribution : attribution;
+    on_failure : [ `Count | `Exclude ];
+    states : module_state list;  (* model declaration order *)
+    by_target : (string, (module_state * int) list) Hashtbl.t;
+    mutable dirty : SS.t;
+    mutable runs : int;
+  }
+
+  let create ?(attribution = default_attribution) ?(on_failure = `Count)
+      ~model () =
+    let states =
+      List.map
+        (fun m ->
+          let inputs = Propagation.Sw_module.input_count m in
+          let outputs = Propagation.Sw_module.output_count m in
+          {
+            name = Propagation.Sw_module.name m;
+            output_names =
+              Array.init outputs (fun k0 ->
+                  Propagation.Signal.name
+                    (Propagation.Sw_module.output_signal m (k0 + 1)));
+            cells =
+              Array.init inputs (fun _ ->
+                  Array.init outputs (fun _ -> { n_err = 0; n_inj = 0 }));
+            cached = None;
+          })
+        (Propagation.System_model.modules model)
+    in
+    let by_target = Hashtbl.create 16 in
+    List.iter2
+      (fun m state ->
+        List.iteri
+          (fun i0 input ->
+            let key = Propagation.Signal.name input in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_target key) in
+            Hashtbl.replace by_target key (prev @ [ (state, i0 + 1) ]))
+          (Propagation.Sw_module.input_signals m))
+      (Propagation.System_model.modules model)
+      states;
+    { attribution; on_failure; states; by_target; dirty = SS.empty; runs = 0 }
+
+  let observe t (outcome : Results.outcome) =
+    t.runs <- t.runs + 1;
+    let target = outcome.Results.injection.Injection.target in
+    match Hashtbl.find_opt t.by_target target with
+    | None -> ()
+    | Some consumers ->
+        let failed = Results.is_failed outcome.Results.status in
+        if failed && t.on_failure = `Exclude then ()
+        else
+          List.iter
+            (fun (st, i) ->
+              st.cached <- None;
+              t.dirty <- SS.add st.name t.dirty;
+              Array.iteri
+                (fun k0 cell ->
+                  cell.n_inj <- cell.n_inj + 1;
+                  if
+                    failed
+                    || counts t.attribution outcome st.output_names.(k0)
+                  then cell.n_err <- cell.n_err + 1)
+                st.cells.(i - 1))
+            consumers
+
+  let matrix_of st =
+    match st.cached with
+    | Some m -> m
+    | None ->
+        let m =
+          Propagation.Perm_matrix.of_estimates
+            (Array.map
+               (Array.map (fun c ->
+                    Propagation.Estimate.of_counts ~errors:c.n_err
+                      ~trials:c.n_inj))
+               st.cells)
+        in
+        st.cached <- Some m;
+        m
+
+  let matrices t =
+    List.fold_left
+      (fun acc st -> Propagation.String_map.add st.name (matrix_of st) acc)
+      Propagation.String_map.empty t.states
+
+  let drain_dirty t =
+    let dirty =
+      List.filter_map
+        (fun st ->
+          if SS.mem st.name t.dirty then Some (st.name, matrix_of st) else None)
+        t.states
+    in
+    t.dirty <- SS.empty;
+    dirty
+
+  let runs_observed t = t.runs
+
+  (* Width of the widest Wilson interval over the pairs a campaign's
+     targets actually exercise: the cells of every (consumer, input)
+     the target feeds.  Pairs no target reaches stay at the zero-trial
+     width of 1 forever and would make [`Ci_width] unreachable, so they
+     are deliberately out of scope. *)
+  let max_width ~targets t =
+    let target_set = SS.of_list targets in
+    Hashtbl.fold
+      (fun name consumers acc ->
+        if not (SS.mem name target_set) then acc
+        else
+          List.fold_left
+            (fun acc (st, i) ->
+              Array.fold_left
+                (fun acc cell ->
+                  let lo, hi =
+                    Propagation.Estimate.wilson_interval ~errors:cell.n_err
+                      ~trials:cell.n_inj
+                  in
+                  Float.max acc (hi -. lo))
+                acc
+                st.cells.(i - 1))
+            acc consumers)
+      t.by_target 0.0
+end

@@ -82,3 +82,48 @@ val estimate_all :
     campaign would silently bias every downstream measure to zero). *)
 
 val pp_estimate : Format.formatter -> estimate -> unit
+
+(** Streaming (one outcome at a time) permeability estimation.
+
+    A [Stream.t] accumulates the same [n_err]/[n_inj] counters that
+    {!estimate_pairs} derives from a finished campaign, but updates
+    them run by run as outcomes arrive.  Counting is commutative, so a
+    stream fed the outcomes of a campaign in {e any} order holds
+    matrices identical (counts included) to {!estimate_all} over the
+    same results — the equivalence is property-tested.  This is what
+    lets live analysis ([Live]) and adaptive stopping reuse the exact
+    batch semantics without re-scanning all results after every run. *)
+module Stream : sig
+  type t
+
+  val create :
+    ?attribution:attribution ->
+    ?on_failure:[ `Count | `Exclude ] ->
+    model:Propagation.System_model.t ->
+    unit ->
+    t
+
+  val observe : t -> Results.outcome -> unit
+  (** Fold one run outcome into the counters of every (module, input)
+      pair consuming the injected signal.  Outcomes targeting signals
+      no module consumes are counted as runs but update nothing. *)
+
+  val matrices : t -> Propagation.Perm_matrix.t Propagation.String_map.t
+  (** Current matrices for every module (zero-trial cells where nothing
+      was injected yet), cells carrying their counts via
+      {!Propagation.Estimate.of_counts}. *)
+
+  val drain_dirty : t -> (string * Propagation.Perm_matrix.t) list
+  (** Matrices of the modules touched since the previous drain, in
+      model declaration order, and reset the dirty set.  Feeding these
+      to {!Propagation.Analysis.Engine.update} keeps an engine in sync
+      at minimal cost. *)
+
+  val runs_observed : t -> int
+
+  val max_width : targets:string list -> t -> float
+  (** Width of the widest 95% interval over all pairs fed by the given
+      injection targets; 0 when the targets reach no pair.  Pairs
+      outside the campaign's target set never narrow and are excluded,
+      otherwise a [`Ci_width] stop rule could never trigger. *)
+end

@@ -1,0 +1,96 @@
+type rule = [ `Rankings_stable of int | `Ci_width of float ]
+
+let pp_rule ppf = function
+  | `Rankings_stable n -> Fmt.pf ppf "rankings-stable:%d" n
+  | `Ci_width w -> Fmt.pf ppf "ci-width:%g" w
+
+type digest = {
+  runs_observed : int;
+  max_ci_width : float;
+  stable_for : int;
+  resolved_modules : int;
+  module_count : int;
+}
+
+type t = {
+  stream : Estimator.Stream.t;
+  engine : Propagation.Analysis.Engine.engine;
+  targets : string list;
+  module_count : int;
+  mutable last_order : string list option;
+  mutable stable_for : int;
+}
+
+let create ?attribution ?on_failure ~model ~targets () =
+  let stream = Estimator.Stream.create ?attribution ?on_failure ~model () in
+  let engine = Propagation.Analysis.Engine.create model in
+  (* Prime the engine with the zero-trial matrices so snapshots work
+     from the first run on; updates then only touch dirty modules. *)
+  Propagation.String_map.iter
+    (Propagation.Analysis.Engine.update engine)
+    (Estimator.Stream.matrices stream);
+  {
+    stream;
+    engine;
+    targets;
+    module_count = List.length (Propagation.System_model.modules model);
+    last_order = None;
+    stable_for = 0;
+  }
+
+let snapshot t = Propagation.Analysis.Engine.snapshot t.engine
+
+let order_of (analysis : Propagation.Analysis.t) =
+  List.map
+    (fun (r : Propagation.Ranking.module_row) -> r.module_name)
+    (Propagation.Ranking.sort_module_rows
+       Propagation.Ranking.By_relative_permeability analysis.module_rows)
+
+let resolved_of (analysis : Propagation.Analysis.t) =
+  List.length
+    (List.filter
+       (fun (r : Propagation.Ranking.module_row) -> r.resolved)
+       analysis.module_rows)
+
+let digest ?analysis t =
+  let analysis =
+    match analysis with
+    | Some a -> Some a
+    | None -> Result.to_option (snapshot t)
+  in
+  {
+    runs_observed = Estimator.Stream.runs_observed t.stream;
+    max_ci_width = Estimator.Stream.max_width ~targets:t.targets t.stream;
+    stable_for = t.stable_for;
+    resolved_modules =
+      (match analysis with Some a -> resolved_of a | None -> 0);
+    module_count = t.module_count;
+  }
+
+let observe t outcome =
+  Estimator.Stream.observe t.stream outcome;
+  List.iter
+    (fun (name, matrix) ->
+      Propagation.Analysis.Engine.update t.engine name matrix)
+    (Estimator.Stream.drain_dirty t.stream);
+  let analysis = Result.to_option (snapshot t) in
+  (match analysis with
+  | None -> ()
+  | Some a ->
+      let order = order_of a in
+      (match t.last_order with
+      | Some prev when prev = order -> t.stable_for <- t.stable_for + 1
+      | _ -> t.stable_for <- 0);
+      t.last_order <- Some order);
+  digest ?analysis t
+
+let satisfied t rule =
+  Estimator.Stream.runs_observed t.stream > 0
+  &&
+  match rule with
+  | `Rankings_stable n -> t.stable_for >= n
+  | `Ci_width w ->
+      Estimator.Stream.max_width ~targets:t.targets t.stream <= w
+
+let digest t = digest ?analysis:None t
+let targets t = t.targets

@@ -1,0 +1,70 @@
+(** Live campaign analysis and adaptive stopping.
+
+    A [Live.t] couples a streaming estimator ({!Estimator.Stream}) to
+    an incremental analysis engine
+    ({!Propagation.Analysis.Engine}): every campaign outcome fed to
+    {!observe} updates the permeability counters of the modules the
+    injected signal feeds, pushes the changed matrices into the engine
+    and refreshes the module ranking.  Because the stream reproduces
+    batch estimation exactly and the engine reproduces batch analysis
+    exactly (both property-tested), the analysis visible through
+    {!snapshot} at any instant equals what [estimate_all] +
+    [Analysis.run] would compute over the outcomes seen so far.
+
+    On top of the rolling analysis sit the adaptive stop {!rule}s of
+    [Runner.run ?stop_when]:
+
+    - [`Rankings_stable n] — the relative-permeability module ranking
+      has not changed for [n] consecutive observed runs.  Useful as
+      "stop when more runs stopped teaching us anything about order".
+    - [`Ci_width w] — every 95% interval over the pairs the campaign
+      injects into is at most [w] wide.  Useful as "stop at a target
+      precision". *)
+
+type rule = [ `Rankings_stable of int | `Ci_width of float ]
+
+val pp_rule : Format.formatter -> rule -> unit
+(** Renders in the CLI's [--stop-when] syntax
+    ([rankings-stable:3], [ci-width:0.1]). *)
+
+(** What the runner reports per run through [Analysis_tick] events. *)
+type digest = {
+  runs_observed : int;
+  max_ci_width : float;
+      (** widest interval over the campaign's target pairs *)
+  stable_for : int;
+      (** consecutive runs with an unchanged module ranking *)
+  resolved_modules : int;  (** rows with non-overlapping CIs *)
+  module_count : int;
+}
+
+type t
+
+val create :
+  ?attribution:Estimator.attribution ->
+  ?on_failure:[ `Count | `Exclude ] ->
+  model:Propagation.System_model.t ->
+  targets:string list ->
+  unit ->
+  t
+(** [targets] are the campaign's injection targets
+    ({!Campaign.t.targets}); they scope the [`Ci_width] rule to the
+    pairs the campaign can actually narrow.  [attribution] /
+    [on_failure] must match what the final batch estimation uses,
+    otherwise live and post-hoc analyses disagree. *)
+
+val observe : t -> Results.outcome -> digest
+(** Fold one outcome in and return the refreshed digest.  Call in
+    campaign-index order for resumed runs ({!Runner.run} does). *)
+
+val snapshot : t -> (Propagation.Analysis.t, string) result
+(** The full analysis of everything observed so far.  Costs nothing
+    when no outcome arrived since the last call (engine cache). *)
+
+val satisfied : t -> rule -> bool
+(** Whether the rule allows stopping now.  Always [false] before the
+    first observed run, so a campaign never stops without evidence. *)
+
+val digest : t -> digest
+
+val targets : t -> string list

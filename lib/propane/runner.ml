@@ -170,6 +170,7 @@ type event =
       status : Results.status;
       retries : int;
     }
+  | Analysis_tick of Live.digest
   | Finished of { completed : int; total : int }
 
 exception Failed_run of { index : int; outcome : Results.outcome }
@@ -312,8 +313,8 @@ let executor ?(max_ms = default_max_ms) ?truncate_after_ms ?run_timeout_ms
    [on_run_traces] callbacks happen only there, so callers never need
    thread-safe callbacks and the journal has a single writer. *)
 let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
-    ~fail_fast ~keep ~experiments ~remaining ~golden_for ~outcomes ~record sut
-    =
+    ~fail_fast ~keep ~stop ~experiments ~remaining ~golden_for ~outcomes
+    ~record sut =
   let remaining = Array.of_list remaining in
   let n = Array.length remaining in
   let next = Atomic.make 0 in
@@ -357,7 +358,11 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
       (function
         | Ok (idx, wid, outcome, traces, retried) ->
             outcomes.(idx) <- Some outcome;
-            record ~index:idx ~worker:wid ~retries:retried outcome traces
+            record ~index:idx ~worker:wid ~retries:retried outcome traces;
+            (* An adaptive stop poisons the cursor exactly like a
+               fail-fast abort: surviving workers take no new slots and
+               the runs already in flight still complete and journal. *)
+            if stop () then Atomic.set next n
         | Error None -> decr live
         | Error (Some e) ->
             (* Poison the cursor so the surviving workers stop taking
@@ -373,8 +378,8 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
 
 let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
     ?run_timeout_ms ?(retries = 0) ?(fail_fast = false) ?(jobs = 1) ?journal
-    ?(resume = false) ?on_event ?(keep_traces = false) ?on_run_traces
-    (sut : Sut.t) campaign =
+    ?(resume = false) ?on_event ?(keep_traces = false) ?on_run_traces ?live
+    ?stop_when (sut : Sut.t) campaign =
   if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
   if retries < 0 then invalid_arg "Runner.run: retries must be >= 0";
   (match run_timeout_ms with
@@ -382,6 +387,8 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
   | _ -> ());
   if resume && journal = None then
     invalid_arg "Runner.run: resume requires a journal";
+  if stop_when <> None && live = None then
+    invalid_arg "Runner.run: stop_when requires a live analysis";
   let keep = keep_traces || on_run_traces <> None in
   let experiments = Array.of_list (Campaign.experiments campaign) in
   let total = Array.length experiments in
@@ -417,6 +424,22 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
             (if jobs = 1 then "" else "s"));
       let emit ev = match on_event with Some f -> f ev | None -> () in
       emit (Started { total; skipped; jobs });
+      (* Replayed outcomes enter the live analysis in index order before
+         anything executes, so a resumed adaptive campaign judges its
+         stop rule over exactly the evidence an uninterrupted one has
+         seen at the same point. *)
+      (match live with
+      | Some l when skipped > 0 ->
+          Array.iter
+            (function Some o -> ignore (Live.observe l o) | None -> ())
+            outcomes;
+          emit (Analysis_tick (Live.digest l))
+      | _ -> ());
+      let stop () =
+        match (live, stop_when) with
+        | Some l, Some rule -> Live.satisfied l rule
+        | _ -> false
+      in
       let goldens = goldens_for ~max_ms sut experiments remaining in
       emit (Goldens_done { testcases = String_map.cardinal goldens });
       let golden_for tc = String_map.find (Testcase.id tc) goldens in
@@ -438,23 +461,30 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
                total;
                status = outcome.Results.status;
                retries;
-             })
+             });
+        match live with
+        | Some l -> emit (Analysis_tick (Live.observe l outcome))
+        | None -> ()
       in
+      let stopped = ref (stop ()) in
       if jobs = 1 then
         List.iter
           (fun idx ->
-            let outcome, traces, retried =
-              run_one ~seed ?truncate_after_ms ?run_timeout_ms ~retries ~keep
-                ~golden_for sut experiments idx
-            in
-            outcomes.(idx) <- Some outcome;
-            record ~index:idx ~worker:0 ~retries:retried outcome traces;
-            if fail_fast && Results.is_failed outcome.Results.status then
-              raise (Failed_run { index = idx; outcome }))
+            if not !stopped then begin
+              let outcome, traces, retried =
+                run_one ~seed ?truncate_after_ms ?run_timeout_ms ~retries
+                  ~keep ~golden_for sut experiments idx
+              in
+              outcomes.(idx) <- Some outcome;
+              record ~index:idx ~worker:0 ~retries:retried outcome traces;
+              if fail_fast && Results.is_failed outcome.Results.status then
+                raise (Failed_run { index = idx; outcome });
+              if stop () then stopped := true
+            end)
           remaining
-      else
+      else if not !stopped then
         run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ~retries
-          ~fail_fast ~keep ~experiments ~remaining ~golden_for ~outcomes
+          ~fail_fast ~keep ~stop ~experiments ~remaining ~golden_for ~outcomes
           ~record sut;
       emit (Finished { completed = !completed; total });
       let results =
@@ -463,7 +493,9 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
       Array.iter
         (function
           | Some outcome -> Results.add results outcome
-          | None -> assert false)
+          | None ->
+              (* Only an adaptive stop may leave runs unexecuted. *)
+              assert (stop_when <> None))
         outcomes;
       results)
 
@@ -472,7 +504,8 @@ let run_campaign ?max_ms ?seed ?truncate_after_ms ?on_progress sut campaign =
     Option.map
       (fun f -> function
         | Run_done { completed; total; _ } -> f { completed; total }
-        | Started _ | Goldens_done _ | Worker_attached _ | Finished _ -> ())
+        | Started _ | Goldens_done _ | Worker_attached _ | Analysis_tick _
+        | Finished _ -> ())
       on_progress
   in
   run ?max_ms ?seed ?truncate_after_ms ?on_event sut campaign

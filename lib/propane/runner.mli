@@ -141,6 +141,10 @@ type event =
           (0-based), [completed] includes skipped runs, [status] how
           the run ended and [retries] how many re-executions it took
           (0 = first attempt stood) *)
+  | Analysis_tick of Live.digest
+      (** the live analysis refreshed after a run (only with [?live]);
+          one per [Run_done], plus one for the replayed journal on
+          resume *)
   | Finished of { completed : int; total : int }  (** emitted last *)
 
 exception Failed_run of { index : int; outcome : Results.outcome }
@@ -161,11 +165,28 @@ val run :
   ?on_event:(event -> unit) ->
   ?keep_traces:bool ->
   ?on_run_traces:(index:int -> Trace_set.t -> unit) ->
+  ?live:Live.t ->
+  ?stop_when:Live.rule ->
   Sut.t ->
   Campaign.t ->
   Results.t
 (** Runs every experiment of {!Campaign.experiments} and returns the
     outcomes in campaign order.
+
+    {b Live analysis and adaptive stopping.}  [live] attaches a
+    {!Live.t}: every completed outcome (including journal replays, in
+    index order) is folded into its streaming estimation and
+    incremental analysis, and each refresh is reported as an
+    {!event.Analysis_tick}.  [stop_when] (requires [live]) ends the
+    campaign as soon as {!Live.satisfied} holds: with [jobs = 1] no
+    further run starts — the stop point is deterministic for a fixed
+    seed — while with [jobs > 1] workers stop taking new runs and the
+    runs already in flight still complete and journal (which runs
+    those are depends on scheduling, but each of their outcomes is
+    index-deterministic as always).  The runs never executed are
+    simply absent from the returned {!Results.t} and from the journal,
+    so an early-stopped campaign resumes exactly where it stopped if
+    re-run without the rule.
 
     [jobs] (default 1) is the number of worker domains.  With
     [jobs = 1] everything happens in the calling domain; otherwise

@@ -12,6 +12,7 @@ type t = {
   mutable finished : float option;
   mutable per_worker : int array;
   mutable worker_labels : string array;
+  mutable analysis : Live.digest option;
 }
 
 let create ?(now = Unix.gettimeofday) () =
@@ -29,6 +30,7 @@ let create ?(now = Unix.gettimeofday) () =
     finished = None;
     per_worker = [||];
     worker_labels = [||];
+    analysis = None;
   }
 
 (* Wall clocks step backwards under NTP slews and VM migrations; a
@@ -66,7 +68,8 @@ let observe t = function
       t.per_worker <- Array.make jobs 0;
       t.worker_labels <- Array.init jobs domain_label;
       t.started <- Some (clock t);
-      t.finished <- None
+      t.finished <- None;
+      t.analysis <- None
   | Runner.Goldens_done _ ->
       (* Rate and ETA describe the injection-run phase. *)
       t.started <- Some (clock t)
@@ -84,6 +87,7 @@ let observe t = function
       t.retried <- t.retried + retries;
       if worker >= 0 && worker < Array.length t.per_worker then
         t.per_worker.(worker) <- t.per_worker.(worker) + 1
+  | Runner.Analysis_tick digest -> t.analysis <- Some digest
   | Runner.Finished _ -> t.finished <- Some (clock t)
 
 type snapshot = {
@@ -99,6 +103,7 @@ type snapshot = {
   hung : int;
   retried : int;
   worker_labels : string array;
+  analysis : Live.digest option;
 }
 
 let snapshot t =
@@ -134,6 +139,7 @@ let snapshot t =
     hung = t.hung;
     retried = t.retried;
     worker_labels = Array.copy t.worker_labels;
+    analysis = t.analysis;
   }
 
 let json_escape s =
@@ -155,7 +161,7 @@ let json_escape s =
    on the stable prefix. *)
 let to_json s =
   Printf.sprintf
-    {|{"total":%d,"completed":%d,"skipped":%d,"jobs":%d,"elapsed_s":%.3f,"runs_per_sec":%.1f,"eta_s":%s,"per_worker":[%s],"crashed":%d,"hung":%d,"retried":%d,"workers":[%s]}|}
+    {|{"total":%d,"completed":%d,"skipped":%d,"jobs":%d,"elapsed_s":%.3f,"runs_per_sec":%.1f,"eta_s":%s,"per_worker":[%s],"crashed":%d,"hung":%d,"retried":%d,"workers":[%s],"analysis":%s}|}
     s.total s.completed s.skipped s.jobs s.elapsed_s s.runs_per_sec
     (match s.eta_s with
     | None -> "null"
@@ -168,9 +174,16 @@ let to_json s =
           (Array.map
              (fun l -> Printf.sprintf "\"%s\"" (json_escape l))
              s.worker_labels)))
+    (match s.analysis with
+    | None -> "null"
+    | Some a ->
+        Printf.sprintf
+          {|{"runs_observed":%d,"max_ci_width":%.4f,"stable_for":%d,"resolved_modules":%d,"module_count":%d}|}
+          a.Live.runs_observed a.Live.max_ci_width a.Live.stable_for
+          a.Live.resolved_modules a.Live.module_count)
 
 let pp_live ppf s =
-  Fmt.pf ppf "%d/%d runs  %.0f runs/s%a%a" s.completed s.total s.runs_per_sec
+  Fmt.pf ppf "%d/%d runs  %.0f runs/s%a%a%a" s.completed s.total s.runs_per_sec
     (fun ppf -> function
       | Some eta when s.completed < s.total -> Fmt.pf ppf "  eta %.1fs" eta
       | Some _ | None -> ())
@@ -178,4 +191,11 @@ let pp_live ppf s =
     (fun ppf () ->
       if s.crashed + s.hung > 0 then
         Fmt.pf ppf "  (%d crashed, %d hung)" s.crashed s.hung)
+    ()
+    (fun ppf () ->
+      match s.analysis with
+      | Some a ->
+          Fmt.pf ppf "  ci %.3f  stable %d  resolved %d/%d" a.Live.max_ci_width
+            a.Live.stable_for a.Live.resolved_modules a.Live.module_count
+      | None -> ())
     ()

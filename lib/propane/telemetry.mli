@@ -46,6 +46,9 @@ type snapshot = {
           {!Runner.Worker_attached} and are labelled [HOST/PID], so a
           snapshot of a distributed campaign says which process (and
           machine) did how much of the work *)
+  analysis : Live.digest option;
+      (** latest {!Runner.Analysis_tick}; [None] unless the campaign
+          runs with live analysis attached *)
 }
 
 val snapshot : t -> snapshot

@@ -38,7 +38,13 @@ let of_system_model model =
   buf_printf b "}\n";
   Buffer.contents b
 
-let of_perm_graph ?(include_zero = false) graph =
+let ci_suffix estimate =
+  if Propagation.Estimate.width estimate = 0.0 then ""
+  else
+    let lo, hi = Propagation.Estimate.interval estimate in
+    Printf.sprintf " [%.3f, %.3f]" lo hi
+
+let of_perm_graph ?(include_zero = false) ?(ci = false) graph =
   let b = Buffer.create 1024 in
   buf_printf b "digraph permeability {\n  rankdir=LR;\n";
   let model = Propagation.Perm_graph.model graph in
@@ -69,11 +75,12 @@ let of_perm_graph ?(include_zero = false) graph =
           | Propagation.Perm_graph.To_environment -> "ENV_OUT"
         in
         buf_printf b
-          "  \"%s\" -> \"%s\" [label=\"P^%s_{%d,%d}=%.3f (%s)\"];\n"
+          "  \"%s\" -> \"%s\" [label=\"P^%s_{%d,%d}=%.3f%s (%s)\"];\n"
           (escape arc.pair.module_name)
           (escape dst)
           (escape arc.pair.module_name)
           arc.pair.input arc.pair.output arc.weight
+          (if ci then ci_suffix arc.estimate else "")
           (escape (Propagation.Signal.name arc.signal))
       end)
     (Propagation.Perm_graph.arcs graph);
@@ -84,7 +91,7 @@ let node_id prefix counter =
   incr counter;
   Printf.sprintf "%s%d" prefix !counter
 
-let of_backtrack_tree (tree : Propagation.Backtrack_tree.t) =
+let of_backtrack_tree ?(ci = false) (tree : Propagation.Backtrack_tree.t) =
   let b = Buffer.create 1024 in
   let counter = ref 0 in
   buf_printf b "digraph backtrack {\n";
@@ -111,7 +118,8 @@ let of_backtrack_tree (tree : Propagation.Backtrack_tree.t) =
           | Propagation.Backtrack_tree.Expanded _ ->
               ""
         in
-        buf_printf b "  %s -> %s [label=\"%.3f\"%s];\n" id child_id c.weight
+        buf_printf b "  %s -> %s [label=\"%.3f%s\"%s];\n" id child_id c.weight
+          (if ci then ci_suffix c.estimate else "")
           style)
       node.children;
     id
@@ -120,7 +128,7 @@ let of_backtrack_tree (tree : Propagation.Backtrack_tree.t) =
   buf_printf b "}\n";
   Buffer.contents b
 
-let of_trace_tree (tree : Propagation.Trace_tree.t) =
+let of_trace_tree ?(ci = false) (tree : Propagation.Trace_tree.t) =
   let b = Buffer.create 1024 in
   let counter = ref 0 in
   buf_printf b "digraph trace {\n";
@@ -138,7 +146,8 @@ let of_trace_tree (tree : Propagation.Trace_tree.t) =
     List.iter
       (fun (c : Propagation.Trace_tree.child) ->
         let child_id = emit c.node in
-        buf_printf b "  %s -> %s [label=\"%.3f\"];\n" id child_id c.weight)
+        buf_printf b "  %s -> %s [label=\"%.3f%s\"];\n" id child_id c.weight
+          (if ci then ci_suffix c.estimate else ""))
       node.children;
     id
   in

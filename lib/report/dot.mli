@@ -7,13 +7,16 @@ val of_system_model : Propagation.System_model.t -> string
     consumer, with environment source/sink nodes for system inputs and
     outputs.  Port numbers are printed on the edge labels. *)
 
-val of_perm_graph : ?include_zero:bool -> Propagation.Perm_graph.t -> string
+val of_perm_graph :
+  ?include_zero:bool -> ?ci:bool -> Propagation.Perm_graph.t -> string
 (** Permeability graph: one node per module plus environment
     source/sink nodes; one labelled edge per arc.  Zero-weight arcs are
-    omitted by default, as the paper permits. *)
+    omitted by default, as the paper permits.  [ci] (default false)
+    appends each arc's 95% interval to its label; zero-width (exact)
+    estimates stay unannotated. *)
 
-val of_backtrack_tree : Propagation.Backtrack_tree.t -> string
+val of_backtrack_tree : ?ci:bool -> Propagation.Backtrack_tree.t -> string
 (** Backtrack tree; feedback leaves are drawn with a double edge
-    (paper's double-line notation). *)
+    (paper's double-line notation).  [ci] as in {!of_perm_graph}. *)
 
-val of_trace_tree : Propagation.Trace_tree.t -> string
+val of_trace_tree : ?ci:bool -> Propagation.Trace_tree.t -> string

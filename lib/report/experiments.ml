@@ -1,6 +1,9 @@
 let f3 v = Printf.sprintf "%.3f" v
+let ci_cell (lo, hi) = Printf.sprintf "[%.3f, %.3f]" lo hi
+let est_ci e = ci_cell (Propagation.Estimate.interval e)
+let resolved_cell r = if r then "yes" else "no"
 
-let table1 ?reference (analysis : Propagation.Analysis.t) =
+let table1 ?reference ?(ci = false) (analysis : Propagation.Analysis.t) =
   let model = Propagation.Perm_graph.model analysis.graph in
   let rows =
     List.concat_map
@@ -22,6 +25,17 @@ let table1 ?reference (analysis : Propagation.Analysis.t) =
                     Printf.sprintf "P^%s_{%d,%d}" name i k;
                     f3 (Propagation.Perm_matrix.get matrix ~input:i ~output:k);
                   ]
+                  @ (if not ci then []
+                     else
+                       let e =
+                         Propagation.Perm_matrix.estimate matrix ~input:i
+                           ~output:k
+                       in
+                       [
+                         string_of_int e.Propagation.Estimate.n_err;
+                         string_of_int e.Propagation.Estimate.n_inj;
+                         est_ci e;
+                       ])
                 in
                 match reference with
                 | None -> base
@@ -45,21 +59,36 @@ let table1 ?reference (analysis : Propagation.Analysis.t) =
       ("Name", Table.Left);
       ("Value", Table.Right);
     ]
+    @ (if not ci then []
+       else
+         [
+           ("n_err", Table.Right);
+           ("n_inj", Table.Right);
+           ("95% CI", Table.Left);
+         ])
     @ match reference with None -> [] | Some _ -> [ ("Paper", Table.Right) ]
   in
   Table.make ~title:"Table 1. Estimated error permeability values" ~columns
     rows
 
-let table2 (analysis : Propagation.Analysis.t) =
+let table2 ?(ci = false) (analysis : Propagation.Analysis.t) =
   Table.make ~title:"Table 2. Relative permeability and error exposure"
     ~columns:
-      [
-        ("Module", Table.Left);
-        ("P^M", Table.Right);
-        ("Pnw^M", Table.Right);
-        ("X^M", Table.Right);
-        ("Xnw^M", Table.Right);
-      ]
+      ([
+         ("Module", Table.Left);
+         ("P^M", Table.Right);
+         ("Pnw^M", Table.Right);
+         ("X^M", Table.Right);
+         ("Xnw^M", Table.Right);
+       ]
+      @
+      if not ci then []
+      else
+        [
+          ("P^M CI", Table.Left);
+          ("X^M CI", Table.Left);
+          ("Resolved", Table.Left);
+        ])
     (List.map
        (fun (r : Propagation.Ranking.module_row) ->
          [
@@ -68,18 +97,33 @@ let table2 (analysis : Propagation.Analysis.t) =
            f3 r.non_weighted_permeability;
            f3 r.exposure;
            f3 r.non_weighted_exposure;
-         ])
+         ]
+         @
+         if not ci then []
+         else
+           [
+             est_ci r.relative_permeability_est;
+             est_ci r.exposure_est;
+             resolved_cell r.resolved;
+           ])
        analysis.module_rows)
 
-let table3 (analysis : Propagation.Analysis.t) =
+let table3 ?(ci = false) (analysis : Propagation.Analysis.t) =
   Table.make ~title:"Table 3. Estimated signal error exposures"
-    ~columns:[ ("Signal", Table.Left); ("X^S", Table.Right) ]
+    ~columns:
+      ([ ("Signal", Table.Left); ("X^S", Table.Right) ]
+      @
+      if not ci then []
+      else [ ("95% CI", Table.Left); ("Resolved", Table.Left) ])
     (List.map
        (fun (r : Propagation.Ranking.signal_row) ->
-         [ Propagation.Signal.name r.signal; f3 r.exposure ])
+         [ Propagation.Signal.name r.signal; f3 r.exposure ]
+         @
+         if not ci then []
+         else [ est_ci r.exposure_est; resolved_cell r.resolved ])
        analysis.signal_rows)
 
-let path_cells (r : Propagation.Ranking.path_row) =
+let path_cells ~ci (r : Propagation.Ranking.path_row) =
   let signals =
     Propagation.Signal.name r.path.Propagation.Path.source
     :: List.map
@@ -91,6 +135,20 @@ let path_cells (r : Propagation.Ranking.path_row) =
     String.concat " <- " signals;
     Printf.sprintf "%.6f" r.weight;
   ]
+  @
+  if not ci then []
+  else
+    let lo, hi = r.interval in
+    [
+      Printf.sprintf "[%.6f, %.6f]" lo hi;
+      resolved_cell r.resolved;
+    ]
+
+let path_columns ci =
+  [ ("#", Table.Right); ("Path", Table.Left); ("Weight", Table.Right) ]
+  @
+  if not ci then []
+  else [ ("Weight CI", Table.Left); ("Resolved", Table.Left) ]
 
 let find_paths what paths signal =
   match
@@ -102,7 +160,7 @@ let find_paths what paths signal =
         (Fmt.str "Experiments.%s: no tree for signal %a" what
            Propagation.Signal.pp signal)
 
-let table4 (analysis : Propagation.Analysis.t) output =
+let table4 ?(ci = false) (analysis : Propagation.Analysis.t) output =
   let rows = find_paths "table4" analysis.output_paths output in
   Table.make
     ~title:
@@ -110,19 +168,17 @@ let table4 (analysis : Propagation.Analysis.t) output =
          "Table 4. Propagation paths of backtrack tree for %a (non-zero, by \
           weight)"
          Propagation.Signal.pp output)
-    ~columns:
-      [ ("#", Table.Right); ("Path", Table.Left); ("Weight", Table.Right) ]
-    (List.map path_cells rows)
+    ~columns:(path_columns ci)
+    (List.map (path_cells ~ci) rows)
 
-let input_paths_table (analysis : Propagation.Analysis.t) input =
+let input_paths_table ?(ci = false) (analysis : Propagation.Analysis.t) input =
   let rows = find_paths "input_paths_table" analysis.input_paths input in
   Table.make
     ~title:
       (Fmt.str "Propagation paths of trace tree for %a (non-zero, by weight)"
          Propagation.Signal.pp input)
-    ~columns:
-      [ ("#", Table.Right); ("Path", Table.Left); ("Weight", Table.Right) ]
-    (List.map path_cells rows)
+    ~columns:(path_columns ci)
+    (List.map (path_cells ~ci) rows)
 
 let estimates_table estimates =
   Table.make ~title:"Permeability estimates with campaign detail"

@@ -292,6 +292,36 @@ let scaler_campaign =
     ~times:(List.map Sim.Sim_time.of_ms [ 10; 20; 30; 40; 50 ])
     ~errors:(Propane.Error_model.bit_flips ~width:16)
 
+let scale_model =
+  Propagation.System_model.make_exn
+    ~modules:
+      [
+        Propagation.Sw_module.make ~name:"SCALE"
+          ~inputs:[ Propagation.Signal.make "x" ]
+          ~outputs:[ Propagation.Signal.make "y" ];
+      ]
+    ~system_inputs:[ Propagation.Signal.make "x" ]
+    ~system_outputs:[ Propagation.Signal.make "y" ]
+
+(* Throttled variant: slow enough that the coordinator observes results
+   while workers still hold unexecuted runs, so adaptive stop rules
+   have room to act (an unthrottled scaler run lasts microseconds). *)
+let slow_scaler_sut () =
+  let base = scaler_sut () in
+  {
+    base with
+    Propane.Sut.instantiate =
+      (fun tc ->
+        let inner = base.Propane.Sut.instantiate tc in
+        {
+          inner with
+          Propane.Sut.step =
+            (fun () ->
+              Unix.sleepf 5e-5;
+              inner.Propane.Sut.step ());
+        });
+  }
+
 let seed = 20010701L
 
 let tmp_path suffix =
@@ -313,7 +343,8 @@ let serial_reference ~journal =
    [on_result] so one can be told to die while the others drain the
    campaign. *)
 let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
-    ?(worker_hooks = [ None; None ]) ?(extra_clients = fun _ -> []) () =
+    ?(worker_hooks = [ None; None ]) ?(extra_clients = fun _ -> [])
+    ?(sut = scaler_sut) ?live ?stop_when () =
   let addr = Cluster.Address.Unix_sock (tmp_path ".sock") in
   let listen = Cluster.Address.listen addr in
   let make (w : Cluster.Protocol.welcome) =
@@ -321,7 +352,7 @@ let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
       Error "campaign size mismatch"
     else
       Ok
-        (Propane.Runner.executor ~seed:w.Cluster.Protocol.seed (scaler_sut ())
+        (Propane.Runner.executor ~seed:w.Cluster.Protocol.seed (sut ())
            scaler_campaign)
   in
   let workers =
@@ -341,7 +372,8 @@ let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
         Cluster.Address.unlink addr)
       (fun () ->
         Cluster.Coordinator.serve ~heartbeat_timeout_s ?journal ~resume
-          ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler" ~seed
+          ?live ?stop_when ~batch_max:8 ~listen ~sut:"scaler"
+          ~campaign:"scaler" ~seed
           ~total:(Propane.Campaign.size scaler_campaign)
           ())
   in
@@ -447,6 +479,67 @@ let integration_tests =
         close_out oc;
         let cluster = cluster_run ~journal:cluster_path ~resume:true () in
         check_results_match "results" serial cluster;
+        Alcotest.(check string)
+          "journal bytes" (read_file serial_path) (read_file cluster_path);
+        Sys.remove serial_path;
+        Sys.remove cluster_path);
+    Alcotest.test_case "cluster-fed live analysis equals batch" `Slow
+      (fun () ->
+        let live =
+          Propane.Live.create ~model:scale_model
+            ~targets:scaler_campaign.Propane.Campaign.targets ()
+        in
+        (* A rule that can never fire: the analysis rides along while
+           the campaign runs to completion. *)
+        let results =
+          cluster_run ~live ~stop_when:(`Rankings_stable 1_000_000) ()
+        in
+        let digest = Propane.Live.digest live in
+        Alcotest.(check int)
+          "observed every run"
+          (Propane.Results.count results)
+          digest.Propane.Live.runs_observed;
+        let matrices =
+          match Propane.Estimator.estimate_all ~model:scale_model results with
+          | Ok m -> m
+          | Error msg -> Alcotest.failf "batch estimation failed: %s" msg
+        in
+        let batch = Propagation.Analysis.run_exn scale_model matrices in
+        match Propane.Live.snapshot live with
+        | Ok analysis ->
+            Alcotest.(check string)
+              "summaries byte-identical"
+              (Fmt.str "%a" Propagation.Analysis.pp_summary batch)
+              (Fmt.str "%a" Propagation.Analysis.pp_summary analysis)
+        | Error msg -> Alcotest.failf "live snapshot failed: %s" msg);
+    Alcotest.test_case "cluster stop-when drains and leaves a resumable journal"
+      `Slow (fun () ->
+        let serial_path = tmp_path ".journal" in
+        let cluster_path = tmp_path ".journal" in
+        let serial = serial_reference ~journal:serial_path in
+        let live =
+          Propane.Live.create ~model:scale_model
+            ~targets:scaler_campaign.Propane.Campaign.targets ()
+        in
+        let stopped =
+          cluster_run ~journal:cluster_path ~sut:slow_scaler_sut ~live
+            ~stop_when:(`Rankings_stable 5) ()
+        in
+        if
+          Propane.Results.count stopped
+          >= Propane.Campaign.size scaler_campaign
+        then
+          Alcotest.failf "did not stop early: %d of %d"
+            (Propane.Results.count stopped)
+            (Propane.Campaign.size scaler_campaign);
+        Alcotest.(check bool)
+          "rule satisfied" true
+          (Propane.Live.satisfied live (`Rankings_stable 5));
+        (* Resuming the early-stopped journal (fast scaler this time)
+           completes the campaign with exactly the uninterrupted
+           journal's bytes. *)
+        let resumed = cluster_run ~journal:cluster_path ~resume:true () in
+        check_results_match "resumed" serial resumed;
         Alcotest.(check string)
           "journal bytes" (read_file serial_path) (read_file cluster_path);
         Sys.remove serial_path;

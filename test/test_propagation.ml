@@ -96,6 +96,101 @@ let sw_module_tests =
 
 (* ------------------------------------------------------------------ *)
 
+let counts_gen =
+  QCheck2.Gen.(
+    bind (int_range 1 10_000) (fun trials ->
+        map (fun errors -> (errors, trials)) (int_range 0 trials)))
+
+let estimate_tests =
+  [
+    Alcotest.test_case "no trials is maximally uninformative" `Quick (fun () ->
+        let lo, hi = Estimate.wilson_interval ~errors:0 ~trials:0 in
+        close "lo" 0.0 lo;
+        close "hi" 1.0 hi;
+        Alcotest.(check bool)
+          "not measured" false
+          (Estimate.is_measured (Estimate.of_counts ~errors:0 ~trials:0)));
+    Alcotest.test_case "hand-checked 50/100" `Quick (fun () ->
+        (* Wilson score interval for p=0.5, n=100, z=1.96. *)
+        let lo, hi = Estimate.wilson_interval ~errors:50 ~trials:100 in
+        Alcotest.(check (float 1e-3)) "lo" 0.404 lo;
+        Alcotest.(check (float 1e-3)) "hi" 0.596 hi);
+    check_raises_invalid "errors > trials rejected" (fun () ->
+        Estimate.wilson_interval ~errors:3 ~trials:2);
+    check_raises_invalid "negative errors rejected" (fun () ->
+        Estimate.wilson_interval ~errors:(-1) ~trials:2);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"interval contains n_err/n_inj" ~count:500
+         counts_gen (fun (errors, trials) ->
+           let lo, hi = Estimate.wilson_interval ~errors ~trials in
+           let p = float_of_int errors /. float_of_int trials in
+           0.0 <= lo && lo <= p && p <= hi && hi <= 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"interval narrows as trials grow at fixed ratio" ~count:500
+         QCheck2.Gen.(
+           triple (int_range 0 50) (int_range 1 50) (int_range 2 100))
+         (fun (errors0, extra, factor) ->
+           (* Same error ratio, [factor] times the evidence: the
+              interval must not widen. *)
+           let trials = errors0 + extra in
+           let width ~errors ~trials =
+             let lo, hi = Estimate.wilson_interval ~errors ~trials in
+             hi -. lo
+           in
+           width ~errors:(errors0 * factor) ~trials:(trials * factor)
+           <= width ~errors:errors0 ~trials +. 1e-12));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"estimates round-trip through Perm_matrix without drift"
+         ~count:200
+         QCheck2.Gen.(
+           bind (pair (int_range 1 5) (int_range 1 5)) (fun (m, n) ->
+               map
+                 (fun cells ->
+                   Array.init m (fun i ->
+                       Array.init n (fun k ->
+                           let errors, trials = List.nth cells ((i * n) + k) in
+                           Estimate.of_counts ~errors ~trials)))
+                 (list_repeat (m * n)
+                    (bind (int_range 0 1_000) (fun trials ->
+                         map
+                           (fun errors -> (errors, trials))
+                           (int_range 0 (max trials 0)))))))
+         (fun cells ->
+           let matrix = Perm_matrix.of_estimates cells in
+           Array.for_all Fun.id
+             (Array.mapi
+                (fun i0 row ->
+                  Array.for_all Fun.id
+                    (Array.mapi
+                       (fun k0 original ->
+                         let got =
+                           Perm_matrix.estimate matrix ~input:(i0 + 1)
+                             ~output:(k0 + 1)
+                         in
+                         Estimate.equal ~eps:0.0 original got
+                         && got.Estimate.n_err = original.Estimate.n_err
+                         && got.Estimate.n_inj = original.Estimate.n_inj)
+                       row))
+                cells)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"derived arithmetic brackets the value"
+         ~count:500
+         QCheck2.Gen.(pair counts_gen counts_gen)
+         (fun ((e1, t1), (e2, t2)) ->
+           let a = Estimate.of_counts ~errors:e1 ~trials:t1 in
+           let b = Estimate.of_counts ~errors:e2 ~trials:t2 in
+           let ok e =
+             let lo, hi = Estimate.interval e in
+             lo <= Estimate.value e && Estimate.value e <= hi
+           in
+           ok (Estimate.mul a b) && ok (Estimate.add a b)
+           && ok (Estimate.scale 0.5 a)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
 let matrix_gen =
   QCheck2.Gen.(
     bind (pair (int_range 1 6) (int_range 1 6)) (fun (m, n) ->
@@ -1106,6 +1201,7 @@ let () =
     [
       ("signal", signal_tests);
       ("sw_module", sw_module_tests);
+      ("estimate", estimate_tests);
       ("perm_matrix", perm_matrix_tests);
       ("system_model", system_model_tests);
       ("perm_graph", perm_graph_tests);

@@ -873,6 +873,8 @@ let runner_tests =
                   Alcotest.(check int) "goldens" 1 testcases
               | Propane.Runner.Worker_attached _ ->
                   Alcotest.fail "local runs attach no remote workers"
+              | Propane.Runner.Analysis_tick _ ->
+                  Alcotest.fail "no live analysis attached"
               | Propane.Runner.Run_done { completed; total; worker; _ } ->
                   incr runs;
                   Alcotest.(check int) "completed" !runs completed;
@@ -2146,6 +2148,351 @@ let telemetry_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Live incremental analysis: Estimator.Stream + Analysis.Engine fed
+   one run at a time must agree with the batch pipeline, and the
+   stop-when rules must leave a resumable journal behind. *)
+
+let live_tests =
+  let with_temp f =
+    let path = Filename.temp_file "propane_live" ".journal" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  let check_same_results msg a b =
+    Alcotest.(check int)
+      (msg ^ ": count") (Propane.Results.count a) (Propane.Results.count b);
+    List.iter2
+      (fun (x : Propane.Results.outcome) (y : Propane.Results.outcome) ->
+        Alcotest.(check bool) (msg ^ ": outcome") true (compare x y = 0))
+      (Propane.Results.outcomes a)
+      (Propane.Results.outcomes b)
+  in
+  let batch_matrices results =
+    match Propane.Estimator.estimate_all ~model:scale_model results with
+    | Ok matrices -> matrices
+    | Error msg -> Alcotest.failf "batch estimation failed: %s" msg
+  in
+  let check_same_matrices msg a b =
+    Propagation.String_map.iter
+      (fun name am ->
+        match Propagation.String_map.find_opt name b with
+        | Some bm ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s estimates" msg name)
+              true
+              (Propagation.Perm_matrix.equal_estimates ~eps:0.0 am bm)
+        | None -> Alcotest.failf "%s: %s missing" msg name)
+      a;
+    Alcotest.(check int)
+      (msg ^ ": module count")
+      (Propagation.String_map.cardinal a)
+      (Propagation.String_map.cardinal b)
+  in
+  let stream_of results =
+    let stream = Propane.Estimator.Stream.create ~model:scale_model () in
+    List.iter
+      (Propane.Estimator.Stream.observe stream)
+      (Propane.Results.outcomes results);
+    stream
+  in
+  [
+    Alcotest.test_case "stream counts equal batch estimation" `Quick (fun () ->
+        let results =
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let stream = stream_of results in
+        Alcotest.(check int)
+          "runs observed"
+          (Propane.Results.count results)
+          (Propane.Estimator.Stream.runs_observed stream);
+        check_same_matrices "stream vs batch"
+          (batch_matrices results)
+          (Propane.Estimator.Stream.matrices stream));
+    Alcotest.test_case "stream is order-independent" `Quick (fun () ->
+        let results =
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let stream = Propane.Estimator.Stream.create ~model:scale_model () in
+        List.iter
+          (Propane.Estimator.Stream.observe stream)
+          (List.rev (Propane.Results.outcomes results));
+        check_same_matrices "reversed vs batch"
+          (batch_matrices results)
+          (Propane.Estimator.Stream.matrices stream));
+    Alcotest.test_case "drain_dirty reports a changed module exactly once"
+      `Quick (fun () ->
+        let results =
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let stream = stream_of results in
+        (match Propane.Estimator.Stream.drain_dirty stream with
+        | [ ("SCALE", _) ] -> ()
+        | other -> Alcotest.failf "expected [SCALE], got %d" (List.length other));
+        Alcotest.(check int)
+          "drained" 0
+          (List.length (Propane.Estimator.Stream.drain_dirty stream)));
+    Alcotest.test_case "engine fed one run at a time equals batch analysis"
+      `Quick (fun () ->
+        let results =
+          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let stream = Propane.Estimator.Stream.create ~model:scale_model () in
+        let engine = Propagation.Analysis.Engine.create scale_model in
+        Propagation.String_map.iter
+          (fun name m -> Propagation.Analysis.Engine.update engine name m)
+          (Propane.Estimator.Stream.matrices stream);
+        List.iter
+          (fun outcome ->
+            Propane.Estimator.Stream.observe stream outcome;
+            List.iter
+              (fun (name, m) ->
+                Propagation.Analysis.Engine.update engine name m)
+              (Propane.Estimator.Stream.drain_dirty stream);
+            ignore (Propagation.Analysis.Engine.snapshot_exn engine))
+          (Propane.Results.outcomes results);
+        let incremental = Propagation.Analysis.Engine.snapshot_exn engine in
+        let batch =
+          Propagation.Analysis.run_exn scale_model (batch_matrices results)
+        in
+        Alcotest.(check string)
+          "summaries byte-identical"
+          (Fmt.str "%a" Propagation.Analysis.pp_summary batch)
+          (Fmt.str "%a" Propagation.Analysis.pp_summary incremental));
+    Alcotest.test_case "live analysis digest tracks the campaign" `Quick
+      (fun () ->
+        let live =
+          Propane.Live.create ~model:scale_model
+            ~targets:scaler_campaign.Propane.Campaign.targets ()
+        in
+        let results =
+          Propane.Runner.run ~seed:7L ~live (scaler_sut ()) scaler_campaign
+        in
+        let digest = Propane.Live.digest live in
+        Alcotest.(check int)
+          "all runs observed"
+          (Propane.Results.count results)
+          digest.Propane.Live.runs_observed;
+        Alcotest.(check bool)
+          "interval narrowed" true
+          (digest.Propane.Live.max_ci_width < 0.5);
+        Alcotest.(check int) "one module" 1 digest.Propane.Live.module_count;
+        match Propane.Live.snapshot live with
+        | Ok analysis ->
+            let batch =
+              Propagation.Analysis.run_exn scale_model (batch_matrices results)
+            in
+            Alcotest.(check string)
+              "live snapshot equals batch"
+              (Fmt.str "%a" Propagation.Analysis.pp_summary batch)
+              (Fmt.str "%a" Propagation.Analysis.pp_summary analysis)
+        | Error msg -> Alcotest.failf "snapshot failed: %s" msg);
+    Alcotest.test_case "stop_when without live is rejected" `Quick (fun () ->
+        match
+          Propane.Runner.run
+            ~stop_when:(`Rankings_stable 3)
+            (scaler_sut ()) scaler_campaign
+        with
+        | exception Invalid_argument msg ->
+            Alcotest.(check bool)
+              "mentions live" true
+              (contains_substring msg "live")
+        | _ -> Alcotest.fail "accepted stop_when without live");
+    Alcotest.test_case "rankings-stable stops the serial runner early" `Quick
+      (fun () ->
+        let run () =
+          let live =
+            Propane.Live.create ~model:scale_model
+              ~targets:scaler_campaign.Propane.Campaign.targets ()
+          in
+          Propane.Runner.run ~seed:7L ~live ~stop_when:(`Rankings_stable 5)
+            (scaler_sut ()) scaler_campaign
+        in
+        let first = run () in
+        Alcotest.(check bool)
+          "stopped early" true
+          (Propane.Results.count first < Propane.Campaign.size scaler_campaign);
+        Alcotest.(check bool)
+          "saw some runs" true
+          (Propane.Results.count first >= 5);
+        (* The serial stop point is deterministic: same seed, same rule,
+           same prefix of the campaign. *)
+        check_same_results "deterministic" first (run ()));
+    Alcotest.test_case "ci-width rule stops once the interval is tight" `Quick
+      (fun () ->
+        let live =
+          Propane.Live.create ~model:scale_model
+            ~targets:scaler_campaign.Propane.Campaign.targets ()
+        in
+        let results =
+          Propane.Runner.run ~seed:7L ~live ~stop_when:(`Ci_width 0.45)
+            (scaler_sut ()) scaler_campaign
+        in
+        Alcotest.(check bool)
+          "stopped early" true
+          (Propane.Results.count results
+          < Propane.Campaign.size scaler_campaign);
+        let digest = Propane.Live.digest live in
+        Alcotest.(check bool)
+          "rule satisfied" true
+          (digest.Propane.Live.max_ci_width <= 0.45));
+    Alcotest.test_case "early-stopped journal resumes to the full campaign"
+      `Quick (fun () ->
+        with_temp (fun path ->
+            let live =
+              Propane.Live.create ~model:scale_model
+                ~targets:scaler_campaign.Propane.Campaign.targets ()
+            in
+            let stopped =
+              Propane.Runner.run ~seed:7L ~journal:path ~live
+                ~stop_when:(`Rankings_stable 5)
+                (scaler_sut ()) scaler_campaign
+            in
+            Alcotest.(check bool)
+              "stopped early" true
+              (Propane.Results.count stopped
+              < Propane.Campaign.size scaler_campaign);
+            let resumed =
+              Propane.Runner.run ~seed:7L ~journal:path ~resume:true
+                (scaler_sut ()) scaler_campaign
+            in
+            let baseline =
+              Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+            in
+            check_same_results "resumed equals uninterrupted" baseline resumed));
+    Alcotest.test_case "resuming feeds journalled runs back into the analysis"
+      `Quick (fun () ->
+        with_temp (fun path ->
+            let mk_live () =
+              Propane.Live.create ~model:scale_model
+                ~targets:scaler_campaign.Propane.Campaign.targets ()
+            in
+            let live = mk_live () in
+            let stopped =
+              Propane.Runner.run ~seed:7L ~journal:path ~live
+                ~stop_when:(`Rankings_stable 5)
+                (scaler_sut ()) scaler_campaign
+            in
+            (* A fresh Live attached to a resume run must replay the
+               journalled prefix before executing anything, so its run
+               count picks up where the first left off. *)
+            let live2 = mk_live () in
+            let resumed =
+              Propane.Runner.run ~seed:7L ~journal:path ~resume:true
+                ~live:live2 (scaler_sut ()) scaler_campaign
+            in
+            let digest = Propane.Live.digest live2 in
+            Alcotest.(check int)
+              "observed everything"
+              (Propane.Results.count resumed)
+              digest.Propane.Live.runs_observed;
+            Alcotest.(check bool)
+              "resumed past the stop point" true
+              (Propane.Results.count resumed > Propane.Results.count stopped)));
+    Alcotest.test_case "parallel runner with live analysis matches serial"
+      `Quick (fun () ->
+        let serial =
+          Propane.Runner.run ~seed:9L (scaler_sut ()) scaler_campaign
+        in
+        let live =
+          Propane.Live.create ~model:scale_model
+            ~targets:scaler_campaign.Propane.Campaign.targets ()
+        in
+        (* A rule that can never fire: the analysis rides along without
+           perturbing the schedule or the results. *)
+        let parallel =
+          Propane.Runner.run ~seed:9L ~jobs:3 ~live
+            ~stop_when:(`Rankings_stable 1_000_000)
+            (scaler_sut ()) scaler_campaign
+        in
+        check_same_results "parallel+live" serial parallel;
+        Alcotest.(check int)
+          "observed all runs"
+          (Propane.Results.count parallel)
+          (Propane.Live.digest live).Propane.Live.runs_observed);
+    Alcotest.test_case "parallel stop-when journals a resumable prefix" `Quick
+      (fun () ->
+        (* An unthrottled scaler run lasts microseconds, so three
+           workers can drain the whole campaign before the coordinator
+           observes enough runs to fire the rule (the stop point in
+           parallel mode depends on scheduling, by design).  Slow each
+           step down so the adaptive stop demonstrably acts. *)
+        let slow_scaler_sut () =
+          let base = scaler_sut () in
+          {
+            base with
+            Propane.Sut.instantiate =
+              (fun tc ->
+                let inner = base.Propane.Sut.instantiate tc in
+                {
+                  inner with
+                  Propane.Sut.step =
+                    (fun () ->
+                      Unix.sleepf 5e-5;
+                      inner.Propane.Sut.step ());
+                });
+          }
+        in
+        with_temp (fun path ->
+            let live =
+              Propane.Live.create ~model:scale_model
+                ~targets:scaler_campaign.Propane.Campaign.targets ()
+            in
+            let stopped =
+              Propane.Runner.run ~seed:7L ~jobs:3 ~journal:path ~live
+                ~stop_when:(`Rankings_stable 5)
+                (slow_scaler_sut ()) scaler_campaign
+            in
+            if
+              Propane.Results.count stopped
+              >= Propane.Campaign.size scaler_campaign
+            then
+              Alcotest.failf "did not stop early: %d of %d"
+                (Propane.Results.count stopped)
+                (Propane.Campaign.size scaler_campaign);
+            (* The prefix resumes with the plain (fast) scaler: journal
+               compatibility only depends on sut/campaign names. *)
+            let resumed =
+              Propane.Runner.run ~seed:7L ~journal:path ~resume:true
+                (scaler_sut ()) scaler_campaign
+            in
+            let baseline =
+              Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+            in
+            check_same_results "resumed equals uninterrupted" baseline resumed));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"stream equals batch on any prefix of the campaign" ~count:20
+         QCheck2.Gen.(int_range 1 80)
+         (fun prefix ->
+           let results =
+             Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+           in
+           let outcomes = Propane.Results.outcomes results in
+           let prefix = min prefix (List.length outcomes) in
+           let partial =
+             Propane.Results.create ~sut:"scaler" ~campaign:"scaler"
+           in
+           let stream =
+             Propane.Estimator.Stream.create ~model:scale_model ()
+           in
+           List.iteri
+             (fun i o ->
+               if i < prefix then begin
+                 Propane.Results.add partial o;
+                 Propane.Estimator.Stream.observe stream o
+               end)
+             outcomes;
+           let batch =
+             Propane.Estimator.estimate_matrix ~model:scale_model
+               ~results:partial "SCALE"
+           in
+           let streamed =
+             Propagation.String_map.find "SCALE"
+               (Propane.Estimator.Stream.matrices stream)
+           in
+           Propagation.Perm_matrix.equal_estimates ~eps:0.0 batch streamed));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Severity on the scaler SUT: y = x >> 4; mission "fails" when the
    final y is off by more than 1000. *)
 
@@ -2509,6 +2856,7 @@ let () =
       ("storage", storage_tests);
       ("journal", journal_tests);
       ("telemetry", telemetry_tests);
+      ("live", live_tests);
       ("golden_tolerant", tolerant_tests);
       ("severity", severity_tests);
       ("fault", fault_tests);
