@@ -28,34 +28,83 @@ let perf_smoke =
   | Some ("1" | "true") -> true
   | Some _ | None -> false
 
+(* PROPANE_SCALING_CHECK=1 turns the scaling target into a regression
+   gate: domains-2 and workers-2 must not fall below serial throughput
+   on the same machine.  Skipped (with a message) when the host has a
+   single core, where parallel modes lose by construction. *)
+let scaling_check =
+  match Sys.getenv_opt "PROPANE_SCALING_CHECK" with
+  | Some ("1" | "true") -> true
+  | Some _ | None -> false
+
+let nproc = Domain.recommended_domain_count ()
+
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       ignore (Unix.close_process_in ic);
+       if String.equal line "" then "unknown" else line
+     with _ -> "unknown")
+
 let section title =
   Printf.printf "\n================ %s ================\n\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable campaign throughput.  Targets that time whole
-   campaigns record a row per execution mode; the accumulated rows are
-   written to BENCH_campaign.json when the bench exits, so CI can track
-   runs/sec across serial, domain and worker-process execution. *)
+   campaigns record a row per (SUT, execution mode); the accumulated
+   rows are written to BENCH_campaign.json when the bench exits, so CI
+   can track runs/sec across serial, domain and worker-process
+   execution at every core count. *)
 
-let bench_rows : (string * int * int * float) list ref = ref []
+type bench_row = {
+  row_sut : string;
+  row_mode : string;
+  row_cores : int;  (** physical cores the mode can actually use *)
+  row_jobs : int;  (** domains or worker processes requested *)
+  row_runs : int;
+  row_seconds : float;
+}
 
-let record_mode ~mode ~jobs ~runs ~seconds =
-  bench_rows := !bench_rows @ [ (mode, jobs, runs, seconds) ]
+let bench_rows : bench_row list ref = ref []
+
+let record_mode ~sut ~mode ~jobs ~runs ~seconds =
+  bench_rows :=
+    !bench_rows
+    @ [
+        {
+          row_sut = sut;
+          row_mode = mode;
+          row_cores = min jobs nproc;
+          row_jobs = jobs;
+          row_runs = runs;
+          row_seconds = seconds;
+        };
+      ]
+
+let runs_per_sec r =
+  if r.row_seconds > 0.0 then float_of_int r.row_runs /. r.row_seconds else 0.0
 
 let write_bench_json () =
   if !bench_rows <> [] then begin
-    let row (mode, jobs, runs, seconds) =
+    let row r =
       Printf.sprintf
-        {|    {"mode":"%s","jobs":%d,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
-        mode jobs runs seconds
-        (if seconds > 0.0 then float_of_int runs /. seconds else 0.0)
+        {|    {"sut":"%s","mode":"%s","cores":%d,"jobs":%d,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
+        r.row_sut r.row_mode r.row_cores r.row_jobs r.row_runs r.row_seconds
+        (runs_per_sec r)
     in
     let oc = open_out "BENCH_campaign.json" in
-    (* Cores bound what any parallel mode can show: on a 1-core host
-       serial wins by construction. *)
     Printf.fprintf oc
-      "{\n  \"campaign\": \"throughput\",\n  \"cores\": %d,\n  \"modes\": [\n%s\n  ]\n}\n"
-      (Domain.recommended_domain_count ())
+      "{\n\
+      \  \"campaign\": \"scaling-matrix\",\n\
+      \  \"nproc\": %d,\n\
+      \  \"git_rev\": \"%s\",\n\
+      \  \"modes\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      nproc (Lazy.force git_rev)
       (String.concat ",\n" (List.map row !bench_rows));
     close_out oc;
     print_endline "wrote BENCH_campaign.json"
@@ -108,7 +157,10 @@ let results () =
       Format.printf "running campaign: %a@." Propane.Campaign.pp c;
       let t0 = Sys.time () in
       let r =
-        Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs
+        Propane.Runner.run
+          ~config:
+            (Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ~jobs
+               ())
           (Arrestment.System.sut ())
           c
       in
@@ -334,7 +386,9 @@ let ablation () =
       Propane.Campaign.make ~name ~targets:Arrestment.Model.injection_targets
         ~testcases ~times ~errors
     in
-    Propane.Runner.run ~seed:42L ~truncate_after_ms:128 sut c
+    Propane.Runner.run
+      ~config:(Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ())
+      sut c
   in
   let summarise name results attribution =
     match
@@ -511,7 +565,10 @@ let workload () =
         ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
     in
     let results =
-      Propane.Runner.run ~seed:42L ~truncate_after_ms:128 sut c
+      Propane.Runner.run
+        ~config:
+          (Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ())
+        sut c
     in
     match
       Propane.Estimator.estimate_all ~model:Arrestment.Model.system results
@@ -727,7 +784,10 @@ let perf () =
   let time_campaign ~keep_traces =
     let t0 = Unix.gettimeofday () in
     let r =
-      Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs ~keep_traces
+      Propane.Runner.run
+        ~config:
+          (Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ~jobs
+             ~keep_traces ())
         sut throughput_campaign
     in
     (r, Unix.gettimeofday () -. t0)
@@ -737,8 +797,10 @@ let perf () =
   if Propane.Results.outcomes streaming <> Propane.Results.outcomes kept then
     failwith "perf: streaming and keep-traces outcomes differ";
   let runs = List.length (Propane.Campaign.experiments throughput_campaign) in
-  record_mode ~mode:"streaming" ~jobs ~runs ~seconds:t_stream;
-  record_mode ~mode:"keep-traces" ~jobs ~runs ~seconds:t_keep;
+  record_mode ~sut:"arrestment" ~mode:"streaming" ~jobs ~runs
+    ~seconds:t_stream;
+  record_mode ~sut:"arrestment" ~mode:"keep-traces" ~jobs ~runs
+    ~seconds:t_keep;
   Printf.printf "campaign-throughput (%d runs, jobs=%d):\n" runs jobs;
   Printf.printf "  streaming      %10.1f runs/s  (%.2f s)\n"
     (float_of_int runs /. t_stream)
@@ -748,83 +810,243 @@ let perf () =
     t_keep (t_keep /. t_stream)
 
 (* ------------------------------------------------------------------ *)
-(* Distributed campaign throughput                                     *)
+(* Scaling matrix: serial / domains-k / workers-k over two SUTs        *)
+
+(* The second SUT of the matrix: a wide layered dataflow network built
+   with {!Dataflow.Builder}.  Unlike the arrestment system it has no
+   plant — per-run cost is dominated by the block schedule and the
+   trap-instrumented signal store, so it stresses a different profile
+   of the engine (many cheap module activations instead of a few
+   physics-heavy ones). *)
+let layered_width = 4
+let layered_layers = 6
+
+let layered_system =
+  lazy
+    (let mask = 0xFFFF in
+     let signal l j =
+       Propagation.Signal.make (Printf.sprintf "l%d_%d" l j)
+     in
+     let layer_inputs l = List.init layered_width (signal l) in
+     let blocks =
+       List.concat_map
+         (fun l ->
+           List.init layered_width (fun j ->
+               Dataflow.Builder.block
+                 ~name:(Printf.sprintf "L%d_%d" l j)
+                 ~inputs:(layer_inputs l)
+                 ~outputs:[ signal (l + 1) j ]
+                 (fun () ->
+                   fun inputs ->
+                    (* Rotate, mix and mask so every input reaches the
+                       output with a different (partial) permeability. *)
+                    let acc = ref 0 in
+                    Array.iteri
+                      (fun i v ->
+                        acc := !acc lxor (v lsr ((i + j) mod 4)) lxor (v lsl j))
+                      inputs;
+                    [| !acc land mask |])))
+         (List.init layered_layers Fun.id)
+     in
+     let sink =
+       Dataflow.Builder.block ~name:"SINK"
+         ~inputs:(layer_inputs layered_layers)
+         ~outputs:[ Propagation.Signal.make "sink_out" ]
+         (fun () ->
+           fun inputs ->
+            [| Array.fold_left (fun a v -> (a + v) land mask) 0 inputs |])
+     in
+     Dataflow.Builder.create_exn ~name:"layered" ~duration_ms:400
+       ~blocks:(blocks @ [ sink ])
+       ~stimuli:
+         (List.init layered_width (fun j ->
+              Dataflow.Builder.ramp ~slope:((2 * j) + 3) (signal 0 j)))
+       ())
+
+let layered_campaign () =
+  let system = Lazy.force layered_system in
+  let targets = Dataflow.Builder.injection_targets system in
+  let keep = if perf_smoke then 4 else 8 in
+  let targets = List.filteri (fun i _ -> i < keep) targets in
+  let times = if perf_smoke then [ 100 ] else [ 100; 200; 300 ] in
+  Propane.Campaign.make ~name:"layered" ~targets
+    ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+    ~times:(List.map Simkernel.Sim_time.of_ms times)
+    ~errors:(Propane.Error_model.bit_flips ~width:16)
+
+(* One config for every mode of the matrix — only [jobs] (and the
+   journal path) vary per cell, so any byte difference between two
+   cells' journals is the engine's fault, not the options'. *)
+let scaling_config ?journal ~jobs () =
+  Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ~jobs ?journal
+    ()
 
 (* Spawned copies of this binary re-enter main with [--worker-child];
-   see the dispatch at the bottom. *)
+   see the dispatch at the bottom.  The welcome's campaign name selects
+   which (SUT, campaign) pair the child rebuilds. *)
 let worker_child_flag = "--worker-child"
 
-let cluster () =
-  section "Distributed campaign throughput (coordinator + workers)";
-  let c = throughput_campaign () in
-  let sut = Arrestment.System.sut () in
-  let runs = Propane.Campaign.size c in
+let suts_under_test () =
+  [
+    ("arrestment", (fun () -> Arrestment.System.sut ()), throughput_campaign);
+    ( "layered",
+      (fun () -> Dataflow.Builder.sut (Lazy.force layered_system)),
+      layered_campaign );
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let tmp_journal tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "propane-bench-%s-%d.journal" tag (Unix.getpid ()))
+
+(* Parallel core counts to sweep: always 2 (the regression gate's
+   column, oversubscribed on a 1-core host but still a correctness
+   exercise), then 4 and the full machine when available. *)
+let parallel_core_counts =
+  List.sort_uniq compare
+    (List.filter (fun k -> k >= 2) [ 2; min 4 nproc; nproc ])
+
+let scaling () =
+  section "Scaling matrix: serial / domains-k / workers-k per SUT";
+  Printf.printf "host: %d core(s), rev %s\n" nproc (Lazy.force git_rev);
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let serial, t_serial =
-    time (fun () ->
-        Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs:1 sut c)
+  let report ~mode ~runs seconds =
+    Printf.printf "  %-12s %10.1f runs/s  (%.2f s)\n" mode
+      (float_of_int runs /. seconds)
+      seconds
   in
-  record_mode ~mode:"serial" ~jobs:1 ~runs ~seconds:t_serial;
-  Printf.printf "  serial         %10.1f runs/s  (%.2f s)\n"
-    (float_of_int runs /. t_serial)
-    t_serial;
-  let domains = max 2 jobs in
-  let domain_results, t_domains =
-    time (fun () ->
-        Propane.Runner.run ~seed:42L ~truncate_after_ms:128 ~jobs:domains sut
-          c)
-  in
-  record_mode
-    ~mode:(Printf.sprintf "domains-%d" domains)
-    ~jobs:domains ~runs ~seconds:t_domains;
-  Printf.printf "  domains-%-2d     %10.1f runs/s  (%.2f s)\n" domains
-    (float_of_int runs /. t_domains)
-    t_domains;
-  if Propane.Results.outcomes serial <> Propane.Results.outcomes domain_results
-  then failwith "cluster: domain outcomes differ from serial";
-  let workers = 2 in
-  let addr =
-    Cluster.Address.Unix_sock
-      (Filename.concat
-         (Filename.get_temp_dir_name ())
-         (Printf.sprintf "propane-bench-%d.sock" (Unix.getpid ())))
-  in
-  let listen = Cluster.Address.listen addr in
-  let pool =
-    Cluster.Local.spawn
-      ~command:
-        [| Sys.executable_name; worker_child_flag;
-           Cluster.Address.to_string addr |]
-      ~n:workers ()
-  in
-  let cluster_results, t_cluster =
-    Fun.protect
-      ~finally:(fun () ->
-        Cluster.Local.shutdown pool;
-        (try Unix.close listen with Unix.Unix_error _ -> ());
-        Cluster.Address.unlink addr)
-      (fun () ->
+  List.iter
+    (fun (sut_name, make_sut, make_campaign) ->
+      let c = make_campaign () in
+      let runs = Propane.Campaign.size c in
+      Printf.printf "\n-- %s (%d runs) --\n" sut_name runs;
+      let serial_journal = tmp_journal (sut_name ^ "-serial") in
+      let serial, t_serial =
         time (fun () ->
-            Cluster.Coordinator.serve
-              ~on_tick:(fun () -> Cluster.Local.tend pool)
-              ~jobs:workers ~listen ~sut:sut.Propane.Sut.name
-              ~campaign:c.Propane.Campaign.name ~seed:42L
-              ~total:(Propane.Campaign.size c) ()))
-  in
-  record_mode
-    ~mode:(Printf.sprintf "workers-%d" workers)
-    ~jobs:workers ~runs ~seconds:t_cluster;
-  Printf.printf "  workers-%-2d     %10.1f runs/s  (%.2f s)\n" workers
-    (float_of_int runs /. t_cluster)
-    t_cluster;
-  if
-    Propane.Results.outcomes serial
-    <> Propane.Results.outcomes cluster_results
-  then failwith "cluster: worker-process outcomes differ from serial"
+            Propane.Runner.run
+              ~config:(scaling_config ~journal:serial_journal ~jobs:1 ())
+              (make_sut ()) c)
+      in
+      record_mode ~sut:sut_name ~mode:"serial" ~jobs:1 ~runs
+        ~seconds:t_serial;
+      report ~mode:"serial" ~runs t_serial;
+      let serial_bytes = read_file serial_journal in
+      let check_identical ~mode results journal =
+        if Propane.Results.outcomes serial <> Propane.Results.outcomes results
+        then failwith (Printf.sprintf "%s: %s outcomes differ from serial"
+                         sut_name mode);
+        let bytes = read_file journal in
+        if not (String.equal serial_bytes bytes) then
+          failwith
+            (Printf.sprintf "%s: %s journal is not byte-identical to serial"
+               sut_name mode);
+        Sys.remove journal
+      in
+      List.iter
+        (fun k ->
+          let mode = Printf.sprintf "domains-%d" k in
+          let journal = tmp_journal (sut_name ^ "-" ^ mode) in
+          let results, seconds =
+            time (fun () ->
+                Propane.Runner.run
+                  ~config:(scaling_config ~journal ~jobs:k ())
+                  (make_sut ()) c)
+          in
+          record_mode ~sut:sut_name ~mode ~jobs:k ~runs ~seconds;
+          report ~mode ~runs seconds;
+          check_identical ~mode results journal)
+        parallel_core_counts;
+      List.iter
+        (fun k ->
+          let mode = Printf.sprintf "workers-%d" k in
+          let journal = tmp_journal (sut_name ^ "-" ^ mode) in
+          let addr =
+            Cluster.Address.Unix_sock
+              (Filename.concat
+                 (Filename.get_temp_dir_name ())
+                 (Printf.sprintf "propane-bench-%s-%d.sock" mode
+                    (Unix.getpid ())))
+          in
+          let listen = Cluster.Address.listen addr in
+          let pool =
+            Cluster.Local.spawn
+              ~command:
+                [| Sys.executable_name; worker_child_flag;
+                   Cluster.Address.to_string addr |]
+              ~n:k ()
+          in
+          let results, seconds =
+            Fun.protect
+              ~finally:(fun () ->
+                Cluster.Local.shutdown pool;
+                (try Unix.close listen with Unix.Unix_error _ -> ());
+                Cluster.Address.unlink addr)
+              (fun () ->
+                time (fun () ->
+                    Cluster.Coordinator.serve
+                      ~on_tick:(fun () -> Cluster.Local.tend pool)
+                      ~config:(scaling_config ~journal ~jobs:k ())
+                      ~listen ~sut:sut_name ~campaign:c.Propane.Campaign.name
+                      ~total:runs ()))
+          in
+          record_mode ~sut:sut_name ~mode ~jobs:k ~runs ~seconds;
+          report ~mode ~runs seconds;
+          check_identical ~mode results journal)
+        parallel_core_counts;
+      Sys.remove serial_journal)
+    (suts_under_test ());
+  if scaling_check then
+    if nproc < 2 then
+      print_endline
+        "\nscaling check: skipped (single-core host, parallel modes lose by \
+         construction)"
+    else begin
+      let failures = ref [] in
+      List.iter
+        (fun (sut_name, _, _) ->
+          let rate mode =
+            match
+              List.find_opt
+                (fun r ->
+                  String.equal r.row_sut sut_name
+                  && String.equal r.row_mode mode)
+                !bench_rows
+            with
+            | Some r -> Some (runs_per_sec r)
+            | None -> None
+          in
+          match rate "serial" with
+          | None -> ()
+          | Some serial_rate ->
+              List.iter
+                (fun mode ->
+                  match rate mode with
+                  | Some r when r < serial_rate ->
+                      failures :=
+                        Printf.sprintf
+                          "%s: %s (%.1f runs/s) below serial (%.1f runs/s)"
+                          sut_name mode r serial_rate
+                        :: !failures
+                  | Some _ | None -> ())
+                [ "domains-2"; "workers-2" ])
+        (suts_under_test ());
+      match !failures with
+      | [] -> print_endline "\nscaling check: ok (parallel >= serial at 2 cores)"
+      | fs ->
+          List.iter (fun f -> prerr_endline ("scaling check FAILED: " ^ f)) fs;
+          write_bench_json ();
+          exit 1
+    end
 
 let worker_child addr_string =
   let fail msg =
@@ -834,16 +1056,23 @@ let worker_child addr_string =
   match Cluster.Address.of_string addr_string with
   | Error msg -> fail msg
   | Ok connect -> (
-      let c = throughput_campaign () in
       let make (w : Cluster.Protocol.welcome) =
+        let sut, c =
+          (* The welcome names which cell of the matrix this child
+             serves; both sides rebuild the campaign deterministically
+             from the environment alone. *)
+          if String.equal w.Cluster.Protocol.campaign "layered" then
+            (Dataflow.Builder.sut (Lazy.force layered_system),
+             layered_campaign ())
+          else (Arrestment.System.sut (), throughput_campaign ())
+        in
         if w.Cluster.Protocol.total <> Propane.Campaign.size c then
           Error "worker child rebuilt a campaign of the wrong size"
         else
           Ok
-            (Propane.Runner.executor ~truncate_after_ms:128
-               ~seed:w.Cluster.Protocol.seed
-               (Arrestment.System.sut ())
-               c)
+            (Propane.Runner.executor
+               ~config:(scaling_config ~jobs:1 ())
+               ~seed:w.Cluster.Protocol.seed sut c)
       in
       match Cluster.Worker.run ~connect ~make () with
       | Ok _ -> exit 0
@@ -872,7 +1101,9 @@ let targets =
     ("workload", workload);
     ("prob", prob);
     ("perf", perf);
-    ("cluster", cluster);
+    ("scaling", scaling);
+    (* Backwards-compatible alias for the pre-matrix target name. *)
+    ("cluster", scaling);
   ]
 
 let () =

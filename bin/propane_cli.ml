@@ -259,27 +259,15 @@ let chaos_hang_arg =
 
 let stop_when_conv =
   let parse s =
-    let usage =
-      Printf.sprintf
-        "--stop-when must be rankings-stable:N (N >= 1) or ci-width:W (0 < W \
-         <= 1), got %S"
-        s
-    in
-    match String.index_opt s ':' with
-    | None -> Error (`Msg usage)
-    | Some i -> (
-        let kind = String.sub s 0 i in
-        let v = String.sub s (i + 1) (String.length s - i - 1) in
-        match kind with
-        | "rankings-stable" -> (
-            match int_of_string_opt v with
-            | Some n when n >= 1 -> Ok (`Rankings_stable n)
-            | Some _ | None -> Error (`Msg usage))
-        | "ci-width" -> (
-            match float_of_string_opt v with
-            | Some w when w > 0.0 && w <= 1.0 -> Ok (`Ci_width w)
-            | Some _ | None -> Error (`Msg usage))
-        | _ -> Error (`Msg usage))
+    match Propane.Live.rule_of_string s with
+    | Ok rule -> Ok rule
+    | Error _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "--stop-when must be rankings-stable:N (N >= 1) or ci-width:W \
+                 (0 < W <= 1), got %S"
+                s))
   in
   Arg.conv ~docv:"RULE" (parse, Propane.Live.pp_rule)
 
@@ -296,6 +284,20 @@ let stop_when_arg =
     value
     & opt (some stop_when_conv) None
     & info [ "stop-when" ] ~docv:"RULE" ~doc)
+
+let journal_batch_arg =
+  let doc =
+    "Commit journal records to disk every $(docv) appends instead of one \
+     fsync-able flush per record.  Journal contents are unaffected — only \
+     the crash-loss window: a killed campaign loses at most $(docv) - 1 \
+     records, which --resume simply re-runs."
+  in
+  Arg.(
+    value
+    & opt
+        (int_at_least 1 "--journal-batch")
+        Propane.Runner.Config.default.Propane.Runner.Config.journal_batch
+    & info [ "journal-batch" ] ~docv:"N" ~doc)
 
 let telemetry_arg =
   let doc =
@@ -337,19 +339,22 @@ module Recipe = struct
     times : int;
     full : bool;
     window : int;
-    run_timeout_ms : int;
-    retries : int;
+    config : Propane.Runner.Config.t;
+        (* the engine's own option record, embedded via its codec so
+           worker-side execution options cannot drift from what the
+           local engine accepts *)
     chaos_crash : int option;
     chaos_hang : int option;
   }
 
-  let magic = "propane-recipe1"
+  let magic = "propane-recipe2"
 
   let encode r =
     let opt = function None -> "" | Some n -> string_of_int n in
     Printf.sprintf
-      "%s;cases=%d;times=%d;full=%b;window=%d;run_timeout_ms=%d;retries=%d;chaos_crash=%s;chaos_hang=%s"
-      magic r.cases r.times r.full r.window r.run_timeout_ms r.retries
+      "%s;cases=%d;times=%d;full=%b;window=%d;config=%s;chaos_crash=%s;chaos_hang=%s"
+      magic r.cases r.times r.full r.window
+      (Propane.Runner.Config.encode r.config)
       (opt r.chaos_crash) (opt r.chaos_hang)
 
   let decode s =
@@ -375,6 +380,7 @@ module Recipe = struct
         let opt v = if String.equal v "" then Some None
           else Option.map Option.some (int_of_string_opt v)
         in
+        let config v = Result.to_option (Propane.Runner.Config.decode v) in
         try
           Ok
             {
@@ -382,8 +388,7 @@ module Recipe = struct
               times = get int_of_string_opt "times";
               full = get bool_of_string_opt "full";
               window = get int_of_string_opt "window";
-              run_timeout_ms = get int_of_string_opt "run_timeout_ms";
-              retries = get int_of_string_opt "retries";
+              config = get config "config";
               chaos_crash = get opt "chaos_crash";
               chaos_hang = get opt "chaos_hang";
             }
@@ -425,8 +430,8 @@ let write_telemetry path telemetry =
    worker is this same binary re-invoked as [propane worker]), and let
    the coordinator schedule everything.  The listener is bound before
    any worker starts, so workers never race it. *)
-let run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
-    ~journal ~resume ~workers ~listen ~chaos_kill ~live ~stop_when () =
+let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
+    ~listen ~chaos_kill ~live () =
   let addr =
     match listen with
     | Some a -> a
@@ -463,16 +468,16 @@ let run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Cluster.Address.unlink addr)
     (fun () ->
-      Cluster.Coordinator.serve ~fail_fast ~on_event
+      Cluster.Coordinator.serve ~on_event
         ~on_tick:(fun () -> Option.iter Cluster.Local.tend pool)
-        ?journal ~resume ?live ?stop_when
-        ~config:(Recipe.encode recipe)
-        ~jobs:(max workers 1) ~listen:fd ~sut:sut.Propane.Sut.name
-        ~campaign:campaign.Propane.Campaign.name ~seed ~total ())
+        ?live
+        ~recipe:(Recipe.encode recipe)
+        ~config ~listen:fd ~sut:sut.Propane.Sut.name
+        ~campaign:campaign.Propane.Campaign.name ~total ())
 
 let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-    ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
-    ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill
+    ~journal ~resume ~journal_batch ~telemetry ~keep_traces ~run_timeout_ms
+    ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill
     ~stop_when () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
@@ -497,17 +502,20 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
        (--workers)";
     exit 1
   end;
+  (* One Config.t drives every mode: the local engine gets it directly,
+     the coordinator reads its scheduling/journal fields, and the
+     recipe embeds it so remote workers execute runs under the exact
+     same options. *)
+  let config =
+    Propane.Runner.Config.make ~seed ~truncate_after_ms:(window * 2)
+      ?run_timeout_ms:
+        (if run_timeout_ms <= 0 then None else Some run_timeout_ms)
+      ~retries ~fail_fast
+      ~jobs:(if cluster then max workers 1 else jobs)
+      ?journal ~resume ~journal_batch ~keep_traces ?stop_when ()
+  in
   let recipe =
-    {
-      Recipe.cases;
-      times;
-      full;
-      window;
-      run_timeout_ms;
-      retries;
-      chaos_crash;
-      chaos_hang;
-    }
+    { Recipe.cases; times; full; window; config; chaos_crash; chaos_hang }
   in
   let campaign = Recipe.campaign_of recipe in
   Format.printf "%a@." Propane.Campaign.pp campaign;
@@ -536,18 +544,12 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
         if completed = total then prerr_newline ()
     | _ -> ()
   in
-  let run_timeout_ms =
-    if run_timeout_ms <= 0 then None else Some run_timeout_ms
-  in
   let results =
     try
       if cluster then
-        run_cluster_campaign ~recipe ~sut ~campaign ~seed ~fail_fast ~on_event
-          ~journal ~resume ~workers ~listen ~chaos_kill ~live ~stop_when ()
-      else
-        Propane.Runner.run ~seed ~truncate_after_ms:(window * 2)
-          ?run_timeout_ms ~retries ~fail_fast ~jobs ?journal ~resume ~on_event
-          ~keep_traces ?live ?stop_when sut campaign
+        run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
+          ~listen ~chaos_kill ~live ()
+      else Propane.Runner.run ~config ~on_event ?live sut campaign
     with Propane.Runner.Failed_run { index; outcome } ->
       Option.iter (fun path -> write_telemetry path tele) telemetry;
       Format.eprintf "propane campaign: run %d %a; aborting (--fail-fast)@."
@@ -596,13 +598,13 @@ let save_arg =
 
 let campaign_cmd =
   let run () cases times full seed window progress jobs journal resume
-      telemetry keep_traces run_timeout_ms retries fail_fast chaos_crash
-      chaos_hang workers listen chaos_kill stop_when ci save =
+      journal_batch telemetry keep_traces run_timeout_ms retries fail_fast
+      chaos_crash chaos_hang workers listen chaos_kill stop_when ci save =
     let results, analysis =
       run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-        ~journal ~resume ~telemetry ~keep_traces ~run_timeout_ms ~retries
-        ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill
-        ~stop_when ()
+        ~journal ~resume ~journal_batch ~telemetry ~keep_traces
+        ~run_timeout_ms ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers
+        ~listen ~chaos_kill ~stop_when ()
     in
     Option.iter
       (fun path ->
@@ -637,9 +639,10 @@ let campaign_cmd =
     Term.(
       const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
       $ window_arg $ progress_arg $ jobs_arg $ journal_arg $ resume_arg
-      $ telemetry_arg $ keep_traces_arg $ run_timeout_arg $ retries_arg
-      $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg $ workers_arg
-      $ listen_arg $ chaos_kill_arg $ stop_when_arg $ ci_arg $ save_arg)
+      $ journal_batch_arg $ telemetry_arg $ keep_traces_arg $ run_timeout_arg
+      $ retries_arg $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg
+      $ workers_arg $ listen_arg $ chaos_kill_arg $ stop_when_arg $ ci_arg
+      $ save_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -689,14 +692,12 @@ let worker_cmd =
                  "coordinator expects %d runs, the recipe builds %d" w.total
                  (Propane.Campaign.size campaign))
           else
-            let run_timeout_ms =
-              if recipe.Recipe.run_timeout_ms <= 0 then None
-              else Some recipe.Recipe.run_timeout_ms
-            in
+            (* The shipped config already carries truncation, watchdog
+               and retries; only the seed is authoritative from the
+               Welcome, not the recipe. *)
             Ok
-              (Propane.Runner.executor
-                 ~truncate_after_ms:(recipe.Recipe.window * 2) ?run_timeout_ms
-                 ~retries:recipe.Recipe.retries ~seed:w.seed sut campaign)
+              (Propane.Runner.executor ~config:recipe.Recipe.config
+                 ~seed:w.seed sut campaign)
     in
     match Cluster.Worker.run ?on_result ~connect ~make () with
     | Ok n -> Logs.info (fun m -> m "campaign complete; executed %d runs" n)

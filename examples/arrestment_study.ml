@@ -43,7 +43,9 @@ let () =
   let sut = Arrestment.System.sut () in
   let t0 = Sys.time () in
   let results =
-    Propane.Runner.run ~seed:42L ~truncate_after_ms:128 sut campaign
+    Propane.Runner.run
+      ~config:(Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ())
+      sut campaign
   in
   Format.printf "campaign done in %.1f s (cpu)@.@." (Sys.time () -. t0);
 

@@ -54,7 +54,9 @@ let detectors =
 
 let failure_rate ?guards () =
   let sut = Arrestment.System.sut ?guards () in
-  let results = Propane.Runner.run ~seed:11L sut campaign in
+  let results = Propane.Runner.run
+      ~config:(Propane.Runner.Config.make ~seed:11L ())
+      sut campaign in
   let failures =
     List.length
       (List.filter

@@ -30,16 +30,28 @@ let replay path ~outcomes ~sut ~campaign ~seed ~total =
             table;
           Hashtbl.length table)
 
-let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
-    ?on_event ?on_tick ?journal ?(resume = false) ?(config = "") ?(jobs = 0)
-    ?live ?stop_when ~listen ~sut ~campaign ~seed ~total () =
+let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
+    ?(recipe = "") ?live ~config ~listen ~sut ~campaign ~total () =
+  (match Propane.Runner.Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Coordinator.serve: %s" msg));
+  let {
+    Propane.Runner.Config.seed;
+    fail_fast;
+    jobs;
+    journal;
+    resume;
+    journal_batch;
+    stop_when;
+    _;
+  } =
+    config
+  in
   if batch_max < 1 then
     invalid_arg "Coordinator.serve: batch_max must be >= 1";
   if heartbeat_timeout_s <= 0.0 then
     invalid_arg "Coordinator.serve: heartbeat_timeout_s must be positive";
   if total < 0 then invalid_arg "Coordinator.serve: negative total";
-  if resume && journal = None then
-    invalid_arg "Coordinator.serve: resume requires a journal";
   if stop_when <> None && live = None then
     invalid_arg "Coordinator.serve: stop_when requires a live analysis";
   (* A write can race the peer's death; it must fail with EPIPE (and
@@ -62,8 +74,11 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
     | Some path ->
         Some
           (or_invalid
-             (if skipped > 0 then Propane.Journal.append_to path
-              else Propane.Journal.create ~path ~sut ~campaign ~seed ~total ()))
+             (if skipped > 0 then
+                Propane.Journal.append_to ~batch:journal_batch path
+              else
+                Propane.Journal.create ~batch:journal_batch ~path ~sut
+                  ~campaign ~seed ~total ()))
   in
   (* In-order journal merge: [from_journal] marks indices already on
      disk from the resumed journal (never re-appended); [next_to_write]
@@ -200,7 +215,7 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
         end
         else begin
           c.ready <- true;
-          send c (Protocol.Welcome { sut; campaign; seed; total; config });
+          send c (Protocol.Welcome { sut; campaign; seed; total; config = recipe });
           Log.info (fun m -> m "worker %d is %s/%d" c.id host pid);
           emit (Propane.Runner.Worker_attached { worker = c.id; host; pid })
         end
@@ -381,6 +396,10 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?(fail_fast = false)
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
         check_deadlines ();
         distribute ();
+        (* Batched appends commit at most one select cycle (~250 ms)
+           after the cursor wrote them: one flush amortises every
+           record drained this iteration. *)
+        Option.iter Propane.Journal.flush writer;
         tick ()
       done;
       broadcast Protocol.Done;

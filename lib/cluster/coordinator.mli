@@ -35,19 +35,14 @@
 val serve :
   ?batch_max:int ->
   ?heartbeat_timeout_s:float ->
-  ?fail_fast:bool ->
   ?on_event:(Propane.Runner.event -> unit) ->
   ?on_tick:(unit -> unit) ->
-  ?journal:string ->
-  ?resume:bool ->
-  ?config:string ->
-  ?jobs:int ->
+  ?recipe:string ->
   ?live:Propane.Live.t ->
-  ?stop_when:Propane.Live.rule ->
+  config:Propane.Runner.Config.t ->
   listen:Unix.file_descr ->
   sut:string ->
   campaign:string ->
-  seed:int64 ->
   total:int ->
   unit ->
   Propane.Results.t
@@ -57,13 +52,22 @@ val serve :
     listener) and returns the outcomes in campaign order.  The caller
     closes/unlinks the listener's address after {!serve} returns.
 
-    [jobs] (default 0) is the number of workers expected to attach —
-    only used for the [Started] event, sizing telemetry; more or fewer
-    may actually serve.  [config] is handed verbatim to every worker in
-    its {!Protocol.welcome}.  [journal], [resume] and [on_event] behave
-    as in {!Propane.Runner.run}; [Goldens_done] is emitted immediately
-    with [testcases = 0] (workers run goldens lazily in their own
-    processes) and {!Propane.Runner.Worker_attached} fires per worker.
+    [config] is the same {!Propane.Runner.Config.t} the local engine
+    takes, so serial, domain and cluster modes cannot drift apart in
+    accepted options.  Of its fields the coordinator itself uses
+    [seed], [fail_fast], [journal], [resume], [journal_batch] (records
+    commit at the latest one scheduler tick after the reorder cursor
+    wrote them), [stop_when], and [jobs] — the number of workers
+    expected to attach, used only for the [Started] event and sizing
+    telemetry; more or fewer may actually serve.  Per-run execution
+    fields ([max_ms], [truncate_after_ms], [run_timeout_ms],
+    [retries]) apply worker-side: embed them in [recipe]
+    ({!Propane.Runner.Config.encode}), which is handed verbatim to
+    every worker in its {!Protocol.welcome}.  [journal], [resume] and
+    [on_event] behave as in {!Propane.Runner.run}; [Goldens_done] is
+    emitted immediately with [testcases = 0] (workers run goldens
+    lazily in their own processes) and
+    {!Propane.Runner.Worker_attached} fires per worker.
 
     [fail_fast] aborts like the local engine: the first failed outcome
     is journalled and reported, then {!Propane.Runner.Failed_run}

@@ -56,8 +56,7 @@ let rec wait_writable fd =
   | _ -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_writable fd
 
-let write fd payload =
-  let frame = Bytes.of_string (encode payload) in
+let write_all fd frame =
   let total = Bytes.length frame in
   let rec go off =
     if off < total then
@@ -69,6 +68,19 @@ let write fd payload =
           go off
   in
   go 0
+
+let write fd payload = write_all fd (Bytes.of_string (encode payload))
+
+(* Concatenated frames are themselves a valid frame stream, so batching
+   is pure sender-side amortisation — one syscall for a whole batch of
+   results — and needs no protocol change; any decoder peels the frames
+   apart as if they had been written one by one. *)
+let write_many fd payloads =
+  match payloads with
+  | [] -> ()
+  | payloads ->
+      write_all fd
+        (Bytes.unsafe_of_string (String.concat "" (List.map encode payloads)))
 
 type reader = { fd : Unix.file_descr; dec : decoder; buf : bytes }
 

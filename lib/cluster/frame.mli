@@ -47,6 +47,14 @@ val write : Unix.file_descr -> string -> unit
     writes and [EINTR]/[EAGAIN] (waiting for writability on the
     latter).  @raise Unix.Unix_error when the peer is gone. *)
 
+val write_many : Unix.file_descr -> string list -> unit
+(** Frames every payload and writes the concatenation in one go —
+    concatenated frames are a valid frame stream, so receivers need no
+    change; this just amortises the per-message syscall when a worker
+    flushes a whole batch of results.  No-op on [[]].
+    @raise Unix.Unix_error as {!write};  @raise Invalid_argument if any
+    payload exceeds {!max_payload}. *)
+
 type reader
 
 val reader : Unix.file_descr -> reader

@@ -63,18 +63,36 @@ let run ?host ?pid ?on_result ~connect ~make () =
                   send Protocol.Heartbeat;
                   batches ()
               | Protocol.Batch indices ->
+                  (* Results are buffered and flushed in one write per
+                     batch, halving the per-run syscalls on the hot
+                     path; the per-run heartbeat still flows, covering
+                     the watchdog.  A failed outcome flushes at once so
+                     a fail-fast coordinator aborts promptly. *)
+                  let buffered = ref [] in
+                  let flush_results () =
+                    Frame.write_many fd (List.rev !buffered);
+                    buffered := []
+                  in
                   List.iter
                     (fun index ->
                       (* The heartbeat covers the (possibly lazy golden
                          plus injection) run about to start. *)
                       send Protocol.Heartbeat;
                       let outcome, retries = execute index in
-                      send (Protocol.Result { index; retries; outcome });
+                      buffered :=
+                        Protocol.encode_to_coordinator
+                          (Protocol.Result { index; retries; outcome })
+                        :: !buffered;
+                      if
+                        Propane.Results.is_failed
+                          outcome.Propane.Results.status
+                      then flush_results ();
                       incr completed;
                       match on_result with
                       | Some f -> f ~completed:!completed
                       | None -> ())
                     indices;
+                  flush_results ();
                   batches ()
               | Protocol.Welcome _ | Protocol.Reject _ ->
                   Error

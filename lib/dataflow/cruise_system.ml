@@ -78,7 +78,7 @@ let campaign ?(times = default_times) () =
     ~errors:(Propane.Error_model.bit_flips ~width:16)
 
 let measure ?(seed = 42L) () =
-  let results = Propane.Runner.run ~seed sut (campaign ()) in
+  let results = Propane.Runner.run ~config:(Propane.Runner.Config.make ~seed ()) sut (campaign ()) in
   match
     Propane.Estimator.estimate_all
       ~model:(Builder.model system)

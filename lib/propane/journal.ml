@@ -15,27 +15,41 @@ let check_field name value =
 
 (* ------------------------------------------------------------------ *)
 
-type writer = { oc : out_channel; sync : bool }
+type writer = {
+  oc : out_channel;
+  sync : bool;
+  batch : int;
+  mutable pending : int;  (* appended records not yet committed *)
+}
 
 let commit w =
+  w.pending <- 0;
   flush w.oc;
   if w.sync then Unix.fsync (Unix.descr_of_out_channel w.oc)
 
-let create ?(sync = false) ~path ~sut ~campaign ~seed ~total () =
+let flush w = if w.pending > 0 then commit w
+
+let check_batch batch =
+  if batch < 1 then Error "Journal: batch must be >= 1" else Ok ()
+
+let create ?(sync = false) ?(batch = 1) ~path ~sut ~campaign ~seed ~total () =
   let ( let* ) = Result.bind in
   let* () = check_field "sut" sut in
   let* () = check_field "campaign" campaign in
+  let* () = check_batch batch in
   if total < 0 then Error "Journal: negative total"
   else begin
     let oc = open_out path in
     Printf.fprintf oc "%s\nsut\t%s\ncampaign\t%s\nseed\t%Ld\ntotal\t%d\n" magic
       sut campaign seed total;
-    let w = { oc; sync } in
+    let w = { oc; sync; batch; pending = 0 } in
     commit w;
     Ok w
   end
 
-let append_to ?(sync = false) path =
+let append_to ?(sync = false) ?(batch = 1) path =
+  let ( let* ) = Result.bind in
+  let* () = check_batch batch in
   let contents =
     let ic = open_in_bin path in
     Fun.protect
@@ -51,7 +65,7 @@ let append_to ?(sync = false) path =
       let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
       Unix.ftruncate fd committed;
       let _ = Unix.lseek fd committed Unix.SEEK_SET in
-      Ok { oc = Unix.out_channel_of_descr fd; sync }
+      Ok { oc = Unix.out_channel_of_descr fd; sync; batch; pending = 0 }
   | Some i -> Error (Printf.sprintf "%s:1: bad magic %S" path (String.sub contents 0 i))
   | None -> Error (Printf.sprintf "%s:1: empty file" path)
 
@@ -90,10 +104,13 @@ let append w ~index (o : Results.outcome) =
         Printf.fprintf w.oc "\t%s\t%d" d.signal d.first_ms)
       o.divergences;
     output_char w.oc '\n';
-    commit w;
+    w.pending <- w.pending + 1;
+    if w.pending >= w.batch then commit w;
     Ok ()
 
-let close w = close_out w.oc
+let close w =
+  flush w;
+  close_out w.oc
 
 (* ------------------------------------------------------------------ *)
 

@@ -39,6 +39,7 @@ type writer
 
 val create :
   ?sync:bool ->
+  ?batch:int ->
   path:string ->
   sut:string ->
   campaign:string ->
@@ -47,21 +48,33 @@ val create :
   unit ->
   (writer, string) result
 (** Truncates [path] and writes the header.  With [sync] (default
-    [false]) every {!append} is additionally [fsync]ed, making each
-    record durable against power loss, not just process death.  Fails
-    if a name contains a separator character.
+    [false]) every commit is additionally [fsync]ed, making records
+    durable against power loss, not just process death.  [batch]
+    (default [1]) amortises the per-record flush: records are committed
+    to disk every [batch] {!append}s and on {!flush}/{!close}, so a
+    killed writer loses at most the last [batch - 1] records plus a
+    truncated fragment — both recovered by re-running those indices on
+    resume.  Fails if a name contains a separator character or [batch
+    < 1].
     @raise Sys_error on I/O failure. *)
 
-val append_to : ?sync:bool -> string -> (writer, string) result
+val append_to : ?sync:bool -> ?batch:int -> string -> (writer, string) result
 (** Opens an existing journal for appending (the resume path).  The
-    header is checked but not rewritten.
+    header is checked but not rewritten; an uncommitted trailing
+    fragment is truncated away.  [sync] and [batch] as in {!create}.
     @raise Sys_error on I/O failure. *)
 
 val append : writer -> index:int -> Results.outcome -> (unit, string) result
-(** Writes one committed (flushed, newline-terminated) record.  Fails
-    if a field contains a separator character or [index] is negative. *)
+(** Writes one newline-terminated record, committing (flushing) when
+    [batch] records have accumulated.  Fails if a field contains a
+    separator character or [index] is negative. *)
+
+val flush : writer -> unit
+(** Commits any buffered records now.  A no-op when nothing is
+    pending. *)
 
 val close : writer -> unit
+(** Flushes buffered records and closes the file. *)
 
 (** {1 Reading} *)
 

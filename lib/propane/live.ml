@@ -4,6 +4,36 @@ let pp_rule ppf = function
   | `Rankings_stable n -> Fmt.pf ppf "rankings-stable:%d" n
   | `Ci_width w -> Fmt.pf ppf "ci-width:%g" w
 
+(* [%h] prints the exact binary float, so encode/parse round-trips
+   bit for bit — [pp_rule]'s [%g] is for humans and rounds. *)
+let rule_to_string = function
+  | `Rankings_stable n -> Printf.sprintf "rankings-stable:%d" n
+  | `Ci_width w -> Printf.sprintf "ci-width:%h" w
+
+let rule_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad stop rule %S: expected rankings-stable:N (N >= 1) or ci-width:W \
+          (0 < W <= 1)"
+         s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "rankings-stable" -> (
+          match int_of_string_opt v with
+          | Some n when n >= 1 -> Ok (`Rankings_stable n)
+          | Some _ | None -> fail ())
+      | "ci-width" -> (
+          match float_of_string_opt v with
+          | Some w when w > 0.0 && w <= 1.0 -> Ok (`Ci_width w)
+          | Some _ | None -> fail ())
+      | _ -> fail ())
+
 type digest = {
   runs_observed : int;
   max_ci_width : float;

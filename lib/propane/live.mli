@@ -27,6 +27,16 @@ val pp_rule : Format.formatter -> rule -> unit
 (** Renders in the CLI's [--stop-when] syntax
     ([rankings-stable:3], [ci-width:0.1]). *)
 
+val rule_to_string : rule -> string
+(** Same syntax as {!pp_rule} but floats are rendered exactly ([%h]),
+    so {!rule_of_string} round-trips bit for bit — the form campaign
+    recipes ({!Runner.Config.encode}) embed. *)
+
+val rule_of_string : string -> (rule, string) result
+(** Parses both {!pp_rule} and {!rule_to_string} renderings, with the
+    CLI's bounds: [rankings-stable:N] needs [N >= 1], [ci-width:W]
+    needs [0 < W <= 1]. *)
+
 (** What the runner reports per run through [Analysis_tick] events. *)
 type digest = {
   runs_observed : int;

@@ -29,11 +29,25 @@ let combine = function
    the frozen golden.  The observer saturates once every signal has
    diverged, letting the runner stop the run early — the remaining samples
    cannot change any first-divergence timestamp. *)
-let divergence ?(from_ms = 0) ?(until_ms = max_int) (golden : Golden.frozen) =
+let divergence ?(from_ms = 0) ?(until_ms = max_int) ?scratch
+    (golden : Golden.frozen) =
   let n = Golden.frozen_signal_count golden in
   let golden_ms = golden.Golden.frozen_duration in
   let samples = golden.Golden.samples in
-  let first = Array.make n (-1) in
+  let first =
+    (* A campaign arena hands the same scratch array to every run on
+       its domain, so the per-run observer allocates nothing. *)
+    match scratch with
+    | None -> Array.make n (-1)
+    | Some a when Array.length a >= n ->
+        Array.fill a 0 n (-1);
+        a
+    | Some a ->
+        invalid_arg
+          (Printf.sprintf
+             "Observer.divergence: scratch holds %d signals, golden has %d"
+             (Array.length a) n)
+  in
   let remaining = ref n in
   let on_sample ~ms values =
     if !remaining > 0 && ms >= from_ms && ms < until_ms && ms < golden_ms then

@@ -49,6 +49,7 @@ val combine : t list -> t
 val divergence :
   ?from_ms:int ->
   ?until_ms:int ->
+  ?scratch:int array ->
   Golden.frozen ->
   t * (unit -> Golden.divergence list)
 (** [divergence golden] is a streaming observer detecting, per signal,
@@ -57,7 +58,15 @@ val divergence :
     divergences found so far (golden signal order).  Semantics —
     including the length-mismatch tail rule applied at [finish] — match
     {!Golden.compare_runs} over recorded traces exactly
-    (property-tested).  Saturates once every signal has diverged. *)
+    (property-tested).  Saturates once every signal has diverged.
+
+    [scratch] lends the observer its per-signal state array (length at
+    least the golden's signal count; overwritten with [-1] up front) so
+    a campaign can reuse one buffer across every run on a domain
+    instead of allocating per run.  The divergence thunk reads from
+    [scratch], so extract results before the next run reuses it.
+    @raise Invalid_argument if [scratch] is shorter than the golden's
+    signal count. *)
 
 val tolerant_divergence :
   ?from_ms:int ->

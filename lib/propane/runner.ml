@@ -4,21 +4,44 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let default_max_ms = 20_000
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain execution arena.
+
+   Everything an injection run needs besides the (immutable, shared)
+   frozen golden lives here and is reused across every run a domain
+   executes: the signal-name table for per-name sampling, the flat
+   sample buffer handed to observers, and the divergence observer's
+   per-signal scratch.  One arena per worker domain means the
+   millisecond loop allocates nothing and domains never contend on
+   mutable state — goldens are frozen int arrays shared read-only. *)
+
+type arena = {
+  a_names : string array;  (* signal-list order, as trace sets use *)
+  a_buf : int array;  (* one slot per traced signal *)
+  a_first : int array;  (* divergence scratch, one slot per signal *)
+}
+
+let make_arena (sut : Sut.t) =
+  let names = Array.of_list (Sut.signal_names sut) in
+  let n = Array.length names in
+  { a_names = names; a_buf = Array.make n 0; a_first = Array.make n (-1) }
+
 (* One flat read of every traced signal (signal-list order) into a
    reusable buffer.  SUTs exposing a bulk [snapshot] skip the per-name
    lookup of [read]. *)
-let sampler_of (sut : Sut.t) (instance : Sut.instance) =
+let sampler_of ~arena (instance : Sut.instance) =
   match instance.Sut.snapshot with
   | Some snap -> snap
   | None ->
-      let names = Array.of_list (Sut.signal_names sut) in
-      fun buf -> Array.iteri (fun i n -> buf.(i) <- instance.Sut.read n) names
+      fun buf ->
+        Array.iteri (fun i n -> buf.(i) <- instance.Sut.read n) arena.a_names
 
 let golden_run ?(max_ms = default_max_ms) (sut : Sut.t) testcase =
+  let arena = make_arena sut in
   let instance = sut.Sut.instantiate testcase in
   let traces = Trace_set.create ~signals:(Sut.signal_names sut) () in
-  let sampler = sampler_of sut instance in
-  let buf = Array.make (List.length sut.Sut.signals) 0 in
+  let sampler = sampler_of ~arena instance in
+  let buf = arena.a_buf in
   let rec go ms =
     if ms >= max_ms || instance.Sut.finished () then traces
     else begin
@@ -36,8 +59,8 @@ let golden_run ?(max_ms = default_max_ms) (sut : Sut.t) testcase =
 let sanitize_reason s =
   String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
 
-let observed_run ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms testcase
-    injection (observer : Observer.t) =
+let observed_run_in ~arena ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms
+    testcase injection (observer : Observer.t) =
   let target = injection.Injection.target in
   if not (Sut.has_signal sut target) then
     invalid_arg
@@ -68,8 +91,8 @@ let observed_run ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms testcase
   (match sut.Sut.instantiate testcase with
   | exception e -> crash ~ms:0 e
   | instance ->
-      let sampler = sampler_of sut instance in
-      let buf = Array.make (List.length sut.Sut.signals) 0 in
+      let sampler = sampler_of ~arena instance in
+      let buf = arena.a_buf in
       (* Each millisecond: watchdog, finish check, injection, step,
          sample.  Any exception out of the SUT is this run's crash, not
          the campaign's. *)
@@ -116,6 +139,11 @@ let observed_run ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms testcase
   observer.Observer.finish ~run_ms:!run_ms;
   (!run_ms, !status)
 
+let observed_run ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms testcase
+    injection observer =
+  observed_run_in ~arena:(make_arena sut) ?rng ?run_timeout_ms sut
+    ~duration_ms testcase injection observer
+
 let truncated_duration ?truncate_after_ms ~inject_at duration_ms =
   match truncate_after_ms with
   | None -> duration_ms
@@ -131,8 +159,8 @@ let injection_run ?rng ?truncate_after_ms (sut : Sut.t) ~duration_ms testcase
   ignore (observed_run ?rng sut ~duration_ms testcase injection recorder);
   traces ()
 
-let run_experiment ?rng ?truncate_after_ms ?run_timeout_ms ?(observers = [])
-    sut ~golden testcase injection =
+let run_experiment_in ~arena ?rng ?truncate_after_ms ?run_timeout_ms
+    ?(observers = []) sut ~golden testcase injection =
   let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
   let duration_ms =
     truncated_duration ?truncate_after_ms ~inject_at
@@ -142,9 +170,12 @@ let run_experiment ?rng ?truncate_after_ms ?run_timeout_ms ?(observers = [])
     (* A truncated run only vouches for the window it covers. *)
     match truncate_after_ms with None -> None | Some _ -> Some duration_ms
   in
-  let div, divergences = Observer.divergence ?until_ms golden in
+  let div, divergences =
+    Observer.divergence ?until_ms ~scratch:arena.a_first golden
+  in
   let _run_ms, status =
-    observed_run ?rng ?run_timeout_ms sut ~duration_ms testcase injection
+    observed_run_in ~arena ?rng ?run_timeout_ms sut ~duration_ms testcase
+      injection
       (Observer.combine (div :: observers))
   in
   let divergences =
@@ -155,6 +186,176 @@ let run_experiment ?rng ?truncate_after_ms ?run_timeout_ms ?(observers = [])
     match status with Results.Hung _ -> [] | _ -> divergences ()
   in
   { Results.testcase = Testcase.id testcase; injection; divergences; status }
+
+let run_experiment ?rng ?truncate_after_ms ?run_timeout_ms ?observers sut
+    ~golden testcase injection =
+  run_experiment_in ~arena:(make_arena sut) ?rng ?truncate_after_ms
+    ?run_timeout_ms ?observers sut ~golden testcase injection
+
+(* ------------------------------------------------------------------ *)
+
+module Config = struct
+  type t = {
+    max_ms : int;
+    seed : int64;
+    truncate_after_ms : int option;
+    run_timeout_ms : int option;
+    retries : int;
+    fail_fast : bool;
+    jobs : int;
+    journal : string option;
+    resume : bool;
+    journal_batch : int;
+    keep_traces : bool;
+    stop_when : Live.rule option;
+  }
+
+  let default =
+    {
+      max_ms = default_max_ms;
+      seed = 42L;
+      truncate_after_ms = None;
+      run_timeout_ms = None;
+      retries = 0;
+      fail_fast = false;
+      jobs = 1;
+      journal = None;
+      resume = false;
+      journal_batch = 32;
+      keep_traces = false;
+      stop_when = None;
+    }
+
+  let make ?(max_ms = default.max_ms) ?(seed = default.seed)
+      ?truncate_after_ms ?run_timeout_ms ?(retries = default.retries)
+      ?(fail_fast = default.fail_fast) ?(jobs = default.jobs) ?journal
+      ?(resume = default.resume) ?(journal_batch = default.journal_batch)
+      ?(keep_traces = default.keep_traces) ?stop_when () =
+    {
+      max_ms;
+      seed;
+      truncate_after_ms;
+      run_timeout_ms;
+      retries;
+      fail_fast;
+      jobs;
+      journal;
+      resume;
+      journal_batch;
+      keep_traces;
+      stop_when;
+    }
+
+  let validate t =
+    if t.jobs < 1 then Error "jobs must be >= 1"
+    else if t.retries < 0 then Error "retries must be >= 0"
+    else if
+      match t.run_timeout_ms with Some ms -> ms < 1 | None -> false
+    then Error "run_timeout_ms must be >= 1"
+    else if t.journal_batch < 1 then Error "journal_batch must be >= 1"
+    else if t.resume && t.journal = None then Error "resume requires a journal"
+    else Ok ()
+
+  (* The encoded form travels inside cluster recipes (one field of a
+     [;]-separated recipe), so fields are [,]-separated [k=v] pairs and
+     must never contain either separator.  [journal] and [resume] are
+     host-local (a path on the coordinator's disk means nothing to a
+     worker) and are deliberately not encoded; [decode] leaves them at
+     their defaults. *)
+  let encode t =
+    let b = Buffer.create 96 in
+    let add k v =
+      if Buffer.length b > 0 then Buffer.add_char b ',';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v
+    in
+    add "max_ms" (string_of_int t.max_ms);
+    add "seed" (Int64.to_string t.seed);
+    Option.iter
+      (fun ms -> add "truncate_after_ms" (string_of_int ms))
+      t.truncate_after_ms;
+    Option.iter
+      (fun ms -> add "run_timeout_ms" (string_of_int ms))
+      t.run_timeout_ms;
+    add "retries" (string_of_int t.retries);
+    add "fail_fast" (string_of_bool t.fail_fast);
+    add "jobs" (string_of_int t.jobs);
+    add "journal_batch" (string_of_int t.journal_batch);
+    add "keep_traces" (string_of_bool t.keep_traces);
+    Option.iter (fun r -> add "stop_when" (Live.rule_to_string r)) t.stop_when;
+    Buffer.contents b
+
+  let decode s =
+    let ( let* ) = Result.bind in
+    let int_field k v =
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "Runner.Config: bad %s %S" k v)
+    in
+    let bool_field k v =
+      match bool_of_string_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "Runner.Config: bad %s %S" k v)
+    in
+    let* config =
+      List.fold_left
+        (fun acc field ->
+          let* t = acc in
+          match String.index_opt field '=' with
+          | None ->
+              Error (Printf.sprintf "Runner.Config: bad field %S" field)
+          | Some i -> (
+              let k = String.sub field 0 i in
+              let v =
+                String.sub field (i + 1) (String.length field - i - 1)
+              in
+              match k with
+              | "max_ms" ->
+                  let* n = int_field k v in
+                  Ok { t with max_ms = n }
+              | "seed" -> (
+                  match Int64.of_string_opt v with
+                  | Some seed -> Ok { t with seed }
+                  | None ->
+                      Error (Printf.sprintf "Runner.Config: bad seed %S" v))
+              | "truncate_after_ms" ->
+                  let* n = int_field k v in
+                  Ok { t with truncate_after_ms = Some n }
+              | "run_timeout_ms" ->
+                  let* n = int_field k v in
+                  Ok { t with run_timeout_ms = Some n }
+              | "retries" ->
+                  let* n = int_field k v in
+                  Ok { t with retries = n }
+              | "fail_fast" ->
+                  let* b = bool_field k v in
+                  Ok { t with fail_fast = b }
+              | "jobs" ->
+                  let* n = int_field k v in
+                  Ok { t with jobs = n }
+              | "journal_batch" ->
+                  let* n = int_field k v in
+                  Ok { t with journal_batch = n }
+              | "keep_traces" ->
+                  let* b = bool_field k v in
+                  Ok { t with keep_traces = b }
+              | "stop_when" ->
+                  let* rule =
+                    Result.map_error
+                      (Printf.sprintf "Runner.Config: %s")
+                      (Live.rule_of_string v)
+                  in
+                  Ok { t with stop_when = Some rule }
+              | _ -> Error (Printf.sprintf "Runner.Config: unknown field %S" k)))
+        (Ok default)
+        (String.split_on_char ',' s)
+    in
+    let* () = validate config in
+    Ok config
+end
+
+(* ------------------------------------------------------------------ *)
 
 type progress = { completed : int; total : int }
 
@@ -236,8 +437,8 @@ let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
    record-everything data path.  A crashed or hung attempt is re-run up
    to [retries] times on a fresh RNG stream before its failure stands;
    the returned int is the number of re-executions actually taken. *)
-let run_one ~seed ?truncate_after_ms ?run_timeout_ms ?(retries = 0) ~keep
-    ~golden_for (sut : Sut.t) experiments idx =
+let run_one ~arena ~seed ?truncate_after_ms ?run_timeout_ms ?(retries = 0)
+    ~keep ~golden_for (sut : Sut.t) experiments idx =
   let testcase, injection = experiments.(idx) in
   let golden = golden_for testcase in
   let attempt_one attempt =
@@ -247,14 +448,14 @@ let run_one ~seed ?truncate_after_ms ?run_timeout_ms ?(retries = 0) ~keep
         Observer.recorder ~signals:(Sut.signal_names sut)
       in
       let outcome =
-        run_experiment ~rng ?truncate_after_ms ?run_timeout_ms
+        run_experiment_in ~arena ~rng ?truncate_after_ms ?run_timeout_ms
           ~observers:[ recorder ] sut ~golden testcase injection
       in
       (outcome, Some (traces ()))
     end
     else
-      ( run_experiment ~rng ?truncate_after_ms ?run_timeout_ms sut ~golden
-          testcase injection,
+      ( run_experiment_in ~arena ~rng ?truncate_after_ms ?run_timeout_ms sut
+          ~golden testcase injection,
         None )
   in
   let rec go attempt =
@@ -276,15 +477,22 @@ let run_one ~seed ?truncate_after_ms ?run_timeout_ms ?(retries = 0) ~keep
    run.  Outcome determinism is index-based exactly as in {!run}, so
    any partition of indices over any number of processes reproduces the
    serial campaign outcome for outcome. *)
-let executor ?(max_ms = default_max_ms) ?truncate_after_ms ?run_timeout_ms
-    ?(retries = 0) ~seed (sut : Sut.t) campaign =
-  if retries < 0 then invalid_arg "Runner.executor: retries must be >= 0";
-  (match run_timeout_ms with
-  | Some t when t < 1 ->
-      invalid_arg "Runner.executor: run_timeout_ms must be >= 1"
-  | _ -> ());
+let executor ?(config = Config.default) ~seed (sut : Sut.t) campaign =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Runner.executor: %s" msg));
+  let {
+    Config.max_ms;
+    truncate_after_ms;
+    run_timeout_ms;
+    retries;
+    _;
+  } =
+    config
+  in
   let experiments = Array.of_list (Campaign.experiments campaign) in
   let total = Array.length experiments in
+  let arena = make_arena sut in
   let goldens : (string, Golden.frozen) Hashtbl.t = Hashtbl.create 8 in
   let golden_for tc =
     let id = Testcase.id tc in
@@ -302,16 +510,19 @@ let executor ?(max_ms = default_max_ms) ?truncate_after_ms ?run_timeout_ms
         (Printf.sprintf "Runner.executor: index %d outside campaign of %d"
            index total);
     let outcome, _traces, retried =
-      run_one ~seed ?truncate_after_ms ?run_timeout_ms ~retries ~keep:false
-        ~golden_for sut experiments index
+      run_one ~arena ~seed ?truncate_after_ms ?run_timeout_ms ~retries
+        ~keep:false ~golden_for sut experiments index
     in
     (outcome, retried)
 
 (* Every remaining experiment, distributed over [jobs] worker domains
-   by an atomic cursor.  Workers hand finished outcomes to the
-   coordinating domain over a queue; journal appends and [on_event] /
-   [on_run_traces] callbacks happen only there, so callers never need
-   thread-safe callbacks and the journal has a single writer. *)
+   by an atomic cursor.  Each worker owns a private arena (sample
+   buffer, divergence scratch) so the hot loop is allocation-free and
+   domains share only the frozen goldens, which are immutable.  Workers
+   hand finished outcomes to the coordinating domain over a queue;
+   journal appends and [on_event] / [on_run_traces] callbacks happen
+   only there, so callers never need thread-safe callbacks and the
+   journal has a single writer. *)
 let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
     ~fail_fast ~keep ~stop ~experiments ~remaining ~golden_for ~outcomes
     ~record sut =
@@ -328,13 +539,14 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
     Mutex.unlock mutex
   in
   let worker wid () =
+    let arena = make_arena sut in
     let rec loop () =
       let slot = Atomic.fetch_and_add next 1 in
       if slot < n then begin
         let idx = remaining.(slot) in
         let outcome, traces, retried =
-          run_one ~seed ?truncate_after_ms ?run_timeout_ms ?retries ~keep
-            ~golden_for sut experiments idx
+          run_one ~arena ~seed ?truncate_after_ms ?run_timeout_ms ?retries
+            ~keep ~golden_for sut experiments idx
         in
         post (Ok (idx, wid, outcome, traces, retried));
         if fail_fast && Results.is_failed outcome.Results.status then
@@ -376,17 +588,27 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
   List.iter Domain.join domains;
   match !failure with Some e -> raise e | None -> ()
 
-let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
-    ?run_timeout_ms ?(retries = 0) ?(fail_fast = false) ?(jobs = 1) ?journal
-    ?(resume = false) ?on_event ?(keep_traces = false) ?on_run_traces ?live
-    ?stop_when (sut : Sut.t) campaign =
-  if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
-  if retries < 0 then invalid_arg "Runner.run: retries must be >= 0";
-  (match run_timeout_ms with
-  | Some t when t < 1 -> invalid_arg "Runner.run: run_timeout_ms must be >= 1"
-  | _ -> ());
-  if resume && journal = None then
-    invalid_arg "Runner.run: resume requires a journal";
+let run ?(config = Config.default) ?on_event ?on_run_traces ?live
+    (sut : Sut.t) campaign =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg));
+  let {
+    Config.max_ms;
+    seed;
+    truncate_after_ms;
+    run_timeout_ms;
+    retries;
+    fail_fast;
+    jobs;
+    journal;
+    resume;
+    journal_batch;
+    keep_traces;
+    stop_when;
+  } =
+    config
+  in
   if stop_when <> None && live = None then
     invalid_arg "Runner.run: stop_when requires a live analysis";
   let keep = keep_traces || on_run_traces <> None in
@@ -405,13 +627,67 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
     | Some path ->
         Some
           (or_invalid
-             (if skipped > 0 then Journal.append_to path
+             (if skipped > 0 then Journal.append_to ~batch:journal_batch path
               else
-                Journal.create ~path ~sut:sut.Sut.name
+                Journal.create ~batch:journal_batch ~path ~sut:sut.Sut.name
                   ~campaign:campaign.Campaign.name ~seed ~total ()))
   in
+  (* Reorder buffer: parallel completions arrive in scheduling order,
+     but the journal is written in strict campaign-index order — a
+     cursor chases the first still-missing index, so a journal is
+     always byte-identical to the serial journal's prefix, whatever
+     the interleaving.  [written.(i)] marks records already on disk
+     (journal replays count).  Workers are never stalled: a completion
+     beyond the gap parks in [outcomes] and the cursor drains it the
+     moment the gap fills. *)
+  let written = Array.make total false in
+  Array.iteri (fun i o -> if o <> None then written.(i) <- true) outcomes;
+  let next_write = ref 0 in
+  let append_in_order () =
+    match writer with
+    | None -> ()
+    | Some w ->
+        let rec advance () =
+          if !next_write < total then
+            if written.(!next_write) then begin
+              incr next_write;
+              advance ()
+            end
+            else
+              match outcomes.(!next_write) with
+              | Some o ->
+                  or_invalid (Journal.append w ~index:!next_write o);
+                  written.(!next_write) <- true;
+                  incr next_write;
+                  advance ()
+              | None -> ()
+        in
+        advance ()
+  in
+  (* An early stop (fail-fast, adaptive rule, or a raising callback)
+     can leave completed runs parked beyond the cursor's gap; they are
+     appended out of order before close so no finished work is lost —
+     resume re-runs only the genuinely missing indices. *)
+  let sweep_tail () =
+    match writer with
+    | None -> ()
+    | Some w ->
+        for idx = !next_write to total - 1 do
+          if not written.(idx) then
+            match outcomes.(idx) with
+            | Some o ->
+                or_invalid (Journal.append w ~index:idx o);
+                written.(idx) <- true
+            | None -> ()
+        done
+  in
   Fun.protect
-    ~finally:(fun () -> Option.iter Journal.close writer)
+    ~finally:(fun () ->
+      Option.iter
+        (fun w ->
+          sweep_tail ();
+          Journal.close w)
+        writer)
     (fun () ->
       let remaining =
         List.filter
@@ -445,9 +721,7 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
       let golden_for tc = String_map.find (Testcase.id tc) goldens in
       let completed = ref skipped in
       let record ~index ~worker ~retries outcome traces =
-        Option.iter
-          (fun w -> or_invalid (Journal.append w ~index outcome))
-          writer;
+        append_in_order ();
         (match (on_run_traces, traces) with
         | Some f, Some set -> f ~index set
         | _ -> ());
@@ -467,13 +741,14 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
         | None -> ()
       in
       let stopped = ref (stop ()) in
-      if jobs = 1 then
+      if jobs = 1 then begin
+        let arena = make_arena sut in
         List.iter
           (fun idx ->
             if not !stopped then begin
               let outcome, traces, retried =
-                run_one ~seed ?truncate_after_ms ?run_timeout_ms ~retries
-                  ~keep ~golden_for sut experiments idx
+                run_one ~arena ~seed ?truncate_after_ms ?run_timeout_ms
+                  ~retries ~keep ~golden_for sut experiments idx
               in
               outcomes.(idx) <- Some outcome;
               record ~index:idx ~worker:0 ~retries:retried outcome traces;
@@ -482,6 +757,7 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
               if stop () then stopped := true
             end)
           remaining
+      end
       else if not !stopped then
         run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ~retries
           ~fail_fast ~keep ~stop ~experiments ~remaining ~golden_for ~outcomes
@@ -499,6 +775,19 @@ let run ?(max_ms = default_max_ms) ?(seed = 42L) ?truncate_after_ms
         outcomes;
       results)
 
+(* ------------------------------------------------------------------ *)
+(* Deprecated entry points. *)
+
+let run_args ?max_ms ?seed ?truncate_after_ms ?run_timeout_ms ?retries
+    ?fail_fast ?jobs ?journal ?resume ?on_event ?keep_traces ?on_run_traces
+    ?live ?stop_when sut campaign =
+  let config =
+    Config.make ?max_ms ?seed ?truncate_after_ms ?run_timeout_ms ?retries
+      ?fail_fast ?jobs ?journal ?resume ~journal_batch:1 ?keep_traces
+      ?stop_when ()
+  in
+  run ~config ?on_event ?on_run_traces ?live sut campaign
+
 let run_campaign ?max_ms ?seed ?truncate_after_ms ?on_progress sut campaign =
   let on_event =
     Option.map
@@ -508,7 +797,8 @@ let run_campaign ?max_ms ?seed ?truncate_after_ms ?on_progress sut campaign =
         | Finished _ -> ())
       on_progress
   in
-  run ?max_ms ?seed ?truncate_after_ms ?on_event sut campaign
+  run ~config:(Config.make ?max_ms ?seed ?truncate_after_ms ()) ?on_event sut
+    campaign
 
 let run_campaign_parallel ?max_ms ?seed ?truncate_after_ms ?domains sut
     campaign =
@@ -518,4 +808,5 @@ let run_campaign_parallel ?max_ms ?seed ?truncate_after_ms ?domains sut
     | Some _ -> invalid_arg "Runner.run_campaign_parallel: domains must be >= 1"
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
-  run ?max_ms ?seed ?truncate_after_ms ~jobs sut campaign
+  run ~config:(Config.make ?max_ms ?seed ?truncate_after_ms ~jobs ()) sut
+    campaign

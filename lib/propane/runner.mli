@@ -103,6 +103,75 @@ val run_experiment :
     outcome's divergences are discarded (how far the run got is
     wall-clock dependent, and outcomes must stay deterministic). *)
 
+(** {1 Campaign configuration}
+
+    Every knob a campaign accepts, in one plain record — the single
+    source of options shared by {!run}, {!executor}, the cluster
+    coordinator ({!Cluster.Coordinator.serve}) and the CLI, so the
+    execution modes cannot drift apart in what they accept. *)
+
+module Config : sig
+  type t = {
+    max_ms : int;  (** golden-run safety net, {!default_max_ms} *)
+    seed : int64;  (** campaign seed; every run's RNG derives from it *)
+    truncate_after_ms : int option;
+        (** stop each run this long after its injection *)
+    run_timeout_ms : int option;  (** wall-clock watchdog per run *)
+    retries : int;  (** re-executions of a crashed/hung run *)
+    fail_fast : bool;  (** abort the campaign on a failed run *)
+    jobs : int;  (** worker domains; 1 = everything in the caller *)
+    journal : string option;  (** stream outcomes to this path *)
+    resume : bool;  (** replay an existing journal first *)
+    journal_batch : int;
+        (** commit journal records to disk every this many appends
+            (see {!Journal.create}); contents are unaffected, only the
+            crash-loss window — at most [journal_batch - 1] records,
+            re-run on resume *)
+    keep_traces : bool;  (** record full per-run traces *)
+    stop_when : Live.rule option;
+        (** adaptive stop rule; needs [?live] at {!run} *)
+  }
+
+  val default : t
+  (** [max_ms = default_max_ms], [seed = 42], no truncation, no
+      watchdog, no retries, no fail-fast, [jobs = 1], no journal,
+      [journal_batch = 32], streaming (no kept traces), no stop rule. *)
+
+  val make :
+    ?max_ms:int ->
+    ?seed:int64 ->
+    ?truncate_after_ms:int ->
+    ?run_timeout_ms:int ->
+    ?retries:int ->
+    ?fail_fast:bool ->
+    ?jobs:int ->
+    ?journal:string ->
+    ?resume:bool ->
+    ?journal_batch:int ->
+    ?keep_traces:bool ->
+    ?stop_when:Live.rule ->
+    unit ->
+    t
+  (** {!default} with the given fields replaced.  Construction never
+      fails; {!validate} (called by every entry point taking a config)
+      checks the combination. *)
+
+  val validate : t -> (unit, string) result
+  (** [jobs >= 1], [retries >= 0], [run_timeout_ms >= 1],
+      [journal_batch >= 1], and [resume] only with a [journal]. *)
+
+  val encode : t -> string
+  (** Serialises for a cluster recipe: [,]-separated [k=v] fields, no
+      tabs or newlines, safe to embed as one field of a [;]-separated
+      recipe.  [journal] and [resume] are host-local (a coordinator
+      path means nothing on a worker) and are not encoded. *)
+
+  val decode : string -> (t, string) result
+  (** Inverse of {!encode} over the encoded fields; [journal]/[resume]
+      come back as {!default}'s.  Unknown fields are errors, so recipe
+      typos fail loudly.  The decoded config is {!validate}d. *)
+end
+
 (** {1 Campaign engine}
 
     {!run} executes a whole campaign — serially or across worker
@@ -110,9 +179,13 @@ val run_experiment :
     reporting progress through typed {!event}s.  Campaigns are
     deterministic for a fixed [seed]: each run's random generator is
     derived from the seed and the experiment index alone, never from
-    execution order, so [~jobs:n] produces outcome-for-outcome the
-    same {!Results.t} as [~jobs:1], and an interrupted campaign
-    resumed from its journal matches an uninterrupted one exactly. *)
+    execution order, so [jobs = n] produces outcome-for-outcome the
+    same {!Results.t} as [jobs = 1], and an interrupted campaign
+    resumed from its journal matches an uninterrupted one exactly.
+
+    Journals are additionally {e byte}-identical across [jobs] values:
+    parallel completions pass through a reorder buffer and are written
+    in strict campaign-index order (see {!run}). *)
 
 type event =
   | Started of { total : int; skipped : int; jobs : int }
@@ -153,25 +226,18 @@ exception Failed_run of { index : int; outcome : Results.outcome }
     journalled and reported via [Run_done] when this escapes. *)
 
 val run :
-  ?max_ms:int ->
-  ?seed:int64 ->
-  ?truncate_after_ms:int ->
-  ?run_timeout_ms:int ->
-  ?retries:int ->
-  ?fail_fast:bool ->
-  ?jobs:int ->
-  ?journal:string ->
-  ?resume:bool ->
+  ?config:Config.t ->
   ?on_event:(event -> unit) ->
-  ?keep_traces:bool ->
   ?on_run_traces:(index:int -> Trace_set.t -> unit) ->
   ?live:Live.t ->
-  ?stop_when:Live.rule ->
   Sut.t ->
   Campaign.t ->
   Results.t
-(** Runs every experiment of {!Campaign.experiments} and returns the
-    outcomes in campaign order.
+(** Runs every experiment of {!Campaign.experiments} under [config]
+    (default {!Config.default}) and returns the outcomes in campaign
+    order.  Campaign options live in the {!Config.t}; only the runtime
+    attachments — callbacks and the stateful live analysis — remain
+    parameters.  Field names below refer to the config record.
 
     {b Live analysis and adaptive stopping.}  [live] attaches a
     {!Live.t}: every completed outcome (including journal replays, in
@@ -206,11 +272,21 @@ val run :
     always called from the calling domain, in completion order.
 
     [journal] streams every outcome to an append-only {!Journal} at
-    that path as it completes, so a crash loses at most the runs in
-    flight.  With [resume] (requires [journal]) a pre-existing journal
-    is replayed first: completed experiment indices are skipped and
-    the campaign continues where it stopped.  The journal must match
-    the campaign's SUT, name, seed and size.
+    that path.  Appends pass through a reorder buffer: a cursor writes
+    records in strict campaign-index order, so the journal of a
+    [jobs = n] campaign is byte-identical to the serial one — out of
+    order completions park in memory (workers never stall on the
+    writer) until the gap before them fills.  Records are committed to
+    disk every [journal_batch] appends (and at close), so a killed
+    campaign loses at most [journal_batch - 1] records plus a
+    truncated fragment; what is on disk is always an exact prefix of
+    the serial journal, and resume re-runs exactly the missing tail.
+    Only an early stop (fail-fast, adaptive rule) can append completed
+    runs beyond a never-filled gap out of order, just before close, so
+    no finished work is lost.  With [resume] (requires [journal]) a
+    pre-existing journal is replayed first: completed experiment
+    indices are skipped and the campaign continues where it stopped.
+    The journal must match the campaign's SUT, name, seed and size.
 
     [on_event] observes the life of the campaign (see {!event});
     events are always emitted from the calling domain, in order, so
@@ -236,17 +312,14 @@ val run :
     invocations on a loaded machine, while [Crashed] outcomes are
     fully deterministic.
 
-    @raise Invalid_argument if [jobs < 1], [retries < 0],
-    [run_timeout_ms < 1], if [resume] is set without [journal], or if
-    a journal fails to load or belongs to a different campaign.
+    @raise Invalid_argument if {!Config.validate} rejects [config], if
+    [stop_when] is set without [live], or if a journal fails to load
+    or belongs to a different campaign.
     @raise Failed_run under [fail_fast] as described above.
     @raise Sys_error on journal I/O failure. *)
 
 val executor :
-  ?max_ms:int ->
-  ?truncate_after_ms:int ->
-  ?run_timeout_ms:int ->
-  ?retries:int ->
+  ?config:Config.t ->
   seed:int64 ->
   Sut.t ->
   Campaign.t ->
@@ -256,20 +329,46 @@ val executor :
     {!Cluster}): [executor ~seed sut campaign] prepares the campaign
     once and returns a function mapping an experiment index of
     {!Campaign.experiments} to its outcome and the number of retries
-    taken — exactly the outcome {!run} with the same parameters
-    produces at that index, whatever process or machine executes it,
-    because each run's RNG stream is derived from [seed] and the index
-    alone.  Partial application matters: golden runs execute lazily the
-    first time an index needs their test case and stay memoised across
-    calls.
+    taken — exactly the outcome {!run} with the same config produces
+    at that index, whatever process or machine executes it, because
+    each run's RNG stream is derived from [seed] and the index alone.
+    [seed] is a separate argument — a cluster worker learns it from
+    the coordinator's [Welcome], not from the shipped recipe.  Partial
+    application matters: golden runs execute lazily the first time an
+    index needs their test case and stay memoised across calls.
 
-    [retries], [run_timeout_ms] and [truncate_after_ms] behave as in
-    {!run}.  @raise Invalid_argument on a bad parameter or an index
-    outside the campaign. *)
+    Of [config] only [max_ms], [truncate_after_ms], [run_timeout_ms]
+    and [retries] apply — scheduling and journalling fields belong to
+    whoever coordinates the indices.
+    @raise Invalid_argument on an invalid config or an index outside
+    the campaign. *)
 
 (** {1 Deprecated entry points} *)
 
 type progress = { completed : int; total : int }
+
+val run_args :
+  ?max_ms:int ->
+  ?seed:int64 ->
+  ?truncate_after_ms:int ->
+  ?run_timeout_ms:int ->
+  ?retries:int ->
+  ?fail_fast:bool ->
+  ?jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?on_event:(event -> unit) ->
+  ?keep_traces:bool ->
+  ?on_run_traces:(index:int -> Trace_set.t -> unit) ->
+  ?live:Live.t ->
+  ?stop_when:Live.rule ->
+  Sut.t ->
+  Campaign.t ->
+  Results.t
+[@@ocaml.deprecated "use Runner.run with a Runner.Config.t instead"]
+(** The pre-{!Config} calling convention: every option as its own
+    optional argument.  Builds a {!Config.t} (with [journal_batch = 1],
+    matching the old per-record commit) and calls {!run}. *)
 
 val run_campaign :
   ?max_ms:int ->

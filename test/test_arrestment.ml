@@ -626,7 +626,10 @@ let campaign_tests =
             ~errors:(Propane.Error_model.bit_flips ~width:Signals.width)
         in
         let results =
-          Propane.Runner.run ~seed:5L ~truncate_after_ms:128 (System.sut ())
+          Propane.Runner.run
+            ~config:
+              (Propane.Runner.Config.make ~seed:5L ~truncate_after_ms:128 ())
+            (System.sut ())
             campaign
         in
         match Propane.Estimator.estimate_all ~model:Model.system results with

@@ -174,6 +174,28 @@ let frame_tests =
         | Ok (Some _) -> Alcotest.fail "incomplete frame returned"
         | Error msg -> Alcotest.failf "decoder error: %s" msg);
         Alcotest.(check int) "buffered" 6 (Cluster.Frame.buffered dec));
+    Alcotest.test_case "write_many is one valid frame stream" `Quick
+      (fun () ->
+        (* The worker's batched result flush: several frames in a
+           single write must read back unchanged frame by frame. *)
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close a with Unix.Unix_error _ -> ());
+            try Unix.close b with Unix.Unix_error _ -> ())
+          (fun () ->
+            let payloads = [ "first"; ""; "tab\tand\nnewline"; "last" ] in
+            Cluster.Frame.write_many a [];
+            Cluster.Frame.write_many a payloads;
+            Unix.close a;
+            let r = Cluster.Frame.reader b in
+            let rec drain acc =
+              match Cluster.Frame.read r with
+              | Ok (Some p) -> drain (p :: acc)
+              | Ok None -> List.rev acc
+              | Error msg -> Alcotest.failf "read failed: %s" msg
+            in
+            Alcotest.(check (list string)) "payloads" payloads (drain [])));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -336,7 +358,9 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let serial_reference ~journal =
-  Propane.Runner.run ~seed ~jobs:1 ~journal (scaler_sut ()) scaler_campaign
+  Propane.Runner.run
+    ~config:(Propane.Runner.Config.make ~seed ~jobs:1 ~journal ())
+    (scaler_sut ()) scaler_campaign
 
 (* Workers run in their own domains; [Coordinator.serve] blocks the
    test's domain.  [worker_hooks] gives each spawned worker its own
@@ -371,9 +395,12 @@ let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
         (try Unix.close listen with Unix.Unix_error _ -> ());
         Cluster.Address.unlink addr)
       (fun () ->
-        Cluster.Coordinator.serve ~heartbeat_timeout_s ?journal ~resume
-          ?live ?stop_when ~batch_max:8 ~listen ~sut:"scaler"
-          ~campaign:"scaler" ~seed
+        let config =
+          Propane.Runner.Config.make ~seed ?journal ~resume
+            ~jobs:(List.length worker_hooks) ?stop_when ()
+        in
+        Cluster.Coordinator.serve ~heartbeat_timeout_s ?live ~config
+          ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler"
           ~total:(Propane.Campaign.size scaler_campaign)
           ())
   in

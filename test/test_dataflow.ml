@@ -295,7 +295,9 @@ let random_system_tests =
            let system = build_random spec in
            let sut = B.sut system in
            let model = B.model system in
-           let results = Propane.Runner.run ~seed:1L sut (mini_campaign system) in
+           let results = Propane.Runner.run
+             ~config:(Propane.Runner.Config.make ~seed:1L ())
+             sut (mini_campaign system) in
            match Propane.Estimator.estimate_all ~model results with
            | Error _ ->
                (* Only the first target was injected; estimate per

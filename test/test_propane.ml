@@ -25,6 +25,19 @@ let contains_substring haystack needle =
   in
   go 0
 
+(* All runner invocations below go through the {!Propane.Runner.Config}
+   API; this shim keeps the flat labels the test bodies were written
+   with while exercising exactly the packaged-config entry point. *)
+let runner ?max_ms ?seed ?truncate_after_ms ?run_timeout_ms ?retries
+    ?fail_fast ?jobs ?journal ?resume ?journal_batch ?keep_traces ?stop_when
+    ?on_event ?on_run_traces ?live sut campaign =
+  let config =
+    Propane.Runner.Config.make ?max_ms ?seed ?truncate_after_ms
+      ?run_timeout_ms ?retries ?fail_fast ?jobs ?journal ?resume
+      ?journal_batch ?keep_traces ?stop_when ()
+  in
+  Propane.Runner.run ~config ?on_event ?on_run_traces ?live sut campaign
+
 (* ------------------------------------------------------------------ *)
 
 let error_model_tests =
@@ -811,7 +824,7 @@ let runner_tests =
     Alcotest.test_case "campaigns are deterministic for a seed" `Quick
       (fun () ->
         let run () =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let a = run () and b = run () in
         Alcotest.(check int)
@@ -836,8 +849,8 @@ let runner_tests =
               (Propane.Error_model.bit_flips ~width:16
               @ [ Propane.Error_model.Replace_uniform ])
         in
-        let seq = Propane.Runner.run ~seed:9L ~jobs:1 (scaler_sut ()) campaign in
-        let par = Propane.Runner.run ~seed:9L ~jobs:3 (scaler_sut ()) campaign in
+        let seq = runner ~seed:9L ~jobs:1 (scaler_sut ()) campaign in
+        let par = runner ~seed:9L ~jobs:3 (scaler_sut ()) campaign in
         Alcotest.(check int)
           "count" (Propane.Results.count seq)
           (Propane.Results.count par);
@@ -852,15 +865,15 @@ let runner_tests =
           (Propane.Results.outcomes seq)
           (Propane.Results.outcomes par));
     check_raises_invalid "run rejects zero jobs" (fun () ->
-        Propane.Runner.run ~jobs:0 (scaler_sut ()) scaler_campaign);
+        runner ~jobs:0 (scaler_sut ()) scaler_campaign);
     check_raises_invalid "resume without a journal is rejected" (fun () ->
-        Propane.Runner.run ~resume:true (scaler_sut ()) scaler_campaign);
+        runner ~resume:true (scaler_sut ()) scaler_campaign);
     Alcotest.test_case "events bracket every run" `Quick (fun () ->
         let size = Propane.Campaign.size scaler_campaign in
         let runs = ref 0 and started = ref 0 and finished = ref 0 in
         let goldens = ref 0 in
         let _ =
-          Propane.Runner.run
+          runner
             ~on_event:(fun ev ->
               match ev with
               | Propane.Runner.Started { total; skipped; jobs } ->
@@ -936,14 +949,14 @@ let runner_tests =
       (fun () ->
         let outcomes r = Propane.Results.outcomes r in
         let streaming =
-          Propane.Runner.run ~seed:5L (scaler_sut ()) scaler_campaign
+          runner ~seed:5L (scaler_sut ()) scaler_campaign
         in
         let kept =
-          Propane.Runner.run ~seed:5L ~keep_traces:true (scaler_sut ())
+          runner ~seed:5L ~keep_traces:true (scaler_sut ())
             scaler_campaign
         in
         let par =
-          Propane.Runner.run ~seed:5L ~jobs:4 (scaler_sut ()) scaler_campaign
+          runner ~seed:5L ~jobs:4 (scaler_sut ()) scaler_campaign
         in
         Alcotest.(check bool)
           "keep-traces identical" true
@@ -956,7 +969,7 @@ let runner_tests =
         let journal_of ~keep_traces =
           let path = Filename.temp_file "propane_stream" ".journal" in
           let _ =
-            Propane.Runner.run ~seed:11L ~journal:path ~keep_traces
+            runner ~seed:11L ~journal:path ~keep_traces
               (scaler_sut ()) scaler_campaign
           in
           let contents =
@@ -972,7 +985,7 @@ let runner_tests =
     Alcotest.test_case "on_run_traces sees every run in full" `Quick (fun () ->
         let seen = ref 0 in
         let _ =
-          Propane.Runner.run ~seed:7L
+          runner ~seed:7L
             ~on_run_traces:(fun ~index:_ set ->
               incr seen;
               Alcotest.(check int)
@@ -988,7 +1001,7 @@ let runner_tests =
         let size = Propane.Campaign.size scaler_campaign in
         let runs = ref 0 in
         let _ =
-          Propane.Runner.run ~jobs:3
+          runner ~jobs:3
             ~on_event:(function
               | Propane.Runner.Run_done { completed; worker; _ } ->
                   incr runs;
@@ -1065,9 +1078,9 @@ let runner_tests =
                String.equal d.signal "k" && d.first_ms = 11)
              (divergences ())));
     check_raises_invalid "watchdog budget must be positive" (fun () ->
-        Propane.Runner.run ~run_timeout_ms:0 (scaler_sut ()) scaler_campaign);
+        runner ~run_timeout_ms:0 (scaler_sut ()) scaler_campaign);
     check_raises_invalid "negative retries rejected" (fun () ->
-        Propane.Runner.run ~retries:(-1) (scaler_sut ()) scaler_campaign);
+        runner ~retries:(-1) (scaler_sut ()) scaler_campaign);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1092,7 +1105,7 @@ let estimator_tests =
         Propane.Estimator.wilson_interval ~errors:2 ~trials:1);
     Alcotest.test_case "scaler permeability is exactly 12/16" `Quick (fun () ->
         let results =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let matrix =
           Propane.Estimator.estimate_matrix ~model:scale_model ~results "SCALE"
@@ -1100,7 +1113,7 @@ let estimator_tests =
         close "P" 0.75 (Propagation.Perm_matrix.get matrix ~input:1 ~output:1));
     Alcotest.test_case "estimates carry campaign detail" `Quick (fun () ->
         let results =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         match
           Propane.Estimator.estimate_pairs ~model:scale_model ~results "SCALE"
@@ -1510,7 +1523,7 @@ let storage_tests =
     Alcotest.test_case "campaign results survive storage end to end" `Quick
       (fun () ->
         let results =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let path = temp ".results" in
         Fun.protect
@@ -1750,13 +1763,13 @@ let journal_tests =
       `Quick (fun () ->
         with_temp (fun path ->
             let baseline =
-              Propane.Runner.run ~seed:3L (scaler_sut ()) scaler_campaign
+              runner ~seed:3L (scaler_sut ()) scaler_campaign
             in
             (* "Kill" the campaign by raising out of the event callback
                after 10 completed runs; the journal keeps the 10. *)
             (try
                ignore
-                 (Propane.Runner.run ~seed:3L ~journal:path
+                 (runner ~seed:3L ~journal:path
                     ~on_event:(fun ev ->
                       match ev with
                       | Propane.Runner.Run_done { completed; _ }
@@ -1771,7 +1784,7 @@ let journal_tests =
               (List.length j.Propane.Journal.entries);
             let skipped = ref (-1) in
             let resumed =
-              Propane.Runner.run ~seed:3L ~journal:path ~resume:true
+              runner ~seed:3L ~journal:path ~resume:true
                 ~on_event:(fun ev ->
                   match ev with
                   | Propane.Runner.Started { skipped = s; _ } -> skipped := s
@@ -1788,12 +1801,12 @@ let journal_tests =
       (fun () ->
         with_temp (fun path ->
             let baseline =
-              Propane.Runner.run ~seed:3L ~journal:path (scaler_sut ())
+              runner ~seed:3L ~journal:path (scaler_sut ())
                 scaler_campaign
             in
             let fresh_runs = ref 0 and goldens = ref (-1) in
             let resumed =
-              Propane.Runner.run ~seed:3L ~journal:path ~resume:true
+              runner ~seed:3L ~journal:path ~resume:true
                 ~on_event:(fun ev ->
                   match ev with
                   | Propane.Runner.Run_done _ -> incr fresh_runs
@@ -1808,10 +1821,10 @@ let journal_tests =
     Alcotest.test_case "parallel runs journal every outcome" `Quick (fun () ->
         with_temp (fun path ->
             let serial =
-              Propane.Runner.run ~seed:3L (scaler_sut ()) scaler_campaign
+              runner ~seed:3L (scaler_sut ()) scaler_campaign
             in
             let parallel =
-              Propane.Runner.run ~seed:3L ~jobs:2 ~journal:path (scaler_sut ())
+              runner ~seed:3L ~jobs:2 ~journal:path (scaler_sut ())
                 scaler_campaign
             in
             check_same_results "parallel" serial parallel;
@@ -1823,10 +1836,10 @@ let journal_tests =
       (fun () ->
         with_temp (fun path ->
             ignore
-              (Propane.Runner.run ~seed:3L ~journal:path (scaler_sut ())
+              (runner ~seed:3L ~journal:path (scaler_sut ())
                  scaler_campaign);
             match
-              Propane.Runner.run ~seed:4L ~journal:path ~resume:true
+              runner ~seed:4L ~journal:path ~resume:true
                 (scaler_sut ()) scaler_campaign
             with
             | exception Invalid_argument msg ->
@@ -2197,7 +2210,7 @@ let live_tests =
   [
     Alcotest.test_case "stream counts equal batch estimation" `Quick (fun () ->
         let results =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let stream = stream_of results in
         Alcotest.(check int)
@@ -2209,7 +2222,7 @@ let live_tests =
           (Propane.Estimator.Stream.matrices stream));
     Alcotest.test_case "stream is order-independent" `Quick (fun () ->
         let results =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let stream = Propane.Estimator.Stream.create ~model:scale_model () in
         List.iter
@@ -2221,7 +2234,7 @@ let live_tests =
     Alcotest.test_case "drain_dirty reports a changed module exactly once"
       `Quick (fun () ->
         let results =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let stream = stream_of results in
         (match Propane.Estimator.Stream.drain_dirty stream with
@@ -2233,7 +2246,7 @@ let live_tests =
     Alcotest.test_case "engine fed one run at a time equals batch analysis"
       `Quick (fun () ->
         let results =
-          Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+          runner ~seed:7L (scaler_sut ()) scaler_campaign
         in
         let stream = Propane.Estimator.Stream.create ~model:scale_model () in
         let engine = Propagation.Analysis.Engine.create scale_model in
@@ -2264,7 +2277,7 @@ let live_tests =
             ~targets:scaler_campaign.Propane.Campaign.targets ()
         in
         let results =
-          Propane.Runner.run ~seed:7L ~live (scaler_sut ()) scaler_campaign
+          runner ~seed:7L ~live (scaler_sut ()) scaler_campaign
         in
         let digest = Propane.Live.digest live in
         Alcotest.(check int)
@@ -2287,7 +2300,7 @@ let live_tests =
         | Error msg -> Alcotest.failf "snapshot failed: %s" msg);
     Alcotest.test_case "stop_when without live is rejected" `Quick (fun () ->
         match
-          Propane.Runner.run
+          runner
             ~stop_when:(`Rankings_stable 3)
             (scaler_sut ()) scaler_campaign
         with
@@ -2303,7 +2316,7 @@ let live_tests =
             Propane.Live.create ~model:scale_model
               ~targets:scaler_campaign.Propane.Campaign.targets ()
           in
-          Propane.Runner.run ~seed:7L ~live ~stop_when:(`Rankings_stable 5)
+          runner ~seed:7L ~live ~stop_when:(`Rankings_stable 5)
             (scaler_sut ()) scaler_campaign
         in
         let first = run () in
@@ -2323,7 +2336,7 @@ let live_tests =
             ~targets:scaler_campaign.Propane.Campaign.targets ()
         in
         let results =
-          Propane.Runner.run ~seed:7L ~live ~stop_when:(`Ci_width 0.45)
+          runner ~seed:7L ~live ~stop_when:(`Ci_width 0.45)
             (scaler_sut ()) scaler_campaign
         in
         Alcotest.(check bool)
@@ -2342,7 +2355,7 @@ let live_tests =
                 ~targets:scaler_campaign.Propane.Campaign.targets ()
             in
             let stopped =
-              Propane.Runner.run ~seed:7L ~journal:path ~live
+              runner ~seed:7L ~journal:path ~live
                 ~stop_when:(`Rankings_stable 5)
                 (scaler_sut ()) scaler_campaign
             in
@@ -2351,11 +2364,11 @@ let live_tests =
               (Propane.Results.count stopped
               < Propane.Campaign.size scaler_campaign);
             let resumed =
-              Propane.Runner.run ~seed:7L ~journal:path ~resume:true
+              runner ~seed:7L ~journal:path ~resume:true
                 (scaler_sut ()) scaler_campaign
             in
             let baseline =
-              Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+              runner ~seed:7L (scaler_sut ()) scaler_campaign
             in
             check_same_results "resumed equals uninterrupted" baseline resumed));
     Alcotest.test_case "resuming feeds journalled runs back into the analysis"
@@ -2367,7 +2380,7 @@ let live_tests =
             in
             let live = mk_live () in
             let stopped =
-              Propane.Runner.run ~seed:7L ~journal:path ~live
+              runner ~seed:7L ~journal:path ~live
                 ~stop_when:(`Rankings_stable 5)
                 (scaler_sut ()) scaler_campaign
             in
@@ -2376,7 +2389,7 @@ let live_tests =
                count picks up where the first left off. *)
             let live2 = mk_live () in
             let resumed =
-              Propane.Runner.run ~seed:7L ~journal:path ~resume:true
+              runner ~seed:7L ~journal:path ~resume:true
                 ~live:live2 (scaler_sut ()) scaler_campaign
             in
             let digest = Propane.Live.digest live2 in
@@ -2390,7 +2403,7 @@ let live_tests =
     Alcotest.test_case "parallel runner with live analysis matches serial"
       `Quick (fun () ->
         let serial =
-          Propane.Runner.run ~seed:9L (scaler_sut ()) scaler_campaign
+          runner ~seed:9L (scaler_sut ()) scaler_campaign
         in
         let live =
           Propane.Live.create ~model:scale_model
@@ -2399,7 +2412,7 @@ let live_tests =
         (* A rule that can never fire: the analysis rides along without
            perturbing the schedule or the results. *)
         let parallel =
-          Propane.Runner.run ~seed:9L ~jobs:3 ~live
+          runner ~seed:9L ~jobs:3 ~live
             ~stop_when:(`Rankings_stable 1_000_000)
             (scaler_sut ()) scaler_campaign
         in
@@ -2437,7 +2450,7 @@ let live_tests =
                 ~targets:scaler_campaign.Propane.Campaign.targets ()
             in
             let stopped =
-              Propane.Runner.run ~seed:7L ~jobs:3 ~journal:path ~live
+              runner ~seed:7L ~jobs:3 ~journal:path ~live
                 ~stop_when:(`Rankings_stable 5)
                 (slow_scaler_sut ()) scaler_campaign
             in
@@ -2451,11 +2464,11 @@ let live_tests =
             (* The prefix resumes with the plain (fast) scaler: journal
                compatibility only depends on sut/campaign names. *)
             let resumed =
-              Propane.Runner.run ~seed:7L ~journal:path ~resume:true
+              runner ~seed:7L ~journal:path ~resume:true
                 (scaler_sut ()) scaler_campaign
             in
             let baseline =
-              Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+              runner ~seed:7L (scaler_sut ()) scaler_campaign
             in
             check_same_results "resumed equals uninterrupted" baseline resumed));
     QCheck_alcotest.to_alcotest
@@ -2464,7 +2477,7 @@ let live_tests =
          QCheck2.Gen.(int_range 1 80)
          (fun prefix ->
            let results =
-             Propane.Runner.run ~seed:7L (scaler_sut ()) scaler_campaign
+             runner ~seed:7L (scaler_sut ()) scaler_campaign
            in
            let outcomes = Propane.Results.outcomes results in
            let prefix = min prefix (List.length outcomes) in
@@ -2599,7 +2612,7 @@ let fault_tests =
     Alcotest.test_case "a crashing SUT yields Crashed outcomes, not an abort"
       `Quick (fun () ->
         let results =
-          Propane.Runner.run ~seed:3L (crashing ()) scaler_campaign
+          runner ~seed:3L (crashing ()) scaler_campaign
         in
         let size = Propane.Campaign.size scaler_campaign in
         Alcotest.(check int)
@@ -2694,7 +2707,7 @@ let fault_tests =
         in
         let hung_events = ref 0 in
         let results =
-          Propane.Runner.run ~seed:3L ~run_timeout_ms:60
+          runner ~seed:3L ~run_timeout_ms:60
             ~on_event:(function
               | Propane.Runner.Run_done { status = Propane.Results.Hung _; _ }
                 ->
@@ -2736,7 +2749,7 @@ let fault_tests =
         in
         let seen = ref [] in
         let results =
-          Propane.Runner.run ~seed:3L ~retries:3
+          runner ~seed:3L ~retries:3
             ~on_event:(function
               | Propane.Runner.Run_done { status; retries; _ } ->
                   seen := (status, retries) :: !seen
@@ -2753,7 +2766,7 @@ let fault_tests =
       (fun () ->
         let total_retries = ref 0 and failed_runs = ref 0 in
         let results =
-          Propane.Runner.run ~seed:3L ~retries:2
+          runner ~seed:3L ~retries:2
             ~on_event:(function
               | Propane.Runner.Run_done { status; retries; _ } ->
                   total_retries := !total_retries + retries;
@@ -2771,7 +2784,7 @@ let fault_tests =
     Alcotest.test_case "the chaos wrapper can target one testcase" `Quick
       (fun () ->
         let sut = crashing ~only_testcase:"other" () in
-        let results = Propane.Runner.run ~seed:3L sut scaler_campaign in
+        let results = runner ~seed:3L sut scaler_campaign in
         Alcotest.(check int)
           "nothing crashed" 0
           (Propane.Results.failed_count results));
@@ -2782,7 +2795,7 @@ let fault_tests =
           ~finally:(fun () -> Sys.remove path)
           (fun () ->
             (match
-               Propane.Runner.run ~seed:3L ~journal:path ~fail_fast:true
+               runner ~seed:3L ~journal:path ~fail_fast:true
                  (crashing ()) scaler_campaign
              with
             | exception Propane.Runner.Failed_run { index; outcome } ->
@@ -2810,10 +2823,10 @@ let fault_tests =
           ~finally:(fun () -> Sys.remove path)
           (fun () ->
             let baseline =
-              Propane.Runner.run ~seed:3L (crashing ()) scaler_campaign
+              runner ~seed:3L (crashing ()) scaler_campaign
             in
             (match
-               Propane.Runner.run ~seed:3L ~jobs:4 ~journal:path
+               runner ~seed:3L ~jobs:4 ~journal:path
                  ~fail_fast:true (crashing ()) scaler_campaign
              with
             | exception Propane.Runner.Failed_run _ -> ()
@@ -2831,10 +2844,168 @@ let fault_tests =
               "aborted promptly" true
               (journalled >= 1 && journalled <= 4);
             let resumed =
-              Propane.Runner.run ~seed:3L ~journal:path ~resume:true
+              runner ~seed:3L ~journal:path ~resume:true
                 (crashing ()) scaler_campaign
             in
             check_same_results "resumed" baseline resumed));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner.Config: the packaged campaign options, their wire codec and
+   the deprecated flat-argument wrapper.                               *)
+
+let config_tests =
+  let module C = Propane.Runner.Config in
+  let roundtrip name c =
+    Alcotest.test_case name `Quick (fun () ->
+        match C.decode (C.encode c) with
+        | Ok c' -> Alcotest.(check bool) "round-trips" true (c = c')
+        | Error msg -> Alcotest.failf "decode failed: %s" msg)
+  in
+  [
+    roundtrip "encode/decode round-trips the default" C.default;
+    roundtrip "encode/decode round-trips a fully customised config"
+      (C.make ~max_ms:123 ~seed:99L ~truncate_after_ms:7 ~run_timeout_ms:44
+         ~retries:3 ~fail_fast:true ~jobs:5 ~journal_batch:17
+         ~keep_traces:true ~stop_when:(`Rankings_stable 9) ());
+    roundtrip "ci-width stop rules survive the codec bit-exactly"
+      (C.make ~stop_when:(`Ci_width 0.12345678901234567) ());
+    Alcotest.test_case "journal and resume stay host-local" `Quick (fun () ->
+        (* The codec ships configs to worker processes on other
+           machines; a coordinator-side journal path must not travel. *)
+        let c = C.make ~journal:"/tmp/x.journal" ~resume:true ~jobs:2 () in
+        match C.decode (C.encode c) with
+        | Error msg -> Alcotest.failf "decode failed: %s" msg
+        | Ok c' ->
+            Alcotest.(check bool)
+              "journal dropped" true
+              (c'.C.journal = None && not c'.C.resume);
+            Alcotest.(check int) "jobs kept" 2 c'.C.jobs);
+    Alcotest.test_case "decode rejects unknown fields" `Quick (fun () ->
+        match C.decode "max_ms=5,flux_capacitor=1" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted an unknown field");
+    Alcotest.test_case "decode rejects malformed values" `Quick (fun () ->
+        match C.decode "jobs=banana" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted a malformed value");
+    Alcotest.test_case "validate rejects bad combinations" `Quick (fun () ->
+        let bad c =
+          match C.validate c with
+          | Error _ -> ()
+          | Ok () -> Alcotest.fail "validate accepted a bad config"
+        in
+        bad (C.make ~jobs:0 ());
+        bad (C.make ~retries:(-1) ());
+        bad (C.make ~run_timeout_ms:0 ());
+        bad (C.make ~journal_batch:0 ());
+        bad (C.make ~resume:true ());
+        match C.validate C.default with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "default rejected: %s" msg);
+    Alcotest.test_case "deprecated run_args agrees with run" `Quick (fun () ->
+        let[@alert "-deprecated"] [@warning "-3"] legacy =
+          Propane.Runner.run_args ~seed:7L (scaler_sut ()) scaler_campaign
+        in
+        let fresh = runner ~seed:7L (scaler_sut ()) scaler_campaign in
+        Alcotest.(check bool)
+          "same outcomes" true
+          (Propane.Results.outcomes legacy = Propane.Results.outcomes fresh));
+    Alcotest.test_case "stop rule codec round-trips both kinds" `Quick
+      (fun () ->
+        List.iter
+          (fun rule ->
+            match Propane.Live.rule_of_string (Propane.Live.rule_to_string rule)
+            with
+            | Ok rule' ->
+                Alcotest.(check bool) "round-trips" true (rule = rule')
+            | Error msg -> Alcotest.failf "rule codec failed: %s" msg)
+          [ `Rankings_stable 17; `Ci_width 0.05; `Ci_width 0.3333333333333333 ]);
+    Alcotest.test_case "stop rule parser rejects nonsense" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Propane.Live.rule_of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" s)
+          [ ""; "rankings-stable:0"; "ci-width:0"; "ci-width:1.5"; "bogus:3" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The tentpole invariant, property-tested: whatever the journal batch
+   size and domain count — and even across a kill mid-batch followed by
+   a resume under a different batch size and domain count — the journal
+   file ends up byte-identical to the serial, unbatched one.           *)
+
+let journal_identity_tests =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let reference_bytes =
+    lazy
+      (let path = Filename.temp_file "propane_refjournal" ".journal" in
+       let (_ : Propane.Results.t) =
+         runner ~seed:7L ~journal:path ~journal_batch:1 ~jobs:1 (scaler_sut ())
+           scaler_campaign
+       in
+       let bytes = read_file path in
+       Sys.remove path;
+       bytes)
+  in
+  let gen =
+    QCheck2.Gen.(
+      tup4 (int_range 1 64) (int_range 1 4)
+        (float_bound_inclusive 1.0)
+        (tup2 (int_range 1 64) (int_range 1 4)))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:12
+         ~name:"journal bytes invariant under batch x jobs, kill + resume"
+         gen
+         (fun (batch, jobs, cut_frac, (batch', jobs')) ->
+           let path = Filename.temp_file "propane_qjournal" ".journal" in
+           Fun.protect
+             ~finally:(fun () -> Sys.remove path)
+             (fun () ->
+               let reference = Lazy.force reference_bytes in
+               let (_ : Propane.Results.t) =
+                 runner ~seed:7L ~journal:path ~journal_batch:batch ~jobs
+                   (scaler_sut ()) scaler_campaign
+               in
+               let first_pass = String.equal (read_file path) reference in
+               (* Simulate a kill mid-batch: the on-disk journal is a
+                  committed prefix of whole records, possibly followed
+                  by a torn partial line from the batch in flight. *)
+               (match String.split_on_char '\n' reference with
+               | header :: rest ->
+                   let records =
+                     List.filter (fun l -> not (String.equal l "")) rest
+                   in
+                   let n = List.length records in
+                   let keep =
+                     min n (int_of_float (cut_frac *. float_of_int n))
+                   in
+                   let kept = List.filteri (fun i _ -> i < keep) records in
+                   let torn =
+                     if keep < n then
+                       let next = List.nth records keep in
+                       String.sub next 0 (String.length next / 2)
+                     else ""
+                   in
+                   let oc = open_out_bin path in
+                   output_string oc
+                     (String.concat "\n" (header :: kept) ^ "\n" ^ torn);
+                   close_out oc
+               | [] -> Alcotest.fail "empty reference journal");
+               let (_ : Propane.Results.t) =
+                 runner ~seed:7L ~journal:path ~resume:true
+                   ~journal_batch:batch' ~jobs:jobs' (scaler_sut ())
+                   scaler_campaign
+               in
+               first_pass && String.equal (read_file path) reference)));
   ]
 
 let () =
@@ -2855,6 +3026,8 @@ let () =
       ("uniformity", uniformity_tests);
       ("storage", storage_tests);
       ("journal", journal_tests);
+      ("journal_identity", journal_identity_tests);
+      ("config", config_tests);
       ("telemetry", telemetry_tests);
       ("live", live_tests);
       ("golden_tolerant", tolerant_tests);
