@@ -821,47 +821,55 @@ let perf () =
 let layered_width = 4
 let layered_layers = 6
 
-let layered_system =
-  lazy
-    (let mask = 0xFFFF in
-     let signal l j =
-       Propagation.Signal.make (Printf.sprintf "l%d_%d" l j)
-     in
-     let layer_inputs l = List.init layered_width (signal l) in
-     let blocks =
-       List.concat_map
-         (fun l ->
-           List.init layered_width (fun j ->
-               Dataflow.Builder.block
-                 ~name:(Printf.sprintf "L%d_%d" l j)
-                 ~inputs:(layer_inputs l)
-                 ~outputs:[ signal (l + 1) j ]
-                 (fun () ->
-                   fun inputs ->
-                    (* Rotate, mix and mask so every input reaches the
-                       output with a different (partial) permeability. *)
-                    let acc = ref 0 in
-                    Array.iteri
-                      (fun i v ->
-                        acc := !acc lxor (v lsr ((i + j) mod 4)) lxor (v lsl j))
-                      inputs;
-                    [| !acc land mask |])))
-         (List.init layered_layers Fun.id)
-     in
-     let sink =
-       Dataflow.Builder.block ~name:"SINK"
-         ~inputs:(layer_inputs layered_layers)
-         ~outputs:[ Propagation.Signal.make "sink_out" ]
-         (fun () ->
-           fun inputs ->
-            [| Array.fold_left (fun a v -> (a + v) land mask) 0 inputs |])
-     in
-     Dataflow.Builder.create_exn ~name:"layered" ~duration_ms:400
-       ~blocks:(blocks @ [ sink ])
-       ~stimuli:
-         (List.init layered_width (fun j ->
-              Dataflow.Builder.ramp ~slope:((2 * j) + 3) (signal 0 j)))
-       ())
+(* [edit_l3_1] builds the system "after the developer edited module
+   L3_1": a different transfer function and a bumped content tag, so
+   its digest — and only its digest — moves.  The reuse bench injects
+   into layers 0-3, whose cells observe layer-0..3 block outputs; the
+   edit sits strictly downstream of every clean cell's observation
+   point, which is the feed-forward case where cell reuse is exact. *)
+let make_layered ~edit_l3_1 =
+  let mask = 0xFFFF in
+  let signal l j = Propagation.Signal.make (Printf.sprintf "l%d_%d" l j) in
+  let layer_inputs l = List.init layered_width (signal l) in
+  let blocks =
+    List.concat_map
+      (fun l ->
+        List.init layered_width (fun j ->
+            let edited = edit_l3_1 && l = 3 && j = 1 in
+            Dataflow.Builder.block
+              ~name:(Printf.sprintf "L%d_%d" l j)
+              ~tag:(if edited then "v2" else "")
+              ~inputs:(layer_inputs l)
+              ~outputs:[ signal (l + 1) j ]
+              (fun () ->
+                fun inputs ->
+                 (* Rotate, mix and mask so every input reaches the
+                    output with a different (partial) permeability. *)
+                 let acc = ref 0 in
+                 Array.iteri
+                   (fun i v ->
+                     acc := !acc lxor (v lsr ((i + j) mod 4)) lxor (v lsl j))
+                   inputs;
+                 [| (!acc + if edited then 17 else 0) land mask |])))
+      (List.init layered_layers Fun.id)
+  in
+  let sink =
+    Dataflow.Builder.block ~name:"SINK"
+      ~inputs:(layer_inputs layered_layers)
+      ~outputs:[ Propagation.Signal.make "sink_out" ]
+      (fun () ->
+        fun inputs ->
+         [| Array.fold_left (fun a v -> (a + v) land mask) 0 inputs |])
+  in
+  Dataflow.Builder.create_exn ~name:"layered" ~duration_ms:400
+    ~blocks:(blocks @ [ sink ])
+    ~stimuli:
+      (List.init layered_width (fun j ->
+           Dataflow.Builder.ramp ~slope:((2 * j) + 3) (signal 0 j)))
+    ()
+
+let layered_system = lazy (make_layered ~edit_l3_1:false)
+let edited_layered_system = lazy (make_layered ~edit_l3_1:true)
 
 let layered_campaign () =
   let system = Lazy.force layered_system in
@@ -1048,6 +1056,161 @@ let scaling () =
           exit 1
     end
 
+(* ------------------------------------------------------------------ *)
+(* Cell reuse: cold campaign, one-module edit, warm campaign.  The
+   warm run must re-inject only the edited module's cells (the four
+   layer-3 targets feeding L3_1), run >= 3x faster than cold, and
+   compose estimates byte-identical to a from-scratch campaign on the
+   edited system.                                                      *)
+
+let reuse_campaign () =
+  let system = Lazy.force layered_system in
+  let targets = Dataflow.Builder.injection_targets system in
+  (* Layers 0-3: every target strictly upstream of the edit's output. *)
+  let targets = List.filteri (fun i _ -> i < 4 * layered_width) targets in
+  let times = if perf_smoke then [ 100 ] else [ 100; 200; 300 ] in
+  Propane.Campaign.make ~name:"layered-reuse" ~targets
+    ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+    ~times:(List.map Simkernel.Sim_time.of_ms times)
+    ~errors:(Propane.Error_model.bit_flips ~width:16)
+
+let same_matrices m1 m2 =
+  Propagation.String_map.equal
+    (fun a b ->
+      let open Propagation.Perm_matrix in
+      input_count a = input_count b
+      && output_count a = output_count b
+      && List.for_all
+           (fun input ->
+             List.for_all
+               (fun output ->
+                 estimate a ~input ~output = estimate b ~input ~output)
+               (List.init (output_count a) (fun k -> k + 1)))
+           (List.init (input_count a) (fun i -> i + 1)))
+    m1 m2
+
+let reuse_bench () =
+  section "Cell reuse: cold vs warm after editing one module";
+  let campaign = reuse_campaign () in
+  let runs = Propane.Campaign.size campaign in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "propane-bench-reuse-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let recipe = "bench-reuse scaling-config-v1" in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () ->
+      let base = Lazy.force layered_system in
+      let edited = Lazy.force edited_layered_system in
+      let campaign_on sys plan =
+        Propane.Runner.run
+          ~config:(scaling_config ~jobs:1 ())
+          ~select:(Propane.Reuse.select plan)
+          (Dataflow.Builder.sut sys) campaign
+      in
+      (* Cold: everything dirty; measure, compose, fill the cache. *)
+      let (), cold_s =
+        time (fun () ->
+            let cold =
+              Propane.Reuse.plan ~recipe ~sut:(Dataflow.Builder.sut base)
+                ~model:(Dataflow.Builder.model base) ~dir campaign
+            in
+            let results = campaign_on base cold in
+            let stream = Propane.Reuse.compose cold results in
+            match Propane.Reuse.persist cold stream results with
+            | Ok () -> ()
+            | Error msg -> failwith ("reuse bench: persist failed: " ^ msg))
+      in
+      record_mode ~sut:"layered" ~mode:"reuse-cold" ~jobs:1 ~runs
+        ~seconds:cold_s;
+      Printf.printf "  %-12s %10.1f runs/s  (%.2f s, %d runs)\n" "cold"
+        (float_of_int runs /. cold_s)
+        cold_s runs;
+      (* Warm: the developer edited L3_1; only its four input targets
+         may re-run. *)
+      let warm_matrices, warm_fresh, warm_s =
+        let (matrices, fresh), seconds =
+          time (fun () ->
+              let warm =
+                Propane.Reuse.plan ~recipe
+                  ~sut:(Dataflow.Builder.sut edited)
+                  ~model:(Dataflow.Builder.model edited) ~dir campaign
+              in
+              let expected_dirty =
+                List.init layered_width (fun j -> Printf.sprintf "l3_%d" j)
+              in
+              if Propane.Reuse.dirty_targets warm <> expected_dirty then
+                failwith
+                  (Printf.sprintf
+                     "reuse bench: dirty targets %s, expected only L3_1's \
+                      inputs %s"
+                     (String.concat ","
+                        (Propane.Reuse.dirty_targets warm))
+                     (String.concat "," expected_dirty));
+              Printf.printf "  reused %d of %d cells\n"
+                (Propane.Reuse.reused_cells warm)
+                (Propane.Reuse.total_cells warm);
+              let results = campaign_on edited warm in
+              let stream = Propane.Reuse.compose warm results in
+              ( Propane.Estimator.Stream.matrices stream,
+                Propane.Reuse.selected_runs warm ))
+        in
+        (matrices, fresh, seconds)
+      in
+      record_mode ~sut:"layered" ~mode:"reuse-warm" ~jobs:1 ~runs:warm_fresh
+        ~seconds:warm_s;
+      Printf.printf "  %-12s %10.1f runs/s  (%.2f s, %d fresh runs)\n" "warm"
+        (float_of_int warm_fresh /. warm_s)
+        warm_s warm_fresh;
+      (* Ground truth: the edited system from scratch. *)
+      let scratch =
+        Propane.Runner.run
+          ~config:(scaling_config ~jobs:1 ())
+          (Dataflow.Builder.sut edited) campaign
+      in
+      let scratch_stream =
+        Propane.Estimator.Stream.create
+          ~model:(Dataflow.Builder.model edited) ()
+      in
+      List.iter
+        (Propane.Estimator.Stream.observe scratch_stream)
+        (Propane.Results.outcomes scratch);
+      if
+        not
+          (same_matrices warm_matrices
+             (Propane.Estimator.Stream.matrices scratch_stream))
+      then
+        failwith
+          "reuse bench: composed estimates differ from a from-scratch \
+           campaign on the edited system";
+      print_endline
+        "  composed estimates identical to from-scratch (counts, values, \
+         intervals)";
+      let speedup = cold_s /. warm_s in
+      Printf.printf "  warm speedup over cold: %.1fx\n" speedup;
+      if (not perf_smoke) && speedup < 3.0 then begin
+        Printf.eprintf "reuse bench FAILED: speedup %.1fx below 3x\n" speedup;
+        write_bench_json ();
+        exit 1
+      end)
+
 let worker_child addr_string =
   let fail msg =
     prerr_endline ("bench worker: " ^ msg);
@@ -1102,6 +1265,7 @@ let targets =
     ("prob", prob);
     ("perf", perf);
     ("scaling", scaling);
+    ("reuse", reuse_bench);
     (* Backwards-compatible alias for the pre-matrix target name. *)
     ("cluster", scaling);
   ]

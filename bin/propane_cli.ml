@@ -431,7 +431,7 @@ let write_telemetry path telemetry =
    the coordinator schedule everything.  The listener is bound before
    any worker starts, so workers never race it. *)
 let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
-    ~listen ~chaos_kill ~live () =
+    ~listen ~chaos_kill ~live ?select ?cells () =
   let addr =
     match listen with
     | Some a -> a
@@ -470,7 +470,7 @@ let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
     (fun () ->
       Cluster.Coordinator.serve ~on_event
         ~on_tick:(fun () -> Option.iter Cluster.Local.tend pool)
-        ?live
+        ?live ?select ?cells
         ~recipe:(Recipe.encode recipe)
         ~config ~listen:fd ~sut:sut.Propane.Sut.name
         ~campaign:campaign.Propane.Campaign.name ~total ())
@@ -478,7 +478,7 @@ let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
 let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
     ~journal ~resume ~journal_batch ~telemetry ~keep_traces ~run_timeout_ms
     ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill
-    ~stop_when () =
+    ~stop_when ~reuse () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
     exit 1
@@ -520,16 +520,61 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
   let campaign = Recipe.campaign_of recipe in
   Format.printf "%a@." Propane.Campaign.pp campaign;
   let sut = Recipe.sut_of recipe in
+  (* The cache key recipe covers exactly the options a cell's counters
+     depend on.  Scheduling and durability knobs (jobs, journalling,
+     fail-fast, stop rule) are deliberately absent: they change which
+     runs execute or where records land, never a completed run's
+     outcome, so estimates cached under one schedule are valid under
+     any other. *)
+  let reuse_plan =
+    Option.map
+      (fun dir ->
+        let {
+          Propane.Runner.Config.max_ms;
+          seed;
+          truncate_after_ms;
+          run_timeout_ms;
+          retries;
+          _;
+        } =
+          config
+        in
+        let opt = function None -> "-" | Some v -> string_of_int v in
+        let recipe =
+          Printf.sprintf
+            "max_ms=%d;seed=%Ld;truncate=%s;timeout=%s;retries=%d;window=%d;chaos=%s,%s"
+            max_ms seed (opt truncate_after_ms) (opt run_timeout_ms) retries
+            window (opt chaos_crash) (opt chaos_hang)
+        in
+        Propane.Reuse.plan ~recipe ~sut ~model:Arrestment.Model.system ~dir
+          campaign)
+      reuse
+  in
+  Option.iter
+    (fun plan ->
+      Format.printf "reused %d of %d cells@."
+        (Propane.Reuse.reused_cells plan)
+        (Propane.Reuse.total_cells plan))
+    reuse_plan;
+  let select = Option.map Propane.Reuse.select reuse_plan in
+  let cells = Option.map Propane.Reuse.journal_cells reuse_plan in
   (* The live analysis mirrors the post-campaign estimation exactly
      (same attribution window, same failure accounting), so the stop
-     rule judges the same numbers the final tables print. *)
+     rule judges the same numbers the final tables print.  Under
+     --reuse only the dirty targets' cells are fed fresh runs, so the
+     rule watches those — cached cells are already as precise as they
+     will get. *)
   let live =
     Option.map
       (fun _ ->
         Propane.Live.create
           ~attribution:(Propane.Estimator.Direct { window_ms = window })
           ~model:Arrestment.Model.system
-          ~targets:campaign.Propane.Campaign.targets ())
+          ~targets:
+            (match reuse_plan with
+            | Some plan -> Propane.Reuse.dirty_targets plan
+            | None -> campaign.Propane.Campaign.targets)
+          ())
       stop_when
   in
   let tele = Propane.Telemetry.create () in
@@ -548,8 +593,8 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
     try
       if cluster then
         run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
-          ~listen ~chaos_kill ~live ()
-      else Propane.Runner.run ~config ~on_event ?live sut campaign
+          ~listen ~chaos_kill ~live ?select ?cells ()
+      else Propane.Runner.run ~config ~on_event ?live ?select ?cells sut campaign
     with Propane.Runner.Failed_run { index; outcome } ->
       Option.iter (fun path -> write_telemetry path tele) telemetry;
       Format.eprintf "propane campaign: run %d %a; aborting (--fail-fast)@."
@@ -561,14 +606,45 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
     Printf.printf "failed runs: %d crashed, %d hung\n"
       (Propane.Results.crashed_count results)
       (Propane.Results.hung_count results);
+  (* Under --reuse the stop rule judged freshly injected runs only, so
+     the "N of M" it reports must too: M is the selected (dirty) run
+     count, not the campaign size the cache already covers. *)
+  let selected_total =
+    match reuse_plan with
+    | Some plan -> Propane.Reuse.selected_runs plan
+    | None -> Propane.Campaign.size campaign
+  in
   (match stop_when with
-  | Some rule when Propane.Results.count results < Propane.Campaign.size campaign
-    ->
+  | Some rule when Propane.Results.count results < selected_total ->
       Format.printf "stopped early: %d of %d runs (--stop-when %a)@."
         (Propane.Results.count results)
-        (Propane.Campaign.size campaign)
-        Propane.Live.pp_rule rule
+        selected_total Propane.Live.pp_rule rule
   | _ -> ());
+  match reuse_plan with
+  | Some plan ->
+      (* Composition replaces both estimation paths: cached rows seed
+         the stream, fresh outcomes fold in, and the matrices are
+         byte-identical to a from-scratch campaign's (property-tested).
+         Freshly measured complete targets flow back into the cache. *)
+      let stream =
+        Propane.Reuse.compose
+          ~attribution:(Propane.Estimator.Direct { window_ms = window })
+          plan results
+      in
+      (match Propane.Reuse.persist plan stream results with
+      | Ok () -> ()
+      | Error msg ->
+          prerr_endline ("propane campaign: " ^ msg);
+          exit 1);
+      (match Propane.Reuse.write_stats plan with
+      | Ok () -> ()
+      | Error msg ->
+          prerr_endline ("propane campaign: " ^ msg);
+          exit 1);
+      ( results,
+        analysis_or_die Arrestment.Model.system
+          (Propane.Estimator.Stream.matrices stream) )
+  | None -> (
   match live with
   | Some l -> (
       (* The live analysis has already folded in every outcome — and,
@@ -590,21 +666,34 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
       | Error msg ->
           prerr_endline ("propane campaign: " ^ msg);
           exit 124
-      | Ok matrices -> (results, analysis_or_die Arrestment.Model.system matrices))
+      | Ok matrices ->
+          (results, analysis_or_die Arrestment.Model.system matrices)))
 
 let save_arg =
   let doc = "Save the raw campaign results to $(docv) (see Propane.Storage)." in
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
 
+let reuse_arg =
+  let doc =
+    "Content-addressed estimate cache: classify every (module, input) cell \
+     of the campaign against $(docv), skip the injection targets whose \
+     cells are all cached, re-inject only dirty modules, and compose cached \
+     and fresh estimates into the final tables (reported as \"reused K of M \
+     cells\").  Fresh complete measurements flow back into $(docv), and \
+     cache-hit statistics land in $(docv)/stats.json."
+  in
+  Arg.(value & opt (some string) None & info [ "reuse" ] ~docv:"CACHE_DIR" ~doc)
+
 let campaign_cmd =
   let run () cases times full seed window progress jobs journal resume
       journal_batch telemetry keep_traces run_timeout_ms retries fail_fast
-      chaos_crash chaos_hang workers listen chaos_kill stop_when ci save =
+      chaos_crash chaos_hang workers listen chaos_kill stop_when ci save reuse
+      =
     let results, analysis =
       run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
         ~journal ~resume ~journal_batch ~telemetry ~keep_traces
         ~run_timeout_ms ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers
-        ~listen ~chaos_kill ~stop_when ()
+        ~listen ~chaos_kill ~stop_when ~reuse ()
     in
     Option.iter
       (fun path ->
@@ -642,7 +731,7 @@ let campaign_cmd =
       $ journal_batch_arg $ telemetry_arg $ keep_traces_arg $ run_timeout_arg
       $ retries_arg $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg
       $ workers_arg $ listen_arg $ chaos_kill_arg $ stop_when_arg $ ci_arg
-      $ save_arg)
+      $ save_arg $ reuse_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -15,6 +15,42 @@ let system =
 
 let module_names = List.map Propagation.Sw_module.name descriptors
 
+(* Developer-maintained version tags standing in for a hash of each
+   module's implementation (an OCaml closure cannot be hashed).  Bump
+   a tag when the module's behaviour changes: its content digest
+   below moves, and cell-level campaign reuse ({!Propane.Cell})
+   re-injects exactly the cached cells that observed the module. *)
+let module_versions =
+  [
+    ("CLOCK", "clock-v1");
+    ("DIST_S", "dist_s-v1");
+    ("PRES_S", "pres_s-v1");
+    ("CALC", "calc-v1");
+    ("V_REG", "v_reg-v1");
+    ("PRES_A", "pres_a-v1");
+  ]
+
+let module_digests =
+  List.map
+    (fun d ->
+      let name = Propagation.Sw_module.name d in
+      let version =
+        match List.assoc_opt name module_versions with
+        | Some v -> v
+        | None -> "v0"
+      in
+      let signals l = List.map Propagation.Signal.name l in
+      let digest =
+        Digest.to_hex
+          (Digest.string
+             (String.concat "\x1f"
+                (("arrestment" :: name :: version
+                 :: signals (Propagation.Sw_module.input_signals d))
+                @ ("->" :: signals (Propagation.Sw_module.output_signals d)))))
+      in
+      (name, digest))
+    descriptors
+
 let injection_targets =
   let inputs =
     List.concat_map Propagation.Sw_module.input_signals descriptors

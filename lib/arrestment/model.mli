@@ -13,6 +13,12 @@ val injection_targets : string list
 val module_names : string list
 (** [CLOCK; DIST_S; PRES_S; CALC; V_REG; PRES_A]. *)
 
+val module_digests : (string * string) list
+(** Per-module content digests for cell-level campaign reuse
+    ({!Propane.Cell}): a hash of a developer-maintained version tag
+    plus the module's signal interface.  Editing a module (bumping its
+    tag) invalidates exactly the cached cells that observed it. *)
+
 val paper_permeabilities : (string * float array array) list
 (** The permeability matrices as estimated by the paper, for the
     entries that are legible in our source of Table 1/Table 2; values

@@ -88,6 +88,7 @@ let sut ?(guards = []) ?fault () =
     {
       Propane.Sut.name = "arrestment";
       signals = Signals.store_layout;
+      digests = Model.module_digests;
       instantiate = instantiate guards;
     }
   in

@@ -31,7 +31,8 @@ let replay path ~outcomes ~sut ~campaign ~seed ~total =
           Hashtbl.length table)
 
 let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
-    ?(recipe = "") ?live ~config ~listen ~sut ~campaign ~total () =
+    ?(recipe = "") ?live ?select ?cells ~config ~listen ~sut ~campaign ~total
+    () =
   (match Propane.Runner.Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Coordinator.serve: %s" msg));
@@ -77,28 +78,48 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
              (if skipped > 0 then
                 Propane.Journal.append_to ~batch:journal_batch path
               else
-                Propane.Journal.create ~batch:journal_batch ~path ~sut
-                  ~campaign ~seed ~total ()))
+                (* Cell provenance right after the header, before any
+                   outcome — mirroring Runner.run so reuse journals are
+                   byte-identical across serial, --jobs and cluster. *)
+                let w =
+                  Propane.Journal.create ~batch:journal_batch ~path ~sut
+                    ~campaign ~seed ~total ()
+                in
+                match (w, cells) with
+                | Ok w, Some cells ->
+                    Result.map
+                      (fun () -> w)
+                      (Propane.Journal.append_cells w cells)
+                | w, _ -> w))
   in
   (* In-order journal merge: [from_journal] marks indices already on
      disk from the resumed journal (never re-appended); [next_to_write]
      chases the first gap, so records hit the journal in strict index
      order whatever order workers complete them in. *)
   let from_journal = Array.map Option.is_some outcomes in
+  (* Deselected indices (cell reuse) never produce a record; the
+     in-order cursor steps over them so selected runs still stream to
+     disk in strict index order. *)
+  let deselected =
+    match select with
+    | None -> Array.make total false
+    | Some f -> Array.init total (fun idx -> not (f idx))
+  in
   let next_to_write = ref 0 in
   let flush_journal () =
     match writer with
     | None -> next_to_write := total
     | Some w ->
         while
-          !next_to_write < total && outcomes.(!next_to_write) <> None
+          !next_to_write < total
+          && (outcomes.(!next_to_write) <> None
+             || deselected.(!next_to_write))
         do
-          (if not from_journal.(!next_to_write) then
-             match outcomes.(!next_to_write) with
-             | Some outcome ->
-                 or_invalid
-                   (Propane.Journal.append w ~index:!next_to_write outcome)
-             | None -> assert false);
+          (match outcomes.(!next_to_write) with
+          | Some outcome when not from_journal.(!next_to_write) ->
+              or_invalid
+                (Propane.Journal.append w ~index:!next_to_write outcome)
+          | _ -> ());
           incr next_to_write
         done
   in
@@ -106,9 +127,13 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
   let queue =
     ref
       (List.filter
-         (fun idx -> outcomes.(idx) = None)
+         (fun idx -> outcomes.(idx) = None && not deselected.(idx))
          (List.init total Fun.id))
   in
+  (* The loop below drains until every *scheduled* run completed:
+     journal replays plus the queue — under a selection that is fewer
+     than the campaign total. *)
+  let scheduled = skipped + List.length !queue in
   let queue_len = ref (List.length !queue) in
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
   let next_id = ref 0 in
@@ -366,7 +391,7 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
       while
         !failed = None
         && (if !stopping then outstanding_total () > 0
-            else !completed < total)
+            else !completed < scheduled)
       do
         let fds =
           listen :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) conns []
@@ -432,7 +457,8 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
         (function
           | Some outcome -> Propane.Results.add results outcome
           | None ->
-              (* Only an adaptive stop may leave runs unexecuted. *)
-              assert (stop_when <> None))
+              (* Only an adaptive stop or a cell-reuse selection may
+                 leave runs unexecuted. *)
+              assert (stop_when <> None || select <> None))
         outcomes;
       results)

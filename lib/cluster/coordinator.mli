@@ -39,6 +39,8 @@ val serve :
   ?on_tick:(unit -> unit) ->
   ?recipe:string ->
   ?live:Propane.Live.t ->
+  ?select:(int -> bool) ->
+  ?cells:Propane.Journal.cell list ->
   config:Propane.Runner.Config.t ->
   listen:Unix.file_descr ->
   sut:string ->
@@ -51,6 +53,13 @@ val serve :
     callers bind before spawning workers, so no worker can race the
     listener) and returns the outcomes in campaign order.  The caller
     closes/unlinks the listener's address after {!serve} returns.
+
+    [select] and [cells] mirror {!Propane.Runner.run}: [select]
+    restricts scheduling to the experiment indices it accepts (cell
+    reuse — workers still execute them under their full-campaign
+    indices, so outcomes and journals stay byte-identical to a
+    restricted serial run), and [cells] writes cell provenance records
+    after the header of a freshly created journal.
 
     [config] is the same {!Propane.Runner.Config.t} the local engine
     takes, so serial, domain and cluster modes cannot drift apart in

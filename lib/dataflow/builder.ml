@@ -2,18 +2,37 @@ type block = {
   descriptor : Propagation.Sw_module.t;
   period_ms : int;
   offset_ms : int;
+  tag : string;
   factory : unit -> int array -> int array;
 }
 
-let block ~name ?(period_ms = 1) ?(offset_ms = 0) ~inputs ~outputs factory =
+let block ~name ?(period_ms = 1) ?(offset_ms = 0) ?(tag = "") ~inputs ~outputs
+    factory =
   if period_ms < 1 then invalid_arg "Builder.block: period must be >= 1";
   if offset_ms < 0 then invalid_arg "Builder.block: offset must be >= 0";
   {
     descriptor = Propagation.Sw_module.make ~name ~inputs ~outputs;
     period_ms;
     offset_ms;
+    tag;
     factory;
   }
+
+(* Content digest of a block: everything the builder knows about it —
+   wiring, schedule, and the tag standing in for the transfer function
+   (closures cannot be hashed; change the transfer, change the tag). *)
+let block_digest b =
+  let name = Propagation.Sw_module.name b.descriptor in
+  let signals l = List.map Propagation.Signal.name l in
+  ( name,
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x1f"
+            ([ "dataflow-block"; name;
+               string_of_int b.period_ms; string_of_int b.offset_ms; b.tag ]
+            @ signals (Propagation.Sw_module.input_signals b.descriptor)
+            @ ("->" ::
+               signals (Propagation.Sw_module.output_signals b.descriptor))))) )
 
 type stimulus = {
   signal : Propagation.Signal.t;
@@ -283,6 +302,7 @@ let sut ?fault t =
     {
       Propane.Sut.name = t.name;
       signals = signal_layout t;
+      digests = List.map block_digest t.blocks;
       instantiate = instantiate t;
     }
   in

@@ -19,6 +19,7 @@ val block :
   name:string ->
   ?period_ms:int ->
   ?offset_ms:int ->
+  ?tag:string ->
   inputs:Propagation.Signal.t list ->
   outputs:Propagation.Signal.t list ->
   (unit -> int array -> int array) ->
@@ -31,6 +32,14 @@ val block :
     block state inside the closure so runs stay independent.  A
     transfer function returning the wrong number of outputs fails the
     run with [Invalid_argument].
+
+    [tag] (default [""]) feeds the block's content digest
+    ({!Propane.Sut.digests}) alongside the wiring and schedule: the
+    digest is what cell-level campaign reuse ({!Propane.Cell}) keys
+    cached estimates on, and the transfer closure itself cannot be
+    hashed — so change the tag whenever the transfer function's
+    behaviour changes, and cached cells that observed the block are
+    invalidated exactly then.
 
     @raise Invalid_argument on an empty name, no inputs/outputs, or a
     non-positive period. *)

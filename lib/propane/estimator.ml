@@ -231,6 +231,46 @@ module Stream = struct
     t.dirty <- SS.empty;
     dirty
 
+  let find_row t ~module_name ~target =
+    match Hashtbl.find_opt t.by_target target with
+    | None -> None
+    | Some consumers ->
+        List.find_map
+          (fun (st, i) ->
+            if String.equal st.name module_name then Some (st, st.cells.(i - 1))
+            else None)
+          consumers
+
+  let counts_row t ~module_name ~target =
+    Option.map
+      (fun (_, row) -> Array.map (fun c -> (c.n_err, c.n_inj)) row)
+      (find_row t ~module_name ~target)
+
+  (* Counters are commutative, so folding a cached row in before (or
+     after) live outcomes is equivalent to having observed the runs
+     that produced it. *)
+  let seed_row t ~module_name ~target counts =
+    match find_row t ~module_name ~target with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Stream.seed_row: module %S has no input %S"
+             module_name target)
+    | Some (st, row) ->
+        if Array.length counts <> Array.length row then
+          invalid_arg
+            (Printf.sprintf
+               "Stream.seed_row: %S/%S expects %d outputs, got %d" module_name
+               target (Array.length row) (Array.length counts));
+        Array.iteri
+          (fun k (n_err, n_inj) ->
+            if n_err < 0 || n_err > n_inj then
+              invalid_arg "Stream.seed_row: counts must satisfy 0 <= err <= inj";
+            row.(k).n_err <- row.(k).n_err + n_err;
+            row.(k).n_inj <- row.(k).n_inj + n_inj)
+          counts;
+        st.cached <- None;
+        t.dirty <- SS.add st.name t.dirty
+
   let runs_observed t = t.runs
 
   (* Width of the widest Wilson interval over the pairs a campaign's

@@ -119,6 +119,20 @@ module Stream : sig
       to {!Propagation.Analysis.Engine.update} keeps an engine in sync
       at minimal cost. *)
 
+  val counts_row : t -> module_name:string -> target:string -> (int * int) array option
+  (** Current [(n_err, n_inj)] counters of the (module, input) pair, in
+      module-output declaration order — the raw material a {!Cache}
+      entry persists.  [None] when the module does not consume the
+      target. *)
+
+  val seed_row : t -> module_name:string -> target:string -> (int * int) array -> unit
+  (** Fold a previously exported row ({!counts_row}, or a {!Cache}
+      entry) into the pair's counters, as if the runs that produced it
+      had been observed.  Counting is commutative, so seeding before,
+      between or after live {!observe} calls yields identical matrices.
+      @raise Invalid_argument on an unknown pair, an output-count
+      mismatch, or counters with [n_err > n_inj]. *)
+
   val runs_observed : t -> int
 
   val max_width : targets:string list -> t -> float

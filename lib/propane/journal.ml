@@ -108,6 +108,41 @@ let append w ~index (o : Results.outcome) =
     if w.pending >= w.batch then commit w;
     Ok ()
 
+type cell = {
+  target : string;
+  module_name : string;
+  key : string;
+  reused : bool;
+}
+
+(* Cell provenance ties the journal to the reuse plan that produced it:
+   which (module, target) cells the campaign covers, under which cache
+   keys, and whether each was served from the cache or re-injected.
+   Non-reuse campaigns write none, keeping their journals byte-for-byte
+   what they were before cells existed. *)
+let append_cell w { target; module_name; key; reused } =
+  let ( let* ) = Result.bind in
+  let* () = check_field "target" target in
+  let* () = check_field "module" module_name in
+  let* () = check_field "key" key in
+  Printf.fprintf w.oc "cell\t%s\t%s\t%s\t%s\n" target module_name key
+    (if reused then "reused" else "fresh");
+  w.pending <- w.pending + 1;
+  if w.pending >= w.batch then commit w;
+  Ok ()
+
+let append_cells w cells =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc cell ->
+        let* () = acc in
+        append_cell w cell)
+      (Ok ()) cells
+  in
+  commit w;
+  Ok ()
+
 let close w =
   flush w;
   close_out w.oc
@@ -119,6 +154,7 @@ type t = {
   campaign : string;
   seed : int64;
   total : int;
+  cells : cell list;
   entries : (int * Results.outcome) list;
 }
 
@@ -204,6 +240,7 @@ let load path =
       fail 1 (Printf.sprintf "bad magic %S" m)
   | _ :: body ->
       let header = Hashtbl.create 4 in
+      let rev_cells = ref [] in
       let rec loop lineno rev_entries = function
         | [] -> Ok (List.rev rev_entries)
         | "" :: rest -> loop (lineno + 1) rev_entries rest
@@ -212,6 +249,15 @@ let load path =
             | [ (("sut" | "campaign" | "seed" | "total") as key); value ] ->
                 Hashtbl.replace header key value;
                 loop (lineno + 1) rev_entries rest
+            | [ "cell"; target; module_name; key; status ] -> (
+                match status with
+                | "reused" | "fresh" ->
+                    rev_cells :=
+                      { target; module_name; key; reused = status = "reused" }
+                      :: !rev_cells;
+                    loop (lineno + 1) rev_entries rest
+                | _ ->
+                    fail lineno (Printf.sprintf "bad cell status %S" status))
             | "run" :: fields ->
                 let* entry = located (parse_run lineno fields) in
                 loop (lineno + 1) (entry :: rev_entries) rest
@@ -221,6 +267,7 @@ let load path =
             | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line))
       in
       let* entries = loop 2 [] body in
+      let cells = List.rev !rev_cells in
       let field key =
         match Hashtbl.find_opt header key with
         | Some v -> Ok v
@@ -240,7 +287,7 @@ let load path =
         | Some t when t >= 0 -> Ok t
         | _ -> fail 1 (Printf.sprintf "bad total %S" total)
       in
-      Ok { sut; campaign; seed; total; entries }
+      Ok { sut; campaign; seed; total; cells; entries }
 
 let validate t ~path ~sut ~campaign ~seed ~total =
   let ( let* ) = Result.bind in

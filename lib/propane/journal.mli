@@ -18,7 +18,15 @@
         <tab> NDIV { <tab> SIGNAL <tab> FIRST_MS } * NDIV
     run2 <tab> INDEX <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
         <tab> STATUS <tab> NDIV { <tab> SIGNAL <tab> FIRST_MS } * NDIV
+    cell <tab> TARGET <tab> MODULE <tab> KEY <tab> reused|fresh
     v}
+
+    [cell] records are provenance written by cache-reusing campaigns
+    ({!Cell}, {!Cache}): one per (module, injected input) cell of the
+    plan, tying the journal's outcomes to the content-addressed keys
+    that were reused or re-measured.  Campaigns without a cache write
+    none, so their journals stay byte-identical to the original
+    format.
 
     A run that completed normally is written as a v1 [run] record, so
     journals of failure-free campaigns are byte-identical to the
@@ -69,6 +77,21 @@ val append : writer -> index:int -> Results.outcome -> (unit, string) result
     [batch] records have accumulated.  Fails if a field contains a
     separator character or [index] is negative. *)
 
+type cell = {
+  target : string;
+  module_name : string;
+  key : string;
+  reused : bool;
+}
+
+val append_cell : writer -> cell -> (unit, string) result
+(** Writes one cell provenance record.  Fails if a field contains a
+    separator character. *)
+
+val append_cells : writer -> cell list -> (unit, string) result
+(** {!append_cell} for every element, then commits: a reuse plan is
+    durable in full before the first outcome lands. *)
+
 val flush : writer -> unit
 (** Commits any buffered records now.  A no-op when nothing is
     pending. *)
@@ -83,6 +106,9 @@ type t = {
   campaign : string;
   seed : int64;
   total : int;  (** size of the campaign the journal belongs to *)
+  cells : cell list;
+      (** cell provenance records in journal order; [[]] for journals
+          written without a cache *)
   entries : (int * Results.outcome) list;
       (** committed records in journal order; indices refer to
           {!Campaign.experiments} *)

@@ -588,8 +588,8 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
   List.iter Domain.join domains;
   match !failure with Some e -> raise e | None -> ()
 
-let run ?(config = Config.default) ?on_event ?on_run_traces ?live
-    (sut : Sut.t) campaign =
+let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
+    ?cells (sut : Sut.t) campaign =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg));
@@ -629,8 +629,18 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live
           (or_invalid
              (if skipped > 0 then Journal.append_to ~batch:journal_batch path
               else
-                Journal.create ~batch:journal_batch ~path ~sut:sut.Sut.name
-                  ~campaign:campaign.Campaign.name ~seed ~total ()))
+                let w =
+                  Journal.create ~batch:journal_batch ~path ~sut:sut.Sut.name
+                    ~campaign:campaign.Campaign.name ~seed ~total ()
+                in
+                (* Cell provenance lands right after the header, before
+                   any outcome, so even an immediately killed reuse
+                   campaign leaves its plan on record.  Resumes append
+                   to the existing journal and never rewrite it. *)
+                match (w, cells) with
+                | Ok w, Some cells ->
+                    Result.map (fun () -> w) (Journal.append_cells w cells)
+                | w, _ -> w))
   in
   (* Reorder buffer: parallel completions arrive in scheduling order,
      but the journal is written in strict campaign-index order — a
@@ -642,6 +652,16 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live
      moment the gap fills. *)
   let written = Array.make total false in
   Array.iteri (fun i o -> if o <> None then written.(i) <- true) outcomes;
+  (* Deselected indices will never produce a record; marking them
+     written up front keeps the gap-chasing cursor moving, so selected
+     runs still stream to disk in strict index order instead of parking
+     until close. *)
+  (match select with
+  | Some selected ->
+      Array.iteri
+        (fun i w -> if (not w) && not (selected i) then written.(i) <- true)
+        written
+  | None -> ());
   let next_write = ref 0 in
   let append_in_order () =
     match writer with
@@ -691,7 +711,9 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live
     (fun () ->
       let remaining =
         List.filter
-          (fun idx -> outcomes.(idx) = None)
+          (fun idx ->
+            outcomes.(idx) = None
+            && match select with Some f -> f idx | None -> true)
           (List.init total Fun.id)
       in
       Log.info (fun m ->
@@ -770,23 +792,14 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live
         (function
           | Some outcome -> Results.add results outcome
           | None ->
-              (* Only an adaptive stop may leave runs unexecuted. *)
-              assert (stop_when <> None))
+              (* Only an adaptive stop or a cell-reuse selection may
+                 leave runs unexecuted. *)
+              assert (stop_when <> None || select <> None))
         outcomes;
       results)
 
 (* ------------------------------------------------------------------ *)
 (* Deprecated entry points. *)
-
-let run_args ?max_ms ?seed ?truncate_after_ms ?run_timeout_ms ?retries
-    ?fail_fast ?jobs ?journal ?resume ?on_event ?keep_traces ?on_run_traces
-    ?live ?stop_when sut campaign =
-  let config =
-    Config.make ?max_ms ?seed ?truncate_after_ms ?run_timeout_ms ?retries
-      ?fail_fast ?jobs ?journal ?resume ~journal_batch:1 ?keep_traces
-      ?stop_when ()
-  in
-  run ~config ?on_event ?on_run_traces ?live sut campaign
 
 let run_campaign ?max_ms ?seed ?truncate_after_ms ?on_progress sut campaign =
   let on_event =

@@ -230,6 +230,8 @@ val run :
   ?on_event:(event -> unit) ->
   ?on_run_traces:(index:int -> Trace_set.t -> unit) ->
   ?live:Live.t ->
+  ?select:(int -> bool) ->
+  ?cells:Journal.cell list ->
   Sut.t ->
   Campaign.t ->
   Results.t
@@ -238,6 +240,19 @@ val run :
     order.  Campaign options live in the {!Config.t}; only the runtime
     attachments — callbacks and the stateful live analysis — remain
     parameters.  Field names below refer to the config record.
+
+    {b Partial campaigns (cell reuse).}  [select] restricts execution
+    to the experiment indices it accepts — the scheduling primitive
+    behind [campaign --reuse] ({!Reuse}), where only the runs
+    injecting into dirty targets are re-executed.  Indices keep their
+    full-campaign meaning: each selected run draws the same RNG stream
+    and produces the same outcome as in an unrestricted campaign, the
+    journal keeps the full campaign [total], and resume composes with
+    selection (a journalled index is skipped, a deselected one never
+    runs).  Deselected indices are absent from the returned
+    {!Results.t}.  [cells] writes cell provenance records
+    ({!Journal.append_cells}) right after the header of a freshly
+    created journal — resumes never rewrite them.
 
     {b Live analysis and adaptive stopping.}  [live] attaches a
     {!Live.t}: every completed outcome (including journal replays, in
@@ -346,29 +361,6 @@ val executor :
 (** {1 Deprecated entry points} *)
 
 type progress = { completed : int; total : int }
-
-val run_args :
-  ?max_ms:int ->
-  ?seed:int64 ->
-  ?truncate_after_ms:int ->
-  ?run_timeout_ms:int ->
-  ?retries:int ->
-  ?fail_fast:bool ->
-  ?jobs:int ->
-  ?journal:string ->
-  ?resume:bool ->
-  ?on_event:(event -> unit) ->
-  ?keep_traces:bool ->
-  ?on_run_traces:(index:int -> Trace_set.t -> unit) ->
-  ?live:Live.t ->
-  ?stop_when:Live.rule ->
-  Sut.t ->
-  Campaign.t ->
-  Results.t
-[@@ocaml.deprecated "use Runner.run with a Runner.Config.t instead"]
-(** The pre-{!Config} calling convention: every option as its own
-    optional argument.  Builds a {!Config.t} (with [journal_batch = 1],
-    matching the old per-record commit) and calls {!run}. *)
 
 val run_campaign :
   ?max_ms:int ->

@@ -10,10 +10,13 @@ type instance = {
 type t = {
   name : string;
   signals : (string * int) list;
+  digests : (string * string) list;
   instantiate : Testcase.t -> instance;
 }
 
 let signal_names t = List.map fst t.signals
+
+let digest_of t m = List.assoc_opt m t.digests
 
 let signal_width t s =
   match List.assoc_opt s t.signals with

@@ -37,11 +37,23 @@ type t = {
   name : string;
   signals : (string * int) list;
       (** observable/injectable signals with their bit widths *)
+  digests : (string * string) list;
+      (** stable per-module content digests (module name → opaque
+          digest string).  Two SUT builds whose module [m] carries the
+          same digest promise bit-identical behaviour of [m]'s
+          implementation, so per-cell campaign results keyed on the
+          digest ({!Cell}, {!Cache}) may be reused across builds.  An
+          empty list (or a missing module) simply makes the module
+          uncacheable — campaigns still run, nothing is reused. *)
   instantiate : Testcase.t -> instance;
       (** fresh, deterministic instance for a workload *)
 }
 
 val signal_names : t -> string list
+
+val digest_of : t -> string -> string option
+(** [digest_of t m] is module [m]'s content digest, when declared. *)
+
 val signal_width : t -> string -> int
 (** @raise Invalid_argument for an unknown signal. *)
 

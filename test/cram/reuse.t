@@ -1,0 +1,69 @@
+Cell-oriented campaign reuse.  A campaign run with --reuse CACHE_DIR
+classifies every (module, injected input) cell against the cache: the
+first (cold) run measures everything and fills the cache, a second
+(warm) run over an unchanged build reuses every cell and re-injects
+nothing.
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --reuse rcache > cold.out
+  $ grep '^reused' cold.out
+  reused 0 of 13 cells
+  $ cat rcache/stats.json
+  {
+    "cells": 13,
+    "reused": 0,
+    "fresh": 13,
+    "hit_rate": 0.0000,
+    "runs_total": 832,
+    "runs_selected": 832,
+    "runs_skipped": 0
+  }
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --reuse rcache > warm.out
+  $ grep '^reused' warm.out
+  reused 13 of 13 cells
+  $ cat rcache/stats.json
+  {
+    "cells": 13,
+    "reused": 13,
+    "fresh": 0,
+    "hit_rate": 1.0000,
+    "runs_total": 832,
+    "runs_selected": 0,
+    "runs_skipped": 832
+  }
+
+Apart from the reuse counter itself, the warm output — every table,
+ranking and interval — is byte-identical to the cold run's:
+
+  $ grep -v '^reused' cold.out > cold.tables
+  $ grep -v '^reused' warm.out > warm.tables
+  $ cmp cold.tables warm.tables
+
+A reuse campaign journals the plan as cell provenance records, and the
+journal stays resumable:
+
+  $ rm -rf jcache
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --reuse jcache --journal reuse.journal > /dev/null
+  $ grep -c '^cell' reuse.journal
+  13
+  $ grep -c 'fresh$' reuse.journal
+  13
+
+Under --stop-when the rule judges freshly injected runs only, and so
+does the "stopped early" report.  A cold early-stopped campaign caches
+the targets it measured completely (12 of 13 here — partially measured
+targets must never poison the cache):
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --stop-when ci-width:0.4 --reuse scache > stop-cold.out
+  $ grep -E '^(reused|stopped early)' stop-cold.out
+  reused 0 of 13 cells
+  stopped early: 778 of 832 runs (--stop-when ci-width:0.4)
+
+The warm re-run selects only the unfinished target's 64 runs, and "N of
+M" counts those fresh runs, not the 832-run campaign the cache already
+covers:
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --stop-when ci-width:0.4 --reuse scache > stop-warm.out
+  $ grep -E '^(reused|stopped early)' stop-warm.out
+  reused 12 of 13 cells
+  stopped early: 10 of 64 runs (--stop-when ci-width:0.4)

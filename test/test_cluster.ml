@@ -305,6 +305,7 @@ let scaler_sut () =
   {
     Propane.Sut.name = "scaler";
     signals = [ ("x", 16); ("y", 16) ];
+    digests = [ ("SCALE", "scale-v1") ];
     instantiate;
   }
 
@@ -368,7 +369,7 @@ let serial_reference ~journal =
    campaign. *)
 let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
     ?(worker_hooks = [ None; None ]) ?(extra_clients = fun _ -> [])
-    ?(sut = scaler_sut) ?live ?stop_when () =
+    ?(sut = scaler_sut) ?live ?stop_when ?select ?cells () =
   let addr = Cluster.Address.Unix_sock (tmp_path ".sock") in
   let listen = Cluster.Address.listen addr in
   let make (w : Cluster.Protocol.welcome) =
@@ -399,8 +400,8 @@ let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
           Propane.Runner.Config.make ~seed ?journal ~resume
             ~jobs:(List.length worker_hooks) ?stop_when ()
         in
-        Cluster.Coordinator.serve ~heartbeat_timeout_s ?live ~config
-          ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler"
+        Cluster.Coordinator.serve ~heartbeat_timeout_s ?live ?select ?cells
+          ~config ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler"
           ~total:(Propane.Campaign.size scaler_campaign)
           ())
   in
@@ -429,6 +430,45 @@ let integration_tests =
         check_results_match "results" serial cluster;
         Alcotest.(check string)
           "journal bytes" (read_file serial_path) (read_file cluster_path);
+        Sys.remove serial_path;
+        Sys.remove cluster_path);
+    Alcotest.test_case
+      "cell-reuse selection journals identically to restricted serial" `Slow
+      (fun () ->
+        (* A reuse plan restricting the campaign to a middle slice: the
+           cluster must schedule only the selected indices, write the
+           same cell provenance records, and stream records across the
+           deselected gaps in strict index order — byte-for-byte what
+           the serial engine produces under the same plan. *)
+        let select idx = idx >= 16 && idx < 48 in
+        let cells =
+          [
+            {
+              Propane.Journal.target = "x";
+              module_name = "SCALE";
+              key = String.make 32 'c';
+              reused = false;
+            };
+          ]
+        in
+        let serial_path = tmp_path ".journal" in
+        let cluster_path = tmp_path ".journal" in
+        let serial =
+          Propane.Runner.run
+            ~config:
+              (Propane.Runner.Config.make ~seed ~jobs:1 ~journal:serial_path
+                 ())
+            ~select ~cells (scaler_sut ()) scaler_campaign
+        in
+        let cluster =
+          cluster_run ~journal:cluster_path ~select ~cells ()
+        in
+        check_results_match "results" serial cluster;
+        Alcotest.(check string)
+          "journal bytes" (read_file serial_path) (read_file cluster_path);
+        Alcotest.(check int)
+          "only the selected slice ran" 32
+          (Propane.Results.count cluster);
         Sys.remove serial_path;
         Sys.remove cluster_path);
     Alcotest.test_case "dead worker's runs are reassigned" `Slow (fun () ->

@@ -165,6 +165,7 @@ let scaler_sut () =
   {
     Propane.Sut.name = "scaler";
     signals = [ ("x", 16); ("y", 16) ];
+    digests = [];
     instantiate;
   }
 

@@ -710,6 +710,7 @@ let scaler_sut () =
   {
     Propane.Sut.name = "scaler";
     signals = [ ("x", 16); ("y", 16) ];
+    digests = [ ("SCALE", "scale-v1") ];
     instantiate;
   }
 
@@ -1043,6 +1044,7 @@ let runner_tests =
           {
             Propane.Sut.name = "halting";
             signals = [ ("s", 16); ("k", 1) ];
+            digests = [];
             instantiate;
           }
         in
@@ -2903,14 +2905,6 @@ let config_tests =
         match C.validate C.default with
         | Ok () -> ()
         | Error msg -> Alcotest.failf "default rejected: %s" msg);
-    Alcotest.test_case "deprecated run_args agrees with run" `Quick (fun () ->
-        let[@alert "-deprecated"] [@warning "-3"] legacy =
-          Propane.Runner.run_args ~seed:7L (scaler_sut ()) scaler_campaign
-        in
-        let fresh = runner ~seed:7L (scaler_sut ()) scaler_campaign in
-        Alcotest.(check bool)
-          "same outcomes" true
-          (Propane.Results.outcomes legacy = Propane.Results.outcomes fresh));
     Alcotest.test_case "stop rule codec round-trips both kinds" `Quick
       (fun () ->
         List.iter
@@ -2979,8 +2973,15 @@ let journal_identity_tests =
                (* Simulate a kill mid-batch: the on-disk journal is a
                   committed prefix of whole records, possibly followed
                   by a torn partial line from the batch in flight. *)
+               (* The five header lines (magic, sut, campaign, seed,
+                  total) are committed atomically by [Journal.create],
+                  so a kill can only tear run records, never the
+                  header. *)
                (match String.split_on_char '\n' reference with
-               | header :: rest ->
+               | magic :: s :: c :: sd :: tot :: rest ->
+                   let header =
+                     String.concat "\n" [ magic; s; c; sd; tot ]
+                   in
                    let records =
                      List.filter (fun l -> not (String.equal l "")) rest
                    in
@@ -2999,7 +3000,7 @@ let journal_identity_tests =
                    output_string oc
                      (String.concat "\n" (header :: kept) ^ "\n" ^ torn);
                    close_out oc
-               | [] -> Alcotest.fail "empty reference journal");
+               | _ -> Alcotest.fail "short reference journal");
                let (_ : Propane.Results.t) =
                  runner ~seed:7L ~journal:path ~resume:true
                    ~journal_batch:batch' ~jobs:jobs' (scaler_sut ())

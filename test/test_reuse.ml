@@ -1,0 +1,495 @@
+(* Cell-level campaign reuse: identity, persistence, composition.
+
+   The contract under test is the one {!Propane.Reuse} documents: a
+   campaign composed from cached cells plus freshly injected dirty
+   targets must be indistinguishable — counts, point estimates and
+   Wilson intervals — from the same campaign run from scratch. *)
+
+module B = Dataflow.Builder
+
+let s = Propagation.Signal.make
+
+(* A three-block feed-forward pipeline.  F1 and F2 chain a -> b -> c and
+   F3 consumes both b and c, so target [b] feeds two modules — the case
+   where one dirty cell must re-run a target that also feeds clean
+   cells.  The [tag] arguments only perturb the content digests
+   ({!Dataflow.Builder.block}); every variant computes identically,
+   which is exactly what lets the tests compare a warm composition
+   against a from-scratch reference. *)
+let make_system ?(t1 = "f1-v1") ?(t2 = "f2-v1") ?(t3 = "f3-v1") () =
+  B.create_exn ~name:"pipeline" ~duration_ms:40
+    ~blocks:
+      [
+        B.block ~name:"F1" ~tag:t1 ~inputs:[ s "a" ] ~outputs:[ s "b" ]
+          (fun () inputs -> [| (inputs.(0) + 3) land 0xffff |]);
+        B.block ~name:"F2" ~tag:t2 ~inputs:[ s "b" ] ~outputs:[ s "c" ]
+          (fun () inputs -> [| (inputs.(0) lsl 1) land 0xffff |]);
+        B.block ~name:"F3" ~tag:t3 ~inputs:[ s "b"; s "c" ]
+          ~outputs:[ s "d" ]
+          (fun () inputs -> [| inputs.(0) lxor inputs.(1) |]);
+      ]
+    ~stimuli:[ B.ramp (s "a") ] ()
+
+let campaign_of sys =
+  Propane.Campaign.make ~name:"pipeline" ~targets:(B.injection_targets sys)
+    ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+    ~times:(List.map Simkernel.Sim_time.of_ms [ 5; 17 ])
+    ~errors:
+      [
+        Propane.Error_model.Bit_flip 0;
+        Propane.Error_model.Bit_flip 7;
+        Propane.Error_model.Bit_flip 15;
+      ]
+
+let run ?journal ?(jobs = 1) ?select ?cells sys campaign =
+  let config =
+    Propane.Runner.Config.make ~seed:11L ~jobs ?journal ~journal_batch:1 ()
+  in
+  Propane.Runner.run ~config ?select ?cells (B.sut sys) campaign
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "propane_reuse_%d_%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir)
+    else ();
+    dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* Exact structural equality over whole matrix maps: values, counts and
+   interval bounds.  [Estimate.t] is a flat record, so [=] compares all
+   five fields. *)
+let same_matrices m1 m2 =
+  Propagation.String_map.equal
+    (fun a b ->
+      let open Propagation.Perm_matrix in
+      input_count a = input_count b
+      && output_count a = output_count b
+      && List.for_all
+           (fun input ->
+             List.for_all
+               (fun output ->
+                 estimate a ~input ~output = estimate b ~input ~output)
+               (List.init (output_count a) (fun k -> k + 1)))
+           (List.init (input_count a) (fun i -> i + 1)))
+    m1 m2
+
+let matrices_of_results model results =
+  let stream = Propane.Estimator.Stream.create ~model () in
+  List.iter (Propane.Estimator.Stream.observe stream)
+    (Propane.Results.outcomes results);
+  Propane.Estimator.Stream.matrices stream
+
+let tests =
+  [
+    Alcotest.test_case "cell keys separate every component" `Quick (fun () ->
+        let base ?(sut_name = "S") ?(module_name = "M") ?(digest = "d1")
+            ?(target = "x") ?(outputs = [ "y" ]) ?(shape = "shape")
+            ?(recipe = "recipe") () =
+          Propane.Cell.key_of ~sut_name ~module_name ~module_digest:digest
+            ~target ~outputs ~shape ~recipe
+        in
+        let reference = base () in
+        Alcotest.(check string) "deterministic" reference (base ());
+        List.iteri
+          (fun i variant ->
+            Alcotest.(check bool)
+              (Printf.sprintf "component %d changes the key" i)
+              false
+              (String.equal reference variant))
+          [
+            base ~sut_name:"T" ();
+            base ~module_name:"N" ();
+            base ~digest:"d2" ();
+            base ~target:"z" ();
+            base ~outputs:[ "y"; "z" ] ();
+            base ~shape:"other" ();
+            base ~recipe:"other" ();
+          ];
+        (* Concatenation attacks must not collide: the components are
+           joined with a separator, not pasted together. *)
+        Alcotest.(check bool)
+          "boundaries kept" false
+          (String.equal
+             (base ~target:"xy" ~outputs:[ "z" ] ())
+             (base ~target:"x" ~outputs:[ "yz" ] ())));
+    Alcotest.test_case "plan enumerates one cell per consuming module"
+      `Quick (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let plan =
+          Propane.Cell.plan ~sut:(B.sut sys) ~model:(B.model sys) ~recipe:"r"
+            campaign
+        in
+        let pairs =
+          List.map
+            (fun (c : Propane.Cell.t) -> (c.module_name, c.target))
+            plan.cells
+        in
+        Alcotest.(check (list (pair string string)))
+          "cells"
+          [ ("F1", "a"); ("F2", "b"); ("F3", "b"); ("F3", "c") ]
+          (List.sort compare pairs);
+        List.iter
+          (fun (c : Propane.Cell.t) ->
+            Alcotest.(check bool)
+              "digest present" true (c.digest <> None))
+          plan.cells;
+        let by_target = List.map fst plan.by_target in
+        Alcotest.(check (list string))
+          "by_target follows campaign order" campaign.Propane.Campaign.targets
+          by_target);
+    Alcotest.test_case "an undigested module is never cacheable" `Quick
+      (fun () ->
+        let sys = make_system () in
+        let sut = { (B.sut sys) with Propane.Sut.digests = [] } in
+        let plan =
+          Propane.Cell.plan ~sut ~model:(B.model sys) ~recipe:"r"
+            (campaign_of sys)
+        in
+        List.iter
+          (fun (c : Propane.Cell.t) ->
+            Alcotest.(check bool) "no digest" true (c.digest = None))
+          plan.cells;
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let reuse =
+              Propane.Reuse.plan ~recipe:"r" ~sut ~model:(B.model sys)
+                ~dir (campaign_of sys)
+            in
+            Alcotest.(check int)
+              "nothing reused" 0
+              (Propane.Reuse.reused_cells reuse);
+            Alcotest.(check (list string))
+              "everything dirty"
+              (campaign_of sys).Propane.Campaign.targets
+              (Propane.Reuse.dirty_targets reuse)));
+    Alcotest.test_case "cache entries round-trip and heal" `Quick (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let key = String.make 32 'a' in
+            let entry =
+              {
+                Propane.Cache.module_name = "F1";
+                target = "a";
+                outputs = [| "b" |];
+                counts = [| (3, 6) |];
+              }
+            in
+            (match Propane.Cache.store ~dir ~key entry with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "store failed: %s" msg);
+            Alcotest.(check bool) "mem" true (Propane.Cache.mem ~dir ~key);
+            (match Propane.Cache.load ~dir ~key with
+            | Some e -> Alcotest.(check bool) "round-trips" true (e = entry)
+            | None -> Alcotest.fail "load missed a stored entry");
+            Alcotest.(check bool)
+              "missing key is a miss" true
+              (Propane.Cache.load ~dir ~key:(String.make 32 'b') = None);
+            (* Torn or garbage entries are misses, not errors. *)
+            let oc = open_out (Filename.concat dir key) in
+            output_string oc "propane-cache 1\nmodule\tF1\ncell\tb\t9";
+            close_out oc;
+            Alcotest.(check bool)
+              "corrupt entry is a miss" true
+              (Propane.Cache.load ~dir ~key = None);
+            (* Keys are file names: anything but hex must be refused
+               before it can escape the directory. *)
+            List.iter
+              (fun key ->
+                match
+                  Propane.Cache.store ~dir ~key
+                    {
+                      Propane.Cache.module_name = "m";
+                      target = "t";
+                      outputs = [| "o" |];
+                      counts = [| (0, 1) |];
+                    }
+                with
+                | Error _ -> ()
+                | Ok () -> Alcotest.failf "store accepted key %S" key)
+              [ ""; ".."; "../evil"; "a/b"; "stats.json" ]));
+    Alcotest.test_case "cold plan measures, warm plan reuses everything"
+      `Quick (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let cold =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            Alcotest.(check int)
+              "cold reuses nothing" 0
+              (Propane.Reuse.reused_cells cold);
+            Alcotest.(check int)
+              "cold selects the full campaign"
+              (Propane.Campaign.size campaign)
+              (Propane.Reuse.selected_runs cold);
+            let results =
+              run ~select:(Propane.Reuse.select cold) sys campaign
+            in
+            let stream = Propane.Reuse.compose cold results in
+            (match Propane.Reuse.persist cold stream results with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "persist failed: %s" msg);
+            let warm =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            Alcotest.(check int)
+              "warm reuses every cell"
+              (Propane.Reuse.total_cells warm)
+              (Propane.Reuse.reused_cells warm);
+            Alcotest.(check int)
+              "warm selects nothing" 0
+              (Propane.Reuse.selected_runs warm);
+            let nothing =
+              run ~select:(Propane.Reuse.select warm) sys campaign
+            in
+            Alcotest.(check (list string))
+              "no fresh outcomes" []
+              (List.map
+                 (fun (o : Propane.Results.outcome) -> o.testcase)
+                 (Propane.Results.outcomes nothing));
+            let composed = Propane.Reuse.compose warm nothing in
+            Alcotest.(check bool)
+              "cache-only estimates equal the measured ones" true
+              (same_matrices
+                 (Propane.Estimator.Stream.matrices composed)
+                 (matrices_of_results (B.model sys) results))));
+    Alcotest.test_case "a stale module digest forces re-injection" `Quick
+      (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let cold =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            let results =
+              run ~select:(Propane.Reuse.select cold) sys campaign
+            in
+            let stream = Propane.Reuse.compose cold results in
+            (match Propane.Reuse.persist cold stream results with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "persist failed: %s" msg);
+            (* Edit F2 (consumer of b): exactly b goes dirty — the
+               poisoned key misses while a and c still hit. *)
+            let edited = make_system ~t2:"f2-v2" () in
+            let warm =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut edited)
+                ~model:(B.model edited) ~dir campaign
+            in
+            Alcotest.(check (list string))
+              "only the edited module's input re-runs" [ "b" ]
+              (Propane.Reuse.dirty_targets warm);
+            Alcotest.(check (list string))
+              "unaffected targets stay clean" [ "a"; "c" ]
+              (List.sort compare (Propane.Reuse.clean_targets warm));
+            Alcotest.(check int)
+              "one target block selected"
+              (Propane.Campaign.runs_per_target campaign)
+              (Propane.Reuse.selected_runs warm);
+            (* A corrupted entry behind a clean target dirties it on the
+               next plan: self-healing instead of trusting the file. *)
+            let cell_of_f1 =
+              List.find
+                (fun (c : Propane.Cell.t) ->
+                  String.equal c.module_name "F1")
+                (Propane.Cell.plan ~sut:(B.sut edited)
+                   ~model:(B.model edited) ~recipe:"r" campaign)
+                  .cells
+            in
+            let oc = open_out (Filename.concat dir cell_of_f1.key) in
+            output_string oc "garbage";
+            close_out oc;
+            let healed =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut edited)
+                ~model:(B.model edited) ~dir campaign
+            in
+            Alcotest.(check (list string))
+              "poisoned entry re-measured" [ "a"; "b" ]
+              (List.sort compare (Propane.Reuse.dirty_targets healed))));
+    Alcotest.test_case "persist skips a partially measured target" `Quick
+      (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let cold =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            (* Run only target [a]'s block: targets b and c stay
+               unmeasured, as after an adaptive early stop. *)
+            let rpt = Propane.Campaign.runs_per_target campaign in
+            let results = run ~select:(fun idx -> idx < rpt) sys campaign in
+            let stream = Propane.Reuse.compose cold results in
+            (match Propane.Reuse.persist cold stream results with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "persist failed: %s" msg);
+            let warm =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            Alcotest.(check (list string))
+              "only the fully measured target is reusable" [ "a" ]
+              (Propane.Reuse.clean_targets warm);
+            Alcotest.(check (list string))
+              "unfinished targets stay dirty" [ "b"; "c" ]
+              (List.sort compare (Propane.Reuse.dirty_targets warm))));
+    Alcotest.test_case "journal carries the cell provenance" `Quick
+      (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let dir = fresh_dir () in
+        let path = Filename.temp_file "propane_reuse" ".journal" in
+        Fun.protect
+          ~finally:(fun () ->
+            rm_rf dir;
+            Sys.remove path)
+          (fun () ->
+            let plan =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            let expected = Propane.Reuse.journal_cells plan in
+            let (_ : Propane.Results.t) =
+              run ~journal:path ~select:(Propane.Reuse.select plan)
+                ~cells:expected sys campaign
+            in
+            match Propane.Journal.load path with
+            | Error msg -> Alcotest.failf "journal load failed: %s" msg
+            | Ok journal ->
+                Alcotest.(check int)
+                  "one record per cell" (List.length expected)
+                  (List.length journal.Propane.Journal.cells);
+                List.iter2
+                  (fun (a : Propane.Journal.cell)
+                       (b : Propane.Journal.cell) ->
+                    Alcotest.(check bool)
+                      "cell record round-trips" true (a = b))
+                  expected journal.Propane.Journal.cells));
+    Alcotest.test_case "select journals are byte-identical across jobs"
+      `Quick (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let read_file path =
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let rpt = Propane.Campaign.runs_per_target campaign in
+        (* Select the middle target block only: the reorder buffer must
+           stream records in index order across the deselected gaps. *)
+        let select idx = idx >= rpt && idx < 2 * rpt in
+        let journal_bytes jobs =
+          let path = Filename.temp_file "propane_reuse_sel" ".journal" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              let (_ : Propane.Results.t) =
+                run ~journal:path ~jobs ~select sys campaign
+              in
+              read_file path)
+        in
+        let serial = journal_bytes 1 in
+        Alcotest.(check bool)
+          "jobs=3 journal equals serial" true
+          (String.equal serial (journal_bytes 3)));
+  ]
+
+(* The tentpole property: composing cached clean cells with freshly
+   injected dirty targets is {e exactly} a from-scratch campaign —
+   same counts, same point values, same interval bounds — whichever
+   subset of modules was edited. *)
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:12
+         ~name:"composed cached+fresh estimates equal a from-scratch run"
+         QCheck2.Gen.(tup3 bool bool bool)
+         (fun (e1, e2, e3) ->
+           let dir = fresh_dir () in
+           Fun.protect
+             ~finally:(fun () -> rm_rf dir)
+             (fun () ->
+               let base = make_system () in
+               let campaign = campaign_of base in
+               let cold =
+                 Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut base)
+                   ~model:(B.model base) ~dir campaign
+               in
+               let cold_results =
+                 run ~select:(Propane.Reuse.select cold) base campaign
+               in
+               let cold_stream = Propane.Reuse.compose cold cold_results in
+               (match Propane.Reuse.persist cold cold_stream cold_results with
+               | Ok () -> ()
+               | Error msg -> Alcotest.failf "persist failed: %s" msg);
+               (* "Edit" a random subset of modules: digests move, the
+                  transfers do not, so the from-scratch reference of the
+                  edited system is the cold stream itself. *)
+               let edited =
+                 make_system
+                   ~t1:(if e1 then "f1-v2" else "f1-v1")
+                   ~t2:(if e2 then "f2-v2" else "f2-v1")
+                   ~t3:(if e3 then "f3-v2" else "f3-v1")
+                   ()
+               in
+               let warm =
+                 Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut edited)
+                   ~model:(B.model edited) ~dir campaign
+               in
+               let expect_dirty =
+                 List.filter
+                   (fun t ->
+                     match t with
+                     | "a" -> e1
+                     | "b" -> e2 || e3
+                     | "c" -> e3
+                     | _ -> false)
+                   campaign.Propane.Campaign.targets
+               in
+               if Propane.Reuse.dirty_targets warm <> expect_dirty then
+                 QCheck2.Test.fail_reportf "dirty targets: got %s, want %s"
+                   (String.concat "," (Propane.Reuse.dirty_targets warm))
+                   (String.concat "," expect_dirty);
+               let fresh_results =
+                 run ~select:(Propane.Reuse.select warm) edited campaign
+               in
+               let composed = Propane.Reuse.compose warm fresh_results in
+               same_matrices
+                 (Propane.Estimator.Stream.matrices composed)
+                 (Propane.Estimator.Stream.matrices cold_stream))));
+  ]
+
+let () =
+  Alcotest.run "reuse"
+    [ ("reuse", tests); ("reuse_property", property_tests) ]
