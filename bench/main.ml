@@ -63,6 +63,9 @@ type bench_row = {
   row_mode : string;
   row_cores : int;  (** physical cores the mode can actually use *)
   row_jobs : int;  (** domains or worker processes requested *)
+  row_oversubscribed : bool;
+      (** more jobs than cores: the row measures scheduling overhead,
+          not parallel speedup, and must not feed a scaling claim *)
   row_runs : int;
   row_seconds : float;
 }
@@ -78,6 +81,7 @@ let record_mode ~sut ~mode ~jobs ~runs ~seconds =
           row_mode = mode;
           row_cores = min jobs nproc;
           row_jobs = jobs;
+          row_oversubscribed = jobs > nproc;
           row_runs = runs;
           row_seconds = seconds;
         };
@@ -86,13 +90,35 @@ let record_mode ~sut ~mode ~jobs ~runs ~seconds =
 let runs_per_sec r =
   if r.row_seconds > 0.0 then float_of_int r.row_runs /. r.row_seconds else 0.0
 
+(* Error-model ablation rows (the [models] target): ranking shift per
+   roster, with the full per-module interval data behind it. *)
+type model_row = {
+  m_spec : string;
+  m_runs : int;
+  m_tau : float;
+  m_estimates : (string * Propagation.Estimate.t * bool) list;
+}
+
+let model_rows : model_row list ref = ref []
+
 let write_bench_json () =
-  if !bench_rows <> [] then begin
+  if !bench_rows <> [] || !model_rows <> [] then begin
     let row r =
       Printf.sprintf
-        {|    {"sut":"%s","mode":"%s","cores":%d,"jobs":%d,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
-        r.row_sut r.row_mode r.row_cores r.row_jobs r.row_runs r.row_seconds
-        (runs_per_sec r)
+        {|    {"sut":"%s","mode":"%s","cores":%d,"jobs":%d,"oversubscribed":%b,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
+        r.row_sut r.row_mode r.row_cores r.row_jobs r.row_oversubscribed
+        r.row_runs r.row_seconds (runs_per_sec r)
+    in
+    let model_json m =
+      let est (name, (e : Propagation.Estimate.t), resolved) =
+        Printf.sprintf
+          {|{"module":"%s","p_rel":%.4f,"lo":%.4f,"hi":%.4f,"resolved":%b}|}
+          name e.Propagation.Estimate.value e.lo e.hi resolved
+      in
+      Printf.sprintf
+        {|    {"model":"%s","runs":%d,"tau_vs_single_bit":%.3f,"ranking":[%s]}|}
+        m.m_spec m.m_runs m.m_tau
+        (String.concat "," (List.map est m.m_estimates))
     in
     let oc = open_out "BENCH_campaign.json" in
     Printf.fprintf oc
@@ -102,10 +128,14 @@ let write_bench_json () =
       \  \"git_rev\": \"%s\",\n\
       \  \"modes\": [\n\
        %s\n\
+      \  ],\n\
+      \  \"models\": [\n\
+       %s\n\
       \  ]\n\
        }\n"
       nproc (Lazy.force git_rev)
-      (String.concat ",\n" (List.map row !bench_rows));
+      (String.concat ",\n" (List.map row !bench_rows))
+      (String.concat ",\n" (List.map model_json !model_rows));
     close_out oc;
     print_endline "wrote BENCH_campaign.json"
   end
@@ -435,6 +465,76 @@ let ablation () =
     (run "ablation-uniform"
        (List.init 4 (fun _ -> Propane.Error_model.Replace_uniform)))
     direct
+
+(* ------------------------------------------------------------------ *)
+(* Error-model ablation with ranking shifts.  One reduced campaign per
+   roster over the identical workload grid; each row lands in
+   BENCH_campaign.json with the full per-module interval data so CI
+   can track how far each model moves the paper's module ranking. *)
+
+let model_specs =
+  [
+    "single-bit";
+    "multi-bit:2";
+    "burst:4";
+    "stuck-at";
+    "offset:64";
+    "noise:16";
+    "uniform";
+    "delayed:8";
+    "intermittent:4:16";
+  ]
+
+let models () =
+  section "Error-model ablation: permeability-ranking shift per model";
+  let testcases =
+    Propane.Testcase.grid
+      [
+        Propane.Testcase.uniform_axis "mass" ~lo:8_000.0 ~hi:20_000.0 ~steps:2;
+        Propane.Testcase.uniform_axis "velocity" ~lo:40.0 ~hi:80.0 ~steps:2;
+      ]
+  in
+  let times = List.map Simkernel.Sim_time.of_ms [ 1_000; 3_000 ] in
+  let campaign_of errors =
+    Propane.Campaign.make ~name:"bench-models"
+      ~targets:Arrestment.Model.injection_targets ~testcases ~times ~errors
+  in
+  let rosters =
+    List.map
+      (fun spec ->
+        match
+          Propane.Error_model.roster_of_string
+            ~width:Arrestment.Signals.width spec
+        with
+        | Ok errors -> (spec, errors)
+        | Error msg -> failwith (spec ^ ": " ^ msg))
+      model_specs
+  in
+  match
+    Propane.Ablation.study
+      ~config:
+        (Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ())
+      ~sut:(Arrestment.System.sut ()) ~model:Arrestment.Model.system
+      ~campaign_of rosters
+  with
+  | Error msg -> failwith ("models: " ^ msg)
+  | Ok rows ->
+      List.iter
+        (fun (r : Propane.Ablation.row) ->
+          Printf.printf "%-18s %5d runs  tau %+.2f  %s\n" r.spec r.runs
+            r.tau_vs_baseline
+            (String.concat " > " r.order);
+          model_rows :=
+            !model_rows
+            @ [
+                {
+                  m_spec = r.spec;
+                  m_runs = r.runs;
+                  m_tau = r.tau_vs_baseline;
+                  m_estimates = r.estimates;
+                };
+              ])
+        rows
 
 (* ------------------------------------------------------------------ *)
 (* Failure-severity classification                                     *)
@@ -928,10 +1028,13 @@ let scaling () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let report ~mode ~runs seconds =
-    Printf.printf "  %-12s %10.1f runs/s  (%.2f s)\n" mode
+  let report ~mode ~jobs ~runs seconds =
+    Printf.printf "  %-12s %10.1f runs/s  (%.2f s)%s\n" mode
       (float_of_int runs /. seconds)
       seconds
+      (if jobs > nproc then
+         Printf.sprintf "  [oversubscribed: %d jobs on %d core(s)]" jobs nproc
+       else "")
   in
   List.iter
     (fun (sut_name, make_sut, make_campaign) ->
@@ -947,7 +1050,7 @@ let scaling () =
       in
       record_mode ~sut:sut_name ~mode:"serial" ~jobs:1 ~runs
         ~seconds:t_serial;
-      report ~mode:"serial" ~runs t_serial;
+      report ~mode:"serial" ~jobs:1 ~runs t_serial;
       let serial_bytes = read_file serial_journal in
       let check_identical ~mode results journal =
         if Propane.Results.outcomes serial <> Propane.Results.outcomes results
@@ -971,7 +1074,7 @@ let scaling () =
                   (make_sut ()) c)
           in
           record_mode ~sut:sut_name ~mode ~jobs:k ~runs ~seconds;
-          report ~mode ~runs seconds;
+          report ~mode ~jobs:k ~runs seconds;
           check_identical ~mode results journal)
         parallel_core_counts;
       List.iter
@@ -1008,7 +1111,7 @@ let scaling () =
                       ~total:runs ()))
           in
           record_mode ~sut:sut_name ~mode ~jobs:k ~runs ~seconds;
-          report ~mode ~runs seconds;
+          report ~mode ~jobs:k ~runs seconds;
           check_identical ~mode results journal)
         parallel_core_counts;
       Sys.remove serial_journal)
@@ -1022,28 +1125,34 @@ let scaling () =
       let failures = ref [] in
       List.iter
         (fun (sut_name, _, _) ->
-          let rate mode =
-            match
-              List.find_opt
-                (fun r ->
-                  String.equal r.row_sut sut_name
-                  && String.equal r.row_mode mode)
-                !bench_rows
-            with
-            | Some r -> Some (runs_per_sec r)
-            | None -> None
+          let find mode =
+            List.find_opt
+              (fun r ->
+                String.equal r.row_sut sut_name
+                && String.equal r.row_mode mode)
+              !bench_rows
           in
-          match rate "serial" with
+          match find "serial" with
           | None -> ()
-          | Some serial_rate ->
+          | Some serial_row ->
+              let serial_rate = runs_per_sec serial_row in
               List.iter
                 (fun mode ->
-                  match rate mode with
-                  | Some r when r < serial_rate ->
+                  match find mode with
+                  | Some r when r.row_oversubscribed ->
+                      (* Same reasoning as the whole-gate skip above:
+                         an oversubscribed row measures scheduling
+                         overhead, not scaling, so it cannot fail the
+                         gate either. *)
+                      Printf.printf
+                        "scaling check: %s %s skipped (oversubscribed: %d \
+                         jobs on %d core(s))\n"
+                        sut_name mode r.row_jobs nproc
+                  | Some r when runs_per_sec r < serial_rate ->
                       failures :=
                         Printf.sprintf
                           "%s: %s (%.1f runs/s) below serial (%.1f runs/s)"
-                          sut_name mode r serial_rate
+                          sut_name mode (runs_per_sec r) serial_rate
                         :: !failures
                   | Some _ | None -> ())
                 [ "domains-2"; "workers-2" ])
@@ -1257,6 +1366,7 @@ let targets =
     ("table4", table4);
     ("observations", observations);
     ("ablation", ablation);
+    ("models", models);
     ("severity", severity);
     ("uniformity", uniformity);
     ("latency", latency);

@@ -81,22 +81,9 @@ let dot_dir =
   let doc = "Also write Graphviz .dot files for every graph and tree into $(docv)." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
 
-let analyze_cmd =
-  let run () dot ci =
-    let analysis =
-      analysis_or_die Arrestment.Model.system
-        (Arrestment.Model.paper_matrices ())
-    in
-    print_analysis_tables ~ci analysis;
-    Option.iter (fun dir -> dump_figures dir analysis) dot
-  in
-  Cmd.v
-    (Cmd.info "analyze"
-       ~doc:
-         "Propagation analysis of the arrestment system from the paper's \
-          permeability values (Tables 1-4).  $(b,--ci) adds confidence \
-          intervals and rank resolvedness to every table.")
-    Term.(const run $ log_term $ dot_dir $ ci_arg)
+(* analyze_cmd itself is defined after the campaign machinery: its
+   --by-model mode runs real (reduced) campaigns, one per error-model
+   roster, and needs the workload grid helpers below. *)
 
 (* ------------------------------------------------------------------ *)
 
@@ -181,6 +168,29 @@ let chaos_kill_arg =
     value
     & opt (some (int_at_least 1 "--chaos-worker-kill-after")) None
     & info [ "chaos-worker-kill-after" ] ~docv:"N" ~doc)
+
+let model_conv =
+  let parse s =
+    match
+      Propane.Error_model.roster_of_string ~width:Arrestment.Signals.width s
+    with
+    | Ok _ -> Ok s
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"SPEC" (parse, Format.pp_print_string)
+
+let model_arg =
+  let doc =
+    "Error-model roster for the campaign: $(b,single-bit) (default — the \
+     paper's one flip per bit position), $(b,multi-bit:K) (K-bit flips, \
+     positions spread), $(b,burst:L) (L adjacent bits), $(b,stuck-at) \
+     (stuck-at-0 and stuck-at-ones) or $(b,stuck-at:C), $(b,offset:D) (+D \
+     and -D), $(b,noise:A) (uniform nonzero delta in [-A,A]), $(b,uniform) \
+     (replace with a different uniform value), and the temporal wrappers \
+     $(b,delayed:MS)[:SPEC] and $(b,intermittent:PERIOD:WINDOW)[:SPEC] \
+     (defaulting to wrapping single-bit)."
+  in
+  Arg.(value & opt model_conv "single-bit" & info [ "model" ] ~docv:"SPEC" ~doc)
 
 let journal_arg =
   let doc =
@@ -306,7 +316,20 @@ let telemetry_arg =
   in
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
 
-let build_campaign ~cases ~times ~full () =
+let default_model = "single-bit"
+
+let roster_or_die model =
+  match
+    Propane.Error_model.roster_of_string ~width:Arrestment.Signals.width model
+  with
+  | Ok errors -> errors
+  | Error msg ->
+      (* The --model converter already validated; this only triggers on
+         a recipe forged outside the CLI. *)
+      prerr_endline ("propane: bad error-model roster: " ^ msg);
+      exit 124
+
+let campaign_workload ~cases ~times ~full =
   let testcases =
     if full then Arrestment.System.paper_testcases
     else
@@ -324,10 +347,19 @@ let build_campaign ~cases ~times ~full () =
       List.init (max 1 times) (fun j ->
           Simkernel.Sim_time.of_ms (500 + (j * 4500 / max 1 (times - 1))))
   in
-  Propane.Campaign.make
-    ~name:(if full then "paper-7.3" else "reduced-7.3")
-    ~targets:Arrestment.Model.injection_targets ~testcases ~times
-    ~errors:(Propane.Error_model.bit_flips ~width:Arrestment.Signals.width)
+  (testcases, times)
+
+let build_campaign ~cases ~times ~full ~model () =
+  let testcases, times = campaign_workload ~cases ~times ~full in
+  let base = if full then "paper-7.3" else "reduced-7.3" in
+  (* The default roster keeps the historical campaign name (and so the
+     journal header bytes); any other roster is part of the campaign's
+     identity and must show up in validation. *)
+  let name =
+    if String.equal model default_model then base else base ^ "+" ^ model
+  in
+  Propane.Campaign.make ~name ~targets:Arrestment.Model.injection_targets
+    ~testcases ~times ~errors:(roster_or_die model)
 
 (* The coordinator's Welcome carries this opaque recipe so a bare
    [propane worker --connect ADDR] can rebuild the exact campaign and
@@ -338,6 +370,7 @@ module Recipe = struct
     cases : int;
     times : int;
     full : bool;
+    model : string;  (* error-model roster spec, see Error_model *)
     window : int;
     config : Propane.Runner.Config.t;
         (* the engine's own option record, embedded via its codec so
@@ -347,13 +380,13 @@ module Recipe = struct
     chaos_hang : int option;
   }
 
-  let magic = "propane-recipe2"
+  let magic = "propane-recipe3"
 
   let encode r =
     let opt = function None -> "" | Some n -> string_of_int n in
     Printf.sprintf
-      "%s;cases=%d;times=%d;full=%b;window=%d;config=%s;chaos_crash=%s;chaos_hang=%s"
-      magic r.cases r.times r.full r.window
+      "%s;cases=%d;times=%d;full=%b;model=%s;window=%d;config=%s;chaos_crash=%s;chaos_hang=%s"
+      magic r.cases r.times r.full r.model r.window
       (Propane.Runner.Config.encode r.config)
       (opt r.chaos_crash) (opt r.chaos_hang)
 
@@ -387,6 +420,7 @@ module Recipe = struct
               cases = get int_of_string_opt "cases";
               times = get int_of_string_opt "times";
               full = get bool_of_string_opt "full";
+              model = get Option.some "model";
               window = get int_of_string_opt "window";
               config = get config "config";
               chaos_crash = get opt "chaos_crash";
@@ -410,7 +444,8 @@ module Recipe = struct
     in
     Arrestment.System.sut ?fault ()
 
-  let campaign_of r = build_campaign ~cases:r.cases ~times:r.times ~full:r.full ()
+  let campaign_of r =
+    build_campaign ~cases:r.cases ~times:r.times ~full:r.full ~model:r.model ()
 end
 
 let write_telemetry path telemetry =
@@ -475,10 +510,10 @@ let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
         ~config ~listen:fd ~sut:sut.Propane.Sut.name
         ~campaign:campaign.Propane.Campaign.name ~total ())
 
-let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-    ~journal ~resume ~journal_batch ~telemetry ~keep_traces ~run_timeout_ms
-    ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers ~listen ~chaos_kill
-    ~stop_when ~reuse () =
+let run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
+    ~jobs ~journal ~resume ~journal_batch ~telemetry ~keep_traces
+    ~run_timeout_ms ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers
+    ~listen ~chaos_kill ~stop_when ~reuse () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
     exit 1
@@ -515,7 +550,20 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
       ?journal ~resume ~journal_batch ~keep_traces ?stop_when ()
   in
   let recipe =
-    { Recipe.cases; times; full; window; config; chaos_crash; chaos_hang }
+    {
+      Recipe.cases;
+      times;
+      full;
+      model;
+      window;
+      (* [jobs] is host-local scheduling, not part of the campaign's
+         identity: normalising it keeps the journal's recipe line — and
+         so the whole journal — byte-identical across serial, --jobs
+         and cluster executions of the same campaign. *)
+      config = { config with Propane.Runner.Config.jobs = 1 };
+      chaos_crash;
+      chaos_hang;
+    }
   in
   let campaign = Recipe.campaign_of recipe in
   Format.printf "%a@." Propane.Campaign.pp campaign;
@@ -594,7 +642,9 @@ let run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
       if cluster then
         run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
           ~listen ~chaos_kill ~live ?select ?cells ()
-      else Propane.Runner.run ~config ~on_event ?live ?select ?cells sut campaign
+      else
+        Propane.Runner.run ~config ~on_event ?live ?select ?cells
+          ~recipe:(Recipe.encode recipe) sut campaign
     with Propane.Runner.Failed_run { index; outcome } ->
       Option.iter (fun path -> write_telemetry path tele) telemetry;
       Format.eprintf "propane campaign: run %d %a; aborting (--fail-fast)@."
@@ -684,14 +734,147 @@ let reuse_arg =
   in
   Arg.(value & opt (some string) None & info [ "reuse" ] ~docv:"CACHE_DIR" ~doc)
 
+(* ------------------------------------------------------------------ *)
+
+(* Error-model ablation (analyze --by-model; bench has a scaled-down
+   twin).  One reduced campaign per roster over the identical workload
+   and injection grid, so any ranking shift is attributable to the
+   error model alone — the axis the paper's Section 6 flags but never
+   measures. *)
+let ablation_specs =
+  [
+    "single-bit";
+    "multi-bit:2";
+    "burst:4";
+    "stuck-at";
+    "offset:64";
+    "noise:16";
+    "uniform";
+    "delayed:8";
+    "intermittent:4:16";
+  ]
+
+let run_model_ablation ~cases ~times ~seed ~window ~jobs ~ci () =
+  let config =
+    Propane.Runner.Config.make ~seed ~truncate_after_ms:(window * 2) ~jobs ()
+  in
+  let testcases, times = campaign_workload ~cases ~times ~full:false in
+  let campaign_of errors =
+    Propane.Campaign.make ~name:"ablation-7.3"
+      ~targets:Arrestment.Model.injection_targets ~testcases ~times ~errors
+  in
+  let rosters =
+    List.map (fun spec -> (spec, roster_or_die spec)) ablation_specs
+  in
+  match
+    Propane.Ablation.study ~config
+      ~attribution:(Propane.Estimator.Direct { window_ms = window })
+      ~sut:(Arrestment.System.sut ()) ~model:Arrestment.Model.system
+      ~campaign_of rosters
+  with
+  | Error msg ->
+      prerr_endline ("propane analyze: " ^ msg);
+      exit 124
+  | Ok rows ->
+      let ranking (r : Propane.Ablation.row) =
+        (* " > " separates a resolved rank boundary, " ~ " one whose
+           95% intervals still overlap. *)
+        let rec join = function
+          | [] -> ""
+          | [ (name, _, _) ] -> name
+          | (name, _, resolved) :: rest ->
+              name ^ (if resolved then " > " else " ~ ") ^ join rest
+        in
+        join r.estimates
+      in
+      Report.Table.print
+        (Report.Table.make ~title:"Module ranking by error model"
+           ~columns:
+             [
+               ("Model", Report.Table.Left);
+               ("Runs", Report.Table.Right);
+               ("Tau", Report.Table.Right);
+               ("Ranking by P~rel (~ = unresolved)", Report.Table.Left);
+             ]
+           (List.map
+              (fun (r : Propane.Ablation.row) ->
+                [
+                  r.spec;
+                  string_of_int r.runs;
+                  Printf.sprintf "%+.2f" r.tau_vs_baseline;
+                  ranking r;
+                ])
+              rows));
+      if ci then begin
+        print_newline ();
+        Report.Table.print
+          (Report.Table.make
+             ~title:"Relative permeability per error model (95% CI)"
+             ~columns:
+               [
+                 ("Model", Report.Table.Left);
+                 ("Module", Report.Table.Left);
+                 ("P~rel", Report.Table.Right);
+                 ("95% CI", Report.Table.Left);
+               ]
+             (List.concat_map
+                (fun (r : Propane.Ablation.row) ->
+                  List.map
+                    (fun (name, (e : Propagation.Estimate.t), _) ->
+                      [
+                        r.spec;
+                        name;
+                        Printf.sprintf "%.3f" e.Propagation.Estimate.value;
+                        Printf.sprintf "[%.3f, %.3f]" e.lo e.hi;
+                      ])
+                    r.estimates)
+                rows))
+      end
+
+let by_model_arg =
+  let doc =
+    "Instead of analysing the paper's postulated permeabilities, measure \
+     them: run one reduced campaign per error-model roster (single-bit \
+     baseline, multi-bit, burst, stuck-at, offset, noise, uniform, delayed, \
+     intermittent) over the same workload grid and report each model's \
+     module ranking with its Kendall tau against the single-bit baseline.  \
+     $(b,--cases), $(b,--times), $(b,--seed), $(b,--window) and $(b,--jobs) \
+     shape the campaigns; $(b,--ci) adds per-module intervals."
+  in
+  Arg.(value & flag & info [ "by-model" ] ~doc)
+
+let analyze_cmd =
+  let run () dot ci by_model cases times seed window jobs =
+    if by_model then run_model_ablation ~cases ~times ~seed ~window ~jobs ~ci ()
+    else begin
+      let analysis =
+        analysis_or_die Arrestment.Model.system
+          (Arrestment.Model.paper_matrices ())
+      in
+      print_analysis_tables ~ci analysis;
+      Option.iter (fun dir -> dump_figures dir analysis) dot
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Propagation analysis of the arrestment system from the paper's \
+          permeability values (Tables 1-4).  $(b,--ci) adds confidence \
+          intervals and rank resolvedness to every table.  $(b,--by-model) \
+          switches to a measured error-model ablation: one campaign per \
+          roster, reporting permeability-ranking shifts per model.")
+    Term.(
+      const run $ log_term $ dot_dir $ ci_arg $ by_model_arg $ cases_arg
+      $ times_arg $ seed_arg $ window_arg $ jobs_arg)
+
 let campaign_cmd =
-  let run () cases times full seed window progress jobs journal resume
+  let run () cases times full model seed window progress jobs journal resume
       journal_batch telemetry keep_traces run_timeout_ms retries fail_fast
       chaos_crash chaos_hang workers listen chaos_kill stop_when ci save reuse
       =
     let results, analysis =
-      run_measured_campaign ~cases ~times ~full ~seed ~window ~progress ~jobs
-        ~journal ~resume ~journal_batch ~telemetry ~keep_traces
+      run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
+        ~jobs ~journal ~resume ~journal_batch ~telemetry ~keep_traces
         ~run_timeout_ms ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers
         ~listen ~chaos_kill ~stop_when ~reuse ()
     in
@@ -726,8 +909,9 @@ let campaign_cmd =
           rankings are stable or precise enough; $(b,--ci) prints the \
           resulting uncertainty columns.")
     Term.(
-      const run $ log_term $ cases_arg $ times_arg $ full_arg $ seed_arg
-      $ window_arg $ progress_arg $ jobs_arg $ journal_arg $ resume_arg
+      const run $ log_term $ cases_arg $ times_arg $ full_arg $ model_arg
+      $ seed_arg $ window_arg $ progress_arg $ jobs_arg $ journal_arg
+      $ resume_arg
       $ journal_batch_arg $ telemetry_arg $ keep_traces_arg $ run_timeout_arg
       $ retries_arg $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg
       $ workers_arg $ listen_arg $ chaos_kill_arg $ stop_when_arg $ ci_arg
@@ -803,6 +987,159 @@ let worker_cmd =
           which campaign to build; results are deterministic per run, so any \
           number of workers on any machines produce the same campaign.")
     Term.(const run $ log_term $ connect_arg $ die_after_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic re-execution of one journalled run.  The journal's
+   recipe line rebuilds the exact SUT, campaign and engine options; a
+   run's RNG stream depends only on (seed, index, attempt), so the
+   replay must reproduce the journal record byte for byte — anything
+   else is a determinism bug worth failing loudly over. *)
+let replay_cmd =
+  let journal_path_arg =
+    let doc = "Journal written by $(b,propane campaign --journal)." in
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let index_arg =
+    let doc =
+      "Campaign index of the run to replay (the first field of its journal \
+       record)."
+    in
+    Arg.(
+      required
+      & opt (some (int_at_least 0 "--index")) None
+      & info [ "index" ] ~docv:"I" ~doc)
+  in
+  let keep_arg =
+    let doc =
+      "Record the replayed run's full signal traces and, once the outcome \
+       is verified against the journal, write them as CSV next to the \
+       journal ($(i,FILE).run$(i,I).csv)."
+    in
+    Arg.(value & flag & info [ "keep-traces" ] ~doc)
+  in
+  let run () path index keep_traces =
+    let die msg =
+      prerr_endline ("propane replay: " ^ msg);
+      exit 1
+    in
+    let j =
+      match Propane.Journal.load path with Ok j -> j | Error msg -> die msg
+    in
+    let recipe =
+      match j.Propane.Journal.recipe with
+      | None ->
+          die
+            "journal carries no recipe line (written by an older propane, or \
+             by a bare library caller); replay cannot rebuild its campaign"
+      | Some r -> (
+          match Recipe.decode r with Ok r -> r | Error msg -> die msg)
+    in
+    let sut = Recipe.sut_of recipe in
+    let campaign = Recipe.campaign_of recipe in
+    let config = recipe.Recipe.config in
+    (match
+       Propane.Journal.validate j ~path ~sut:sut.Propane.Sut.name
+         ~campaign:campaign.Propane.Campaign.name
+         ~seed:config.Propane.Runner.Config.seed
+         ~total:(Propane.Campaign.size campaign)
+     with
+    | Ok () -> ()
+    | Error msg -> die msg);
+    let recorded =
+      match Hashtbl.find_opt (Propane.Journal.completed j) index with
+      | Some o -> o
+      | None -> die (Printf.sprintf "journal has no record for index %d" index)
+    in
+    (* Scheduling and durability knobs are irrelevant to a single run's
+       outcome; strip them so the replay is a plain serial execution
+       that cannot touch the journal it is checking. *)
+    let config =
+      {
+        config with
+        Propane.Runner.Config.jobs = 1;
+        journal = None;
+        resume = false;
+        fail_fast = false;
+        stop_when = None;
+        keep_traces;
+      }
+    in
+    let traces = ref None in
+    let results =
+      Propane.Runner.run ~config
+        ?on_run_traces:
+          (if keep_traces then Some (fun ~index:_ ts -> traces := Some ts)
+           else None)
+        ~select:(fun i -> i = index)
+        sut campaign
+    in
+    let replayed =
+      match Propane.Results.outcomes results with
+      | [ o ] -> o
+      | os ->
+          die
+            (Printf.sprintf "replay executed %d runs instead of 1"
+               (List.length os))
+    in
+    let record o =
+      match Propane.Journal.record_string ~index o with
+      | Ok s -> s
+      | Error msg -> die msg
+    in
+    let expected = record recorded in
+    let got = record replayed in
+    if not (String.equal expected got) then begin
+      Printf.eprintf
+        "propane replay: run %d DIVERGES from its journal record\n\
+         journal: %s\n\
+         replay:  %s\n"
+        index expected got;
+      exit 3
+    end;
+    Printf.printf "run %d of %s: outcome matches journal (%s, %d divergence%s)\n"
+      index path
+      (Format.asprintf "%a" Propane.Results.pp_status
+         replayed.Propane.Results.status)
+      (List.length replayed.Propane.Results.divergences)
+      (if List.length replayed.Propane.Results.divergences = 1 then "" else "s");
+    if keep_traces then
+      match !traces with
+      | None -> die "engine returned no traces despite --keep-traces"
+      | Some ts ->
+          let out = Printf.sprintf "%s.run%d.csv" path index in
+          let oc = open_out out in
+          let signals = Propane.Trace_set.signals ts in
+          output_string oc ("ms," ^ String.concat "," signals ^ "\n");
+          let dur = Propane.Trace_set.duration_ms ts in
+          for ms = 0 to dur - 1 do
+            output_string oc (string_of_int ms);
+            List.iter
+              (fun s ->
+                output_char oc ',';
+                output_string oc
+                  (string_of_int
+                     (Propane.Trace.get (Propane.Trace_set.trace ts s) ms)))
+              signals;
+            output_char oc '\n'
+          done;
+          close_out oc;
+          Printf.printf "traces written to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically re-execute one journalled run: rebuild the \
+          campaign from the journal's recipe line, re-run the given index on \
+          its original RNG stream, and verify the outcome is byte-identical \
+          to the journal record before optionally dumping its traces \
+          ($(b,--keep-traces)).  Works on serial, $(b,--jobs) and cluster \
+          journals alike — records are index-addressed, so scheduling never \
+          matters.")
+    Term.(const run $ log_term $ journal_path_arg $ index_arg $ keep_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -973,6 +1310,7 @@ let main =
     [
       analyze_cmd;
       campaign_cmd;
+      replay_cmd;
       worker_cmd;
       estimate_cmd;
       latency_cmd;

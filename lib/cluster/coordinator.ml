@@ -82,8 +82,14 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
                    outcome — mirroring Runner.run so reuse journals are
                    byte-identical across serial, --jobs and cluster. *)
                 let w =
-                  Propane.Journal.create ~batch:journal_batch ~path ~sut
-                    ~campaign ~seed ~total ()
+                  (* The same recipe the workers receive in Welcome is
+                     journalled for [propane replay]; serial runs store
+                     the identical string, keeping journals
+                     byte-identical across modes. *)
+                  Propane.Journal.create ~batch:journal_batch
+                    ?recipe:
+                      (if String.equal recipe "" then None else Some recipe)
+                    ~path ~sut ~campaign ~seed ~total ()
                 in
                 match (w, cells) with
                 | Ok w, Some cells ->

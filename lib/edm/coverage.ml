@@ -89,9 +89,9 @@ let assess ?(max_ms = Propane.Runner.default_max_ms) ?(seed = 42L) ~outputs
       incr runs;
       if run_effective then incr effective;
       if output_failure <> None then incr output_failures;
-      let injected_at =
-        Simkernel.Sim_time.to_ms injection.Propane.Injection.at
-      in
+      (* Detection latency counts from the first actual corruption (a
+         delayed model arms at [at] but fires later). *)
+      let injected_at = Propane.Injection.first_fire_ms injection in
       List.iter
         (fun acc ->
           let verdict =

@@ -1,0 +1,60 @@
+type row = {
+  spec : string;
+  runs : int;
+  order : string list;
+  estimates : (string * Propagation.Estimate.t * bool) list;
+  tau_vs_baseline : float;
+}
+
+let rank ~model ~attribution results =
+  let ( let* ) = Result.bind in
+  let* matrices = Estimator.estimate_all ~attribution ~model results in
+  let* analysis = Propagation.Analysis.run model matrices in
+  let sorted =
+    Propagation.Ranking.sort_module_rows
+      Propagation.Ranking.By_relative_permeability
+      (Propagation.Ranking.module_rows analysis.Propagation.Analysis.graph)
+  in
+  Ok
+    ( List.map (fun r -> r.Propagation.Ranking.module_name) sorted,
+      List.map
+        (fun (r : Propagation.Ranking.module_row) ->
+          (r.module_name, r.relative_permeability_est, r.resolved))
+        sorted )
+
+let study ?(config = Runner.Config.default)
+    ?(attribution = Estimator.default_attribution) ~sut ~model ~campaign_of
+    rosters =
+  let ( let* ) = Result.bind in
+  let* rows =
+    List.fold_left
+      (fun acc (spec, errors) ->
+        let* acc = acc in
+        let campaign = campaign_of errors in
+        let results = Runner.run ~config sut campaign in
+        let* order, estimates = rank ~model ~attribution results in
+        Ok
+          ({
+             spec;
+             runs = Campaign.size campaign;
+             order;
+             estimates;
+             tau_vs_baseline = 1.0;
+           }
+          :: acc))
+      (Ok []) rosters
+  in
+  match List.rev rows with
+  | [] -> Ok []
+  | baseline :: _ as rows ->
+      Ok
+        (List.map
+           (fun r ->
+             {
+               r with
+               tau_vs_baseline =
+                 (if List.length r.order < 2 then 1.0
+                  else
+                    Propagation.Sensitivity.kendall_tau baseline.order r.order);
+             })
+           rows)

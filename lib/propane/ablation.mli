@@ -1,0 +1,38 @@
+(** Error-model ablation: how far does the module ranking move when the
+    fault model changes?
+
+    The paper's Section 6 flags exactly this threat ("the type of
+    injected errors can also effect the estimates") but measures only
+    single bit-flips.  {!study} turns the assumption into a measured
+    axis: one campaign per error-model roster over the same workload
+    grid, each reduced to its Table-2 module ranking (relative
+    permeability, PR 5 confidence intervals and resolvedness), plus the
+    Kendall rank correlation against the first roster — conventionally
+    the paper's single-bit baseline. *)
+
+type row = {
+  spec : string;  (** roster label, e.g. ["single-bit"] or ["burst:4"] *)
+  runs : int;  (** campaign size for this roster *)
+  order : string list;  (** module names, highest relative permeability first *)
+  estimates : (string * Propagation.Estimate.t * bool) list;
+      (** per module, ranking order: relative permeability with its 95%
+          interval and whether the rank vs. the next module is resolved *)
+  tau_vs_baseline : float;
+      (** Kendall tau of [order] against the first roster's order; 1.0
+          when identical (and for the baseline row itself) *)
+}
+
+val study :
+  ?config:Runner.Config.t ->
+  ?attribution:Estimator.attribution ->
+  sut:Sut.t ->
+  model:Propagation.System_model.t ->
+  campaign_of:(Error_model.t list -> Campaign.t) ->
+  (string * Error_model.t list) list ->
+  (row list, string) result
+(** Run one campaign per [(spec, errors)] roster under [config]
+    (default {!Runner.Config.default}) and rank the modules.  The
+    rosters share workload and injection grid — only the campaign's
+    error list varies — so ranking shifts are attributable to the
+    error model alone.  Fails with the estimator's or analysis's
+    message on inconsistent matrices. *)

@@ -12,15 +12,15 @@ type t = {
 let sep = '\x1f'
 
 let key_of ~sut_name ~module_name ~module_digest ~target ~outputs ~shape
-    ~recipe =
+    ~errors ~recipe =
   let buf = Buffer.create 256 in
   List.iter
     (fun field ->
       Buffer.add_string buf field;
       Buffer.add_char buf sep)
-    ([ "propane-cell 1"; sut_name; module_name; module_digest; target ]
+    ([ "propane-cell 2"; sut_name; module_name; module_digest; target ]
     @ outputs
-    @ [ shape; recipe ]);
+    @ [ shape ] @ errors @ [ recipe ]);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let shape_of (campaign : Campaign.t) =
@@ -39,8 +39,16 @@ let shape_of (campaign : Campaign.t) =
   List.iter
     (fun at -> field (string_of_int (Simkernel.Sim_time.to_ms at)))
     campaign.Campaign.times;
-  List.iter (fun e -> field (Error_model.describe e)) campaign.Campaign.errors;
   Buffer.contents buf
+
+(* Error models digest in width-aware canonical form, per target: the
+   injected signal's width fixes which spellings collapse (Stuck_at 5
+   and Stuck_at 65541 at width 16), so behaviourally identical models
+   share a cache cell instead of missing spuriously. *)
+let errors_of ~width (campaign : Campaign.t) =
+  List.map
+    (fun e -> Error_model.describe (Error_model.canonicalize ~width e))
+    campaign.Campaign.errors
 
 type plan = { cells : t list; by_target : (string * t list) list }
 
@@ -61,6 +69,9 @@ let plan ~(sut : Sut.t) ~model ~recipe (campaign : Campaign.t) =
   let by_target =
     List.map
       (fun target ->
+        let errors =
+          errors_of ~width:(Sut.signal_width sut target) campaign
+        in
         let cells =
           List.map
             (fun m ->
@@ -77,7 +88,7 @@ let plan ~(sut : Sut.t) ~model ~recipe (campaign : Campaign.t) =
                 key =
                   key_of ~sut_name:sut.Sut.name ~module_name
                     ~module_digest:(Option.value ~default:"" digest)
-                    ~target ~outputs ~shape ~recipe;
+                    ~target ~outputs ~shape ~errors ~recipe;
                 digest;
               })
             (Option.value ~default:[] (Hashtbl.find_opt consumers target))

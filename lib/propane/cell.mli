@@ -44,15 +44,24 @@ val key_of :
   target:string ->
   outputs:string list ->
   shape:string ->
+  errors:string list ->
   recipe:string ->
   string
 (** The raw key constructor; exposed for tests.  Any single differing
     component yields a different key. *)
 
 val shape_of : Campaign.t -> string
-(** Canonical description of the campaign dimensions every cell of the
-    campaign shares: test-case ids and parameters, injection times and
-    error models (targets excluded — each cell names its own). *)
+(** Canonical description of the width-independent campaign dimensions
+    every cell of the campaign shares: test-case ids and parameters and
+    injection times (targets excluded — each cell names its own; error
+    models enter separately via {!errors_of}, canonicalized at the
+    target's width). *)
+
+val errors_of : width:int -> Campaign.t -> string list
+(** The campaign's error models as width-aware canonical descriptions
+    ({!Error_model.canonicalize}): behaviourally identical spellings
+    (e.g. [Stuck_at 5] vs [Stuck_at (5 + 65536)] at width 16) digest
+    identically, so [--reuse] never misses spuriously. *)
 
 type plan = {
   cells : t list;  (** every cell of the campaign, target-major *)

@@ -22,13 +22,18 @@ let counts attribution (outcome : Results.outcome) output_name =
   match Results.divergence_of outcome output_name with
   | None -> false
   | Some diverged_at -> (
-      let injected_at =
-        Simkernel.Sim_time.to_ms outcome.injection.Injection.at
-      in
+      (* Attribution brackets the error model's firing window: from the
+         first corruption (identical to the injection time for
+         single-shot models) to [window_ms] past the last one, so
+         delayed and intermittent injections are not blamed for — or
+         robbed of — divergences outside their lifetime. *)
+      let first_fire = Injection.first_fire_ms outcome.injection in
       match attribution with
-      | Any_divergence -> diverged_at >= injected_at
+      | Any_divergence -> diverged_at >= first_fire
       | Direct { window_ms } ->
-          diverged_at >= injected_at && diverged_at <= injected_at + window_ms)
+          diverged_at >= first_fire
+          && diverged_at
+             <= Injection.last_fire_ms outcome.injection + window_ms)
 
 let estimate_pairs ?(attribution = default_attribution) ?(on_failure = `Count)
     ~model ~results module_name =

@@ -6,7 +6,14 @@ type t = {
 
 let make ~target ~at ~error =
   if String.length target = 0 then invalid_arg "Injection.make: empty target";
+  if Error_model.is_temporal (Error_model.payload error) then
+    invalid_arg "Injection.make: temporal error models cannot nest";
   { target; at; error }
+
+let inject_ms t = Simkernel.Sim_time.to_ms t.at
+let fires t ~ms = Error_model.fires t.error ~inject_ms:(inject_ms t) ~ms
+let first_fire_ms t = Error_model.first_fire_ms t.error ~inject_ms:(inject_ms t)
+let last_fire_ms t = Error_model.last_fire_ms t.error ~inject_ms:(inject_ms t)
 
 let describe t =
   Printf.sprintf "%s into %s at %d ms"

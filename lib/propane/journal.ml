@@ -32,16 +32,27 @@ let flush w = if w.pending > 0 then commit w
 let check_batch batch =
   if batch < 1 then Error "Journal: batch must be >= 1" else Ok ()
 
-let create ?(sync = false) ?(batch = 1) ~path ~sut ~campaign ~seed ~total () =
+let create ?(sync = false) ?(batch = 1) ?recipe ~path ~sut ~campaign ~seed
+    ~total () =
   let ( let* ) = Result.bind in
   let* () = check_field "sut" sut in
   let* () = check_field "campaign" campaign in
+  let* () =
+    match recipe with None -> Ok () | Some r -> check_field "recipe" r
+  in
   let* () = check_batch batch in
   if total < 0 then Error "Journal: negative total"
   else begin
     let oc = open_out path in
     Printf.fprintf oc "%s\nsut\t%s\ncampaign\t%s\nseed\t%Ld\ntotal\t%d\n" magic
       sut campaign seed total;
+    (* The optional recipe line records how to rebuild the exact
+       campaign and runner configuration — what [propane replay] needs
+       to re-execute one run deterministically.  Journals without it
+       keep their pre-recipe bytes. *)
+    (match recipe with
+    | None -> ()
+    | Some r -> Printf.fprintf oc "recipe\t%s\n" r);
     let w = { oc; sync; batch; pending = 0 } in
     commit w;
     Ok w
@@ -69,7 +80,11 @@ let append_to ?(sync = false) ?(batch = 1) path =
   | Some i -> Error (Printf.sprintf "%s:1: bad magic %S" path (String.sub contents 0 i))
   | None -> Error (Printf.sprintf "%s:1: empty file" path)
 
-let append w ~index (o : Results.outcome) =
+(* The exact committed record line (no trailing newline) for one
+   outcome — the unit [propane replay] compares byte-for-byte against
+   the journalled original.  Shared with [append] so there is exactly
+   one encoding. *)
+let record_string ~index (o : Results.outcome) =
   let ( let* ) = Result.bind in
   if index < 0 then Error "Journal.append: negative index"
   else
@@ -83,17 +98,18 @@ let append w ~index (o : Results.outcome) =
           check_field "signal" d.signal)
         (Ok ()) o.divergences
     in
+    let buf = Buffer.create 128 in
     (* Completed runs keep the v1 [run] record byte for byte; a failed
        run writes the v2 [run2] record, which carries its status. *)
     (match o.status with
     | Results.Completed ->
-        Printf.fprintf w.oc "run\t%d\t%s\t%s\t%d\t%s\t%d" index o.testcase
+        Printf.bprintf buf "run\t%d\t%s\t%s\t%d\t%s\t%d" index o.testcase
           o.injection.Injection.target
           (Simkernel.Sim_time.to_ms o.injection.Injection.at)
           (Storage.error_to_string o.injection.Injection.error)
           (List.length o.divergences)
     | status ->
-        Printf.fprintf w.oc "run2\t%d\t%s\t%s\t%d\t%s\t%s\t%d" index o.testcase
+        Printf.bprintf buf "run2\t%d\t%s\t%s\t%d\t%s\t%s\t%d" index o.testcase
           o.injection.Injection.target
           (Simkernel.Sim_time.to_ms o.injection.Injection.at)
           (Storage.error_to_string o.injection.Injection.error)
@@ -101,12 +117,18 @@ let append w ~index (o : Results.outcome) =
           (List.length o.divergences));
     List.iter
       (fun (d : Golden.divergence) ->
-        Printf.fprintf w.oc "\t%s\t%d" d.signal d.first_ms)
+        Printf.bprintf buf "\t%s\t%d" d.signal d.first_ms)
       o.divergences;
-    output_char w.oc '\n';
-    w.pending <- w.pending + 1;
-    if w.pending >= w.batch then commit w;
-    Ok ()
+    Ok (Buffer.contents buf)
+
+let append w ~index (o : Results.outcome) =
+  let ( let* ) = Result.bind in
+  let* record = record_string ~index o in
+  output_string w.oc record;
+  output_char w.oc '\n';
+  w.pending <- w.pending + 1;
+  if w.pending >= w.batch then commit w;
+  Ok ()
 
 type cell = {
   target : string;
@@ -154,6 +176,7 @@ type t = {
   campaign : string;
   seed : int64;
   total : int;
+  recipe : string option;
   cells : cell list;
   entries : (int * Results.outcome) list;
 }
@@ -246,7 +269,9 @@ let load path =
         | "" :: rest -> loop (lineno + 1) rev_entries rest
         | line :: rest -> (
             match String.split_on_char '\t' line with
-            | [ (("sut" | "campaign" | "seed" | "total") as key); value ] ->
+            | [ (("sut" | "campaign" | "seed" | "total" | "recipe") as key);
+                value;
+              ] ->
                 Hashtbl.replace header key value;
                 loop (lineno + 1) rev_entries rest
             | [ "cell"; target; module_name; key; status ] -> (
@@ -287,7 +312,8 @@ let load path =
         | Some t when t >= 0 -> Ok t
         | _ -> fail 1 (Printf.sprintf "bad total %S" total)
       in
-      Ok { sut; campaign; seed; total; cells; entries }
+      let recipe = Hashtbl.find_opt header "recipe" in
+      Ok { sut; campaign; seed; total; recipe; cells; entries }
 
 let validate t ~path ~sut ~campaign ~seed ~total =
   let ( let* ) = Result.bind in

@@ -14,6 +14,7 @@
     campaign <tab> NAME
     seed <tab> SEED
     total <tab> RUNS
+    recipe <tab> RECIPE          (optional)
     run <tab> INDEX <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
         <tab> NDIV { <tab> SIGNAL <tab> FIRST_MS } * NDIV
     run2 <tab> INDEX <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
@@ -48,6 +49,7 @@ type writer
 val create :
   ?sync:bool ->
   ?batch:int ->
+  ?recipe:string ->
   path:string ->
   sut:string ->
   campaign:string ->
@@ -55,7 +57,11 @@ val create :
   total:int ->
   unit ->
   (writer, string) result
-(** Truncates [path] and writes the header.  With [sync] (default
+(** Truncates [path] and writes the header.  [recipe] (optional)
+    records an opaque campaign-reconstruction string — the CLI stores
+    its encoded recipe so [propane replay] can rebuild the exact SUT,
+    campaign and runner configuration; journals created without it
+    keep their previous bytes.  With [sync] (default
     [false]) every commit is additionally [fsync]ed, making records
     durable against power loss, not just process death.  [batch]
     (default [1]) amortises the per-record flush: records are committed
@@ -76,6 +82,13 @@ val append : writer -> index:int -> Results.outcome -> (unit, string) result
 (** Writes one newline-terminated record, committing (flushing) when
     [batch] records have accumulated.  Fails if a field contains a
     separator character or [index] is negative. *)
+
+val record_string : index:int -> Results.outcome -> (string, string) result
+(** The exact record line {!append} would write, without the trailing
+    newline — there is exactly one encoding, shared by both.  This is
+    the unit of [propane replay]'s byte-identity check: re-execute a
+    journalled run, render both outcomes through [record_string],
+    compare strings. *)
 
 type cell = {
   target : string;
@@ -106,6 +119,9 @@ type t = {
   campaign : string;
   seed : int64;
   total : int;  (** size of the campaign the journal belongs to *)
+  recipe : string option;
+      (** the campaign-reconstruction string recorded at {!create}
+          time; [None] for journals written without one *)
   cells : cell list;
       (** cell provenance records in journal order; [[]] for journals
           written without a cache *)

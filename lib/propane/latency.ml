@@ -55,9 +55,9 @@ let pair_stats ?(attribution = Estimator.default_attribution) ~model ~results
           match Results.divergence_of o output_name with
           | None -> None
           | Some at ->
-              let injected =
-                Simkernel.Sim_time.to_ms o.injection.Injection.at
-              in
+              (* Latency counts from the first actual corruption, not
+                 the arming time of a delayed model. *)
+              let injected = Injection.first_fire_ms o.injection in
               let latency = at - injected in
               if latency < 0 then None
               else

@@ -80,6 +80,8 @@ let observed_run_in ~arena ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms
   in
   let width = Sut.signal_width sut target in
   let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
+  let error = injection.Injection.error in
+  let first_fire = Injection.first_fire_ms injection in
   let run_ms = ref duration_ms in
   let status = ref Results.Completed in
   let crash ~ms exn =
@@ -107,10 +109,9 @@ let observed_run_in ~arena ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms
               match
                 if instance.Sut.finished () then `Finished
                 else begin
-                  if ms = inject_at then begin
+                  if Error_model.fires error ~inject_ms:inject_at ~ms then begin
                     instance.Sut.inject target (fun v ->
-                        Error_model.apply injection.Injection.error ~width ~rng
-                          v);
+                        Error_model.apply error ~width ~rng v);
                     observer.Observer.on_injection ~ms
                   end;
                   instance.Sut.step ();
@@ -127,11 +128,12 @@ let observed_run_in ~arena ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms
                   run_ms := ms
               | `Stepped ->
                   observer.Observer.on_sample ~ms buf;
-                  (* Saturation is only consulted once the injection
-                     happened: a deterministic SUT cannot diverge
-                     before it, and stopping earlier would skip the
-                     injection itself. *)
-                  if ms >= inject_at && observer.Observer.saturated () then
+                  (* Saturation is only consulted once the first
+                     corruption happened: a deterministic SUT cannot
+                     diverge before it, and stopping earlier would skip
+                     the injection itself (a [Delayed] model arms at
+                     [inject_at] but fires later). *)
+                  if ms >= first_fire && observer.Observer.saturated () then
                     run_ms := ms + 1
                   else go (ms + 1))
       in
@@ -144,26 +146,26 @@ let observed_run ?rng ?run_timeout_ms (sut : Sut.t) ~duration_ms testcase
   observed_run_in ~arena:(make_arena sut) ?rng ?run_timeout_ms sut
     ~duration_ms testcase injection observer
 
-let truncated_duration ?truncate_after_ms ~inject_at duration_ms =
+(* Truncation counts from the *last* firing of the error model, so a
+   delayed or intermittent injection's whole lifetime survives the
+   cut; for single-shot models this is the injection time, as before. *)
+let truncated_duration ?truncate_after_ms injection duration_ms =
   match truncate_after_ms with
   | None -> duration_ms
-  | Some extra -> min duration_ms (inject_at + extra + 1)
+  | Some extra ->
+      min duration_ms (Injection.last_fire_ms injection + extra + 1)
 
 let injection_run ?rng ?truncate_after_ms (sut : Sut.t) ~duration_ms testcase
     injection =
-  let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
-  let duration_ms =
-    truncated_duration ?truncate_after_ms ~inject_at duration_ms
-  in
+  let duration_ms = truncated_duration ?truncate_after_ms injection duration_ms in
   let recorder, traces = Observer.recorder ~signals:(Sut.signal_names sut) in
   ignore (observed_run ?rng sut ~duration_ms testcase injection recorder);
   traces ()
 
 let run_experiment_in ~arena ?rng ?truncate_after_ms ?run_timeout_ms
     ?(observers = []) sut ~golden testcase injection =
-  let inject_at = Simkernel.Sim_time.to_ms injection.Injection.at in
   let duration_ms =
-    truncated_duration ?truncate_after_ms ~inject_at
+    truncated_duration ?truncate_after_ms injection
       (Golden.frozen_duration_ms golden)
   in
   let until_ms =
@@ -589,7 +591,7 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
   match !failure with Some e -> raise e | None -> ()
 
 let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
-    ?cells (sut : Sut.t) campaign =
+    ?cells ?recipe (sut : Sut.t) campaign =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg));
@@ -630,8 +632,9 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
              (if skipped > 0 then Journal.append_to ~batch:journal_batch path
               else
                 let w =
-                  Journal.create ~batch:journal_batch ~path ~sut:sut.Sut.name
-                    ~campaign:campaign.Campaign.name ~seed ~total ()
+                  Journal.create ~batch:journal_batch ?recipe ~path
+                    ~sut:sut.Sut.name ~campaign:campaign.Campaign.name ~seed
+                    ~total ()
                 in
                 (* Cell provenance lands right after the header, before
                    any outcome, so even an immediately killed reuse

@@ -232,6 +232,7 @@ val run :
   ?live:Live.t ->
   ?select:(int -> bool) ->
   ?cells:Journal.cell list ->
+  ?recipe:string ->
   Sut.t ->
   Campaign.t ->
   Results.t
@@ -252,7 +253,10 @@ val run :
     runs).  Deselected indices are absent from the returned
     {!Results.t}.  [cells] writes cell provenance records
     ({!Journal.append_cells}) right after the header of a freshly
-    created journal — resumes never rewrite them.
+    created journal — resumes never rewrite them.  [recipe] is stored
+    in a freshly created journal's header ({!Journal.create}) so
+    [propane replay] can rebuild the campaign; resumes keep the
+    original line.
 
     {b Live analysis and adaptive stopping.}  [live] attaches a
     {!Live.t}: every completed outcome (including journal replays, in

@@ -1,11 +1,24 @@
 let results_magic = "propane-results 1"
 let matrices_magic = "propane-matrices 1"
 
-let error_to_string = function
+(* Temporal wrappers encode their payload as the rest-of-string tail
+   (the payload encoding may itself contain ':'); [Error_model.validate]
+   forbids nesting, so one tail is always the whole payload. *)
+let rec error_to_string = function
   | Error_model.Bit_flip b -> Printf.sprintf "bitflip:%d" b
+  | Error_model.Multi_bit bs ->
+      Printf.sprintf "multibit:%s"
+        (String.concat "." (List.map string_of_int bs))
+  | Error_model.Burst { first; len } -> Printf.sprintf "burst:%d:%d" first len
   | Error_model.Stuck_at v -> Printf.sprintf "stuck:%d" v
   | Error_model.Offset d -> Printf.sprintf "offset:%d" d
+  | Error_model.Noise amp -> Printf.sprintf "noise:%d" amp
   | Error_model.Replace_uniform -> "uniform"
+  | Error_model.Intermittent { model; period_ms; window_ms } ->
+      Printf.sprintf "intermittent:%d:%d:%s" period_ms window_ms
+        (error_to_string model)
+  | Error_model.Delayed { model; delay_ms } ->
+      Printf.sprintf "delayed:%d:%s" delay_ms (error_to_string model)
 
 (* Status serialisation shared with the journal.  The crash reason is
    free text (sanitised of separators by the runner); it may contain
@@ -30,22 +43,60 @@ let status_of_string s =
       | _ -> Error (Printf.sprintf "bad hang budget %S" budget_ms))
   | _ -> Error (Printf.sprintf "unknown run status %S" s)
 
-let error_of_string s =
-  match String.split_on_char ':' s with
+let rec error_of_fields fields =
+  let ( let* ) = Result.bind in
+  let int_field name s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bad %s %S" name s)
+  in
+  match fields with
   | [ "uniform" ] -> Ok Error_model.Replace_uniform
-  | [ "bitflip"; b ] -> (
-      match int_of_string_opt b with
-      | Some b -> Ok (Error_model.Bit_flip b)
-      | None -> Error (Printf.sprintf "bad bit position %S" b))
-  | [ "stuck"; v ] -> (
-      match int_of_string_opt v with
-      | Some v -> Ok (Error_model.Stuck_at v)
-      | None -> Error (Printf.sprintf "bad stuck-at value %S" v))
-  | [ "offset"; d ] -> (
-      match int_of_string_opt d with
-      | Some d -> Ok (Error_model.Offset d)
-      | None -> Error (Printf.sprintf "bad offset %S" d))
-  | _ -> Error (Printf.sprintf "unknown error model %S" s)
+  | [ "bitflip"; b ] ->
+      let* b = int_field "bit position" b in
+      Ok (Error_model.Bit_flip b)
+  | [ "multibit"; bs ] ->
+      let* bs =
+        List.fold_left
+          (fun acc b ->
+            let* acc = acc in
+            let* b = int_field "multi-bit position" b in
+            Ok (b :: acc))
+          (Ok [])
+          (String.split_on_char '.' bs)
+      in
+      Ok (Error_model.Multi_bit (List.rev bs))
+  | [ "burst"; first; len ] ->
+      let* first = int_field "burst start" first in
+      let* len = int_field "burst length" len in
+      Ok (Error_model.Burst { first; len })
+  | [ "stuck"; v ] ->
+      let* v = int_field "stuck-at value" v in
+      Ok (Error_model.Stuck_at v)
+  | [ "offset"; d ] ->
+      let* d = int_field "offset" d in
+      Ok (Error_model.Offset d)
+  | [ "noise"; amp ] ->
+      let* amp = int_field "noise amplitude" amp in
+      Ok (Error_model.Noise amp)
+  | "intermittent" :: period_ms :: window_ms :: (_ :: _ as rest) ->
+      let* period_ms = int_field "intermittent period" period_ms in
+      let* window_ms = int_field "intermittent window" window_ms in
+      let* model = error_of_fields rest in
+      if Error_model.is_temporal model then
+        Error "nested temporal error model"
+      else Ok (Error_model.Intermittent { model; period_ms; window_ms })
+  | "delayed" :: delay_ms :: (_ :: _ as rest) ->
+      let* delay_ms = int_field "delay" delay_ms in
+      let* model = error_of_fields rest in
+      if Error_model.is_temporal model then
+        Error "nested temporal error model"
+      else Ok (Error_model.Delayed { model; delay_ms })
+  | _ ->
+      Error
+        (Printf.sprintf "unknown error model %S" (String.concat ":" fields))
+
+let error_of_string s = error_of_fields (String.split_on_char ':' s)
 
 let with_out path f =
   let oc = open_out path in

@@ -21,11 +21,12 @@ Parallel workers produce byte-identical results:
   $ cmp full.results par.results
 
 Resume after a kill: keep 100 committed records plus the torn tail a
-killed writer leaves, then continue.  The resumed campaign skips the
-journalled runs, completes the journal, and matches the uninterrupted
-results byte for byte:
+killed writer leaves, then continue.  (The header is six lines: five
+metadata fields plus the recipe replay needs.)  The resumed campaign
+skips the journalled runs, completes the journal, and matches the
+uninterrupted results byte for byte:
 
-  $ head -n 105 full.journal > part.journal
+  $ head -n 106 full.journal > part.journal
   $ printf 'run\t500\tm' >> part.journal
   $ ../../bin/propane_cli.exe campaign --cases 2 --times 1 --journal part.journal --resume --save resumed.results --telemetry resumed.json > /dev/null
   $ grep -o '"skipped":100' resumed.json

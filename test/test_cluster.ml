@@ -22,13 +22,39 @@ let gen_nasty_string =
 
 let gen_small_nat = QCheck2.Gen.int_range 0 100_000
 
+(* Every model class crosses the wire inside a Result message, temporal
+   wrappers included — the protocol delegates to Storage's codec, so
+   this doubles as the cluster-transport round-trip for new models. *)
 let gen_error =
   QCheck2.Gen.(
+    let spatial =
+      oneof
+        [
+          map (fun b -> Propane.Error_model.Bit_flip b) (int_range 0 31);
+          map
+            (fun bits ->
+              Propane.Error_model.Multi_bit (List.sort_uniq Int.compare bits))
+            (list_size (int_range 1 5) (int_range 0 31));
+          map2
+            (fun first len -> Propane.Error_model.Burst { first; len })
+            (int_range 0 15) (int_range 1 8);
+          map (fun v -> Propane.Error_model.Stuck_at v) (int_range 0 65535);
+          map (fun d -> Propane.Error_model.Offset d) (int_range (-1000) 1000);
+          map (fun a -> Propane.Error_model.Noise a) (int_range 1 65535);
+          pure Propane.Error_model.Replace_uniform;
+        ]
+    in
     oneof
       [
-        map (fun b -> Propane.Error_model.Bit_flip b) (int_range 0 31);
-        map (fun v -> Propane.Error_model.Stuck_at v) (int_range 0 65535);
-        map (fun d -> Propane.Error_model.Offset d) (int_range (-1000) 1000);
+        spatial;
+        map2
+          (fun model delay_ms ->
+            Propane.Error_model.Delayed { model; delay_ms })
+          spatial (int_range 0 1000);
+        map3
+          (fun model period_ms window_ms ->
+            Propane.Error_model.Intermittent { model; period_ms; window_ms })
+          spatial (int_range 1 100) (int_range 1 1000);
       ])
 
 let gen_status =

@@ -102,6 +102,203 @@ let error_model_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Properties across the full error-model taxonomy.  Every generated
+   model is valid at [em_width]; canonicalization must preserve both
+   behaviour and RNG consumption exactly, or cache keys and journal
+   replay split on spelling differences. *)
+
+module EM = Propane.Error_model
+
+let em_width = 16
+let em_mask = (1 lsl em_width) - 1
+
+let gen_spatial_model =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun b -> EM.Bit_flip b) (int_range 0 (em_width - 1));
+        map
+          (fun bits -> EM.Multi_bit (List.sort_uniq Int.compare bits))
+          (list_size (int_range 1 6) (int_range 0 (em_width - 1)));
+        map2
+          (fun first len ->
+            EM.Burst { first; len = min len (em_width - first) })
+          (int_range 0 (em_width - 1))
+          (int_range 1 em_width);
+        map (fun c -> EM.Stuck_at c) (int_range (-200_000) 200_000);
+        map (fun d -> EM.Offset d) (int_range (-200_000) 200_000);
+        map (fun a -> EM.Noise a) (int_range 1 em_mask);
+        pure EM.Replace_uniform;
+      ])
+
+let gen_error_model =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, gen_spatial_model);
+        ( 1,
+          map2
+            (fun model delay_ms -> EM.Delayed { model; delay_ms })
+            gen_spatial_model (int_range 0 100) );
+        ( 1,
+          map3
+            (fun model period_ms window_ms ->
+              EM.Intermittent { model; period_ms; window_ms })
+            gen_spatial_model (int_range 1 20) (int_range 1 100) );
+      ])
+
+let error_model_property_tests =
+  let apply_seeded e seed v =
+    EM.apply e ~width:em_width ~rng:(Sim.Rng.create seed) v
+  in
+  let gen_seed = QCheck2.Gen.(map Int64.of_int int) in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500 ~name:"every generated model validates"
+         gen_error_model (fun e ->
+           match EM.validate ~width:em_width e with
+           | Ok () -> true
+           | Error _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500
+         ~name:"apply truncates to width for all models"
+         QCheck2.Gen.(tup3 gen_error_model gen_seed (int_range 0 em_mask))
+         (fun (e, seed, v) ->
+           let r = apply_seeded e seed v in
+           0 <= r && r <= em_mask));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500
+         ~name:"canonicalize agrees with the original on every stream"
+         QCheck2.Gen.(tup3 gen_error_model gen_seed (int_range 0 em_mask))
+         (fun (e, seed, v) ->
+           apply_seeded (EM.canonicalize ~width:em_width e) seed v
+           = apply_seeded e seed v));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500 ~name:"canonicalize is idempotent"
+         gen_error_model (fun e ->
+           let c = EM.canonicalize ~width:em_width e in
+           EM.equal c (EM.canonicalize ~width:em_width c)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200
+         ~name:"congruent stuck-at/offset constants share one description"
+         QCheck2.Gen.(tup2 (int_range (-3) 3) (int_range 0 em_mask))
+         (fun (k, c) ->
+           let d e = EM.describe (EM.canonicalize ~width:em_width e) in
+           let shifted = c + (k * (em_mask + 1)) in
+           String.equal (d (EM.Stuck_at c)) (d (EM.Stuck_at shifted))
+           && String.equal (d (EM.Offset c)) (d (EM.Offset shifted))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200
+         ~name:"multi-bit singleton is the bit flip"
+         QCheck2.Gen.(tup2 (int_range 0 (em_width - 1)) (int_range 0 em_mask))
+         (fun (b, v) ->
+           apply_seeded (EM.Multi_bit [ b ]) 1L v
+           = apply_seeded (EM.Bit_flip b) 1L v
+           && EM.equal
+                (EM.canonicalize ~width:em_width (EM.Multi_bit [ b ]))
+                (EM.Bit_flip b)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200
+         ~name:"burst equals the multi-bit over its range"
+         QCheck2.Gen.(
+           tup3
+             (int_range 0 (em_width - 1))
+             (int_range 1 em_width) (int_range 0 em_mask))
+         (fun (first, len, v) ->
+           let len = min len (em_width - first) in
+           apply_seeded (EM.Burst { first; len }) 1L v
+           = apply_seeded
+               (EM.Multi_bit (List.init len (fun i -> first + i)))
+               1L v));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500
+         ~name:"replace-uniform and noise always corrupt"
+         QCheck2.Gen.(tup2 gen_seed (int_range 0 em_mask))
+         (fun (seed, v) ->
+           apply_seeded EM.Replace_uniform seed v <> v
+           && apply_seeded (EM.Noise 3) seed v <> v
+           && apply_seeded (EM.Noise em_mask) seed v <> v));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300
+         ~name:"fires holds exactly within [first_fire, last_fire]"
+         QCheck2.Gen.(tup2 gen_error_model (int_range 0 100))
+         (fun (e, inject_ms) ->
+           let first = EM.first_fire_ms e ~inject_ms in
+           let last = EM.last_fire_ms e ~inject_ms in
+           EM.fires e ~inject_ms ~ms:first
+           && EM.fires e ~inject_ms ~ms:last
+           && first <= last
+           &&
+           let ok = ref true in
+           for ms = 0 to last + 50 do
+             if EM.fires e ~inject_ms ~ms && (ms < first || ms > last) then
+               ok := false
+           done;
+           !ok));
+    Alcotest.test_case "temporal nesting is rejected" `Quick (fun () ->
+        match
+          EM.validate ~width:16
+            (EM.Delayed
+               {
+                 model =
+                   EM.Intermittent
+                     { model = EM.Bit_flip 0; period_ms = 1; window_ms = 2 };
+                 delay_ms = 1;
+               })
+        with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "nested temporal accepted");
+    Alcotest.test_case "describe covers the taxonomy" `Quick (fun () ->
+        List.iter
+          (fun (e, expect) ->
+            Alcotest.(check string) expect expect (EM.describe e))
+          [
+            (EM.Multi_bit [ 3; 5 ], "multi-bit@3+5");
+            (EM.Burst { first = 2; len = 3 }, "burst@2..4");
+            (EM.Noise 4, "noise -4..+4");
+            ( EM.Intermittent
+                { model = EM.Bit_flip 1; period_ms = 4; window_ms = 16 },
+              "bit-flip@1 every 4ms for 16ms" );
+            ( EM.Delayed { model = EM.Replace_uniform; delay_ms = 8 },
+              "replace-uniform after 8ms" );
+          ]);
+    Alcotest.test_case "roster grammar round-trips through validate" `Quick
+      (fun () ->
+        List.iter
+          (fun spec ->
+            match EM.roster_of_string ~width:16 spec with
+            | Error msg -> Alcotest.failf "%s: %s" spec msg
+            | Ok models ->
+                Alcotest.(check bool)
+                  (spec ^ " non-empty") true
+                  (models <> []);
+                List.iter
+                  (fun m ->
+                    match EM.validate ~width:16 m with
+                    | Ok () -> ()
+                    | Error msg -> Alcotest.failf "%s: %s" spec msg)
+                  models)
+          [
+            "single-bit"; "multi-bit:2"; "multi-bit:3"; "burst:4"; "stuck-at";
+            "stuck-at:7"; "offset:64"; "noise:16"; "uniform"; "delayed:8";
+            "delayed:8:burst:2"; "intermittent:4:16";
+            "intermittent:4:16:stuck-at";
+          ]);
+    Alcotest.test_case "roster grammar rejects nonsense" `Quick (fun () ->
+        List.iter
+          (fun spec ->
+            match EM.roster_of_string ~width:16 spec with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" spec)
+          [
+            ""; "bogus"; "multi-bit:0"; "multi-bit:17"; "burst:0"; "burst:17";
+            "offset:0"; "offset:65536"; "noise:0"; "delayed:-1";
+            "intermittent:0:16"; "delayed:4:delayed:4";
+            "intermittent:4:16:intermittent:4:16";
+          ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let trace_tests =
   let t values = Propane.Trace.of_list ~signal:"x" values in
@@ -817,6 +1014,96 @@ let runner_tests =
         Alcotest.(check (option int))
           "still seen" (Some 10)
           (Propane.Results.divergence_of outcome "y"));
+    Alcotest.test_case "delayed injection diverges only after its delay"
+      `Quick (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:
+              (Propane.Error_model.Delayed
+                 { model = Propane.Error_model.Bit_flip 15; delay_ms = 25 })
+        in
+        let outcome =
+          Propane.Runner.run_experiment sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
+        in
+        Alcotest.(check (option int))
+          "x diverges at inject + delay" (Some 35)
+          (Propane.Results.divergence_of outcome "x");
+        Alcotest.(check (option int))
+          "y diverges at inject + delay" (Some 35)
+          (Propane.Results.divergence_of outcome "y"));
+    Alcotest.test_case "truncation preserves a delayed fire" `Quick (fun () ->
+        let sut = scaler_sut () in
+        let tc = Propane.Testcase.make ~id:"t" ~params:[] in
+        let golden = Propane.Runner.golden_run sut tc in
+        let injection =
+          Propane.Injection.make ~target:"x" ~at:(Sim.Sim_time.of_ms 10)
+            ~error:
+              (Propane.Error_model.Delayed
+                 { model = Propane.Error_model.Bit_flip 15; delay_ms = 25 })
+        in
+        (* Truncation counts from the last fire, not the injection
+           time, so a 5 ms margin still reaches the delayed shot. *)
+        let outcome =
+          Propane.Runner.run_experiment ~truncate_after_ms:5 sut
+            ~golden:(Propane.Golden.freeze golden) tc injection
+        in
+        Alcotest.(check (option int))
+          "still seen" (Some 35)
+          (Propane.Results.divergence_of outcome "y"));
+    Alcotest.test_case "intermittent re-corrupts every period in its window"
+      `Quick (fun () ->
+        let campaign =
+          Propane.Campaign.make ~name:"intermittent" ~targets:[ "x" ]
+            ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+            ~times:[ Sim.Sim_time.of_ms 10 ]
+            ~errors:
+              [
+                Propane.Error_model.Intermittent
+                  {
+                    model = Propane.Error_model.Bit_flip 15;
+                    period_ms = 10;
+                    window_ms = 31;
+                  };
+              ]
+        in
+        let captured = ref None in
+        let (_ : Propane.Results.t) =
+          runner ~keep_traces:true
+            ~on_run_traces:(fun ~index:_ ts -> captured := Some ts)
+            (scaler_sut ()) campaign
+        in
+        match !captured with
+        | None -> Alcotest.fail "no traces captured"
+        | Some ts ->
+            let x = Propane.Trace_set.trace ts "x" in
+            for ms = 0 to Propane.Trace_set.duration_ms ts - 1 do
+              (* golden x is (ms+1)*16; the flip lands at 10, 20, 30
+                 and 40 (the last period start inside the 31 ms
+                 window) and nowhere else. *)
+              let golden_v = (ms + 1) * 16 in
+              let expect =
+                if List.mem ms [ 10; 20; 30; 40 ] then golden_v lxor 32768
+                else golden_v
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "x@%d" ms)
+                expect (Propane.Trace.get x ms)
+            done);
+    check_raises_invalid "temporal models cannot nest in an injection"
+      (fun () ->
+        Propane.Injection.make ~target:"x" ~at:Sim.Sim_time.zero
+          ~error:
+            (Propane.Error_model.Delayed
+               {
+                 model =
+                   Propane.Error_model.Delayed
+                     { model = Propane.Error_model.Bit_flip 0; delay_ms = 1 };
+                 delay_ms = 1;
+               }));
     check_raises_invalid "unknown target rejected" (fun () ->
         Propane.Runner.injection_run (scaler_sut ()) ~duration_ms:10
           (Propane.Testcase.make ~id:"t" ~params:[])
@@ -1453,7 +1740,23 @@ let storage_tests =
             match Propane.Storage.error_of_string junk with
             | Error _ -> ()
             | Ok _ -> Alcotest.failf "accepted %S" junk)
-          [ "bitflip"; "bitflip:x"; "nonsense"; "stuck:" ]);
+          [
+            "bitflip"; "bitflip:x"; "nonsense"; "stuck:"; "multibit:";
+            "multibit:x"; "burst:1"; "burst:1:x"; "noise:"; "delayed:4";
+            "delayed:x:bitflip:0"; "intermittent:4:16";
+            (* nested temporal wrappers must not decode *)
+            "delayed:4:delayed:4:bitflip:0";
+            "intermittent:4:16:delayed:4:bitflip:0";
+          ]);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500
+         ~name:"error codec round-trips the full taxonomy" gen_error_model
+         (fun e ->
+           match
+             Propane.Storage.error_of_string (Propane.Storage.error_to_string e)
+           with
+           | Ok e' -> Propane.Error_model.equal e e'
+           | Error _ -> false));
     Alcotest.test_case "results round-trip through a file" `Quick (fun () ->
         let original =
           synthetic_results
@@ -3009,10 +3312,103 @@ let journal_identity_tests =
                first_pass && String.equal (read_file path) reference)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Replay determinism: any journalled run, re-executed alone via
+   [select] under the same config and seed, must reproduce its journal
+   record byte for byte — the library-level contract behind the
+   [propane replay] command.  The campaign mixes every model class,
+   including the RNG-consuming and temporal ones. *)
+
+let replay_tests =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let mixed_campaign =
+    Propane.Campaign.make ~name:"mixed" ~targets:[ "x" ]
+      ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+      ~times:[ Sim.Sim_time.of_ms 10; Sim.Sim_time.of_ms 30 ]
+      ~errors:
+        [
+          Propane.Error_model.Bit_flip 15;
+          Propane.Error_model.Multi_bit [ 0; 7; 15 ];
+          Propane.Error_model.Burst { first = 4; len = 4 };
+          Propane.Error_model.Noise 16;
+          Propane.Error_model.Replace_uniform;
+          Propane.Error_model.Delayed
+            { model = Propane.Error_model.Bit_flip 15; delay_ms = 12 };
+          Propane.Error_model.Intermittent
+            {
+              model = Propane.Error_model.Replace_uniform;
+              period_ms = 8;
+              window_ms = 24;
+            };
+        ]
+  in
+  [
+    Alcotest.test_case "mixed-model journals are byte-identical across jobs"
+      `Quick (fun () ->
+        let write jobs =
+          let path = Filename.temp_file "propane_mixed" ".journal" in
+          let (_ : Propane.Results.t) =
+            runner ~seed:11L ~journal:path ~jobs (scaler_sut ())
+              mixed_campaign
+          in
+          let bytes = read_file path in
+          Sys.remove path;
+          bytes
+        in
+        Alcotest.(check string) "bytes" (write 1) (write 3));
+    Alcotest.test_case
+      "single-index re-execution reproduces every journal record" `Quick
+      (fun () ->
+        let path = Filename.temp_file "propane_replay" ".journal" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let (_ : Propane.Results.t) =
+              runner ~seed:11L ~journal:path ~jobs:2 (scaler_sut ())
+                mixed_campaign
+            in
+            let j =
+              match Propane.Journal.load path with
+              | Ok j -> j
+              | Error m -> Alcotest.fail m
+            in
+            let completed = Propane.Journal.completed j in
+            Alcotest.(check int)
+              "all recorded"
+              (Propane.Campaign.size mixed_campaign)
+              (Hashtbl.length completed);
+            Hashtbl.iter
+              (fun index recorded ->
+                let results =
+                  Propane.Runner.run
+                    ~config:(Propane.Runner.Config.make ~seed:11L ())
+                    ~select:(fun i -> i = index)
+                    (scaler_sut ()) mixed_campaign
+                in
+                match Propane.Results.outcomes results with
+                | [ replayed ] ->
+                    let s o =
+                      match Propane.Journal.record_string ~index o with
+                      | Ok s -> s
+                      | Error m -> Alcotest.fail m
+                    in
+                    Alcotest.(check string)
+                      (Printf.sprintf "record %d" index)
+                      (s recorded) (s replayed)
+                | os -> Alcotest.failf "selected %d runs" (List.length os))
+              completed));
+  ]
+
 let () =
   Alcotest.run "propane"
     [
       ("error_model", error_model_tests);
+      ("error_model_props", error_model_property_tests);
       ("trace", trace_tests);
       ("trace_set", trace_set_tests);
       ("golden", golden_tests);
@@ -3028,6 +3424,7 @@ let () =
       ("storage", storage_tests);
       ("journal", journal_tests);
       ("journal_identity", journal_identity_tests);
+      ("replay", replay_tests);
       ("config", config_tests);
       ("telemetry", telemetry_tests);
       ("live", live_tests);

@@ -98,9 +98,9 @@ let tests =
     Alcotest.test_case "cell keys separate every component" `Quick (fun () ->
         let base ?(sut_name = "S") ?(module_name = "M") ?(digest = "d1")
             ?(target = "x") ?(outputs = [ "y" ]) ?(shape = "shape")
-            ?(recipe = "recipe") () =
+            ?(errors = [ "bit-flip@0" ]) ?(recipe = "recipe") () =
           Propane.Cell.key_of ~sut_name ~module_name ~module_digest:digest
-            ~target ~outputs ~shape ~recipe
+            ~target ~outputs ~shape ~errors ~recipe
         in
         let reference = base () in
         Alcotest.(check string) "deterministic" reference (base ());
@@ -117,6 +117,7 @@ let tests =
             base ~target:"z" ();
             base ~outputs:[ "y"; "z" ] ();
             base ~shape:"other" ();
+            base ~errors:[ "bit-flip@1" ] ();
             base ~recipe:"other" ();
           ];
         (* Concatenation attacks must not collide: the components are
@@ -126,6 +127,34 @@ let tests =
           (String.equal
              (base ~target:"xy" ~outputs:[ "z" ] ())
              (base ~target:"x" ~outputs:[ "yz" ] ())));
+    Alcotest.test_case "congruent error spellings share one key component"
+      `Quick (fun () ->
+        (* The key's error component is built from width-canonical
+           descriptions, so a roster respelt modulo 2^width (or with
+           multi-bit positions permuted) must not invalidate a cache. *)
+        let errs errors =
+          Propane.Cell.errors_of ~width:16
+            (Propane.Campaign.make ~name:"c" ~targets:[ "x" ]
+               ~testcases:[ Propane.Testcase.make ~id:"t" ~params:[] ]
+               ~times:[ Simkernel.Sim_time.of_ms 1 ]
+               ~errors)
+        in
+        Alcotest.(check (list string))
+          "stuck-at mod 2^w"
+          (errs [ Propane.Error_model.Stuck_at 5 ])
+          (errs [ Propane.Error_model.Stuck_at (5 + 65536) ]);
+        Alcotest.(check (list string))
+          "negative offset wraps"
+          (errs [ Propane.Error_model.Offset (-1) ])
+          (errs [ Propane.Error_model.Offset 65535 ]);
+        Alcotest.(check (list string))
+          "multi-bit order is irrelevant"
+          (errs [ Propane.Error_model.Multi_bit [ 1; 3 ] ])
+          (errs [ Propane.Error_model.Multi_bit [ 3; 1 ] ]);
+        Alcotest.(check bool)
+          "different constants still separate" false
+          (errs [ Propane.Error_model.Stuck_at 5 ]
+          = errs [ Propane.Error_model.Stuck_at 6 ]));
     Alcotest.test_case "plan enumerates one cell per consuming module"
       `Quick (fun () ->
         let sys = make_system () in
