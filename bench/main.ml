@@ -101,8 +101,23 @@ type model_row = {
 
 let model_rows : model_row list ref = ref []
 
+(* Campaign-service rows (the [service] target): concurrent campaigns
+   multiplexed over one fleet, with the submit-to-first-result latency
+   the control surface adds on top of raw throughput. *)
+type service_row = {
+  s_campaigns : int;
+  s_workers : int;
+  s_modules : int;  (** synthetic workload size *)
+  s_runs : int;  (** aggregate over all campaigns *)
+  s_seconds : float;  (** first submit to last campaign done *)
+  s_first_result_s : float;
+      (** worst submit-to-first-result latency across campaigns *)
+}
+
+let service_rows : service_row list ref = ref []
+
 let write_bench_json () =
-  if !bench_rows <> [] || !model_rows <> [] then begin
+  if !bench_rows <> [] || !model_rows <> [] || !service_rows <> [] then begin
     let row r =
       Printf.sprintf
         {|    {"sut":"%s","mode":"%s","cores":%d,"jobs":%d,"oversubscribed":%b,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
@@ -120,6 +135,14 @@ let write_bench_json () =
         m.m_spec m.m_runs m.m_tau
         (String.concat "," (List.map est m.m_estimates))
     in
+    let service_json s =
+      Printf.sprintf
+        {|    {"campaigns":%d,"workers":%d,"modules":%d,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f,"submit_to_first_result_s":%.4f}|}
+        s.s_campaigns s.s_workers s.s_modules s.s_runs s.s_seconds
+        (if s.s_seconds > 0.0 then float_of_int s.s_runs /. s.s_seconds
+         else 0.0)
+        s.s_first_result_s
+    in
     let oc = open_out "BENCH_campaign.json" in
     Printf.fprintf oc
       "{\n\
@@ -131,11 +154,15 @@ let write_bench_json () =
       \  ],\n\
       \  \"models\": [\n\
        %s\n\
+      \  ],\n\
+      \  \"service\": [\n\
+       %s\n\
       \  ]\n\
        }\n"
       nproc (Lazy.force git_rev)
       (String.concat ",\n" (List.map row !bench_rows))
-      (String.concat ",\n" (List.map model_json !model_rows));
+      (String.concat ",\n" (List.map model_json !model_rows))
+      (String.concat ",\n" (List.map service_json !service_rows));
     close_out oc;
     print_endline "wrote BENCH_campaign.json"
   end
@@ -398,7 +425,7 @@ let observations () =
   Format.printf "%a@." Edm.Selector.pp (Edm.Selector.propose placement)
 
 (* ------------------------------------------------------------------ *)
-(* Ablations (beyond the paper; see DESIGN.md section 8)               *)
+(* Ablations (beyond the paper; see DESIGN.md section 9)               *)
 
 let ablation () =
   section "Ablation: error model and attribution window";
@@ -1351,6 +1378,201 @@ let worker_child addr_string =
       | Error msg -> fail msg)
 
 (* ------------------------------------------------------------------ *)
+(* Campaign service: two tenants' campaigns multiplexed over one
+   in-process fleet, timing what the control surface costs — the
+   submit-to-first-result latency over the HTTP hop, and the aggregate
+   runs/sec the daemon sustains with concurrent campaigns.  The
+   workload is a [Dataflow.Builder.synthetic] system so SUT cost is a
+   knob, not the arrestment physics. *)
+
+let service_modules = if perf_smoke then 8 else 24
+
+let service_system =
+  lazy
+    (Dataflow.Builder.synthetic ~modules:service_modules ~fan_in:3 ~fan_out:2
+       ~feedback:4 ~seed:424242L ())
+
+let service_campaign () =
+  let system = Lazy.force service_system in
+  let keep = if perf_smoke then 4 else 12 in
+  let targets = Dataflow.Builder.injection_targets system in
+  let targets = List.filteri (fun i _ -> i < keep) targets in
+  let times = if perf_smoke then [ 50 ] else [ 50; 110; 170 ] in
+  Propane.Campaign.make ~name:"service-synthetic" ~targets
+    ~testcases:[ Propane.Testcase.make ~id:"t0" ~params:[] ]
+    ~times:(List.map Simkernel.Sim_time.of_ms times)
+    ~errors:(Propane.Error_model.bit_flips ~width:16)
+
+(* Submission body and wire recipe are the same tiny string; tenant
+   and seed are all that distinguish the two campaigns. *)
+let service_recipe ~tenant ~seed =
+  Printf.sprintf "svc-bench;tenant=%s;seed=%Ld" tenant seed
+
+let service_recipe_fields r =
+  match String.split_on_char ';' r with
+  | [ "svc-bench"; tenant_f; seed_f ] -> (
+      match
+        (String.split_on_char '=' tenant_f, String.split_on_char '=' seed_f)
+      with
+      | [ "tenant"; tenant ], [ "seed"; seed ] ->
+          Option.map (fun seed -> (tenant, seed)) (Int64.of_string_opt seed)
+      | _ -> None)
+  | _ -> None
+
+let service_parse body =
+  match service_recipe_fields body with
+  | None -> Error (Printf.sprintf "unknown submission %S" body)
+  | Some (tenant, seed) ->
+      let campaign = service_campaign () in
+      Ok
+        {
+          Propane_service.Service.tenant;
+          weight = 1;
+          name = campaign.Propane.Campaign.name;
+          sut = "synthetic";
+          total = Propane.Campaign.size campaign;
+          recipe = body;
+          config = Propane.Runner.Config.make ~seed ~jobs:1 ();
+          live = None;
+        }
+
+let service_worker_make (w : Cluster.Protocol.welcome) =
+  match service_recipe_fields w.Cluster.Protocol.config with
+  | None -> Error "unknown recipe"
+  | Some (_tenant, _seed) ->
+      let campaign = service_campaign () in
+      if Propane.Campaign.size campaign <> w.Cluster.Protocol.total then
+        Error "campaign size mismatch"
+      else
+        Ok
+          (Propane.Runner.executor ~seed:w.Cluster.Protocol.seed
+             (Dataflow.Builder.sut (Lazy.force service_system))
+             campaign)
+
+let service_bench () =
+  section "service";
+  let state_dir = Filename.temp_file "propane-bench" ".service" in
+  Unix.unlink state_dir;
+  Unix.mkdir state_dir 0o755;
+  let listen =
+    Cluster.Address.Unix_sock (Filename.concat state_dir "fleet.sock")
+  in
+  let http =
+    Cluster.Address.Unix_sock (Filename.concat state_dir "http.sock")
+  in
+  let workers = 2 in
+  let verdict = Atomic.make `Continue in
+  let cfg =
+    Propane_service.Service.config ~listen ~http ~state_dir
+      ~parse:service_parse ()
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Propane_service.Service.run
+          ~stop:(fun () -> Atomic.get verdict)
+          cfg)
+  in
+  let fleet =
+    List.init workers (fun _ ->
+        Domain.spawn (fun () ->
+            Cluster.Worker.join ~connect:listen ~make:service_worker_make ()))
+  in
+  let finish () =
+    Atomic.set verdict `Drain;
+    (match Domain.join daemon with
+    | Ok () -> ()
+    | Error msg -> Printf.eprintf "service bench: daemon: %s\n" msg);
+    List.iter (fun d -> ignore (Domain.join d)) fleet
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let module J = Propane_service.Json in
+      let get path =
+        match
+          Propane_service.Http.request ~addr:http ~meth:"GET" ~path ()
+        with
+        | Error msg -> failwith ("service bench: GET " ^ path ^ ": " ^ msg)
+        | Ok (_, body) -> (
+            match J.parse body with
+            | Ok json -> json
+            | Error msg -> failwith ("service bench: " ^ msg))
+      in
+      let submit ~tenant ~seed =
+        let body = service_recipe ~tenant ~seed in
+        match
+          Propane_service.Http.request ~body ~addr:http ~meth:"POST"
+            ~path:"/campaigns" ()
+        with
+        | Error msg -> failwith ("service bench: submit: " ^ msg)
+        | Ok (201, resp) -> (
+            match
+              Result.to_option (J.parse resp) |> fun j ->
+              Option.bind j (J.member "id") |> fun j -> Option.bind j J.str
+            with
+            | Some id -> id
+            | None -> failwith "service bench: submit response carries no id")
+        | Ok (status, resp) ->
+            failwith
+              (Printf.sprintf "service bench: submit rejected (%d): %s" status
+                 resp)
+      in
+      let total = Propane.Campaign.size (service_campaign ()) in
+      let t0 = Unix.gettimeofday () in
+      let ids = [ submit ~tenant:"alice" ~seed:101L;
+                  submit ~tenant:"bob" ~seed:202L ] in
+      let first_result = Hashtbl.create 4 in
+      let jint name json =
+        Option.value ~default:0 (Option.bind (J.member name json) J.int)
+      in
+      let jstr name json =
+        Option.value ~default:"" (Option.bind (J.member name json) J.str)
+      in
+      let rec poll () =
+        let states =
+          List.map
+            (fun id ->
+              let c = get ("/campaigns/" ^ id) in
+              if jint "completed" c > 0 && not (Hashtbl.mem first_result id)
+              then
+                Hashtbl.add first_result id (Unix.gettimeofday () -. t0);
+              jstr "state" c)
+            ids
+        in
+        if List.exists (fun s -> s = "failed" || s = "cancelled") states then
+          failwith "service bench: campaign did not complete"
+        else if List.for_all (fun s -> s = "done") states then ()
+        else begin
+          Unix.sleepf 0.005;
+          poll ()
+        end
+      in
+      poll ();
+      let seconds = Unix.gettimeofday () -. t0 in
+      let first =
+        Hashtbl.fold (fun _ t acc -> Float.max t acc) first_result 0.0
+      in
+      let runs = 2 * total in
+      service_rows :=
+        !service_rows
+        @ [
+            {
+              s_campaigns = 2;
+              s_workers = workers;
+              s_modules = service_modules;
+              s_runs = runs;
+              s_seconds = seconds;
+              s_first_result_s = first;
+            };
+          ];
+      Printf.printf
+        "2 campaigns x %d runs over %d fleet workers (synthetic, %d \
+         modules)\n\
+         submit-to-first-result (worst tenant): %.1f ms\n\
+         aggregate: %.0f runs/sec (%.2f s wall)\n"
+        total workers service_modules (first *. 1000.)
+        (float_of_int runs /. seconds)
+        seconds)
+
+(* ------------------------------------------------------------------ *)
 
 let targets =
   [
@@ -1376,6 +1598,7 @@ let targets =
     ("perf", perf);
     ("scaling", scaling);
     ("reuse", reuse_bench);
+    ("service", service_bench);
     (* Backwards-compatible alias for the pre-matrix target name. *)
     ("cluster", scaling);
   ]

@@ -919,11 +919,41 @@ let campaign_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* The welcome-to-executor bridge shared by one-shot and fleet workers:
+   decode the recipe, rebuild the campaign and SUT, and refuse a
+   coordinator whose recipe disagrees with its own announcement. *)
+let executor_of_welcome (w : Cluster.Protocol.welcome) =
+  match Recipe.decode w.Cluster.Protocol.config with
+  | Error _ as e -> e
+  | Ok recipe ->
+      let campaign = Recipe.campaign_of recipe in
+      let sut = Recipe.sut_of recipe in
+      if not (String.equal campaign.Propane.Campaign.name w.campaign) then
+        Error
+          (Printf.sprintf "coordinator runs campaign %S, its recipe builds %S"
+             w.campaign campaign.Propane.Campaign.name)
+      else if not (String.equal sut.Propane.Sut.name w.sut) then
+        Error
+          (Printf.sprintf "coordinator runs SUT %S, its recipe builds %S" w.sut
+             sut.Propane.Sut.name)
+      else if Propane.Campaign.size campaign <> w.total then
+        Error
+          (Printf.sprintf "coordinator expects %d runs, the recipe builds %d"
+             w.total
+             (Propane.Campaign.size campaign))
+      else
+        (* The shipped config already carries truncation, watchdog
+           and retries; only the seed is authoritative from the
+           Welcome, not the recipe. *)
+        Ok
+          (Propane.Runner.executor ~config:recipe.Recipe.config ~seed:w.seed
+             sut campaign)
+
 let worker_cmd =
   let connect_arg =
     let doc =
       "Coordinator address (unix:PATH or tcp:HOST:PORT), as given to \
-       $(b,propane campaign --listen)."
+       $(b,propane campaign --listen) or $(b,propane serve --listen)."
     in
     Arg.(
       required
@@ -940,39 +970,45 @@ let worker_cmd =
       & opt (some (int_at_least 1 "--die-after")) None
       & info [ "die-after" ] ~docv:"N" ~doc)
   in
-  let run () connect die_after =
+  let fleet_arg =
+    let doc =
+      "Join a $(b,propane serve) fleet instead of a single campaign: \
+       register once, then execute whatever campaign the service assigns, \
+       being retargeted across campaigns until the service dismisses the \
+       fleet."
+    in
+    Arg.(value & flag & info [ "fleet" ] ~doc)
+  in
+  let pin_config_arg =
+    let doc =
+      "Refuse the handshake unless the coordinator's campaign recipe hashes \
+       to $(docv) (MD5 hex) — pins the worker to one exact campaign \
+       configuration.  One-shot connections only; a fleet worker is \
+       retargeted by the service and validates each assignment instead."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pin-config" ] ~docv:"DIGEST" ~doc)
+  in
+  let run () connect die_after fleet pin_config =
+    if fleet && pin_config <> None then begin
+      prerr_endline
+        "propane worker: --pin-config applies to the one-shot handshake and \
+         cannot combine with --fleet";
+      exit 1
+    end;
     let on_result =
       Option.map (fun n ~completed -> if completed >= n then exit 42) die_after
     in
-    let make (w : Cluster.Protocol.welcome) =
-      match Recipe.decode w.Cluster.Protocol.config with
-      | Error _ as e -> e
-      | Ok recipe ->
-          let campaign = Recipe.campaign_of recipe in
-          let sut = Recipe.sut_of recipe in
-          if not (String.equal campaign.Propane.Campaign.name w.campaign) then
-            Error
-              (Printf.sprintf
-                 "coordinator runs campaign %S, its recipe builds %S"
-                 w.campaign campaign.Propane.Campaign.name)
-          else if not (String.equal sut.Propane.Sut.name w.sut) then
-            Error
-              (Printf.sprintf "coordinator runs SUT %S, its recipe builds %S"
-                 w.sut sut.Propane.Sut.name)
-          else if Propane.Campaign.size campaign <> w.total then
-            Error
-              (Printf.sprintf
-                 "coordinator expects %d runs, the recipe builds %d" w.total
-                 (Propane.Campaign.size campaign))
-          else
-            (* The shipped config already carries truncation, watchdog
-               and retries; only the seed is authoritative from the
-               Welcome, not the recipe. *)
-            Ok
-              (Propane.Runner.executor ~config:recipe.Recipe.config
-                 ~seed:w.seed sut campaign)
+    let make = executor_of_welcome in
+    let outcome =
+      if fleet then Cluster.Worker.join ?on_result ~connect ~make ()
+      else
+        Cluster.Worker.run ?on_result ?config_digest:pin_config ~connect ~make
+          ()
     in
-    match Cluster.Worker.run ?on_result ~connect ~make () with
+    match outcome with
     | Ok n -> Logs.info (fun m -> m "campaign complete; executed %d runs" n)
     | Error msg ->
         prerr_endline ("propane worker: " ^ msg);
@@ -985,8 +1021,470 @@ let worker_cmd =
           --listen) process, pull batches of runs, execute them, and stream \
           the outcomes back.  The coordinator's welcome tells the worker \
           which campaign to build; results are deterministic per run, so any \
-          number of workers on any machines produce the same campaign.")
-    Term.(const run $ log_term $ connect_arg $ die_after_arg)
+          number of workers on any machines produce the same campaign.  With \
+          $(b,--fleet), join a $(b,propane serve) daemon instead and execute \
+          every campaign it assigns.")
+    Term.(
+      const run $ log_term $ connect_arg $ die_after_arg $ fleet_arg
+      $ pin_config_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* Campaign-as-a-service: [serve] hosts the daemon; [submit]/[status]/
+   [cancel] are thin HTTP clients.  Exit codes for the clients follow
+   the CLI's convention: 124 for argument/usage errors (cmdliner's
+   default), 3 for a failure the server reported, 1 for transport
+   errors. *)
+
+module Submission = struct
+  (* The JSON body of POST /campaigns.  Campaign-identity fields mirror
+     [propane campaign]'s flags exactly, so a submitted campaign's
+     recipe — and therefore its journal — is byte-identical to a serial
+     [propane campaign --journal] run with the same flags. *)
+
+  module J = Propane_service.Json
+
+  let build ~tenant ~weight ~cases ~times ~full ~model ~seed ~window
+      ~run_timeout_ms ~retries ~fail_fast ~stop_when =
+    J.to_string
+      (J.Obj
+         ([
+            ("tenant", J.Str tenant);
+            ("weight", J.Num (float_of_int weight));
+            ("cases", J.Num (float_of_int cases));
+            ("times", J.Num (float_of_int times));
+            ("full", J.Bool full);
+            ("model", J.Str model);
+            ("seed", J.Str (Int64.to_string seed));
+            ("window", J.Num (float_of_int window));
+            ("run_timeout_ms", J.Num (float_of_int run_timeout_ms));
+            ("retries", J.Num (float_of_int retries));
+            ("fail_fast", J.Bool fail_fast);
+          ]
+         @
+         match stop_when with
+         | None -> []
+         | Some r -> [ ("stop_when", J.Str (Propane.Live.rule_to_string r)) ]))
+
+  let parse body =
+    let ( let* ) = Result.bind in
+    let* json =
+      Result.map_error (fun m -> "body is not JSON: " ^ m) (J.parse body)
+    in
+    let field name access ~default =
+      match J.member name json with
+      | None | Some J.Null -> Ok default
+      | Some v -> (
+          match access v with
+          | Some x -> Ok x
+          | None -> Error (Printf.sprintf "bad field %S" name))
+    in
+    let* tenant = field "tenant" J.str ~default:"default" in
+    let* () = if tenant = "" then Error "empty tenant" else Ok () in
+    let* weight = field "weight" J.int ~default:1 in
+    let* () =
+      if weight >= 1 then Ok () else Error "weight must be at least 1"
+    in
+    let* cases = field "cases" J.int ~default:3 in
+    let* times = field "times" J.int ~default:4 in
+    let* full = field "full" J.bool ~default:false in
+    let* model = field "model" J.str ~default:default_model in
+    let* _roster =
+      Propane.Error_model.roster_of_string ~width:Arrestment.Signals.width
+        model
+    in
+    let* seed =
+      field "seed"
+        (fun v -> Option.bind (J.str v) Int64.of_string_opt)
+        ~default:42L
+    in
+    let* window = field "window" J.int ~default:64 in
+    let* () = if window >= 1 then Ok () else Error "window must be >= 1" in
+    let* run_timeout_ms = field "run_timeout_ms" J.int ~default:0 in
+    let* retries = field "retries" J.int ~default:0 in
+    let* () = if retries >= 0 then Ok () else Error "retries must be >= 0" in
+    let* fail_fast = field "fail_fast" J.bool ~default:false in
+    let* stop_when =
+      match J.member "stop_when" json with
+      | None | Some J.Null -> Ok None
+      | Some v -> (
+          match J.str v with
+          | None -> Error "bad field \"stop_when\""
+          | Some s -> Result.map Option.some (Propane.Live.rule_of_string s))
+    in
+    match
+      let config =
+        Propane.Runner.Config.make ~seed ~truncate_after_ms:(window * 2)
+          ?run_timeout_ms:
+            (if run_timeout_ms <= 0 then None else Some run_timeout_ms)
+          ~retries ~fail_fast ~jobs:1 ?stop_when ()
+      in
+      let recipe =
+        {
+          Recipe.cases;
+          times;
+          full;
+          model;
+          window;
+          config;
+          chaos_crash = None;
+          chaos_hang = None;
+        }
+      in
+      let campaign = Recipe.campaign_of recipe in
+      let sut = Recipe.sut_of recipe in
+      (* Always attach a live analysis — GET /campaigns/:id serves
+         rankings with Wilson CIs while the campaign is in flight. *)
+      let live =
+        Propane.Live.create
+          ~attribution:(Propane.Estimator.Direct { window_ms = window })
+          ~model:Arrestment.Model.system
+          ~targets:campaign.Propane.Campaign.targets ()
+      in
+      {
+        Propane_service.Service.tenant;
+        weight;
+        name = campaign.Propane.Campaign.name;
+        sut = sut.Propane.Sut.name;
+        total = Propane.Campaign.size campaign;
+        recipe = Recipe.encode recipe;
+        config;
+        live = Some live;
+      }
+    with
+    | spec -> Ok spec
+    | exception Invalid_argument msg -> Error msg
+end
+
+let http_addr_arg =
+  let doc =
+    "Control endpoint of the $(b,propane serve) daemon (unix:PATH or \
+     tcp:HOST:PORT)."
+  in
+  Arg.(
+    required
+    & opt (some address_conv) None
+    & info [ "http" ] ~docv:"ADDR" ~doc)
+
+(* One request against the daemon; [on_2xx] sees the parsed body. *)
+let service_call ~cmd ~addr ~meth ~path ?body on_2xx =
+  match Propane_service.Http.request ?body ~addr ~meth ~path () with
+  | Error msg ->
+      Printf.eprintf "propane %s: %s\n" cmd msg;
+      exit 1
+  | Ok (status, body) ->
+      if status >= 200 && status < 300 then begin
+        match Propane_service.Json.parse body with
+        | Ok json -> on_2xx json
+        | Error msg ->
+            Printf.eprintf "propane %s: malformed response: %s\n" cmd msg;
+            exit 1
+      end
+      else begin
+        let reason =
+          match
+            Option.bind
+              (Propane_service.Json.member "error"
+                 (Result.value ~default:Propane_service.Json.Null
+                    (Propane_service.Json.parse body)))
+              Propane_service.Json.str
+          with
+          | Some e -> e
+          | None -> body
+        in
+        Printf.eprintf "propane %s: server: %s (HTTP %d)\n" cmd reason status;
+        exit 3
+      end
+
+let serve_cmd =
+  let state_dir_arg =
+    let doc =
+      "Service state directory: the campaign manifest and one journal per \
+       campaign live here.  Restarting on the same directory resumes every \
+       queued or running campaign."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let serve_listen_arg =
+    let doc =
+      "Fleet endpoint for $(b,propane worker --fleet) connections (default \
+       unix:$(b,STATE_DIR)/fleet.sock)."
+    in
+    Arg.(
+      value & opt (some address_conv) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let serve_http_arg =
+    let doc =
+      "HTTP control endpoint (default unix:$(b,STATE_DIR)/http.sock)."
+    in
+    Arg.(
+      value & opt (some address_conv) None & info [ "http" ] ~docv:"ADDR" ~doc)
+  in
+  let serve_workers_arg =
+    let doc =
+      "Spawn $(docv) local fleet workers alongside the daemon (0 = workers \
+       join from outside)."
+    in
+    Arg.(
+      value
+      & opt (int_at_least 0 "--workers") 0
+      & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_max_arg =
+    let doc =
+      "Backpressure: reject new submissions while $(docv) campaigns are \
+       queued or running."
+    in
+    Arg.(
+      value
+      & opt (int_at_least 1 "--queue-max") 16
+      & info [ "queue-max" ] ~docv:"N" ~doc)
+  in
+  let tenant_quota_arg =
+    let doc =
+      "Per-tenant backpressure: reject a tenant's submissions while it has \
+       $(docv) campaigns queued or running."
+    in
+    Arg.(
+      value
+      & opt (int_at_least 1 "--tenant-quota") 4
+      & info [ "tenant-quota" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Upper bound on runs per worker batch." in
+    Arg.(
+      value & opt (int_at_least 1 "--batch") 16 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let heartbeat_arg =
+    let doc =
+      "Reassign a worker's outstanding runs after $(docv) seconds of \
+       silence."
+    in
+    Arg.(
+      value & opt float 30.0 & info [ "heartbeat-timeout" ] ~docv:"S" ~doc)
+  in
+  let exit_when_idle_arg =
+    let doc =
+      "Drain and exit once at least one campaign was accepted and every \
+       campaign is done, cancelled or failed (for batch drivers and CI)."
+    in
+    Arg.(value & flag & info [ "exit-when-idle" ] ~doc)
+  in
+  let run () state_dir listen http workers queue_max tenant_quota batch
+      heartbeat exit_when_idle =
+    let listen =
+      match listen with
+      | Some a -> a
+      | None ->
+          Cluster.Address.Unix_sock (Filename.concat state_dir "fleet.sock")
+    in
+    let http =
+      match http with
+      | Some a -> a
+      | None ->
+          Cluster.Address.Unix_sock (Filename.concat state_dir "http.sock")
+    in
+    let stop_flag = ref false in
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop_flag := true))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigterm; Sys.sigint ];
+    let cfg =
+      Propane_service.Service.config ~queue_max ~tenant_quota ~batch_max:batch
+        ~heartbeat_timeout_s:heartbeat ~exit_when_idle ~listen ~http
+        ~state_dir ~parse:Submission.parse ()
+    in
+    let pool =
+      if workers = 0 then None
+      else
+        Some
+          (Cluster.Local.spawn
+             ~command:
+               [|
+                 Sys.executable_name;
+                 "worker";
+                 "--connect";
+                 Cluster.Address.to_string listen;
+                 "--fleet";
+               |]
+             ~n:workers ())
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Cluster.Local.shutdown pool)
+      (fun () ->
+        match
+          Propane_service.Service.run
+            ~on_tick:(fun () -> Option.iter Cluster.Local.tend pool)
+            ~stop:(fun () -> if !stop_flag then `Drain else `Continue)
+            cfg
+        with
+        | Ok () -> ()
+        | Error msg ->
+            prerr_endline ("propane serve: " ^ msg);
+            exit 1
+        | exception Invalid_argument msg ->
+            prerr_endline ("propane serve: " ^ msg);
+            exit 124)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign service: a long-lived daemon owning a fleet of \
+          $(b,propane worker --fleet) processes and a crash-safe queue of \
+          named campaigns, multiplexed over the fleet by tenant-assigned \
+          weights.  Campaigns are submitted and monitored over a JSON HTTP \
+          control surface ($(b,propane submit)/$(b,status)/$(b,cancel), or \
+          curl).  Every campaign journals under $(b,--state-dir) with \
+          byte-identical records to a serial run of the same flags, and a \
+          restarted service resumes every unfinished campaign from its \
+          journal.")
+    Term.(
+      const run $ log_term $ state_dir_arg $ serve_listen_arg $ serve_http_arg
+      $ serve_workers_arg $ queue_max_arg $ tenant_quota_arg $ batch_arg
+      $ heartbeat_arg $ exit_when_idle_arg)
+
+let tenant_arg =
+  let doc = "Tenant the campaign is accounted to." in
+  Arg.(value & opt string "default" & info [ "tenant" ] ~docv:"NAME" ~doc)
+
+let weight_arg =
+  let doc =
+    "Scheduling weight: the fleet is apportioned over runnable campaigns \
+     proportionally to their weights."
+  in
+  Arg.(
+    value & opt (int_at_least 1 "--weight") 1 & info [ "weight" ] ~docv:"W" ~doc)
+
+let submit_cmd =
+  let run () http tenant weight cases times full model seed window
+      run_timeout_ms retries fail_fast stop_when =
+    let body =
+      Submission.build ~tenant ~weight ~cases ~times ~full ~model ~seed
+        ~window ~run_timeout_ms ~retries ~fail_fast ~stop_when
+    in
+    service_call ~cmd:"submit" ~addr:http ~meth:"POST" ~path:"/campaigns"
+      ~body (fun json ->
+        match
+          Option.bind
+            (Propane_service.Json.member "id" json)
+            Propane_service.Json.str
+        with
+        | Some id -> print_endline id
+        | None ->
+            prerr_endline "propane submit: response carries no campaign id";
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign to a $(b,propane serve) daemon and print its id. \
+          The campaign flags mirror $(b,propane campaign), and the journal \
+          the service writes is byte-identical to the journal a serial \
+          $(b,propane campaign --journal) run with the same flags would \
+          write.  Exit status: 0 accepted, 3 rejected by the server \
+          (backpressure, quota, invalid campaign), 124 usage error.")
+    Term.(
+      const run $ log_term $ http_addr_arg $ tenant_arg $ weight_arg
+      $ cases_arg $ times_arg $ full_arg $ model_arg $ seed_arg $ window_arg
+      $ run_timeout_arg $ retries_arg $ fail_fast_arg $ stop_when_arg)
+
+let id_pos_arg =
+  let doc = "Campaign id, as printed by $(b,propane submit)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+
+let status_cmd =
+  let module J = Propane_service.Json in
+  let jstr ?(default = "?") name json =
+    Option.value ~default (Option.bind (J.member name json) J.str)
+  in
+  let jint name json =
+    Option.value ~default:0 (Option.bind (J.member name json) J.int)
+  in
+  let print_summary c =
+    Printf.printf "%-6s %-9s %-28s tenant=%s weight=%d %d/%d\n" (jstr "id" c)
+      (jstr "state" c) (jstr "name" c) (jstr "tenant" c) (jint "weight" c)
+      (jint "completed" c) (jint "total" c)
+  in
+  let run () http id =
+    match id with
+    | None ->
+        service_call ~cmd:"status" ~addr:http ~meth:"GET" ~path:"/campaigns"
+          (fun json ->
+            let campaigns =
+              Option.value ~default:[]
+                (Option.bind (J.member "campaigns" json) J.list)
+            in
+            if campaigns = [] then print_endline "no campaigns"
+            else List.iter print_summary campaigns);
+        service_call ~cmd:"status" ~addr:http ~meth:"GET" ~path:"/fleet"
+          (fun json ->
+            Printf.printf "fleet: %d worker%s\n" (jint "count" json)
+              (if jint "count" json = 1 then "" else "s"))
+    | Some id ->
+        service_call ~cmd:"status" ~addr:http ~meth:"GET"
+          ~path:("/campaigns/" ^ id) (fun c ->
+            print_summary c;
+            let reason = jstr ~default:"" "reason" c in
+            if reason <> "" then Printf.printf "reason: %s\n" reason;
+            let rankings =
+              Option.value ~default:[]
+                (Option.bind (J.member "rankings" c) J.list)
+            in
+            if rankings <> [] then begin
+              print_endline "module rankings (P~rel, 95% CI):";
+              List.iter
+                (fun row ->
+                  let est =
+                    Option.value ~default:J.Null
+                      (J.member "relative_permeability" row)
+                  in
+                  let f name =
+                    Option.value ~default:Float.nan
+                      (Option.bind (J.member name est) J.num)
+                  in
+                  Printf.printf "  %-16s %.3f [%.3f, %.3f]%s\n"
+                    (jstr "module" row) (f "value") (f "lo") (f "hi")
+                    (match Option.bind (J.member "resolved" row) J.bool with
+                    | Some true -> ""
+                    | _ -> "  (unresolved)"))
+                rankings
+            end)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Query a $(b,propane serve) daemon: without $(i,ID), list every \
+          campaign and the fleet size; with $(i,ID), show one campaign's \
+          progress and its live module rankings with 95% confidence \
+          intervals.  Exit status: 0 on success, 3 if the server reports an \
+          error (e.g. unknown id), 124 usage error.")
+    Term.(const run $ log_term $ http_addr_arg $ id_pos_arg)
+
+let cancel_cmd =
+  let id_arg =
+    let doc = "Campaign id to cancel." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run () http id =
+    service_call ~cmd:"cancel" ~addr:http ~meth:"DELETE"
+      ~path:("/campaigns/" ^ id) (fun json ->
+        Printf.printf "%s %s\n" id
+          (Option.value ~default:"cancelled"
+             (Option.bind
+                (Propane_service.Json.member "state" json)
+                Propane_service.Json.str)))
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a queued or running campaign on a $(b,propane serve) \
+          daemon: the service stops handing out its batches, drains in-\
+          flight runs into the journal, and marks it cancelled.  Exit \
+          status: 0 on success, 3 if the server reports an error, 124 usage \
+          error.")
+    Term.(const run $ log_term $ http_addr_arg $ id_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1312,6 +1810,10 @@ let main =
       campaign_cmd;
       replay_cmd;
       worker_cmd;
+      serve_cmd;
+      submit_cmd;
+      status_cmd;
+      cancel_cmd;
       estimate_cmd;
       latency_cmd;
       uniformity_cmd;

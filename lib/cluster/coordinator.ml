@@ -12,169 +12,32 @@ type conn = {
   mutable deadline : float;  (* armed only while outstanding <> [] *)
 }
 
-let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
-
-(* Journal replay for resume: identical validation to Runner.run, same
-   error text, so operators can move between local and cluster modes
-   without relearning failure messages. *)
-let replay path ~outcomes ~sut ~campaign ~seed ~total =
-  match Propane.Journal.load path with
-  | Error msg -> invalid_arg (Printf.sprintf "Coordinator.serve: %s" msg)
-  | Ok j -> (
-      match Propane.Journal.validate j ~path ~sut ~campaign ~seed ~total with
-      | Error msg -> invalid_arg (Printf.sprintf "Coordinator.serve: %s" msg)
-      | Ok () ->
-          let table = Propane.Journal.completed j in
-          Hashtbl.iter
-            (fun index outcome -> outcomes.(index) <- Some outcome)
-            table;
-          Hashtbl.length table)
-
 let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
     ?(recipe = "") ?live ?select ?cells ~config ~listen ~sut ~campaign ~total
     () =
-  (match Propane.Runner.Config.validate config with
-  | Ok () -> ()
-  | Error msg -> invalid_arg (Printf.sprintf "Coordinator.serve: %s" msg));
-  let {
-    Propane.Runner.Config.seed;
-    fail_fast;
-    jobs;
-    journal;
-    resume;
-    journal_batch;
-    stop_when;
-    _;
-  } =
-    config
-  in
   if batch_max < 1 then
     invalid_arg "Coordinator.serve: batch_max must be >= 1";
   if heartbeat_timeout_s <= 0.0 then
     invalid_arg "Coordinator.serve: heartbeat_timeout_s must be positive";
-  if total < 0 then invalid_arg "Coordinator.serve: negative total";
-  if stop_when <> None && live = None then
-    invalid_arg "Coordinator.serve: stop_when requires a live analysis";
   (* A write can race the peer's death; it must fail with EPIPE (and
      kill that connection), not deliver a fatal SIGPIPE. *)
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> (* no signals on this platform *) ());
-  let emit ev = match on_event with Some f -> f ev | None -> () in
+  let session =
+    Session.create ~label:"Coordinator.serve" ?on_event ~recipe ?live ?select
+      ?cells ~config ~sut ~campaign ~total ()
+  in
+  let recipe_digest = Digest.to_hex (Digest.string recipe) in
+  let seed = config.Propane.Runner.Config.seed in
+  let emit ev =
+    match on_event with Some f -> f ev | None -> ()
+  in
   let tick () = match on_tick with Some f -> f () | None -> () in
-  let outcomes = Array.make total None in
-  let skipped =
-    match journal with
-    | Some path when resume && Sys.file_exists path ->
-        replay path ~outcomes ~sut ~campaign ~seed ~total
-    | _ -> 0
-  in
-  let writer =
-    match journal with
-    | None -> None
-    | Some path ->
-        Some
-          (or_invalid
-             (if skipped > 0 then
-                Propane.Journal.append_to ~batch:journal_batch path
-              else
-                (* Cell provenance right after the header, before any
-                   outcome — mirroring Runner.run so reuse journals are
-                   byte-identical across serial, --jobs and cluster. *)
-                let w =
-                  (* The same recipe the workers receive in Welcome is
-                     journalled for [propane replay]; serial runs store
-                     the identical string, keeping journals
-                     byte-identical across modes. *)
-                  Propane.Journal.create ~batch:journal_batch
-                    ?recipe:
-                      (if String.equal recipe "" then None else Some recipe)
-                    ~path ~sut ~campaign ~seed ~total ()
-                in
-                match (w, cells) with
-                | Ok w, Some cells ->
-                    Result.map
-                      (fun () -> w)
-                      (Propane.Journal.append_cells w cells)
-                | w, _ -> w))
-  in
-  (* In-order journal merge: [from_journal] marks indices already on
-     disk from the resumed journal (never re-appended); [next_to_write]
-     chases the first gap, so records hit the journal in strict index
-     order whatever order workers complete them in. *)
-  let from_journal = Array.map Option.is_some outcomes in
-  (* Deselected indices (cell reuse) never produce a record; the
-     in-order cursor steps over them so selected runs still stream to
-     disk in strict index order. *)
-  let deselected =
-    match select with
-    | None -> Array.make total false
-    | Some f -> Array.init total (fun idx -> not (f idx))
-  in
-  let next_to_write = ref 0 in
-  let flush_journal () =
-    match writer with
-    | None -> next_to_write := total
-    | Some w ->
-        while
-          !next_to_write < total
-          && (outcomes.(!next_to_write) <> None
-             || deselected.(!next_to_write))
-        do
-          (match outcomes.(!next_to_write) with
-          | Some outcome when not from_journal.(!next_to_write) ->
-              or_invalid
-                (Propane.Journal.append w ~index:!next_to_write outcome)
-          | _ -> ());
-          incr next_to_write
-        done
-  in
-  let completed = ref skipped in
-  let queue =
-    ref
-      (List.filter
-         (fun idx -> outcomes.(idx) = None && not deselected.(idx))
-         (List.init total Fun.id))
-  in
-  (* The loop below drains until every *scheduled* run completed:
-     journal replays plus the queue — under a selection that is fewer
-     than the campaign total. *)
-  let scheduled = skipped + List.length !queue in
-  let queue_len = ref (List.length !queue) in
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
   let next_id = ref 0 in
-  let failed : (int * Propane.Results.outcome) option ref = ref None in
   Log.info (fun m ->
-      m "campaign %s on %s: %d runs (%d journalled), serving workers"
-        campaign sut total skipped);
-  emit (Propane.Runner.Started { total; skipped; jobs });
-  (* Replayed outcomes prime the live analysis in index order, as in
-     Runner.run, so a resumed adaptive campaign starts from the same
-     evidence an uninterrupted one has at this point. *)
-  (match live with
-  | Some l when skipped > 0 ->
-      Array.iter
-        (function
-          | Some o -> ignore (Propane.Live.observe l o)
-          | None -> ())
-        outcomes;
-      emit (Propane.Runner.Analysis_tick (Propane.Live.digest l))
-  | _ -> ());
-  let stopping = ref false in
-  let check_stop () =
-    match (live, stop_when) with
-    | Some l, Some rule ->
-        if (not !stopping) && Propane.Live.satisfied l rule then begin
-          Log.info (fun m ->
-              m "stop rule %a satisfied after %d runs; draining workers"
-                Propane.Live.pp_rule rule !completed);
-          stopping := true
-        end
-    | _ -> ()
-  in
-  check_stop ();
-  emit (Propane.Runner.Goldens_done { testcases = 0 });
-  flush_journal ();
+      m "campaign %s on %s: %d runs, serving workers" campaign sut total);
   let send c msg = Frame.write c.fd (Protocol.encode_to_worker msg) in
   let kill ~reason c =
     Hashtbl.remove conns c.id;
@@ -185,71 +48,79 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
         Log.warn (fun m ->
             m "worker %d died (%s); reassigning %d outstanding runs" c.id
               reason (List.length lost));
-        (* Back to the head of the queue: the journal's reorder buffer
-           is stalled on exactly these indices. *)
-        queue := List.sort compare lost @ !queue;
-        queue_len := !queue_len + List.length lost);
+        Session.requeue session lost);
     c.outstanding <- []
   in
   let live_workers () =
     Hashtbl.fold (fun _ c n -> if c.ready then n + 1 else n) conns 0
   in
-  let batch_size () =
-    max 1 (min batch_max (!queue_len / max 1 (2 * live_workers ())))
-  in
-  let take n =
-    let rec go n acc q =
-      if n = 0 then (List.rev acc, q)
-      else match q with [] -> (List.rev acc, []) | x :: q -> go (n - 1) (x :: acc) q
-    in
-    let batch, rest = go n [] !queue in
-    queue := rest;
-    queue_len := !queue_len - List.length batch;
-    batch
-  in
   let give_work c =
     (* A draining coordinator hands out nothing more; the worker stays
        parked in Request_batch until Done. *)
-    if !stopping then c.wants_work <- true
-    else
-      match take (batch_size ()) with
-      | [] -> c.wants_work <- true
-      | batch ->
-          c.wants_work <- false;
-          c.outstanding <- batch;
-          c.deadline <- Unix.gettimeofday () +. heartbeat_timeout_s;
-          send c (Protocol.Batch batch)
+    match Session.take session ~batch_max ~workers:(live_workers ()) with
+    | [] -> c.wants_work <- true
+    | batch ->
+        c.wants_work <- false;
+        c.outstanding <- batch;
+        c.deadline <- Unix.gettimeofday () +. heartbeat_timeout_s;
+        send c (Protocol.Batch batch)
   in
   let distribute () =
-    if !queue_len > 0 && not !stopping then
+    if Session.pending session > 0 && not (Session.stopping session) then
       Hashtbl.iter
         (fun _ c ->
-          if c.ready && c.wants_work && !queue_len > 0 then
+          if c.ready && c.wants_work && Session.pending session > 0 then
             match give_work c with
             | () -> ()
             | exception Unix.Unix_error (err, _, _) ->
                 kill ~reason:(Unix.error_message err) c)
         (Hashtbl.copy conns)
   in
+  (* The reject reason names the exact field that differed — an
+     operator staring at a fleet of workers needs to know whether to
+     rebuild the binary (version skew) or re-point the pin (recipe
+     skew), and "handshake failed" distinguishes neither. *)
+  let vet ~version ~config_digest =
+    if version <> Protocol.version then
+      Some
+        (Printf.sprintf
+           "protocol version: worker speaks %d, coordinator speaks %d" version
+           Protocol.version)
+    else if
+      (not (String.equal config_digest ""))
+      && not (String.equal config_digest recipe_digest)
+    then
+      Some
+        (Printf.sprintf
+           "config digest: worker pinned %s, coordinator offers %s"
+           config_digest recipe_digest)
+    else None
+  in
   let handle c msg =
     c.deadline <- Unix.gettimeofday () +. heartbeat_timeout_s;
     match msg with
-    | Protocol.Hello { version; host; pid } ->
-        if version <> Protocol.version then begin
-          (try
-             send c
-               (Protocol.Reject
-                  (Printf.sprintf "protocol version %d, coordinator speaks %d"
-                     version Protocol.version))
-           with Unix.Unix_error _ -> ());
-          kill ~reason:"version mismatch" c
-        end
-        else begin
-          c.ready <- true;
-          send c (Protocol.Welcome { sut; campaign; seed; total; config = recipe });
-          Log.info (fun m -> m "worker %d is %s/%d" c.id host pid);
-          emit (Propane.Runner.Worker_attached { worker = c.id; host; pid })
-        end
+    | Protocol.Hello { version; host; pid; config_digest } -> (
+        match vet ~version ~config_digest with
+        | Some reason ->
+            (try send c (Protocol.Reject reason)
+             with Unix.Unix_error _ -> ());
+            kill ~reason c
+        | None ->
+            c.ready <- true;
+            send c
+              (Protocol.Welcome { sut; campaign; seed; total; config = recipe });
+            Log.info (fun m -> m "worker %d is %s/%d" c.id host pid);
+            emit (Propane.Runner.Worker_attached { worker = c.id; host; pid }))
+    | Protocol.Join _ ->
+        (* Fleet registration belongs to a service daemon; this
+           coordinator serves exactly one campaign. *)
+        (try
+           send c
+             (Protocol.Reject
+                "fleet join: this coordinator serves a single campaign; \
+                 connect with a one-shot handshake (drop --fleet)")
+         with Unix.Unix_error _ -> ());
+        kill ~reason:"fleet join on a one-shot coordinator" c
     | Protocol.Heartbeat -> ()
     | Protocol.Request_batch -> give_work c
     | Protocol.Result { index; retries; outcome } ->
@@ -257,51 +128,7 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
           kill ~reason:(Printf.sprintf "result index %d out of range" index) c
         else begin
           c.outstanding <- List.filter (fun i -> i <> index) c.outstanding;
-          match outcomes.(index) with
-          | Some _ ->
-              (* A reassigned run finished twice; outcomes are
-                 index-deterministic, so both copies are identical and
-                 the first stands. *)
-              Log.debug (fun m ->
-                  m "duplicate result for run %d from worker %d" index c.id)
-          | None ->
-              outcomes.(index) <- Some outcome;
-              incr completed;
-              flush_journal ();
-              emit
-                (Propane.Runner.Run_done
-                   {
-                     index;
-                     worker = c.id;
-                     completed = !completed;
-                     total;
-                     status = outcome.Propane.Results.status;
-                     retries;
-                   });
-              (match live with
-              | Some l ->
-                  emit
-                    (Propane.Runner.Analysis_tick (Propane.Live.observe l outcome));
-                  check_stop ()
-              | None -> ());
-              if
-                fail_fast
-                && Propane.Results.is_failed outcome.Propane.Results.status
-                && !failed = None
-              then begin
-                failed := Some (index, outcome);
-                (* The reorder buffer may be stalled before [index], but
-                   the abort must leave the failure on disk; journals
-                   tolerate out-of-order records, and [from_journal]
-                   keeps the cursor from appending it twice. *)
-                if index >= !next_to_write then begin
-                  Option.iter
-                    (fun w ->
-                      or_invalid (Propane.Journal.append w ~index outcome))
-                    writer;
-                  from_journal.(index) <- true
-                end
-              end
+          Session.record session ~index ~worker:c.id ~retries outcome
         end
   in
   let drain c =
@@ -389,15 +216,15 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
   Fun.protect
     ~finally:(fun () ->
       close_all ();
-      Option.iter Propane.Journal.close writer)
+      Session.close session)
     (fun () ->
       let outstanding_total () =
         Hashtbl.fold (fun _ c n -> n + List.length c.outstanding) conns 0
       in
       while
-        !failed = None
-        && (if !stopping then outstanding_total () > 0
-            else !completed < scheduled)
+        Session.failed session = None
+        && (if Session.stopping session then outstanding_total () > 0
+            else not (Session.complete session))
       do
         let fds =
           listen :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) conns []
@@ -430,41 +257,8 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
         (* Batched appends commit at most one select cycle (~250 ms)
            after the cursor wrote them: one flush amortises every
            record drained this iteration. *)
-        Option.iter Propane.Journal.flush writer;
+        Session.flush session;
         tick ()
       done;
       broadcast Protocol.Done;
-      (match !failed with
-      | Some (index, outcome) ->
-          Log.err (fun m ->
-              m "run %d failed and fail_fast is set; aborting" index);
-          raise (Propane.Runner.Failed_run { index; outcome })
-      | None -> ());
-      (* The in-order journal cursor stalls at the first never-run
-         index of an adaptively stopped campaign; append the completed
-         outcomes beyond it out of order (journals tolerate that, see
-         the fail-fast path above) so nothing finished is lost. *)
-      if !stopping then
-        Array.iteri
-          (fun index o ->
-            match o with
-            | Some outcome
-              when index >= !next_to_write && not from_journal.(index) ->
-                Option.iter
-                  (fun w ->
-                    or_invalid (Propane.Journal.append w ~index outcome))
-                  writer;
-                from_journal.(index) <- true
-            | _ -> ())
-          outcomes;
-      emit (Propane.Runner.Finished { completed = !completed; total });
-      let results = Propane.Results.create ~sut ~campaign in
-      Array.iter
-        (function
-          | Some outcome -> Propane.Results.add results outcome
-          | None ->
-              (* Only an adaptive stop or a cell-reuse selection may
-                 leave runs unexecuted. *)
-              assert (stop_when <> None || select <> None))
-        outcomes;
-      results)
+      Session.finish session)

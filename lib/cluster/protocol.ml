@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 
 type welcome = {
   sut : string;
@@ -9,13 +9,15 @@ type welcome = {
 }
 
 type to_coordinator =
-  | Hello of { version : int; host : string; pid : int }
+  | Hello of { version : int; host : string; pid : int; config_digest : string }
+  | Join of { version : int; host : string; pid : int }
   | Request_batch
   | Result of { index : int; retries : int; outcome : Propane.Results.outcome }
   | Heartbeat
 
 type to_worker =
   | Welcome of welcome
+  | Assign of welcome
   | Batch of int list
   | Ping
   | Done
@@ -57,30 +59,42 @@ let add_outcome b (o : Propane.Results.outcome) =
 let encode_to_coordinator msg =
   let b = Buffer.create 64 in
   (match msg with
-  | Hello { version; host; pid } ->
+  | Hello { version; host; pid; config_digest } ->
       Buffer.add_uint8 b 1;
       add_int b version;
       add_str b host;
-      add_int b pid
+      add_int b pid;
+      add_str b config_digest
   | Request_batch -> Buffer.add_uint8 b 2
   | Result { index; retries; outcome } ->
       Buffer.add_uint8 b 3;
       add_int b index;
       add_int b retries;
       add_outcome b outcome
-  | Heartbeat -> Buffer.add_uint8 b 4);
+  | Heartbeat -> Buffer.add_uint8 b 4
+  | Join { version; host; pid } ->
+      Buffer.add_uint8 b 5;
+      add_int b version;
+      add_str b host;
+      add_int b pid);
   Buffer.contents b
+
+let add_welcome b { sut; campaign; seed; total; config } =
+  add_str b sut;
+  add_str b campaign;
+  Buffer.add_int64_be b seed;
+  add_int b total;
+  add_str b config
 
 let encode_to_worker msg =
   let b = Buffer.create 64 in
   (match msg with
-  | Welcome { sut; campaign; seed; total; config } ->
+  | Welcome w ->
       Buffer.add_uint8 b 1;
-      add_str b sut;
-      add_str b campaign;
-      Buffer.add_int64_be b seed;
-      add_int b total;
-      add_str b config
+      add_welcome b w
+  | Assign w ->
+      Buffer.add_uint8 b 6;
+      add_welcome b w
   | Batch indices ->
       Buffer.add_uint8 b 2;
       add_int b (List.length indices);
@@ -192,7 +206,8 @@ let decode_to_coordinator =
           let version = get_int c "version" in
           let host = get_str c "host" in
           let pid = get_int c "pid" in
-          Hello { version; host; pid }
+          let config_digest = get_str c "config digest" in
+          Hello { version; host; pid; config_digest }
       | 2 -> Request_batch
       | 3 ->
           let index = get_int c "index" in
@@ -200,31 +215,43 @@ let decode_to_coordinator =
           let outcome = get_outcome c in
           Result { index; retries; outcome }
       | 4 -> Heartbeat
+      | 5 ->
+          let version = get_int c "version" in
+          let host = get_str c "host" in
+          let pid = get_int c "pid" in
+          Join { version; host; pid }
       | t -> raise (Bad (Printf.sprintf "unknown message tag %d" t)))
+
+let get_welcome c =
+  let sut = get_str c "sut" in
+  let campaign = get_str c "campaign" in
+  let seed = get_i64 c "seed" in
+  let total = get_int c "total" in
+  let config = get_str c "config" in
+  { sut; campaign; seed; total; config }
 
 let decode_to_worker =
   decode (fun c ->
       match get_u8 c "message tag" with
-      | 1 ->
-          let sut = get_str c "sut" in
-          let campaign = get_str c "campaign" in
-          let seed = get_i64 c "seed" in
-          let total = get_int c "total" in
-          let config = get_str c "config" in
-          Welcome { sut; campaign; seed; total; config }
+      | 1 -> Welcome (get_welcome c)
       | 2 ->
           let n = get_int c "batch size" in
           Batch (get_list n (fun () -> get_int c "batch index"))
       | 3 -> Ping
       | 4 -> Done
       | 5 -> Reject (get_str c "reject reason")
+      | 6 -> Assign (get_welcome c)
       | t -> raise (Bad (Printf.sprintf "unknown message tag %d" t)))
 
 (* ---------------------------- debug ------------------------------- *)
 
 let pp_to_coordinator ppf = function
-  | Hello { version; host; pid } ->
-      Fmt.pf ppf "hello v%d %s/%d" version host pid
+  | Hello { version; host; pid; config_digest } ->
+      if String.equal config_digest "" then
+        Fmt.pf ppf "hello v%d %s/%d" version host pid
+      else Fmt.pf ppf "hello v%d %s/%d (pinned %s)" version host pid config_digest
+  | Join { version; host; pid } ->
+      Fmt.pf ppf "join v%d %s/%d" version host pid
   | Request_batch -> Fmt.string ppf "request-batch"
   | Result { index; retries; outcome } ->
       Fmt.pf ppf "result #%d (%a, %d retries)" index Propane.Results.pp_status
@@ -234,6 +261,8 @@ let pp_to_coordinator ppf = function
 let pp_to_worker ppf = function
   | Welcome { sut; campaign; total; _ } ->
       Fmt.pf ppf "welcome %s/%s (%d runs)" sut campaign total
+  | Assign { sut; campaign; total; _ } ->
+      Fmt.pf ppf "assign %s/%s (%d runs)" sut campaign total
   | Batch indices -> Fmt.pf ppf "batch of %d" (List.length indices)
   | Ping -> Fmt.string ppf "ping"
   | Done -> Fmt.string ppf "done"

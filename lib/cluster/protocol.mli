@@ -27,11 +27,20 @@
     completes with [Done].  [Ping] asks a blocked worker to prove
     liveness with a [Heartbeat].
 
-    A worker whose [Hello] carries the wrong protocol version receives
-    [Reject] and must exit. *)
+    A worker whose [Hello] carries the wrong protocol version, or a
+    [config_digest] pin that does not match the coordinator's recipe,
+    receives [Reject] naming the mismatched field and must exit.
+
+    Fleet mode ({!Propane_service}-style daemons) replaces the opening
+    [Hello]/[Welcome] pair with [Join]/[Assign]: a joining worker
+    registers without binding to any campaign, and the service sends
+    [Assign] — the same [welcome] payload — whenever it (re)targets the
+    worker at a campaign, including between batches.  After an
+    [Assign], the worker rebuilds its executor and resumes the
+    [Request_batch] conversation above. *)
 
 val version : int
-(** Current protocol version (1).  Bump on any change to the message
+(** Current protocol version (2).  Bump on any change to the message
     encodings below. *)
 
 type welcome = {
@@ -46,13 +55,22 @@ type welcome = {
 }
 
 type to_coordinator =
-  | Hello of { version : int; host : string; pid : int }
+  | Hello of { version : int; host : string; pid : int; config_digest : string }
+      (** one-shot handshake; [config_digest = ""] means "any recipe",
+          a non-empty digest pins the worker to a specific recipe
+          ([Digest.to_hex] of the coordinator's [welcome.config]) *)
+  | Join of { version : int; host : string; pid : int }
+      (** fleet registration: no campaign binding; the service answers
+          with [Assign] when work exists *)
   | Request_batch
   | Result of { index : int; retries : int; outcome : Propane.Results.outcome }
   | Heartbeat
 
 type to_worker =
   | Welcome of welcome
+  | Assign of welcome
+      (** fleet (re)targeting: rebuild the executor for this campaign,
+          then continue requesting batches *)
   | Batch of int list  (** experiment indices to execute, in order *)
   | Ping
   | Done

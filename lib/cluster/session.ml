@@ -1,0 +1,338 @@
+let src = Logs.Src.create "cluster.session" ~doc:"per-campaign scheduling"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  label : string;
+  sut : string;
+  campaign : string;
+  total : int;
+  fail_fast : bool;
+  stop_when : Propane.Live.rule option;
+  outcomes : Propane.Results.outcome option array;
+  from_journal : bool array;
+  deselected : bool array;
+  writer : Propane.Journal.writer option;
+  mutable next_to_write : int;
+  mutable queue : int list;
+  mutable queue_len : int;
+  mutable completed : int;
+  skipped : int;
+  scheduled : int;
+  live : Propane.Live.t option;
+  mutable stopping : bool;
+  mutable failed : (int * Propane.Results.outcome) option;
+  mutable closed : bool;
+  emit : Propane.Runner.event -> unit;
+}
+
+let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
+
+(* Journal replay for resume: identical validation to Runner.run, same
+   error text, so operators can move between local, cluster and
+   service modes without relearning failure messages. *)
+let replay path ~label ~outcomes ~sut ~campaign ~seed ~total =
+  match Propane.Journal.load path with
+  | Error msg -> invalid_arg (Printf.sprintf "%s: %s" label msg)
+  | Ok j -> (
+      match Propane.Journal.validate j ~path ~sut ~campaign ~seed ~total with
+      | Error msg -> invalid_arg (Printf.sprintf "%s: %s" label msg)
+      | Ok () ->
+          let table = Propane.Journal.completed j in
+          Hashtbl.iter
+            (fun index outcome -> outcomes.(index) <- Some outcome)
+            table;
+          Hashtbl.length table)
+
+let flush_journal t =
+  match t.writer with
+  | None -> t.next_to_write <- t.total
+  | Some w ->
+      while
+        t.next_to_write < t.total
+        && (t.outcomes.(t.next_to_write) <> None
+           || t.deselected.(t.next_to_write))
+      do
+        (match t.outcomes.(t.next_to_write) with
+        | Some outcome when not t.from_journal.(t.next_to_write) ->
+            or_invalid (Propane.Journal.append w ~index:t.next_to_write outcome)
+        | _ -> ());
+        t.next_to_write <- t.next_to_write + 1
+      done
+
+let check_stop t =
+  match (t.live, t.stop_when) with
+  | Some l, Some rule ->
+      if (not t.stopping) && Propane.Live.satisfied l rule then begin
+        Log.info (fun m ->
+            m "%s: stop rule %a satisfied after %d runs; draining" t.campaign
+              Propane.Live.pp_rule rule t.completed);
+        t.stopping <- true
+      end
+  | _ -> ()
+
+let create ?(label = "Session.create") ?on_event ?(recipe = "") ?live ?select
+    ?cells ~config ~sut ~campaign ~total () =
+  (match Propane.Runner.Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "%s: %s" label msg));
+  let {
+    Propane.Runner.Config.seed;
+    fail_fast;
+    jobs;
+    journal;
+    resume;
+    journal_batch;
+    stop_when;
+    _;
+  } =
+    config
+  in
+  if total < 0 then invalid_arg (Printf.sprintf "%s: negative total" label);
+  if stop_when <> None && live = None then
+    invalid_arg (Printf.sprintf "%s: stop_when requires a live analysis" label);
+  let emit ev = match on_event with Some f -> f ev | None -> () in
+  let outcomes = Array.make total None in
+  let skipped =
+    match journal with
+    | Some path when resume && Sys.file_exists path ->
+        replay path ~label ~outcomes ~sut ~campaign ~seed ~total
+    | _ -> 0
+  in
+  let writer =
+    match journal with
+    | None -> None
+    | Some path ->
+        Some
+          (or_invalid
+             (if skipped > 0 then
+                Propane.Journal.append_to ~batch:journal_batch path
+              else
+                (* Cell provenance right after the header, before any
+                   outcome — mirroring Runner.run so reuse journals are
+                   byte-identical across serial, --jobs, cluster and
+                   service modes. *)
+                let w =
+                  (* The same recipe the workers receive in
+                     Welcome/Assign is journalled for [propane replay];
+                     serial runs store the identical string, keeping
+                     journals byte-identical across modes. *)
+                  Propane.Journal.create ~batch:journal_batch
+                    ?recipe:
+                      (if String.equal recipe "" then None else Some recipe)
+                    ~path ~sut ~campaign ~seed ~total ()
+                in
+                match (w, cells) with
+                | Ok w, Some cells ->
+                    Result.map
+                      (fun () -> w)
+                      (Propane.Journal.append_cells w cells)
+                | w, _ -> w))
+  in
+  (* In-order journal merge: [from_journal] marks indices already on
+     disk from the resumed journal (never re-appended); [next_to_write]
+     chases the first gap, so records hit the journal in strict index
+     order whatever order workers complete them in. *)
+  let from_journal = Array.map Option.is_some outcomes in
+  (* Deselected indices (cell reuse) never produce a record; the
+     in-order cursor steps over them so selected runs still stream to
+     disk in strict index order. *)
+  let deselected =
+    match select with
+    | None -> Array.make total false
+    | Some f -> Array.init total (fun idx -> not (f idx))
+  in
+  let queue =
+    List.filter
+      (fun idx -> outcomes.(idx) = None && not deselected.(idx))
+      (List.init total Fun.id)
+  in
+  (* The campaign drains once every *scheduled* run completed: journal
+     replays plus the queue — under a selection that is fewer than the
+     campaign total. *)
+  let scheduled = skipped + List.length queue in
+  let t =
+    {
+      label;
+      sut;
+      campaign;
+      total;
+      fail_fast;
+      stop_when;
+      outcomes;
+      from_journal;
+      deselected;
+      writer;
+      next_to_write = 0;
+      queue;
+      queue_len = List.length queue;
+      completed = skipped;
+      skipped;
+      scheduled;
+      live;
+      stopping = false;
+      failed = None;
+      closed = false;
+      emit;
+    }
+  in
+  Log.info (fun m ->
+      m "campaign %s on %s: %d runs (%d journalled)" campaign sut total skipped);
+  emit (Propane.Runner.Started { total; skipped; jobs });
+  (* Replayed outcomes prime the live analysis in index order, as in
+     Runner.run, so a resumed adaptive campaign starts from the same
+     evidence an uninterrupted one has at this point. *)
+  (match live with
+  | Some l when skipped > 0 ->
+      Array.iter
+        (function
+          | Some o -> ignore (Propane.Live.observe l o) | None -> ())
+        outcomes;
+      emit (Propane.Runner.Analysis_tick (Propane.Live.digest l))
+  | _ -> ());
+  check_stop t;
+  emit (Propane.Runner.Goldens_done { testcases = 0 });
+  flush_journal t;
+  t
+
+let sut t = t.sut
+let campaign t = t.campaign
+let total t = t.total
+let completed t = t.completed
+let scheduled t = t.scheduled
+let skipped t = t.skipped
+let pending t = t.queue_len
+let stopping t = t.stopping
+let failed t = t.failed
+let live t = t.live
+let complete t = t.completed >= t.scheduled
+
+let batch_size t ~batch_max ~workers =
+  max 1 (min batch_max (t.queue_len / max 1 (2 * workers)))
+
+let take t ~batch_max ~workers =
+  if t.stopping || t.failed <> None then []
+  else begin
+    let n = batch_size t ~batch_max ~workers in
+    let rec go n acc q =
+      if n = 0 then (List.rev acc, q)
+      else
+        match q with [] -> (List.rev acc, []) | x :: q -> go (n - 1) (x :: acc) q
+    in
+    let batch, rest = go n [] t.queue in
+    t.queue <- rest;
+    t.queue_len <- t.queue_len - List.length batch;
+    batch
+  end
+
+let requeue t lost =
+  (* Back to the head of the queue: the journal's reorder buffer is
+     stalled on exactly these indices. *)
+  match lost with
+  | [] -> ()
+  | lost ->
+      t.queue <- List.sort compare lost @ t.queue;
+      t.queue_len <- t.queue_len + List.length lost
+
+(* Out-of-order safety valve: the reorder buffer may be stalled before
+   [index], but the record must reach the disk now; journals tolerate
+   out-of-order records, and [from_journal] keeps the cursor from
+   appending it twice. *)
+let append_out_of_order t index outcome =
+  if index >= t.next_to_write && not t.from_journal.(index) then begin
+    Option.iter
+      (fun w -> or_invalid (Propane.Journal.append w ~index outcome))
+      t.writer;
+    t.from_journal.(index) <- true
+  end
+
+let record t ~index ~worker ~retries outcome =
+  if index < 0 || index >= t.total then
+    invalid_arg
+      (Printf.sprintf "%s: result index %d out of range" t.label index);
+  match t.outcomes.(index) with
+  | Some _ ->
+      (* A reassigned run finished twice; outcomes are
+         index-deterministic, so both copies are identical and the
+         first stands. *)
+      Log.debug (fun m ->
+          m "%s: duplicate result for run %d from worker %d" t.campaign index
+            worker)
+  | None ->
+      t.outcomes.(index) <- Some outcome;
+      t.completed <- t.completed + 1;
+      flush_journal t;
+      t.emit
+        (Propane.Runner.Run_done
+           {
+             index;
+             worker;
+             completed = t.completed;
+             total = t.total;
+             status = outcome.Propane.Results.status;
+             retries;
+           });
+      (match t.live with
+      | Some l ->
+          t.emit (Propane.Runner.Analysis_tick (Propane.Live.observe l outcome));
+          check_stop t
+      | None -> ());
+      if
+        t.fail_fast
+        && Propane.Results.is_failed outcome.Propane.Results.status
+        && t.failed = None
+      then begin
+        t.failed <- Some (index, outcome);
+        (* fail-fast abort must leave the failure on disk even while
+           the cursor is stalled before it. *)
+        append_out_of_order t index outcome
+      end
+
+let flush t = Option.iter Propane.Journal.flush t.writer
+
+(* The in-order journal cursor stalls at the first never-run index of
+   an adaptively stopped (or cancelled) campaign; append the completed
+   outcomes beyond it out of order (journals tolerate that) so nothing
+   finished is lost. *)
+let write_tail t =
+  Array.iteri
+    (fun index o ->
+      match o with Some outcome -> append_out_of_order t index outcome | _ -> ())
+    t.outcomes
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Option.iter Propane.Journal.close t.writer
+  end
+
+let abort t =
+  if not t.closed then begin
+    write_tail t;
+    close t
+  end
+
+let finish t =
+  (match t.failed with
+  | Some (index, outcome) ->
+      Log.err (fun m ->
+          m "%s: run %d failed and fail_fast is set; aborting" t.campaign index);
+      close t;
+      raise (Propane.Runner.Failed_run { index; outcome })
+  | None -> ());
+  if t.stopping then write_tail t;
+  t.emit (Propane.Runner.Finished { completed = t.completed; total = t.total });
+  let results = Propane.Results.create ~sut:t.sut ~campaign:t.campaign in
+  Array.iter
+    (function
+      | Some outcome -> Propane.Results.add results outcome
+      | None ->
+          (* Only an adaptive stop or a cell-reuse selection may leave
+             runs unexecuted. *)
+          assert (
+            t.stop_when <> None
+            || Array.exists Fun.id t.deselected
+            || t.stopping))
+    t.outcomes;
+  close t;
+  results

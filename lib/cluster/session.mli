@@ -1,0 +1,108 @@
+(** Per-campaign scheduling state, shared by every distributed mode.
+
+    A session owns everything about {e one} campaign's execution that
+    is independent of how workers are connected: the outcome table,
+    the work queue, the strict-index-order journal cursor (resume,
+    cell-reuse deselection, fail-fast out-of-order appends), the live
+    analysis feed and the adaptive stop rule.  {!Coordinator.serve}
+    drives exactly one session per process; a {!Propane_service}
+    daemon multiplexes many sessions over one fleet.
+
+    The determinism contract of [Runner.run] carries over unchanged:
+    outcomes depend only on [(seed, index)], so however batches are
+    interleaved across workers — or across concurrent sessions — the
+    journal each session writes is byte-identical to a serial run of
+    the same recipe. *)
+
+type t
+
+val create :
+  ?label:string ->
+  ?on_event:(Propane.Runner.event -> unit) ->
+  ?recipe:string ->
+  ?live:Propane.Live.t ->
+  ?select:(int -> bool) ->
+  ?cells:Propane.Journal.cell list ->
+  config:Propane.Runner.Config.t ->
+  sut:string ->
+  campaign:string ->
+  total:int ->
+  unit ->
+  t
+(** Validates the config, opens (or resumes) the journal, replays
+    journalled outcomes, primes the live analysis and emits
+    [Started]/[Goldens_done].  [label] (default ["Session.create"])
+    prefixes [Invalid_argument] messages so each caller keeps its
+    historical error text.  Raises [Invalid_argument] exactly where
+    [Runner.run] would: invalid config, journal/recipe mismatch on
+    resume, [stop_when] without [live]. *)
+
+val take : t -> batch_max:int -> workers:int -> int list
+(** Pops the next batch off the queue — adaptively sized as
+    [queue / (2 * workers)] clamped to [\[1, batch_max\]] — or [[]]
+    when the queue is empty, the session is draining after a satisfied
+    stop rule, or a fail-fast failure is pending. *)
+
+val requeue : t -> int list -> unit
+(** Returns a dead worker's outstanding indices to the {e head} of the
+    queue (sorted): the journal's reorder buffer is stalled on exactly
+    these indices. *)
+
+val record : t -> index:int -> worker:int -> retries:int ->
+  Propane.Results.outcome -> unit
+(** Records one completed run: advances the journal cursor, emits
+    [Run_done], feeds the live analysis, evaluates the stop rule and
+    arms the fail-fast abort.  Duplicate results (a reassigned run
+    finishing twice) are dropped — outcomes are index-deterministic so
+    the first copy stands.  Raises [Invalid_argument] if [index] is
+    outside [0 .. total-1]; callers should validate untrusted indices
+    first. *)
+
+val flush : t -> unit
+(** Commits batched journal appends; call once per scheduler tick so
+    records reach disk at most one tick after the cursor wrote them. *)
+
+val finish : t -> Propane.Results.t
+(** Completes the session: writes the out-of-order tail of an
+    adaptively stopped campaign, emits [Finished], closes the journal
+    and folds the outcome table into results.  Raises
+    {!Propane.Runner.Failed_run} (after closing the journal) if
+    fail-fast captured a failure. *)
+
+val abort : t -> unit
+(** Cancellation path: flushes every completed outcome to the journal
+    (out of order past the cursor, so nothing finished is lost), then
+    closes it.  No [Finished] event, no results.  Idempotent. *)
+
+val close : t -> unit
+(** Flushes and closes the journal without the tail write — the
+    crash-consistent shutdown path ([abort] minus the tail).
+    Idempotent; [finish]/[abort] call it themselves. *)
+
+val sut : t -> string
+val campaign : t -> string
+val total : t -> int
+
+val completed : t -> int
+(** Runs completed so far, journal replays included. *)
+
+val scheduled : t -> int
+(** Runs this session will execute: replays plus the initial queue. *)
+
+val skipped : t -> int
+(** Runs replayed from a resumed journal. *)
+
+val pending : t -> int
+(** Queue length: runs not yet handed to any worker. *)
+
+val complete : t -> bool
+(** [completed >= scheduled] — every scheduled run has an outcome. *)
+
+val stopping : t -> bool
+(** The stop rule fired: hand out nothing more, drain outstanding. *)
+
+val failed : t -> (int * Propane.Results.outcome) option
+(** The fail-fast failure, if one occurred. *)
+
+val live : t -> Propane.Live.t option
+(** The live analysis, for telemetry and ranking snapshots. *)

@@ -2,12 +2,15 @@ let src = Logs.Src.create "cluster.worker" ~doc:"campaign worker process"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let run ?host ?pid ?on_result ~connect ~make () =
+let ignore_sigpipe () =
   (* A dying coordinator must surface as EPIPE on our next send, not as
      a fatal SIGPIPE. *)
-  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
-  | exception Invalid_argument _ -> ());
+  | exception Invalid_argument _ -> ()
+
+let run ?host ?pid ?(config_digest = "") ?on_result ~connect ~make () =
+  ignore_sigpipe ();
   let host = match host with Some h -> h | None -> Unix.gethostname () in
   let pid = match pid with Some p -> p | None -> Unix.getpid () in
   match Address.connect connect with
@@ -26,7 +29,9 @@ let run ?host ?pid ?on_result ~connect ~make () =
           in
           let ( let* ) = Result.bind in
           try
-            send (Protocol.Hello { version = Protocol.version; host; pid });
+            send
+              (Protocol.Hello
+                 { version = Protocol.version; host; pid; config_digest });
             let* welcome =
               match recv () with
               | Ok (Protocol.Welcome w) -> Ok w
@@ -94,7 +99,7 @@ let run ?host ?pid ?on_result ~connect ~make () =
                     indices;
                   flush_results ();
                   batches ()
-              | Protocol.Welcome _ | Protocol.Reject _ ->
+              | Protocol.Welcome _ | Protocol.Assign _ | Protocol.Reject _ ->
                   Error
                     (Fmt.str "unexpected mid-campaign message %a"
                        Protocol.pp_to_worker msg)
@@ -103,4 +108,104 @@ let run ?host ?pid ?on_result ~connect ~make () =
           with Unix.Unix_error (err, fn, _) ->
             Error
               (Printf.sprintf "connection to coordinator lost: %s (%s)"
+                 (Unix.error_message err) fn))
+
+let join ?host ?pid ?on_result ~connect ~make () =
+  ignore_sigpipe ();
+  let host = match host with Some h -> h | None -> Unix.gethostname () in
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
+  match Address.connect connect with
+  | Error msg -> Error msg
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let reader = Frame.reader fd in
+          let send msg = Frame.write fd (Protocol.encode_to_coordinator msg) in
+          let recv () =
+            match Frame.read reader with
+            | Error msg -> Error msg
+            | Ok None -> Error "service closed the connection"
+            | Ok (Some payload) -> Protocol.decode_to_worker payload
+          in
+          let ( let* ) = Result.bind in
+          let completed = ref 0 in
+          let rebuild w =
+            let* execute = make w in
+            Log.info (fun m ->
+                m "assigned %s/%s (%d runs) as %s/%d" w.Protocol.sut
+                  w.Protocol.campaign w.Protocol.total host pid);
+            Ok execute
+          in
+          (* Unlike the one-shot loop, an idle fleet worker blocks in
+             [recv] with nothing outstanding; the service pings it to
+             prove liveness and sends [Assign] when work (re)appears.
+             Every [Assign] rebuilds the executor — a fresh campaign
+             means fresh goldens. *)
+          let rec serve_campaign execute =
+            send Protocol.Request_batch;
+            let* msg = recv () in
+            match msg with
+            | Protocol.Done -> Ok !completed
+            | Protocol.Ping ->
+                send Protocol.Heartbeat;
+                serve_campaign execute
+            | Protocol.Assign w ->
+                let* execute = rebuild w in
+                serve_campaign execute
+            | Protocol.Batch indices ->
+                let buffered = ref [] in
+                let flush_results () =
+                  Frame.write_many fd (List.rev !buffered);
+                  buffered := []
+                in
+                List.iter
+                  (fun index ->
+                    send Protocol.Heartbeat;
+                    let outcome, retries = execute index in
+                    buffered :=
+                      Protocol.encode_to_coordinator
+                        (Protocol.Result { index; retries; outcome })
+                      :: !buffered;
+                    if Propane.Results.is_failed outcome.Propane.Results.status
+                    then flush_results ();
+                    incr completed;
+                    match on_result with
+                    | Some f -> f ~completed:!completed
+                    | None -> ())
+                  indices;
+                flush_results ();
+                serve_campaign execute
+            | Protocol.Welcome _ | Protocol.Reject _ ->
+                Error
+                  (Fmt.str "unexpected fleet message %a" Protocol.pp_to_worker
+                     msg)
+          in
+          let rec await_assignment () =
+            let* msg = recv () in
+            match msg with
+            | Protocol.Done -> Ok !completed
+            | Protocol.Ping ->
+                send Protocol.Heartbeat;
+                await_assignment ()
+            | Protocol.Assign w ->
+                (* From here on [serve_campaign] owns the conversation:
+                   a drained campaign leaves the worker parked in its
+                   Request_batch, and the service answers with the next
+                   [Assign] or the final [Done]. *)
+                let* execute = rebuild w in
+                serve_campaign execute
+            | Protocol.Reject reason ->
+                Error (Printf.sprintf "service rejected us: %s" reason)
+            | Protocol.Welcome _ | Protocol.Batch _ ->
+                Error
+                  (Fmt.str "unexpected fleet message %a" Protocol.pp_to_worker
+                     msg)
+          in
+          try
+            send (Protocol.Join { version = Protocol.version; host; pid });
+            await_assignment ()
+          with Unix.Unix_error (err, fn, _) ->
+            Error
+              (Printf.sprintf "connection to service lost: %s (%s)"
                  (Unix.error_message err) fn))

@@ -17,6 +17,7 @@
 val run :
   ?host:string ->
   ?pid:int ->
+  ?config_digest:string ->
   ?on_result:(completed:int -> unit) ->
   connect:Address.t ->
   make:(Protocol.welcome -> (int -> Propane.Results.outcome * int, string) result) ->
@@ -28,6 +29,12 @@ val run :
     [Unix.gethostname]) and [pid] (default [Unix.getpid]) label this
     worker in the coordinator's telemetry.
 
+    [config_digest] (default [""], meaning "any") pins this worker to
+    one recipe: the coordinator rejects the handshake — naming the
+    digest pair — unless [Digest.to_hex] of its recipe matches.  Use
+    it when pointing long-lived worker hosts at rotating coordinators,
+    so a stale coordinator cannot feed them the wrong campaign.
+
     [on_result] is called after each run's result has been sent — a
     test harness hook ({!Propane.Fault}-style): raising from it
     abandons the connection mid-campaign exactly like a crashed worker
@@ -35,3 +42,20 @@ val run :
     in-process.  The socket is closed however [run] exits, and
     [SIGPIPE] is set to ignored so a dying coordinator surfaces as a
     connection error rather than killing the worker. *)
+
+val join :
+  ?host:string ->
+  ?pid:int ->
+  ?on_result:(completed:int -> unit) ->
+  connect:Address.t ->
+  make:(Protocol.welcome -> (int -> Propane.Results.outcome * int, string) result) ->
+  unit ->
+  (int, string) result
+(** Joins a fleet service for the long haul: registers with
+    {!Protocol.Join}, then serves whatever campaigns the service
+    {!Protocol.Assign}s — rebuilding the executor through [make] on
+    every assignment, since a new campaign means new goldens.  Between
+    assignments the worker parks in a blocking read and answers
+    [Ping] with [Heartbeat].  Returns the total number of runs
+    executed across all assignments once the service sends [Done]
+    (shutdown), or an error on connection loss or a failed [make]. *)

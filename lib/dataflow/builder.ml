@@ -307,3 +307,111 @@ let sut ?fault t =
     }
   in
   match fault with None -> sut | Some spec -> Propane.Fault.apply spec sut
+
+(* ----------------------- synthetic systems ------------------------ *)
+
+(* A layered random SUT for scale studies and service benchmarks: big
+   enough to make scheduling and analysis work honest, deterministic
+   enough (SplitMix64 all the way down) that two services, or a service
+   and a serial run, build bit-identical systems from the same seed. *)
+let synthetic ?(width = 16) ?(duration_ms = 200) ~modules ~fan_in ~fan_out
+    ~feedback ~seed () =
+  if modules < 1 then invalid_arg "Builder.synthetic: modules must be >= 1";
+  if fan_in < 1 then invalid_arg "Builder.synthetic: fan_in must be >= 1";
+  if fan_out < 1 then invalid_arg "Builder.synthetic: fan_out must be >= 1";
+  if feedback < 0 then invalid_arg "Builder.synthetic: feedback must be >= 0";
+  let rng = Simkernel.Rng.create seed in
+  let wiring_rng = Simkernel.Rng.split rng in
+  let mask = (1 lsl width) - 1 in
+  let stim_signals =
+    List.init fan_in (fun i -> Propagation.Signal.make (Printf.sprintf "stim%d" i))
+  in
+  let stimuli =
+    List.map
+      (fun s ->
+        let slope = 1 + Simkernel.Rng.int rng 7 in
+        let phase = Simkernel.Rng.int rng mask in
+        stimulus s (fun () ms -> (phase + (slope * ms)) land mask))
+      stim_signals
+  in
+  (* Wiring plan first, blocks second: feedback edges splice extra
+     inputs into earlier blocks, so input lists are only final once the
+     whole plan exists. *)
+  let outputs =
+    Array.init modules (fun i ->
+        List.init fan_out (fun j ->
+            Propagation.Signal.make (Printf.sprintf "m%d_o%d" i j)))
+  in
+  let inputs =
+    Array.init modules (fun i ->
+        let pool =
+          stim_signals @ List.concat (List.init i (fun k -> outputs.(k)))
+        in
+        (* [fan_in] distinct draws — or the whole pool if it is smaller. *)
+        let rec draw chosen n =
+          if n = 0 || List.length chosen >= List.length pool then
+            List.rev chosen
+          else begin
+            let s = Simkernel.Rng.pick wiring_rng pool in
+            if List.exists (Propagation.Signal.equal s) chosen then
+              draw chosen n
+            else draw (s :: chosen) (n - 1)
+          end
+        in
+        draw [] fan_in)
+  in
+  (* Feedback: an earlier block also consumes a later block's output.
+     The final block never feeds back — its outputs must stay
+     unconsumed so the derived model keeps its system outputs. *)
+  if feedback > 0 && modules >= 3 then
+    for _ = 1 to feedback do
+      let consumer = Simkernel.Rng.int wiring_rng (modules - 2) in
+      let producer =
+        consumer + 1 + Simkernel.Rng.int wiring_rng (modules - 2 - consumer)
+      in
+      let s = Simkernel.Rng.pick wiring_rng outputs.(producer) in
+      if
+        not
+          (List.exists (Propagation.Signal.equal s) inputs.(consumer))
+      then inputs.(consumer) <- inputs.(consumer) @ [ s ]
+    done;
+  let blocks =
+    List.init modules (fun i ->
+        let block_rng = Simkernel.Rng.split rng in
+        let n_in = List.length inputs.(i) in
+        let shifts =
+          Array.init (fan_out * n_in) (fun _ ->
+              Simkernel.Rng.int block_rng (max 1 (width - 1)))
+        in
+        let salts =
+          Array.init fan_out (fun _ -> Simkernel.Rng.int block_rng mask)
+        in
+        let period_ms = Simkernel.Rng.pick block_rng [ 1; 2; 4 ] in
+        let offset_ms = Simkernel.Rng.int block_rng period_ms in
+        block
+          ~name:(Printf.sprintf "M%d" i)
+          ~period_ms ~offset_ms
+          ~tag:(Printf.sprintf "synthetic:%Ld:%d" seed i)
+          ~inputs:inputs.(i) ~outputs:outputs.(i)
+          (fun () ->
+            let acc = ref 0 in
+            fun ins ->
+              (* Decaying accumulator so corruption lingers a few
+                 periods, then washes out — gives the analysis
+                 non-trivial temporal structure. *)
+              acc :=
+                (!acc / 2)
+                + Array.fold_left ( + ) 0 ins
+                  land mask;
+              Array.init fan_out (fun j ->
+                  let v =
+                    Array.to_list ins
+                    |> List.mapi (fun k x ->
+                           x lsl shifts.((j * n_in) + k) land mask)
+                    |> List.fold_left ( lxor ) salts.(j)
+                  in
+                  (v + (!acc lsr 3)) land mask)))
+  in
+  create_exn
+    ~name:(Printf.sprintf "synthetic-%d" modules)
+    ~width ~duration_ms ~blocks ~stimuli ()

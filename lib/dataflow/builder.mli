@@ -124,3 +124,30 @@ val duration_ms : t -> int
 
 val injection_targets : t -> string list
 (** All distinct block-input signals, the natural campaign targets. *)
+
+val synthetic :
+  ?width:int ->
+  ?duration_ms:int ->
+  modules:int ->
+  fan_in:int ->
+  fan_out:int ->
+  feedback:int ->
+  seed:int64 ->
+  unit ->
+  t
+(** A deterministic, randomly wired, layered system for scale studies
+    and service benchmarks.  [modules] blocks are generated in layers:
+    block [i] consumes [fan_in] distinct signals drawn from the
+    stimuli and the outputs of blocks [0..i-1], and produces [fan_out]
+    fresh signals; [feedback] extra edges make earlier blocks also
+    consume later blocks' outputs (the final block excepted, so the
+    system keeps outputs).  Stimuli are [fan_in] ramps with
+    seed-drawn slopes and phases.  All wiring, schedules (periods
+    drawn from 1/2/4 ms) and transfer constants derive from [seed]
+    via {!Simkernel.Rng} (SplitMix64), and block tags embed the seed —
+    the same seed always yields a bit-identical system, and different
+    seeds yield differently tagged cells.  [duration_ms] defaults to
+    200 (synthetic systems are for throughput, not physics).
+
+    @raise Invalid_argument unless [modules >= 1], [fan_in >= 1],
+    [fan_out >= 1] and [feedback >= 0]. *)

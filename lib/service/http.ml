@@ -1,0 +1,198 @@
+let max_head = 16_384
+let max_body = 4 * 1024 * 1024
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+(* ------------------------- server parsing ------------------------- *)
+
+type state =
+  | Head  (** accumulating until the blank line *)
+  | Body of { meth : string; path : string;
+              headers : (string * string) list; need : int }
+  | Failed of string
+
+type conn = { buf : Buffer.t; mutable state : state }
+
+let conn () = { buf = Buffer.create 512; state = Head }
+
+let feed c s = Buffer.add_string c.buf s
+
+let take c n =
+  let all = Buffer.contents c.buf in
+  let head = String.sub all 0 n in
+  Buffer.clear c.buf;
+  Buffer.add_substring c.buf all n (String.length all - n);
+  head
+
+(* The header block ends at the first CRLFCRLF (or LFLF — be liberal
+   in what we accept). Returns (block length, body offset). *)
+let head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if i + 3 < n && String.sub s i 4 = "\r\n\r\n" then Some (i, i + 4)
+    else if i + 1 < n && String.sub s i 2 = "\n\n" then Some (i, i + 2)
+    else go (i + 1)
+  in
+  go 0
+
+let trim_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let parse_head block =
+  match List.map trim_cr (String.split_on_char '\n' block) with
+  | [] -> Error "empty request"
+  | request_line :: header_lines -> (
+      match String.split_on_char ' ' request_line with
+      | meth :: path :: _protocol :: _ ->
+          let headers =
+            List.filter_map
+              (fun line ->
+                match String.index_opt line ':' with
+                | None -> None
+                | Some i ->
+                    let k = String.lowercase_ascii (String.sub line 0 i) in
+                    let v =
+                      String.trim
+                        (String.sub line (i + 1)
+                           (String.length line - i - 1))
+                    in
+                    Some (k, v))
+              header_lines
+          in
+          Ok (meth, path, headers)
+      | _ -> Error (Printf.sprintf "malformed request line %S" request_line))
+
+let rec next c =
+  match c.state with
+  | Failed msg -> Error msg
+  | Head ->
+      let data = Buffer.contents c.buf in
+      if Buffer.length c.buf > max_head then begin
+        c.state <- Failed "header block too large";
+        Error "header block too large"
+      end
+      else begin
+        match head_end data with
+        | None -> Ok None
+        | Some (head_len, body_off) -> (
+            let block = String.sub data 0 head_len in
+            ignore (take c body_off);
+            match parse_head block with
+            | Error msg ->
+                c.state <- Failed msg;
+                Error msg
+            | Ok (meth, path, headers) ->
+                let need =
+                  match List.assoc_opt "content-length" headers with
+                  | None -> 0
+                  | Some v -> ( try int_of_string (String.trim v)
+                                with Failure _ -> -1)
+                in
+                if need < 0 || need > max_body then begin
+                  c.state <- Failed "bad content-length";
+                  Error "bad content-length"
+                end
+                else begin
+                  c.state <- Body { meth; path; headers; need };
+                  next c
+                end)
+      end
+  | Body { meth; path; headers; need } ->
+      if Buffer.length c.buf < need then Ok None
+      else begin
+        let body = take c need in
+        c.state <- Head;
+        Ok (Some { meth; path; headers; body })
+      end
+
+(* -------------------------- responses ----------------------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let response ~status ?(content_type = "application/json") body =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    status (status_text status) content_type (String.length body) body
+
+(* --------------------------- client ------------------------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_all fd =
+  let b = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_response raw =
+  match head_end raw with
+  | None -> Error "truncated HTTP response"
+  | Some (head_len, body_off) -> (
+      let block = String.sub raw 0 head_len in
+      let body = String.sub raw body_off (String.length raw - body_off) in
+      match List.map trim_cr (String.split_on_char '\n' block) with
+      | status_line :: _ -> (
+          match String.split_on_char ' ' status_line with
+          | _http :: code :: _ -> (
+              match int_of_string_opt code with
+              | Some status -> Ok (status, body)
+              | None -> Error (Printf.sprintf "bad status line %S" status_line))
+          | _ -> Error (Printf.sprintf "bad status line %S" status_line))
+      | [] -> Error "empty HTTP response")
+
+let request ?(body = "") ~addr ~meth ~path () =
+  match Cluster.Address.connect addr with
+  | Error msg -> Error msg
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            write_all fd
+              (Printf.sprintf
+                 "%s %s HTTP/1.1\r\nHost: propane\r\nContent-Length: %d\r\n\
+                  Connection: close\r\n\r\n%s"
+                 meth path (String.length body) body);
+            read_all fd
+          with
+          | raw -> parse_response raw
+          | exception Unix.Unix_error (err, fn, _) ->
+              Error
+                (Printf.sprintf "%s failed: %s (%s)" meth
+                   (Unix.error_message err) fn))

@@ -1,0 +1,54 @@
+(** A hand-rolled sliver of HTTP/1.1 over [Unix] sockets.
+
+    Enough protocol for a local control surface and no more: requests
+    with [Content-Length] bodies (no chunked encoding), one response
+    per connection ([Connection: close] always), CRLF with bare-LF
+    tolerance.  The server side is an incremental parser to drop into
+    a [select] loop; the client side is blocking and used by the CLI's
+    [submit]/[status]/[cancel] and by tests.  Both ends cap header
+    blocks at 16 KiB and bodies at 4 MiB — a control plane, not a file
+    server. *)
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["POST"] *)
+  path : string;  (** verbatim, e.g. ["/campaigns/c0001"] *)
+  headers : (string * string) list;  (** keys lowercased *)
+  body : string;
+}
+
+(** {1 Server side} *)
+
+type conn
+(** Incremental parser state for one client connection. *)
+
+val conn : unit -> conn
+
+val feed : conn -> string -> unit
+(** Append freshly read bytes. *)
+
+val next : conn -> (request option, string) result
+(** [Ok None] = need more bytes; [Ok (Some r)] = one complete request
+    (pipelined followers stay buffered); [Error] poisons the
+    connection — close it. *)
+
+val response : status:int -> ?content_type:string -> string -> string
+(** Serialises a full response, [Content-Length] and
+    [Connection: close] included.  [content_type] defaults to
+    [application/json]. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Blocking full write, retrying on [EINTR].
+    @raise Unix.Unix_error on any other error. *)
+
+(** {1 Client side} *)
+
+val request :
+  ?body:string ->
+  addr:Cluster.Address.t ->
+  meth:string ->
+  path:string ->
+  unit ->
+  (int * string, string) result
+(** One blocking round-trip: connect (with {!Cluster.Address.connect}
+    retries, so a just-started daemon wins the race), send, read to
+    EOF.  Returns status code and body. *)

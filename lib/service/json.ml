@@ -1,0 +1,303 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------------------------- printing ---------------------------- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* Shortest decimal spelling that parses back to exactly [f]. *)
+    let exact p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact 12 with
+    | Some s -> s
+    | None -> (
+        match exact 15 with
+        | Some s -> s
+        | None -> (
+            match exact 16 with
+            | Some s -> s
+            | None -> Printf.sprintf "%.17g" f))
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f ->
+        if not (Float.is_finite f) then
+          (* JSON has no NaN/inf; null is the least-surprising spelling *)
+          Buffer.add_string b "null"
+        else Buffer.add_string b (number f)
+    | Str s -> escape b s
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            go x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            escape b k;
+            Buffer.add_char b ':';
+            go v)
+          kvs;
+        Buffer.add_char b '}'
+  in
+  go t;
+  Buffer.contents b
+
+(* ---------------------------- parsing ----------------------------- *)
+
+exception Bad of string * int
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg = raise (Bad (msg, c.pos))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c (Printf.sprintf "expected %c, found %c" ch x)
+  | None -> fail c (Printf.sprintf "expected %c, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.s
+    && String.equal (String.sub c.s c.pos n) word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.s then
+                  fail c "truncated \\u escape";
+                let hex = String.sub c.s c.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with Failure _ -> fail c "bad \\u escape"
+                in
+                c.pos <- c.pos + 4;
+                (* Encode the code point as UTF-8; surrogate pairs are
+                   passed through as-is (campaign names are ASCII in
+                   practice; correctness over completeness). *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | e -> fail c (Printf.sprintf "bad escape \\%c" e));
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let consume_while pred =
+    let rec go () =
+      match peek c with
+      | Some ch when pred ch ->
+          advance c;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (match peek c with Some '-' -> advance c | _ -> ());
+  (* JSON integer part: a lone 0, or a nonzero digit then digits — no
+     leading zeros. *)
+  (match peek c with
+  | Some '0' -> (
+      advance c;
+      match peek c with
+      | Some '0' .. '9' -> fail c "leading zero in number"
+      | _ -> ())
+  | Some '1' .. '9' -> consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> fail c "missing digits in number");
+  (match peek c with
+  | Some '.' ->
+      advance c;
+      consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  (match peek c with
+  | Some ('e' | 'E') ->
+      advance c;
+      (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+      consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let text = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail c (Printf.sprintf "bad number %S" text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> fail c "expected , or ] in array"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let member () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let rec members acc =
+          let kv = member () in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members (kv :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev (kv :: acc)
+          | _ -> fail c "expected , or } in object"
+        in
+        Obj (members [])
+      end
+  | Some ('-' | '0' .. '9') -> Num (parse_number c)
+  | Some ch -> fail c (Printf.sprintf "unexpected character %C" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then fail c "trailing bytes after value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (msg, pos) ->
+      Error (Printf.sprintf "invalid JSON at offset %d: %s" pos msg)
+
+(* ---------------------------- accessors --------------------------- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let str = function Str s -> Some s | _ -> None
+
+let num = function Num f -> Some f | _ -> None
+
+let int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let bool = function Bool b -> Some b | _ -> None
+
+let list = function List l -> Some l | _ -> None

@@ -1,0 +1,38 @@
+(** A minimal JSON tree, parser and printer.
+
+    The control surface speaks JSON without adding a dependency: this
+    is a small recursive-descent parser (objects, arrays, strings with
+    escapes, numbers as [float], [true]/[false]/[null]) and a printer
+    whose escaping round-trips through the parser.  It is not a
+    validating standards lawyer — e.g. [\uXXXX] surrogate pairs are
+    decoded as two code points — but every value it prints it also
+    parses back, and every RFC 8259 document of the shapes the service
+    exchanges parses correctly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Never raises; errors carry the byte offset. Rejects trailing
+    bytes after the value. *)
+
+val to_string : t -> string
+(** Compact (no whitespace).  Integral floats print without a decimal
+    point; NaN/infinity (which JSON cannot express) print as [null]. *)
+
+val member : string -> t -> t option
+(** First binding of the key, [None] on non-objects too. *)
+
+val str : t -> string option
+val num : t -> float option
+
+val int : t -> int option
+(** [Some] only for integral numbers. *)
+
+val bool : t -> bool option
+val list : t -> t list option

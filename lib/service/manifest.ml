@@ -1,0 +1,119 @@
+let magic = "propane-service-manifest 1"
+
+type state = Queued | Running | Done | Cancelled | Failed
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Cancelled -> "cancelled"
+  | Failed -> "failed"
+
+let state_of_string = function
+  | "queued" -> Ok Queued
+  | "running" -> Ok Running
+  | "done" -> Ok Done
+  | "cancelled" -> Ok Cancelled
+  | "failed" -> Ok Failed
+  | s -> Error (Printf.sprintf "unknown campaign state %S" s)
+
+let terminal = function
+  | Done | Cancelled | Failed -> true
+  | Queued | Running -> false
+
+type entry = { id : string; body : string; state : state; reason : string }
+
+type t = { oc : out_channel }
+
+(* Bodies are JSON and reasons are free text: both may contain tabs
+   and newlines, which the line format forbids.  [String.escaped] /
+   [Scanf.unescaped] round-trip every byte. *)
+let enc = String.escaped
+
+let dec s = try Ok (Scanf.unescaped s) with _ -> Error "bad escape sequence"
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let ( let* ) = Result.bind in
+        let* () =
+          match In_channel.input_line ic with
+          | Some line when String.equal line magic -> Ok ()
+          | Some line ->
+              Error (Printf.sprintf "%s: not a service manifest (%S)" path line)
+          | None -> Error (Printf.sprintf "%s: empty manifest" path)
+        in
+        (* Submissions in order; the latest state line per id wins.  A
+           torn trailing line (crash mid-append) is ignored, exactly
+           like the journal's torn-fragment rule — every complete line
+           before it is intact. *)
+        let entries : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+        let order = ref [] in
+        let rec go lineno =
+          match In_channel.input_line ic with
+          | None -> Ok ()
+          | Some line -> (
+              let fail msg =
+                Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+              in
+              match String.split_on_char '\t' line with
+              | [ "campaign"; id; body ] -> (
+                  match dec body with
+                  | Error msg -> fail msg
+                  | Ok body ->
+                      if Hashtbl.mem entries id then
+                        fail (Printf.sprintf "duplicate campaign %s" id)
+                      else begin
+                        Hashtbl.replace entries id
+                          { id; body; state = Queued; reason = "" };
+                        order := id :: !order;
+                        go (lineno + 1)
+                      end)
+              | [ "state"; id; state; reason ] -> (
+                  match (state_of_string state, dec reason) with
+                  | Error msg, _ | _, Error msg -> fail msg
+                  | Ok state, Ok reason -> (
+                      match Hashtbl.find_opt entries id with
+                      | None ->
+                          fail
+                            (Printf.sprintf "state for unknown campaign %s" id)
+                      | Some e ->
+                          Hashtbl.replace entries id { e with state; reason };
+                          go (lineno + 1)))
+              | _ ->
+                  (* A torn last line is a crash artifact, not
+                     corruption; anything torn mid-file is. *)
+                  if In_channel.input_line ic = None then Ok ()
+                  else fail (Printf.sprintf "malformed line %S" line))
+        in
+        let* () = go 2 in
+        Ok (List.rev_map (Hashtbl.find entries) !order))
+  end
+
+let append path =
+  let existed = Sys.file_exists path in
+  match
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  with
+  | oc ->
+      if not existed then begin
+        output_string oc (magic ^ "\n");
+        flush oc
+      end;
+      Ok { oc }
+  | exception Sys_error msg -> Error msg
+
+let submit t ~id ~body =
+  Printf.fprintf t.oc "campaign\t%s\t%s\n" id (enc body);
+  flush t.oc
+
+let transition t ~id state ~reason =
+  Printf.fprintf t.oc "state\t%s\t%s\t%s\n" id (state_to_string state)
+    (enc reason);
+  flush t.oc
+
+let close t = close_out_noerr t.oc

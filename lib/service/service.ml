@@ -1,0 +1,980 @@
+let src = Logs.Src.create "service" ~doc:"campaign-as-a-service daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type spec = {
+  tenant : string;
+  weight : int;
+  name : string;
+  sut : string;
+  total : int;
+  recipe : string;
+  config : Propane.Runner.Config.t;
+  live : Propane.Live.t option;
+}
+
+type config = {
+  listen : Cluster.Address.t;
+  http : Cluster.Address.t;
+  state_dir : string;
+  queue_max : int;
+  tenant_quota : int;
+  batch_max : int;
+  heartbeat_timeout_s : float;
+  exit_when_idle : bool;
+  parse : string -> (spec, string) result;
+}
+
+let config ?(queue_max = 16) ?(tenant_quota = 4) ?(batch_max = 16)
+    ?(heartbeat_timeout_s = 30.) ?(exit_when_idle = false) ~listen ~http
+    ~state_dir ~parse () =
+  {
+    listen;
+    http;
+    state_dir;
+    queue_max;
+    tenant_quota;
+    batch_max;
+    heartbeat_timeout_s;
+    exit_when_idle;
+    parse;
+  }
+
+(* ------------------------- internal state ------------------------- *)
+
+type phase =
+  | Active
+  | Draining of Manifest.state * string
+      (** no new batches; finalize to the target state once the last
+          in-flight run lands *)
+  | Final of Manifest.state * string
+
+type campaign = {
+  cid : string;
+  spec : spec;
+  session : Cluster.Session.t;
+  telemetry : Propane.Telemetry.t;
+  mutable phase : phase;
+  mutable started : bool;  (* manifest flipped to Running *)
+}
+
+type wconn = {
+  wid : int;
+  wfd : Unix.file_descr;
+  wdec : Cluster.Frame.decoder;
+  mutable joined : bool;
+  mutable host : string;
+  mutable pid : int;
+  mutable assigned : string option;  (* campaign id *)
+  mutable wants_work : bool;  (* parked, waiting for an assignment/batch *)
+  mutable outstanding : int list;
+  mutable deadline : float;  (* armed only while outstanding <> [] *)
+  mutable last_seen : float;
+  mutable last_ping : float;
+  mutable done_runs : int;
+}
+
+type hconn = { hid : int; hfd : Unix.file_descr; hc : Http.conn }
+
+type t = {
+  cfg : config;
+  manifest : Manifest.t;
+  campaigns : (string, campaign) Hashtbl.t;
+  mutable order : string list;  (* submission order, oldest first *)
+  mutable next_id : int;
+  workers : (int, wconn) Hashtbl.t;
+  mutable next_wid : int;
+  https : (int, hconn) Hashtbl.t;
+  mutable next_hid : int;
+  worker_listen : Unix.file_descr;
+  http_listen : Unix.file_descr;
+}
+
+let journal_path t cid = Filename.concat t.cfg.state_dir (cid ^ ".journal")
+let manifest_path state_dir = Filename.concat state_dir "manifest"
+
+let campaigns_in_order t =
+  List.filter_map (Hashtbl.find_opt t.campaigns) t.order
+
+let active c = match c.phase with Active -> true | _ -> false
+
+let phase_state c =
+  match c.phase with
+  | Active ->
+      if Cluster.Session.completed c.session > 0 || c.started then
+        Manifest.Running
+      else Manifest.Queued
+  | Draining (s, _) | Final (s, _) -> s
+
+let phase_reason c =
+  match c.phase with Active -> "" | Draining (_, r) | Final (_, r) -> r
+
+(* A campaign occupies a queue slot until it reaches a terminal
+   state — draining ones still do, their runs are still in flight. *)
+let occupied c = match c.phase with Final _ -> false | _ -> true
+
+let outstanding_of t cid =
+  Hashtbl.fold
+    (fun _ w n ->
+      if w.assigned = Some cid then n + List.length w.outstanding else n)
+    t.workers 0
+
+(* ------------------------- campaign lifecycle --------------------- *)
+
+let mark_running t c =
+  if not c.started then begin
+    c.started <- true;
+    Manifest.transition t.manifest ~id:c.cid Manifest.Running ~reason:""
+  end
+
+let finalize t c state reason =
+  (match c.phase with
+  | Final _ -> ()
+  | _ ->
+      c.phase <- Final (state, reason);
+      Manifest.transition t.manifest ~id:c.cid state ~reason;
+      Log.info (fun m ->
+          m "campaign %s (%s): %s%s" c.cid c.spec.name
+            (Manifest.state_to_string state)
+            (if reason = "" then "" else ": " ^ reason)))
+
+(* Runs [Session.finish]: the one place Failed_run surfaces. *)
+let finish_session t c =
+  match Cluster.Session.finish c.session with
+  | (_ : Propane.Results.t) -> finalize t c Manifest.Done ""
+  | exception Propane.Runner.Failed_run { index; outcome } ->
+      finalize t c Manifest.Failed
+        (Fmt.str "run %d failed (%a)" index Propane.Results.pp_status
+           outcome.Propane.Results.status)
+  | exception Invalid_argument msg -> finalize t c Manifest.Failed msg
+
+let create_campaign t ~cid spec =
+  let path = journal_path t cid in
+  let config =
+    {
+      spec.config with
+      Propane.Runner.Config.journal = Some path;
+      resume = Sys.file_exists path;
+    }
+  in
+  let telemetry = Propane.Telemetry.create () in
+  let session =
+    Cluster.Session.create ~label:"Service"
+      ~on_event:(Propane.Telemetry.observe telemetry)
+      ~recipe:spec.recipe ?live:spec.live ~config ~sut:spec.sut
+      ~campaign:spec.name ~total:spec.total ()
+  in
+  { cid; spec; session; telemetry; phase = Active; started = false }
+
+let submit t body =
+  match t.cfg.parse body with
+  | Error msg -> Error (400, Printf.sprintf "invalid submission: %s" msg)
+  | Ok spec ->
+      let open_campaigns = List.filter occupied (campaigns_in_order t) in
+      if List.length open_campaigns >= t.cfg.queue_max then
+        Error
+          ( 429,
+            Printf.sprintf
+              "queue full: %d campaigns queued or running (max %d)"
+              (List.length open_campaigns) t.cfg.queue_max )
+      else begin
+        let of_tenant =
+          List.filter (fun c -> c.spec.tenant = spec.tenant) open_campaigns
+        in
+        if List.length of_tenant >= t.cfg.tenant_quota then
+          Error
+            ( 429,
+              Printf.sprintf
+                "tenant %s has %d campaigns queued or running (quota %d)"
+                spec.tenant (List.length of_tenant) t.cfg.tenant_quota )
+        else begin
+          let cid = Printf.sprintf "c%04d" t.next_id in
+          t.next_id <- t.next_id + 1;
+          Manifest.submit t.manifest ~id:cid ~body;
+          match create_campaign t ~cid spec with
+          | c ->
+              Hashtbl.replace t.campaigns cid c;
+              t.order <- t.order @ [ cid ];
+              Log.info (fun m ->
+                  m "campaign %s: %s/%s, %d runs, tenant %s (weight %d)" cid
+                    spec.sut spec.name spec.total spec.tenant spec.weight);
+              Ok c
+          | exception Invalid_argument msg ->
+              Manifest.transition t.manifest ~id:cid Manifest.Failed
+                ~reason:msg;
+              Error (400, msg)
+        end
+      end
+
+let cancel t c =
+  match c.phase with
+  | Final _ -> ()
+  | Draining _ -> ()
+  | Active ->
+      c.phase <- Draining (Manifest.Cancelled, "cancelled by operator");
+      Log.info (fun m ->
+          m "campaign %s (%s): cancelling, draining %d in-flight runs" c.cid
+            c.spec.name (outstanding_of t c.cid))
+
+(* Restart recovery: every non-terminal manifest entry is re-parsed
+   and its session recreated with resume semantics — the journal
+   already holds everything that ran, so the service picks up exactly
+   where the dead one stopped, byte-identically. *)
+let recover t =
+  match Manifest.load (manifest_path t.cfg.state_dir) with
+  | Error msg -> invalid_arg (Printf.sprintf "Service.run: %s" msg)
+  | Ok entries ->
+      List.iter
+        (fun (e : Manifest.entry) ->
+          (match
+             int_of_string_opt
+               (String.sub e.id 1 (String.length e.id - 1))
+           with
+          | Some n when n >= t.next_id -> t.next_id <- n + 1
+          | _ -> ());
+          if not (Manifest.terminal e.state) then begin
+            match t.cfg.parse e.body with
+            | Error msg ->
+                Manifest.transition t.manifest ~id:e.id Manifest.Failed
+                  ~reason:(Printf.sprintf "unparseable on recovery: %s" msg)
+            | Ok spec -> (
+                match create_campaign t ~cid:e.id spec with
+                | c ->
+                    c.started <- e.state = Manifest.Running;
+                    Hashtbl.replace t.campaigns e.id c;
+                    t.order <- t.order @ [ e.id ];
+                    Log.info (fun m ->
+                        m "recovered campaign %s (%s): %d of %d runs \
+                           journalled"
+                          e.id spec.name
+                          (Cluster.Session.completed c.session)
+                          spec.total)
+                | exception Invalid_argument msg ->
+                    Manifest.transition t.manifest ~id:e.id Manifest.Failed
+                      ~reason:msg)
+          end)
+        entries
+
+(* --------------------------- scheduling --------------------------- *)
+
+let runnable c =
+  active c
+  && (not (Cluster.Session.stopping c.session))
+  && Cluster.Session.failed c.session = None
+  && Cluster.Session.pending c.session > 0
+
+(* Weighted fair share of the fleet: apportion the joined workers over
+   the runnable campaigns proportionally to their weights (largest
+   remainder, ties to the earliest submission).  Workers stick to
+   their campaign while its allocation is not exceeded — switching
+   costs a golden-run rebuild — so the fleet partitions itself and
+   only rebalances when the campaign mix changes. *)
+let allocation_targets ~nworkers runnables =
+  let total_w =
+    List.fold_left (fun acc c -> acc + max 1 c.spec.weight) 0 runnables
+  in
+  if total_w = 0 then []
+  else begin
+    let exact =
+      List.map
+        (fun c ->
+          ( c.cid,
+            float_of_int (nworkers * max 1 c.spec.weight)
+            /. float_of_int total_w ))
+        runnables
+    in
+    let floors = List.map (fun (cid, x) -> (cid, int_of_float x)) exact in
+    let used = List.fold_left (fun acc (_, n) -> acc + n) 0 floors in
+    let remainders =
+      (* Stable sort: ties stay in submission order. *)
+      List.stable_sort
+        (fun (_, a) (_, b) -> Float.compare b a)
+        (List.map (fun (cid, x) -> (cid, x -. Float.of_int (int_of_float x)))
+           exact)
+    in
+    let bonus = ref (nworkers - used) in
+    let extra =
+      List.filter_map
+        (fun (cid, _) ->
+          if !bonus > 0 then begin
+            decr bonus;
+            Some cid
+          end
+          else None)
+        remainders
+    in
+    List.map
+      (fun (cid, n) ->
+        (cid, n + if List.mem cid extra then 1 else 0))
+      floors
+  end
+
+let assigned_count t cid =
+  Hashtbl.fold
+    (fun _ w n -> if w.joined && w.assigned = Some cid then n + 1 else n)
+    t.workers 0
+
+let joined_count t =
+  Hashtbl.fold (fun _ w n -> if w.joined then n + 1 else n) t.workers 0
+
+let welcome_of (c : campaign) =
+  {
+    Cluster.Protocol.sut = c.spec.sut;
+    campaign = c.spec.name;
+    seed = c.spec.config.Propane.Runner.Config.seed;
+    total = c.spec.total;
+    config = c.spec.recipe;
+  }
+
+let send_to w msg = Cluster.Frame.write w.wfd (Cluster.Protocol.encode_to_worker msg)
+
+let kill_worker t ~reason w =
+  Hashtbl.remove t.workers w.wid;
+  (try Unix.close w.wfd with Unix.Unix_error _ -> ());
+  (match (w.outstanding, w.assigned) with
+  | [], _ | _, None ->
+      Log.info (fun m -> m "worker %d left (%s)" w.wid reason)
+  | lost, Some cid ->
+      Log.warn (fun m ->
+          m "worker %d died (%s); reassigning %d outstanding runs of %s"
+            w.wid reason (List.length lost) cid);
+      (match Hashtbl.find_opt t.campaigns cid with
+      | Some c when active c -> Cluster.Session.requeue c.session lost
+      | Some _ | None ->
+          (* A draining or finalized campaign no longer wants them. *)
+          ()));
+  w.outstanding <- []
+
+(* The scheduling decision for one work-hungry worker. *)
+let give_work t w =
+  let runnables = List.filter runnable (campaigns_in_order t) in
+  match runnables with
+  | [] -> w.wants_work <- true
+  | _ -> (
+      let targets =
+        allocation_targets ~nworkers:(max 1 (joined_count t)) runnables
+      in
+      let target cid =
+        match List.assoc_opt cid targets with Some n -> n | None -> 0
+      in
+      let current =
+        match w.assigned with
+        | Some cid when List.exists (fun c -> c.cid = cid) runnables ->
+            Some cid
+        | _ -> None
+      in
+      let choice =
+        match current with
+        | Some cid when assigned_count t cid <= target cid -> Some cid
+        | _ ->
+            (* Most under-allocated runnable campaign; earliest
+               submission wins ties (runnables are in order). *)
+            let best =
+              List.fold_left
+                (fun acc c ->
+                  let deficit = target c.cid - assigned_count t c.cid in
+                  match acc with
+                  | Some (_, d) when d >= deficit -> acc
+                  | _ -> Some (c.cid, deficit))
+                None runnables
+            in
+            (match (best, current) with
+            | Some (cid, deficit), _ when deficit > 0 -> Some cid
+            | _, Some cid -> Some cid  (* everyone is full; stay put *)
+            | Some (cid, _), None -> Some cid
+            | None, None -> None)
+      in
+      match choice with
+      | None -> w.wants_work <- true
+      | Some cid -> (
+          let c = Hashtbl.find t.campaigns cid in
+          if w.assigned <> Some cid then begin
+            (* Retarget: the worker rebuilds its executor and comes
+               back with a Request_batch. *)
+            w.assigned <- Some cid;
+            w.wants_work <- false;
+            mark_running t c;
+            Propane.Telemetry.observe c.telemetry
+              (Propane.Runner.Worker_attached
+                 { worker = w.wid; host = w.host; pid = w.pid });
+            send_to w (Cluster.Protocol.Assign (welcome_of c))
+          end
+          else begin
+            match
+              Cluster.Session.take c.session ~batch_max:t.cfg.batch_max
+                ~workers:(max 1 (assigned_count t cid))
+            with
+            | [] -> w.wants_work <- true
+            | batch ->
+                w.wants_work <- false;
+                w.outstanding <- batch;
+                w.deadline <- Unix.gettimeofday () +. t.cfg.heartbeat_timeout_s;
+                mark_running t c;
+                send_to w (Cluster.Protocol.Batch batch)
+          end))
+
+let distribute t =
+  if List.exists runnable (campaigns_in_order t) then
+    Hashtbl.iter
+      (fun _ w ->
+        if w.joined && w.wants_work then
+          match give_work t w with
+          | () -> ()
+          | exception Unix.Unix_error (err, _, _) ->
+              kill_worker t ~reason:(Unix.error_message err) w)
+      (Hashtbl.copy t.workers)
+
+(* ------------------------ worker messages ------------------------- *)
+
+let handle_worker t w msg =
+  w.deadline <- Unix.gettimeofday () +. t.cfg.heartbeat_timeout_s;
+  w.last_seen <- Unix.gettimeofday ();
+  match msg with
+  | Cluster.Protocol.Join { version; host; pid } ->
+      if version <> Cluster.Protocol.version then begin
+        let reason =
+          Printf.sprintf
+            "protocol version: worker speaks %d, service speaks %d" version
+            Cluster.Protocol.version
+        in
+        (try send_to w (Cluster.Protocol.Reject reason)
+         with Unix.Unix_error _ -> ());
+        kill_worker t ~reason w
+      end
+      else begin
+        w.joined <- true;
+        w.host <- host;
+        w.pid <- pid;
+        w.wants_work <- true;
+        Log.info (fun m -> m "worker %d joined: %s/%d" w.wid host pid);
+        give_work t w
+      end
+  | Cluster.Protocol.Hello _ ->
+      (try
+         send_to w
+           (Cluster.Protocol.Reject
+              "one-shot handshake: this is a fleet service; reconnect with a \
+               fleet registration (propane worker --fleet)")
+       with Unix.Unix_error _ -> ());
+      kill_worker t ~reason:"one-shot hello on a fleet service" w
+  | Cluster.Protocol.Heartbeat -> ()
+  | Cluster.Protocol.Request_batch -> give_work t w
+  | Cluster.Protocol.Result { index; retries; outcome } -> (
+      match w.assigned with
+      | None -> kill_worker t ~reason:"result without an assignment" w
+      | Some cid -> (
+          match Hashtbl.find_opt t.campaigns cid with
+          | None -> kill_worker t ~reason:"result for unknown campaign" w
+          | Some c ->
+              if index < 0 || index >= c.spec.total then
+                kill_worker t
+                  ~reason:
+                    (Printf.sprintf "result index %d out of range" index)
+                  w
+              else begin
+                w.outstanding <- List.filter (fun i -> i <> index) w.outstanding;
+                w.done_runs <- w.done_runs + 1;
+                match c.phase with
+                | Final _ ->
+                    (* A straggler for a finalized campaign: the journal
+                       is closed, the run's outcome already recorded (or
+                       deliberately dropped by a cancel). *)
+                    ()
+                | Active | Draining _ ->
+                    Cluster.Session.record c.session ~index ~worker:w.wid
+                      ~retries outcome
+              end))
+
+(* ----------------------------- HTTP ------------------------------- *)
+
+let estimate_json (e : Propagation.Estimate.t) =
+  Json.Obj
+    [
+      ("value", Json.Num e.Propagation.Estimate.value);
+      ("lo", Json.Num e.Propagation.Estimate.lo);
+      ("hi", Json.Num e.Propagation.Estimate.hi);
+    ]
+
+let rankings_json c =
+  match Cluster.Session.live c.session with
+  | None -> Json.Null
+  | Some live -> (
+      match Propane.Live.snapshot live with
+      | Error _ -> Json.Null
+      | Ok analysis ->
+          let rows =
+            Propagation.Ranking.sort_module_rows
+              Propagation.Ranking.By_relative_permeability
+              (Propagation.Ranking.module_rows
+                 analysis.Propagation.Analysis.graph)
+          in
+          Json.List
+            (List.map
+               (fun (r : Propagation.Ranking.module_row) ->
+                 Json.Obj
+                   [
+                     ("module", Json.Str r.Propagation.Ranking.module_name);
+                     ( "relative_permeability",
+                       estimate_json
+                         r.Propagation.Ranking.relative_permeability_est );
+                     ( "exposure",
+                       estimate_json r.Propagation.Ranking.exposure_est );
+                     ("resolved", Json.Bool r.Propagation.Ranking.resolved);
+                   ])
+               rows))
+
+let digest_json c =
+  match Cluster.Session.live c.session with
+  | None -> Json.Null
+  | Some live ->
+      let d = Propane.Live.digest live in
+      Json.Obj
+        [
+          ("runs_observed", Json.Num (float_of_int d.Propane.Live.runs_observed));
+          ("max_ci_width", Json.Num d.Propane.Live.max_ci_width);
+          ("stable_for", Json.Num (float_of_int d.Propane.Live.stable_for));
+          ( "resolved_modules",
+            Json.Num (float_of_int d.Propane.Live.resolved_modules) );
+          ("module_count", Json.Num (float_of_int d.Propane.Live.module_count));
+        ]
+
+let campaign_json ?(verbose = false) t c =
+  let base =
+    [
+      ("id", Json.Str c.cid);
+      ("tenant", Json.Str c.spec.tenant);
+      ("weight", Json.Num (float_of_int c.spec.weight));
+      ("name", Json.Str c.spec.name);
+      ("sut", Json.Str c.spec.sut);
+      ("state", Json.Str (Manifest.state_to_string (phase_state c)));
+      ("reason", Json.Str (phase_reason c));
+      ("total", Json.Num (float_of_int c.spec.total));
+      ( "scheduled",
+        Json.Num (float_of_int (Cluster.Session.scheduled c.session)) );
+      ( "completed",
+        Json.Num (float_of_int (Cluster.Session.completed c.session)) );
+      ("pending", Json.Num (float_of_int (Cluster.Session.pending c.session)));
+      ( "outstanding",
+        Json.Num (float_of_int (outstanding_of t c.cid)) );
+      ( "workers",
+        Json.Num (float_of_int (assigned_count t c.cid)) );
+    ]
+  in
+  if not verbose then Json.Obj base
+  else begin
+    let telemetry =
+      match
+        Json.parse
+          (Propane.Telemetry.to_json (Propane.Telemetry.snapshot c.telemetry))
+      with
+      | Ok j -> j
+      | Error _ -> Json.Null
+    in
+    Json.Obj
+      (base
+      @ [
+          ("telemetry", telemetry);
+          ("analysis", digest_json c);
+          ("rankings", rankings_json c);
+        ])
+  end
+
+let fleet_json t =
+  let now = Unix.gettimeofday () in
+  let workers =
+    List.filter_map
+      (fun w ->
+        if not w.joined then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("id", Json.Num (float_of_int w.wid));
+                 ("host", Json.Str w.host);
+                 ("pid", Json.Num (float_of_int w.pid));
+                 ( "campaign",
+                   match w.assigned with
+                   | Some cid -> Json.Str cid
+                   | None -> Json.Null );
+                 ( "outstanding",
+                   Json.Num (float_of_int (List.length w.outstanding)) );
+                 ("completed", Json.Num (float_of_int w.done_runs));
+                 ( "idle",
+                   Json.Bool (w.wants_work && w.outstanding = []) );
+                 ( "last_seen_s",
+                   Json.Num (Float.max 0.0 (now -. w.last_seen)) );
+               ]))
+      (Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []
+      |> List.sort (fun a b -> compare a.wid b.wid))
+  in
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int (List.length workers)));
+      ("workers", Json.List workers);
+    ]
+
+let error_json msg = Json.to_string (Json.Obj [ ("error", Json.Str msg) ])
+
+let route t (req : Http.request) =
+  let campaign_id path =
+    let prefix = "/campaigns/" in
+    let pl = String.length prefix in
+    if
+      String.length path > pl
+      && String.equal (String.sub path 0 pl) prefix
+    then Some (String.sub path pl (String.length path - pl))
+    else None
+  in
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/campaigns" -> (
+      match submit t req.Http.body with
+      | Ok c ->
+          ( 201,
+            Json.to_string
+              (Json.Obj
+                 [
+                   ("id", Json.Str c.cid);
+                   ( "state",
+                     Json.Str (Manifest.state_to_string (phase_state c)) );
+                 ]) )
+      | Error (status, msg) -> (status, error_json msg))
+  | "GET", "/campaigns" ->
+      ( 200,
+        Json.to_string
+          (Json.Obj
+             [
+               ( "campaigns",
+                 Json.List
+                   (List.map (campaign_json t) (campaigns_in_order t)) );
+             ]) )
+  | "GET", "/fleet" -> (200, Json.to_string (fleet_json t))
+  | meth, path -> (
+      match (meth, campaign_id path) with
+      | "GET", Some cid -> (
+          match Hashtbl.find_opt t.campaigns cid with
+          | Some c -> (200, Json.to_string (campaign_json ~verbose:true t c))
+          | None -> (404, error_json (Printf.sprintf "no campaign %s" cid)))
+      | "DELETE", Some cid -> (
+          match Hashtbl.find_opt t.campaigns cid with
+          | Some c ->
+              cancel t c;
+              ( 202,
+                Json.to_string
+                  (Json.Obj
+                     [
+                       ("id", Json.Str c.cid);
+                       ( "state",
+                         Json.Str
+                           (Manifest.state_to_string (phase_state c)) );
+                     ]) )
+          | None -> (404, error_json (Printf.sprintf "no campaign %s" cid)))
+      | _ ->
+          ( 404,
+            error_json
+              (Printf.sprintf "no resource %s %s" req.Http.meth req.Http.path)
+          ))
+
+let handle_http t h =
+  let respond status body =
+    (try Http.write_all h.hfd (Http.response ~status body)
+     with Unix.Unix_error _ -> ());
+    Hashtbl.remove t.https h.hid;
+    try Unix.close h.hfd with Unix.Unix_error _ -> ()
+  in
+  match Http.next h.hc with
+  | Error msg -> respond 400 (error_json msg)
+  | Ok None -> ()
+  | Ok (Some req) ->
+      let status, body =
+        try route t req
+        with exn ->
+          ( 500,
+            error_json
+              (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+          )
+      in
+      respond status body
+
+(* --------------------------- main loop ---------------------------- *)
+
+let accept_loop listen ~on_fd =
+  let rec go () =
+    match Unix.accept ~cloexec:true listen with
+    | fd, _ ->
+        Unix.clear_nonblock fd;
+        (match Unix.getsockname fd with
+        | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+        | Unix.ADDR_UNIX _ | (exception Unix.Unix_error _) -> ());
+        on_fd fd;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_worker t w =
+  let buf = Bytes.create 65536 in
+  let drain () =
+    let rec frames () =
+      match Cluster.Frame.next w.wdec with
+      | Error msg -> kill_worker t ~reason:msg w
+      | Ok None -> ()
+      | Ok (Some payload) -> (
+          match Cluster.Protocol.decode_to_coordinator payload with
+          | Error msg -> kill_worker t ~reason:msg w
+          | Ok msg -> (
+              match handle_worker t w msg with
+              | () -> if Hashtbl.mem t.workers w.wid then frames ()
+              | exception Unix.Unix_error (err, _, _) ->
+                  kill_worker t ~reason:(Unix.error_message err) w))
+    in
+    frames ()
+  in
+  match Unix.read w.wfd buf 0 (Bytes.length buf) with
+  | 0 -> kill_worker t ~reason:"disconnected" w
+  | n ->
+      Cluster.Frame.feed w.wdec (Bytes.sub_string buf 0 n);
+      drain ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (err, _, _) ->
+      kill_worker t ~reason:(Unix.error_message err) w
+
+let read_http t h =
+  let buf = Bytes.create 16384 in
+  match Unix.read h.hfd buf 0 (Bytes.length buf) with
+  | 0 ->
+      Hashtbl.remove t.https h.hid;
+      (try Unix.close h.hfd with Unix.Unix_error _ -> ())
+  | n ->
+      Http.feed h.hc (Bytes.sub_string buf 0 n);
+      handle_http t h
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) ->
+      Hashtbl.remove t.https h.hid;
+      (try Unix.close h.hfd with Unix.Unix_error _ -> ())
+
+let check_deadlines t =
+  let now = Unix.gettimeofday () in
+  Hashtbl.iter
+    (fun _ w ->
+      if w.outstanding <> [] && now > w.deadline then
+        kill_worker t
+          ~reason:
+            (Printf.sprintf "no heartbeat for %.1f s" t.cfg.heartbeat_timeout_s)
+          w
+      else if
+        w.joined && w.outstanding = []
+        && now -. w.last_seen > t.cfg.heartbeat_timeout_s /. 2.
+        && now -. w.last_ping > t.cfg.heartbeat_timeout_s /. 2.
+      then begin
+        (* Parked workers are blocked in a read with nothing
+           outstanding; ping so GET /fleet's liveness ages stay honest
+           and half-dead connections get noticed. *)
+        w.last_ping <- now;
+        match send_to w Cluster.Protocol.Ping with
+        | () -> ()
+        | exception Unix.Unix_error (err, _, _) ->
+            kill_worker t ~reason:(Unix.error_message err) w
+      end)
+    (Hashtbl.copy t.workers)
+
+let advance_campaigns t =
+  List.iter
+    (fun c ->
+      match c.phase with
+      | Final _ -> ()
+      | Draining (target, reason) ->
+          if outstanding_of t c.cid = 0 then begin
+            Cluster.Session.abort c.session;
+            finalize t c target reason
+          end
+      | Active ->
+          if Cluster.Session.failed c.session <> None then finish_session t c
+          else if Cluster.Session.complete c.session then begin
+            if Cluster.Session.stopping c.session then begin
+              (* Adaptive stop: drain in-flight runs first so their
+                 outcomes reach the journal tail. *)
+              if outstanding_of t c.cid = 0 then finish_session t c
+            end
+            else finish_session t c
+          end
+          else if
+            Cluster.Session.stopping c.session && outstanding_of t c.cid = 0
+          then finish_session t c)
+    (campaigns_in_order t)
+
+let broadcast_done t =
+  Hashtbl.iter
+    (fun _ w ->
+      if w.joined then
+        try send_to w Cluster.Protocol.Done with Unix.Unix_error _ -> ())
+    t.workers
+
+let close_everything t =
+  Hashtbl.iter
+    (fun _ w -> try Unix.close w.wfd with Unix.Unix_error _ -> ())
+    t.workers;
+  Hashtbl.reset t.workers;
+  Hashtbl.iter
+    (fun _ h -> try Unix.close h.hfd with Unix.Unix_error _ -> ())
+    t.https;
+  Hashtbl.reset t.https;
+  (try Unix.close t.worker_listen with Unix.Unix_error _ -> ());
+  (try Unix.close t.http_listen with Unix.Unix_error _ -> ());
+  Cluster.Address.unlink t.cfg.listen;
+  Cluster.Address.unlink t.cfg.http
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let run ?on_tick ?(stop = fun () -> `Continue) cfg =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  if cfg.queue_max < 1 then invalid_arg "Service.run: queue_max must be >= 1";
+  if cfg.tenant_quota < 1 then
+    invalid_arg "Service.run: tenant_quota must be >= 1";
+  if cfg.batch_max < 1 then invalid_arg "Service.run: batch_max must be >= 1";
+  if cfg.heartbeat_timeout_s <= 0.0 then
+    invalid_arg "Service.run: heartbeat_timeout_s must be positive";
+  mkdir_p cfg.state_dir;
+  let manifest =
+    match Manifest.append (manifest_path cfg.state_dir) with
+    | Ok m -> m
+    | Error msg -> invalid_arg (Printf.sprintf "Service.run: %s" msg)
+  in
+  let worker_listen = Cluster.Address.listen cfg.listen in
+  let http_listen = Cluster.Address.listen cfg.http in
+  let t =
+    {
+      cfg;
+      manifest;
+      campaigns = Hashtbl.create 16;
+      order = [];
+      next_id = 1;
+      workers = Hashtbl.create 16;
+      next_wid = 0;
+      https = Hashtbl.create 8;
+      next_hid = 0;
+      worker_listen;
+      http_listen;
+    }
+  in
+  recover t;
+  Log.info (fun m ->
+      m "service up: fleet on %s, control on %s, state in %s (%d campaigns \
+         recovered)"
+        (Cluster.Address.to_string cfg.listen)
+        (Cluster.Address.to_string cfg.http)
+        cfg.state_dir
+        (Hashtbl.length t.campaigns));
+  let tick () = match on_tick with Some f -> f () | None -> () in
+  let finished = ref None in
+  while !finished = None do
+    let fds =
+      t.worker_listen :: t.http_listen
+      :: Hashtbl.fold (fun _ w acc -> w.wfd :: acc) t.workers
+           (Hashtbl.fold (fun _ h acc -> h.hfd :: acc) t.https [])
+    in
+    let timeout =
+      Hashtbl.fold
+        (fun _ w acc ->
+          if w.outstanding = [] then acc
+          else Float.min acc (w.deadline -. Unix.gettimeofday ()))
+        t.workers 0.25
+      |> Float.max 0.01
+    in
+    (match Unix.select fds [] [] timeout with
+    | readable, _, _ ->
+        if List.mem t.worker_listen readable then
+          accept_loop t.worker_listen ~on_fd:(fun fd ->
+              let w =
+                {
+                  wid = t.next_wid;
+                  wfd = fd;
+                  wdec = Cluster.Frame.decoder ();
+                  joined = false;
+                  host = "";
+                  pid = 0;
+                  assigned = None;
+                  wants_work = false;
+                  outstanding = [];
+                  deadline = Unix.gettimeofday () +. cfg.heartbeat_timeout_s;
+                  last_seen = Unix.gettimeofday ();
+                  last_ping = 0.0;
+                  done_runs = 0;
+                }
+              in
+              t.next_wid <- t.next_wid + 1;
+              Hashtbl.add t.workers w.wid w);
+        if List.mem t.http_listen readable then
+          accept_loop t.http_listen ~on_fd:(fun fd ->
+              let h = { hid = t.next_hid; hfd = fd; hc = Http.conn () } in
+              t.next_hid <- t.next_hid + 1;
+              Hashtbl.add t.https h.hid h);
+        List.iter
+          (fun fd ->
+            if fd != t.worker_listen && fd != t.http_listen then begin
+              (match
+                 Hashtbl.fold
+                   (fun _ w acc -> if w.wfd == fd then Some w else acc)
+                   t.workers None
+               with
+              | Some w -> read_worker t w
+              | None -> (
+                  match
+                    Hashtbl.fold
+                      (fun _ h acc -> if h.hfd == fd then Some h else acc)
+                      t.https None
+                  with
+                  | Some h -> read_http t h
+                  | None -> ()))
+            end)
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    check_deadlines t;
+    advance_campaigns t;
+    distribute t;
+    List.iter
+      (fun c -> if occupied c then Cluster.Session.flush c.session)
+      (campaigns_in_order t);
+    tick ();
+    (match stop () with
+    | `Continue ->
+        if
+          cfg.exit_when_idle
+          && t.order <> []
+          && List.for_all
+               (fun c -> not (occupied c))
+               (campaigns_in_order t)
+        then finished := Some `Drain
+    | (`Drain | `Abort) as f -> finished := Some f)
+  done;
+  match !finished with
+  | Some `Abort ->
+      (* Crash simulation for tests: drop everything on the floor —
+         no journal flush, no manifest transition, no Done — exactly
+         the state a SIGKILL leaves behind (modulo OS buffers).  Only
+         the fds close, so in-process workers see EOF and exit. *)
+      close_everything t;
+      Error "aborted"
+  | _ ->
+      (* Graceful drain: dismiss the fleet, flush what ran, leave
+         every open campaign in the manifest for the next start. *)
+      broadcast_done t;
+      List.iter
+        (fun c -> if occupied c then Cluster.Session.close c.session)
+        (campaigns_in_order t);
+      Manifest.close t.manifest;
+      close_everything t;
+      Log.info (fun m -> m "service drained and stopped");
+      Ok ()

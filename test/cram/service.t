@@ -1,0 +1,75 @@
+Campaign-as-a-service from the command line: one daemon owning a
+worker fleet and a crash-safe queue of campaigns, driven by the
+submit/status/cancel clients over its HTTP control surface.
+
+Usage errors exit 124 before any daemon is involved:
+
+  $ ../../bin/propane_cli.exe submit
+  propane: required option --http is missing
+  Usage: propane submit [OPTION]…
+  Try 'propane submit --help' or 'propane --help' for more information.
+  [124]
+
+  $ ../../bin/propane_cli.exe submit --http unix:http.sock --weight 0
+  propane: option '--weight': --weight must be at least 1, got 0
+  Usage: propane submit [OPTION]…
+  Try 'propane submit --help' or 'propane --help' for more information.
+  [124]
+
+  $ ../../bin/propane_cli.exe cancel --http unix:http.sock
+  propane: required argument ID is missing
+  Usage: propane cancel [OPTION]… ID
+  Try 'propane cancel --help' or 'propane --help' for more information.
+  [124]
+
+  $ ../../bin/propane_cli.exe status --http not-an-address c1
+  propane: option '--http': invalid address "not-an-address" (expected
+           unix:PATH or tcp:HOST:PORT)
+  Usage: propane status [OPTION]… [ID]
+  Try 'propane status --help' or 'propane --help' for more information.
+  [124]
+
+A daemon that is not there is a transport error (exit 1), not a server
+report:
+
+  $ ../../bin/propane_cli.exe status --http unix:missing.sock c0001 2>/dev/null
+  [1]
+
+Start the service with two fleet workers.  --exit-when-idle makes it
+drain by itself once every accepted campaign is terminal, so the cram
+test needs no kill/timeout choreography:
+
+  $ ../../bin/propane_cli.exe serve --state-dir state --workers 2 --exit-when-idle > serve.log 2>&1 &
+
+Failures the server reports exit 3 and name the problem:
+
+  $ ../../bin/propane_cli.exe status --http unix:state/http.sock c9999
+  propane status: server: no campaign c9999 (HTTP 404)
+  [3]
+
+  $ ../../bin/propane_cli.exe cancel --http unix:state/http.sock c9999
+  propane cancel: server: no campaign c9999 (HTTP 404)
+  [3]
+
+Submit prints the fresh campaign id on stdout and nothing else:
+
+  $ ../../bin/propane_cli.exe submit --http unix:state/http.sock --cases 2 --times 2 --seed 7
+  c0001
+
+The daemon drains once the campaign is done:
+
+  $ wait
+
+The service journal is byte-identical to a serial run of the same
+flags — the determinism contract, across a daemon, an HTTP hop and two
+worker processes:
+
+  $ ../../bin/propane_cli.exe campaign --cases 2 --times 2 --seed 7 --journal serial.journal > serial.out
+  $ cmp state/c0001.journal serial.journal
+
+The manifest records the submission and its terminal state:
+
+  $ grep -c '^campaign.c0001' state/manifest
+  1
+  $ grep '^state.c0001' state/manifest | tail -1 | cut -f3
+  done

@@ -99,9 +99,14 @@ let gen_to_coordinator =
   QCheck2.Gen.(
     oneof
       [
+        map3
+          (fun host pid config_digest ->
+            Cluster.Protocol.Hello
+              { version = Cluster.Protocol.version; host; pid; config_digest })
+          gen_nasty_string gen_small_nat gen_nasty_string;
         map2
           (fun host pid ->
-            Cluster.Protocol.Hello
+            Cluster.Protocol.Join
               { version = Cluster.Protocol.version; host; pid })
           gen_nasty_string gen_small_nat;
         pure Cluster.Protocol.Request_batch;
@@ -119,6 +124,13 @@ let gen_to_worker =
         map3
           (fun sut campaign (seed, total, config) ->
             Cluster.Protocol.Welcome { sut; campaign; seed; total; config })
+          gen_nasty_string gen_nasty_string
+          (triple
+             (map Int64.of_int int)
+             gen_small_nat gen_nasty_string);
+        map3
+          (fun sut campaign (seed, total, config) ->
+            Cluster.Protocol.Assign { sut; campaign; seed; total; config })
           gen_nasty_string gen_nasty_string
           (triple
              (map Int64.of_int int)
@@ -424,7 +436,8 @@ let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
       (fun () ->
         let config =
           Propane.Runner.Config.make ~seed ?journal ~resume
-            ~jobs:(List.length worker_hooks) ?stop_when ()
+            ~jobs:(max 1 (List.length worker_hooks))
+            ?stop_when ()
         in
         Cluster.Coordinator.serve ~heartbeat_timeout_s ?live ?select ?cells
           ~config ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler"
@@ -537,6 +550,7 @@ let integration_tests =
                            version = Cluster.Protocol.version;
                            host = "stall";
                            pid = 1;
+                           config_digest = "";
                          });
                     ignore (Cluster.Frame.read reader);
                     send Cluster.Protocol.Request_batch;
@@ -640,6 +654,124 @@ let integration_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Handshake vetting: reject reasons name the mismatched field         *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* A hand-rolled client that opens the conversation with [msg] and
+   captures the coordinator's first reply. *)
+let handshake_probe msg out addr =
+  Domain.spawn (fun () ->
+      match Cluster.Address.connect addr with
+      | Error e ->
+          out := Error e;
+          Error e
+      | Ok fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let reader = Cluster.Frame.reader fd in
+              Cluster.Frame.write fd
+                (Cluster.Protocol.encode_to_coordinator msg);
+              (match Cluster.Frame.read reader with
+              | Ok (Some p) -> (
+                  match Cluster.Protocol.decode_to_worker p with
+                  | Ok (Cluster.Protocol.Reject r) -> out := Ok r
+                  | Ok m ->
+                      out :=
+                        Error
+                          (Fmt.str "expected a reject, got %a"
+                             Cluster.Protocol.pp_to_worker m)
+                  | Error e -> out := Error e)
+              | Ok None -> out := Error "connection closed without a reply"
+              | Error e -> out := Error e);
+              Ok 0))
+
+let reject_tests =
+  [
+    Alcotest.test_case "reject reasons name the mismatched field" `Slow
+      (fun () ->
+        let bad_version = ref (Error "no reply") in
+        let bad_digest = ref (Error "no reply") in
+        let bad_join = ref (Error "no reply") in
+        let pin = String.make 32 'f' in
+        let clients addr =
+          [
+            handshake_probe
+              (Cluster.Protocol.Hello
+                 { version = 99; host = "probe"; pid = 1; config_digest = "" })
+              bad_version addr;
+            handshake_probe
+              (Cluster.Protocol.Hello
+                 {
+                   version = Cluster.Protocol.version;
+                   host = "probe";
+                   pid = 2;
+                   config_digest = pin;
+                 })
+              bad_digest addr;
+            handshake_probe
+              (Cluster.Protocol.Join
+                 { version = Cluster.Protocol.version; host = "probe"; pid = 3 })
+              bad_join addr;
+          ]
+        in
+        ignore (cluster_run ~extra_clients:clients ());
+        let check name needle r =
+          match !r with
+          | Ok reason ->
+              if not (contains ~needle reason) then
+                Alcotest.failf "%s: reason %S does not name %S" name reason
+                  needle
+          | Error e -> Alcotest.failf "%s: %s" name e
+        in
+        check "version skew"
+          (Printf.sprintf "protocol version: worker speaks 99, coordinator \
+                           speaks %d"
+             Cluster.Protocol.version)
+          bad_version;
+        check "digest skew names the worker pin"
+          (Printf.sprintf "config digest: worker pinned %s" pin)
+          bad_digest;
+        (* The reason also carries the coordinator's own digest, so the
+           operator can fix the pin without a second round-trip. *)
+        check "digest skew names the coordinator digest"
+          (Digest.to_hex (Digest.string ""))
+          bad_digest;
+        check "fleet join on a one-shot coordinator" "single campaign"
+          bad_join);
+    Alcotest.test_case "a correctly pinned worker is accepted" `Slow
+      (fun () ->
+        (* The pin is the digest of the coordinator's recipe — "" here,
+           since cluster_run passes none.  The pinned worker must drain
+           the whole campaign alone. *)
+        let pinned addr =
+          [
+            Domain.spawn (fun () ->
+                let make (w : Cluster.Protocol.welcome) =
+                  Ok
+                    (Propane.Runner.executor ~seed:w.Cluster.Protocol.seed
+                       (scaler_sut ()) scaler_campaign)
+                in
+                Cluster.Worker.run
+                  ~config_digest:(Digest.to_hex (Digest.string ""))
+                  ~connect:addr ~make ());
+          ]
+        in
+        let results =
+          cluster_run ~worker_hooks:[] ~extra_clients:pinned ()
+        in
+        Alcotest.(check int)
+          "campaign completed"
+          (Propane.Campaign.size scaler_campaign)
+          (Propane.Results.count results));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "cluster"
@@ -648,4 +780,5 @@ let () =
       ("protocol", protocol_tests);
       ("address", address_tests);
       ("integration", integration_tests);
+      ("reject", reject_tests);
     ]

@@ -134,6 +134,56 @@ let builder_tests =
         with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected Invalid_argument");
+    (* Synthetic systems: the service-bench workload generator must
+       produce valid, deterministic SUTs at any size. *)
+    Alcotest.test_case "synthetic generates a valid system" `Quick (fun () ->
+        let system =
+          B.synthetic ~modules:24 ~fan_in:3 ~fan_out:2 ~feedback:4 ~seed:7L ()
+        in
+        let model = B.model system in
+        Alcotest.(check bool)
+          "has injection targets" true
+          (B.injection_targets system <> []);
+        (* Feedback never swallows the final block, so the derived model
+           keeps system outputs. *)
+        Alcotest.(check bool)
+          "has system outputs" true
+          (Propagation.System_model.system_outputs model <> []);
+        Alcotest.(check bool)
+          "has system inputs" true
+          (Propagation.System_model.system_inputs model <> []));
+    Alcotest.test_case "synthetic is deterministic in the seed" `Quick
+      (fun () ->
+        let digest seed =
+          let system =
+            B.synthetic ~modules:12 ~fan_in:2 ~fan_out:2 ~feedback:2 ~seed
+              ~duration_ms:40 ()
+          in
+          let traces =
+            Propane.Runner.golden_run (B.sut system)
+              (Propane.Testcase.make ~id:"t" ~params:[])
+          in
+          List.fold_left
+            (fun acc s ->
+              let tr = Propane.Trace_set.trace traces s in
+              let rec go acc ms =
+                if ms >= Propane.Trace_set.duration_ms traces then acc
+                else go (Hashtbl.hash (acc, Propane.Trace.get tr ms)) (ms + 1)
+              in
+              go (Hashtbl.hash (acc, s)) 0)
+            0
+            (Propane.Trace_set.signals traces)
+        in
+        Alcotest.(check int) "same seed, same traces" (digest 42L) (digest 42L);
+        Alcotest.(check bool)
+          "different seed, different traces" true
+          (digest 42L <> digest 43L));
+    check_raises_invalid "synthetic rejects zero modules" (fun () ->
+        B.synthetic ~modules:0 ~fan_in:1 ~fan_out:1 ~feedback:0 ~seed:1L ());
+    check_raises_invalid "synthetic rejects zero fan_in" (fun () ->
+        B.synthetic ~modules:3 ~fan_in:0 ~fan_out:1 ~feedback:0 ~seed:1L ());
+    check_raises_invalid "synthetic rejects negative feedback" (fun () ->
+        B.synthetic ~modules:3 ~fan_in:1 ~fan_out:1 ~feedback:(-1) ~seed:1L ());
   ]
 
 (* ------------------------------------------------------------------ *)
