@@ -61,7 +61,11 @@ let section title =
 type bench_row = {
   row_sut : string;
   row_mode : string;
-  row_cores : int;  (** physical cores the mode can actually use *)
+  row_cores : int;
+      (** effective cores: what the mode can actually use on this
+          host, [min jobs nproc] — never more than the top-level
+          [nproc], so a 1-core host reports 1 here even for 2-job
+          rows (the request lives in [row_jobs]) *)
   row_jobs : int;  (** domains or worker processes requested *)
   row_oversubscribed : bool;
       (** more jobs than cores: the row measures scheduling overhead,
@@ -116,13 +120,30 @@ type service_row = {
 
 let service_rows : service_row list ref = ref []
 
+(* Plan rows (the [plan] target): runs-to-resolved-rankings for the
+   adaptive budget scheduler vs the paper's uniform allocation, on the
+   layered SUT. *)
+type plan_row = {
+  p_mode : string;
+  p_budget : int;  (** budget offered to the scheduler *)
+  p_runs : int;  (** injections actually executed *)
+  p_rounds : int;
+  p_resolved : bool;  (** every module ranking resolved at 95% *)
+  p_ratio : float;  (** runs / uniform's runs-to-resolved *)
+}
+
+let plan_rows : plan_row list ref = ref []
+
 let write_bench_json () =
-  if !bench_rows <> [] || !model_rows <> [] || !service_rows <> [] then begin
+  if
+    !bench_rows <> [] || !model_rows <> [] || !service_rows <> []
+    || !plan_rows <> []
+  then begin
     let row r =
       Printf.sprintf
-        {|    {"sut":"%s","mode":"%s","cores":%d,"jobs":%d,"oversubscribed":%b,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
-        r.row_sut r.row_mode r.row_cores r.row_jobs r.row_oversubscribed
-        r.row_runs r.row_seconds (runs_per_sec r)
+        {|    {"sut":"%s","mode":"%s","cores_requested":%d,"cores_effective":%d,"jobs":%d,"oversubscribed":%b,"runs":%d,"seconds":%.3f,"runs_per_sec":%.1f}|}
+        r.row_sut r.row_mode r.row_jobs r.row_cores r.row_jobs
+        r.row_oversubscribed r.row_runs r.row_seconds (runs_per_sec r)
     in
     let model_json m =
       let est (name, (e : Propagation.Estimate.t), resolved) =
@@ -143,6 +164,11 @@ let write_bench_json () =
          else 0.0)
         s.s_first_result_s
     in
+    let plan_json p =
+      Printf.sprintf
+        {|    {"sut":"layered","mode":"%s","budget":%d,"runs":%d,"rounds":%d,"resolved":%b,"ratio_vs_uniform":%.3f}|}
+        p.p_mode p.p_budget p.p_runs p.p_rounds p.p_resolved p.p_ratio
+    in
     let oc = open_out "BENCH_campaign.json" in
     Printf.fprintf oc
       "{\n\
@@ -157,12 +183,16 @@ let write_bench_json () =
       \  ],\n\
       \  \"service\": [\n\
        %s\n\
+      \  ],\n\
+      \  \"plan\": [\n\
+       %s\n\
       \  ]\n\
        }\n"
       nproc (Lazy.force git_rev)
       (String.concat ",\n" (List.map row !bench_rows))
       (String.concat ",\n" (List.map model_json !model_rows))
-      (String.concat ",\n" (List.map service_json !service_rows));
+      (String.concat ",\n" (List.map service_json !service_rows))
+      (String.concat ",\n" (List.map plan_json !plan_rows));
     close_out oc;
     print_endline "wrote BENCH_campaign.json"
   end
@@ -1347,6 +1377,238 @@ let reuse_bench () =
         exit 1
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Plan: runs-to-resolved-rankings, adaptive vs uniform.  The paper
+   spends its SWIFI budget uniformly across targets (4,000 injections
+   each, Section 7.3) and only afterwards checks which rankings the
+   data resolves.  The adaptive scheduler re-aims every round at the
+   targets whose cells are still wide and whose modules' rankings are
+   still unresolved, so — offered the whole campaign as its budget —
+   it must reach fully resolved rankings in well under the runs the
+   smallest sufficient uniform allocation needs.                       *)
+
+(* A layered system tuned so full resolution is reachable and its cost
+   is measurably asymmetric: each module xors its two inputs and keeps
+   only the low [keep] bits, so a bit flip propagates iff it lands on a
+   kept bit — every permeability cell is exactly [keep/16].  The rank
+   ladder (SINK 1.0, L1_0 .875, L0_0 .5625, L0_1 .5, L1_1 .0625) has
+   one deliberately tight pair: separating L0_0 from L0_1 at 95% takes
+   on the order of a thousand runs per l0 target, while every other
+   row resolves in a couple of hundred.  A uniform allocation must
+   drag {e all} targets to the tight pair's depth; an adaptive one
+   parks the cheap targets early and spends the difference where the
+   ranking is still open. *)
+let plan_system =
+  lazy
+    (let s = Propagation.Signal.make in
+     let block ~name ~keep ~inputs ~output =
+       Dataflow.Builder.block ~name ~inputs ~outputs:[ output ]
+         (fun () ->
+           fun inputs ->
+            let acc = ref 0 in
+            Array.iter (fun v -> acc := !acc lxor v) inputs;
+            [| !acc land ((1 lsl keep) - 1) |])
+     in
+     Dataflow.Builder.create_exn ~name:"layered-plan" ~duration_ms:400
+       ~blocks:
+         [
+           block ~name:"L0_0" ~keep:9
+             ~inputs:[ s "l0_0"; s "l0_1" ]
+             ~output:(s "l1_0");
+           block ~name:"L0_1" ~keep:8
+             ~inputs:[ s "l0_0"; s "l0_1" ]
+             ~output:(s "l1_1");
+           block ~name:"L1_0" ~keep:14
+             ~inputs:[ s "l1_0"; s "l1_1" ]
+             ~output:(s "l2_0");
+           block ~name:"L1_1" ~keep:1
+             ~inputs:[ s "l1_0"; s "l1_1" ]
+             ~output:(s "l2_1");
+           block ~name:"SINK" ~keep:16
+             ~inputs:[ s "l2_0"; s "l2_1" ]
+             ~output:(s "sink_out");
+         ]
+       ~stimuli:
+         [
+           Dataflow.Builder.ramp ~slope:3 (s "l0_0");
+           Dataflow.Builder.ramp ~slope:5 (s "l0_1");
+         ]
+       ())
+
+let plan_campaign () =
+  let system = Lazy.force plan_system in
+  let targets = Dataflow.Builder.injection_targets system in
+  (* 64 injection instants x 16 bit positions = 1024 runs per target,
+     enough headroom for the tight pair; smoke keeps the shape with a
+     quarter of the depth. *)
+  let steps = if perf_smoke then 16 else 64 in
+  let times = List.init steps (fun k -> 6 * (k + 1)) in
+  Propane.Campaign.make ~name:"layered-plan" ~targets
+    ~testcases:[ Propane.Testcase.make ~id:"ramp" ~params:[] ]
+    ~times:(List.map Simkernel.Sim_time.of_ms times)
+    ~errors:(Propane.Error_model.bit_flips ~width:16)
+
+let plan_bench () =
+  section "Plan: adaptive vs uniform runs-to-resolved (layered SUT)";
+  let system = Lazy.force plan_system in
+  let model = Dataflow.Builder.model system in
+  let campaign = plan_campaign () in
+  let total = Propane.Campaign.size campaign in
+  let ntargets = List.length campaign.Propane.Campaign.targets in
+  Printf.printf "campaign: %d targets, %d runs available\n" ntargets total;
+  (* Post-hoc judgement, identical for both modes: stream the executed
+     outcomes into a fresh live analysis and ask whether every module
+     ranking is resolved at the 95% level. *)
+  let resolved_of results =
+    let live =
+      Propane.Live.create ~model ~targets:campaign.Propane.Campaign.targets ()
+    in
+    let digest =
+      List.fold_left
+        (fun _ o -> Propane.Live.observe live o)
+        (Propane.Live.digest live)
+        (Propane.Results.outcomes results)
+    in
+    (if Sys.getenv_opt "PROPANE_PLAN_DEBUG" <> None then
+       match Propane.Live.snapshot live with
+       | Error msg -> Printf.printf "  [debug] snapshot: %s\n" msg
+       | Ok analysis ->
+           List.iter
+             (fun (r : Propagation.Ranking.module_row) ->
+               Printf.printf "  [debug] %-8s p_rel %.4f [%.4f, %.4f] %s\n"
+                 r.module_name r.relative_permeability
+                 r.relative_permeability_est.Propagation.Estimate.lo
+                 r.relative_permeability_est.Propagation.Estimate.hi
+                 (if r.resolved then "resolved" else "UNRESOLVED"))
+             (Propagation.Ranking.sort_module_rows
+                Propagation.Ranking.By_relative_permeability
+                analysis.Propagation.Analysis.module_rows));
+    digest.Propane.Live.resolved_modules = digest.Propane.Live.module_count
+  in
+  let budgeted ~mode ~budget =
+    let plan =
+      (* Finer refinement rounds than the default budget/8: the
+         scheduler re-aims more often, so it overshoots the resolution
+         point by less. *)
+      Propane.Plan.create ~mode ~round_budget:(max ntargets (total / 16))
+        ~budget ~model ~campaign ()
+    in
+    let results =
+      Propane.Runner.run
+        ~config:
+          (Propane.Runner.Config.make ~seed:42L ~truncate_after_ms:128 ~budget
+             ~plan:mode ())
+        ~plan
+        (Dataflow.Builder.sut system)
+        campaign
+    in
+    (plan, results)
+  in
+  (* Adaptive: offer everything; the scheduler stops itself the round
+     after every ranking resolves. *)
+  let adaptive_plan, adaptive_results =
+    budgeted ~mode:Propane.Plan.Adaptive ~budget:total
+  in
+  let adaptive_runs = Propane.Results.count adaptive_results in
+  let adaptive_rounds =
+    List.fold_left
+      (fun acc (r : Propane.Journal.round) -> max acc (r.round + 1))
+      0
+      (Propane.Plan.rounds adaptive_plan)
+  in
+  let adaptive_resolved = resolved_of adaptive_results in
+  Printf.printf "  %-10s %5d runs in %d rounds, resolved: %b\n" "adaptive"
+    adaptive_runs adaptive_rounds adaptive_resolved;
+  (* Composition semantics: the adaptive subset's estimates are pure
+     counter sums, so observation order cannot matter (the same
+     commutativity cell reuse relies on to mix cached and fresh
+     counts). *)
+  let matrices_in outcomes =
+    let stream = Propane.Estimator.Stream.create ~model () in
+    List.iter (Propane.Estimator.Stream.observe stream) outcomes;
+    Propane.Estimator.Stream.matrices stream
+  in
+  let outs = Propane.Results.outcomes adaptive_results in
+  if not (same_matrices (matrices_in outs) (matrices_in (List.rev outs))) then
+    failwith "plan bench: adaptive estimates are not order-independent";
+  print_endline
+    "  adaptive estimates order-independent (counts, values, intervals)";
+  (* Uniform: the smallest even split that resolves, found by binary
+     search over the budget (resolution is monotone in runs-per-target
+     for this SUT; the probe at [total] guards the assumption). *)
+  let uniform_resolves budget =
+    let _, results = budgeted ~mode:Propane.Plan.Uniform ~budget in
+    resolved_of results
+  in
+  let uniform_runs =
+    if not (uniform_resolves total) then None
+    else begin
+      let lo = ref ntargets and hi = ref total in
+      (* invariant: hi resolves, lo-1 (or nothing below ntargets) *)
+      while !lo < !hi do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if uniform_resolves mid then hi := mid else lo := mid + 1
+      done;
+      Some !hi
+    end
+  in
+  (match uniform_runs with
+  | Some n -> Printf.printf "  %-10s %5d runs in 1 round, resolved: true\n"
+                "uniform" n
+  | None ->
+      Printf.printf
+        "  %-10s never resolves, even spending all %d runs\n" "uniform" total);
+  let ratio =
+    match uniform_runs with
+    | Some n when n > 0 -> float_of_int adaptive_runs /. float_of_int n
+    | _ -> Float.nan
+  in
+  (match uniform_runs with
+  | Some n ->
+      Printf.printf "  adaptive reaches resolution in %.0f%% of uniform's \
+                     runs (%d vs %d)\n"
+        (100.0 *. ratio) adaptive_runs n
+  | None -> ());
+  plan_rows :=
+    !plan_rows
+    @ [
+        {
+          p_mode = "adaptive";
+          p_budget = total;
+          p_runs = adaptive_runs;
+          p_rounds = adaptive_rounds;
+          p_resolved = adaptive_resolved;
+          p_ratio = ratio;
+        };
+        {
+          p_mode = "uniform";
+          p_budget = Option.value uniform_runs ~default:total;
+          p_runs = Option.value uniform_runs ~default:total;
+          p_rounds = 1;
+          p_resolved = uniform_runs <> None;
+          p_ratio = 1.0;
+        };
+      ];
+  let failed msg =
+    Printf.eprintf "plan bench FAILED: %s\n" msg;
+    write_bench_json ();
+    exit 1
+  in
+  (* Smoke depth cannot resolve the tight pair by construction; the
+     gate only means something at full depth. *)
+  if not perf_smoke then begin
+    if not adaptive_resolved then
+      failed "adaptive stopped with unresolved rankings";
+    match uniform_runs with
+    | None -> failed "uniform never resolves on this campaign"
+    | Some n ->
+        if float_of_int adaptive_runs > 0.6 *. float_of_int n then
+          failed
+            (Printf.sprintf
+               "adaptive took %d runs, above 60%% of uniform's %d"
+               adaptive_runs n)
+  end
+
 let worker_child addr_string =
   let fail msg =
     prerr_endline ("bench worker: " ^ msg);
@@ -1434,6 +1696,7 @@ let service_parse body =
           recipe = body;
           config = Propane.Runner.Config.make ~seed ~jobs:1 ();
           live = None;
+          plan = None;
         }
 
 let service_worker_make (w : Cluster.Protocol.welcome) =
@@ -1598,6 +1861,7 @@ let targets =
     ("perf", perf);
     ("scaling", scaling);
     ("reuse", reuse_bench);
+    ("plan", plan_bench);
     ("service", service_bench);
     (* Backwards-compatible alias for the pre-matrix target name. *)
     ("cluster", scaling);

@@ -295,6 +295,40 @@ let stop_when_arg =
     & opt (some stop_when_conv) None
     & info [ "stop-when" ] ~docv:"RULE" ~doc)
 
+let plan_mode_conv =
+  let parse s =
+    match Propane.Plan.mode_of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"MODE"
+    (parse, fun ppf m -> Format.pp_print_string ppf (Propane.Plan.mode_to_string m))
+
+let budget_arg =
+  let doc =
+    "Run a budgeted campaign: instead of executing every experiment, a plan \
+     ($(b,--plan)) decides which targets get how many of the $(docv) \
+     injections, round by round.  Runs never allocated are absent from \
+     results and journal; the round history is journalled, so kill-and-resume \
+     re-derives the identical schedule."
+  in
+  Arg.(
+    value
+    & opt (some (int_at_least 1 "--budget")) None
+    & info [ "budget" ] ~docv:"RUNS" ~doc)
+
+let plan_arg =
+  let doc =
+    "Budget allocation mode (with $(b,--budget)): $(b,adaptive) spends a \
+     pilot round proportionally to analytical priors, then refines towards \
+     the widest unresolved rankings; $(b,uniform) splits the whole budget \
+     evenly across targets in one round (the paper's fixed plan, scaled)."
+  in
+  Arg.(
+    value
+    & opt plan_mode_conv Propane.Plan.Adaptive
+    & info [ "plan" ] ~docv:"MODE" ~doc)
+
 let journal_batch_arg =
   let doc =
     "Commit journal records to disk every $(docv) appends instead of one \
@@ -466,7 +500,7 @@ let write_telemetry path telemetry =
    the coordinator schedule everything.  The listener is bound before
    any worker starts, so workers never race it. *)
 let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
-    ~listen ~chaos_kill ~live ?select ?cells () =
+    ~listen ~chaos_kill ~live ?select ?cells ?plan () =
   let addr =
     match listen with
     | Some a -> a
@@ -505,7 +539,7 @@ let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
     (fun () ->
       Cluster.Coordinator.serve ~on_event
         ~on_tick:(fun () -> Option.iter Cluster.Local.tend pool)
-        ?live ?select ?cells
+        ?live ?select ?cells ?plan
         ~recipe:(Recipe.encode recipe)
         ~config ~listen:fd ~sut:sut.Propane.Sut.name
         ~campaign:campaign.Propane.Campaign.name ~total ())
@@ -513,7 +547,7 @@ let run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
 let run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
     ~jobs ~journal ~resume ~journal_batch ~telemetry ~keep_traces
     ~run_timeout_ms ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers
-    ~listen ~chaos_kill ~stop_when ~reuse () =
+    ~listen ~chaos_kill ~stop_when ~reuse ~budget ~plan_mode () =
   if resume && journal = None then begin
     prerr_endline "propane campaign: --resume requires --journal";
     exit 1
@@ -547,7 +581,8 @@ let run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
         (if run_timeout_ms <= 0 then None else Some run_timeout_ms)
       ~retries ~fail_fast
       ~jobs:(if cluster then max workers 1 else jobs)
-      ?journal ~resume ~journal_batch ~keep_traces ?stop_when ()
+      ?journal ~resume ~journal_batch ~keep_traces ?stop_when ?budget
+      ~plan:plan_mode ()
   in
   let recipe =
     {
@@ -606,24 +641,43 @@ let run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
     reuse_plan;
   let select = Option.map Propane.Reuse.select reuse_plan in
   let cells = Option.map Propane.Reuse.journal_cells reuse_plan in
+  (* The budget scheduler: one Plan.t instance is the work source for
+     whichever backend runs the campaign (serial, --jobs, --workers).
+     --reuse composes: cached cells are deselected, so they receive
+     zero fresh allocation and the budget concentrates on the dirty
+     targets. *)
+  let plan =
+    Option.map
+      (fun budget ->
+        try
+          Propane.Plan.create ~mode:plan_mode ?select
+            ~attribution:(Propane.Estimator.Direct { window_ms = window })
+            ~budget ~model:Arrestment.Model.system ~campaign ()
+        with Invalid_argument msg ->
+          prerr_endline ("propane campaign: " ^ msg);
+          exit 1)
+      budget
+  in
   (* The live analysis mirrors the post-campaign estimation exactly
      (same attribution window, same failure accounting), so the stop
      rule judges the same numbers the final tables print.  Under
      --reuse only the dirty targets' cells are fed fresh runs, so the
      rule watches those — cached cells are already as precise as they
-     will get. *)
+     will get.  A budgeted campaign needs it too: batch estimation
+     rejects the partial coverage a plan deliberately leaves behind,
+     the live stream tolerates it. *)
   let live =
-    Option.map
-      (fun _ ->
-        Propane.Live.create
-          ~attribution:(Propane.Estimator.Direct { window_ms = window })
-          ~model:Arrestment.Model.system
-          ~targets:
-            (match reuse_plan with
-            | Some plan -> Propane.Reuse.dirty_targets plan
-            | None -> campaign.Propane.Campaign.targets)
-          ())
-      stop_when
+    if stop_when = None && budget = None then None
+    else
+      Some
+        (Propane.Live.create
+           ~attribution:(Propane.Estimator.Direct { window_ms = window })
+           ~model:Arrestment.Model.system
+           ~targets:
+             (match reuse_plan with
+             | Some plan -> Propane.Reuse.dirty_targets plan
+             | None -> campaign.Propane.Campaign.targets)
+           ())
   in
   let tele = Propane.Telemetry.create () in
   let on_event ev =
@@ -641,9 +695,9 @@ let run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
     try
       if cluster then
         run_cluster_campaign ~recipe ~sut ~campaign ~config ~on_event ~workers
-          ~listen ~chaos_kill ~live ?select ?cells ()
+          ~listen ~chaos_kill ~live ?select ?cells ?plan ()
       else
-        Propane.Runner.run ~config ~on_event ?live ?select ?cells
+        Propane.Runner.run ~config ~on_event ?live ?select ?cells ?plan
           ~recipe:(Recipe.encode recipe) sut campaign
     with Propane.Runner.Failed_run { index; outcome } ->
       Option.iter (fun path -> write_telemetry path tele) telemetry;
@@ -670,6 +724,20 @@ let run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
         (Propane.Results.count results)
         selected_total Propane.Live.pp_rule rule
   | _ -> ());
+  (match plan with
+  | Some p ->
+      let nrounds =
+        List.fold_left
+          (fun acc (r : Propane.Journal.round) -> max acc (r.round + 1))
+          0 (Propane.Plan.rounds p)
+      in
+      Format.printf "plan %s: %d of %d runs in %d round%s (--budget %d)@."
+        (Propane.Plan.mode_to_string plan_mode)
+        (Propane.Results.count results)
+        selected_total nrounds
+        (if nrounds = 1 then "" else "s")
+        (Option.value ~default:0 budget)
+  | None -> ());
   match reuse_plan with
   | Some plan ->
       (* Composition replaces both estimation paths: cached rows seed
@@ -871,12 +939,12 @@ let campaign_cmd =
   let run () cases times full model seed window progress jobs journal resume
       journal_batch telemetry keep_traces run_timeout_ms retries fail_fast
       chaos_crash chaos_hang workers listen chaos_kill stop_when ci save reuse
-      =
+      budget plan_mode =
     let results, analysis =
       run_measured_campaign ~cases ~times ~full ~model ~seed ~window ~progress
         ~jobs ~journal ~resume ~journal_batch ~telemetry ~keep_traces
         ~run_timeout_ms ~retries ~fail_fast ~chaos_crash ~chaos_hang ~workers
-        ~listen ~chaos_kill ~stop_when ~reuse ()
+        ~listen ~chaos_kill ~stop_when ~reuse ~budget ~plan_mode ()
     in
     Option.iter
       (fun path ->
@@ -907,7 +975,9 @@ let campaign_cmd =
           worker) connections from other machines.  $(b,--stop-when) \
           attaches a live analysis and stops the campaign as soon as its \
           rankings are stable or precise enough; $(b,--ci) prints the \
-          resulting uncertainty columns.")
+          resulting uncertainty columns.  $(b,--budget) caps the total \
+          injections and lets a plan ($(b,--plan), preview with $(b,propane \
+          plan)) decide where to spend them.")
     Term.(
       const run $ log_term $ cases_arg $ times_arg $ full_arg $ model_arg
       $ seed_arg $ window_arg $ progress_arg $ jobs_arg $ journal_arg
@@ -915,7 +985,91 @@ let campaign_cmd =
       $ journal_batch_arg $ telemetry_arg $ keep_traces_arg $ run_timeout_arg
       $ retries_arg $ fail_fast_arg $ chaos_crash_arg $ chaos_hang_arg
       $ workers_arg $ listen_arg $ chaos_kill_arg $ stop_when_arg $ ci_arg
-      $ save_arg $ reuse_arg)
+      $ save_arg $ reuse_arg $ budget_arg $ plan_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* Plan preview: the analytical half of a budgeted campaign without
+   executing anything — the priors every target would start from, and
+   (given --budget) the deterministic round-0 split. *)
+let plan_cmd =
+  let run () cases times full model seed window budget plan_mode =
+    ignore seed;
+    let campaign = build_campaign ~cases ~times ~full ~model () in
+    Format.printf "%a@." Propane.Campaign.pp campaign;
+    let priors =
+      Propane.Plan.priors ~model:Arrestment.Model.system
+        ~targets:campaign.Propane.Campaign.targets ()
+    in
+    let pilot =
+      Option.map
+        (fun budget ->
+          let p =
+            try
+              Propane.Plan.create ~mode:plan_mode ~priors
+                ~attribution:(Propane.Estimator.Direct { window_ms = window })
+                ~budget ~model:Arrestment.Model.system ~campaign ()
+            with Invalid_argument msg ->
+              prerr_endline ("propane plan: " ^ msg);
+              exit 1
+          in
+          (* A zero-size take allocates round 0 without handing out (or
+             executing) anything; the preview then reads the recorded
+             round — the same bytes a real run would journal. *)
+          ignore (Propane.Plan.take p ~max:0);
+          List.filter_map
+            (fun (r : Propane.Journal.round) ->
+              if r.Propane.Journal.round = 0 then
+                Some (r.Propane.Journal.target, r.Propane.Journal.runs)
+              else None)
+            (Propane.Plan.rounds p))
+        budget
+    in
+    Format.printf
+      "analytical priors (flat 0.5 permeability matrices, %d runs per \
+       target):@."
+      (Propane.Campaign.runs_per_target campaign);
+    Format.printf "  %-16s %6s %8s %7s %8s%s@." "target" "cells" "spread"
+      "reach" "weight"
+      (if pilot = None then "" else "   round0");
+    List.iter
+      (fun (pr : Propane.Plan.prior) ->
+        Format.printf "  %-16s %6d %8.3f %7.3f %8.3f%s@."
+          pr.Propane.Plan.target pr.Propane.Plan.cells pr.Propane.Plan.spread
+          pr.Propane.Plan.reach pr.Propane.Plan.weight
+          (match pilot with
+          | None -> ""
+          | Some alloc ->
+              Printf.sprintf " %8d"
+                (Option.value ~default:0
+                   (List.assoc_opt pr.Propane.Plan.target alloc))))
+      priors;
+    match (budget, pilot) with
+    | Some b, Some alloc ->
+        let granted = List.fold_left (fun acc (_, n) -> acc + n) 0 alloc in
+        Format.printf
+          "@.round 0 (%s) grants %d of %d budget runs%s@."
+          (Propane.Plan.mode_to_string plan_mode)
+          granted b
+          (match plan_mode with
+          | Propane.Plan.Uniform -> "; uniform plans stop there"
+          | Propane.Plan.Adaptive ->
+              "; later rounds refine towards the widest unresolved rankings")
+    | _ ->
+        Format.printf
+          "@.(give --budget N to preview the first allocation round)@."
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Preview a budgeted campaign's injection plan without running it: \
+          the analytical prior of every target (fed cells, expected variance \
+          mass, system-output reach under flat permeability matrices) and, \
+          with $(b,--budget), the deterministic pilot-round allocation a \
+          $(b,propane campaign --budget) run would execute and journal.")
+    Term.(
+      const run $ log_term $ cases_arg $ times_arg $ full_arg $ model_arg
+      $ seed_arg $ window_arg $ budget_arg $ plan_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1045,7 +1199,7 @@ module Submission = struct
   module J = Propane_service.Json
 
   let build ~tenant ~weight ~cases ~times ~full ~model ~seed ~window
-      ~run_timeout_ms ~retries ~fail_fast ~stop_when =
+      ~run_timeout_ms ~retries ~fail_fast ~stop_when ~budget ~plan_mode =
     J.to_string
       (J.Obj
          ([
@@ -1061,10 +1215,17 @@ module Submission = struct
             ("retries", J.Num (float_of_int retries));
             ("fail_fast", J.Bool fail_fast);
           ]
+         @ (match stop_when with
+           | None -> []
+           | Some r -> [ ("stop_when", J.Str (Propane.Live.rule_to_string r)) ])
          @
-         match stop_when with
+         match budget with
          | None -> []
-         | Some r -> [ ("stop_when", J.Str (Propane.Live.rule_to_string r)) ]))
+         | Some b ->
+             [
+               ("budget", J.Num (float_of_int b));
+               ("plan", J.Str (Propane.Plan.mode_to_string plan_mode));
+             ]))
 
   let parse body =
     let ( let* ) = Result.bind in
@@ -1112,12 +1273,28 @@ module Submission = struct
           | None -> Error "bad field \"stop_when\""
           | Some s -> Result.map Option.some (Propane.Live.rule_of_string s))
     in
+    let* budget =
+      match J.member "budget" json with
+      | None | Some J.Null -> Ok None
+      | Some v -> (
+          match J.int v with
+          | Some b when b >= 1 -> Ok (Some b)
+          | _ -> Error "bad field \"budget\"")
+    in
+    let* plan_mode =
+      match J.member "plan" json with
+      | None | Some J.Null -> Ok Propane.Plan.Adaptive
+      | Some v -> (
+          match J.str v with
+          | None -> Error "bad field \"plan\""
+          | Some s -> Propane.Plan.mode_of_string s)
+    in
     match
       let config =
         Propane.Runner.Config.make ~seed ~truncate_after_ms:(window * 2)
           ?run_timeout_ms:
             (if run_timeout_ms <= 0 then None else Some run_timeout_ms)
-          ~retries ~fail_fast ~jobs:1 ?stop_when ()
+          ~retries ~fail_fast ~jobs:1 ?stop_when ?budget ~plan:plan_mode ()
       in
       let recipe =
         {
@@ -1141,6 +1318,17 @@ module Submission = struct
           ~model:Arrestment.Model.system
           ~targets:campaign.Propane.Campaign.targets ()
       in
+      (* Each parse builds a fresh plan — plans are single-use work
+         sources, and a recovered campaign must re-derive its rounds
+         from its own journal, not inherit a spent scheduler. *)
+      let plan =
+        Option.map
+          (fun budget ->
+            Propane.Plan.create ~mode:plan_mode
+              ~attribution:(Propane.Estimator.Direct { window_ms = window })
+              ~budget ~model:Arrestment.Model.system ~campaign ())
+          budget
+      in
       {
         Propane_service.Service.tenant;
         weight;
@@ -1150,6 +1338,7 @@ module Submission = struct
         recipe = Recipe.encode recipe;
         config;
         live = Some live;
+        plan;
       }
     with
     | spec -> Ok spec
@@ -1359,10 +1548,11 @@ let weight_arg =
 
 let submit_cmd =
   let run () http tenant weight cases times full model seed window
-      run_timeout_ms retries fail_fast stop_when =
+      run_timeout_ms retries fail_fast stop_when budget plan_mode =
     let body =
       Submission.build ~tenant ~weight ~cases ~times ~full ~model ~seed
-        ~window ~run_timeout_ms ~retries ~fail_fast ~stop_when
+        ~window ~run_timeout_ms ~retries ~fail_fast ~stop_when ~budget
+        ~plan_mode
     in
     service_call ~cmd:"submit" ~addr:http ~meth:"POST" ~path:"/campaigns"
       ~body (fun json ->
@@ -1388,7 +1578,8 @@ let submit_cmd =
     Term.(
       const run $ log_term $ http_addr_arg $ tenant_arg $ weight_arg
       $ cases_arg $ times_arg $ full_arg $ model_arg $ seed_arg $ window_arg
-      $ run_timeout_arg $ retries_arg $ fail_fast_arg $ stop_when_arg)
+      $ run_timeout_arg $ retries_arg $ fail_fast_arg $ stop_when_arg
+      $ budget_arg $ plan_arg)
 
 let id_pos_arg =
   let doc = "Campaign id, as printed by $(b,propane submit)." in
@@ -1553,8 +1744,9 @@ let replay_cmd =
       | None -> die (Printf.sprintf "journal has no record for index %d" index)
     in
     (* Scheduling and durability knobs are irrelevant to a single run's
-       outcome; strip them so the replay is a plain serial execution
-       that cannot touch the journal it is checking. *)
+       outcome; strip them (the budget included — a plan decides which
+       runs execute, never how one executes) so the replay is a plain
+       serial execution that cannot touch the journal it is checking. *)
     let config =
       {
         config with
@@ -1563,6 +1755,7 @@ let replay_cmd =
         resume = false;
         fail_fast = false;
         stop_when = None;
+        budget = None;
         keep_traces;
       }
     in
@@ -1808,6 +2001,7 @@ let main =
     [
       analyze_cmd;
       campaign_cmd;
+      plan_cmd;
       replay_cmd;
       worker_cmd;
       serve_cmd;

@@ -13,8 +13,8 @@ type conn = {
 }
 
 let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
-    ?(recipe = "") ?live ?select ?cells ~config ~listen ~sut ~campaign ~total
-    () =
+    ?(recipe = "") ?live ?select ?cells ?plan ~config ~listen ~sut ~campaign
+    ~total () =
   if batch_max < 1 then
     invalid_arg "Coordinator.serve: batch_max must be >= 1";
   if heartbeat_timeout_s <= 0.0 then
@@ -26,7 +26,7 @@ let serve ?(batch_max = 16) ?(heartbeat_timeout_s = 30.) ?on_event ?on_tick
   | exception Invalid_argument _ -> (* no signals on this platform *) ());
   let session =
     Session.create ~label:"Coordinator.serve" ?on_event ~recipe ?live ?select
-      ?cells ~config ~sut ~campaign ~total ()
+      ?cells ?plan ~config ~sut ~campaign ~total ()
   in
   let recipe_digest = Digest.to_hex (Digest.string recipe) in
   let seed = config.Propane.Runner.Config.seed in

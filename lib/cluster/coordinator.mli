@@ -41,6 +41,7 @@ val serve :
   ?live:Propane.Live.t ->
   ?select:(int -> bool) ->
   ?cells:Propane.Journal.cell list ->
+  ?plan:Propane.Plan.t ->
   config:Propane.Runner.Config.t ->
   listen:Unix.file_descr ->
   sut:string ->
@@ -59,7 +60,13 @@ val serve :
     reuse — workers still execute them under their full-campaign
     indices, so outcomes and journals stay byte-identical to a
     restricted serial run), and [cells] writes cell provenance records
-    after the header of a freshly created journal.
+    after the header of a freshly created journal.  [plan] attaches a
+    budget scheduler as the session's work source ({!Session.create}):
+    rounds allocate from completed results at deterministic barriers,
+    so the cluster derives the same round sequence — and writes the
+    same journal bytes — as a serial or [--jobs] run of the same
+    planned campaign.  While a round barrier waits on outstanding
+    runs, idle workers simply park in [Request_batch].
 
     [config] is the same {!Propane.Runner.Config.t} the local engine
     takes, so serial, domain and cluster modes cannot drift apart in

@@ -14,11 +14,12 @@ type t = {
   deselected : bool array;
   writer : Propane.Journal.writer option;
   mutable next_to_write : int;
-  mutable queue : int list;
-  mutable queue_len : int;
+  source : Propane.Plan.t;
+      (* the shared work source: static cursor or budget plan *)
+  journal_had_rounds : bool;
+      (* the resumed journal already carries plan-round records *)
   mutable completed : int;
   skipped : int;
-  scheduled : int;
   live : Propane.Live.t option;
   mutable stopping : bool;
   mutable failed : (int * Propane.Results.outcome) option;
@@ -42,7 +43,7 @@ let replay path ~label ~outcomes ~sut ~campaign ~seed ~total =
           Hashtbl.iter
             (fun index outcome -> outcomes.(index) <- Some outcome)
             table;
-          Hashtbl.length table)
+          (Hashtbl.length table, j.Propane.Journal.rounds <> []))
 
 let flush_journal t =
   match t.writer with
@@ -72,7 +73,7 @@ let check_stop t =
   | _ -> ()
 
 let create ?(label = "Session.create") ?on_event ?(recipe = "") ?live ?select
-    ?cells ~config ~sut ~campaign ~total () =
+    ?cells ?plan ~config ~sut ~campaign ~total () =
   (match Propane.Runner.Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "%s: %s" label msg));
@@ -91,13 +92,15 @@ let create ?(label = "Session.create") ?on_event ?(recipe = "") ?live ?select
   if total < 0 then invalid_arg (Printf.sprintf "%s: negative total" label);
   if stop_when <> None && live = None then
     invalid_arg (Printf.sprintf "%s: stop_when requires a live analysis" label);
+  if config.Propane.Runner.Config.budget <> None && plan = None then
+    invalid_arg (Printf.sprintf "%s: a budget requires a plan" label);
   let emit ev = match on_event with Some f -> f ev | None -> () in
   let outcomes = Array.make total None in
-  let skipped =
+  let skipped, journal_had_rounds =
     match journal with
     | Some path when resume && Sys.file_exists path ->
         replay path ~label ~outcomes ~sut ~campaign ~seed ~total
-    | _ -> 0
+    | _ -> (0, false)
   in
   let writer =
     match journal with
@@ -142,15 +145,25 @@ let create ?(label = "Session.create") ?on_event ?(recipe = "") ?live ?select
     | None -> Array.make total false
     | Some f -> Array.init total (fun idx -> not (f idx))
   in
-  let queue =
-    List.filter
-      (fun idx -> outcomes.(idx) = None && not deselected.(idx))
-      (List.init total Fun.id)
+  (* The shared work source every distributed mode now pulls from: a
+     static single-round cursor for unplanned campaigns (identical
+     scheduling to the historical queue), or the budget plan, primed
+     with the replayed outcomes so it re-derives its round sequence
+     instead of re-executing them. *)
+  let source =
+    match plan with
+    | Some p ->
+        Array.iteri
+          (fun index -> function
+            | Some outcome -> Propane.Plan.prime p ~index outcome
+            | None -> ())
+          outcomes;
+        p
+    | None ->
+        Propane.Plan.static ?select
+          ~done_:(fun idx -> outcomes.(idx) <> None)
+          ~total ()
   in
-  (* The campaign drains once every *scheduled* run completed: journal
-     replays plus the queue — under a selection that is fewer than the
-     campaign total. *)
-  let scheduled = skipped + List.length queue in
   let t =
     {
       label;
@@ -164,11 +177,10 @@ let create ?(label = "Session.create") ?on_event ?(recipe = "") ?live ?select
       deselected;
       writer;
       next_to_write = 0;
-      queue;
-      queue_len = List.length queue;
+      source;
+      journal_had_rounds;
       completed = skipped;
       skipped;
-      scheduled;
       live;
       stopping = false;
       failed = None;
@@ -199,40 +211,30 @@ let sut t = t.sut
 let campaign t = t.campaign
 let total t = t.total
 let completed t = t.completed
-let scheduled t = t.scheduled
+
+(* Replays plus every index the source has enqueued so far — constant
+   for static sources, growing round by round under a budget plan. *)
+let scheduled t = t.skipped + Propane.Plan.fresh_scheduled t.source
 let skipped t = t.skipped
-let pending t = t.queue_len
+let pending t = Propane.Plan.pending t.source
 let stopping t = t.stopping
 let failed t = t.failed
 let live t = t.live
-let complete t = t.completed >= t.scheduled
+let complete t = Propane.Plan.exhausted t.source
+let planned t = Propane.Plan.is_planned t.source
 
 let batch_size t ~batch_max ~workers =
-  max 1 (min batch_max (t.queue_len / max 1 (2 * workers)))
+  max 1 (min batch_max (Propane.Plan.pending t.source / max 1 (2 * workers)))
 
 let take t ~batch_max ~workers =
   if t.stopping || t.failed <> None then []
-  else begin
-    let n = batch_size t ~batch_max ~workers in
-    let rec go n acc q =
-      if n = 0 then (List.rev acc, q)
-      else
-        match q with [] -> (List.rev acc, []) | x :: q -> go (n - 1) (x :: acc) q
-    in
-    let batch, rest = go n [] t.queue in
-    t.queue <- rest;
-    t.queue_len <- t.queue_len - List.length batch;
-    batch
-  end
+  else
+    Propane.Plan.take t.source ~max:(batch_size t ~batch_max ~workers)
 
 let requeue t lost =
   (* Back to the head of the queue: the journal's reorder buffer is
      stalled on exactly these indices. *)
-  match lost with
-  | [] -> ()
-  | lost ->
-      t.queue <- List.sort compare lost @ t.queue;
-      t.queue_len <- t.queue_len + List.length lost
+  Propane.Plan.requeue t.source lost
 
 (* Out-of-order safety valve: the reorder buffer may be stalled before
    [index], but the record must reach the disk now; journals tolerate
@@ -261,6 +263,10 @@ let record t ~index ~worker ~retries outcome =
   | None ->
       t.outcomes.(index) <- Some outcome;
       t.completed <- t.completed + 1;
+      (* The source sees every completion: a budget plan advances its
+         round barrier here (and may refill the queue), a static source
+         just ticks towards exhaustion. *)
+      Propane.Plan.complete t.source ~index outcome;
       flush_journal t;
       t.emit
         (Propane.Runner.Run_done
@@ -320,19 +326,33 @@ let finish t =
       close t;
       raise (Propane.Runner.Failed_run { index; outcome })
   | None -> ());
-  if t.stopping then write_tail t;
+  let planned = Propane.Plan.is_planned t.source in
+  (* A planned campaign leaves never-allocated gaps, so its parked
+     records go out first; then the exhausted plan's round history
+     lands in one batch — mirroring Runner.run so planned journals stay
+     byte-identical across backends.  A rule-stopped plan journals no
+     rounds (its resume re-derives them at the real finish), and a
+     resumed already-finished journal never doubles them. *)
+  if t.stopping || planned then write_tail t;
+  (match t.writer with
+  | Some w
+    when planned
+         && (not t.journal_had_rounds)
+         && Propane.Plan.exhausted t.source ->
+      or_invalid (Propane.Journal.append_rounds w (Propane.Plan.rounds t.source))
+  | _ -> ());
   t.emit (Propane.Runner.Finished { completed = t.completed; total = t.total });
   let results = Propane.Results.create ~sut:t.sut ~campaign:t.campaign in
   Array.iter
     (function
       | Some outcome -> Propane.Results.add results outcome
       | None ->
-          (* Only an adaptive stop or a cell-reuse selection may leave
-             runs unexecuted. *)
+          (* Only an adaptive stop, a cell-reuse selection or a budget
+             plan may leave runs unexecuted. *)
           assert (
             t.stop_when <> None
             || Array.exists Fun.id t.deselected
-            || t.stopping))
+            || t.stopping || planned))
     t.outcomes;
   close t;
   results

@@ -23,6 +23,7 @@ val create :
   ?live:Propane.Live.t ->
   ?select:(int -> bool) ->
   ?cells:Propane.Journal.cell list ->
+  ?plan:Propane.Plan.t ->
   config:Propane.Runner.Config.t ->
   sut:string ->
   campaign:string ->
@@ -33,15 +34,22 @@ val create :
     journalled outcomes, primes the live analysis and emits
     [Started]/[Goldens_done].  [label] (default ["Session.create"])
     prefixes [Invalid_argument] messages so each caller keeps its
-    historical error text.  Raises [Invalid_argument] exactly where
-    [Runner.run] would: invalid config, journal/recipe mismatch on
-    resume, [stop_when] without [live]. *)
+    historical error text.  [plan] attaches a freshly created budget
+    scheduler ({!Propane.Plan}) as the session's work source — it is
+    primed with the replayed outcomes, so a resumed planned campaign
+    re-derives its round sequence instead of re-executing it; required
+    when [config.budget] is set.  Raises [Invalid_argument] exactly
+    where [Runner.run] would: invalid config, journal/recipe mismatch
+    on resume, [stop_when] without [live], budget without plan. *)
 
 val take : t -> batch_max:int -> workers:int -> int list
-(** Pops the next batch off the queue — adaptively sized as
+(** Pops the next batch off the work source — adaptively sized as
     [queue / (2 * workers)] clamped to [\[1, batch_max\]] — or [[]]
-    when the queue is empty, the session is draining after a satisfied
-    stop rule, or a fail-fast failure is pending. *)
+    when nothing is runnable now, the session is draining after a
+    satisfied stop rule, or a fail-fast failure is pending.  Under a
+    budget plan an empty take can also mean a round barrier is waiting
+    on outstanding runs: recorded results refill the queue, so callers
+    must keep polling until {!complete}. *)
 
 val requeue : t -> int list -> unit
 (** Returns a dead worker's outstanding indices to the {e head} of the
@@ -87,7 +95,9 @@ val completed : t -> int
 (** Runs completed so far, journal replays included. *)
 
 val scheduled : t -> int
-(** Runs this session will execute: replays plus the initial queue. *)
+(** Replays plus every run the work source has enqueued so far —
+    constant for unplanned campaigns, growing round by round under a
+    budget plan. *)
 
 val skipped : t -> int
 (** Runs replayed from a resumed journal. *)
@@ -96,7 +106,11 @@ val pending : t -> int
 (** Queue length: runs not yet handed to any worker. *)
 
 val complete : t -> bool
-(** [completed >= scheduled] — every scheduled run has an outcome. *)
+(** The work source is exhausted: no further run will be handed out
+    and every handed-out run has an outcome. *)
+
+val planned : t -> bool
+(** The session schedules through a budget plan (see {!create}). *)
 
 val stopping : t -> bool
 (** The stop rule fired: hand out nothing more, drain outstanding. *)

@@ -302,4 +302,25 @@ module Stream = struct
                 st.cells.(i - 1))
             acc consumers)
       t.by_target 0.0
+
+  (* Per-target flavour of [max_width]: the widest interval over the
+     cells this one target feeds — the budget planner's uncertainty
+     score for the target.  0 when no module consumes it (more runs
+     there cannot narrow anything). *)
+  let target_width t ~target =
+    match Hashtbl.find_opt t.by_target target with
+    | None -> 0.0
+    | Some consumers ->
+        List.fold_left
+          (fun acc (st, i) ->
+            Array.fold_left
+              (fun acc cell ->
+                let lo, hi =
+                  Propagation.Estimate.wilson_interval ~errors:cell.n_err
+                    ~trials:cell.n_inj
+                in
+                Float.max acc (hi -. lo))
+              acc
+              st.cells.(i - 1))
+          0.0 consumers
 end

@@ -140,4 +140,10 @@ module Stream : sig
       injection targets; 0 when the targets reach no pair.  Pairs
       outside the campaign's target set never narrow and are excluded,
       otherwise a [`Ci_width] stop rule could never trigger. *)
+
+  val target_width : t -> target:string -> float
+  (** {!max_width} scoped to the pairs one injection target feeds; 0
+      when no module consumes the target.  This is the per-target
+      uncertainty score the injection-budget planner ({!Plan})
+      allocates rounds by. *)
 end

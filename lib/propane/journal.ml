@@ -165,6 +165,38 @@ let append_cells w cells =
   commit w;
   Ok ()
 
+type round = { round : int; target : string; runs : int }
+
+(* Plan rounds tie the journal to the budget scheduler that produced
+   it: which round granted which target how many runs.  They are
+   appended in one batch when a planned campaign finishes — round
+   decisions are a deterministic function of the completed outcomes, so
+   a killed-and-resumed campaign re-derives and records the identical
+   rounds, keeping final journals byte-identical to uninterrupted ones.
+   Unplanned campaigns write none, preserving their exact bytes. *)
+let append_round w { round; target; runs } =
+  let ( let* ) = Result.bind in
+  let* () = check_field "target" target in
+  if round < 0 || runs < 0 then Error "Journal: negative plan round fields"
+  else begin
+    Printf.fprintf w.oc "plan\t%d\t%s\t%d\n" round target runs;
+    w.pending <- w.pending + 1;
+    if w.pending >= w.batch then commit w;
+    Ok ()
+  end
+
+let append_rounds w rounds =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        append_round w r)
+      (Ok ()) rounds
+  in
+  commit w;
+  Ok ()
+
 let close w =
   flush w;
   close_out w.oc
@@ -178,6 +210,7 @@ type t = {
   total : int;
   recipe : string option;
   cells : cell list;
+  rounds : round list;
   entries : (int * Results.outcome) list;
 }
 
@@ -264,6 +297,7 @@ let load path =
   | _ :: body ->
       let header = Hashtbl.create 4 in
       let rev_cells = ref [] in
+      let rev_rounds = ref [] in
       let rec loop lineno rev_entries = function
         | [] -> Ok (List.rev rev_entries)
         | "" :: rest -> loop (lineno + 1) rev_entries rest
@@ -283,6 +317,13 @@ let load path =
                     loop (lineno + 1) rev_entries rest
                 | _ ->
                     fail lineno (Printf.sprintf "bad cell status %S" status))
+            | [ "plan"; round; target; runs ] -> (
+                match (int_of_string_opt round, int_of_string_opt runs) with
+                | Some round, Some runs when round >= 0 && runs >= 0 ->
+                    rev_rounds := { round; target; runs } :: !rev_rounds;
+                    loop (lineno + 1) rev_entries rest
+                | _ ->
+                    fail lineno (Printf.sprintf "bad plan record %S" line))
             | "run" :: fields ->
                 let* entry = located (parse_run lineno fields) in
                 loop (lineno + 1) (entry :: rev_entries) rest
@@ -293,6 +334,7 @@ let load path =
       in
       let* entries = loop 2 [] body in
       let cells = List.rev !rev_cells in
+      let rounds = List.rev !rev_rounds in
       let field key =
         match Hashtbl.find_opt header key with
         | Some v -> Ok v
@@ -313,7 +355,7 @@ let load path =
         | _ -> fail 1 (Printf.sprintf "bad total %S" total)
       in
       let recipe = Hashtbl.find_opt header "recipe" in
-      Ok { sut; campaign; seed; total; recipe; cells; entries }
+      Ok { sut; campaign; seed; total; recipe; cells; rounds; entries }
 
 let validate t ~path ~sut ~campaign ~seed ~total =
   let ( let* ) = Result.bind in

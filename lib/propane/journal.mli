@@ -20,6 +20,7 @@
     run2 <tab> INDEX <tab> TESTCASE <tab> TARGET <tab> AT_MS <tab> ERROR
         <tab> STATUS <tab> NDIV { <tab> SIGNAL <tab> FIRST_MS } * NDIV
     cell <tab> TARGET <tab> MODULE <tab> KEY <tab> reused|fresh
+    plan <tab> ROUND <tab> TARGET <tab> RUNS
     v}
 
     [cell] records are provenance written by cache-reusing campaigns
@@ -28,6 +29,13 @@
     that were reused or re-measured.  Campaigns without a cache write
     none, so their journals stay byte-identical to the original
     format.
+
+    [plan] records are the budget scheduler's round allocations
+    ({!Plan}): one per (round, target), in round order, appended in one
+    batch when a planned campaign finishes.  Rounds are a deterministic
+    function of the completed outcomes, so a killed-and-resumed
+    campaign re-derives and records identical rounds; unplanned
+    campaigns write none.
 
     A run that completed normally is written as a v1 [run] record, so
     journals of failure-free campaigns are byte-identical to the
@@ -105,6 +113,19 @@ val append_cells : writer -> cell list -> (unit, string) result
 (** {!append_cell} for every element, then commits: a reuse plan is
     durable in full before the first outcome lands. *)
 
+type round = { round : int; target : string; runs : int }
+(** One plan-round allocation: [runs] injection runs granted to
+    [target] in round [round] (0-based; round 0 is the pilot). *)
+
+val append_round : writer -> round -> (unit, string) result
+(** Writes one plan-round record.  Fails if the target contains a
+    separator character or a count is negative. *)
+
+val append_rounds : writer -> round list -> (unit, string) result
+(** {!append_round} for every element, then commits — called once when
+    a planned campaign finishes, so the full allocation history lands
+    in one batch. *)
+
 val flush : writer -> unit
 (** Commits any buffered records now.  A no-op when nothing is
     pending. *)
@@ -125,6 +146,9 @@ type t = {
   cells : cell list;
       (** cell provenance records in journal order; [[]] for journals
           written without a cache *)
+  rounds : round list;
+      (** plan-round records in journal order; [[]] for journals of
+          unplanned (or killed-before-finish) campaigns *)
   entries : (int * Results.outcome) list;
       (** committed records in journal order; indices refer to
           {!Campaign.experiments} *)

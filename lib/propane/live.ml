@@ -124,3 +124,5 @@ let satisfied t rule =
 
 let digest t = digest ?analysis:None t
 let targets t = t.targets
+let target_width t ~target = Estimator.Stream.target_width t.stream ~target
+let runs_observed t = Estimator.Stream.runs_observed t.stream

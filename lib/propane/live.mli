@@ -78,3 +78,10 @@ val satisfied : t -> rule -> bool
 val digest : t -> digest
 
 val targets : t -> string list
+
+val target_width : t -> target:string -> float
+(** Widest 95% interval over the pairs one injection target feeds
+    ({!Estimator.Stream.target_width}); the planner's per-target
+    uncertainty score. *)
+
+val runs_observed : t -> int

@@ -210,6 +210,8 @@ module Config = struct
     journal_batch : int;
     keep_traces : bool;
     stop_when : Live.rule option;
+    budget : int option;
+    plan : Plan.mode;
   }
 
   let default =
@@ -226,13 +228,16 @@ module Config = struct
       journal_batch = 32;
       keep_traces = false;
       stop_when = None;
+      budget = None;
+      plan = Plan.Adaptive;
     }
 
   let make ?(max_ms = default.max_ms) ?(seed = default.seed)
       ?truncate_after_ms ?run_timeout_ms ?(retries = default.retries)
       ?(fail_fast = default.fail_fast) ?(jobs = default.jobs) ?journal
       ?(resume = default.resume) ?(journal_batch = default.journal_batch)
-      ?(keep_traces = default.keep_traces) ?stop_when () =
+      ?(keep_traces = default.keep_traces) ?stop_when ?budget
+      ?(plan = default.plan) () =
     {
       max_ms;
       seed;
@@ -246,6 +251,8 @@ module Config = struct
       journal_batch;
       keep_traces;
       stop_when;
+      budget;
+      plan;
     }
 
   let validate t =
@@ -256,6 +263,8 @@ module Config = struct
     then Error "run_timeout_ms must be >= 1"
     else if t.journal_batch < 1 then Error "journal_batch must be >= 1"
     else if t.resume && t.journal = None then Error "resume requires a journal"
+    else if match t.budget with Some b -> b < 1 | None -> false then
+      Error "budget must be >= 1"
     else Ok ()
 
   (* The encoded form travels inside cluster recipes (one field of a
@@ -286,6 +295,13 @@ module Config = struct
     add "journal_batch" (string_of_int t.journal_batch);
     add "keep_traces" (string_of_bool t.keep_traces);
     Option.iter (fun r -> add "stop_when" (Live.rule_to_string r)) t.stop_when;
+    (* Unplanned campaigns encode no plan fields, keeping their recipes
+       (and everything content-addressed on them) byte-stable. *)
+    Option.iter
+      (fun budget ->
+        add "budget" (string_of_int budget);
+        add "plan" (Plan.mode_to_string t.plan))
+      t.budget;
     Buffer.contents b
 
   let decode s =
@@ -349,6 +365,16 @@ module Config = struct
                       (Live.rule_of_string v)
                   in
                   Ok { t with stop_when = Some rule }
+              | "budget" ->
+                  let* n = int_field k v in
+                  Ok { t with budget = Some n }
+              | "plan" ->
+                  let* mode =
+                    Result.map_error
+                      (Printf.sprintf "Runner.Config: %s")
+                      (Plan.mode_of_string v)
+                  in
+                  Ok { t with plan = mode }
               | _ -> Error (Printf.sprintf "Runner.Config: unknown field %S" k)))
         (Ok default)
         (String.split_on_char ',' s)
@@ -412,9 +438,10 @@ let goldens_for ~max_ms sut experiments remaining =
     String_map.empty remaining
 
 (* Replay a journal into [outcomes]; returns how many indices it
-   filled.  Mismatched metadata means the journal belongs to a
-   different campaign — refusing loudly beats silently corrupting a
-   resume. *)
+   filled and whether the journal already carries plan-round records
+   (a finished planned campaign must not journal its rounds twice).
+   Mismatched metadata means the journal belongs to a different
+   campaign — refusing loudly beats silently corrupting a resume. *)
 let replay_journal path ~outcomes ~(sut : Sut.t) ~campaign ~seed ~total =
   match Journal.load path with
   | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg)
@@ -429,7 +456,7 @@ let replay_journal path ~outcomes ~(sut : Sut.t) ~campaign ~seed ~total =
           Hashtbl.iter
             (fun index outcome -> outcomes.(index) <- Some outcome)
             table;
-          Hashtbl.length table)
+          (Hashtbl.length table, j.Journal.rounds <> []))
 
 let or_invalid = function Ok v -> v | Error msg -> invalid_arg msg
 
@@ -517,20 +544,23 @@ let executor ?(config = Config.default) ~seed (sut : Sut.t) campaign =
     in
     (outcome, retried)
 
-(* Every remaining experiment, distributed over [jobs] worker domains
-   by an atomic cursor.  Each worker owns a private arena (sample
-   buffer, divergence scratch) so the hot loop is allocation-free and
-   domains share only the frozen goldens, which are immutable.  Workers
-   hand finished outcomes to the coordinating domain over a queue;
-   journal appends and [on_event] / [on_run_traces] callbacks happen
-   only there, so callers never need thread-safe callbacks and the
-   journal has a single writer. *)
+(* The work source's runnable indices, distributed over [jobs] worker
+   domains.  Each worker owns a private arena (sample buffer,
+   divergence scratch) so the hot loop is allocation-free and domains
+   share only the frozen goldens, which are immutable.  Workers hand
+   finished outcomes to the coordinating domain over a queue; journal
+   appends, [Plan.complete] and [on_event] / [on_run_traces] callbacks
+   happen only there, so callers never need thread-safe callbacks and
+   the journal has a single writer.
+
+   A planned source can be momentarily empty while a round barrier
+   waits on in-flight runs, so an empty [take] is not the end: workers
+   sleep on [work_cond] and the coordinator wakes them after every
+   completion — either the barrier advanced and refilled the queue, or
+   the source is exhausted and they drain out. *)
 let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
-    ~fail_fast ~keep ~stop ~experiments ~remaining ~golden_for ~outcomes
-    ~record sut =
-  let remaining = Array.of_list remaining in
-  let n = Array.length remaining in
-  let next = Atomic.make 0 in
+    ~fail_fast ~keep ~stop ~experiments ~source ~golden_for ~outcomes ~record
+    sut =
   let mutex = Mutex.create () in
   let cond = Condition.create () in
   let queue = Queue.create () in
@@ -540,21 +570,50 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
     Condition.signal cond;
     Mutex.unlock mutex
   in
+  let poisoned = Atomic.make false in
+  let work_mutex = Mutex.create () in
+  let work_cond = Condition.create () in
+  let wake_workers () =
+    Mutex.lock work_mutex;
+    Condition.broadcast work_cond;
+    Mutex.unlock work_mutex
+  in
+  (* Blocks until an index is runnable, the source is exhausted, or the
+     campaign was poisoned (fail-fast, adaptive stop, worker death). *)
+  let rec take_next () =
+    if Atomic.get poisoned then None
+    else
+      match Plan.take source ~max:1 with
+      | idx :: _ -> Some idx
+      | [] ->
+          if Plan.exhausted source then None
+          else begin
+            Mutex.lock work_mutex;
+            (* Re-check under the lock: completions broadcast under it,
+               so a wakeup between check and wait cannot be lost. *)
+            if
+              (not (Atomic.get poisoned))
+              && Plan.pending source = 0
+              && not (Plan.exhausted source)
+            then Condition.wait work_cond work_mutex;
+            Mutex.unlock work_mutex;
+            take_next ()
+          end
+  in
   let worker wid () =
     let arena = make_arena sut in
     let rec loop () =
-      let slot = Atomic.fetch_and_add next 1 in
-      if slot < n then begin
-        let idx = remaining.(slot) in
-        let outcome, traces, retried =
-          run_one ~arena ~seed ?truncate_after_ms ?run_timeout_ms ?retries
-            ~keep ~golden_for sut experiments idx
-        in
-        post (Ok (idx, wid, outcome, traces, retried));
-        if fail_fast && Results.is_failed outcome.Results.status then
-          raise (Failed_run { index = idx; outcome })
-        else loop ()
-      end
+      match take_next () with
+      | None -> ()
+      | Some idx ->
+          let outcome, traces, retried =
+            run_one ~arena ~seed ?truncate_after_ms ?run_timeout_ms ?retries
+              ~keep ~golden_for sut experiments idx
+          in
+          post (Ok (idx, wid, outcome, traces, retried));
+          if fail_fast && Results.is_failed outcome.Results.status then
+            raise (Failed_run { index = idx; outcome })
+          else loop ()
     in
     match loop () with () -> post (Error None) | exception e -> post (Error (Some e))
   in
@@ -573,25 +632,29 @@ let run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ?retries
         | Ok (idx, wid, outcome, traces, retried) ->
             outcomes.(idx) <- Some outcome;
             record ~index:idx ~worker:wid ~retries:retried outcome traces;
-            (* An adaptive stop poisons the cursor exactly like a
-               fail-fast abort: surviving workers take no new slots and
-               the runs already in flight still complete and journal. *)
-            if stop () then Atomic.set next n
+            Plan.complete source ~index:idx outcome;
+            (* An adaptive stop poisons the source exactly like a
+               fail-fast abort: surviving workers take no new indices
+               and the runs already in flight still complete and
+               journal. *)
+            if stop () then Atomic.set poisoned true;
+            wake_workers ()
         | Error None -> decr live
         | Error (Some e) ->
-            (* Poison the cursor so the surviving workers stop taking
-               new slots; they still finish (and journal) the runs
+            (* Poison the source so the surviving workers stop taking
+               new indices; they still finish (and journal) the runs
                already in flight before draining out. *)
-            Atomic.set next n;
+            Atomic.set poisoned true;
             if !failure = None then failure := Some e;
-            decr live)
+            decr live;
+            wake_workers ())
       (List.rev batch)
   done;
   List.iter Domain.join domains;
   match !failure with Some e -> raise e | None -> ()
 
 let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
-    ?cells ?recipe (sut : Sut.t) campaign =
+    ?cells ?recipe ?plan (sut : Sut.t) campaign =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s" msg));
@@ -608,20 +671,24 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
     journal_batch;
     keep_traces;
     stop_when;
+    budget = _;
+    plan = _;
   } =
     config
   in
   if stop_when <> None && live = None then
     invalid_arg "Runner.run: stop_when requires a live analysis";
+  if config.Config.budget <> None && plan = None then
+    invalid_arg "Runner.run: a budget requires a plan (see Plan.create)";
   let keep = keep_traces || on_run_traces <> None in
   let experiments = Array.of_list (Campaign.experiments campaign) in
   let total = Array.length experiments in
   let outcomes = Array.make total None in
-  let skipped =
+  let skipped, journalled_rounds =
     match journal with
     | Some path when resume && Sys.file_exists path ->
         replay_journal path ~outcomes ~sut ~campaign ~seed ~total
-    | _ -> 0
+    | _ -> (0, false)
   in
   let writer =
     match journal with
@@ -712,13 +779,26 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
           Journal.close w)
         writer)
     (fun () ->
-      let remaining =
-        List.filter
-          (fun idx ->
-            outcomes.(idx) = None
-            && match select with Some f -> f idx | None -> true)
-          (List.init total Fun.id)
+      (* The shared work source: every backend pulls indices from a
+         [Plan.t].  Unplanned campaigns get the static single-round
+         source (the historical cursor behaviour); planned campaigns
+         are primed with the replayed outcomes so the budget scheduler
+         re-derives its round sequence instead of re-executing them. *)
+      let source =
+        match plan with
+        | Some p ->
+            Array.iteri
+              (fun index -> function
+                | Some outcome -> Plan.prime p ~index outcome
+                | None -> ())
+              outcomes;
+            p
+        | None ->
+            Plan.static ?select
+              ~done_:(fun idx -> outcomes.(idx) <> None)
+              ~total ()
       in
+      let remaining = Plan.candidates source in
       Log.info (fun m ->
           m "campaign %s on %s: %d runs (%d journalled) across %d domain%s"
             campaign.Campaign.name sut.Sut.name total skipped jobs
@@ -768,25 +848,42 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
       let stopped = ref (stop ()) in
       if jobs = 1 then begin
         let arena = make_arena sut in
-        List.iter
-          (fun idx ->
-            if not !stopped then begin
+        let running = ref (not !stopped) in
+        while !running do
+          match Plan.take source ~max:1 with
+          | [] ->
+              (* A serial barrier resolves synchronously in [complete],
+                 so an empty take means the source is exhausted. *)
+              running := false
+          | idx :: _ ->
               let outcome, traces, retried =
                 run_one ~arena ~seed ?truncate_after_ms ?run_timeout_ms
                   ~retries ~keep ~golden_for sut experiments idx
               in
               outcomes.(idx) <- Some outcome;
               record ~index:idx ~worker:0 ~retries:retried outcome traces;
+              Plan.complete source ~index:idx outcome;
               if fail_fast && Results.is_failed outcome.Results.status then
                 raise (Failed_run { index = idx; outcome });
-              if stop () then stopped := true
-            end)
-          remaining
+              if stop () then running := false
+        done
       end
       else if not !stopped then
         run_parallel ~jobs ~seed ?truncate_after_ms ?run_timeout_ms ~retries
-          ~fail_fast ~keep ~stop ~experiments ~remaining ~golden_for ~outcomes
+          ~fail_fast ~keep ~stop ~experiments ~source ~golden_for ~outcomes
           ~record sut;
+      (* A planned campaign that ran its schedule to exhaustion leaves
+         its allocation history on record: parked records first (the
+         journal stays run-records-then-rounds), then the rounds in one
+         batch.  A rule-stopped or killed planned campaign journals no
+         rounds — its resume re-derives and records them at the real
+         finish — and a resumed already-finished journal never doubles
+         them. *)
+      (match (writer, plan) with
+      | Some w, Some p when (not journalled_rounds) && Plan.exhausted p ->
+          sweep_tail ();
+          or_invalid (Journal.append_rounds w (Plan.rounds p))
+      | _ -> ());
       emit (Finished { completed = !completed; total });
       let results =
         Results.create ~sut:sut.Sut.name ~campaign:campaign.Campaign.name
@@ -795,9 +892,9 @@ let run ?(config = Config.default) ?on_event ?on_run_traces ?live ?select
         (function
           | Some outcome -> Results.add results outcome
           | None ->
-              (* Only an adaptive stop or a cell-reuse selection may
-                 leave runs unexecuted. *)
-              assert (stop_when <> None || select <> None))
+              (* Only an adaptive stop, a cell-reuse selection or a
+                 budget plan may leave runs unexecuted. *)
+              assert (stop_when <> None || select <> None || plan <> None))
         outcomes;
       results)
 

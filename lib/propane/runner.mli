@@ -130,6 +130,12 @@ module Config : sig
     keep_traces : bool;  (** record full per-run traces *)
     stop_when : Live.rule option;
         (** adaptive stop rule; needs [?live] at {!run} *)
+    budget : int option;
+        (** total injection budget; needs [?plan] at {!run} — the CLI
+            and coordinator build the {!Plan.t} from this field *)
+    plan : Plan.mode;
+        (** how a budget is allocated (default {!Plan.Adaptive});
+            meaningless without [budget] *)
   }
 
   val default : t
@@ -150,6 +156,8 @@ module Config : sig
     ?journal_batch:int ->
     ?keep_traces:bool ->
     ?stop_when:Live.rule ->
+    ?budget:int ->
+    ?plan:Plan.mode ->
     unit ->
     t
   (** {!default} with the given fields replaced.  Construction never
@@ -158,13 +166,16 @@ module Config : sig
 
   val validate : t -> (unit, string) result
   (** [jobs >= 1], [retries >= 0], [run_timeout_ms >= 1],
-      [journal_batch >= 1], and [resume] only with a [journal]. *)
+      [journal_batch >= 1], [budget >= 1] when set, and [resume] only
+      with a [journal]. *)
 
   val encode : t -> string
   (** Serialises for a cluster recipe: [,]-separated [k=v] fields, no
       tabs or newlines, safe to embed as one field of a [;]-separated
       recipe.  [journal] and [resume] are host-local (a coordinator
-      path means nothing on a worker) and are not encoded. *)
+      path means nothing on a worker) and are not encoded.  [budget]
+      and [plan] are only emitted for planned campaigns, so unplanned
+      recipes keep their previous bytes. *)
 
   val decode : string -> (t, string) result
   (** Inverse of {!encode} over the encoded fields; [journal]/[resume]
@@ -233,6 +244,7 @@ val run :
   ?select:(int -> bool) ->
   ?cells:Journal.cell list ->
   ?recipe:string ->
+  ?plan:Plan.t ->
   Sut.t ->
   Campaign.t ->
   Results.t
@@ -272,6 +284,22 @@ val run :
     simply absent from the returned {!Results.t} and from the journal,
     so an early-stopped campaign resumes exactly where it stopped if
     re-run without the rule.
+
+    {b Budgeted campaigns (the plan layer).}  [plan] attaches a
+    {!Plan.t} work source: instead of executing every (selected)
+    experiment, the budget scheduler decides round by round which
+    indices run, feeding completed outcomes back into its own analysis
+    at deterministic barriers — see {!Plan}.  Requires
+    [config.budget]; the plan must be freshly created for this run (it
+    is primed with the journal's replayed outcomes, which is how a
+    resumed planned campaign re-derives its round sequence instead of
+    re-executing it).  When the plan runs to exhaustion, its
+    allocation history is appended to the journal
+    ({!Journal.append_rounds}) after any parked records, so planned
+    journals are byte-identical across [jobs] values, cluster
+    execution and kill-and-resume just like unplanned ones.  Indices
+    the plan never allocates are absent from the returned results and
+    the journal, exactly like deselected ones.
 
     [jobs] (default 1) is the number of worker domains.  With
     [jobs = 1] everything happens in the calling domain; otherwise

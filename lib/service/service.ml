@@ -11,6 +11,7 @@ type spec = {
   recipe : string;
   config : Propane.Runner.Config.t;
   live : Propane.Live.t option;
+  plan : Propane.Plan.t option;
 }
 
 type config = {
@@ -91,6 +92,7 @@ type t = {
 }
 
 let journal_path t cid = Filename.concat t.cfg.state_dir (cid ^ ".journal")
+let results_path t cid = Filename.concat t.cfg.state_dir (cid ^ ".results")
 let manifest_path state_dir = Filename.concat state_dir "manifest"
 
 let campaigns_in_order t =
@@ -141,7 +143,17 @@ let finalize t c state reason =
 (* Runs [Session.finish]: the one place Failed_run surfaces. *)
 let finish_session t c =
   match Cluster.Session.finish c.session with
-  | (_ : Propane.Results.t) -> finalize t c Manifest.Done ""
+  | results ->
+      (* The campaign's deliverable outlives its session: save the
+         results next to the journal so GET /campaigns/:id/results can
+         stream them after the daemon restarts.  A failed write is
+         logged, not fatal — the journal still holds every outcome. *)
+      (match Propane.Storage.save_results (results_path t c.cid) results with
+      | Ok () -> ()
+      | Error msg | (exception Sys_error msg) ->
+          Log.warn (fun m ->
+              m "campaign %s: results not saved: %s" c.cid msg));
+      finalize t c Manifest.Done ""
   | exception Propane.Runner.Failed_run { index; outcome } ->
       finalize t c Manifest.Failed
         (Fmt.str "run %d failed (%a)" index Propane.Results.pp_status
@@ -161,8 +173,8 @@ let create_campaign t ~cid spec =
   let session =
     Cluster.Session.create ~label:"Service"
       ~on_event:(Propane.Telemetry.observe telemetry)
-      ~recipe:spec.recipe ?live:spec.live ~config ~sut:spec.sut
-      ~campaign:spec.name ~total:spec.total ()
+      ~recipe:spec.recipe ?live:spec.live ?plan:spec.plan ~config
+      ~sut:spec.sut ~campaign:spec.name ~total:spec.total ()
   in
   { cid; spec; session; telemetry; phase = Active; started = false }
 
@@ -607,13 +619,82 @@ let fleet_json t =
       (Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []
       |> List.sort (fun a b -> compare a.wid b.wid))
   in
+  (* Bottleneck diagnosis: queued runs with no idle worker means the
+     fleet is the constraint; each extra worker could immediately take
+     a full batch, so that is the unit the sizing hint speaks in. *)
+  let queue_depth =
+    List.fold_left
+      (fun acc c -> acc + Cluster.Session.pending c.session)
+      0
+      (List.filter runnable (campaigns_in_order t))
+  in
+  let idle =
+    Hashtbl.fold
+      (fun _ w n ->
+        if w.joined && w.wants_work && w.outstanding = [] then n + 1 else n)
+      t.workers 0
+  in
+  let bottleneck, hint =
+    if queue_depth > 0 && idle = 0 then begin
+      let wanted = (queue_depth + t.cfg.batch_max - 1) / t.cfg.batch_max in
+      ( "workers",
+        Printf.sprintf
+          "%d more worker%s would help: %d runs queued and every worker busy"
+          wanted
+          (if wanted = 1 then "" else "s")
+          queue_depth )
+    end
+    else if queue_depth = 0 && idle > 0 then
+      ( "work",
+        Printf.sprintf
+          "%d worker%s idle: the fleet is waiting on submissions (or a \
+           plan-round barrier)"
+          idle
+          (if idle = 1 then "" else "s") )
+    else ("none", "")
+  in
   Json.Obj
     [
       ("count", Json.Num (float_of_int (List.length workers)));
+      ("idle", Json.Num (float_of_int idle));
+      ("queue_depth", Json.Num (float_of_int queue_depth));
+      ("bottleneck", Json.Str bottleneck);
+      ("hint", Json.Str hint);
       ("workers", Json.List workers);
     ]
 
 let error_json msg = Json.to_string (Json.Obj [ ("error", Json.Str msg) ])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Streams the saved results file ({!Propane.Storage}) of a finished
+   campaign.  The file outlives the session — and the daemon — so this
+   also serves campaigns that finished before a restart and are no
+   longer in the live table. *)
+let serve_results t cid =
+  let path = results_path t cid in
+  if Sys.file_exists path then
+    match read_file path with
+    | body -> (200, Some "text/plain", body)
+    | exception Sys_error msg -> (500, None, error_json msg)
+  else
+    match Hashtbl.find_opt t.campaigns cid with
+    | Some c when occupied c ->
+        ( 409,
+          None,
+          error_json
+            (Printf.sprintf "campaign %s has no results yet (%s)" cid
+               (Manifest.state_to_string (phase_state c))) )
+    | Some _ ->
+        ( 404,
+          None,
+          error_json
+            (Printf.sprintf "campaign %s finished without results" cid) )
+    | None -> (404, None, error_json (Printf.sprintf "no campaign %s" cid))
 
 let route t (req : Http.request) =
   let campaign_id path =
@@ -625,58 +706,79 @@ let route t (req : Http.request) =
     then Some (String.sub path pl (String.length path - pl))
     else None
   in
+  (* [/campaigns/:id/results] arrives as ["<id>/results"] after the
+     prefix strip. *)
+  let results_of sub =
+    let suffix = "/results" in
+    let sl = String.length suffix and cl = String.length sub in
+    if cl > sl && String.equal (String.sub sub (cl - sl) sl) suffix then
+      Some (String.sub sub 0 (cl - sl))
+    else None
+  in
+  let json (status, body) = (status, None, body) in
   match (req.Http.meth, req.Http.path) with
   | "POST", "/campaigns" -> (
       match submit t req.Http.body with
       | Ok c ->
-          ( 201,
-            Json.to_string
-              (Json.Obj
-                 [
-                   ("id", Json.Str c.cid);
-                   ( "state",
-                     Json.Str (Manifest.state_to_string (phase_state c)) );
-                 ]) )
-      | Error (status, msg) -> (status, error_json msg))
+          json
+            ( 201,
+              Json.to_string
+                (Json.Obj
+                   [
+                     ("id", Json.Str c.cid);
+                     ( "state",
+                       Json.Str (Manifest.state_to_string (phase_state c)) );
+                   ]) )
+      | Error (status, msg) -> json (status, error_json msg))
   | "GET", "/campaigns" ->
-      ( 200,
-        Json.to_string
-          (Json.Obj
-             [
-               ( "campaigns",
-                 Json.List
-                   (List.map (campaign_json t) (campaigns_in_order t)) );
-             ]) )
-  | "GET", "/fleet" -> (200, Json.to_string (fleet_json t))
+      json
+        ( 200,
+          Json.to_string
+            (Json.Obj
+               [
+                 ( "campaigns",
+                   Json.List
+                     (List.map (campaign_json t) (campaigns_in_order t)) );
+               ]) )
+  | "GET", "/fleet" -> json (200, Json.to_string (fleet_json t))
   | meth, path -> (
       match (meth, campaign_id path) with
-      | "GET", Some cid -> (
-          match Hashtbl.find_opt t.campaigns cid with
-          | Some c -> (200, Json.to_string (campaign_json ~verbose:true t c))
-          | None -> (404, error_json (Printf.sprintf "no campaign %s" cid)))
+      | "GET", Some sub -> (
+          match results_of sub with
+          | Some cid -> serve_results t cid
+          | None -> (
+              match Hashtbl.find_opt t.campaigns sub with
+              | Some c ->
+                  json (200, Json.to_string (campaign_json ~verbose:true t c))
+              | None ->
+                  json (404, error_json (Printf.sprintf "no campaign %s" sub))
+              ))
       | "DELETE", Some cid -> (
           match Hashtbl.find_opt t.campaigns cid with
           | Some c ->
               cancel t c;
-              ( 202,
-                Json.to_string
-                  (Json.Obj
-                     [
-                       ("id", Json.Str c.cid);
-                       ( "state",
-                         Json.Str
-                           (Manifest.state_to_string (phase_state c)) );
-                     ]) )
-          | None -> (404, error_json (Printf.sprintf "no campaign %s" cid)))
+              json
+                ( 202,
+                  Json.to_string
+                    (Json.Obj
+                       [
+                         ("id", Json.Str c.cid);
+                         ( "state",
+                           Json.Str
+                             (Manifest.state_to_string (phase_state c)) );
+                       ]) )
+          | None ->
+              json (404, error_json (Printf.sprintf "no campaign %s" cid)))
       | _ ->
-          ( 404,
-            error_json
-              (Printf.sprintf "no resource %s %s" req.Http.meth req.Http.path)
-          ))
+          json
+            ( 404,
+              error_json
+                (Printf.sprintf "no resource %s %s" req.Http.meth
+                   req.Http.path) ))
 
 let handle_http t h =
-  let respond status body =
-    (try Http.write_all h.hfd (Http.response ~status body)
+  let respond ?content_type status body =
+    (try Http.write_all h.hfd (Http.response ~status ?content_type body)
      with Unix.Unix_error _ -> ());
     Hashtbl.remove t.https h.hid;
     try Unix.close h.hfd with Unix.Unix_error _ -> ()
@@ -685,15 +787,16 @@ let handle_http t h =
   | Error msg -> respond 400 (error_json msg)
   | Ok None -> ()
   | Ok (Some req) ->
-      let status, body =
+      let status, content_type, body =
         try route t req
         with exn ->
           ( 500,
+            None,
             error_json
               (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
           )
       in
-      respond status body
+      respond ?content_type status body
 
 (* --------------------------- main loop ---------------------------- *)
 

@@ -32,7 +32,15 @@
          the current module rankings with Wilson 95% CIs.}
       {- [DELETE /campaigns/:id] — cancel: stop handing out batches,
          drain in-flight runs into the journal, mark [cancelled].}
-      {- [GET /fleet] — the worker roster.}} *)
+      {- [GET /campaigns/:id/results] — the finished campaign's saved
+         {!Propane.Storage} results file, streamed as [text/plain];
+         [409] while it is still queued or running, and still served
+         after a restart (the file outlives the daemon).}
+      {- [GET /fleet] — the worker roster, plus a bottleneck diagnosis:
+         [queue_depth] (runs queued across runnable campaigns), [idle]
+         (parked workers) and a sizing [hint] — when runs are queued
+         and no worker is idle, how many more workers could each take a
+         full batch right now.}} *)
 
 type spec = {
   tenant : string;  (** accounting identity for quotas and weights *)
@@ -48,6 +56,11 @@ type spec = {
   live : Propane.Live.t option;
       (** fresh live analysis for ranking snapshots and [stop_when];
           [parse] must build a new one per call *)
+  plan : Propane.Plan.t option;
+      (** fresh budget scheduler ({!Propane.Plan}) used as the
+          session's work source; required when [config.budget] is set,
+          and — like [live] — [parse] must build a new one per call
+          (plans are single-use) *)
 }
 (** Everything the service needs to run one submitted campaign.
     Produced by the [parse] callback from a submission body. *)

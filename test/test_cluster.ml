@@ -407,7 +407,7 @@ let serial_reference ~journal =
    campaign. *)
 let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
     ?(worker_hooks = [ None; None ]) ?(extra_clients = fun _ -> [])
-    ?(sut = scaler_sut) ?live ?stop_when ?select ?cells () =
+    ?(sut = scaler_sut) ?live ?stop_when ?select ?cells ?budget ?plan () =
   let addr = Cluster.Address.Unix_sock (tmp_path ".sock") in
   let listen = Cluster.Address.listen addr in
   let make (w : Cluster.Protocol.welcome) =
@@ -437,10 +437,10 @@ let cluster_run ?(heartbeat_timeout_s = 30.) ?journal ?(resume = false)
         let config =
           Propane.Runner.Config.make ~seed ?journal ~resume
             ~jobs:(max 1 (List.length worker_hooks))
-            ?stop_when ()
+            ?stop_when ?budget ()
         in
         Cluster.Coordinator.serve ~heartbeat_timeout_s ?live ?select ?cells
-          ~config ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler"
+          ?plan ~config ~batch_max:8 ~listen ~sut:"scaler" ~campaign:"scaler"
           ~total:(Propane.Campaign.size scaler_campaign)
           ())
   in
@@ -510,6 +510,58 @@ let integration_tests =
           (Propane.Results.count cluster);
         Sys.remove serial_path;
         Sys.remove cluster_path);
+    Alcotest.test_case
+      "adaptive plan journals identically across serial and cluster" `Slow
+      (fun () ->
+        (* The budget scheduler's rounds are a pure function of the
+           completed outcome set, so a 2-worker fleet — with its own
+           batching, interleaving and round barriers — must journal
+           byte-for-byte what the serial engine does under a fresh plan
+           of the same budget, rounds trailer included.  Uniform spends
+           the whole budget in one round (several batches per worker);
+           adaptive stops after the pilot here — the lone module's
+           ranking resolves immediately — which is exactly the
+           early-stop path worth pinning down. *)
+        let budget = 24 in
+        List.iter
+          (fun mode ->
+            let what = Propane.Plan.mode_to_string mode in
+            let fresh_plan () =
+              Propane.Plan.create ~mode ~budget ~model:scale_model
+                ~campaign:scaler_campaign ()
+            in
+            let serial_path = tmp_path ".journal" in
+            let cluster_path = tmp_path ".journal" in
+            let serial =
+              Propane.Runner.run
+                ~config:
+                  (Propane.Runner.Config.make ~seed ~jobs:1
+                     ~journal:serial_path ~budget ())
+                ~plan:(fresh_plan ()) (scaler_sut ()) scaler_campaign
+            in
+            let plan = fresh_plan () in
+            let cluster =
+              cluster_run ~journal:cluster_path ~budget ~plan ()
+            in
+            check_results_match (what ^ " results") serial cluster;
+            Alcotest.(check string)
+              (what ^ " journal bytes")
+              (read_file serial_path) (read_file cluster_path);
+            Alcotest.(check int)
+              (what ^ ": the fleet executes the plan's allocation")
+              (Propane.Plan.allocated plan)
+              (Propane.Results.count cluster);
+            Alcotest.(check bool)
+              (what ^ " plan exhausted")
+              true
+              (Propane.Plan.exhausted plan);
+            if mode = Propane.Plan.Uniform then
+              Alcotest.(check int)
+                "uniform spends the whole budget" budget
+                (Propane.Results.count cluster);
+            Sys.remove serial_path;
+            Sys.remove cluster_path)
+          [ Propane.Plan.Uniform; Propane.Plan.Adaptive ]);
     Alcotest.test_case "dead worker's runs are reassigned" `Slow (fun () ->
         let serial_path = tmp_path ".journal" in
         let cluster_path = tmp_path ".journal" in

@@ -41,11 +41,13 @@ let campaign_of sys =
         Propane.Error_model.Bit_flip 15;
       ]
 
-let run ?journal ?(jobs = 1) ?select ?cells sys campaign =
+let run ?journal ?(jobs = 1) ?(resume = false) ?select ?cells ?budget ?plan sys
+    campaign =
   let config =
-    Propane.Runner.Config.make ~seed:11L ~jobs ?journal ~journal_batch:1 ()
+    Propane.Runner.Config.make ~seed:11L ~jobs ?journal ~resume
+      ~journal_batch:1 ?budget ()
   in
-  Propane.Runner.run ~config ?select ?cells (B.sut sys) campaign
+  Propane.Runner.run ~config ?select ?cells ?plan (B.sut sys) campaign
 
 let fresh_dir =
   let counter = ref 0 in
@@ -519,6 +521,261 @@ let property_tests =
                  (Propane.Estimator.Stream.matrices cold_stream))));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The plan layer over the same pipeline system: budgeted journals are
+   byte-identical across domain counts and kill-and-resume, and a
+   budget composes with cell reuse — cached cells get zero fresh
+   allocation. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let plan_budget = 12
+
+let fresh_plan ?select sys campaign =
+  Propane.Plan.create ~mode:Propane.Plan.Adaptive ?select ~budget:plan_budget
+    ~model:(B.model sys) ~campaign ()
+
+let planned_journal_bytes ?(jobs = 1) sys campaign =
+  let path = Filename.temp_file "propane_planj" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let (_ : Propane.Results.t) =
+        run ~journal:path ~jobs ~budget:plan_budget
+          ~plan:(fresh_plan sys campaign) sys campaign
+      in
+      read_file path)
+
+let plan_tests =
+  [
+    Alcotest.test_case "a budgeted run executes the plan, not the campaign"
+      `Quick (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let plan = fresh_plan sys campaign in
+        let results =
+          run ~budget:plan_budget ~plan sys campaign
+        in
+        Alcotest.(check int)
+          "exactly the budget executes" plan_budget
+          (Propane.Results.count results);
+        Alcotest.(check bool)
+          "plan exhausted" true
+          (Propane.Plan.exhausted plan);
+        let granted =
+          List.fold_left
+            (fun acc (r : Propane.Journal.round) -> acc + r.runs)
+            0 (Propane.Plan.rounds plan)
+        in
+        Alcotest.(check int) "rounds account for every run" plan_budget granted;
+        (* Round 0 is the pilot: every target injected at least once. *)
+        let pilot_targets =
+          List.filter_map
+            (fun (r : Propane.Journal.round) ->
+              if r.round = 0 && r.runs > 0 then Some r.target else None)
+            (Propane.Plan.rounds plan)
+        in
+        Alcotest.(check (list string))
+          "pilot covers every target" campaign.Propane.Campaign.targets
+          (List.sort compare pilot_targets));
+    Alcotest.test_case "planned journal carries the allocation history"
+      `Quick (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let path = Filename.temp_file "propane_planj" ".journal" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let plan = fresh_plan sys campaign in
+            let (_ : Propane.Results.t) =
+              run ~journal:path ~budget:plan_budget ~plan sys campaign
+            in
+            match Propane.Journal.load path with
+            | Error msg -> Alcotest.failf "journal load failed: %s" msg
+            | Ok journal ->
+                Alcotest.(check bool)
+                  "journalled rounds equal the plan's" true
+                  (journal.Propane.Journal.rounds = Propane.Plan.rounds plan)));
+    Alcotest.test_case "a fully warm cache starves a budgeted campaign"
+      `Quick (fun () ->
+        (* Every cell cached: the reuse filter deselects everything, the
+           pilot finds no allocatable block, and the plan finishes
+           without granting a single run. *)
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let cold =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            let results =
+              run ~select:(Propane.Reuse.select cold) sys campaign
+            in
+            (match
+               Propane.Reuse.persist cold
+                 (Propane.Reuse.compose cold results)
+                 results
+             with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "persist failed: %s" msg);
+            let warm =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            let plan =
+              fresh_plan ~select:(Propane.Reuse.select warm) sys campaign
+            in
+            let nothing =
+              run ~select:(Propane.Reuse.select warm) ~budget:plan_budget
+                ~plan sys campaign
+            in
+            Alcotest.(check int)
+              "zero fresh runs" 0
+              (Propane.Results.count nothing);
+            Alcotest.(check int)
+              "zero allocation" 0
+              (Propane.Plan.allocated plan);
+            Alcotest.(check bool)
+              "plan exhausted" true
+              (Propane.Plan.exhausted plan)));
+    Alcotest.test_case "budget composes with reuse: only dirty targets draw"
+      `Quick (fun () ->
+        let sys = make_system () in
+        let campaign = campaign_of sys in
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let cold =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut sys)
+                ~model:(B.model sys) ~dir campaign
+            in
+            let results =
+              run ~select:(Propane.Reuse.select cold) sys campaign
+            in
+            (match
+               Propane.Reuse.persist cold
+                 (Propane.Reuse.compose cold results)
+                 results
+             with
+            | Ok () -> ()
+            | Error msg -> Alcotest.failf "persist failed: %s" msg);
+            (* Edit F2: exactly [b] goes dirty; a budgeted re-measure
+               must spend the whole budget there and never touch the
+               cached targets. *)
+            let edited = make_system ~t2:"f2-v2" () in
+            let warm =
+              Propane.Reuse.plan ~recipe:"r" ~sut:(B.sut edited)
+                ~model:(B.model edited) ~dir campaign
+            in
+            Alcotest.(check (list string))
+              "only b is dirty" [ "b" ]
+              (Propane.Reuse.dirty_targets warm);
+            let budget = Propane.Campaign.runs_per_target campaign in
+            let plan =
+              Propane.Plan.create ~mode:Propane.Plan.Adaptive
+                ~select:(Propane.Reuse.select warm) ~budget
+                ~model:(B.model edited) ~campaign ()
+            in
+            let fresh =
+              run ~select:(Propane.Reuse.select warm) ~budget ~plan edited
+                campaign
+            in
+            Alcotest.(check bool)
+              "every allocation goes to a dirty target" true
+              (List.for_all
+                 (fun (r : Propane.Journal.round) ->
+                   List.mem r.target (Propane.Reuse.dirty_targets warm))
+                 (Propane.Plan.rounds plan));
+            Alcotest.(check bool)
+              "cached targets get zero fresh runs" true
+              (List.for_all
+                 (fun (o : Propane.Results.outcome) ->
+                   String.equal o.injection.Propane.Injection.target "b")
+                 (Propane.Results.outcomes fresh))));
+  ]
+
+(* The satellite property: whatever the domain count — and across a
+   kill mid-campaign followed by a resume under a different domain
+   count — an adaptive budgeted journal ends up byte-identical to the
+   serial, uninterrupted one.  The resumed run re-derives the round
+   sequence from the journal's replayed outcomes instead of
+   re-executing them. *)
+let plan_property_tests =
+  let base = make_system () in
+  let base_campaign = campaign_of base in
+  let reference_bytes =
+    lazy (planned_journal_bytes ~jobs:1 base base_campaign)
+  in
+  let is_round_record line =
+    String.length line >= 5 && String.equal (String.sub line 0 5) "plan\t"
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:10
+         ~name:"planned journal bytes invariant under jobs, kill + resume"
+         QCheck2.Gen.(tup3 (int_range 1 3) (float_bound_inclusive 1.0)
+                        (int_range 1 3))
+         (fun (jobs, cut_frac, jobs') ->
+           let reference = Lazy.force reference_bytes in
+           let first_pass =
+             String.equal reference (planned_journal_bytes ~jobs base
+                                       base_campaign)
+           in
+           (* Simulate a kill mid-campaign: keep the five-line header
+              plus a committed prefix of run records, append a torn
+              half-record, and drop the round trailer (a killed
+              campaign never reached {!Journal.append_rounds}). *)
+           let path = Filename.temp_file "propane_planq" ".journal" in
+           Fun.protect
+             ~finally:(fun () -> Sys.remove path)
+             (fun () ->
+               (match String.split_on_char '\n' reference with
+               | magic :: s :: c :: sd :: tot :: rest ->
+                   let header = String.concat "\n" [ magic; s; c; sd; tot ] in
+                   let records =
+                     List.filter
+                       (fun l ->
+                         (not (String.equal l "")) && not (is_round_record l))
+                       rest
+                   in
+                   let n = List.length records in
+                   let keep =
+                     min n (int_of_float (cut_frac *. float_of_int n))
+                   in
+                   let kept = List.filteri (fun i _ -> i < keep) records in
+                   let torn =
+                     if keep < n then
+                       let next = List.nth records keep in
+                       String.sub next 0 (String.length next / 2)
+                     else ""
+                   in
+                   let oc = open_out_bin path in
+                   output_string oc
+                     (String.concat "\n" (header :: kept) ^ "\n" ^ torn);
+                   close_out oc
+               | _ -> Alcotest.fail "short reference journal");
+               let (_ : Propane.Results.t) =
+                 run ~journal:path ~resume:true ~jobs:jobs'
+                   ~budget:plan_budget
+                   ~plan:(fresh_plan base base_campaign)
+                   base base_campaign
+               in
+               first_pass && String.equal reference (read_file path))));
+  ]
+
 let () =
   Alcotest.run "reuse"
-    [ ("reuse", tests); ("reuse_property", property_tests) ]
+    [
+      ("reuse", tests);
+      ("reuse_property", property_tests);
+      ("plan", plan_tests);
+      ("plan_property", plan_property_tests);
+    ]

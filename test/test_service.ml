@@ -354,6 +354,7 @@ let parse_submission body =
                 Propane.Runner.Config.make ~seed:(seed_of_kind kind) ~jobs:1
                   ();
               live = Some live;
+              plan = None;
             })
 
 (* The fleet worker's executor factory: rebuild from the wire recipe,
